@@ -1,0 +1,59 @@
+//! Ablation for design choice 2 (DESIGN.md §4): weight perturbations applied
+//! *offline* (mutate the weight tensor once, before inference) vs paying a
+//! per-inference runtime hook.
+//!
+//! Expected result: `weight_offline` is indistinguishable from `clean`
+//! (§III-B's "no runtime overhead for weight perturbations"), while
+//! `neuron_hook` carries the (small) hook dispatch + perturbation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rustfi::{
+    models, BatchSelect, FaultInjector, FiConfig, NeuronFault, NeuronSelect, WeightFault,
+    WeightSelect,
+};
+use rustfi_nn::{zoo, ZooConfig};
+use rustfi_tensor::{SeededRng, Tensor};
+use std::sync::Arc;
+
+fn bench_weight_offline(c: &mut Criterion) {
+    let input = Tensor::rand_normal(&[1, 3, 16, 16], 0.0, 1.0, &mut SeededRng::new(2));
+    let make_fi = || {
+        FaultInjector::new(
+            zoo::resnet18(&ZooConfig::tiny(10)),
+            FiConfig::for_input(&[1, 3, 16, 16]),
+        )
+        .expect("injectable")
+    };
+    let mut group = c.benchmark_group("ablation_weight_offline");
+    group.sample_size(20);
+
+    let mut clean = make_fi();
+    group.bench_function("clean", |b| b.iter(|| std::hint::black_box(clean.forward(&input))));
+
+    let mut weight = make_fi();
+    weight
+        .declare_weight_fi(&[WeightFault {
+            select: WeightSelect::Random,
+            model: Arc::new(models::Gain::new(-2.0)),
+        }])
+        .expect("legal fault");
+    group.bench_function("weight_offline", |b| {
+        b.iter(|| std::hint::black_box(weight.forward(&input)))
+    });
+
+    let mut neuron = make_fi();
+    neuron
+        .declare_neuron_fi(&[NeuronFault {
+            select: NeuronSelect::Random,
+            batch: BatchSelect::All,
+            model: Arc::new(models::RandomUniform::default()),
+        }])
+        .expect("legal fault");
+    group.bench_function("neuron_hook", |b| {
+        b.iter(|| std::hint::black_box(neuron.forward(&input)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_weight_offline);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion version of the Fig. 3 measurement: base vs FI inference time
+//! for representative networks from each dataset group. (The full 19-pair
+//! table with the batch sweep is the `fig3_overhead_table` binary.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rustfi::{models, BatchSelect, FaultInjector, FiConfig, NeuronFault, NeuronSelect};
+use rustfi_bench::zoo_config_for;
+use rustfi_nn::zoo;
+use rustfi_tensor::{SeededRng, Tensor};
+use std::sync::Arc;
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut rng = SeededRng::new(3);
+    let cases = [
+        ("cifar10-like", "alexnet"),
+        ("cifar10-like", "resnet110"),
+        ("cifar10-like", "densenet"),
+        ("imagenet-like", "vgg19"),
+        ("imagenet-like", "mobilenet"),
+        ("imagenet-like", "squeezenet"),
+    ];
+    let mut group = c.benchmark_group("fig3_overhead");
+    group.sample_size(20);
+    for (dataset, model) in cases {
+        let cfg = zoo_config_for(dataset);
+        let input = Tensor::rand_normal(&[1, 3, cfg.image_hw, cfg.image_hw], 0.0, 1.0, &mut rng);
+
+        let net = zoo::by_name(model, &cfg).expect("known model");
+        let mut fi = FaultInjector::new(net, FiConfig::for_input(input.dims())).expect("injectable");
+        group.bench_with_input(BenchmarkId::new("base", model), &(), |b, ()| {
+            b.iter(|| std::hint::black_box(fi.forward(&input)))
+        });
+
+        fi.declare_neuron_fi(&[NeuronFault {
+            select: NeuronSelect::Random,
+            batch: BatchSelect::All,
+            model: Arc::new(models::RandomUniform::default()),
+        }])
+        .expect("legal fault");
+        group.bench_with_input(BenchmarkId::new("fi", model), &(), |b, ()| {
+            b.iter(|| std::hint::black_box(fi.forward(&input)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

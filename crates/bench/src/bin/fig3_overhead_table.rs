@@ -1,0 +1,98 @@
+//! Fig. 3: average inference runtime for the 19 network/dataset pairs with
+//! and without a single-neuron PyTorchFI-style injection (batch 1), plus the
+//! §III-C batch-size sweep.
+//!
+//! The paper measured CPU (AMD EPYC) and GPU (Titan Xp); our substrate is a
+//! CPU framework, so the reproduced claim is the *relative* one — the FI
+//! runtime matches the base runtime within noise on every model.
+//!
+//! Run with: `cargo run -p rustfi-bench --bin fig3_overhead_table --release`
+//! Knobs: `RUSTFI_REPS` (default 200) inference repetitions per cell.
+
+use rustfi::{models, BatchSelect, FaultInjector, FiConfig, NeuronFault, NeuronSelect};
+use rustfi_bench::{env_usize, fig3_pairs, mean_seconds, zoo_config_for};
+use rustfi_nn::zoo;
+use rustfi_tensor::{SeededRng, Tensor};
+use std::sync::Arc;
+
+fn main() {
+    let reps = env_usize("RUSTFI_REPS", 200);
+    let mut rng = SeededRng::new(33);
+    println!("Fig. 3 — inference wall-clock with and without RustFI, batch 1, {reps} reps");
+    println!(
+        "{:<14} {:<13} {:>12} {:>12} {:>10}",
+        "dataset", "model", "base (ms)", "fi (ms)", "overhead"
+    );
+
+    let mut base_sum = 0.0;
+    let mut fi_sum = 0.0;
+    for (dataset, model) in fig3_pairs() {
+        let cfg = zoo_config_for(dataset);
+        let net = zoo::by_name(model, &cfg).expect("known model");
+        let input = Tensor::rand_normal(&[1, 3, cfg.image_hw, cfg.image_hw], 0.0, 1.0, &mut rng);
+
+        let mut fi = FaultInjector::new(net, FiConfig::for_input(input.dims())).expect("injectable");
+        let base = mean_seconds(reps, || {
+            std::hint::black_box(fi.forward(&input));
+        });
+
+        fi.declare_neuron_fi(&[NeuronFault {
+            select: NeuronSelect::Random,
+            batch: BatchSelect::All,
+            model: Arc::new(models::RandomUniform::default()),
+        }])
+        .expect("legal fault");
+        let with_fi = mean_seconds(reps, || {
+            std::hint::black_box(fi.forward(&input));
+        });
+
+        base_sum += base;
+        fi_sum += with_fi;
+        println!(
+            "{:<14} {:<13} {:>12.4} {:>12.4} {:>9.2}%",
+            dataset,
+            model,
+            base * 1e3,
+            with_fi * 1e3,
+            100.0 * (with_fi - base) / base
+        );
+    }
+    println!(
+        "{:<14} {:<13} {:>12.4} {:>12.4} {:>9.2}%",
+        "average",
+        "",
+        base_sum / 19.0 * 1e3,
+        fi_sum / 19.0 * 1e3,
+        100.0 * (fi_sum - base_sum) / base_sum
+    );
+
+    // §III-C batch sweep: amortized cost per model.
+    println!("\n§III-C — batch sweep (resnet110, cifar10-like), per-batch wall clock");
+    println!("{:>6} {:>12} {:>12} {:>10}", "batch", "base (ms)", "fi (ms)", "overhead");
+    for batch in [1usize, 4, 16, 64] {
+        let cfg = zoo_config_for("cifar10-like");
+        let net = zoo::resnet110(&cfg);
+        let input = Tensor::rand_normal(&[batch, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let mut fi = FaultInjector::new(net, FiConfig::for_input(input.dims())).expect("injectable");
+        let reps_b = (reps / batch).max(10);
+        let base = mean_seconds(reps_b, || {
+            std::hint::black_box(fi.forward(&input));
+        });
+        fi.declare_neuron_fi(&[NeuronFault {
+            select: NeuronSelect::Random,
+            batch: BatchSelect::Each,
+            model: Arc::new(models::RandomUniform::default()),
+        }])
+        .expect("legal fault");
+        let with_fi = mean_seconds(reps_b, || {
+            std::hint::black_box(fi.forward(&input));
+        });
+        println!(
+            "{:>6} {:>12.4} {:>12.4} {:>9.2}%",
+            batch,
+            base * 1e3,
+            with_fi * 1e3,
+            100.0 * (with_fi - base) / base
+        );
+    }
+}

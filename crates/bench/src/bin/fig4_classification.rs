@@ -1,0 +1,59 @@
+//! Fig. 4: Top-1 misclassification probability of six ImageNet-like
+//! networks with INT8 neuron quantization under single-bit-flip injections
+//! into randomly selected neurons.
+//!
+//! Paper shape to reproduce: every network shows output corruptions, all
+//! rates are below 1%, and rates differ across topologies (AlexNet and
+//! ShuffleNet land near each other despite very different accuracy).
+//!
+//! Run with: `cargo run -p rustfi-bench --bin fig4_classification --release`
+//! Knobs: `RUSTFI_TRIALS` (default 20000) injections per network.
+
+use rustfi::{models, Campaign, CampaignConfig, FaultMode, NeuronSelect};
+use rustfi_bench::{env_usize, factory_from_checkpoint, fig4_models, train_and_checkpoint};
+use rustfi_data::SynthSpec;
+use std::sync::Arc;
+
+fn main() {
+    let trials = env_usize("RUSTFI_TRIALS", 20_000);
+    let spec = SynthSpec::imagenet_like();
+    let data = spec.generate();
+    println!(
+        "Fig. 4 — single INT8 bit flips in random neurons, {trials} trials/network, dataset {}",
+        spec.name
+    );
+    println!(
+        "{:<12} {:>9} {:>9} {:>8} {:>8} {:>12} {:>12} {:>14}",
+        "model", "accuracy", "eligible", "SDC", "DUE", "SDC rate", "99% CI", "top5-miss rate"
+    );
+
+    for model in fig4_models() {
+        let (ckpt, acc) = train_and_checkpoint(model, &spec);
+        let factory = factory_from_checkpoint(model, "imagenet-like", ckpt.clone());
+        let campaign = Campaign::new(
+            &factory,
+            &data.test_images,
+            &data.test_labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(models::BitFlipInt8::new(models::BitSelect::Random)),
+        );
+        let result = campaign.run(&CampaignConfig {
+            trials,
+            seed: 0xF164,
+            threads: None,
+            int8_activations: true,
+        });
+        println!(
+            "{:<12} {:>8.1}% {:>9} {:>8} {:>8} {:>11.3}% {:>10.3}% {:>13.3}%",
+            model,
+            100.0 * acc,
+            result.eligible_images,
+            result.counts.sdc,
+            result.counts.due,
+            100.0 * result.sdc_rate(),
+            100.0 * result.counts.sdc_rate_ci99(),
+            100.0 * result.top5_miss_rate(),
+        );
+        std::fs::remove_file(&ckpt).ok();
+    }
+}

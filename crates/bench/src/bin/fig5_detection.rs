@@ -1,0 +1,140 @@
+//! Fig. 5: perturbations on the object-detection network. The paper shows a
+//! qualitative before/after (YOLOv3 inventing phantom objects); we quantify
+//! the same effect — per-layer random-FP32 injections against the trained
+//! YOLO-lite — as phantom/missed/misclassified counts over many scenes, and
+//! render one example scene as ASCII.
+//!
+//! Run with: `cargo run -p rustfi-bench --bin fig5_detection --release`
+//! Knobs: `RUSTFI_SCENES` (default 20) scenes, `RUSTFI_FI_TRIALS` (default 10)
+//! injection trials per scene.
+
+use rustfi::{models, BatchSelect, FaultInjector, FiConfig, NeuronFault, NeuronSelect};
+use rustfi_bench::env_usize;
+use rustfi_data::DetectionSpec;
+use rustfi_detect::{decode_grid, diff_detections, nms, DetectionDiff, DetectorConfig, TrainDetectorConfig, YoloLite};
+use rustfi_interpret::render::render_channel;
+use std::sync::Arc;
+
+fn main() {
+    let n_scenes = env_usize("RUSTFI_SCENES", 20);
+    let fi_trials = env_usize("RUSTFI_FI_TRIALS", 10);
+    let score_threshold = 0.4;
+
+    let train_scenes = DetectionSpec::coco_like().generate(env_usize("RUSTFI_TRAIN_SCENES", 96));
+    let eval_scenes = DetectionSpec::coco_like().with_seed(0xE7A1).generate(n_scenes);
+
+    let det_cfg = DetectorConfig::default();
+    let mut detector = YoloLite::new(&det_cfg);
+    println!("training YOLO-lite on {} scenes...", train_scenes.len());
+    let losses = detector.train(&train_scenes, &TrainDetectorConfig::default());
+    println!("training loss {:.3} -> {:.3}\n", losses[0], losses.last().unwrap());
+
+    // Clean pass over the evaluation scenes.
+    let mut clean_total = DetectionDiff::default();
+    let mut clean_per_scene = Vec::with_capacity(n_scenes);
+    for scene in &eval_scenes {
+        let d = diff_detections(&detector.detect(&scene.image, score_threshold), &scene.objects, 0.3);
+        clean_per_scene.push(d);
+        clean_total = add(clean_total, d);
+    }
+
+    // Faulty passes: one random neuron per layer, uniformly random FP32 bits.
+    let mut fi = FaultInjector::new(
+        detector.into_net(),
+        FiConfig::for_input(&[1, 3, det_cfg.image_hw, det_cfg.image_hw]),
+    )
+    .expect("detector has conv layers");
+    let per_layer_faults: Vec<NeuronFault> = (0..fi.profile().len())
+        .map(|layer| NeuronFault {
+            select: NeuronSelect::RandomInLayer { layer },
+            batch: BatchSelect::All,
+            model: Arc::new(models::RandomFp32Bits),
+        })
+        .collect();
+
+    let mut faulty_total = DetectionDiff::default();
+    let mut corrupted_runs = 0;
+    let total_runs = n_scenes * fi_trials;
+    for (si, scene) in eval_scenes.iter().enumerate() {
+        for t in 0..fi_trials {
+            fi.restore();
+            fi.reseed((si * fi_trials + t) as u64);
+            fi.declare_neuron_fi(&per_layer_faults).expect("legal faults");
+            let raw = fi.forward(&scene.image);
+            let dets = nms(
+                decode_grid(&raw, 0, det_cfg.num_classes)
+                    .into_iter()
+                    .filter(|d| d.score >= score_threshold)
+                    .collect(),
+                0.4,
+            );
+            let d = diff_detections(&dets, &scene.objects, 0.3);
+            if d.phantom > clean_per_scene[si].phantom
+                || d.missed > clean_per_scene[si].missed
+                || d.misclassified > clean_per_scene[si].misclassified
+            {
+                corrupted_runs += 1;
+            }
+            faulty_total = add(faulty_total, d);
+        }
+    }
+
+    println!("Fig. 5 — detection outcomes over {n_scenes} scenes");
+    println!(
+        "{:<26} {:>9} {:>14} {:>9} {:>9}",
+        "condition", "matched", "misclassified", "phantom", "missed"
+    );
+    println!(
+        "{:<26} {:>9} {:>14} {:>9} {:>9}",
+        "clean (per scene-pass)",
+        clean_total.matched,
+        clean_total.misclassified,
+        clean_total.phantom,
+        clean_total.missed
+    );
+    println!(
+        "{:<26} {:>9.2} {:>14.2} {:>9.2} {:>9.2}",
+        format!("faulty (mean of {fi_trials} trials)"),
+        faulty_total.matched as f64 / fi_trials as f64,
+        faulty_total.misclassified as f64 / fi_trials as f64,
+        faulty_total.phantom as f64 / fi_trials as f64,
+        faulty_total.missed as f64 / fi_trials as f64,
+    );
+    println!(
+        "\ninjection corrupted the detection output in {corrupted_runs}/{total_runs} runs ({:.1}%)",
+        100.0 * corrupted_runs as f64 / total_runs as f64
+    );
+
+    // Qualitative panel: one scene, clean vs faulty detections.
+    let scene = &eval_scenes[0];
+    println!("\nexample scene (channel 0):\n{}", render_channel(&scene.image, 0, 0));
+    println!("ground truth: {:?}", scene.objects);
+    let mut detector = YoloLite::from_net(fi.into_inner(), &det_cfg);
+    let clean = detector.detect(&scene.image, score_threshold);
+    println!("clean detections: {clean:?}");
+    let mut fi = FaultInjector::new(
+        detector.into_net(),
+        FiConfig::for_input(&[1, 3, det_cfg.image_hw, det_cfg.image_hw]),
+    )
+    .expect("detector has conv layers");
+    fi.reseed(1);
+    fi.declare_neuron_fi(&per_layer_faults).expect("legal faults");
+    let raw = fi.forward(&scene.image);
+    let dets = nms(
+        decode_grid(&raw, 0, det_cfg.num_classes)
+            .into_iter()
+            .filter(|d| d.score >= score_threshold)
+            .collect(),
+        0.4,
+    );
+    println!("faulty detections: {dets:?}");
+}
+
+fn add(a: DetectionDiff, b: DetectionDiff) -> DetectionDiff {
+    DetectionDiff {
+        matched: a.matched + b.matched,
+        misclassified: a.misclassified + b.misclassified,
+        phantom: a.phantom + b.phantom,
+        missed: a.missed + b.missed,
+    }
+}

@@ -1,0 +1,128 @@
+//! Table I: training ResNet-18 with and without RustFI injections.
+//!
+//! Paper shape to reproduce: training time unchanged, test accuracy within a
+//! fraction of a percent, and the FI-trained model suffers fewer
+//! post-training output misclassifications under injection.
+//!
+//! Scaling notes: the paper ran 24 M injections; at this substrate's SDC
+//! rates (~0.04%) the default here is 100 k per model so the difference is
+//! measurable in minutes. The training-injection dose is 4 neurons per
+//! hidden layer per forward pass — the paper's 1-per-layer protocol scaled
+//! to layers that are orders of magnitude smaller (§IV-D explicitly frames
+//! injection frequency as a protocol knob).
+//!
+//! Run with: `cargo run -p rustfi-bench --bin table1_training --release`
+//! Knobs: `RUSTFI_TRIALS` (default 100000) post-training injections per model.
+
+use rustfi::{models, Campaign, CampaignConfig, FaultMode, NeuronSelect};
+use rustfi_bench::env_usize;
+use rustfi_data::SynthSpec;
+use rustfi_nn::train::{accuracy, fit, TrainConfig};
+use rustfi_nn::{checkpoint, zoo, Network, ZooConfig};
+use rustfi_robust::TrainingInjector;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Row {
+    train_time: Duration,
+    accuracy: f32,
+    sdcs: usize,
+}
+
+fn post_training_sdcs(
+    net: &mut Network,
+    data: &rustfi_data::ClassificationDataset,
+    trials: usize,
+    tag: &str,
+) -> usize {
+    let ckpt: PathBuf =
+        std::env::temp_dir().join(format!("rustfi-table1-{tag}-{}.ckpt", std::process::id()));
+    checkpoint::save(net, &ckpt).expect("write checkpoint");
+    let path = ckpt.clone();
+    let factory = move || {
+        let mut n = zoo::resnet18(&ZooConfig::cifar10_like());
+        checkpoint::load(&mut n, &path).expect("read checkpoint");
+        n
+    };
+    let campaign = Campaign::new(
+        &factory,
+        &data.test_images,
+        &data.test_labels,
+        FaultMode::Neuron(NeuronSelect::Random),
+        Arc::new(models::BitFlipInt8::new(models::BitSelect::Random)),
+    );
+    let result = campaign.run(&CampaignConfig {
+        trials,
+        seed: 0x7AB1E1,
+        threads: None,
+        int8_activations: true,
+    });
+    std::fs::remove_file(&ckpt).ok();
+    result.counts.sdc + result.counts.due
+}
+
+fn main() {
+    let trials = env_usize("RUSTFI_TRIALS", 100_000);
+    let mut spec = SynthSpec::cifar10_like();
+    // Margins thin enough that post-training SDC counts are measurable at
+    // this trial budget.
+    spec.noise = 1.5;
+    spec.train_per_class = 60;
+    let data = spec.generate();
+    let cfg = TrainConfig {
+        epochs: 12,
+        ..TrainConfig::default()
+    };
+
+    // Baseline: clean training from the default init seed.
+    let mut baseline = zoo::resnet18(&ZooConfig::cifar10_like());
+    let report = fit(&mut baseline, &data.train_images, &data.train_labels, &cfg);
+    let base = Row {
+        train_time: report.wall_time,
+        accuracy: accuracy(&mut baseline, &data.test_images, &data.test_labels, 32),
+        sdcs: post_training_sdcs(&mut baseline, &data, trials, "base"),
+    };
+
+    // FI-trained: identical init (same constructor seed), with a random
+    // hidden neuron per layer perturbed to uniform [-1, 1] on every training
+    // forward pass.
+    let mut fi_net = zoo::resnet18(&ZooConfig::cifar10_like());
+    let injector = TrainingInjector::install_hidden_with_dose(&fi_net, -1.0, 1.0, 0x7AB1E, 4);
+    let report = fit(&mut fi_net, &data.train_images, &data.train_labels, &cfg);
+    let injections = injector.injections();
+    injector.remove();
+    let fi = Row {
+        train_time: report.wall_time,
+        accuracy: accuracy(&mut fi_net, &data.test_images, &data.test_labels, 32),
+        sdcs: post_training_sdcs(&mut fi_net, &data, trials, "fi"),
+    };
+
+    println!("Table I — training ResNet-18 with and without RustFI");
+    println!("({} post-training injections per model; {injections} injections during FI training)\n", trials);
+    println!("{:<42} {:>14} {:>14}", "", "Baseline", "RustFI");
+    println!(
+        "{:<42} {:>14} {:>14}",
+        "Training time",
+        format!("{:.2?}", base.train_time),
+        format!("{:.2?}", fi.train_time)
+    );
+    println!(
+        "{:<42} {:>13.2}% {:>13.2}%",
+        "Test accuracy",
+        100.0 * base.accuracy,
+        100.0 * fi.accuracy
+    );
+    println!(
+        "{:<42} {:>14} {:>14}",
+        format!("Post-training output misclassifications"),
+        base.sdcs,
+        fi.sdcs
+    );
+    println!("{:<42} {:>14} {:>14}", format!("  (out of {trials})"), "", "");
+    if fi.sdcs < base.sdcs {
+        println!("\n=> FI-trained model is more resilient, matching the paper's Table I.");
+    } else {
+        println!("\n=> WARNING: FI-trained model was not more resilient in this run.");
+    }
+}

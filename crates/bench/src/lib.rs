@@ -1,0 +1,188 @@
+//! Shared harness utilities for the experiment binaries and Criterion
+//! benches that regenerate the paper's tables and figures.
+//!
+//! Each paper artifact maps to one binary (see `src/bin/`):
+//!
+//! | Paper artifact | Binary |
+//! |---|---|
+//! | Fig. 3 (runtime overhead, 19 networks + batch sweep) | `fig3_overhead_table` |
+//! | Fig. 4 (INT8 bit-flip misclassification probability) | `fig4_classification` |
+//! | Fig. 5 (object-detection perturbations) | `fig5_detection` |
+//! | Fig. 6 (IBP relative vulnerability grid) | `fig6_ibp` |
+//! | Table I (training with injections) | `table1_training` |
+//! | Fig. 7 (Grad-CAM sensitivity) | `fig7_gradcam` |
+//!
+//! Criterion benches (`benches/`) cover the Fig. 3 measurement loop and the
+//! two design-choice ablations called out in `DESIGN.md`.
+
+use rustfi_data::SynthSpec;
+use rustfi_nn::train::TrainConfig;
+use rustfi_nn::{checkpoint, train, zoo, Network, ZooConfig};
+use std::path::PathBuf;
+
+/// Reads an override from the environment (`RUSTFI_TRIALS`, …), falling back
+/// to `default`.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The 19 network/dataset pairs of Fig. 3, as `(dataset, model)` names.
+pub fn fig3_pairs() -> Vec<(&'static str, &'static str)> {
+    let mut pairs = Vec::new();
+    for model in ["alexnet", "densenet", "preresnet110", "resnet110", "resnext", "vgg19"] {
+        pairs.push(("cifar10-like", model));
+    }
+    for model in ["alexnet", "densenet", "preresnet110", "resnet110", "resnext", "vgg19"] {
+        pairs.push(("cifar100-like", model));
+    }
+    for model in [
+        "alexnet",
+        "googlenet",
+        "mobilenet",
+        "resnet50",
+        "shufflenet",
+        "squeezenet",
+        "vgg19",
+    ] {
+        pairs.push(("imagenet-like", model));
+    }
+    pairs
+}
+
+/// The six networks of Fig. 4 (ImageNet-like).
+pub fn fig4_models() -> &'static [&'static str] {
+    &["alexnet", "googlenet", "resnet50", "shufflenet", "squeezenet", "vgg19"]
+}
+
+/// Zoo config for a dataset name.
+///
+/// # Panics
+///
+/// Panics on an unknown dataset name.
+pub fn zoo_config_for(dataset: &str) -> ZooConfig {
+    match dataset {
+        "cifar10-like" => ZooConfig::cifar10_like(),
+        "cifar100-like" => ZooConfig::cifar100_like(),
+        "imagenet-like" => ZooConfig::imagenet_like(),
+        other => panic!("unknown dataset {other}"),
+    }
+}
+
+/// Per-model training recipe: architectures without batch norm need gentler
+/// learning rates on the synthetic datasets; BN models converge fastest with
+/// the default.
+pub fn recipe(model: &str) -> TrainConfig {
+    match model {
+        // No batch norm: sensitive to large steps.
+        "alexnet" | "vgg19" | "lenet" => TrainConfig {
+            lr: 0.005,
+            momentum: 0.9,
+            epochs: 20,
+            ..TrainConfig::default()
+        },
+        // Mostly-unnormalized branched nets: moderate lr, longer schedule.
+        "googlenet" | "squeezenet" => TrainConfig {
+            lr: 0.01,
+            momentum: 0.9,
+            epochs: 30,
+            ..TrainConfig::default()
+        },
+        // Batch-normalized residual/compact nets.
+        _ => TrainConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            epochs: 12,
+            ..TrainConfig::default()
+        },
+    }
+}
+
+/// Trains `model` on `dataset`, checkpoints it, and returns the checkpoint
+/// path plus test accuracy. The checkpoint lands in the temp directory and
+/// is the caller's to delete.
+///
+/// # Panics
+///
+/// Panics on unknown names or checkpoint I/O failure.
+pub fn train_and_checkpoint(model: &str, dataset: &SynthSpec) -> (PathBuf, f32) {
+    let data = dataset.generate();
+    let cfg = zoo_config_for(dataset.name);
+    let mut net = zoo::by_name(model, &cfg).unwrap_or_else(|| panic!("unknown model {model}"));
+    train::fit(&mut net, &data.train_images, &data.train_labels, &recipe(model));
+    let acc = train::accuracy(&mut net, &data.test_images, &data.test_labels, 32);
+    let path = std::env::temp_dir().join(format!(
+        "rustfi-bench-{}-{}-{}.ckpt",
+        dataset.name,
+        model,
+        std::process::id()
+    ));
+    checkpoint::save(&mut net, &path).expect("write checkpoint");
+    (path, acc)
+}
+
+/// Builds a factory closure that reconstructs the trained model from its
+/// checkpoint (what campaign workers use).
+pub fn factory_from_checkpoint(
+    model: &'static str,
+    dataset_name: &'static str,
+    path: PathBuf,
+) -> impl Fn() -> Network + Sync {
+    move || {
+        let mut net = zoo::by_name(model, &zoo_config_for(dataset_name)).expect("known model");
+        checkpoint::load(&mut net, &path).expect("read checkpoint");
+        net
+    }
+}
+
+/// Mean wall-clock seconds per call of `f` over `n` calls (after one warmup).
+pub fn mean_seconds(n: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = std::time::Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    start.elapsed().as_secs_f64() / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_has_19_pairs() {
+        let pairs = fig3_pairs();
+        assert_eq!(pairs.len(), 19);
+        // Every pair resolves to a constructible model.
+        for (dataset, model) in pairs {
+            let cfg = zoo_config_for(dataset);
+            assert!(zoo::by_name(model, &cfg).is_some(), "{dataset}/{model}");
+        }
+    }
+
+    #[test]
+    fn recipes_exist_for_all_fig4_models() {
+        for model in fig4_models() {
+            let r = recipe(model);
+            assert!(r.lr > 0.0 && r.epochs > 0);
+        }
+    }
+
+    #[test]
+    fn env_usize_parses_and_defaults() {
+        std::env::set_var("RUSTFI_TEST_KNOB", "123");
+        assert_eq!(env_usize("RUSTFI_TEST_KNOB", 5), 123);
+        assert_eq!(env_usize("RUSTFI_TEST_KNOB_MISSING", 5), 5);
+        std::env::remove_var("RUSTFI_TEST_KNOB");
+    }
+
+    #[test]
+    fn mean_seconds_is_positive() {
+        let s = mean_seconds(3, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(s >= 0.0);
+    }
+}

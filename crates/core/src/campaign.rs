@@ -1,0 +1,511 @@
+//! Seeded, parallel error-injection campaigns.
+//!
+//! A campaign repeats: pick a correctly-classified input, plan a fresh fault
+//! from a template, run the perturbed inference, classify the outcome. Trials
+//! are distributed across worker threads, but every trial's randomness is
+//! derived from `(campaign seed, trial index)`, so results are identical for
+//! any thread count.
+
+use crate::config::FiConfig;
+use crate::injector::{FaultInjector, NeuronFault, WeightFault};
+use crate::location::{BatchSelect, NeuronSelect, NeuronSite, WeightSelect};
+use crate::metrics::{classify_outcome, confidence, top1, OutcomeCounts, OutcomeKind};
+use crate::perturbation::PerturbationModel;
+use rustfi_nn::Network;
+use rustfi_tensor::{parallel, SeededRng, Tensor};
+use std::sync::Arc;
+
+/// What kind of fault each trial plans.
+#[derive(Debug, Clone)]
+pub enum FaultMode {
+    /// A neuron fault from this selection template.
+    Neuron(NeuronSelect),
+    /// A weight fault from this selection template.
+    Weight(WeightSelect),
+}
+
+/// Campaign-level knobs.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of injection trials.
+    pub trials: usize,
+    /// Root seed; trial `t` derives its stream from `(seed, t)`.
+    pub seed: u64,
+    /// Worker threads (`None` = all available cores).
+    pub threads: Option<usize>,
+    /// Whether to emulate INT8 activation quantization during trials (and
+    /// when computing golden predictions).
+    pub int8_activations: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            trials: 1000,
+            seed: 0xCA_4F,
+            threads: None,
+            int8_activations: false,
+        }
+    }
+}
+
+/// One trial's record.
+#[derive(Debug, Clone)]
+pub struct TrialRecord {
+    /// Trial index.
+    pub trial: usize,
+    /// Which test image was used.
+    pub image_index: usize,
+    /// The injectable layer that was hit.
+    pub layer: usize,
+    /// The resolved neuron site (weights faults report channel/x/y of 0).
+    pub site: Option<NeuronSite>,
+    /// Outcome vs. the golden prediction.
+    pub outcome: OutcomeKind,
+    /// Whether the golden class dropped out of the Top-5 — the paper's
+    /// alternative, stricter corruption criterion (§IV-A).
+    pub top5_miss: bool,
+    /// Change in softmax confidence of the golden class.
+    pub confidence_delta: f32,
+}
+
+/// Aggregated campaign results.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Per-trial records, in trial order.
+    pub records: Vec<TrialRecord>,
+    /// Totals.
+    pub counts: OutcomeCounts,
+    /// Per-injectable-layer `(trials, sdcs)`.
+    pub per_layer: Vec<(usize, usize)>,
+    /// How many test images were eligible (classified correctly clean).
+    pub eligible_images: usize,
+}
+
+impl CampaignResult {
+    /// SDC rate over all trials.
+    pub fn sdc_rate(&self) -> f64 {
+        self.counts.sdc_rate()
+    }
+
+    /// Rate of the stricter "golden class not in Top-5" corruption
+    /// criterion (paper §IV-A lists this as an alternative vulnerability
+    /// definition). Always at most [`CampaignResult::sdc_rate`].
+    pub fn top5_miss_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.top5_miss).count() as f64 / self.records.len() as f64
+    }
+
+    /// SDC rate for one injectable layer (0 if it saw no trials).
+    pub fn layer_sdc_rate(&self, layer: usize) -> f64 {
+        match self.per_layer.get(layer) {
+            Some(&(trials, sdcs)) if trials > 0 => sdcs as f64 / trials as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Mean confidence drop of the golden class across trials.
+    pub fn mean_confidence_delta(&self) -> f32 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.confidence_delta).sum::<f32>() / self.records.len() as f32
+    }
+}
+
+/// An injection campaign over a fixed model and test set.
+///
+/// The `factory` must produce the *same* network every call (same
+/// architecture and weights — e.g. rebuild from the same seed, or reload a
+/// checkpoint): each worker thread constructs its own copy.
+pub struct Campaign<'a> {
+    factory: &'a (dyn Fn() -> Network + Sync),
+    images: &'a Tensor,
+    labels: &'a [usize],
+    mode: FaultMode,
+    model: Arc<dyn PerturbationModel>,
+}
+
+impl<'a> Campaign<'a> {
+    /// Creates a campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images`/`labels` lengths disagree or are empty.
+    pub fn new(
+        factory: &'a (dyn Fn() -> Network + Sync),
+        images: &'a Tensor,
+        labels: &'a [usize],
+        mode: FaultMode,
+        model: Arc<dyn PerturbationModel>,
+    ) -> Self {
+        assert_eq!(
+            images.dims()[0],
+            labels.len(),
+            "{} images but {} labels",
+            images.dims()[0],
+            labels.len()
+        );
+        assert!(!labels.is_empty(), "empty test set");
+        Self {
+            factory,
+            images,
+            labels,
+            mode,
+            model,
+        }
+    }
+
+    /// Runs the campaign.
+    ///
+    /// Only images the clean model classifies correctly participate (as in
+    /// the paper); if none qualify, the result reports zero trials.
+    pub fn run(&self, cfg: &CampaignConfig) -> CampaignResult {
+        let input_dims = {
+            let d = self.images.dims();
+            [1, d[1], d[2], d[3]]
+        };
+
+        // Golden pass: find eligible images and their clean confidence.
+        let mut golden_net = (self.factory)();
+        let mut golden = FaultInjector::new(golden_net_take(&mut golden_net), FiConfig::for_input(&input_dims))
+            .expect("model must have injectable layers");
+        if cfg.int8_activations {
+            golden.enable_int8_activations();
+        }
+        let mut eligible: Vec<(usize, f32)> = Vec::new(); // (image index, clean confidence)
+        for i in 0..self.labels.len() {
+            let x = self.images.select_batch(i);
+            let out = golden.forward(&x);
+            let row = out.data();
+            if top1(row) == self.labels[i] {
+                eligible.push((i, confidence(row, self.labels[i])));
+            }
+        }
+        drop(golden);
+        if eligible.is_empty() {
+            return CampaignResult {
+                records: Vec::new(),
+                counts: OutcomeCounts::default(),
+                per_layer: Vec::new(),
+                eligible_images: 0,
+            };
+        }
+
+        // Fan trials across workers; trial randomness depends only on
+        // (seed, trial).
+        let trials = cfg.trials;
+        let workers = cfg
+            .threads
+            .unwrap_or_else(parallel::worker_count)
+            .clamp(1, trials.max(1));
+        let root = SeededRng::new(cfg.seed);
+        let eligible = &eligible;
+        let mode = &self.mode;
+        let model = &self.model;
+        let factory = self.factory;
+        let images = self.images;
+        let labels = self.labels;
+
+        let mut all_records: Vec<TrialRecord> = parallel::map_indexed(workers, |w| {
+            let mut fi = FaultInjector::new((factory)(), FiConfig::for_input(&input_dims))
+                .expect("model must have injectable layers");
+            if cfg.int8_activations {
+                fi.enable_int8_activations();
+            }
+            let mut records = Vec::new();
+            let mut t = w;
+            while t < trials {
+                let trial_seed = root.fork(t as u64).seed();
+                let mut pick_rng = SeededRng::new(trial_seed).fork(3);
+                let (image_index, clean_conf) = eligible[pick_rng.below(eligible.len())];
+                fi.restore();
+                fi.reseed(trial_seed);
+
+                let (layer, site) = match mode {
+                    FaultMode::Neuron(select) => {
+                        let sites = fi
+                            .declare_neuron_fi(&[NeuronFault {
+                                select: select.clone(),
+                                batch: BatchSelect::All,
+                                model: Arc::clone(model),
+                            }])
+                            .expect("template validated against profile");
+                        (sites[0].layer, Some(sites[0]))
+                    }
+                    FaultMode::Weight(select) => {
+                        let sites = fi
+                            .declare_weight_fi(&[WeightFault {
+                                select: select.clone(),
+                                model: Arc::clone(model),
+                            }])
+                            .expect("template validated against profile");
+                        (sites[0].layer, None)
+                    }
+                };
+
+                let x = images.select_batch(image_index);
+                let out = fi.forward(&x);
+                let row = out.data();
+                let golden_label = labels[image_index];
+                let outcome = classify_outcome(golden_label, row);
+                let finite = row.iter().all(|v| v.is_finite());
+                let top5_miss = !finite || !crate::metrics::in_top_k(row, golden_label, 5);
+                let confidence_delta = if finite {
+                    confidence(row, golden_label) - clean_conf
+                } else {
+                    -clean_conf
+                };
+                records.push(TrialRecord {
+                    trial: t,
+                    image_index,
+                    layer,
+                    site,
+                    outcome,
+                    top5_miss,
+                    confidence_delta,
+                });
+                t += workers;
+            }
+            records
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        all_records.sort_by_key(|r| r.trial);
+
+        // Aggregate.
+        let mut counts = OutcomeCounts::default();
+        let layer_count = {
+            let mut net = (self.factory)();
+            let p = crate::profile::ModelProfile::discover(&mut net, input_dims);
+            p.len()
+        };
+        let mut per_layer = vec![(0usize, 0usize); layer_count];
+        for r in &all_records {
+            counts.record(r.outcome);
+            if r.layer < per_layer.len() {
+                per_layer[r.layer].0 += 1;
+                if r.outcome == OutcomeKind::Sdc {
+                    per_layer[r.layer].1 += 1;
+                }
+            }
+        }
+        CampaignResult {
+            records: all_records,
+            counts,
+            per_layer,
+            eligible_images: eligible.len(),
+        }
+    }
+}
+
+/// Moves a network out of a mutable binding (helper keeping `run` readable).
+fn golden_net_take(net: &mut Network) -> Network {
+    std::mem::replace(net, Network::new(Box::new(rustfi_nn::layer::Sequential::new(Vec::new()))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{RandomUniform, StuckAt};
+    use rustfi_nn::{zoo, ZooConfig};
+    use rustfi_tensor::Tensor;
+
+    fn factory() -> Network {
+        zoo::lenet(&ZooConfig::tiny(4))
+    }
+
+    /// Labels that match whatever the untrained net predicts, so every image
+    /// is "correctly classified" and campaigns have eligible inputs.
+    fn aligned_labels(images: &Tensor) -> Vec<usize> {
+        let mut net = factory();
+        (0..images.dims()[0])
+            .map(|i| {
+                let out = net.forward(&images.select_batch(i));
+                top1(out.data())
+            })
+            .collect()
+    }
+
+    fn images() -> Tensor {
+        Tensor::from_fn(&[6, 3, 16, 16], |i| ((i as f32) * 0.013).sin())
+    }
+
+    #[test]
+    fn campaign_runs_and_accounts_every_trial() {
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(RandomUniform::default()),
+        );
+        let result = campaign.run(&CampaignConfig {
+            trials: 64,
+            seed: 1,
+            threads: Some(2),
+            int8_activations: false,
+        });
+        assert_eq!(result.records.len(), 64);
+        assert_eq!(result.counts.total(), 64);
+        assert_eq!(result.eligible_images, 6);
+        let layer_trials: usize = result.per_layer.iter().map(|(t, _)| t).sum();
+        assert_eq!(layer_trials, 64);
+        for (i, r) in result.records.iter().enumerate() {
+            assert_eq!(r.trial, i);
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_thread_counts() {
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(RandomUniform::default()),
+        );
+        let run = |threads| {
+            let r = campaign.run(&CampaignConfig {
+                trials: 40,
+                seed: 5,
+                threads: Some(threads),
+                int8_activations: false,
+            });
+            r.records
+                .iter()
+                .map(|r| (r.image_index, r.layer, r.site, r.outcome))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn different_seeds_sample_different_sites() {
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(RandomUniform::default()),
+        );
+        let sites = |seed| {
+            campaign
+                .run(&CampaignConfig {
+                    trials: 10,
+                    seed,
+                    threads: Some(1),
+                    int8_activations: false,
+                })
+                .records
+                .iter()
+                .map(|r| r.site)
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(sites(1), sites(2));
+    }
+
+    #[test]
+    fn egregious_faults_produce_sdcs() {
+        let images = images();
+        let labels = aligned_labels(&images);
+        // Stuck-at a huge value in random neurons: should flip predictions
+        // at least sometimes.
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(StuckAt::new(1e9)),
+        );
+        let result = campaign.run(&CampaignConfig {
+            trials: 60,
+            seed: 2,
+            threads: None,
+            int8_activations: false,
+        });
+        assert!(
+            result.counts.sdc + result.counts.due > 0,
+            "1e9 injections should corrupt something: {:?}",
+            result.counts
+        );
+        assert!(result.mean_confidence_delta() < 0.0, "confidence drops on average");
+    }
+
+    #[test]
+    fn top5_miss_is_stricter_than_sdc() {
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(StuckAt::new(1e9)),
+        );
+        let result = campaign.run(&CampaignConfig {
+            trials: 80,
+            seed: 6,
+            threads: Some(2),
+            int8_activations: false,
+        });
+        // A Top-5 miss implies a Top-1 miss, never the other way around.
+        assert!(result.top5_miss_rate() <= result.sdc_rate() + 1e-9);
+        for r in &result.records {
+            if r.top5_miss {
+                assert_ne!(r.outcome, OutcomeKind::Masked, "top-5 miss implies corruption");
+            }
+        }
+    }
+
+    #[test]
+    fn weight_mode_works() {
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Weight(WeightSelect::Random),
+            Arc::new(RandomUniform::default()),
+        );
+        let result = campaign.run(&CampaignConfig {
+            trials: 16,
+            seed: 3,
+            threads: Some(2),
+            int8_activations: false,
+        });
+        assert_eq!(result.counts.total(), 16);
+        assert!(result.records.iter().all(|r| r.site.is_none()));
+    }
+
+    #[test]
+    fn per_layer_restriction_only_hits_that_layer() {
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::RandomInLayer { layer: 2 }),
+            Arc::new(RandomUniform::default()),
+        );
+        let result = campaign.run(&CampaignConfig {
+            trials: 20,
+            seed: 4,
+            threads: Some(2),
+            int8_activations: false,
+        });
+        assert!(result.records.iter().all(|r| r.layer == 2));
+        assert_eq!(result.per_layer[2].0, 20);
+    }
+}

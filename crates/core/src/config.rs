@@ -1,0 +1,86 @@
+//! Injector configuration.
+
+/// Configuration handed to [`FaultInjector::new`], mirroring PyTorchFI's
+/// initialization arguments (model input geometry, batch size, seed).
+///
+/// [`FaultInjector::new`]: crate::FaultInjector::new
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiConfig {
+    /// Input batch size used for the profiling pass (and the default batch
+    /// assumed by batch-targeted faults).
+    pub batch_size: usize,
+    /// Input channels.
+    pub channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Seed for fault-site sampling and perturbation-time randomness.
+    pub seed: u64,
+}
+
+impl FiConfig {
+    /// Creates a configuration from explicit geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(batch_size: usize, channels: usize, height: usize, width: usize) -> Self {
+        assert!(
+            batch_size > 0 && channels > 0 && height > 0 && width > 0,
+            "all input dimensions must be positive"
+        );
+        Self {
+            batch_size,
+            channels,
+            height,
+            width,
+            seed: 0xF1_F1,
+        }
+    }
+
+    /// Creates a configuration from an `[n, c, h, w]` shape slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is not rank 4 or has zero entries.
+    pub fn for_input(dims: &[usize]) -> Self {
+        assert_eq!(dims.len(), 4, "expected [n, c, h, w], got {dims:?}");
+        Self::new(dims[0], dims[1], dims[2], dims[3])
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The `[n, c, h, w]` input shape.
+    pub fn input_dims(&self) -> [usize; 4] {
+        [self.batch_size, self.channels, self.height, self.width]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_input_roundtrips() {
+        let cfg = FiConfig::for_input(&[2, 3, 16, 16]).with_seed(7);
+        assert_eq!(cfg.input_dims(), [2, 3, 16, 16]);
+        assert_eq!(cfg.seed, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected [n, c, h, w]")]
+    fn rejects_wrong_rank() {
+        FiConfig::for_input(&[3, 16, 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_dims() {
+        FiConfig::new(1, 0, 16, 16);
+    }
+}

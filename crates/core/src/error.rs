@@ -1,0 +1,126 @@
+//! Error type for fault-injection requests.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a fault-injection request was rejected.
+///
+/// These errors carry the model geometry learned during profiling, matching
+/// the paper's goal of "detailed debugging messages to the end user".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FiError {
+    /// The model exposes no convolution/linear layers to inject into.
+    NoInjectableLayers,
+    /// An injectable-layer index was out of range.
+    LayerOutOfRange {
+        /// The requested injectable-layer index.
+        requested: usize,
+        /// How many injectable layers the profile found.
+        available: usize,
+    },
+    /// A neuron coordinate fell outside the layer's output feature map.
+    NeuronOutOfRange {
+        /// Injectable-layer index.
+        layer: usize,
+        /// Human-readable detail including the legal ranges.
+        detail: String,
+    },
+    /// A weight coordinate fell outside the layer's weight tensor.
+    WeightOutOfRange {
+        /// Injectable-layer index.
+        layer: usize,
+        /// Human-readable detail including the legal ranges.
+        detail: String,
+    },
+    /// A batch element index was not covered by the profiled batch size.
+    BatchOutOfRange {
+        /// The requested batch element.
+        requested: usize,
+        /// The profiled batch size.
+        batch_size: usize,
+    },
+    /// The input handed to profiling had the wrong shape.
+    BadInputShape {
+        /// What the configuration declared.
+        expected: Vec<usize>,
+        /// Explanation of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FiError::NoInjectableLayers => {
+                write!(f, "model has no injectable (conv/linear) layers")
+            }
+            FiError::LayerOutOfRange {
+                requested,
+                available,
+            } => write!(
+                f,
+                "injectable layer index {requested} out of range: model has {available} injectable layers"
+            ),
+            FiError::NeuronOutOfRange { layer, detail } => {
+                write!(f, "neuron location invalid for injectable layer {layer}: {detail}")
+            }
+            FiError::WeightOutOfRange { layer, detail } => {
+                write!(f, "weight location invalid for injectable layer {layer}: {detail}")
+            }
+            FiError::BatchOutOfRange {
+                requested,
+                batch_size,
+            } => write!(
+                f,
+                "batch element {requested} out of range for profiled batch size {batch_size}"
+            ),
+            FiError::BadInputShape { expected, detail } => {
+                write!(f, "bad input shape (expected {expected:?}): {detail}")
+            }
+        }
+    }
+}
+
+impl Error for FiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(FiError, &str)> = vec![
+            (FiError::NoInjectableLayers, "no injectable"),
+            (
+                FiError::LayerOutOfRange {
+                    requested: 9,
+                    available: 3,
+                },
+                "index 9",
+            ),
+            (
+                FiError::NeuronOutOfRange {
+                    layer: 1,
+                    detail: "channel 8 >= 4".into(),
+                },
+                "channel 8 >= 4",
+            ),
+            (
+                FiError::BatchOutOfRange {
+                    requested: 5,
+                    batch_size: 2,
+                },
+                "batch element 5",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<FiError>();
+    }
+}

@@ -1,0 +1,209 @@
+//! Coarser-granularity vulnerability analysis — the paper's suggested study
+//! (1) in §IV-A: "evaluating resilience of a model at coarser granularity
+//! (via layer or feature map level error injections) to gain insights into
+//! why some models are more resilient than others, and use the results for
+//! low-cost selective protection".
+//!
+//! [`feature_map_vulnerability`] runs one restricted campaign per feature
+//! map of a layer and returns the per-map SDC rates; [`selective_protection`]
+//! turns such a profile into the cheapest set of feature maps to protect
+//! (e.g. by duplication) to cover a target fraction of observed SDCs.
+
+use crate::campaign::{Campaign, CampaignConfig, FaultMode};
+use crate::location::NeuronSelect;
+use crate::perturbation::PerturbationModel;
+use rustfi_nn::Network;
+use rustfi_tensor::Tensor;
+use std::sync::Arc;
+
+/// Per-feature-map vulnerability of one layer.
+#[derive(Debug, Clone)]
+pub struct FeatureMapProfile {
+    /// The injectable-layer index profiled.
+    pub layer: usize,
+    /// `(trials, sdcs)` per feature map (channel) of the layer.
+    pub per_map: Vec<(usize, usize)>,
+}
+
+impl FeatureMapProfile {
+    /// SDC rate of one feature map (0 when it saw no trials).
+    pub fn rate(&self, channel: usize) -> f64 {
+        match self.per_map.get(channel) {
+            Some(&(t, s)) if t > 0 => s as f64 / t as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Channels ranked most-vulnerable first (by SDC count, ties by index).
+    pub fn ranked(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.per_map.len()).collect();
+        idx.sort_by_key(|&c| std::cmp::Reverse(self.per_map[c].1));
+        idx
+    }
+
+    /// Total SDCs observed across the layer.
+    pub fn total_sdcs(&self) -> usize {
+        self.per_map.iter().map(|&(_, s)| s).sum()
+    }
+}
+
+/// Measures per-feature-map vulnerability of injectable layer `layer` by
+/// running `trials_per_map` restricted injections into each channel.
+///
+/// # Panics
+///
+/// Panics if the layer index is out of range for the model (the underlying
+/// campaign validates it) or `channels` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn feature_map_vulnerability(
+    factory: &(dyn Fn() -> Network + Sync),
+    images: &Tensor,
+    labels: &[usize],
+    layer: usize,
+    channels: usize,
+    model: Arc<dyn PerturbationModel>,
+    trials_per_map: usize,
+    cfg: &CampaignConfig,
+) -> FeatureMapProfile {
+    assert!(channels > 0, "layer must have at least one feature map");
+    let mut per_map = Vec::with_capacity(channels);
+    for channel in 0..channels {
+        let campaign = Campaign::new(
+            factory,
+            images,
+            labels,
+            FaultMode::Neuron(NeuronSelect::RandomInChannel { layer, channel }),
+            Arc::clone(&model),
+        );
+        let result = campaign.run(&CampaignConfig {
+            trials: trials_per_map,
+            seed: cfg.seed ^ (channel as u64).wrapping_mul(0x9E37_79B9),
+            threads: cfg.threads,
+            int8_activations: cfg.int8_activations,
+        });
+        per_map.push((result.counts.total(), result.counts.sdc + result.counts.due));
+    }
+    FeatureMapProfile { layer, per_map }
+}
+
+/// Given a vulnerability profile, returns the smallest set of feature maps
+/// whose combined SDCs reach `coverage` (0–1] of the layer's observed total —
+/// the candidates for low-cost selective protection.
+///
+/// Returns an empty set when no SDCs were observed.
+///
+/// # Panics
+///
+/// Panics unless `0 < coverage <= 1`.
+pub fn selective_protection(profile: &FeatureMapProfile, coverage: f64) -> Vec<usize> {
+    assert!(
+        coverage > 0.0 && coverage <= 1.0,
+        "coverage {coverage} out of (0, 1]"
+    );
+    let total = profile.total_sdcs();
+    if total == 0 {
+        return Vec::new();
+    }
+    let target = (coverage * total as f64).ceil() as usize;
+    let mut covered = 0;
+    let mut protect = Vec::new();
+    for channel in profile.ranked() {
+        if covered >= target {
+            break;
+        }
+        let sdcs = profile.per_map[channel].1;
+        if sdcs == 0 {
+            break;
+        }
+        covered += sdcs;
+        protect.push(channel);
+    }
+    protect
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::StuckAt;
+    use crate::metrics::top1;
+    use rustfi_nn::{zoo, ZooConfig};
+
+    fn factory() -> Network {
+        zoo::lenet(&ZooConfig::tiny(4))
+    }
+
+    fn fixtures() -> (Tensor, Vec<usize>) {
+        let images = Tensor::from_fn(&[4, 3, 16, 16], |i| ((i as f32) * 0.011).sin());
+        let mut net = factory();
+        let labels = (0..4)
+            .map(|i| top1(net.forward(&images.select_batch(i)).data()))
+            .collect();
+        (images, labels)
+    }
+
+    #[test]
+    fn profile_covers_every_feature_map() {
+        let (images, labels) = fixtures();
+        let profile = feature_map_vulnerability(
+            &factory,
+            &images,
+            &labels,
+            0,
+            6, // lenet conv1 has 6 maps
+            Arc::new(StuckAt::new(1e9)),
+            20,
+            &CampaignConfig {
+                threads: Some(2),
+                ..CampaignConfig::default()
+            },
+        );
+        assert_eq!(profile.per_map.len(), 6);
+        assert!(profile.per_map.iter().all(|&(t, _)| t == 20));
+        // Egregious injections produce at least some corruption somewhere.
+        assert!(profile.total_sdcs() > 0);
+    }
+
+    #[test]
+    fn ranked_orders_by_sdc_count() {
+        let profile = FeatureMapProfile {
+            layer: 0,
+            per_map: vec![(10, 2), (10, 9), (10, 0), (10, 5)],
+        };
+        assert_eq!(profile.ranked(), vec![1, 3, 0, 2]);
+        assert!((profile.rate(1) - 0.9).abs() < 1e-9);
+        assert_eq!(profile.rate(99), 0.0, "missing channel has zero rate");
+    }
+
+    #[test]
+    fn selective_protection_picks_minimal_cover() {
+        let profile = FeatureMapProfile {
+            layer: 0,
+            per_map: vec![(10, 1), (10, 6), (10, 0), (10, 3)],
+        };
+        // 60% of 10 SDCs = 6 -> channel 1 alone suffices.
+        assert_eq!(selective_protection(&profile, 0.6), vec![1]);
+        // 90% of 10 = 9 -> channels 1 + 3.
+        assert_eq!(selective_protection(&profile, 0.9), vec![1, 3]);
+        // Full coverage: all channels with nonzero SDCs.
+        assert_eq!(selective_protection(&profile, 1.0), vec![1, 3, 0]);
+    }
+
+    #[test]
+    fn selective_protection_empty_when_no_sdcs() {
+        let profile = FeatureMapProfile {
+            layer: 2,
+            per_map: vec![(50, 0), (50, 0)],
+        };
+        assert!(selective_protection(&profile, 0.99).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0, 1]")]
+    fn selective_protection_rejects_zero_coverage() {
+        let profile = FeatureMapProfile {
+            layer: 0,
+            per_map: vec![(1, 1)],
+        };
+        selective_protection(&profile, 0.0);
+    }
+}

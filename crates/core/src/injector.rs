@@ -1,0 +1,614 @@
+//! The [`FaultInjector`]: wraps a network, profiles it, and instruments
+//! perturbations through forward hooks (neurons) or offline weight mutation.
+
+use crate::config::FiConfig;
+use crate::error::FiError;
+use crate::location::{BatchSelect, NeuronSelect, NeuronSite, WeightSelect, WeightSite};
+use crate::perturbation::{PerturbCtx, PerturbationModel};
+use crate::profile::ModelProfile;
+use parking_lot::Mutex;
+use rustfi_nn::{HookHandle, Network};
+use rustfi_quant::int8;
+use rustfi_tensor::{SeededRng, Tensor};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One declared neuron fault: where ([`NeuronSelect`] × [`BatchSelect`]) and
+/// what ([`PerturbationModel`]).
+#[derive(Clone)]
+pub struct NeuronFault {
+    /// Site selection.
+    pub select: NeuronSelect,
+    /// Batch semantics.
+    pub batch: BatchSelect,
+    /// The perturbation to apply.
+    pub model: Arc<dyn PerturbationModel>,
+}
+
+impl std::fmt::Debug for NeuronFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NeuronFault")
+            .field("select", &self.select)
+            .field("batch", &self.batch)
+            .field("model", &self.model.name())
+            .finish()
+    }
+}
+
+/// One declared weight fault.
+#[derive(Clone)]
+pub struct WeightFault {
+    /// Site selection.
+    pub select: WeightSelect,
+    /// The perturbation to apply.
+    pub model: Arc<dyn PerturbationModel>,
+}
+
+impl std::fmt::Debug for WeightFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WeightFault")
+            .field("select", &self.select)
+            .field("model", &self.model.name())
+            .finish()
+    }
+}
+
+/// Runtime perturbation instrument for one network.
+///
+/// Construction runs a single dummy inference to profile the model (layer
+/// count, feature-map geometry), used for legality checks and debugging
+/// messages. Neuron faults are installed as forward hooks; weight faults
+/// mutate weight tensors offline with undo records. [`restore`] returns the
+/// network to its clean state.
+///
+/// [`restore`]: FaultInjector::restore
+pub struct FaultInjector {
+    net: Network,
+    profile: ModelProfile,
+    config: FiConfig,
+    handles: Vec<HookHandle>,
+    quant_handle: Option<HookHandle>,
+    weight_undo: Vec<(usize, usize, f32)>,
+    plan_rng: SeededRng,
+    exec_rng: Arc<Mutex<SeededRng>>,
+    applied: Arc<AtomicUsize>,
+}
+
+impl FaultInjector {
+    /// Wraps `net`, running the profiling inference described by `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FiError::NoInjectableLayers`] if the model has no conv or
+    /// linear layers.
+    pub fn new(mut net: Network, config: FiConfig) -> Result<Self, FiError> {
+        let profile = ModelProfile::discover(&mut net, config.input_dims());
+        if profile.is_empty() {
+            return Err(FiError::NoInjectableLayers);
+        }
+        let root = SeededRng::new(config.seed);
+        Ok(Self {
+            net,
+            profile,
+            config,
+            handles: Vec::new(),
+            quant_handle: None,
+            weight_undo: Vec::new(),
+            plan_rng: root.fork(1),
+            exec_rng: Arc::new(Mutex::new(root.fork(2))),
+            applied: Arc::new(AtomicUsize::new(0)),
+        })
+    }
+
+    /// The model profile from the dummy inference.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// The wrapped network.
+    pub fn net(&self) -> &Network {
+        &self.net
+    }
+
+    /// Mutable access to the wrapped network.
+    pub fn net_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Unwraps the injector, returning the network (with any still-declared
+    /// faults removed and weights restored).
+    pub fn into_inner(mut self) -> Network {
+        self.restore();
+        self.net
+    }
+
+    /// Re-seeds fault planning and perturbation randomness; used by
+    /// campaigns to give every trial an independent, reproducible stream.
+    pub fn reseed(&mut self, seed: u64) {
+        let root = SeededRng::new(seed);
+        self.plan_rng = root.fork(1);
+        *self.exec_rng.lock() = root.fork(2);
+    }
+
+    /// Number of individual value perturbations applied since construction.
+    pub fn injections_applied(&self) -> usize {
+        self.applied.load(Ordering::Relaxed)
+    }
+
+    /// Declares neuron faults, installing one forward hook per affected
+    /// layer. Returns the concrete resolved sites.
+    ///
+    /// Random selections are resolved *now* (against the profile, with the
+    /// injector's planning RNG); perturbation-value randomness happens at
+    /// hook time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FiError`] if any selection is illegal for the profiled
+    /// model; in that case no hooks are installed.
+    pub fn declare_neuron_fi(&mut self, faults: &[NeuronFault]) -> Result<Vec<NeuronSite>, FiError> {
+        // Resolve everything first so failures leave the injector unchanged.
+        let mut resolved: Vec<(NeuronSite, Arc<dyn PerturbationModel>)> = Vec::new();
+        for fault in faults {
+            for site in fault.select.resolve(&self.profile, fault.batch, &mut self.plan_rng)? {
+                resolved.push((site, Arc::clone(&fault.model)));
+            }
+        }
+        let sites: Vec<NeuronSite> = resolved.iter().map(|(s, _)| *s).collect();
+
+        // Group per layer and install one hook per layer.
+        let mut by_layer: Vec<Vec<(NeuronSite, Arc<dyn PerturbationModel>)>> =
+            (0..self.profile.len()).map(|_| Vec::new()).collect();
+        for (site, model) in resolved {
+            by_layer[site.layer].push((site, model));
+        }
+        for (layer, group) in by_layer.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let layer_id = self.profile.layers()[layer].id;
+            let exec_rng = Arc::clone(&self.exec_rng);
+            let applied = Arc::clone(&self.applied);
+            let handle = self.net.hooks().register_forward(layer_id, move |_ctx, out| {
+                // Normalize geometry: linear outputs are [n, f] ~ [n, f, 1, 1].
+                let (n, c, h, w) = match out.ndim() {
+                    4 => out.dims4(),
+                    2 => {
+                        let (n, f) = out.dims2();
+                        (n, f, 1, 1)
+                    }
+                    other => panic!("injectable output of rank {other}"),
+                };
+                let mut max_abs_cache: Option<f32> = None;
+                let mut rng = exec_rng.lock();
+                for (site, model) in &group {
+                    let batches: Vec<usize> = match site.batch {
+                        Some(b) if b < n => vec![b],
+                        Some(_) => continue, // declared for a bigger batch
+                        None => (0..n).collect(),
+                    };
+                    if site.channel >= c || site.y >= h || site.x >= w {
+                        // The live tensor is smaller than the profiled one;
+                        // skip rather than corrupt the wrong neuron.
+                        continue;
+                    }
+                    let max_abs = *max_abs_cache.get_or_insert_with(|| out.max_abs());
+                    for b in batches {
+                        let off = ((b * c + site.channel) * h + site.y) * w + site.x;
+                        let old = out.data()[off];
+                        let mut pctx = PerturbCtx {
+                            layer: site.layer,
+                            batch: b,
+                            channel: site.channel,
+                            tensor_max_abs: max_abs,
+                            rng: &mut rng,
+                        };
+                        let new = model.perturb(old, &mut pctx);
+                        out.data_mut()[off] = new;
+                        applied.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+            self.handles.push(handle);
+        }
+        Ok(sites)
+    }
+
+    /// Declares weight faults, applying them immediately (offline, before
+    /// any inference — zero runtime overhead). Returns the resolved sites.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FiError`] if any selection is illegal; in that case no
+    /// weights are modified.
+    pub fn declare_weight_fi(&mut self, faults: &[WeightFault]) -> Result<Vec<WeightSite>, FiError> {
+        let mut resolved: Vec<(WeightSite, Arc<dyn PerturbationModel>)> = Vec::new();
+        for fault in faults {
+            let site = fault.select.resolve(&self.profile, &mut self.plan_rng)?;
+            resolved.push((site, Arc::clone(&fault.model)));
+        }
+        let sites: Vec<WeightSite> = resolved.iter().map(|(s, _)| *s).collect();
+
+        for (site, model) in resolved {
+            let layer = &self.profile.layers()[site.layer];
+            let (layer_idx, layer_id, channel_guess) = (
+                site.layer,
+                layer.id,
+                if layer.weight_dims.is_empty() {
+                    0
+                } else {
+                    site.index / layer.weight_dims.iter().skip(1).product::<usize>().max(1)
+                },
+            );
+            let weights = self
+                .net
+                .layer_weight_mut(layer_id)
+                .expect("profiled injectable layer has weights");
+            let max_abs = weights.max_abs();
+            let old = weights.data()[site.index];
+            let mut rng = self.exec_rng.lock();
+            let mut pctx = PerturbCtx {
+                layer: layer_idx,
+                batch: 0,
+                channel: channel_guess,
+                tensor_max_abs: max_abs,
+                rng: &mut rng,
+            };
+            let new = model.perturb(old, &mut pctx);
+            drop(rng);
+            self.net
+                .layer_weight_mut(layer_id)
+                .expect("still present")
+                .data_mut()[site.index] = new;
+            self.weight_undo.push((site.layer, site.index, old));
+            self.applied.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(sites)
+    }
+
+    /// Removes all declared faults: unregisters this injector's hooks and
+    /// restores every perturbed weight (in reverse order).
+    ///
+    /// User hooks registered directly on the network, and the INT8
+    /// activation mode, are left untouched.
+    pub fn restore(&mut self) {
+        for handle in self.handles.drain(..) {
+            self.net.hooks().remove(handle);
+        }
+        for (layer, index, old) in self.weight_undo.drain(..).rev() {
+            let id = self.profile.layers()[layer].id;
+            self.net
+                .layer_weight_mut(id)
+                .expect("profiled layer has weights")
+                .data_mut()[index] = old;
+        }
+    }
+
+    /// Emulates INT8 neuron quantization (paper §IV-A): every injectable
+    /// layer's output is snapped to the INT8 grid (dynamic per-tensor scale)
+    /// before fault hooks run.
+    pub fn enable_int8_activations(&mut self) {
+        if self.quant_handle.is_some() {
+            return;
+        }
+        let handle = self.net.hooks().register_forward_all(|ctx, out| {
+            if ctx.kind.is_injectable() {
+                let scale = int8::tensor_scale(out);
+                out.map_inplace(|x| int8::fake_quantize(x, scale));
+            }
+        });
+        self.quant_handle = Some(handle);
+    }
+
+    /// Turns INT8 activation emulation back off.
+    pub fn disable_int8_activations(&mut self) {
+        if let Some(h) = self.quant_handle.take() {
+            self.net.hooks().remove(h);
+        }
+    }
+
+    /// Runs an inference through the (possibly perturbed) network.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.net.forward(input)
+    }
+
+    /// The configuration this injector was built with.
+    pub fn config(&self) -> &FiConfig {
+        &self.config
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("injectable_layers", &self.profile.len())
+            .field("active_hooks", &self.handles.len())
+            .field("perturbed_weights", &self.weight_undo.len())
+            .field("int8_activations", &self.quant_handle.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{BitFlipInt8, BitSelect, Custom, RandomUniform, StuckAt, Zero};
+    use rustfi_nn::{zoo, ZooConfig};
+
+    fn injector() -> FaultInjector {
+        let net = zoo::lenet(&ZooConfig::tiny(10));
+        FaultInjector::new(net, FiConfig::for_input(&[1, 3, 16, 16])).unwrap()
+    }
+
+    fn x() -> Tensor {
+        Tensor::from_fn(&[1, 3, 16, 16], |i| ((i as f32) * 0.01).sin())
+    }
+
+    #[test]
+    fn clean_forward_matches_unwrapped_network() {
+        let mut net = zoo::lenet(&ZooConfig::tiny(10));
+        let clean = net.forward(&x());
+        let mut fi = FaultInjector::new(net, FiConfig::for_input(&[1, 3, 16, 16])).unwrap();
+        assert_eq!(fi.forward(&x()), clean, "wrapping is transparent");
+    }
+
+    #[test]
+    fn exact_neuron_fault_changes_exactly_one_value() {
+        let mut fi = injector();
+        let clean = fi.forward(&x());
+        // Stuck a neuron in the last layer (logits) so we can observe it.
+        fi.declare_neuron_fi(&[NeuronFault {
+            select: NeuronSelect::Exact {
+                layer: 3,
+                channel: 4,
+                y: 0,
+                x: 0,
+            },
+            batch: BatchSelect::All,
+            model: Arc::new(StuckAt::new(77.0)),
+        }])
+        .unwrap();
+        let faulty = fi.forward(&x());
+        assert_eq!(faulty.at(&[0, 4]), 77.0);
+        let mut diffs = 0;
+        for i in 0..clean.len() {
+            if clean.data()[i] != faulty.data()[i] {
+                diffs += 1;
+            }
+        }
+        assert_eq!(diffs, 1, "only the stuck logit differs");
+        assert_eq!(fi.injections_applied(), 1);
+    }
+
+    #[test]
+    fn restore_removes_neuron_faults() {
+        let mut fi = injector();
+        let clean = fi.forward(&x());
+        fi.declare_neuron_fi(&[NeuronFault {
+            select: NeuronSelect::Random,
+            batch: BatchSelect::All,
+            model: Arc::new(StuckAt::new(1e6)),
+        }])
+        .unwrap();
+        let faulty = fi.forward(&x());
+        assert_ne!(clean, faulty);
+        fi.restore();
+        assert_eq!(fi.forward(&x()), clean);
+    }
+
+    #[test]
+    fn weight_fault_applies_offline_and_restores() {
+        let mut fi = injector();
+        let clean = fi.forward(&x());
+        let sites = fi
+            .declare_weight_fi(&[WeightFault {
+                select: WeightSelect::Exact { layer: 0, index: 0 },
+                model: Arc::new(StuckAt::new(50.0)),
+            }])
+            .unwrap();
+        assert_eq!(sites[0], WeightSite { layer: 0, index: 0 });
+        // No hooks involved for weights.
+        assert!(fi.net().hooks().is_empty());
+        let faulty = fi.forward(&x());
+        assert_ne!(clean, faulty);
+        fi.restore();
+        assert_eq!(fi.forward(&x()), clean);
+    }
+
+    #[test]
+    fn multiple_faults_one_per_layer() {
+        // The Fig. 5 pattern: one random neuron per conv layer.
+        let mut fi = injector();
+        let faults: Vec<NeuronFault> = (0..fi.profile().len())
+            .map(|layer| NeuronFault {
+                select: NeuronSelect::RandomInLayer { layer },
+                batch: BatchSelect::All,
+                model: Arc::new(StuckAt::new(1000.0)),
+            })
+            .collect();
+        let sites = fi.declare_neuron_fi(&faults).unwrap();
+        assert_eq!(sites.len(), 4);
+        fi.forward(&x());
+        assert_eq!(fi.injections_applied(), 4);
+    }
+
+    #[test]
+    fn illegal_fault_leaves_injector_unchanged() {
+        let mut fi = injector();
+        let err = fi.declare_neuron_fi(&[
+            NeuronFault {
+                select: NeuronSelect::Random,
+                batch: BatchSelect::All,
+                model: Arc::new(Zero),
+            },
+            NeuronFault {
+                select: NeuronSelect::Exact {
+                    layer: 99,
+                    channel: 0,
+                    y: 0,
+                    x: 0,
+                },
+                batch: BatchSelect::All,
+                model: Arc::new(Zero),
+            },
+        ]);
+        assert!(err.is_err());
+        assert!(fi.net().hooks().is_empty(), "no partial installation");
+    }
+
+    #[test]
+    fn batch_each_perturbs_every_element_differently() {
+        let net = zoo::lenet(&ZooConfig::tiny(10));
+        let mut fi = FaultInjector::new(net, FiConfig::for_input(&[3, 3, 16, 16])).unwrap();
+        fi.declare_neuron_fi(&[NeuronFault {
+            select: NeuronSelect::RandomInLayer { layer: 0 },
+            batch: BatchSelect::Each,
+            model: Arc::new(StuckAt::new(500.0)),
+        }])
+        .unwrap();
+        let xb = Tensor::from_fn(&[3, 3, 16, 16], |i| ((i as f32) * 0.01).sin());
+        fi.forward(&xb);
+        assert_eq!(fi.injections_applied(), 3);
+    }
+
+    #[test]
+    fn batch_element_targets_only_that_element() {
+        let net = zoo::lenet(&ZooConfig::tiny(10));
+        let mut fi = FaultInjector::new(net, FiConfig::for_input(&[2, 3, 16, 16])).unwrap();
+        let xb = Tensor::from_fn(&[2, 3, 16, 16], |i| ((i as f32) * 0.01).sin());
+        let clean = fi.forward(&xb);
+        fi.declare_neuron_fi(&[NeuronFault {
+            select: NeuronSelect::RandomInLayer { layer: 0 },
+            batch: BatchSelect::Element(1),
+            model: Arc::new(StuckAt::new(1e5)),
+        }])
+        .unwrap();
+        let faulty = fi.forward(&xb);
+        let (_, k) = clean.dims2();
+        // Element 0 is untouched; element 1 changed.
+        assert_eq!(&clean.data()[..k], &faulty.data()[..k]);
+        assert_ne!(&clean.data()[k..], &faulty.data()[k..]);
+    }
+
+    #[test]
+    fn reseed_reproduces_random_faults() {
+        let run = |seed: u64| {
+            let mut fi = injector();
+            fi.reseed(seed);
+            let sites = fi
+                .declare_neuron_fi(&[NeuronFault {
+                    select: NeuronSelect::Random,
+                    batch: BatchSelect::All,
+                    model: Arc::new(RandomUniform::default()),
+                }])
+                .unwrap();
+            (sites, fi.forward(&x()))
+        };
+        let (s1, o1) = run(42);
+        let (s2, o2) = run(42);
+        assert_eq!(s1, s2);
+        assert_eq!(o1, o2);
+        let (s3, _) = run(43);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn int8_activation_mode_quantizes_outputs() {
+        let mut fi = injector();
+        let clean = fi.forward(&x());
+        fi.enable_int8_activations();
+        let quant = fi.forward(&x());
+        assert_ne!(clean, quant, "quantization perturbs activations slightly");
+        // Predictions should almost always survive 8-bit quantization.
+        let same_top1 = clean.data()[..10]
+            .iter()
+            .cloned()
+            .fold((0usize, f32::MIN, 0usize), |(i, m, best), v| {
+                if v > m {
+                    (i + 1, v, i)
+                } else {
+                    (i + 1, m, best)
+                }
+            })
+            .2
+            == quant.data()[..10]
+                .iter()
+                .cloned()
+                .fold((0usize, f32::MIN, 0usize), |(i, m, best), v| {
+                    if v > m {
+                        (i + 1, v, i)
+                    } else {
+                        (i + 1, m, best)
+                    }
+                })
+                .2;
+        assert!(same_top1, "top-1 should survive INT8 quantization here");
+        fi.disable_int8_activations();
+        assert_eq!(fi.forward(&x()), clean);
+    }
+
+    #[test]
+    fn int8_bitflip_model_composes_with_quantized_activations() {
+        let mut fi = injector();
+        fi.enable_int8_activations();
+        fi.declare_neuron_fi(&[NeuronFault {
+            select: NeuronSelect::Random,
+            batch: BatchSelect::All,
+            model: Arc::new(BitFlipInt8::new(BitSelect::Random)),
+        }])
+        .unwrap();
+        let out = fi.forward(&x());
+        assert!(!out.has_non_finite());
+        assert_eq!(fi.injections_applied(), 1);
+    }
+
+    #[test]
+    fn custom_model_sees_context() {
+        let mut fi = injector();
+        fi.declare_neuron_fi(&[NeuronFault {
+            select: NeuronSelect::Exact {
+                layer: 1,
+                channel: 2,
+                y: 3,
+                x: 4,
+            },
+            batch: BatchSelect::All,
+            model: Arc::new(Custom::new("ctx-probe", |old, ctx| {
+                assert_eq!(ctx.layer, 1);
+                assert_eq!(ctx.channel, 2);
+                assert!(ctx.tensor_max_abs > 0.0);
+                old + 1000.0
+            })),
+        }])
+        .unwrap();
+        fi.forward(&x());
+        assert_eq!(fi.injections_applied(), 1);
+    }
+
+    #[test]
+    fn into_inner_returns_clean_network() {
+        let mut fi = injector();
+        let clean = fi.forward(&x());
+        fi.declare_weight_fi(&[WeightFault {
+            select: WeightSelect::Random,
+            model: Arc::new(StuckAt::new(9.0)),
+        }])
+        .unwrap();
+        let mut net = fi.into_inner();
+        assert!(net.hooks().is_empty());
+        assert_eq!(net.forward(&x()), clean);
+    }
+
+    #[test]
+    fn debug_shows_state() {
+        let mut fi = injector();
+        fi.declare_neuron_fi(&[NeuronFault {
+            select: NeuronSelect::Random,
+            batch: BatchSelect::All,
+            model: Arc::new(Zero),
+        }])
+        .unwrap();
+        let s = format!("{fi:?}");
+        assert!(s.contains("active_hooks: 1"), "{s}");
+    }
+}

@@ -1,0 +1,561 @@
+//! Fault-site selection: where in the network a perturbation lands.
+
+use crate::error::FiError;
+use crate::profile::ModelProfile;
+use rustfi_tensor::SeededRng;
+
+/// Which neuron(s) to perturb, before resolution against a profile.
+///
+/// Layer indices refer to the *injectable-layer* order reported by
+/// [`ModelProfile::layers`] (conv/linear layers in execution order), matching
+/// PyTorchFI's layer numbering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NeuronSelect {
+    /// An exact site: layer, feature map (channel), and coordinates.
+    Exact {
+        /// Injectable-layer index.
+        layer: usize,
+        /// Feature map (channel) index.
+        channel: usize,
+        /// Row within the feature map (0 for linear layers).
+        y: usize,
+        /// Column within the feature map (0 for linear layers).
+        x: usize,
+    },
+    /// A uniformly random neuron within one layer.
+    RandomInLayer {
+        /// Injectable-layer index.
+        layer: usize,
+    },
+    /// A uniformly random neuron within one feature map.
+    RandomInChannel {
+        /// Injectable-layer index.
+        layer: usize,
+        /// Feature map (channel) index.
+        channel: usize,
+    },
+    /// A uniformly random neuron anywhere in the network, weighted by layer
+    /// size (every neuron equally likely).
+    Random,
+    /// A contiguous spatial patch of neurons within one random feature map —
+    /// the "multiple bit flips in multiple neurons" mapping of lower-level
+    /// faults described in the paper's §III-D (e.g. a datapath burst error
+    /// corrupting adjacent outputs). The patch is clamped to the feature
+    /// map, so up to `height × width` sites resolve.
+    RandomPatch {
+        /// Injectable-layer index.
+        layer: usize,
+        /// Patch height.
+        height: usize,
+        /// Patch width.
+        width: usize,
+    },
+}
+
+/// Which batch elements a fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSelect {
+    /// The same perturbation site in every batch element.
+    All,
+    /// Only one batch element.
+    Element(usize),
+    /// An independently sampled site per batch element.
+    Each,
+}
+
+/// A fully resolved neuron fault site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NeuronSite {
+    /// Injectable-layer index.
+    pub layer: usize,
+    /// Batch element; `None` applies to every element.
+    pub batch: Option<usize>,
+    /// Feature map (channel).
+    pub channel: usize,
+    /// Row.
+    pub y: usize,
+    /// Column.
+    pub x: usize,
+}
+
+/// Which weight(s) to perturb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightSelect {
+    /// An exact flat index into one layer's weight tensor.
+    Exact {
+        /// Injectable-layer index.
+        layer: usize,
+        /// Flat (row-major) index into the weight tensor.
+        index: usize,
+    },
+    /// A uniformly random weight within one layer.
+    RandomInLayer {
+        /// Injectable-layer index.
+        layer: usize,
+    },
+    /// A uniformly random weight anywhere in the network, weighted by layer
+    /// size.
+    Random,
+}
+
+/// A fully resolved weight fault site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightSite {
+    /// Injectable-layer index.
+    pub layer: usize,
+    /// Flat index into the layer's weight tensor.
+    pub index: usize,
+}
+
+fn check_layer(profile: &ModelProfile, layer: usize) -> Result<(), FiError> {
+    if profile.is_empty() {
+        return Err(FiError::NoInjectableLayers);
+    }
+    if layer >= profile.len() {
+        return Err(FiError::LayerOutOfRange {
+            requested: layer,
+            available: profile.len(),
+        });
+    }
+    Ok(())
+}
+
+impl NeuronSelect {
+    /// Resolves the selection to concrete sites for the given batch
+    /// semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FiError`] if a layer index, coordinate, or batch element is
+    /// out of range for the profiled model.
+    pub fn resolve(
+        &self,
+        profile: &ModelProfile,
+        batch: BatchSelect,
+        rng: &mut SeededRng,
+    ) -> Result<Vec<NeuronSite>, FiError> {
+        if profile.is_empty() {
+            return Err(FiError::NoInjectableLayers);
+        }
+        let batches: Vec<Option<usize>> = match batch {
+            BatchSelect::All => vec![None],
+            BatchSelect::Element(b) => {
+                if b >= profile.batch_size() {
+                    return Err(FiError::BatchOutOfRange {
+                        requested: b,
+                        batch_size: profile.batch_size(),
+                    });
+                }
+                vec![Some(b)]
+            }
+            BatchSelect::Each => (0..profile.batch_size()).map(Some).collect(),
+        };
+        let mut sites = Vec::with_capacity(batches.len());
+        for b in batches {
+            if let NeuronSelect::RandomPatch { layer, height, width } = *self {
+                sites.extend(Self::resolve_patch(profile, layer, height, width, b, rng)?);
+            } else {
+                sites.push(self.resolve_one(profile, b, rng)?);
+            }
+        }
+        Ok(sites)
+    }
+
+    fn resolve_patch(
+        profile: &ModelProfile,
+        layer: usize,
+        height: usize,
+        width: usize,
+        batch: Option<usize>,
+        rng: &mut SeededRng,
+    ) -> Result<Vec<NeuronSite>, FiError> {
+        check_layer(profile, layer)?;
+        if height == 0 || width == 0 {
+            return Err(FiError::NeuronOutOfRange {
+                layer,
+                detail: "patch dimensions must be positive".into(),
+            });
+        }
+        let dims = profile.layers()[layer].output_dims;
+        let channel = rng.below(dims[1]);
+        let y0 = rng.below(dims[2]);
+        let x0 = rng.below(dims[3]);
+        let mut sites = Vec::new();
+        for dy in 0..height {
+            for dx in 0..width {
+                let (y, x) = (y0 + dy, x0 + dx);
+                if y < dims[2] && x < dims[3] {
+                    sites.push(NeuronSite {
+                        layer,
+                        batch,
+                        channel,
+                        y,
+                        x,
+                    });
+                }
+            }
+        }
+        Ok(sites)
+    }
+
+    fn resolve_one(
+        &self,
+        profile: &ModelProfile,
+        batch: Option<usize>,
+        rng: &mut SeededRng,
+    ) -> Result<NeuronSite, FiError> {
+        match *self {
+            NeuronSelect::Exact { layer, channel, y, x } => {
+                check_layer(profile, layer)?;
+                let dims = profile.layers()[layer].output_dims;
+                if channel >= dims[1] || y >= dims[2] || x >= dims[3] {
+                    return Err(FiError::NeuronOutOfRange {
+                        layer,
+                        detail: format!(
+                            "requested (channel={channel}, y={y}, x={x}) but layer '{}' output is \
+                             {} channels x {} x {}",
+                            profile.layers()[layer].name,
+                            dims[1],
+                            dims[2],
+                            dims[3]
+                        ),
+                    });
+                }
+                Ok(NeuronSite {
+                    layer,
+                    batch,
+                    channel,
+                    y,
+                    x,
+                })
+            }
+            NeuronSelect::RandomInLayer { layer } => {
+                check_layer(profile, layer)?;
+                let dims = profile.layers()[layer].output_dims;
+                Ok(NeuronSite {
+                    layer,
+                    batch,
+                    channel: rng.below(dims[1]),
+                    y: rng.below(dims[2]),
+                    x: rng.below(dims[3]),
+                })
+            }
+            NeuronSelect::RandomInChannel { layer, channel } => {
+                check_layer(profile, layer)?;
+                let dims = profile.layers()[layer].output_dims;
+                if channel >= dims[1] {
+                    return Err(FiError::NeuronOutOfRange {
+                        layer,
+                        detail: format!(
+                            "requested channel {channel} but layer '{}' has {} feature maps",
+                            profile.layers()[layer].name,
+                            dims[1]
+                        ),
+                    });
+                }
+                Ok(NeuronSite {
+                    layer,
+                    batch,
+                    channel,
+                    y: rng.below(dims[2]),
+                    x: rng.below(dims[3]),
+                })
+            }
+            NeuronSelect::RandomPatch { .. } => {
+                unreachable!("RandomPatch is expanded by resolve(), not resolve_one()")
+            }
+            NeuronSelect::Random => {
+                // Neuron-uniform: pick a flat index over all neurons.
+                let total = profile.total_neurons_per_image();
+                let mut pick = rng.below(total);
+                for (layer, lp) in profile.layers().iter().enumerate() {
+                    let n = lp.neurons_per_image();
+                    if pick < n {
+                        let dims = lp.output_dims;
+                        let hw = dims[2] * dims[3];
+                        return Ok(NeuronSite {
+                            layer,
+                            batch,
+                            channel: pick / hw,
+                            y: (pick % hw) / dims[3],
+                            x: pick % dims[3],
+                        });
+                    }
+                    pick -= n;
+                }
+                unreachable!("pick < total neurons")
+            }
+        }
+    }
+}
+
+impl WeightSelect {
+    /// Resolves the selection to a concrete weight site.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FiError`] if a layer index or weight index is out of range.
+    pub fn resolve(&self, profile: &ModelProfile, rng: &mut SeededRng) -> Result<WeightSite, FiError> {
+        if profile.is_empty() {
+            return Err(FiError::NoInjectableLayers);
+        }
+        match *self {
+            WeightSelect::Exact { layer, index } => {
+                check_layer(profile, layer)?;
+                let count = profile.layers()[layer].weight_count();
+                if index >= count {
+                    return Err(FiError::WeightOutOfRange {
+                        layer,
+                        detail: format!(
+                            "flat index {index} out of range for weight tensor {:?} ({count} elements)",
+                            profile.layers()[layer].weight_dims
+                        ),
+                    });
+                }
+                Ok(WeightSite { layer, index })
+            }
+            WeightSelect::RandomInLayer { layer } => {
+                check_layer(profile, layer)?;
+                let count = profile.layers()[layer].weight_count();
+                Ok(WeightSite {
+                    layer,
+                    index: rng.below(count),
+                })
+            }
+            WeightSelect::Random => {
+                let total = profile.total_weights();
+                let mut pick = rng.below(total);
+                for (layer, lp) in profile.layers().iter().enumerate() {
+                    let n = lp.weight_count();
+                    if pick < n {
+                        return Ok(WeightSite { layer, index: pick });
+                    }
+                    pick -= n;
+                }
+                unreachable!("pick < total weights")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ModelProfile;
+    use rustfi_nn::{zoo, ZooConfig};
+
+    fn profile() -> ModelProfile {
+        let mut net = zoo::lenet(&ZooConfig::tiny(10));
+        ModelProfile::discover(&mut net, [2, 3, 16, 16])
+    }
+
+    #[test]
+    fn exact_in_range_resolves() {
+        let p = profile();
+        let mut rng = SeededRng::new(1);
+        let sites = NeuronSelect::Exact {
+            layer: 0,
+            channel: 5,
+            y: 15,
+            x: 0,
+        }
+        .resolve(&p, BatchSelect::All, &mut rng)
+        .unwrap();
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].batch, None);
+        assert_eq!(sites[0].channel, 5);
+    }
+
+    #[test]
+    fn exact_out_of_range_reports_geometry() {
+        let p = profile();
+        let mut rng = SeededRng::new(1);
+        let err = NeuronSelect::Exact {
+            layer: 0,
+            channel: 6,
+            y: 0,
+            x: 0,
+        }
+        .resolve(&p, BatchSelect::All, &mut rng)
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("6 channels"), "{msg}");
+    }
+
+    #[test]
+    fn layer_out_of_range() {
+        let p = profile();
+        let mut rng = SeededRng::new(1);
+        let err = NeuronSelect::RandomInLayer { layer: 99 }
+            .resolve(&p, BatchSelect::All, &mut rng)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FiError::LayerOutOfRange {
+                requested: 99,
+                available: 4
+            }
+        );
+    }
+
+    #[test]
+    fn random_sites_are_always_legal() {
+        let p = profile();
+        let mut rng = SeededRng::new(2);
+        for _ in 0..500 {
+            let site = NeuronSelect::Random
+                .resolve(&p, BatchSelect::All, &mut rng)
+                .unwrap()[0];
+            let dims = p.layers()[site.layer].output_dims;
+            assert!(site.channel < dims[1] && site.y < dims[2] && site.x < dims[3]);
+        }
+    }
+
+    #[test]
+    fn random_is_neuron_uniform_across_layers() {
+        // Layer 0 has 6*256=1536 neurons of 2346 total; expect ~65% of picks.
+        let p = profile();
+        let mut rng = SeededRng::new(3);
+        let n = 4000;
+        let mut in_layer0 = 0;
+        for _ in 0..n {
+            let site = NeuronSelect::Random
+                .resolve(&p, BatchSelect::All, &mut rng)
+                .unwrap()[0];
+            if site.layer == 0 {
+                in_layer0 += 1;
+            }
+        }
+        let frac = in_layer0 as f32 / n as f32;
+        let expect = 1536.0 / 2346.0;
+        assert!((frac - expect).abs() < 0.04, "got {frac}, expected ~{expect}");
+    }
+
+    #[test]
+    fn batch_each_gives_independent_sites() {
+        let p = profile();
+        let mut rng = SeededRng::new(4);
+        let sites = NeuronSelect::RandomInLayer { layer: 0 }
+            .resolve(&p, BatchSelect::Each, &mut rng)
+            .unwrap();
+        assert_eq!(sites.len(), 2, "one site per batch element");
+        assert_eq!(sites[0].batch, Some(0));
+        assert_eq!(sites[1].batch, Some(1));
+        // Coordinates should (almost surely) differ.
+        assert!(
+            sites[0].channel != sites[1].channel
+                || sites[0].y != sites[1].y
+                || sites[0].x != sites[1].x
+        );
+    }
+
+    #[test]
+    fn batch_element_out_of_range() {
+        let p = profile();
+        let mut rng = SeededRng::new(5);
+        let err = NeuronSelect::Random
+            .resolve(&p, BatchSelect::Element(7), &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, FiError::BatchOutOfRange { requested: 7, .. }));
+    }
+
+    #[test]
+    fn random_in_channel_fixes_channel() {
+        let p = profile();
+        let mut rng = SeededRng::new(6);
+        for _ in 0..50 {
+            let site = NeuronSelect::RandomInChannel { layer: 1, channel: 3 }
+                .resolve(&p, BatchSelect::All, &mut rng)
+                .unwrap()[0];
+            assert_eq!(site.layer, 1);
+            assert_eq!(site.channel, 3);
+        }
+    }
+
+    #[test]
+    fn random_patch_resolves_contiguous_sites() {
+        let p = profile();
+        let mut rng = SeededRng::new(21);
+        for _ in 0..50 {
+            let sites = NeuronSelect::RandomPatch {
+                layer: 1,
+                height: 2,
+                width: 3,
+            }
+            .resolve(&p, BatchSelect::All, &mut rng)
+            .unwrap();
+            assert!(!sites.is_empty() && sites.len() <= 6);
+            let dims = p.layers()[1].output_dims;
+            let (c0, y0, x0) = (sites[0].channel, sites[0].y, sites[0].x);
+            for s in &sites {
+                assert_eq!(s.channel, c0, "patch stays in one feature map");
+                assert!(s.y < dims[2] && s.x < dims[3], "patch clamped to fmap");
+                assert!(s.y >= y0 && s.y < y0 + 2 && s.x >= x0 && s.x < x0 + 3);
+            }
+        }
+    }
+
+    #[test]
+    fn random_patch_on_linear_layer_degenerates_to_one_site() {
+        // Linear outputs are [n, f, 1, 1]: the patch clamps to one neuron.
+        let p = profile();
+        let mut rng = SeededRng::new(22);
+        let sites = NeuronSelect::RandomPatch {
+            layer: 3,
+            height: 4,
+            width: 4,
+        }
+        .resolve(&p, BatchSelect::All, &mut rng)
+        .unwrap();
+        assert_eq!(sites.len(), 1);
+    }
+
+    #[test]
+    fn random_patch_rejects_zero_size() {
+        let p = profile();
+        let mut rng = SeededRng::new(23);
+        let err = NeuronSelect::RandomPatch {
+            layer: 0,
+            height: 0,
+            width: 2,
+        }
+        .resolve(&p, BatchSelect::All, &mut rng)
+        .unwrap_err();
+        assert!(matches!(err, FiError::NeuronOutOfRange { .. }));
+    }
+
+    #[test]
+    fn weight_selects_resolve_and_validate() {
+        let p = profile();
+        let mut rng = SeededRng::new(7);
+        let w = WeightSelect::RandomInLayer { layer: 0 }
+            .resolve(&p, &mut rng)
+            .unwrap();
+        assert!(w.index < p.layers()[0].weight_count());
+
+        let err = WeightSelect::Exact {
+            layer: 0,
+            index: 999_999,
+        }
+        .resolve(&p, &mut rng)
+        .unwrap_err();
+        assert!(matches!(err, FiError::WeightOutOfRange { .. }));
+
+        for _ in 0..100 {
+            let w = WeightSelect::Random.resolve(&p, &mut rng).unwrap();
+            assert!(w.index < p.layers()[w.layer].weight_count());
+        }
+    }
+
+    #[test]
+    fn resolution_is_deterministic_per_seed() {
+        let p = profile();
+        let a = NeuronSelect::Random
+            .resolve(&p, BatchSelect::All, &mut SeededRng::new(9))
+            .unwrap();
+        let b = NeuronSelect::Random
+            .resolve(&p, BatchSelect::All, &mut SeededRng::new(9))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,215 @@
+//! Model profiling: the dummy inference that discovers layer geometry.
+
+use rustfi_nn::{LayerId, LayerKind, Network};
+use rustfi_tensor::Tensor;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Geometry of one injectable layer discovered during profiling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerProfile {
+    /// The layer's network id.
+    pub id: LayerId,
+    /// The layer's name.
+    pub name: String,
+    /// The layer's kind (conv or linear).
+    pub kind: LayerKind,
+    /// Output shape normalized to `[n, c, h, w]` (linear outputs become
+    /// `[n, f, 1, 1]`).
+    pub output_dims: [usize; 4],
+    /// Weight tensor shape.
+    pub weight_dims: Vec<usize>,
+}
+
+impl LayerProfile {
+    /// Neurons per batch element in this layer's output.
+    pub fn neurons_per_image(&self) -> usize {
+        self.output_dims[1] * self.output_dims[2] * self.output_dims[3]
+    }
+
+    /// Number of weight scalars.
+    pub fn weight_count(&self) -> usize {
+        self.weight_dims.iter().product()
+    }
+}
+
+/// Everything the injector learned about a model from its profiling pass:
+/// the injectable (conv/linear) layers in execution order with their output
+/// geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelProfile {
+    layers: Vec<LayerProfile>,
+    batch_size: usize,
+    input_dims: [usize; 4],
+}
+
+impl ModelProfile {
+    /// Runs the dummy profiling inference.
+    ///
+    /// Registers a hook on every layer, pushes a zero tensor of the
+    /// configured input shape through the network, and records each
+    /// injectable layer's output shape in execution order.
+    pub fn discover(net: &mut Network, input_dims: [usize; 4]) -> Self {
+        type ShapeLog = Arc<Mutex<Vec<(LayerId, Vec<usize>)>>>;
+        let records: ShapeLog = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&records);
+        let handle = net.hooks().register_forward_all(move |ctx, out| {
+            if ctx.kind.is_injectable() {
+                sink.lock().push((ctx.id, out.dims().to_vec()));
+            }
+        });
+        let dummy = Tensor::zeros(&input_dims);
+        let was_training = net.is_training();
+        net.set_training(false);
+        net.forward(&dummy);
+        net.set_training(was_training);
+        net.hooks().remove(handle);
+
+        let records = records.lock().clone();
+        let infos: Vec<_> = net.layer_infos().to_vec();
+        let mut layers = Vec::with_capacity(records.len());
+        for (id, dims) in records {
+            let info = infos
+                .iter()
+                .find(|l| l.id == id)
+                .expect("hooked layer exists in the network");
+            let output_dims = match dims.len() {
+                4 => [dims[0], dims[1], dims[2], dims[3]],
+                2 => [dims[0], dims[1], 1, 1],
+                _ => panic!("unsupported injectable output rank {}", dims.len()),
+            };
+            layers.push(LayerProfile {
+                id,
+                name: info.name.clone(),
+                kind: info.kind,
+                output_dims,
+                weight_dims: info.weight_dims.clone().unwrap_or_default(),
+            });
+        }
+        Self {
+            layers,
+            batch_size: input_dims[0],
+            input_dims,
+        }
+    }
+
+    /// The injectable layers, in execution order.
+    pub fn layers(&self) -> &[LayerProfile] {
+        &self.layers
+    }
+
+    /// Number of injectable layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model exposed no injectable layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The profiled batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// The profiled input shape.
+    pub fn input_dims(&self) -> [usize; 4] {
+        self.input_dims
+    }
+
+    /// Total neurons per image across all injectable layers.
+    pub fn total_neurons_per_image(&self) -> usize {
+        self.layers.iter().map(LayerProfile::neurons_per_image).sum()
+    }
+
+    /// Total weight scalars across all injectable layers.
+    pub fn total_weights(&self) -> usize {
+        self.layers.iter().map(LayerProfile::weight_count).sum()
+    }
+}
+
+impl fmt::Display for ModelProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ModelProfile: {} injectable layers, input {:?}",
+            self.layers.len(),
+            self.input_dims
+        )?;
+        for (i, l) in self.layers.iter().enumerate() {
+            writeln!(
+                f,
+                "  [{i}] {} ({}) out {:?} weights {:?}",
+                l.name, l.kind, l.output_dims, l.weight_dims
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rustfi_nn::{zoo, ZooConfig};
+
+    #[test]
+    fn profile_finds_lenet_layers() {
+        let mut net = zoo::lenet(&ZooConfig::tiny(10));
+        let p = ModelProfile::discover(&mut net, [1, 3, 16, 16]);
+        // lenet: conv, conv, fc, fc.
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.layers()[0].kind, LayerKind::Conv2d);
+        assert_eq!(p.layers()[0].output_dims, [1, 6, 16, 16]);
+        assert_eq!(p.layers()[1].output_dims, [1, 12, 8, 8]);
+        assert_eq!(p.layers()[3].kind, LayerKind::Linear);
+        assert_eq!(p.layers()[3].output_dims, [1, 10, 1, 1]);
+    }
+
+    #[test]
+    fn profile_respects_batch_size() {
+        let mut net = zoo::lenet(&ZooConfig::tiny(10));
+        let p = ModelProfile::discover(&mut net, [4, 3, 16, 16]);
+        assert_eq!(p.batch_size(), 4);
+        assert_eq!(p.layers()[0].output_dims[0], 4);
+    }
+
+    #[test]
+    fn profile_counts_neurons_and_weights() {
+        let mut net = zoo::lenet(&ZooConfig::tiny(10));
+        let p = ModelProfile::discover(&mut net, [1, 3, 16, 16]);
+        // conv1: 6*16*16, conv2: 12*8*8, fc1: 32, fc2: 10.
+        assert_eq!(p.total_neurons_per_image(), 6 * 256 + 12 * 64 + 32 + 10);
+        assert!(p.total_weights() > 0);
+    }
+
+    #[test]
+    fn profiling_removes_its_hook() {
+        let mut net = zoo::lenet(&ZooConfig::tiny(10));
+        let _ = ModelProfile::discover(&mut net, [1, 3, 16, 16]);
+        assert!(net.hooks().is_empty(), "profiling must clean up after itself");
+    }
+
+    #[test]
+    fn layers_are_in_execution_order() {
+        let mut net = zoo::resnet18(&ZooConfig::tiny(10));
+        let p = ModelProfile::discover(&mut net, [1, 3, 16, 16]);
+        // Spatial size never grows along the execution order of a resnet.
+        let mut last_hw = usize::MAX;
+        for l in p.layers() {
+            let hw = l.output_dims[2] * l.output_dims[3];
+            assert!(hw <= last_hw || hw == 1, "execution order violated");
+            last_hw = hw.max(1);
+        }
+    }
+
+    #[test]
+    fn display_lists_layers() {
+        let mut net = zoo::lenet(&ZooConfig::tiny(10));
+        let p = ModelProfile::discover(&mut net, [1, 3, 16, 16]);
+        let s = p.to_string();
+        assert!(s.contains("4 injectable layers"));
+        assert!(s.contains("conv"));
+    }
+}

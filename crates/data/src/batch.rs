@@ -1,0 +1,224 @@
+//! Mini-batch iteration and light augmentation over image datasets.
+//!
+//! The training loop in `rustfi-nn` batches internally; this module exposes
+//! the same machinery as a reusable iterator for custom loops (the IBP and
+//! detector trainers, user code), plus the two cheap augmentations that make
+//! sense for synthetic prototype data: horizontal flips and integer shifts.
+
+use rustfi_tensor::{SeededRng, Tensor};
+
+/// Iterator over shuffled mini-batches of `(images, labels)`.
+///
+/// Each epoch's order is derived from `(seed, epoch)`, so resuming with the
+/// same parameters reproduces the same batches.
+#[derive(Debug)]
+pub struct BatchIter<'a> {
+    images: &'a Tensor,
+    labels: &'a [usize],
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Creates a shuffled batch iterator for one epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree, the set is empty, or `batch_size == 0`.
+    pub fn new(
+        images: &'a Tensor,
+        labels: &'a [usize],
+        batch_size: usize,
+        seed: u64,
+        epoch: usize,
+    ) -> Self {
+        let n = images.dims()[0];
+        assert_eq!(n, labels.len(), "{n} images but {} labels", labels.len());
+        assert!(n > 0, "empty dataset");
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..n).collect();
+        SeededRng::new(seed).fork(epoch as u64).shuffle(&mut order);
+        Self {
+            images,
+            labels,
+            order,
+            batch_size,
+            cursor: 0,
+        }
+    }
+
+    /// Number of batches this epoch will yield.
+    pub fn len(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+
+    /// Whether the epoch is exhausted before it starts (never true for a
+    /// validly constructed iterator).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let hi = (self.cursor + self.batch_size).min(self.order.len());
+        let idx = &self.order[self.cursor..hi];
+        self.cursor = hi;
+        let imgs: Vec<Tensor> = idx.iter().map(|&i| self.images.select_batch(i)).collect();
+        let labels: Vec<usize> = idx.iter().map(|&i| self.labels[i]).collect();
+        Some((Tensor::stack_batch(&imgs), labels))
+    }
+}
+
+/// Horizontally mirrors every image of an `NCHW` tensor.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 4.
+pub fn flip_horizontal(images: &Tensor) -> Tensor {
+    let (n, c, h, w) = images.dims4();
+    let mut out = Tensor::zeros(images.dims());
+    for bn in 0..n {
+        for ch in 0..c {
+            let src = images.fmap(bn, ch).to_vec();
+            let dst = out.fmap_mut(bn, ch);
+            for y in 0..h {
+                for x in 0..w {
+                    dst[y * w + x] = src[y * w + (w - 1 - x)];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Shifts every image by `(dy, dx)` pixels, filling vacated pixels with 0.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 4.
+pub fn shift(images: &Tensor, dy: isize, dx: isize) -> Tensor {
+    let (n, c, h, w) = images.dims4();
+    let mut out = Tensor::zeros(images.dims());
+    for bn in 0..n {
+        for ch in 0..c {
+            let src = images.fmap(bn, ch).to_vec();
+            let dst = out.fmap_mut(bn, ch);
+            for y in 0..h {
+                let sy = y as isize - dy;
+                if sy < 0 || sy >= h as isize {
+                    continue;
+                }
+                for x in 0..w {
+                    let sx = x as isize - dx;
+                    if sx < 0 || sx >= w as isize {
+                        continue;
+                    }
+                    dst[y * w + x] = src[sy as usize * w + sx as usize];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Randomly augments a batch: each image independently flips with
+/// probability 1/2 and shifts by up to ±`max_shift` in both axes.
+pub fn augment(images: &Tensor, max_shift: usize, rng: &mut SeededRng) -> Tensor {
+    let n = images.dims()[0];
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut img = images.select_batch(i);
+        if rng.chance(0.5) {
+            img = flip_horizontal(&img);
+        }
+        if max_shift > 0 {
+            let span = 2 * max_shift + 1;
+            let dy = rng.below(span) as isize - max_shift as isize;
+            let dx = rng.below(span) as isize - max_shift as isize;
+            img = shift(&img, dy, dx);
+        }
+        out.push(img);
+    }
+    Tensor::stack_batch(&out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize) -> (Tensor, Vec<usize>) {
+        (
+            Tensor::from_fn(&[n, 1, 4, 4], |i| i as f32),
+            (0..n).map(|i| i % 3).collect(),
+        )
+    }
+
+    #[test]
+    fn batches_cover_every_sample_exactly_once() {
+        let (images, labels) = dataset(10);
+        let iter = BatchIter::new(&images, &labels, 3, 1, 0);
+        assert_eq!(iter.len(), 4);
+        let mut seen = Vec::new();
+        for (batch, y) in iter {
+            assert_eq!(batch.dims()[0], y.len());
+            for b in 0..y.len() {
+                // First pixel identifies the source image (from_fn layout).
+                seen.push((batch.at(&[b, 0, 0, 0]) / 16.0) as usize);
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn epochs_shuffle_differently_but_reproducibly() {
+        let (images, labels) = dataset(8);
+        let first = |epoch| {
+            BatchIter::new(&images, &labels, 8, 7, epoch)
+                .next()
+                .unwrap()
+                .1
+        };
+        assert_eq!(first(0), first(0), "same epoch reproduces");
+        assert_ne!(first(0), first(1), "epochs differ");
+    }
+
+    #[test]
+    fn flip_is_involutive_and_mirrors() {
+        let img = Tensor::from_fn(&[1, 1, 2, 3], |i| i as f32);
+        let flipped = flip_horizontal(&img);
+        assert_eq!(flipped.at(&[0, 0, 0, 0]), img.at(&[0, 0, 0, 2]));
+        assert_eq!(flip_horizontal(&flipped), img);
+    }
+
+    #[test]
+    fn shift_moves_and_zero_fills() {
+        let img = Tensor::from_fn(&[1, 1, 3, 3], |i| 1.0 + i as f32);
+        let moved = shift(&img, 1, 1);
+        assert_eq!(moved.at(&[0, 0, 1, 1]), img.at(&[0, 0, 0, 0]));
+        assert_eq!(moved.at(&[0, 0, 0, 0]), 0.0, "vacated pixels are zero");
+        // Shifting out of frame entirely yields zeros.
+        let gone = shift(&img, 5, 0);
+        assert_eq!(gone.sum(), 0.0);
+    }
+
+    #[test]
+    fn augment_preserves_shape_and_determinism() {
+        let (images, _) = dataset(6);
+        let mut a = SeededRng::new(3);
+        let mut b = SeededRng::new(3);
+        let out_a = augment(&images, 1, &mut a);
+        let out_b = augment(&images, 1, &mut b);
+        assert_eq!(out_a.dims(), images.dims());
+        assert_eq!(out_a, out_b);
+        let mut c = SeededRng::new(4);
+        assert_ne!(augment(&images, 1, &mut c), out_a);
+    }
+}

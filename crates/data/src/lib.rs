@@ -1,0 +1,36 @@
+//! # rustfi-data
+//!
+//! Deterministic synthetic datasets standing in for CIFAR-10, CIFAR-100,
+//! ImageNet, and COCO in the RustFI reproduction of *PyTorchFI* (DSN 2020).
+//!
+//! Fault-injection studies need (a) models that classify well above chance —
+//! so that "Top-1 misclassification caused by a perturbation" is a
+//! meaningful event — and (b) a held-out set of inputs the clean model gets
+//! right. They do *not* need natural images. Each classification dataset
+//! here is a seeded Gaussian-mixture over smooth per-class prototype images
+//! ([`synth`]); detection scenes are procedurally composed geometric objects
+//! with exact ground-truth boxes ([`detection`]).
+//!
+//! Everything is generated from a `u64` seed: the same seed yields the same
+//! bytes on every machine, so experiments are reproducible without data
+//! downloads.
+//!
+//! # Example
+//!
+//! ```
+//! use rustfi_data::classification::SynthSpec;
+//!
+//! let data = SynthSpec::cifar10_like().with_budget(8, 4).generate();
+//! assert_eq!(data.num_classes, 10);
+//! assert_eq!(data.train_images.dims()[0], 80);
+//! assert_eq!(data.test_labels.len(), 40);
+//! ```
+
+pub mod batch;
+pub mod classification;
+pub mod detection;
+pub mod synth;
+
+pub use batch::BatchIter;
+pub use classification::{ClassificationDataset, SynthSpec};
+pub use detection::{DetectionSpec, GroundTruth, Scene};

@@ -1,0 +1,150 @@
+//! Decoding the detector's raw grid output into detections.
+
+use rustfi_tensor::Tensor;
+
+/// A decoded detection in normalized image coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Predicted class.
+    pub class: usize,
+    /// Detection score: objectness × class probability.
+    pub score: f32,
+    /// Box center x in `[0, 1]`.
+    pub cx: f32,
+    /// Box center y in `[0, 1]`.
+    pub cy: f32,
+    /// Box width in `[0, 1]`.
+    pub w: f32,
+    /// Box height in `[0, 1]`.
+    pub h: f32,
+}
+
+/// Numerically safe logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Decodes one batch element of a raw head output `[n, 5 + classes, s, s]`
+/// into per-cell detections (before thresholding/NMS).
+///
+/// Channel layout per cell: `[tx, ty, tw, th, obj, class scores...]`.
+/// `tx, ty` are sigmoid offsets within the cell; `tw, th` are sigmoid
+/// fractions of the whole image; `obj` is sigmoid objectness; class scores
+/// pass through a softmax.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 4, `batch` is out of range, or the
+/// channel count is less than 6.
+pub fn decode_grid(raw: &Tensor, batch: usize, num_classes: usize) -> Vec<Detection> {
+    let (n, ch, s, s2) = raw.dims4();
+    assert!(batch < n, "batch {batch} out of range");
+    assert_eq!(s, s2, "grid must be square");
+    assert_eq!(ch, 5 + num_classes, "expected {} channels, got {ch}", 5 + num_classes);
+    let mut out = Vec::with_capacity(s * s);
+    for gy in 0..s {
+        for gx in 0..s {
+            let read = |c: usize| raw.at(&[batch, c, gy, gx]);
+            let tx = sigmoid(read(0));
+            let ty = sigmoid(read(1));
+            let w = sigmoid(read(2));
+            let h = sigmoid(read(3));
+            let obj = sigmoid(read(4));
+            // Softmax over class logits.
+            let mut logits = Vec::with_capacity(num_classes);
+            for c in 0..num_classes {
+                logits.push(read(5 + c));
+            }
+            let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = logits.iter().map(|&v| (v - m).exp()).collect();
+            let denom: f32 = exps.iter().sum();
+            let (class, best) = exps
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("at least one class");
+            let class_prob = best / denom;
+
+            out.push(Detection {
+                class,
+                score: obj * class_prob,
+                cx: (gx as f32 + tx) / s as f32,
+                cy: (gy as f32 + ty) / s as f32,
+                w,
+                h,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_basics() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(20.0) > 0.999);
+        assert!(sigmoid(-20.0) < 0.001);
+        // Stability at extremes.
+        assert!(sigmoid(1000.0).is_finite());
+        assert!(sigmoid(-1000.0).is_finite());
+    }
+
+    #[test]
+    fn decode_produces_one_candidate_per_cell() {
+        let raw = Tensor::zeros(&[1, 8, 4, 4]);
+        let dets = decode_grid(&raw, 0, 3);
+        assert_eq!(dets.len(), 16);
+        // All-zero logits: obj = 0.5, class prob = 1/3.
+        for d in &dets {
+            assert!((d.score - 0.5 / 3.0).abs() < 1e-5);
+            assert!((0.0..=1.0).contains(&d.cx) && (0.0..=1.0).contains(&d.cy));
+            assert!((d.w - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn decode_centers_land_in_their_cells() {
+        let mut raw = Tensor::zeros(&[1, 8, 4, 4]);
+        // Strong positive tx in cell (2, 3): center near the right edge of
+        // that cell.
+        raw.set(&[0, 0, 2, 3], 10.0);
+        let dets = decode_grid(&raw, 0, 3);
+        let d = dets[2 * 4 + 3];
+        assert!(d.cx > 3.9 / 4.0 && d.cx <= 1.0, "cx {}", d.cx);
+        assert!(d.cy > 2.0 / 4.0 && d.cy < 2.9 / 4.0, "cy {}", d.cy);
+    }
+
+    #[test]
+    fn decode_picks_max_class() {
+        let mut raw = Tensor::zeros(&[1, 8, 2, 2]);
+        raw.set(&[0, 5 + 2, 0, 0], 5.0);
+        let dets = decode_grid(&raw, 0, 3);
+        assert_eq!(dets[0].class, 2);
+        assert!(dets[0].score > 0.4, "confident class raises score");
+    }
+
+    #[test]
+    fn inflated_objectness_inflates_score() {
+        // The phantom-object mechanism: a huge activation in the objectness
+        // channel makes a background cell look like a confident detection.
+        let mut raw = Tensor::zeros(&[1, 8, 2, 2]);
+        raw.set(&[0, 4, 1, 1], 10_000.0);
+        let dets = decode_grid(&raw, 0, 3);
+        assert!(dets[3].score > 0.33);
+        assert!(dets[0].score < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 8 channels")]
+    fn decode_rejects_wrong_channel_count() {
+        decode_grid(&Tensor::zeros(&[1, 7, 2, 2]), 0, 3);
+    }
+}

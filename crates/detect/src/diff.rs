@@ -1,0 +1,165 @@
+//! Comparing detections against ground truth (and against a clean run) to
+//! count phantom, missed, and misclassified objects.
+
+use crate::decode::Detection;
+use crate::nms::iou;
+use rustfi_data::GroundTruth;
+
+/// Result of matching a detection list against ground truth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectionDiff {
+    /// Detections matching a ground-truth object (right class, IoU above the
+    /// threshold).
+    pub matched: usize,
+    /// Detections overlapping an object but with the wrong class.
+    pub misclassified: usize,
+    /// Detections overlapping nothing — phantom objects.
+    pub phantom: usize,
+    /// Ground-truth objects with no matching detection.
+    pub missed: usize,
+}
+
+fn as_detection(gt: &GroundTruth) -> Detection {
+    Detection {
+        class: gt.class,
+        score: 1.0,
+        cx: gt.cx,
+        cy: gt.cy,
+        w: gt.w,
+        h: gt.h,
+    }
+}
+
+/// Greedily matches detections (highest score first) to ground-truth boxes
+/// and tallies the differences.
+pub fn diff_detections(
+    detections: &[Detection],
+    ground_truth: &[GroundTruth],
+    iou_threshold: f32,
+) -> DetectionDiff {
+    let mut diff = DetectionDiff::default();
+    let mut taken = vec![false; ground_truth.len()];
+    let mut order: Vec<usize> = (0..detections.len()).collect();
+    order.sort_by(|&a, &b| {
+        detections[b]
+            .score
+            .partial_cmp(&detections[a].score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for di in order {
+        let d = &detections[di];
+        // Best unmatched ground-truth overlap.
+        let mut best: Option<(usize, f32)> = None;
+        for (gi, gt) in ground_truth.iter().enumerate() {
+            if taken[gi] {
+                continue;
+            }
+            let overlap = iou(d, &as_detection(gt));
+            if overlap >= iou_threshold && best.is_none_or(|(_, b)| overlap > b) {
+                best = Some((gi, overlap));
+            }
+        }
+        match best {
+            Some((gi, _)) => {
+                taken[gi] = true;
+                if ground_truth[gi].class == d.class {
+                    diff.matched += 1;
+                } else {
+                    diff.misclassified += 1;
+                }
+            }
+            None => diff.phantom += 1,
+        }
+    }
+    diff.missed = taken.iter().filter(|&&t| !t).count();
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt(class: usize, cx: f32, cy: f32, s: f32) -> GroundTruth {
+        GroundTruth {
+            class,
+            cx,
+            cy,
+            w: s,
+            h: s,
+        }
+    }
+
+    fn det(class: usize, score: f32, cx: f32, cy: f32, s: f32) -> Detection {
+        Detection {
+            class,
+            score,
+            cx,
+            cy,
+            w: s,
+            h: s,
+        }
+    }
+
+    #[test]
+    fn perfect_match() {
+        let gts = [gt(1, 0.5, 0.5, 0.2)];
+        let dets = [det(1, 0.9, 0.5, 0.5, 0.2)];
+        let d = diff_detections(&dets, &gts, 0.5);
+        assert_eq!(
+            d,
+            DetectionDiff {
+                matched: 1,
+                misclassified: 0,
+                phantom: 0,
+                missed: 0
+            }
+        );
+    }
+
+    #[test]
+    fn wrong_class_is_misclassified() {
+        let gts = [gt(1, 0.5, 0.5, 0.2)];
+        let dets = [det(0, 0.9, 0.5, 0.5, 0.2)];
+        let d = diff_detections(&dets, &gts, 0.5);
+        assert_eq!(d.misclassified, 1);
+        assert_eq!(d.missed, 0);
+    }
+
+    #[test]
+    fn far_detection_is_phantom() {
+        let gts = [gt(1, 0.2, 0.2, 0.2)];
+        let dets = [det(1, 0.9, 0.8, 0.8, 0.2)];
+        let d = diff_detections(&dets, &gts, 0.5);
+        assert_eq!(d.phantom, 1);
+        assert_eq!(d.missed, 1);
+    }
+
+    #[test]
+    fn unmatched_gt_is_missed() {
+        let gts = [gt(0, 0.3, 0.3, 0.2), gt(1, 0.7, 0.7, 0.2)];
+        let dets = [det(0, 0.9, 0.3, 0.3, 0.2)];
+        let d = diff_detections(&dets, &gts, 0.5);
+        assert_eq!(d.matched, 1);
+        assert_eq!(d.missed, 1);
+    }
+
+    #[test]
+    fn each_gt_matches_at_most_once() {
+        let gts = [gt(0, 0.5, 0.5, 0.2)];
+        let dets = [
+            det(0, 0.9, 0.5, 0.5, 0.2),
+            det(0, 0.8, 0.51, 0.5, 0.2), // duplicate: becomes phantom
+        ];
+        let d = diff_detections(&dets, &gts, 0.3);
+        assert_eq!(d.matched, 1);
+        assert_eq!(d.phantom, 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let d = diff_detections(&[], &[], 0.5);
+        assert_eq!(d, DetectionDiff::default());
+        let d = diff_detections(&[], &[gt(0, 0.5, 0.5, 0.2)], 0.5);
+        assert_eq!(d.missed, 1);
+    }
+}

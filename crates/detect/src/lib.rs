@@ -1,0 +1,39 @@
+//! # rustfi-detect
+//!
+//! A YOLO-style single-shot object detector built on [`rustfi_nn`], used by
+//! the RustFI reproduction of PyTorchFI's object-detection resiliency study
+//! (paper §IV-B / Fig. 5).
+//!
+//! The detector divides the image into an `S × S` grid; each cell predicts
+//! one box (center offset, size, objectness) and per-class scores, decoded
+//! with sigmoids and cleaned up with non-maximum suppression — the same
+//! decode structure that makes YOLO's outputs sensitive to large activation
+//! corruptions: an inflated objectness logit anywhere in the head manifests
+//! as a *phantom detection*.
+//!
+//! # Example
+//!
+//! ```
+//! use rustfi_detect::{YoloLite, DetectorConfig};
+//! use rustfi_data::DetectionSpec;
+//!
+//! let scenes = DetectionSpec::coco_like().generate(4);
+//! let mut det = YoloLite::new(&DetectorConfig::default());
+//! // Untrained detections are garbage but structurally valid:
+//! let dets = det.detect(&scenes[0].image, 0.5);
+//! for d in &dets {
+//!     assert!(d.cx >= 0.0 && d.cx <= 1.0);
+//! }
+//! ```
+
+pub mod decode;
+pub mod diff;
+pub mod map;
+pub mod model;
+pub mod nms;
+
+pub use decode::{decode_grid, Detection};
+pub use diff::{diff_detections, DetectionDiff};
+pub use map::{average_precision, mean_average_precision, SceneEval};
+pub use model::{DetectorConfig, TrainDetectorConfig, YoloLite};
+pub use nms::{iou, nms};

@@ -1,0 +1,218 @@
+//! Detection quality metrics: per-class average precision and mAP.
+//!
+//! The paper's Fig. 5 is qualitative; quantifying how much a fault-injection
+//! campaign degrades a detector needs a scalar quality metric. This module
+//! implements the standard interpolated average-precision computation over a
+//! set of scenes (PASCAL-style, single IoU threshold).
+
+use crate::decode::Detection;
+use crate::nms::iou;
+use rustfi_data::GroundTruth;
+
+/// One evaluated scene: its detections and its ground truth.
+#[derive(Debug, Clone)]
+pub struct SceneEval {
+    /// Detections produced for the scene (any order).
+    pub detections: Vec<Detection>,
+    /// The scene's ground-truth objects.
+    pub ground_truth: Vec<GroundTruth>,
+}
+
+fn gt_as_detection(gt: &GroundTruth) -> Detection {
+    Detection {
+        class: gt.class,
+        score: 1.0,
+        cx: gt.cx,
+        cy: gt.cy,
+        w: gt.w,
+        h: gt.h,
+    }
+}
+
+/// Average precision for one class over a set of scenes at the given IoU
+/// threshold. Returns `None` when the class has no ground-truth instances.
+pub fn average_precision(scenes: &[SceneEval], class: usize, iou_threshold: f32) -> Option<f32> {
+    let total_gt: usize = scenes
+        .iter()
+        .map(|s| s.ground_truth.iter().filter(|g| g.class == class).count())
+        .sum();
+    if total_gt == 0 {
+        return None;
+    }
+
+    // Gather all detections of this class with a scene tag, sorted by score.
+    let mut dets: Vec<(usize, &Detection)> = Vec::new();
+    for (si, scene) in scenes.iter().enumerate() {
+        for d in scene.detections.iter().filter(|d| d.class == class) {
+            dets.push((si, d));
+        }
+    }
+    dets.sort_by(|a, b| b.1.score.partial_cmp(&a.1.score).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Greedy matching per scene; each ground truth matches once.
+    let mut taken: Vec<Vec<bool>> = scenes
+        .iter()
+        .map(|s| vec![false; s.ground_truth.len()])
+        .collect();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut curve: Vec<(f32, f32)> = Vec::with_capacity(dets.len()); // (recall, precision)
+    for (si, d) in dets {
+        let scene = &scenes[si];
+        let mut best: Option<(usize, f32)> = None;
+        for (gi, gt) in scene.ground_truth.iter().enumerate() {
+            if gt.class != class || taken[si][gi] {
+                continue;
+            }
+            let overlap = iou(d, &gt_as_detection(gt));
+            if overlap >= iou_threshold && best.is_none_or(|(_, b)| overlap > b) {
+                best = Some((gi, overlap));
+            }
+        }
+        match best {
+            Some((gi, _)) => {
+                taken[si][gi] = true;
+                tp += 1;
+            }
+            None => fp += 1,
+        }
+        curve.push((tp as f32 / total_gt as f32, tp as f32 / (tp + fp) as f32));
+    }
+
+    // Interpolated AP: precision envelope integrated over recall.
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for i in 0..curve.len() {
+        let max_prec = curve[i..]
+            .iter()
+            .map(|&(_, p)| p)
+            .fold(0.0f32, f32::max);
+        let (recall, _) = curve[i];
+        ap += (recall - prev_recall) * max_prec;
+        prev_recall = recall;
+    }
+    Some(ap)
+}
+
+/// Mean average precision over all classes that appear in the ground truth.
+///
+/// Returns 0 when no ground truth exists at all.
+pub fn mean_average_precision(scenes: &[SceneEval], num_classes: usize, iou_threshold: f32) -> f32 {
+    let mut sum = 0.0;
+    let mut counted = 0;
+    for class in 0..num_classes {
+        if let Some(ap) = average_precision(scenes, class, iou_threshold) {
+            sum += ap;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        sum / counted as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt(class: usize, cx: f32, cy: f32) -> GroundTruth {
+        GroundTruth {
+            class,
+            cx,
+            cy,
+            w: 0.2,
+            h: 0.2,
+        }
+    }
+
+    fn det(class: usize, score: f32, cx: f32, cy: f32) -> Detection {
+        Detection {
+            class,
+            score,
+            cx,
+            cy,
+            w: 0.2,
+            h: 0.2,
+        }
+    }
+
+    #[test]
+    fn perfect_detections_give_ap_one() {
+        let scenes = vec![SceneEval {
+            detections: vec![det(0, 0.9, 0.3, 0.3), det(0, 0.8, 0.7, 0.7)],
+            ground_truth: vec![gt(0, 0.3, 0.3), gt(0, 0.7, 0.7)],
+        }];
+        let ap = average_precision(&scenes, 0, 0.5).unwrap();
+        assert!((ap - 1.0).abs() < 1e-6, "ap {ap}");
+    }
+
+    #[test]
+    fn missing_everything_gives_ap_zero() {
+        let scenes = vec![SceneEval {
+            detections: vec![],
+            ground_truth: vec![gt(0, 0.3, 0.3)],
+        }];
+        assert_eq!(average_precision(&scenes, 0, 0.5), Some(0.0));
+    }
+
+    #[test]
+    fn class_without_ground_truth_is_none() {
+        let scenes = vec![SceneEval {
+            detections: vec![det(1, 0.9, 0.5, 0.5)],
+            ground_truth: vec![gt(0, 0.5, 0.5)],
+        }];
+        assert_eq!(average_precision(&scenes, 1, 0.5), None);
+    }
+
+    #[test]
+    fn phantom_detections_lower_ap() {
+        let clean = vec![SceneEval {
+            detections: vec![det(0, 0.9, 0.3, 0.3)],
+            ground_truth: vec![gt(0, 0.3, 0.3)],
+        }];
+        // A higher-scoring phantom ahead of the true detection drags
+        // precision down before the recall point.
+        let noisy = vec![SceneEval {
+            detections: vec![det(0, 0.95, 0.8, 0.8), det(0, 0.9, 0.3, 0.3)],
+            ground_truth: vec![gt(0, 0.3, 0.3)],
+        }];
+        let ap_clean = average_precision(&clean, 0, 0.5).unwrap();
+        let ap_noisy = average_precision(&noisy, 0, 0.5).unwrap();
+        assert!(ap_noisy < ap_clean, "{ap_noisy} < {ap_clean}");
+    }
+
+    #[test]
+    fn duplicate_detections_count_as_false_positives() {
+        let scenes = vec![SceneEval {
+            detections: vec![det(0, 0.9, 0.3, 0.3), det(0, 0.85, 0.31, 0.3)],
+            ground_truth: vec![gt(0, 0.3, 0.3)],
+        }];
+        let ap = average_precision(&scenes, 0, 0.3).unwrap();
+        // Recall 1.0 reached with the first detection at precision 1.0.
+        assert!((ap - 1.0).abs() < 1e-6);
+        // But the duplicate does hurt if it outranks the good one.
+        let scenes = vec![SceneEval {
+            detections: vec![det(0, 0.95, 0.9, 0.9), det(0, 0.85, 0.3, 0.3)],
+            ground_truth: vec![gt(0, 0.3, 0.3)],
+        }];
+        let ap = average_precision(&scenes, 0, 0.3).unwrap();
+        assert!((ap - 0.5).abs() < 1e-6, "ap {ap}");
+    }
+
+    #[test]
+    fn map_averages_over_present_classes() {
+        let scenes = vec![SceneEval {
+            detections: vec![det(0, 0.9, 0.3, 0.3)], // class 0 perfect
+            ground_truth: vec![gt(0, 0.3, 0.3), gt(1, 0.7, 0.7)], // class 1 missed
+        }];
+        let map = mean_average_precision(&scenes, 3, 0.5);
+        assert!((map - 0.5).abs() < 1e-6, "mean of 1.0 and 0.0; class 2 absent");
+    }
+
+    #[test]
+    fn map_of_empty_world_is_zero() {
+        assert_eq!(mean_average_precision(&[], 3, 0.5), 0.0);
+    }
+}

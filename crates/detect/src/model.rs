@@ -1,0 +1,329 @@
+//! The YOLO-lite detector model and its training loop.
+
+use crate::decode::{decode_grid, sigmoid, Detection};
+use crate::nms::nms;
+use rustfi_data::Scene;
+use rustfi_nn::layer::{Conv2d, MaxPool2d, Relu, Sequential};
+use rustfi_nn::loss::weighted_sq_error;
+use rustfi_nn::module::{Module, Network};
+use rustfi_nn::optim::Sgd;
+use rustfi_tensor::{ConvSpec, SeededRng, Tensor};
+
+/// Detector architecture knobs.
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    /// Square input size (must be `grid * 2^3`).
+    pub image_hw: usize,
+    /// Input channels.
+    pub channels: usize,
+    /// Grid size `S` (the head predicts `S × S` boxes).
+    pub grid: usize,
+    /// Number of object classes.
+    pub num_classes: usize,
+    /// Width multiplier for the backbone.
+    pub width: usize,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            image_hw: 32,
+            channels: 3,
+            grid: 4,
+            num_classes: rustfi_data::detection::NUM_SHAPE_CLASSES,
+            width: 8,
+            seed: 0xDE7EC7,
+        }
+    }
+}
+
+/// Training knobs for [`YoloLite::train`].
+#[derive(Debug, Clone)]
+pub struct TrainDetectorConfig {
+    /// Number of epochs over the scene set.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum.
+    pub momentum: f32,
+    /// Loss weight for coordinate terms in responsible cells.
+    pub coord_weight: f32,
+    /// Loss weight for objectness in background cells.
+    pub noobj_weight: f32,
+}
+
+impl Default for TrainDetectorConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 80,
+            lr: 0.02,
+            momentum: 0.9,
+            coord_weight: 5.0,
+            noobj_weight: 0.3,
+        }
+    }
+}
+
+/// A YOLO-style single-shot grid detector.
+///
+/// Backbone: three conv-relu-pool stages. Head: a 1×1 convolution
+/// producing `5 + classes` channels per grid cell. See [`decode_grid`] for
+/// the output layout.
+pub struct YoloLite {
+    net: Network,
+    cfg: DetectorConfig,
+}
+
+impl YoloLite {
+    /// Builds an untrained detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image_hw != grid * 8` (three 2× poolings).
+    pub fn new(cfg: &DetectorConfig) -> Self {
+        assert_eq!(
+            cfg.image_hw,
+            cfg.grid * 8,
+            "image size {} must be 8x the grid {}",
+            cfg.image_hw,
+            cfg.grid
+        );
+        let mut rng = SeededRng::new(cfg.seed);
+        let w = cfg.width;
+        let head_ch = 5 + cfg.num_classes;
+        let mut layers: Vec<Box<dyn Module>> = Vec::new();
+        // No batch norm: the detector trains scene-by-scene (batch 1), where
+        // batch statistics are degenerate.
+        for (ci, co) in [(cfg.channels, w), (w, 2 * w), (2 * w, 2 * w)] {
+            layers.push(Box::new(Conv2d::new(
+                ci,
+                co,
+                3,
+                ConvSpec::new().padding(1),
+                &mut rng,
+            )));
+            layers.push(Box::new(Relu::new()));
+            layers.push(Box::new(MaxPool2d::new(2, 2)));
+        }
+        layers.push(Box::new(Conv2d::new(2 * w, 2 * w, 3, ConvSpec::new().padding(1), &mut rng)));
+        layers.push(Box::new(Relu::new()));
+        layers.push(Box::new(Conv2d::new(2 * w, head_ch, 1, ConvSpec::new(), &mut rng)));
+        Self {
+            net: Network::new(Box::new(Sequential::new(layers))),
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// The underlying network (for wrapping in a `FaultInjector`).
+    pub fn net(&self) -> &Network {
+        &self.net
+    }
+
+    /// Mutable access to the underlying network.
+    pub fn net_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Consumes the detector, returning the network.
+    pub fn into_net(self) -> Network {
+        self.net
+    }
+
+    /// Rebuilds a detector around a network that came from [`into_net`]
+    /// (e.g. after wrapping it in a fault injector).
+    ///
+    /// [`into_net`]: YoloLite::into_net
+    pub fn from_net(net: Network, cfg: &DetectorConfig) -> Self {
+        Self {
+            net,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// Raw head output `[1, 5 + classes, s, s]` for one image.
+    pub fn forward_raw(&mut self, image: &Tensor) -> Tensor {
+        self.net.forward(image)
+    }
+
+    /// Runs detection: forward, decode, threshold on score, NMS.
+    pub fn detect(&mut self, image: &Tensor, score_threshold: f32) -> Vec<Detection> {
+        let raw = self.forward_raw(image);
+        let cands = decode_grid(&raw, 0, self.cfg.num_classes);
+        let above: Vec<Detection> = cands
+            .into_iter()
+            .filter(|d| d.score >= score_threshold)
+            .collect();
+        nms(above, 0.4)
+    }
+
+    /// Builds the regression target and per-element loss weights for one
+    /// scene, in *decoded* (sigmoid/softmax-input) space.
+    fn target_for(&self, scene: &Scene, cfg: &TrainDetectorConfig) -> (Tensor, Tensor) {
+        let s = self.cfg.grid;
+        let ch = 5 + self.cfg.num_classes;
+        let mut target = Tensor::zeros(&[1, ch, s, s]);
+        let mut weight = Tensor::zeros(&[1, ch, s, s]);
+        // Background objectness is pushed toward 0 everywhere...
+        for gy in 0..s {
+            for gx in 0..s {
+                weight.set(&[0, 4, gy, gx], cfg.noobj_weight);
+            }
+        }
+        // ...except in responsible cells, which also regress coords & class.
+        for obj in &scene.objects {
+            let gx = ((obj.cx * s as f32) as usize).min(s - 1);
+            let gy = ((obj.cy * s as f32) as usize).min(s - 1);
+            target.set(&[0, 0, gy, gx], obj.cx * s as f32 - gx as f32);
+            target.set(&[0, 1, gy, gx], obj.cy * s as f32 - gy as f32);
+            target.set(&[0, 2, gy, gx], obj.w);
+            target.set(&[0, 3, gy, gx], obj.h);
+            target.set(&[0, 4, gy, gx], 1.0);
+            for c in 0..4 {
+                weight.set(&[0, c, gy, gx], cfg.coord_weight);
+            }
+            weight.set(&[0, 4, gy, gx], 1.0);
+            for c in 0..self.cfg.num_classes {
+                target.set(&[0, 5 + c, gy, gx], if c == obj.class { 1.0 } else { 0.0 });
+                weight.set(&[0, 5 + c, gy, gx], 1.0);
+            }
+        }
+        (target, weight)
+    }
+
+    /// Trains the detector on scenes with a YOLO-v1-style weighted
+    /// squared-error loss on sigmoid-decoded outputs. Returns per-epoch
+    /// losses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scenes` is empty.
+    pub fn train(&mut self, scenes: &[Scene], cfg: &TrainDetectorConfig) -> Vec<f32> {
+        assert!(!scenes.is_empty(), "no training scenes");
+        let mut sgd = Sgd::new(cfg.lr).momentum(cfg.momentum);
+        let mut losses = Vec::with_capacity(cfg.epochs);
+        self.net.set_training(true);
+        for _epoch in 0..cfg.epochs {
+            let mut epoch_loss = 0.0;
+            for scene in scenes {
+                self.net.zero_grad();
+                let raw = self.net.forward(&scene.image);
+                // Decode: sigmoid on coords/size/objectness channels; class
+                // logits stay raw and train against one-hot via squared
+                // error (keeps the backward simple and is sufficient here).
+                let decoded = Tensor::from_fn(raw.dims(), |i| {
+                    let (_, ch, s, _) = raw.dims4();
+                    let c = (i / (s * s)) % ch;
+                    let v = raw.data()[i];
+                    if c < 5 {
+                        sigmoid(v)
+                    } else {
+                        v
+                    }
+                });
+                let (target, weight) = self.target_for(scene, cfg);
+                let (loss, grad_decoded) = weighted_sq_error(&decoded, &target, &weight);
+                // Normalize by cell count so the step size is independent of
+                // grid geometry, and chain through the sigmoid where it was
+                // applied.
+                let norm = 1.0 / (self.cfg.grid * self.cfg.grid) as f32;
+                let grad_raw = Tensor::from_fn(raw.dims(), |i| {
+                    let (_, ch, s, _) = raw.dims4();
+                    let c = (i / (s * s)) % ch;
+                    let g = grad_decoded.data()[i] * norm;
+                    if c < 5 {
+                        let sv = decoded.data()[i];
+                        g * sv * (1.0 - sv)
+                    } else {
+                        g
+                    }
+                });
+                let loss = loss * norm;
+                self.net.backward(&grad_raw);
+                sgd.step(&mut self.net);
+                epoch_loss += loss;
+            }
+            losses.push(epoch_loss / scenes.len() as f32);
+        }
+        self.net.set_training(false);
+        losses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::diff_detections;
+    use rustfi_data::DetectionSpec;
+
+    #[test]
+    fn forward_raw_has_head_shape() {
+        let mut det = YoloLite::new(&DetectorConfig::default());
+        let raw = det.forward_raw(&Tensor::zeros(&[1, 3, 32, 32]));
+        assert_eq!(raw.dims(), &[1, 8, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 8x the grid")]
+    fn rejects_inconsistent_geometry() {
+        let cfg = DetectorConfig {
+            image_hw: 32,
+            grid: 8,
+            ..DetectorConfig::default()
+        };
+        YoloLite::new(&cfg);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let scenes = DetectionSpec::coco_like().generate(12);
+        let mut det = YoloLite::new(&DetectorConfig::default());
+        let losses = det.train(
+            &scenes,
+            &TrainDetectorConfig {
+                epochs: 10,
+                ..TrainDetectorConfig::default()
+            },
+        );
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.8),
+            "loss should drop by >20%: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn trained_detector_finds_objects() {
+        let scenes = DetectionSpec::coco_like().generate(24);
+        let mut det = YoloLite::new(&DetectorConfig::default());
+        det.train(&scenes, &TrainDetectorConfig::default());
+        // On training scenes, most objects should be matched.
+        let mut matched = 0;
+        let mut total = 0;
+        for scene in scenes.iter().take(8) {
+            let dets = det.detect(&scene.image, 0.4);
+            let diff = diff_detections(&dets, &scene.objects, 0.3);
+            matched += diff.matched;
+            total += scene.objects.len();
+        }
+        assert!(
+            matched as f32 / total as f32 > 0.6,
+            "matched {matched}/{total} objects"
+        );
+    }
+
+    #[test]
+    fn detect_applies_threshold() {
+        let mut det = YoloLite::new(&DetectorConfig::default());
+        let image = Tensor::zeros(&[1, 3, 32, 32]);
+        let all = det.detect(&image, 0.0);
+        let none = det.detect(&image, 1.1);
+        assert!(all.len() >= none.len());
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Intersection-over-union and non-maximum suppression.
+
+use crate::decode::Detection;
+
+/// Intersection-over-union of two center-format boxes.
+pub fn iou(a: &Detection, b: &Detection) -> f32 {
+    let ax0 = a.cx - a.w / 2.0;
+    let ay0 = a.cy - a.h / 2.0;
+    let ax1 = a.cx + a.w / 2.0;
+    let ay1 = a.cy + a.h / 2.0;
+    let bx0 = b.cx - b.w / 2.0;
+    let by0 = b.cy - b.h / 2.0;
+    let bx1 = b.cx + b.w / 2.0;
+    let by1 = b.cy + b.h / 2.0;
+    let ix = (ax1.min(bx1) - ax0.max(bx0)).max(0.0);
+    let iy = (ay1.min(by1) - ay0.max(by0)).max(0.0);
+    let inter = ix * iy;
+    let union = (ax1 - ax0) * (ay1 - ay0) + (bx1 - bx0) * (by1 - by0) - inter;
+    if union <= 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+/// Greedy non-maximum suppression: keeps the highest-scoring detection and
+/// drops same-class detections overlapping it by more than `iou_threshold`.
+pub fn nms(mut detections: Vec<Detection>, iou_threshold: f32) -> Vec<Detection> {
+    detections.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    let mut kept: Vec<Detection> = Vec::new();
+    for d in detections {
+        if kept
+            .iter()
+            .all(|k| k.class != d.class || iou(k, &d) <= iou_threshold)
+        {
+            kept.push(d);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(class: usize, score: f32, cx: f32, cy: f32, w: f32, h: f32) -> Detection {
+        Detection {
+            class,
+            score,
+            cx,
+            cy,
+            w,
+            h,
+        }
+    }
+
+    #[test]
+    fn iou_identical_boxes_is_one() {
+        let a = det(0, 1.0, 0.5, 0.5, 0.2, 0.2);
+        assert!((iou(&a, &a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_disjoint_boxes_is_zero() {
+        let a = det(0, 1.0, 0.2, 0.2, 0.2, 0.2);
+        let b = det(0, 1.0, 0.8, 0.8, 0.2, 0.2);
+        assert_eq!(iou(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        let a = det(0, 1.0, 0.25, 0.5, 0.5, 0.5);
+        let b = det(0, 1.0, 0.5, 0.5, 0.5, 0.5);
+        // Intersection 0.25x0.5, union 0.5*0.5*2 - 0.125 = 0.375.
+        assert!((iou(&a, &b) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn iou_is_symmetric() {
+        let a = det(0, 1.0, 0.3, 0.4, 0.3, 0.2);
+        let b = det(0, 1.0, 0.4, 0.45, 0.25, 0.3);
+        assert!((iou(&a, &b) - iou(&b, &a)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn nms_suppresses_overlapping_same_class() {
+        let dets = vec![
+            det(0, 0.9, 0.5, 0.5, 0.3, 0.3),
+            det(0, 0.8, 0.52, 0.5, 0.3, 0.3), // heavy overlap, same class
+            det(0, 0.7, 0.1, 0.1, 0.1, 0.1),  // far away
+        ];
+        let kept = nms(dets, 0.5);
+        assert_eq!(kept.len(), 2);
+        assert!((kept[0].score - 0.9).abs() < 1e-6);
+        assert!((kept[1].score - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nms_keeps_overlapping_different_classes() {
+        let dets = vec![
+            det(0, 0.9, 0.5, 0.5, 0.3, 0.3),
+            det(1, 0.8, 0.5, 0.5, 0.3, 0.3),
+        ];
+        assert_eq!(nms(dets, 0.5).len(), 2);
+    }
+
+    #[test]
+    fn nms_of_empty_is_empty() {
+        assert!(nms(Vec::new(), 0.5).is_empty());
+    }
+
+    #[test]
+    fn nms_orders_by_score() {
+        let dets = vec![
+            det(0, 0.2, 0.1, 0.1, 0.05, 0.05),
+            det(1, 0.9, 0.9, 0.9, 0.05, 0.05),
+            det(2, 0.5, 0.5, 0.5, 0.05, 0.05),
+        ];
+        let kept = nms(dets, 0.5);
+        assert!(kept[0].score >= kept[1].score && kept[1].score >= kept[2].score);
+    }
+}

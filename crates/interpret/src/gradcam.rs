@@ -1,0 +1,205 @@
+//! Grad-CAM: gradient-weighted class activation mapping.
+
+use parking_lot::Mutex;
+use rustfi_nn::{LayerId, Network};
+use rustfi_tensor::Tensor;
+use std::sync::Arc;
+
+/// Output of a Grad-CAM pass.
+#[derive(Debug, Clone)]
+pub struct CamResult {
+    /// The class-activation heatmap at the target layer's spatial
+    /// resolution, normalized to `[0, 1]` (rank 2: `[h, w]`).
+    pub heatmap: Tensor,
+    /// Per-channel importance weights (GAP of the gradient).
+    pub channel_weights: Vec<f32>,
+    /// The clean logits of the forward pass.
+    pub logits: Tensor,
+    /// Top-1 class of the forward pass.
+    pub top1: usize,
+}
+
+impl CamResult {
+    /// The heatmap resized (nearest-neighbour) to an arbitrary resolution —
+    /// typically the input image's, for superimposed rendering as in the
+    /// paper's Fig. 7 panels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target dimension is zero.
+    pub fn heatmap_at(&self, height: usize, width: usize) -> Tensor {
+        rustfi_tensor::resize_map(&self.heatmap, height, width)
+    }
+}
+
+/// Computes Grad-CAM for `class` at convolutional layer `layer`.
+///
+/// Runs one forward pass (capturing the layer's activations through a
+/// forward hook), then one backward pass from a one-hot gradient at `class`
+/// (capturing the gradient w.r.t. the layer's output through a gradient
+/// hook). Both hooks are removed before returning.
+///
+/// # Panics
+///
+/// Panics if `image` is not a batch-1 `NCHW` tensor, `class` is out of
+/// range, or `layer` does not produce a rank-4 output.
+pub fn gradcam(net: &mut Network, image: &Tensor, class: usize, layer: LayerId) -> CamResult {
+    assert_eq!(image.dims()[0], 1, "gradcam expects a single image");
+    let acts: Arc<Mutex<Option<Tensor>>> = Arc::new(Mutex::new(None));
+    let grads: Arc<Mutex<Option<Tensor>>> = Arc::new(Mutex::new(None));
+
+    let a_sink = Arc::clone(&acts);
+    let h_fwd = net
+        .hooks()
+        .register_forward(layer, move |_ctx, out| *a_sink.lock() = Some(out.clone()));
+    let g_sink = Arc::clone(&grads);
+    let h_grad = net
+        .hooks()
+        .register_grad(layer, move |_ctx, g| *g_sink.lock() = Some(g.clone()));
+
+    let was_training = net.is_training();
+    net.set_training(false);
+    let logits = net.forward(image);
+    let (_, classes) = logits.dims2();
+    assert!(class < classes, "class {class} out of range for {classes} classes");
+    let mut onehot = Tensor::zeros(logits.dims());
+    onehot.set(&[0, class], 1.0);
+    net.backward(&onehot);
+    net.set_training(was_training);
+
+    net.hooks().remove(h_fwd);
+    net.hooks().remove(h_grad);
+
+    let acts = acts.lock().take().expect("forward hook captured activations");
+    let grads = grads.lock().take().expect("gradient hook captured gradients");
+    assert_eq!(
+        acts.ndim(),
+        4,
+        "gradcam target layer must produce feature maps (rank 4), got {:?}",
+        acts.dims()
+    );
+    let (_, c, h, w) = acts.dims4();
+
+    // Channel weights: global average pool of the gradient.
+    let channel_weights: Vec<f32> = (0..c)
+        .map(|ch| grads.fmap(0, ch).iter().sum::<f32>() / (h * w) as f32)
+        .collect();
+
+    // CAM = ReLU(sum_c w_c * A_c), normalized to [0, 1].
+    let mut cam = vec![0.0f32; h * w];
+    for (ch, &wc) in channel_weights.iter().enumerate() {
+        let a = acts.fmap(0, ch);
+        for (o, &v) in cam.iter_mut().zip(a) {
+            *o += wc * v;
+        }
+    }
+    for v in &mut cam {
+        *v = v.max(0.0);
+    }
+    let max = cam.iter().copied().fold(0.0f32, f32::max);
+    if max > 0.0 {
+        for v in &mut cam {
+            *v /= max;
+        }
+    }
+
+    let top1 = {
+        let row = logits.data();
+        let mut best = 0;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        best
+    };
+
+    CamResult {
+        heatmap: Tensor::from_vec(cam, &[h, w]),
+        channel_weights,
+        logits,
+        top1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rustfi_nn::{zoo, ZooConfig};
+    use rustfi_tensor::SeededRng;
+
+    fn setup() -> (Network, Tensor) {
+        let net = zoo::lenet(&ZooConfig::tiny(10));
+        let mut rng = SeededRng::new(1);
+        let image = Tensor::rand_normal(&[1, 3, 16, 16], 0.0, 1.0, &mut rng);
+        (net, image)
+    }
+
+    #[test]
+    fn heatmap_is_normalized_and_layer_sized() {
+        let (mut net, image) = setup();
+        let conv2 = net.injectable_layers()[1];
+        let cam = gradcam(&mut net, &image, 0, conv2);
+        // lenet conv2 output is 12x8x8.
+        assert_eq!(cam.heatmap.dims(), &[8, 8]);
+        assert!(cam.heatmap.max() <= 1.0 + 1e-6);
+        assert!(cam.heatmap.min() >= 0.0);
+        assert_eq!(cam.channel_weights.len(), 12);
+    }
+
+    #[test]
+    fn heatmap_upsamples_to_input_resolution() {
+        let (mut net, image) = setup();
+        let conv2 = net.injectable_layers()[1];
+        let cam = gradcam(&mut net, &image, 0, conv2);
+        let full = cam.heatmap_at(16, 16);
+        assert_eq!(full.dims(), &[16, 16]);
+        // Nearest-neighbour preserves the value range exactly.
+        assert_eq!(full.max(), cam.heatmap.max());
+        assert_eq!(full.min(), cam.heatmap.min());
+    }
+
+    #[test]
+    fn hooks_are_cleaned_up() {
+        let (mut net, image) = setup();
+        let conv = net.injectable_layers()[0];
+        let _ = gradcam(&mut net, &image, 1, conv);
+        assert!(net.hooks().is_empty());
+    }
+
+    #[test]
+    fn gradcam_is_deterministic() {
+        let (mut net, image) = setup();
+        let conv = net.injectable_layers()[0];
+        let a = gradcam(&mut net, &image, 2, conv);
+        let b = gradcam(&mut net, &image, 2, conv);
+        assert_eq!(a.heatmap, b.heatmap);
+        assert_eq!(a.top1, b.top1);
+    }
+
+    #[test]
+    fn different_classes_give_different_heatmaps() {
+        let (mut net, image) = setup();
+        let conv = net.injectable_layers()[1];
+        let a = gradcam(&mut net, &image, 0, conv);
+        let b = gradcam(&mut net, &image, 5, conv);
+        assert_ne!(a.heatmap, b.heatmap);
+    }
+
+    #[test]
+    fn logits_match_plain_forward() {
+        let (mut net, image) = setup();
+        let clean = net.forward(&image);
+        let conv = net.injectable_layers()[0];
+        let cam = gradcam(&mut net, &image, 0, conv);
+        assert_eq!(cam.logits, clean);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_class() {
+        let (mut net, image) = setup();
+        let conv = net.injectable_layers()[0];
+        gradcam(&mut net, &image, 99, conv);
+    }
+}

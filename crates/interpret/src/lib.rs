@@ -1,0 +1,37 @@
+//! # rustfi-interpret
+//!
+//! Grad-CAM interpretability for the RustFI stack (paper §IV-E / Fig. 7).
+//!
+//! Grad-CAM visualizes which input regions drove a classification: it takes
+//! the gradient of a class score with respect to a convolutional layer's
+//! feature maps, global-average-pools the gradient into per-channel
+//! importances, and combines the (ReLU'd) weighted feature maps into a
+//! heatmap. RustFI pairs this with fault injection: the same gradients rank
+//! feature maps by *sensitivity*, and injections into the least / most
+//! sensitive map demonstrate the interpretability use case — an extreme
+//! value in an unimportant feature map leaves the heatmap and the Top-1
+//! prediction intact, while the same value in an important map skews both.
+//!
+//! # Example
+//!
+//! ```
+//! use rustfi_interpret::gradcam;
+//! use rustfi_nn::{zoo, ZooConfig};
+//! use rustfi_tensor::Tensor;
+//!
+//! let mut net = zoo::lenet(&ZooConfig::tiny(10));
+//! let conv = net.injectable_layers()[1];
+//! let image = Tensor::ones(&[1, 3, 16, 16]);
+//! let cam = gradcam::gradcam(&mut net, &image, 3, conv);
+//! assert_eq!(cam.heatmap.dims().len(), 2);
+//! ```
+
+pub mod gradcam;
+pub mod render;
+pub mod saliency;
+pub mod sensitivity;
+
+pub use gradcam::{gradcam, CamResult};
+pub use render::render_heatmap;
+pub use saliency::saliency;
+pub use sensitivity::{heatmap_divergence, rank_feature_maps};

@@ -1,0 +1,79 @@
+//! ASCII rendering of heatmaps and images (the terminal stand-in for the
+//! paper's figure panels).
+
+use rustfi_tensor::Tensor;
+
+/// Intensity ramp from dark to bright.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders a rank-2 heatmap (values in `[0, 1]`) as ASCII art, one character
+/// per cell, rows separated by newlines.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 2.
+pub fn render_heatmap(heatmap: &Tensor) -> String {
+    let (h, w) = heatmap.dims2();
+    let mut out = String::with_capacity(h * (w + 1));
+    for y in 0..h {
+        for x in 0..w {
+            let v = heatmap.at(&[y, x]).clamp(0.0, 1.0);
+            let idx = ((v * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one channel of an `NCHW` image (auto-normalized) as ASCII art.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 4 or indices are out of range.
+pub fn render_channel(image: &Tensor, batch: usize, channel: usize) -> String {
+    let (_, _, h, w) = image.dims4();
+    let fm = image.fmap(batch, channel);
+    let lo = fm.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = fm.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let range = (hi - lo).max(1e-6);
+    let normalized = Tensor::from_vec(fm.iter().map(|v| (v - lo) / range).collect(), &[h, w]);
+    render_heatmap(&normalized)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shapes_lines_correctly() {
+        let hm = Tensor::zeros(&[3, 5]);
+        let s = render_heatmap(&hm);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.len() == 5));
+    }
+
+    #[test]
+    fn extremes_map_to_ramp_ends() {
+        let hm = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]);
+        let s = render_heatmap(&hm);
+        assert!(s.starts_with(' '));
+        assert!(s.contains('@'));
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let hm = Tensor::from_vec(vec![-5.0, 42.0], &[1, 2]);
+        let s = render_heatmap(&hm);
+        assert_eq!(&s[..2], " @");
+    }
+
+    #[test]
+    fn channel_render_normalizes() {
+        let img = Tensor::from_fn(&[1, 1, 2, 2], |i| i as f32 * 100.0);
+        let s = render_channel(&img, 0, 0);
+        assert!(s.starts_with(' '), "minimum maps to dark");
+        assert!(s.trim_end().ends_with('@'), "maximum maps to bright");
+    }
+}

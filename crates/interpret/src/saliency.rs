@@ -1,0 +1,99 @@
+//! Input-gradient saliency maps (Simonyan et al., one of the
+//! interpretability baselines the paper's §IV-E builds on).
+//!
+//! Where Grad-CAM localizes importance at a convolutional layer's
+//! resolution, a saliency map asks the same question at *pixel* resolution:
+//! the magnitude of the class-score gradient with respect to each input
+//! pixel, maximized over channels.
+
+use rustfi_nn::Network;
+use rustfi_tensor::Tensor;
+
+/// Pixel-level saliency of `class` for a single image: `max_c |∂score/∂x|`,
+/// normalized to `[0, 1]`, shape `[h, w]`.
+///
+/// # Panics
+///
+/// Panics if `image` is not a batch-1 `NCHW` tensor or `class` is out of
+/// range.
+pub fn saliency(net: &mut Network, image: &Tensor, class: usize) -> Tensor {
+    assert_eq!(image.dims()[0], 1, "saliency expects a single image");
+    let was_training = net.is_training();
+    net.set_training(false);
+    let logits = net.forward(image);
+    let (_, classes) = logits.dims2();
+    assert!(class < classes, "class {class} out of range for {classes} classes");
+    let mut onehot = Tensor::zeros(logits.dims());
+    onehot.set(&[0, class], 1.0);
+    let grad_input = net.backward(&onehot);
+    net.set_training(was_training);
+
+    let (_, c, h, w) = grad_input.dims4();
+    let mut map = vec![0.0f32; h * w];
+    for ch in 0..c {
+        for (m, g) in map.iter_mut().zip(grad_input.fmap(0, ch)) {
+            *m = m.max(g.abs());
+        }
+    }
+    let max = map.iter().copied().fold(0.0f32, f32::max);
+    if max > 0.0 {
+        for v in &mut map {
+            *v /= max;
+        }
+    }
+    Tensor::from_vec(map, &[h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rustfi_nn::{zoo, ZooConfig};
+    use rustfi_tensor::SeededRng;
+
+    fn setup() -> (Network, Tensor) {
+        let net = zoo::lenet(&ZooConfig::tiny(10));
+        let mut rng = SeededRng::new(2);
+        let image = Tensor::rand_normal(&[1, 3, 16, 16], 0.0, 1.0, &mut rng);
+        (net, image)
+    }
+
+    #[test]
+    fn saliency_is_input_resolution_and_normalized() {
+        let (mut net, image) = setup();
+        let s = saliency(&mut net, &image, 0);
+        assert_eq!(s.dims(), &[16, 16]);
+        assert!(s.max() <= 1.0 + 1e-6);
+        assert!(s.min() >= 0.0);
+        assert!((s.max() - 1.0).abs() < 1e-6, "normalized to a max of 1");
+    }
+
+    #[test]
+    fn saliency_differs_between_classes() {
+        let (mut net, image) = setup();
+        let a = saliency(&mut net, &image, 0);
+        let b = saliency(&mut net, &image, 7);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn saliency_is_deterministic() {
+        let (mut net, image) = setup();
+        assert_eq!(saliency(&mut net, &image, 3), saliency(&mut net, &image, 3));
+    }
+
+    #[test]
+    fn saliency_does_not_disturb_inference() {
+        let (mut net, image) = setup();
+        let before = net.forward(&image);
+        let _ = saliency(&mut net, &image, 1);
+        assert_eq!(net.forward(&image), before);
+        assert!(!net.is_training());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn saliency_rejects_bad_class() {
+        let (mut net, image) = setup();
+        saliency(&mut net, &image, 10);
+    }
+}

@@ -1,0 +1,137 @@
+//! Feature-map sensitivity ranking and heatmap comparison.
+
+use crate::gradcam::gradcam;
+use rustfi_nn::{LayerId, Network};
+use rustfi_tensor::Tensor;
+
+/// Ranks feature maps by sensitivity — mean |gradient| per channel, exactly
+/// the "defined by the gradient values of the feature map" criterion of the
+/// paper's Fig. 7 — most sensitive first.
+///
+/// Input: the per-channel Grad-CAM weights (signed); output: channel indices
+/// with scores, sorted descending by |weight|.
+pub fn rank_feature_maps(channel_weights: &[f32]) -> Vec<(usize, f32)> {
+    let mut ranked: Vec<(usize, f32)> = channel_weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (i, w.abs()))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked
+}
+
+/// Per-channel sensitivity aggregated over *all* classes: the sum over
+/// classes of the absolute Grad-CAM channel weight.
+///
+/// Ranking by the true class's gradient alone can mislabel a feature map as
+/// "insensitive" when it strongly drives *other* classes (injecting into it
+/// then flips the prediction); aggregating over every class's gradient
+/// captures total downstream influence.
+///
+/// Runs one Grad-CAM pass per class.
+///
+/// # Panics
+///
+/// Panics if `image` is not batch-1 or `layer` is not a feature-map layer.
+pub fn aggregate_channel_weights(
+    net: &mut Network,
+    image: &Tensor,
+    layer: LayerId,
+    num_classes: usize,
+) -> Vec<f32> {
+    let mut totals: Vec<f32> = Vec::new();
+    for class in 0..num_classes {
+        let cam = gradcam(net, image, class, layer);
+        if totals.is_empty() {
+            totals = vec![0.0; cam.channel_weights.len()];
+        }
+        for (t, w) in totals.iter_mut().zip(&cam.channel_weights) {
+            *t += w.abs();
+        }
+    }
+    totals
+}
+
+/// Mean absolute difference between two normalized heatmaps of the same
+/// shape — 0 for identical maps, approaching 1 for fully displaced mass.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn heatmap_divergence(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.dims(), b.dims(), "heatmap shapes differ");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| (x - y).abs())
+        .sum::<f32>()
+        / a.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_orders_by_magnitude() {
+        let ranked = rank_feature_maps(&[0.1, -0.9, 0.5]);
+        assert_eq!(ranked[0].0, 1);
+        assert_eq!(ranked[1].0, 2);
+        assert_eq!(ranked[2].0, 0);
+        assert!((ranked[0].1 - 0.9).abs() < 1e-6, "scores are absolute values");
+    }
+
+    #[test]
+    fn ranking_is_stable_for_empty() {
+        assert!(rank_feature_maps(&[]).is_empty());
+    }
+
+    #[test]
+    fn aggregate_weights_cover_channels_and_are_nonnegative() {
+        use rustfi_nn::{zoo, LayerKind, ZooConfig};
+        let mut net = zoo::lenet(&ZooConfig::tiny(6));
+        let image = Tensor::ones(&[1, 3, 16, 16]);
+        let conv = net
+            .layer_infos()
+            .iter()
+            .find(|l| l.kind == LayerKind::Conv2d)
+            .unwrap()
+            .id;
+        let agg = aggregate_channel_weights(&mut net, &image, conv, 6);
+        assert_eq!(agg.len(), 6, "lenet conv1 has 6 feature maps");
+        assert!(agg.iter().all(|&w| w >= 0.0));
+        assert!(agg.iter().any(|&w| w > 0.0));
+        assert!(net.hooks().is_empty(), "cleans up after itself");
+    }
+
+    #[test]
+    fn divergence_zero_for_identical() {
+        let a = Tensor::from_fn(&[4, 4], |i| i as f32 / 16.0);
+        assert_eq!(heatmap_divergence(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn divergence_grows_with_difference() {
+        let a = Tensor::zeros(&[4, 4]);
+        let b = Tensor::full(&[4, 4], 0.5);
+        let c = Tensor::ones(&[4, 4]);
+        assert!(heatmap_divergence(&a, &c) > heatmap_divergence(&a, &b));
+        assert!((heatmap_divergence(&a, &c) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn divergence_is_symmetric() {
+        let a = Tensor::from_fn(&[3, 3], |i| (i as f32 * 0.7).sin().abs());
+        let b = Tensor::from_fn(&[3, 3], |i| (i as f32 * 1.3).cos().abs());
+        assert!((heatmap_divergence(&a, &b) - heatmap_divergence(&b, &a)).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes differ")]
+    fn divergence_rejects_mismatch() {
+        heatmap_divergence(&Tensor::zeros(&[2, 2]), &Tensor::zeros(&[3, 3]));
+    }
+}

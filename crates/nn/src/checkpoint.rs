@@ -1,0 +1,224 @@
+//! Binary checkpointing of network state (parameters + buffers).
+//!
+//! Format: the magic `RFIC`, a format version, the tensor count, then for
+//! each tensor its rank, shape, and little-endian `f32` data. Loading
+//! restores tensors in the same deterministic traversal order they were
+//! saved in, and validates shapes against the receiving network.
+
+use crate::module::Network;
+use rustfi_tensor::Tensor;
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"RFIC";
+const VERSION: u32 = 1;
+
+/// Error produced by checkpoint save/load.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a checkpoint or uses an unknown version.
+    BadFormat(String),
+    /// The checkpoint does not match the receiving network.
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::BadFormat(m) => write!(f, "bad checkpoint format: {m}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Serializes all persistent tensors of `net` to `path`.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on filesystem failure.
+pub fn save(net: &mut Network, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let mut tensors: Vec<Tensor> = Vec::new();
+    net.for_each_state(&mut |t| tensors.push(t.clone()));
+
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(tensors.len() as u64).to_le_bytes())?;
+    for t in &tensors {
+        w.write_all(&(t.ndim() as u32).to_le_bytes())?;
+        for &d in t.dims() {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &v in t.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Restores all persistent tensors of `net` from `path`.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::BadFormat`] if the file is not a checkpoint,
+/// and [`CheckpointError::Mismatch`] if tensor count or shapes disagree with
+/// the receiving network.
+pub fn load(net: &mut Network, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadFormat("wrong magic bytes".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(CheckpointError::BadFormat(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let count = read_u64(&mut r)? as usize;
+    let mut tensors = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rank = read_u32(&mut r)? as usize;
+        if rank > 8 {
+            return Err(CheckpointError::BadFormat(format!("absurd rank {rank}")));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u64(&mut r)? as usize);
+        }
+        let n: usize = dims.iter().product();
+        let mut data = vec![0.0f32; n];
+        for v in &mut data {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            *v = f32::from_le_bytes(b);
+        }
+        tensors.push(Tensor::from_vec(data, &dims));
+    }
+
+    // Validate against the receiving network before mutating anything.
+    let mut shapes = Vec::new();
+    net.for_each_state(&mut |t| shapes.push(t.dims().to_vec()));
+    if shapes.len() != tensors.len() {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint has {} tensors, network has {}",
+            tensors.len(),
+            shapes.len()
+        )));
+    }
+    for (i, (shape, t)) in shapes.iter().zip(&tensors).enumerate() {
+        if shape.as_slice() != t.dims() {
+            return Err(CheckpointError::Mismatch(format!(
+                "tensor {i}: checkpoint shape {:?}, network shape {:?}",
+                t.dims(),
+                shape
+            )));
+        }
+    }
+
+    let mut iter = tensors.into_iter();
+    net.for_each_state(&mut |t| {
+        *t = iter.next().expect("validated count");
+    });
+    Ok(())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{BatchNorm2d, Conv2d, Sequential};
+    use rustfi_tensor::{ConvSpec, SeededRng};
+
+    fn net(seed: u64) -> Network {
+        let mut rng = SeededRng::new(seed);
+        Network::new(Box::new(Sequential::new(vec![
+            Box::new(Conv2d::new(2, 3, 3, ConvSpec::new().padding(1), &mut rng)),
+            Box::new(BatchNorm2d::new(3)),
+        ])))
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("rustfi-ckpt-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let path = tmp("roundtrip");
+        let mut a = net(1);
+        // Touch running stats so buffers are non-default.
+        a.set_training(true);
+        a.forward(&Tensor::full(&[4, 2, 4, 4], 3.0));
+        a.set_training(false);
+        save(&mut a, &path).unwrap();
+
+        let mut b = net(2); // different init
+        let x = Tensor::ones(&[1, 2, 4, 4]);
+        assert_ne!(a.forward(&x), b.forward(&x), "different before load");
+        load(&mut b, &path).unwrap();
+        assert_eq!(a.forward(&x), b.forward(&x), "identical after load");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_wrong_architecture() {
+        let path = tmp("wrongarch");
+        let mut a = net(1);
+        save(&mut a, &path).unwrap();
+        let mut rng = SeededRng::new(9);
+        let mut other = Network::new(Box::new(Conv2d::new(2, 3, 3, ConvSpec::new(), &mut rng)));
+        let err = load(&mut other, &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"not a checkpoint at all").unwrap();
+        let mut a = net(1);
+        let err = load(&mut a, &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadFormat(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CheckpointError::Mismatch("demo".into());
+        assert!(e.to_string().contains("demo"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Activation functions.
+
+use crate::module::{leaf_boilerplate, BackwardCtx, ForwardCtx, LayerKind, LayerMeta, Module};
+use rustfi_tensor::Tensor;
+
+/// Rectified linear unit: `y = max(x, 0)`.
+///
+/// ReLU is the main *masking* mechanism for hardware errors in DNNs (negative
+/// corruptions are squashed to zero), which is why fault-injection outcome
+/// distributions depend so strongly on where in the network an error lands.
+pub struct Relu {
+    pub(crate) meta: LayerMeta,
+    /// 1.0 where the input was positive; cached for backward.
+    mask: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Self {
+            meta: LayerMeta::default(),
+            mask: None,
+        }
+    }
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for Relu {
+    leaf_boilerplate!();
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Relu
+    }
+
+    fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        self.mask = Some(input.map(|x| if x > 0.0 { 1.0 } else { 0.0 }));
+        let mut out = input.relu();
+        ctx.run_forward_hooks(&self.meta, LayerKind::Relu, &mut out);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, ctx: &mut BackwardCtx<'_>) -> Tensor {
+        ctx.run_grad_hooks(&self.meta, LayerKind::Relu, grad_out);
+        let mask = self.mask.as_ref().expect("Relu::backward called before forward");
+        grad_out.mul(mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Network;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut net = Network::new(Box::new(Relu::new()));
+        let y = net.forward(&Tensor::from_vec(vec![-2.0, 0.0, 3.0], &[3]));
+        assert_eq!(y.data(), &[0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut net = Network::new(Box::new(Relu::new()));
+        net.forward(&Tensor::from_vec(vec![-2.0, 0.0, 3.0], &[3]));
+        let g = net.backward(&Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3]));
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_masks_negative_injections() {
+        // The canonical error-masking effect: a negative corruption before a
+        // ReLU disappears entirely.
+        let mut net = Network::new(Box::new(Relu::new()));
+        let clean = net.forward(&Tensor::from_vec(vec![-1e30, 0.5], &[2]));
+        assert_eq!(clean.data(), &[0.0, 0.5]);
+    }
+}

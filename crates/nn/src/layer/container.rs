@@ -1,0 +1,539 @@
+//! Container modules that compose layers into topologies: [`Sequential`],
+//! [`Residual`] (skip connections), [`Branches`] (parallel paths concatenated
+//! along channels, as in Inception/SqueezeNet), and [`ChannelShuffle`]
+//! (ShuffleNet's group-mixing permutation).
+
+use crate::module::{
+    BackwardCtx, ForwardCtx, LayerId, LayerKind, LayerMeta, Module, Param,
+};
+use rustfi_tensor::Tensor;
+
+/// Runs children in order, feeding each output to the next child.
+pub struct Sequential {
+    pub(crate) meta: LayerMeta,
+    children: Vec<Box<dyn Module>>,
+}
+
+impl Sequential {
+    /// Creates a sequential container.
+    pub fn new(children: Vec<Box<dyn Module>>) -> Self {
+        Self {
+            meta: LayerMeta::default(),
+            children,
+        }
+    }
+
+    /// Appends a child.
+    pub fn push(&mut self, child: Box<dyn Module>) {
+        self.children.push(child);
+    }
+
+    /// Number of direct children.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Whether the container has no children.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+impl Module for Sequential {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Sequential
+    }
+
+    fn meta(&self) -> &LayerMeta {
+        &self.meta
+    }
+
+    fn meta_mut(&mut self) -> &mut LayerMeta {
+        &mut self.meta
+    }
+
+    fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        let mut x = input.clone();
+        for child in &mut self.children {
+            x = child.forward(&x, ctx);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, ctx: &mut BackwardCtx<'_>) -> Tensor {
+        let mut g = grad_out.clone();
+        for child in self.children.iter_mut().rev() {
+            g = child.backward(&g, ctx);
+        }
+        g
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&dyn Module)) {
+        f(self);
+        for child in &self.children {
+            child.visit(f);
+        }
+    }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Module)) {
+        f(self);
+        for child in &mut self.children {
+            child.visit_mut(f);
+        }
+    }
+
+    fn find_mut(&mut self, id: LayerId) -> Option<&mut dyn Module> {
+        if self.meta.id == id {
+            return Some(self);
+        }
+        self.children.iter_mut().find_map(|c| c.find_mut(id))
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(Param<'_>)) {
+        for child in &mut self.children {
+            child.for_each_param(f);
+        }
+    }
+
+    fn for_each_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for child in &mut self.children {
+            child.for_each_state(f);
+        }
+    }
+}
+
+/// `y = body(x) + shortcut(x)`; the shortcut defaults to identity.
+///
+/// This is the residual connection of ResNet-style networks. The shortcut,
+/// when present, is typically a 1×1 strided convolution matching shapes.
+pub struct Residual {
+    pub(crate) meta: LayerMeta,
+    body: Box<dyn Module>,
+    shortcut: Option<Box<dyn Module>>,
+}
+
+impl Residual {
+    /// A residual block with identity shortcut.
+    pub fn new(body: Box<dyn Module>) -> Self {
+        Self {
+            meta: LayerMeta::default(),
+            body,
+            shortcut: None,
+        }
+    }
+
+    /// A residual block with a projection shortcut.
+    pub fn with_shortcut(body: Box<dyn Module>, shortcut: Box<dyn Module>) -> Self {
+        Self {
+            meta: LayerMeta::default(),
+            body,
+            shortcut: Some(shortcut),
+        }
+    }
+}
+
+impl Module for Residual {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Residual
+    }
+
+    fn meta(&self) -> &LayerMeta {
+        &self.meta
+    }
+
+    fn meta_mut(&mut self) -> &mut LayerMeta {
+        &mut self.meta
+    }
+
+    fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        let main = self.body.forward(input, ctx);
+        let skip = match &mut self.shortcut {
+            Some(s) => s.forward(input, ctx),
+            None => input.clone(),
+        };
+        assert_eq!(
+            main.dims(),
+            skip.dims(),
+            "residual block {}: body output {:?} does not match shortcut {:?}",
+            self.meta.name,
+            main.dims(),
+            skip.dims()
+        );
+        main.add(&skip)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, ctx: &mut BackwardCtx<'_>) -> Tensor {
+        let g_body = self.body.backward(grad_out, ctx);
+        let g_skip = match &mut self.shortcut {
+            Some(s) => s.backward(grad_out, ctx),
+            None => grad_out.clone(),
+        };
+        g_body.add(&g_skip)
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&dyn Module)) {
+        f(self);
+        self.body.visit(f);
+        if let Some(s) = &self.shortcut {
+            s.visit(f);
+        }
+    }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Module)) {
+        f(self);
+        self.body.visit_mut(f);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_mut(f);
+        }
+    }
+
+    fn find_mut(&mut self, id: LayerId) -> Option<&mut dyn Module> {
+        if self.meta.id == id {
+            return Some(self);
+        }
+        if let Some(m) = self.body.find_mut(id) {
+            return Some(m);
+        }
+        self.shortcut.as_mut().and_then(|s| s.find_mut(id))
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(Param<'_>)) {
+        self.body.for_each_param(f);
+        if let Some(s) = &mut self.shortcut {
+            s.for_each_param(f);
+        }
+    }
+
+    fn for_each_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.body.for_each_state(f);
+        if let Some(s) = &mut self.shortcut {
+            s.for_each_state(f);
+        }
+    }
+}
+
+/// Runs branches on the same input and concatenates their outputs along the
+/// channel axis (Inception modules, SqueezeNet expand paths, DenseNet-style
+/// feature reuse).
+pub struct Branches {
+    pub(crate) meta: LayerMeta,
+    branches: Vec<Box<dyn Module>>,
+    /// Channel widths of each branch output, cached for backward splitting.
+    split_sizes: Vec<usize>,
+    /// When true, the input itself is prepended as branch 0's output
+    /// (DenseNet concatenation).
+    include_input: bool,
+}
+
+impl Branches {
+    /// Creates a parallel-branch container.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branches` is empty.
+    pub fn new(branches: Vec<Box<dyn Module>>) -> Self {
+        assert!(!branches.is_empty(), "Branches needs at least one branch");
+        Self {
+            meta: LayerMeta::default(),
+            branches,
+            split_sizes: Vec::new(),
+            include_input: false,
+        }
+    }
+
+    /// Creates a container that concatenates `[input, branch outputs...]` —
+    /// the DenseNet pattern `y = concat(x, f(x))`.
+    pub fn with_input_passthrough(branches: Vec<Box<dyn Module>>) -> Self {
+        let mut b = Self::new(branches);
+        b.include_input = true;
+        b
+    }
+}
+
+impl Module for Branches {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Branches
+    }
+
+    fn meta(&self) -> &LayerMeta {
+        &self.meta
+    }
+
+    fn meta_mut(&mut self) -> &mut LayerMeta {
+        &mut self.meta
+    }
+
+    fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        let mut outputs = Vec::with_capacity(self.branches.len() + 1);
+        if self.include_input {
+            outputs.push(input.clone());
+        }
+        for b in &mut self.branches {
+            outputs.push(b.forward(input, ctx));
+        }
+        self.split_sizes = outputs.iter().map(|o| o.dims4().1).collect();
+        Tensor::concat_channels(&outputs)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, ctx: &mut BackwardCtx<'_>) -> Tensor {
+        assert!(
+            !self.split_sizes.is_empty(),
+            "Branches::backward called before forward"
+        );
+        let parts = grad_out.split_channels(&self.split_sizes);
+        let mut parts = parts.into_iter();
+        let mut grad_in = if self.include_input {
+            Some(parts.next().expect("passthrough gradient"))
+        } else {
+            None
+        };
+        for b in &mut self.branches {
+            let g = b.backward(&parts.next().expect("one gradient per branch"), ctx);
+            match &mut grad_in {
+                Some(acc) => acc.add_assign(&g),
+                None => grad_in = Some(g),
+            }
+        }
+        grad_in.expect("at least one branch")
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&dyn Module)) {
+        f(self);
+        for b in &self.branches {
+            b.visit(f);
+        }
+    }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Module)) {
+        f(self);
+        for b in &mut self.branches {
+            b.visit_mut(f);
+        }
+    }
+
+    fn find_mut(&mut self, id: LayerId) -> Option<&mut dyn Module> {
+        if self.meta.id == id {
+            return Some(self);
+        }
+        self.branches.iter_mut().find_map(|b| b.find_mut(id))
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(Param<'_>)) {
+        for b in &mut self.branches {
+            b.for_each_param(f);
+        }
+    }
+
+    fn for_each_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        for b in &mut self.branches {
+            b.for_each_state(f);
+        }
+    }
+}
+
+/// ShuffleNet channel shuffle: reshapes `[g, c/g]` channel groups to
+/// `[c/g, g]`, mixing information across grouped convolutions.
+pub struct ChannelShuffle {
+    pub(crate) meta: LayerMeta,
+    groups: usize,
+}
+
+impl ChannelShuffle {
+    /// Creates a channel shuffle over `groups` groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups == 0`.
+    pub fn new(groups: usize) -> Self {
+        assert!(groups > 0, "groups must be positive");
+        Self {
+            meta: LayerMeta::default(),
+            groups,
+        }
+    }
+
+    fn permute(&self, input: &Tensor, inverse: bool) -> Tensor {
+        let (n, c, _h, _w) = input.dims4();
+        assert_eq!(
+            c % self.groups,
+            0,
+            "channel shuffle: {c} channels not divisible by {} groups",
+            self.groups
+        );
+        let per = c / self.groups;
+        let mut out = Tensor::zeros(input.dims());
+        for bn in 0..n {
+            for ch in 0..c {
+                // forward: out[j * g + i] = in[i * per + j] for group i, member j
+                let (src, dst) = if !inverse {
+                    let i = ch / per;
+                    let j = ch % per;
+                    (ch, j * self.groups + i)
+                } else {
+                    let j = ch / self.groups;
+                    let i = ch % self.groups;
+                    (ch, i * per + j)
+                };
+                out.fmap_mut(bn, dst).copy_from_slice(input.fmap(bn, src));
+            }
+        }
+        out
+    }
+}
+
+impl Module for ChannelShuffle {
+    fn kind(&self) -> LayerKind {
+        LayerKind::ChannelShuffle
+    }
+
+    fn meta(&self) -> &LayerMeta {
+        &self.meta
+    }
+
+    fn meta_mut(&mut self) -> &mut LayerMeta {
+        &mut self.meta
+    }
+
+    fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        let mut out = self.permute(input, false);
+        ctx.run_forward_hooks(&self.meta, LayerKind::ChannelShuffle, &mut out);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, ctx: &mut BackwardCtx<'_>) -> Tensor {
+        ctx.run_grad_hooks(&self.meta, LayerKind::ChannelShuffle, grad_out);
+        self.permute(grad_out, true)
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&dyn Module)) {
+        f(self);
+    }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Module)) {
+        f(self);
+    }
+
+    fn find_mut(&mut self, id: LayerId) -> Option<&mut dyn Module> {
+        if self.meta.id == id {
+            Some(self)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Conv2d, Relu};
+    use crate::module::Network;
+    use rustfi_tensor::{ConvSpec, SeededRng, Tensor};
+
+    #[test]
+    fn sequential_composes_in_order() {
+        let mut net = Network::new(Box::new(Sequential::new(vec![
+            Box::new(Relu::new()),
+            Box::new(Relu::new()),
+        ])));
+        let y = net.forward(&Tensor::from_vec(vec![-1.0, 2.0], &[2]));
+        assert_eq!(y.data(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn residual_identity_adds_input() {
+        // Body is ReLU; input is positive so y = x + x.
+        let mut net = Network::new(Box::new(Residual::new(Box::new(Relu::new()))));
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        assert_eq!(net.forward(&x).data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn residual_backward_sums_paths() {
+        let mut net = Network::new(Box::new(Residual::new(Box::new(Relu::new()))));
+        net.forward(&Tensor::from_vec(vec![1.0, -1.0], &[2]));
+        let g = net.backward(&Tensor::from_vec(vec![1.0, 1.0], &[2]));
+        // Positive input: grad via relu (1) + skip (1) = 2; negative: 0 + 1.
+        assert_eq!(g.data(), &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn residual_with_projection_shortcut() {
+        let mut rng = SeededRng::new(1);
+        let body = Sequential::new(vec![Box::new(Conv2d::new(
+            2,
+            4,
+            3,
+            ConvSpec::new().padding(1).stride(2),
+            &mut rng,
+        ))]);
+        let shortcut = Conv2d::new(2, 4, 1, ConvSpec::new().stride(2), &mut rng);
+        let mut net = Network::new(Box::new(Residual::with_shortcut(
+            Box::new(body),
+            Box::new(shortcut),
+        )));
+        let y = net.forward(&Tensor::ones(&[1, 2, 8, 8]));
+        assert_eq!(y.dims(), &[1, 4, 4, 4]);
+        // Backward runs without shape errors and produces input-shaped grads.
+        let g = net.backward(&Tensor::ones(y.dims()));
+        assert_eq!(g.dims(), &[1, 2, 8, 8]);
+    }
+
+    #[test]
+    fn branches_concat_channels() {
+        let mut rng = SeededRng::new(2);
+        let b1 = Conv2d::new(2, 3, 1, ConvSpec::new(), &mut rng);
+        let b2 = Conv2d::new(2, 5, 1, ConvSpec::new(), &mut rng);
+        let mut net = Network::new(Box::new(Branches::new(vec![Box::new(b1), Box::new(b2)])));
+        let y = net.forward(&Tensor::ones(&[1, 2, 4, 4]));
+        assert_eq!(y.dims(), &[1, 8, 4, 4]);
+        let g = net.backward(&Tensor::ones(y.dims()));
+        assert_eq!(g.dims(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn branches_passthrough_densenet_pattern() {
+        let mut rng = SeededRng::new(3);
+        let grow = Conv2d::new(2, 4, 3, ConvSpec::new().padding(1), &mut rng);
+        let mut net = Network::new(Box::new(Branches::with_input_passthrough(vec![Box::new(
+            grow,
+        )])));
+        let x = Tensor::ones(&[1, 2, 4, 4]);
+        let y = net.forward(&x);
+        assert_eq!(y.dims(), &[1, 6, 4, 4]);
+        // First two channels are the input itself.
+        assert_eq!(y.fmap(0, 0), x.fmap(0, 0));
+        assert_eq!(y.fmap(0, 1), x.fmap(0, 1));
+        let g = net.backward(&Tensor::ones(y.dims()));
+        assert_eq!(g.dims(), x.dims());
+    }
+
+    #[test]
+    fn channel_shuffle_permutes_and_inverts() {
+        let shuffle = ChannelShuffle::new(2);
+        let x = Tensor::from_fn(&[1, 4, 1, 1], |i| i as f32);
+        let y = shuffle.permute(&x, false);
+        // Groups [0,1] and [2,3] interleave to [0,2,1,3].
+        assert_eq!(y.data(), &[0.0, 2.0, 1.0, 3.0]);
+        let back = shuffle.permute(&y, true);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn channel_shuffle_backward_is_inverse_permutation() {
+        let mut net = Network::new(Box::new(ChannelShuffle::new(3)));
+        let x = Tensor::from_fn(&[2, 6, 2, 2], |i| i as f32);
+        let y = net.forward(&x);
+        let g = net.backward(&y);
+        assert_eq!(g, x, "shuffling then unshuffling is the identity");
+    }
+
+    #[test]
+    fn nested_find_mut_reaches_deep_layers() {
+        let mut rng = SeededRng::new(4);
+        let inner = Sequential::new(vec![Box::new(Conv2d::new(1, 1, 1, ConvSpec::new(), &mut rng))]);
+        let outer = Sequential::new(vec![Box::new(Relu::new()), Box::new(inner)]);
+        let mut net = Network::new(Box::new(outer));
+        let conv_id = net.injectable_layers()[0];
+        assert!(net.layer_weight_mut(conv_id).is_some());
+    }
+}

@@ -1,0 +1,183 @@
+//! 2-D convolution layer.
+
+use crate::module::{leaf_boilerplate, BackwardCtx, ForwardCtx, LayerKind, LayerMeta, Module, Param};
+use rustfi_tensor::{conv2d, conv2d_backward, ConvSpec, SeededRng, Tensor};
+
+/// A 2-D convolution with learned weights and bias.
+///
+/// Weights are Kaiming-normal initialized (`std = sqrt(2 / fan_in)`), biases
+/// start at zero. The layer runs forward hooks on its output — convolution
+/// outputs are the "neurons" that fault injection targets.
+pub struct Conv2d {
+    pub(crate) meta: LayerMeta,
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    spec: ConvSpec,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution: `in_ch -> out_ch` with a square `kernel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_ch` or `out_ch` is not divisible by `spec.groups`.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        spec: ConvSpec,
+        rng: &mut SeededRng,
+    ) -> Self {
+        assert!(spec.groups > 0 && in_ch.is_multiple_of(spec.groups) && out_ch.is_multiple_of(spec.groups),
+            "conv channels ({in_ch} -> {out_ch}) must be divisible by groups {}", spec.groups);
+        let cg = in_ch / spec.groups;
+        let fan_in = (cg * kernel * kernel) as f32;
+        let std = (2.0 / fan_in).sqrt();
+        let weight = Tensor::rand_normal(&[out_ch, cg, kernel, kernel], 0.0, std, rng);
+        let bias = Tensor::zeros(&[out_ch]);
+        Self {
+            meta: LayerMeta::default(),
+            grad_weight: Tensor::zeros(weight.dims()),
+            grad_bias: Tensor::zeros(bias.dims()),
+            weight,
+            bias,
+            spec,
+            cached_input: None,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn spec(&self) -> &ConvSpec {
+        &self.spec
+    }
+
+    /// The weight tensor (`[out_ch, in_ch/groups, k, k]`).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+}
+
+impl Module for Conv2d {
+    leaf_boilerplate!();
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Conv2d
+    }
+
+    fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        self.cached_input = Some(input.clone());
+        let mut out = conv2d(input, &self.weight, &self.bias, &self.spec);
+        ctx.run_forward_hooks(&self.meta, LayerKind::Conv2d, &mut out);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, ctx: &mut BackwardCtx<'_>) -> Tensor {
+        ctx.run_grad_hooks(&self.meta, LayerKind::Conv2d, grad_out);
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Conv2d::backward called before forward");
+        let grads = conv2d_backward(input, &self.weight, grad_out, &self.spec);
+        self.grad_weight.add_assign(&grads.weight);
+        self.grad_bias.add_assign(&grads.bias);
+        grads.input
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(Param<'_>)) {
+        f(Param {
+            value: &mut self.weight,
+            grad: &mut self.grad_weight,
+        });
+        f(Param {
+            value: &mut self.bias,
+            grad: &mut self.grad_bias,
+        });
+    }
+
+    fn for_each_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn weight_mut(&mut self) -> Option<&mut Tensor> {
+        Some(&mut self.weight)
+    }
+
+    fn bias_mut(&mut self) -> Option<&mut Tensor> {
+        Some(&mut self.bias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hook::HookRegistry;
+    use crate::module::Network;
+
+    #[test]
+    fn forward_shape_and_determinism() {
+        let mut rng = SeededRng::new(2);
+        let conv = Conv2d::new(3, 8, 3, ConvSpec::new().padding(1).stride(2), &mut rng);
+        let mut net = Network::new(Box::new(conv));
+        let x = Tensor::ones(&[2, 3, 8, 8]);
+        let y = net.forward(&x);
+        assert_eq!(y.dims(), &[2, 8, 4, 4]);
+        assert_eq!(net.forward(&x), y, "inference is deterministic");
+    }
+
+    #[test]
+    fn kaiming_init_scale() {
+        let mut rng = SeededRng::new(3);
+        let conv = Conv2d::new(16, 16, 3, ConvSpec::new(), &mut rng);
+        let std_expect = (2.0f32 / (16.0 * 9.0)).sqrt();
+        let w = conv.weight();
+        let mean = w.mean();
+        let var = w.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var.sqrt() - std_expect).abs() < 0.02 * std_expect + 0.01);
+    }
+
+    #[test]
+    fn hooks_see_conv_output() {
+        let mut rng = SeededRng::new(4);
+        let mut net = Network::new(Box::new(Conv2d::new(1, 1, 1, ConvSpec::new(), &mut rng)));
+        let id = net.layer_infos()[0].id;
+        net.hooks().register_forward(id, |ctx, out| {
+            assert_eq!(ctx.kind, LayerKind::Conv2d);
+            out.map_inplace(|_| 7.0);
+        });
+        let y = net.forward(&Tensor::ones(&[1, 1, 2, 2]));
+        assert!(y.data().iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn backward_accumulates_until_zeroed() {
+        let mut rng = SeededRng::new(5);
+        let mut net = Network::new(Box::new(Conv2d::new(1, 1, 3, ConvSpec::new(), &mut rng)));
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let y = net.forward(&x);
+        net.backward(&Tensor::ones(y.dims()));
+        let mut g1 = Vec::new();
+        net.for_each_param(&mut |p| g1.extend_from_slice(p.grad.data()));
+        net.forward(&x);
+        net.backward(&Tensor::ones(y.dims()));
+        let mut g2 = Vec::new();
+        net.for_each_param(&mut |p| g2.extend_from_slice(p.grad.data()));
+        for (a, b) in g1.iter().zip(&g2) {
+            assert!((b - 2.0 * a).abs() < 1e-5, "second backward doubles grads");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "called before forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = SeededRng::new(6);
+        let mut conv = Conv2d::new(1, 1, 1, ConvSpec::new(), &mut rng);
+        let reg = HookRegistry::new();
+        let mut ctx = BackwardCtx::new(&reg);
+        conv.backward(&Tensor::ones(&[1, 1, 1, 1]), &mut ctx);
+    }
+}

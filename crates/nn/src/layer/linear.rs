@@ -1,0 +1,203 @@
+//! Fully-connected layer.
+
+use crate::module::{leaf_boilerplate, BackwardCtx, ForwardCtx, LayerKind, LayerMeta, Module, Param};
+use rustfi_tensor::linalg::{self, matmul};
+use rustfi_tensor::{SeededRng, Tensor};
+
+/// A fully-connected (dense) layer: `y = x W^T + b`.
+///
+/// Input is `[batch, in_features]`; output `[batch, out_features]`. Linear
+/// outputs are neurons, so the layer runs forward hooks and is injectable.
+pub struct Linear {
+    pub(crate) meta: LayerMeta,
+    /// `[out_features, in_features]`.
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a dense layer with Kaiming-normal weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut SeededRng) -> Self {
+        let std = (2.0 / in_features as f32).sqrt();
+        let weight = Tensor::rand_normal(&[out_features, in_features], 0.0, std, rng);
+        Self {
+            meta: LayerMeta::default(),
+            grad_weight: Tensor::zeros(weight.dims()),
+            grad_bias: Tensor::zeros(&[out_features]),
+            bias: Tensor::zeros(&[out_features]),
+            weight,
+            cached_input: None,
+        }
+    }
+
+    /// The weight tensor (`[out_features, in_features]`).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+}
+
+impl Module for Linear {
+    leaf_boilerplate!();
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Linear
+    }
+
+    fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        let (batch, in_f) = input.dims2();
+        let (out_f, w_in) = self.weight.dims2();
+        assert_eq!(
+            in_f, w_in,
+            "linear layer {} expects {} features, got {}",
+            self.meta.name, w_in, in_f
+        );
+        self.cached_input = Some(input.clone());
+        let wt = linalg::transpose(&self.weight);
+        let mut out = matmul(input, &wt);
+        for b in 0..batch {
+            for o in 0..out_f {
+                let off = b * out_f + o;
+                out.data_mut()[off] += self.bias.data()[o];
+            }
+        }
+        ctx.run_forward_hooks(&self.meta, LayerKind::Linear, &mut out);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, ctx: &mut BackwardCtx<'_>) -> Tensor {
+        ctx.run_grad_hooks(&self.meta, LayerKind::Linear, grad_out);
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Linear::backward called before forward");
+        // dW = g^T x ; db = sum_b g ; dx = g W
+        let gt = linalg::transpose(grad_out);
+        let gw = matmul(&gt, input);
+        self.grad_weight.add_assign(&gw);
+        let (batch, out_f) = grad_out.dims2();
+        for b in 0..batch {
+            for o in 0..out_f {
+                self.grad_bias.data_mut()[o] += grad_out.data()[b * out_f + o];
+            }
+        }
+        matmul(grad_out, &self.weight)
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(Param<'_>)) {
+        f(Param {
+            value: &mut self.weight,
+            grad: &mut self.grad_weight,
+        });
+        f(Param {
+            value: &mut self.bias,
+            grad: &mut self.grad_bias,
+        });
+    }
+
+    fn for_each_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn weight_mut(&mut self) -> Option<&mut Tensor> {
+        Some(&mut self.weight)
+    }
+
+    fn bias_mut(&mut self) -> Option<&mut Tensor> {
+        Some(&mut self.bias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Network;
+
+    #[test]
+    fn forward_computes_affine_map() {
+        let mut rng = SeededRng::new(1);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        // Overwrite with known values: W = [[1,2],[3,4]], b = [10, 20].
+        *lin.weight_mut().unwrap() = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        *lin.bias_mut().unwrap() = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        let mut net = Network::new(Box::new(lin));
+        let y = net.forward(&Tensor::from_vec(vec![1.0, 1.0], &[1, 2]));
+        assert_eq!(y.data(), &[13.0, 27.0]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = SeededRng::new(2);
+        let mut net = Network::new(Box::new(Linear::new(3, 2, &mut rng)));
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 1.0, 0.0, -0.5], &[2, 3]);
+        let y = net.forward(&x);
+        let gin = net.backward(&Tensor::ones(y.dims()));
+
+        let eps = 1e-2f32;
+        // Input gradient check.
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fp = net.forward(&xp).sum();
+            let fm = net.forward(&xm).sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - gin.data()[i]).abs() < 1e-2, "input grad {i}");
+        }
+        // Weight gradient check (grads were accumulated once above).
+        let mut grads = Vec::new();
+        net.for_each_param(&mut |p| grads.push(p.grad.clone()));
+        let probe = |pi: usize, i: usize, expected: f32, net: &mut Network| {
+            let mut idx = 0;
+            net.for_each_param(&mut |p| {
+                if idx == pi {
+                    p.value.data_mut()[i] += eps;
+                }
+                idx += 1;
+            });
+            let fp = net.forward(&x).sum();
+            let mut idx = 0;
+            net.for_each_param(&mut |p| {
+                if idx == pi {
+                    p.value.data_mut()[i] -= 2.0 * eps;
+                }
+                idx += 1;
+            });
+            let fm = net.forward(&x).sum();
+            let mut idx = 0;
+            net.for_each_param(&mut |p| {
+                if idx == pi {
+                    p.value.data_mut()[i] += eps;
+                }
+                idx += 1;
+            });
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - expected).abs() < 1e-2, "param {pi} elem {i}: {num} vs {expected}");
+        };
+        for i in 0..grads[0].len() {
+            probe(0, i, grads[0].data()[i], &mut net);
+        }
+        for i in 0..grads[1].len() {
+            probe(1, i, grads[1].data()[i], &mut net);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 3 features")]
+    fn rejects_feature_mismatch() {
+        let mut rng = SeededRng::new(3);
+        let mut net = Network::new(Box::new(Linear::new(3, 2, &mut rng)));
+        net.forward(&Tensor::zeros(&[1, 4]));
+    }
+
+    #[test]
+    fn linear_is_injectable() {
+        let mut rng = SeededRng::new(4);
+        let net = Network::new(Box::new(Linear::new(2, 2, &mut rng)));
+        assert_eq!(net.injectable_layers().len(), 1);
+    }
+}

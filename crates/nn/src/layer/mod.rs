@@ -1,0 +1,19 @@
+//! Layer implementations.
+
+pub mod activation;
+pub mod activation2;
+pub mod container;
+pub mod conv;
+pub mod linear;
+pub mod norm;
+pub mod pool;
+pub mod simple;
+
+pub use activation::Relu;
+pub use activation2::{LeakyRelu, Sigmoid, Tanh};
+pub use container::{Branches, ChannelShuffle, Residual, Sequential};
+pub use conv::Conv2d;
+pub use linear::Linear;
+pub use norm::BatchNorm2d;
+pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};
+pub use simple::{Dropout, Flatten};

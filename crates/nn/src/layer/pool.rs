@@ -1,0 +1,191 @@
+//! Pooling layers.
+
+use crate::module::{leaf_boilerplate, BackwardCtx, ForwardCtx, LayerKind, LayerMeta, Module};
+use rustfi_tensor::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec, Tensor};
+
+/// Max pooling over square windows.
+pub struct MaxPool2d {
+    pub(crate) meta: LayerMeta,
+    spec: PoolSpec,
+    cached: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input_dims)
+}
+
+impl MaxPool2d {
+    /// A `kernel`-sized max pool moving by `stride`.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        Self {
+            meta: LayerMeta::default(),
+            spec: PoolSpec::new(kernel, stride),
+            cached: None,
+        }
+    }
+}
+
+impl Module for MaxPool2d {
+    leaf_boilerplate!();
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::MaxPool2d
+    }
+
+    fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        let (mut out, argmax) = max_pool2d(input, &self.spec);
+        self.cached = Some((argmax, input.dims().to_vec()));
+        ctx.run_forward_hooks(&self.meta, LayerKind::MaxPool2d, &mut out);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, ctx: &mut BackwardCtx<'_>) -> Tensor {
+        ctx.run_grad_hooks(&self.meta, LayerKind::MaxPool2d, grad_out);
+        let (argmax, dims) = self
+            .cached
+            .as_ref()
+            .expect("MaxPool2d::backward called before forward");
+        max_pool2d_backward(grad_out, argmax, dims)
+    }
+}
+
+/// Average pooling over square windows.
+pub struct AvgPool2d {
+    pub(crate) meta: LayerMeta,
+    spec: PoolSpec,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// A `kernel`-sized average pool moving by `stride`.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        Self {
+            meta: LayerMeta::default(),
+            spec: PoolSpec::new(kernel, stride),
+            input_dims: None,
+        }
+    }
+}
+
+impl Module for AvgPool2d {
+    leaf_boilerplate!();
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::AvgPool2d
+    }
+
+    fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        self.input_dims = Some(input.dims().to_vec());
+        let mut out = avg_pool2d(input, &self.spec);
+        ctx.run_forward_hooks(&self.meta, LayerKind::AvgPool2d, &mut out);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, ctx: &mut BackwardCtx<'_>) -> Tensor {
+        ctx.run_grad_hooks(&self.meta, LayerKind::AvgPool2d, grad_out);
+        let dims = self
+            .input_dims
+            .as_ref()
+            .expect("AvgPool2d::backward called before forward");
+        avg_pool2d_backward(grad_out, &self.spec, dims)
+    }
+}
+
+/// Global average pooling: `[n, c, h, w] -> [n, c, 1, 1]`.
+pub struct GlobalAvgPool {
+    pub(crate) meta: LayerMeta,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pool.
+    pub fn new() -> Self {
+        Self {
+            meta: LayerMeta::default(),
+            input_dims: None,
+        }
+    }
+}
+
+impl Default for GlobalAvgPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for GlobalAvgPool {
+    leaf_boilerplate!();
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::GlobalAvgPool
+    }
+
+    fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        let (n, c, h, w) = input.dims4();
+        self.input_dims = Some(input.dims().to_vec());
+        let norm = 1.0 / (h * w) as f32;
+        let mut out = Tensor::zeros(&[n, c, 1, 1]);
+        for bn in 0..n {
+            for ch in 0..c {
+                let s: f32 = input.fmap(bn, ch).iter().sum();
+                out.fmap_mut(bn, ch)[0] = s * norm;
+            }
+        }
+        ctx.run_forward_hooks(&self.meta, LayerKind::GlobalAvgPool, &mut out);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, ctx: &mut BackwardCtx<'_>) -> Tensor {
+        ctx.run_grad_hooks(&self.meta, LayerKind::GlobalAvgPool, grad_out);
+        let dims = self
+            .input_dims
+            .as_ref()
+            .expect("GlobalAvgPool::backward called before forward");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let norm = 1.0 / (h * w) as f32;
+        let mut gin = Tensor::zeros(dims);
+        for bn in 0..n {
+            for ch in 0..c {
+                let g = grad_out.fmap(bn, ch)[0] * norm;
+                for v in gin.fmap_mut(bn, ch) {
+                    *v = g;
+                }
+            }
+        }
+        gin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Network;
+
+    #[test]
+    fn max_pool_layer_forward_backward() {
+        let mut net = Network::new(Box::new(MaxPool2d::new(2, 2)));
+        let x = Tensor::from_vec(vec![1.0, 9.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = net.forward(&x);
+        assert_eq!(y.data(), &[9.0]);
+        let g = net.backward(&Tensor::from_vec(vec![1.0], &[1, 1, 1, 1]));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_pool_layer_forward_backward() {
+        let mut net = Network::new(Box::new(AvgPool2d::new(2, 2)));
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        assert_eq!(net.forward(&x).data(), &[2.5]);
+        let g = net.backward(&Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]));
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_shapes_and_values() {
+        let mut net = Network::new(Box::new(GlobalAvgPool::new()));
+        let x = Tensor::from_fn(&[2, 3, 4, 4], |i| (i % 16) as f32);
+        let y = net.forward(&x);
+        assert_eq!(y.dims(), &[2, 3, 1, 1]);
+        assert!((y.at(&[0, 0, 0, 0]) - 7.5).abs() < 1e-6);
+        let g = net.backward(&Tensor::ones(&[2, 3, 1, 1]));
+        assert_eq!(g.dims(), x.dims());
+        assert!((g.data()[0] - 1.0 / 16.0).abs() < 1e-7);
+        assert!((g.sum() - 6.0).abs() < 1e-4, "gradient mass is conserved");
+    }
+}

@@ -1,0 +1,49 @@
+//! # rustfi-nn
+//!
+//! A small CPU deep-learning framework with PyTorch-style **forward hooks** —
+//! the substrate on which the RustFI fault injector (a reproduction of
+//! *PyTorchFI*, DSN 2020) instruments perturbations.
+//!
+//! The design mirrors the part of PyTorch that PyTorchFI relies on:
+//!
+//! - every layer implements [`Module`] and carries a stable [`LayerId`];
+//! - a [`Network`] owns a module tree plus a shared [`HookRegistry`];
+//! - after computing its output, each *leaf* layer runs the forward hooks
+//!   registered for its id (or for all layers), handing them `&mut Tensor` —
+//!   exactly the mutation point PyTorchFI uses to corrupt neurons;
+//! - backward passes symmetrically run *gradient hooks*, which is what
+//!   Grad-CAM-style interpretability consumes.
+//!
+//! Training is supported end-to-end: every layer implements `backward`,
+//! [`optim::Sgd`] updates parameters, and [`train`] provides a batching
+//! fit/evaluate loop. A twelve-architecture [`zoo`] provides scaled-down but
+//! topologically faithful versions of the networks evaluated in the paper.
+//!
+//! # Example: three lines to perturb a model
+//!
+//! ```
+//! use rustfi_nn::{zoo, ZooConfig};
+//! use rustfi_tensor::Tensor;
+//!
+//! let mut net = zoo::lenet(&ZooConfig::tiny(10));
+//! // Register a forward hook that zeroes neuron (0, 0, 0, 0) of layer 0.
+//! let id = net.layer_infos()[0].id;
+//! net.hooks().register_forward(id, |_ctx, out| out.data_mut()[0] = 0.0);
+//! let y = net.forward(&Tensor::zeros(&[1, 3, 16, 16]));
+//! assert_eq!(y.dims()[0], 1);
+//! ```
+
+pub mod checkpoint;
+pub mod hook;
+pub mod layer;
+pub mod loss;
+pub mod module;
+pub mod optim;
+pub mod train;
+pub mod zoo;
+
+pub use hook::{HookHandle, HookRegistry, LayerCtx};
+pub use module::{
+    BackwardCtx, ForwardCtx, LayerId, LayerInfo, LayerKind, LayerMeta, Module, Network, Param,
+};
+pub use zoo::ZooConfig;

@@ -1,0 +1,166 @@
+//! Loss functions returning `(loss, gradient w.r.t. the prediction)`.
+
+use rustfi_tensor::Tensor;
+
+/// Softmax cross-entropy over logits `[batch, classes]` with integer labels.
+///
+/// Returns the mean loss over the batch and the gradient w.r.t. the logits
+/// (already divided by the batch size, so it feeds `Network::backward`
+/// directly).
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or a label is out of
+/// range.
+///
+/// # Example
+///
+/// ```
+/// use rustfi_nn::loss::cross_entropy;
+/// use rustfi_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![5.0, 0.0, 0.0], &[1, 3]);
+/// let (loss, grad) = cross_entropy(&logits, &[0]);
+/// assert!(loss < 0.1, "confident correct prediction has low loss");
+/// assert_eq!(grad.dims(), &[1, 3]);
+/// ```
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (batch, classes) = logits.dims2();
+    assert_eq!(
+        labels.len(),
+        batch,
+        "{} labels for a batch of {batch}",
+        labels.len()
+    );
+    let probs = logits.softmax_rows();
+    let mut loss = 0.0;
+    let mut grad = probs.clone();
+    let inv_b = 1.0 / batch as f32;
+    for (b, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range for {classes} classes");
+        let p = probs.at(&[b, label]).max(1e-12);
+        loss -= p.ln();
+        let off = b * classes + label;
+        grad.data_mut()[off] -= 1.0;
+    }
+    grad.scale_inplace(inv_b);
+    (loss * inv_b, grad)
+}
+
+/// Mean squared error between two same-shape tensors.
+///
+/// Returns the mean over all elements and the gradient w.r.t. `pred`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(
+        pred.dims(),
+        target.dims(),
+        "mse shape mismatch: {:?} vs {:?}",
+        pred.dims(),
+        target.dims()
+    );
+    let n = pred.len() as f32;
+    let diff = pred.sub(target);
+    let loss = diff.sq_norm() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Weighted squared error: like [`mse`] but each element's squared error is
+/// scaled by `weight` (used for YOLO-style losses where coordinate,
+/// objectness, and class terms have different weights).
+///
+/// Returns the *sum* (not mean) so multiple terms compose additively, and the
+/// gradient w.r.t. `pred`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch between any pair of arguments.
+pub fn weighted_sq_error(pred: &Tensor, target: &Tensor, weight: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.dims(), target.dims(), "weighted_sq_error shape mismatch");
+    assert_eq!(pred.dims(), weight.dims(), "weighted_sq_error weight mismatch");
+    let diff = pred.sub(target);
+    let loss: f32 = diff
+        .data()
+        .iter()
+        .zip(weight.data())
+        .map(|(d, w)| w * d * d)
+        .sum();
+    let grad = Tensor::from_vec(
+        diff.data()
+            .iter()
+            .zip(weight.data())
+            .map(|(d, w)| 2.0 * w * d)
+            .collect(),
+        pred.dims(),
+    );
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_of_uniform_logits_is_log_k() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, _) = cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_grad_is_probs_minus_onehot() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let probs = logits.softmax_rows();
+        let (_, grad) = cross_entropy(&logits, &[2]);
+        assert!((grad.at(&[0, 0]) - probs.at(&[0, 0])).abs() < 1e-6);
+        assert!((grad.at(&[0, 2]) - (probs.at(&[0, 2]) - 1.0)).abs() < 1e-6);
+        // Gradient rows sum to zero.
+        assert!(grad.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_numeric_gradient() {
+        let logits = Tensor::from_vec(vec![0.3, -1.2, 0.8, 2.0, 0.0, -0.5], &[2, 3]);
+        let labels = [2usize, 0];
+        let (_, grad) = cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let num = (cross_entropy(&lp, &labels).0 - cross_entropy(&lm, &labels).0) / (2.0 * eps);
+            assert!((num - grad.data()[i]).abs() < 1e-3, "logit {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_rejects_bad_label() {
+        cross_entropy(&Tensor::zeros(&[1, 3]), &[3]);
+    }
+
+    #[test]
+    fn mse_basics() {
+        let (loss, grad) = mse(
+            &Tensor::from_vec(vec![1.0, 2.0], &[2]),
+            &Tensor::from_vec(vec![0.0, 0.0], &[2]),
+        );
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn weighted_sq_error_zero_weight_ignores_term() {
+        let pred = Tensor::from_vec(vec![10.0, 1.0], &[2]);
+        let target = Tensor::zeros(&[2]);
+        let weight = Tensor::from_vec(vec![0.0, 2.0], &[2]);
+        let (loss, grad) = weighted_sq_error(&pred, &target, &weight);
+        assert!((loss - 2.0).abs() < 1e-6);
+        assert_eq!(grad.data(), &[0.0, 4.0]);
+    }
+}

@@ -1,0 +1,531 @@
+//! The [`Module`] trait, layer identity, and the [`Network`] wrapper.
+
+use crate::hook::{HookRegistry, LayerCtx};
+use rustfi_tensor::{SeededRng, Tensor};
+use std::fmt;
+use std::sync::Arc;
+
+/// Stable identifier of a layer within a [`Network`].
+///
+/// Ids are assigned in deterministic pre-order when the network is built, so
+/// the same architecture always yields the same ids — which is what lets a
+/// fault-injection campaign describe sites as `(layer, channel, y, x)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LayerId(u32);
+
+impl LayerId {
+    /// Creates a layer id from a raw index.
+    pub fn from_index(index: usize) -> Self {
+        Self(index as u32)
+    }
+
+    /// The raw index of this id.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LayerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// What kind of computation a layer performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    Conv2d,
+    Linear,
+    Relu,
+    MaxPool2d,
+    AvgPool2d,
+    GlobalAvgPool,
+    BatchNorm2d,
+    Flatten,
+    Dropout,
+    Sequential,
+    Residual,
+    Branches,
+    ChannelShuffle,
+}
+
+impl LayerKind {
+    /// Whether the layer computes neurons that fault-injection targets
+    /// (convolution and fully-connected outputs, as in the paper).
+    pub fn is_injectable(&self) -> bool {
+        matches!(self, LayerKind::Conv2d | LayerKind::Linear)
+    }
+
+    /// Lower-case short name used when auto-naming layers.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            LayerKind::Conv2d => "conv",
+            LayerKind::Linear => "fc",
+            LayerKind::Relu => "relu",
+            LayerKind::MaxPool2d => "maxpool",
+            LayerKind::AvgPool2d => "avgpool",
+            LayerKind::GlobalAvgPool => "gap",
+            LayerKind::BatchNorm2d => "bn",
+            LayerKind::Flatten => "flatten",
+            LayerKind::Dropout => "dropout",
+            LayerKind::Sequential => "seq",
+            LayerKind::Residual => "residual",
+            LayerKind::Branches => "branches",
+            LayerKind::ChannelShuffle => "shuffle",
+        }
+    }
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Identity data every module carries: its id and human-readable name.
+#[derive(Debug, Clone, Default)]
+pub struct LayerMeta {
+    /// Assigned by [`Network::new`]; default placeholder until then.
+    pub id: LayerId,
+    /// Auto-generated (`conv3`, `fc17`, …) unless set explicitly.
+    pub name: String,
+}
+
+/// A mutable view of one parameter tensor and its gradient accumulator.
+#[derive(Debug)]
+pub struct Param<'a> {
+    /// The parameter values.
+    pub value: &'a mut Tensor,
+    /// The accumulated gradient (same shape as `value`).
+    pub grad: &'a mut Tensor,
+}
+
+/// Per-forward-pass context threaded through the module tree.
+pub struct ForwardCtx<'a> {
+    /// Whether the pass is a training pass (enables dropout, batch-stats BN).
+    pub training: bool,
+    hooks: &'a HookRegistry,
+    rng: &'a mut SeededRng,
+}
+
+impl<'a> ForwardCtx<'a> {
+    pub(crate) fn new(training: bool, hooks: &'a HookRegistry, rng: &'a mut SeededRng) -> Self {
+        Self {
+            training,
+            hooks,
+            rng,
+        }
+    }
+
+    /// RNG stream for stochastic layers (dropout).
+    pub fn rng(&mut self) -> &mut SeededRng {
+        self.rng
+    }
+
+    /// Runs all forward hooks registered for `meta`'s layer, letting them
+    /// mutate `out` in place. Leaf layers call this once per forward.
+    pub fn run_forward_hooks(&mut self, meta: &LayerMeta, kind: LayerKind, out: &mut Tensor) {
+        self.hooks.dispatch_forward(
+            &LayerCtx {
+                id: meta.id,
+                name: &meta.name,
+                kind,
+            },
+            out,
+        );
+    }
+}
+
+/// Per-backward-pass context threaded through the module tree.
+pub struct BackwardCtx<'a> {
+    hooks: &'a HookRegistry,
+}
+
+impl<'a> BackwardCtx<'a> {
+    pub(crate) fn new(hooks: &'a HookRegistry) -> Self {
+        Self { hooks }
+    }
+
+    /// Runs all gradient hooks registered for `meta`'s layer with the
+    /// gradient flowing *into* the layer's output.
+    pub fn run_grad_hooks(&mut self, meta: &LayerMeta, kind: LayerKind, grad_out: &Tensor) {
+        self.hooks.dispatch_grad(
+            &LayerCtx {
+                id: meta.id,
+                name: &meta.name,
+                kind,
+            },
+            grad_out,
+        );
+    }
+}
+
+/// A differentiable computation node.
+///
+/// Implementations cache whatever they need during `forward` so that a
+/// subsequent `backward` (with the gradient w.r.t. their output) can return
+/// the gradient w.r.t. their input and accumulate parameter gradients.
+pub trait Module: Send {
+    /// The layer's kind.
+    fn kind(&self) -> LayerKind;
+    /// Identity data (id, name).
+    fn meta(&self) -> &LayerMeta;
+    /// Mutable identity data; used by [`Network::new`] to assign ids.
+    fn meta_mut(&mut self) -> &mut LayerMeta;
+
+    /// Computes the layer's output. Leaf layers must run forward hooks on
+    /// their output before returning.
+    fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor;
+
+    /// Propagates the gradient, accumulating into parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called without a preceding `forward`.
+    fn backward(&mut self, grad_out: &Tensor, ctx: &mut BackwardCtx<'_>) -> Tensor;
+
+    /// Pre-order traversal over this module and all descendants.
+    fn visit(&self, f: &mut dyn FnMut(&dyn Module));
+    /// Mutable pre-order traversal.
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Module));
+    /// Finds the module with the given id in this subtree.
+    fn find_mut(&mut self, id: LayerId) -> Option<&mut dyn Module>;
+
+    /// Calls `f` for each `(value, grad)` parameter pair, in a deterministic
+    /// order. Leaves with no parameters do nothing.
+    fn for_each_param(&mut self, _f: &mut dyn FnMut(Param<'_>)) {}
+
+    /// Calls `f` for each persistent tensor (parameters *plus* buffers such
+    /// as batch-norm running statistics), in a deterministic order. Used by
+    /// checkpointing.
+    fn for_each_state(&mut self, _f: &mut dyn FnMut(&mut Tensor)) {}
+
+    /// The layer's weight tensor, if it has one (conv/linear/batch-norm).
+    fn weight_mut(&mut self) -> Option<&mut Tensor> {
+        None
+    }
+
+    /// The layer's bias tensor, if it has one.
+    fn bias_mut(&mut self) -> Option<&mut Tensor> {
+        None
+    }
+}
+
+/// Shorthand implementations of the identity/traversal methods for layers
+/// without children.
+macro_rules! leaf_boilerplate {
+    () => {
+        fn meta(&self) -> &$crate::module::LayerMeta {
+            &self.meta
+        }
+        fn meta_mut(&mut self) -> &mut $crate::module::LayerMeta {
+            &mut self.meta
+        }
+        fn visit(&self, f: &mut dyn FnMut(&dyn $crate::module::Module)) {
+            f(self)
+        }
+        fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn $crate::module::Module)) {
+            f(self)
+        }
+        fn find_mut(
+            &mut self,
+            id: $crate::module::LayerId,
+        ) -> Option<&mut dyn $crate::module::Module> {
+            if self.meta.id == id {
+                Some(self)
+            } else {
+                None
+            }
+        }
+    };
+}
+pub(crate) use leaf_boilerplate;
+
+/// Summary of one layer of a built network.
+#[derive(Debug, Clone)]
+pub struct LayerInfo {
+    /// Stable id.
+    pub id: LayerId,
+    /// Human-readable name.
+    pub name: String,
+    /// Layer kind.
+    pub kind: LayerKind,
+    /// Weight shape, if the layer has weights.
+    pub weight_dims: Option<Vec<usize>>,
+}
+
+/// A module tree plus the shared hook registry — the unit the fault injector
+/// wraps.
+///
+/// Building a `Network` assigns every module a [`LayerId`] in deterministic
+/// pre-order and auto-names unnamed layers.
+pub struct Network {
+    root: Box<dyn Module>,
+    hooks: Arc<HookRegistry>,
+    layer_infos: Vec<LayerInfo>,
+    rng: SeededRng,
+    training: bool,
+}
+
+impl Network {
+    /// Wraps a module tree, assigning ids and names.
+    pub fn new(root: Box<dyn Module>) -> Self {
+        let mut root = root;
+        let mut counter = 0u32;
+        root.visit_mut(&mut |m| {
+            let kind = m.kind();
+            let meta = m.meta_mut();
+            meta.id = LayerId(counter);
+            if meta.name.is_empty() {
+                meta.name = format!("{}{}", kind.short_name(), counter);
+            }
+            counter += 1;
+        });
+        let mut layer_infos = Vec::with_capacity(counter as usize);
+        root.visit_mut(&mut |m| {
+            let id = m.meta().id;
+            let name = m.meta().name.clone();
+            let kind = m.kind();
+            let weight_dims = m.weight_mut().map(|w| w.dims().to_vec());
+            layer_infos.push(LayerInfo {
+                id,
+                name,
+                kind,
+                weight_dims,
+            });
+        });
+        Self {
+            root,
+            hooks: Arc::new(HookRegistry::new()),
+            layer_infos,
+            rng: SeededRng::new(0xD0_07),
+            training: false,
+        }
+    }
+
+    /// The shared hook registry.
+    pub fn hooks(&self) -> &Arc<HookRegistry> {
+        &self.hooks
+    }
+
+    /// Per-layer summaries in id order.
+    pub fn layer_infos(&self) -> &[LayerInfo] {
+        &self.layer_infos
+    }
+
+    /// Ids of layers whose outputs are injectable neurons (conv + linear).
+    pub fn injectable_layers(&self) -> Vec<LayerId> {
+        self.layer_infos
+            .iter()
+            .filter(|l| l.kind.is_injectable())
+            .map(|l| l.id)
+            .collect()
+    }
+
+    /// Number of modules (containers included).
+    pub fn module_count(&self) -> usize {
+        self.layer_infos.len()
+    }
+
+    /// Switches between training mode (dropout active, BN batch statistics)
+    /// and inference mode.
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    /// Whether the network is in training mode.
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+
+    /// Reseeds the stream used by stochastic layers (dropout).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = SeededRng::new(seed);
+    }
+
+    /// Runs a forward pass, dispatching forward hooks at every leaf layer.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut ctx = ForwardCtx::new(self.training, &self.hooks, &mut self.rng);
+        self.root.forward(input, &mut ctx)
+    }
+
+    /// Runs a backward pass from the gradient of the loss w.r.t. the output
+    /// of the last forward pass; returns the gradient w.r.t. the input.
+    ///
+    /// Parameter gradients accumulate; call [`Network::zero_grad`] between
+    /// optimization steps.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut ctx = BackwardCtx::new(&self.hooks);
+        self.root.backward(grad_out, &mut ctx)
+    }
+
+    /// Zeroes all accumulated parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.root.for_each_param(&mut |p| {
+            for g in p.grad.data_mut() {
+                *g = 0.0;
+            }
+        });
+    }
+
+    /// Visits every `(value, grad)` parameter pair in deterministic order.
+    pub fn for_each_param(&mut self, f: &mut dyn FnMut(Param<'_>)) {
+        self.root.for_each_param(f);
+    }
+
+    /// Visits every persistent tensor (parameters + buffers).
+    pub fn for_each_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.root.for_each_state(f);
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.root.for_each_param(&mut |p| n += p.value.len());
+        n
+    }
+
+    /// Mutable access to a layer's weight tensor by id.
+    pub fn layer_weight_mut(&mut self, id: LayerId) -> Option<&mut Tensor> {
+        self.root.find_mut(id).and_then(|m| m.weight_mut())
+    }
+
+    /// Mutable access to a layer's bias tensor by id.
+    pub fn layer_bias_mut(&mut self, id: LayerId) -> Option<&mut Tensor> {
+        self.root.find_mut(id).and_then(|m| m.bias_mut())
+    }
+
+    /// Immutable visit over the module tree.
+    pub fn visit(&self, f: &mut dyn FnMut(&dyn Module)) {
+        self.root.visit(f);
+    }
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Network ({} modules):", self.layer_infos.len())?;
+        for info in &self.layer_infos {
+            write!(f, "  {} {} [{}]", info.id, info.name, info.kind)?;
+            if let Some(w) = &info.weight_dims {
+                write!(f, " weights {w:?}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Conv2d, Relu};
+    use crate::layer::container::Sequential;
+
+    fn tiny_net() -> Network {
+        let mut rng = SeededRng::new(1);
+        Network::new(Box::new(Sequential::new(vec![
+            Box::new(Conv2d::new(3, 4, 3, rustfi_tensor::ConvSpec::new().padding(1), &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Conv2d::new(4, 2, 3, rustfi_tensor::ConvSpec::new().padding(1), &mut rng)),
+        ])))
+    }
+
+    #[test]
+    fn ids_are_assigned_in_preorder() {
+        let net = tiny_net();
+        let infos = net.layer_infos();
+        // Pre-order: Sequential, conv, relu, conv.
+        assert_eq!(infos.len(), 4);
+        assert_eq!(infos[0].kind, LayerKind::Sequential);
+        assert_eq!(infos[1].kind, LayerKind::Conv2d);
+        assert_eq!(infos[2].kind, LayerKind::Relu);
+        assert_eq!(infos[3].kind, LayerKind::Conv2d);
+        for (i, info) in infos.iter().enumerate() {
+            assert_eq!(info.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_auto_generated() {
+        let net = tiny_net();
+        assert_eq!(net.layer_infos()[1].name, "conv1");
+        assert_eq!(net.layer_infos()[2].name, "relu2");
+    }
+
+    #[test]
+    fn injectable_layers_are_convs() {
+        let net = tiny_net();
+        let inj = net.injectable_layers();
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj[0].index(), 1);
+        assert_eq!(inj[1].index(), 3);
+    }
+
+    #[test]
+    fn identical_construction_gives_identical_ids_and_params() {
+        let mut a = tiny_net();
+        let mut b = tiny_net();
+        assert_eq!(a.param_count(), b.param_count());
+        let x = Tensor::ones(&[1, 3, 6, 6]);
+        assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn layer_weight_mut_finds_conv() {
+        let mut net = tiny_net();
+        let conv_id = net.injectable_layers()[0];
+        let w = net.layer_weight_mut(conv_id).expect("conv has weights");
+        assert_eq!(w.dims(), &[4, 3, 3, 3]);
+        // Relu has no weights.
+        let relu_id = net.layer_infos()[2].id;
+        assert!(net.layer_weight_mut(relu_id).is_none());
+    }
+
+    #[test]
+    fn weight_mutation_changes_output() {
+        let mut net = tiny_net();
+        let x = Tensor::ones(&[1, 3, 6, 6]);
+        let before = net.forward(&x);
+        let conv_id = net.injectable_layers()[0];
+        net.layer_weight_mut(conv_id).unwrap().data_mut()[0] += 10.0;
+        let after = net.forward(&x);
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn param_count_matches_architecture() {
+        let mut net = tiny_net();
+        // conv1: 4*3*3*3 + 4 = 112; conv3: 2*4*3*3 + 2 = 74.
+        assert_eq!(net.param_count(), 112 + 74);
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulated_gradients() {
+        let mut net = tiny_net();
+        let x = Tensor::ones(&[1, 3, 6, 6]);
+        let y = net.forward(&x);
+        net.backward(&Tensor::ones(y.dims()));
+        let mut nonzero = 0;
+        net.for_each_param(&mut |p| nonzero += p.grad.data().iter().filter(|&&g| g != 0.0).count());
+        assert!(nonzero > 0, "backward should have produced gradients");
+        net.zero_grad();
+        let mut remaining = 0;
+        net.for_each_param(&mut |p| {
+            remaining += p.grad.data().iter().filter(|&&g| g != 0.0).count()
+        });
+        assert_eq!(remaining, 0);
+    }
+
+    #[test]
+    fn debug_lists_layers() {
+        let net = tiny_net();
+        let s = format!("{net:?}");
+        assert!(s.contains("conv1"));
+        assert!(s.contains("weights [4, 3, 3, 3]"));
+    }
+
+    #[test]
+    fn layer_id_display() {
+        assert_eq!(LayerId::from_index(7).to_string(), "L7");
+    }
+}

@@ -1,0 +1,194 @@
+//! Optimizers.
+
+use crate::module::Network;
+use rustfi_tensor::Tensor;
+
+/// Stochastic gradient descent with momentum and weight decay.
+///
+/// Velocities are allocated lazily on the first step; parameter order is the
+/// network's deterministic traversal order, so one `Sgd` must stay paired
+/// with one network.
+///
+/// # Example
+///
+/// ```
+/// use rustfi_nn::{optim::Sgd, zoo, ZooConfig};
+/// use rustfi_nn::loss::cross_entropy;
+/// use rustfi_tensor::Tensor;
+///
+/// let mut net = zoo::lenet(&ZooConfig::tiny(4));
+/// let mut sgd = Sgd::new(0.1).momentum(0.9);
+/// net.set_training(true);
+/// let x = Tensor::ones(&[2, 3, 16, 16]);
+/// let logits = net.forward(&x);
+/// let (_, grad) = cross_entropy(&logits, &[0, 1]);
+/// net.backward(&grad);
+/// sgd.step(&mut net);
+/// ```
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocities: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "invalid learning rate {lr}");
+        Self {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocities: Vec::new(),
+        }
+    }
+
+    /// Sets the momentum coefficient.
+    pub fn momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum {momentum} out of range");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets L2 weight decay.
+    pub fn weight_decay(mut self, weight_decay: f32) -> Self {
+        assert!(weight_decay >= 0.0, "negative weight decay");
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Changes the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0 && lr.is_finite(), "invalid learning rate {lr}");
+        self.lr = lr;
+    }
+
+    /// Applies one update step from the gradients accumulated in `net`.
+    ///
+    /// Does not zero gradients; call [`Network::zero_grad`] before the next
+    /// backward pass.
+    pub fn step(&mut self, net: &mut Network) {
+        let momentum = self.momentum;
+        let lr = self.lr;
+        let wd = self.weight_decay;
+        let velocities = &mut self.velocities;
+        let mut index = 0;
+        net.for_each_param(&mut |p| {
+            if velocities.len() == index {
+                velocities.push(Tensor::zeros(p.value.dims()));
+            }
+            let v = &mut velocities[index];
+            assert_eq!(
+                v.dims(),
+                p.value.dims(),
+                "optimizer state shape drifted at parameter {index}"
+            );
+            for ((vv, &g), w) in v
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data())
+                .zip(p.value.data_mut())
+            {
+                let g = g + wd * *w;
+                *vv = momentum * *vv - lr * g;
+                *w += *vv;
+            }
+            index += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Linear;
+    use crate::loss::mse;
+    use rustfi_tensor::{SeededRng, Tensor};
+
+    fn one_param_net() -> Network {
+        let mut rng = SeededRng::new(1);
+        Network::new(Box::new(Linear::new(1, 1, &mut rng)))
+    }
+
+    #[test]
+    fn sgd_descends_a_quadratic() {
+        // Fit y = 3x with a single linear unit.
+        let mut net = one_param_net();
+        let mut sgd = Sgd::new(0.1);
+        let x = Tensor::from_vec(vec![1.0], &[1, 1]);
+        let target = Tensor::from_vec(vec![3.0], &[1, 1]);
+        let mut last = f32::INFINITY;
+        for _ in 0..100 {
+            net.zero_grad();
+            let y = net.forward(&x);
+            let (loss, grad) = mse(&y, &target);
+            net.backward(&grad);
+            sgd.step(&mut net);
+            assert!(loss <= last + 1e-4, "loss must not increase: {loss} > {last}");
+            last = loss;
+        }
+        assert!(last < 1e-4, "converged, final loss {last}");
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let runs = |momentum: f32| {
+            let mut net = one_param_net();
+            let mut sgd = Sgd::new(0.02);
+            if momentum > 0.0 {
+                sgd = sgd.momentum(momentum);
+            }
+            let x = Tensor::from_vec(vec![1.0], &[1, 1]);
+            let target = Tensor::from_vec(vec![3.0], &[1, 1]);
+            let mut loss = 0.0;
+            for _ in 0..50 {
+                net.zero_grad();
+                let y = net.forward(&x);
+                let (l, grad) = mse(&y, &target);
+                loss = l;
+                net.backward(&grad);
+                sgd.step(&mut net);
+            }
+            loss
+        };
+        assert!(runs(0.9) < runs(0.0), "momentum converges faster here");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut net = one_param_net();
+        // No data gradient (zero grad), only decay.
+        let mut sgd = Sgd::new(0.1).weight_decay(0.5);
+        let mut before = 0.0;
+        net.for_each_param(&mut |p| before += p.value.sq_norm());
+        net.zero_grad();
+        sgd.step(&mut net);
+        let mut after = 0.0;
+        net.for_each_param(&mut |p| after += p.value.sq_norm());
+        assert!(after < before);
+    }
+
+    #[test]
+    fn set_lr_updates() {
+        let mut sgd = Sgd::new(0.1);
+        sgd.set_lr(0.01);
+        assert_eq!(sgd.lr(), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid learning rate")]
+    fn rejects_zero_lr() {
+        Sgd::new(0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Branch-topology architectures: DenseNet (dense connectivity) and
+//! GoogLeNet (inception modules).
+
+use super::{conv, conv_bn_relu, gap_head, ZooConfig};
+use crate::layer::{AvgPool2d, BatchNorm2d, Branches, MaxPool2d, Relu, Sequential};
+use crate::module::{Module, Network};
+use rustfi_tensor::SeededRng;
+
+/// One dense layer: `y = concat(x, bn-relu-conv3x3(x))`, growing the channel
+/// count by `growth`.
+fn dense_layer(in_ch: usize, growth: usize, rng: &mut SeededRng) -> Box<dyn Module> {
+    let f = Sequential::new(vec![
+        Box::new(BatchNorm2d::new(in_ch)),
+        Box::new(Relu::new()),
+        conv(in_ch, growth, 3, 1, 1, rng),
+    ]);
+    Box::new(Branches::with_input_passthrough(vec![Box::new(f)]))
+}
+
+/// Transition: bn-relu-1×1 conv halving channels, then 2× average pooling.
+fn transition(in_ch: usize, out_ch: usize, rng: &mut SeededRng) -> Vec<Box<dyn Module>> {
+    vec![
+        Box::new(BatchNorm2d::new(in_ch)),
+        Box::new(Relu::new()),
+        conv(in_ch, out_ch, 1, 1, 0, rng),
+        Box::new(AvgPool2d::new(2, 2)),
+    ]
+}
+
+/// DenseNet-style network: two dense blocks of three layers (growth 4) with
+/// a compressing transition between them.
+pub fn densenet(cfg: &ZooConfig) -> Network {
+    cfg.validate();
+    let mut rng = cfg.rng();
+    let growth = cfg.ch(4);
+    let mut layers: Vec<Box<dyn Module>> = Vec::new();
+    let stem = cfg.ch(8);
+    layers.push(conv(cfg.in_channels, stem, 3, 1, 1, &mut rng));
+    let mut ch = stem;
+    for block in 0..2 {
+        for _ in 0..3 {
+            layers.push(dense_layer(ch, growth, &mut rng));
+            ch += growth;
+        }
+        if block == 0 {
+            let out = ch / 2;
+            layers.extend(transition(ch, out, &mut rng));
+            ch = out;
+        }
+    }
+    layers.push(Box::new(BatchNorm2d::new(ch)));
+    layers.push(Box::new(Relu::new()));
+    layers.extend(gap_head(ch, cfg.num_classes, &mut rng));
+    Network::new(Box::new(Sequential::new(layers)))
+}
+
+/// One inception module with four parallel paths: 1×1; 1×1→3×3; 1×1→3×3→3×3
+/// (the 5×5 path factored as two 3×3s, as in Inception-v2); and a 1×1
+/// projection path standing in for the pooled path (our pooling layers do
+/// not pad, so the pool-project branch is simplified to projection only —
+/// documented in DESIGN.md).
+fn inception(in_ch: usize, c1: usize, c3: usize, c5: usize, cp: usize, rng: &mut SeededRng) -> Box<dyn Module> {
+    let path1 = Sequential::new(vec![conv(in_ch, c1, 1, 1, 0, rng), Box::new(Relu::new())]);
+    let path2 = Sequential::new(vec![
+        conv(in_ch, c3 / 2, 1, 1, 0, rng),
+        Box::new(Relu::new()),
+        conv(c3 / 2, c3, 3, 1, 1, rng),
+        Box::new(Relu::new()),
+    ]);
+    let path3 = Sequential::new(vec![
+        conv(in_ch, c5 / 2, 1, 1, 0, rng),
+        Box::new(Relu::new()),
+        conv(c5 / 2, c5, 3, 1, 1, rng),
+        Box::new(Relu::new()),
+        conv(c5, c5, 3, 1, 1, rng),
+        Box::new(Relu::new()),
+    ]);
+    let path4 = Sequential::new(vec![conv(in_ch, cp, 1, 1, 0, rng), Box::new(Relu::new())]);
+    Box::new(Branches::new(vec![
+        Box::new(path1),
+        Box::new(path2),
+        Box::new(path3),
+        Box::new(path4),
+    ]))
+}
+
+/// GoogLeNet-style network: conv stem plus three inception modules with
+/// pooling between them.
+pub fn googlenet(cfg: &ZooConfig) -> Network {
+    cfg.validate();
+    let mut rng = cfg.rng();
+    let stem = cfg.ch(8);
+    let mut layers: Vec<Box<dyn Module>> = Vec::new();
+    layers.extend(conv_bn_relu(cfg.in_channels, stem, 3, 1, 1, &mut rng));
+    layers.push(Box::new(MaxPool2d::new(2, 2)));
+    let (c1, c3, c5, cp) = (cfg.ch(4), cfg.ch(8), cfg.ch(4), cfg.ch(4));
+    let out1 = c1 + c3 + c5 + cp;
+    layers.push(inception(stem, c1, c3, c5, cp, &mut rng));
+    layers.push(Box::new(MaxPool2d::new(2, 2)));
+    let out2 = c1 + c3 + c5 + cp;
+    layers.push(inception(out1, c1, c3, c5, cp, &mut rng));
+    layers.push(inception(out2, c1, c3, c5, cp, &mut rng));
+    layers.extend(gap_head(out2, cfg.num_classes, &mut rng));
+    Network::new(Box::new(Sequential::new(layers)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::LayerKind;
+    use rustfi_tensor::Tensor;
+
+    #[test]
+    fn densenet_channel_growth() {
+        let mut net = densenet(&ZooConfig::tiny(10));
+        let y = net.forward(&Tensor::ones(&[1, 3, 16, 16]));
+        assert_eq!(y.dims(), &[1, 10]);
+        // Dense connectivity means Branches containers with passthrough.
+        let branches = net
+            .layer_infos()
+            .iter()
+            .filter(|l| l.kind == LayerKind::Branches)
+            .count();
+        assert_eq!(branches, 6, "3 dense layers x 2 blocks");
+    }
+
+    #[test]
+    fn googlenet_has_three_inceptions() {
+        let net = googlenet(&ZooConfig::tiny(10));
+        let branches = net
+            .layer_infos()
+            .iter()
+            .filter(|l| l.kind == LayerKind::Branches)
+            .count();
+        assert_eq!(branches, 3);
+    }
+
+    #[test]
+    fn branched_models_backprop_cleanly() {
+        for build in [densenet, googlenet] {
+            let mut net = build(&ZooConfig::tiny(4));
+            net.set_training(true);
+            let x = Tensor::ones(&[2, 3, 16, 16]);
+            let y = net.forward(&x);
+            let (_, g) = crate::loss::cross_entropy(&y, &[0, 3]);
+            let gin = net.backward(&g);
+            assert_eq!(gin.dims(), x.dims());
+            assert!(!gin.has_non_finite());
+        }
+    }
+}

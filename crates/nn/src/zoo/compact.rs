@@ -1,0 +1,181 @@
+//! Mobile/compact architectures: MobileNet (depthwise-separable convs),
+//! ShuffleNet (grouped 1×1 convs + channel shuffle), and SqueezeNet (fire
+//! modules).
+
+#![allow(clippy::vec_init_then_push)]
+
+use super::{conv, conv_bn_relu, gconv, ZooConfig};
+use crate::layer::{
+    BatchNorm2d, Branches, ChannelShuffle, Flatten, GlobalAvgPool, MaxPool2d, Relu, Residual,
+    Sequential,
+};
+use crate::module::{Module, Network};
+use rustfi_tensor::SeededRng;
+
+/// Depthwise-separable block: depthwise 3×3 (groups = channels) then
+/// pointwise 1×1, each followed by bn-relu.
+fn dw_separable(in_ch: usize, out_ch: usize, stride: usize, rng: &mut SeededRng) -> Vec<Box<dyn Module>> {
+    let mut layers: Vec<Box<dyn Module>> = Vec::new();
+    layers.push(gconv(in_ch, in_ch, 3, stride, 1, in_ch, rng)); // depthwise
+    layers.push(Box::new(BatchNorm2d::new(in_ch)));
+    layers.push(Box::new(Relu::new()));
+    layers.push(conv(in_ch, out_ch, 1, 1, 0, rng)); // pointwise
+    layers.push(Box::new(BatchNorm2d::new(out_ch)));
+    layers.push(Box::new(Relu::new()));
+    layers
+}
+
+/// MobileNet-style network: conv stem plus a stack of depthwise-separable
+/// blocks, two of them strided.
+pub fn mobilenet(cfg: &ZooConfig) -> Network {
+    cfg.validate();
+    let mut rng = cfg.rng();
+    let mut layers: Vec<Box<dyn Module>> = Vec::new();
+    let c = [cfg.ch(8), cfg.ch(16), cfg.ch(16), cfg.ch(32), cfg.ch(32)];
+    layers.extend(conv_bn_relu(cfg.in_channels, c[0], 3, 1, 1, &mut rng));
+    layers.extend(dw_separable(c[0], c[1], 2, &mut rng));
+    layers.extend(dw_separable(c[1], c[2], 1, &mut rng));
+    layers.extend(dw_separable(c[2], c[3], 2, &mut rng));
+    layers.extend(dw_separable(c[3], c[4], 1, &mut rng));
+    layers.extend(super::gap_head(c[4], cfg.num_classes, &mut rng));
+    Network::new(Box::new(Sequential::new(layers)))
+}
+
+/// ShuffleNet unit: grouped 1×1 conv, channel shuffle, depthwise 3×3,
+/// grouped 1×1 conv, with a residual add (stride-1, equal channels).
+fn shuffle_unit(ch: usize, groups: usize, rng: &mut SeededRng) -> Box<dyn Module> {
+    let mid = ch / 2;
+    let body = Sequential::new(vec![
+        gconv(ch, mid, 1, 1, 0, groups, rng),
+        Box::new(BatchNorm2d::new(mid)),
+        Box::new(Relu::new()),
+        Box::new(ChannelShuffle::new(groups)),
+        gconv(mid, mid, 3, 1, 1, mid, rng), // depthwise
+        Box::new(BatchNorm2d::new(mid)),
+        gconv(mid, ch, 1, 1, 0, groups, rng),
+        Box::new(BatchNorm2d::new(ch)),
+    ]);
+    Box::new(Residual::new(Box::new(body)))
+}
+
+/// ShuffleNet-style network: conv stem, stages of shuffle units separated by
+/// strided downsampling convolutions.
+///
+/// The paper's stride-2 unit (concatenated average-pool shortcut) is
+/// simplified to a strided grouped conv between stages; the defining grouped
+/// 1×1 + channel-shuffle structure is kept (see DESIGN.md).
+pub fn shufflenet(cfg: &ZooConfig) -> Network {
+    cfg.validate();
+    let mut rng = cfg.rng();
+    let groups = 2;
+    // Widths must be divisible by 2*groups for the grouped mid channels.
+    let w1 = cfg.ch(8).div_ceil(4) * 4;
+    let w2 = (cfg.ch(16)).div_ceil(4) * 4;
+    let mut layers: Vec<Box<dyn Module>> = Vec::new();
+    layers.extend(conv_bn_relu(cfg.in_channels, w1, 3, 1, 1, &mut rng));
+    layers.push(shuffle_unit(w1, groups, &mut rng));
+    layers.push(Box::new(Relu::new()));
+    layers.push(gconv(w1, w2, 3, 2, 1, groups, &mut rng));
+    layers.push(Box::new(BatchNorm2d::new(w2)));
+    layers.push(Box::new(Relu::new()));
+    layers.push(shuffle_unit(w2, groups, &mut rng));
+    layers.push(Box::new(Relu::new()));
+    layers.push(shuffle_unit(w2, groups, &mut rng));
+    layers.push(Box::new(Relu::new()));
+    layers.push(Box::new(MaxPool2d::new(2, 2)));
+    layers.extend(super::gap_head(w2, cfg.num_classes, &mut rng));
+    Network::new(Box::new(Sequential::new(layers)))
+}
+
+/// SqueezeNet fire module: a 1×1 "squeeze" conv followed by parallel 1×1 and
+/// 3×3 "expand" convs whose outputs concatenate.
+fn fire(in_ch: usize, squeeze: usize, expand: usize, rng: &mut SeededRng) -> Vec<Box<dyn Module>> {
+    let expand1 = Sequential::new(vec![conv(squeeze, expand, 1, 1, 0, rng), Box::new(Relu::new())]);
+    let expand3 = Sequential::new(vec![conv(squeeze, expand, 3, 1, 1, rng), Box::new(Relu::new())]);
+    vec![
+        conv(in_ch, squeeze, 1, 1, 0, rng),
+        Box::new(Relu::new()),
+        Box::new(Branches::new(vec![Box::new(expand1), Box::new(expand3)])),
+    ]
+}
+
+/// SqueezeNet-style network: conv stem, three fire modules with pooling, and
+/// the SqueezeNet signature classifier (1×1 conv to classes + global average
+/// pooling, no fully-connected layer).
+pub fn squeezenet(cfg: &ZooConfig) -> Network {
+    cfg.validate();
+    let mut rng = cfg.rng();
+    let stem = cfg.ch(8);
+    let (s, e) = (cfg.ch(4), cfg.ch(8));
+    let mut layers: Vec<Box<dyn Module>> = Vec::new();
+    layers.push(conv(cfg.in_channels, stem, 3, 1, 1, &mut rng));
+    layers.push(Box::new(Relu::new()));
+    layers.push(Box::new(MaxPool2d::new(2, 2)));
+    layers.extend(fire(stem, s, e, &mut rng));
+    layers.extend(fire(2 * e, s, e, &mut rng));
+    layers.push(Box::new(MaxPool2d::new(2, 2)));
+    layers.extend(fire(2 * e, s, e, &mut rng));
+    // Classifier: 1x1 conv to class maps, then GAP. Unlike the original
+    // SqueezeNet we omit the ReLU after the class conv: with scaled-down
+    // widths it pins logits non-negative and lets dying ReLUs silence whole
+    // classes permanently.
+    layers.push(conv(2 * e, cfg.num_classes, 1, 1, 0, &mut rng));
+    layers.push(Box::new(GlobalAvgPool::new()));
+    layers.push(Box::new(Flatten::new()));
+    Network::new(Box::new(Sequential::new(layers)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::LayerKind;
+    use rustfi_tensor::Tensor;
+
+    #[test]
+    fn mobilenet_has_depthwise_convs() {
+        let net = mobilenet(&ZooConfig::tiny(10));
+        // Depthwise conv weights have shape [c, 1, 3, 3].
+        let depthwise = net
+            .layer_infos()
+            .iter()
+            .filter(|l| matches!(&l.weight_dims, Some(d) if d.len() == 4 && d[1] == 1 && d[2] == 3))
+            .count();
+        assert_eq!(depthwise, 4, "one per separable block");
+    }
+
+    #[test]
+    fn shufflenet_contains_shuffles_and_groups() {
+        let net = shufflenet(&ZooConfig::tiny(10));
+        let shuffles = net
+            .layer_infos()
+            .iter()
+            .filter(|l| l.kind == LayerKind::ChannelShuffle)
+            .count();
+        assert_eq!(shuffles, 3, "one per shuffle unit");
+    }
+
+    #[test]
+    fn squeezenet_has_no_linear_layer() {
+        let net = squeezenet(&ZooConfig::tiny(10));
+        let linears = net
+            .layer_infos()
+            .iter()
+            .filter(|l| l.kind == LayerKind::Linear)
+            .count();
+        assert_eq!(linears, 0, "SqueezeNet classifies with a 1x1 conv + GAP");
+    }
+
+    #[test]
+    fn compact_models_forward_and_backward() {
+        for build in [mobilenet, shufflenet, squeezenet] {
+            let mut net = build(&ZooConfig::tiny(5));
+            net.set_training(true);
+            let x = Tensor::ones(&[2, 3, 16, 16]);
+            let y = net.forward(&x);
+            assert_eq!(y.dims(), &[2, 5]);
+            let (_, g) = crate::loss::cross_entropy(&y, &[0, 4]);
+            let gin = net.backward(&g);
+            assert_eq!(gin.dims(), x.dims());
+        }
+    }
+}

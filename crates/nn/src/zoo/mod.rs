@@ -1,0 +1,384 @@
+//! A model zoo of scaled-down but topologically faithful versions of the
+//! networks evaluated in the PyTorchFI paper (Fig. 3/4: AlexNet, VGG-19,
+//! ResNet-18/50/110, PreResNet-110, ResNeXt, DenseNet, GoogLeNet, MobileNet,
+//! ShuffleNet, SqueezeNet).
+//!
+//! Each architecture keeps the topological feature that defines it (residual
+//! paths, dense connectivity, fire modules, inception branches, grouped
+//! convolutions, channel shuffling, depthwise separability, pre-activation
+//! ordering) at a parameter count small enough that the full experiment suite
+//! trains on a laptop CPU in minutes. See `DESIGN.md` §1 for why this
+//! substitution preserves the paper's resiliency phenomenology.
+
+#![allow(clippy::vec_init_then_push)]
+
+mod branched;
+mod compact;
+mod resnets;
+
+pub use branched::{densenet, googlenet};
+pub use compact::{mobilenet, shufflenet, squeezenet};
+pub use resnets::{preresnet110, resnet110, resnet18, resnet50, resnext};
+
+use crate::layer::{
+    BatchNorm2d, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu, Sequential,
+};
+use crate::module::{Module, Network};
+use rustfi_tensor::{ConvSpec, SeededRng};
+
+/// Shared constructor parameters for zoo models.
+#[derive(Debug, Clone)]
+pub struct ZooConfig {
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Input channels (3 for RGB-like synthetic images).
+    pub in_channels: usize,
+    /// Square input size; must be divisible by 8 (three 2× downsamplings).
+    pub image_hw: usize,
+    /// Channel width multiplier (1.0 = default tiny widths).
+    pub width: f32,
+    /// Seed for weight initialization.
+    pub seed: u64,
+}
+
+impl ZooConfig {
+    /// The default tiny configuration: 3×16×16 inputs, width 1.0.
+    pub fn tiny(num_classes: usize) -> Self {
+        Self {
+            num_classes,
+            in_channels: 3,
+            image_hw: 16,
+            width: 1.0,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Config matching the synthetic CIFAR-10-like dataset.
+    pub fn cifar10_like() -> Self {
+        Self::tiny(10)
+    }
+
+    /// Config matching the synthetic CIFAR-100-like dataset.
+    pub fn cifar100_like() -> Self {
+        Self::tiny(100)
+    }
+
+    /// Config matching the synthetic ImageNet-like dataset (more classes,
+    /// slightly wider models).
+    pub fn imagenet_like() -> Self {
+        Self {
+            num_classes: 20,
+            width: 1.5,
+            ..Self::tiny(20)
+        }
+    }
+
+    /// Replaces the init seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the width multiplier.
+    pub fn with_width(mut self, width: f32) -> Self {
+        self.width = width;
+        self
+    }
+
+    pub(crate) fn rng(&self) -> SeededRng {
+        SeededRng::new(self.seed)
+    }
+
+    /// Scales a base channel count by the width multiplier (at least 1, and
+    /// even so grouped convolutions stay legal).
+    pub(crate) fn ch(&self, base: usize) -> usize {
+        let scaled = ((base as f32 * self.width).round() as usize).max(1);
+        if scaled > 1 && scaled % 2 == 1 {
+            scaled + 1
+        } else {
+            scaled
+        }
+    }
+
+    pub(crate) fn validate(&self) {
+        assert!(self.num_classes >= 2, "need at least two classes");
+        assert!(self.in_channels > 0, "need at least one input channel");
+        assert!(
+            self.image_hw >= 8 && self.image_hw.is_multiple_of(8),
+            "image size {} must be a positive multiple of 8",
+            self.image_hw
+        );
+        assert!(self.width > 0.0, "width multiplier must be positive");
+    }
+}
+
+// ---- shared building blocks -------------------------------------------------
+
+pub(crate) fn conv(
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    rng: &mut SeededRng,
+) -> Box<dyn Module> {
+    Box::new(Conv2d::new(
+        in_ch,
+        out_ch,
+        k,
+        ConvSpec::new().stride(stride).padding(pad),
+        rng,
+    ))
+}
+
+pub(crate) fn gconv(
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    groups: usize,
+    rng: &mut SeededRng,
+) -> Box<dyn Module> {
+    Box::new(Conv2d::new(
+        in_ch,
+        out_ch,
+        k,
+        ConvSpec::new().stride(stride).padding(pad).groups(groups),
+        rng,
+    ))
+}
+
+pub(crate) fn conv_bn_relu(
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    rng: &mut SeededRng,
+) -> Vec<Box<dyn Module>> {
+    vec![
+        conv(in_ch, out_ch, k, stride, pad, rng),
+        Box::new(BatchNorm2d::new(out_ch)),
+        Box::new(Relu::new()),
+    ]
+}
+
+/// GAP → flatten → linear classifier head.
+pub(crate) fn gap_head(channels: usize, num_classes: usize, rng: &mut SeededRng) -> Vec<Box<dyn Module>> {
+    vec![
+        Box::new(GlobalAvgPool::new()),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(channels, num_classes, rng)),
+    ]
+}
+
+// ---- simple models ----------------------------------------------------------
+
+/// A LeNet-style two-conv network; the quickstart model.
+pub fn lenet(cfg: &ZooConfig) -> Network {
+    cfg.validate();
+    let mut rng = cfg.rng();
+    let c1 = cfg.ch(6);
+    let c2 = cfg.ch(12);
+    let feat = cfg.image_hw / 4;
+    let mut layers: Vec<Box<dyn Module>> = Vec::new();
+    layers.push(conv(cfg.in_channels, c1, 5, 1, 2, &mut rng));
+    layers.push(Box::new(Relu::new()));
+    layers.push(Box::new(MaxPool2d::new(2, 2)));
+    layers.push(conv(c1, c2, 5, 1, 2, &mut rng));
+    layers.push(Box::new(Relu::new()));
+    layers.push(Box::new(MaxPool2d::new(2, 2)));
+    layers.push(Box::new(Flatten::new()));
+    layers.push(Box::new(Linear::new(c2 * feat * feat, cfg.ch(32), &mut rng)));
+    layers.push(Box::new(Relu::new()));
+    layers.push(Box::new(Linear::new(cfg.ch(32), cfg.num_classes, &mut rng)));
+    Network::new(Box::new(Sequential::new(layers)))
+}
+
+/// AlexNet (five conv layers, three pools, two-layer FC head with dropout).
+pub fn alexnet(cfg: &ZooConfig) -> Network {
+    cfg.validate();
+    let mut rng = cfg.rng();
+    let (c1, c2, c3, c4, c5) = (cfg.ch(8), cfg.ch(16), cfg.ch(24), cfg.ch(16), cfg.ch(16));
+    let feat = cfg.image_hw / 8;
+    let mut layers: Vec<Box<dyn Module>> = Vec::new();
+    layers.push(conv(cfg.in_channels, c1, 3, 1, 1, &mut rng));
+    layers.push(Box::new(Relu::new()));
+    layers.push(Box::new(MaxPool2d::new(2, 2)));
+    layers.push(conv(c1, c2, 3, 1, 1, &mut rng));
+    layers.push(Box::new(Relu::new()));
+    layers.push(Box::new(MaxPool2d::new(2, 2)));
+    layers.push(conv(c2, c3, 3, 1, 1, &mut rng));
+    layers.push(Box::new(Relu::new()));
+    layers.push(conv(c3, c4, 3, 1, 1, &mut rng));
+    layers.push(Box::new(Relu::new()));
+    layers.push(conv(c4, c5, 3, 1, 1, &mut rng));
+    layers.push(Box::new(Relu::new()));
+    layers.push(Box::new(MaxPool2d::new(2, 2)));
+    layers.push(Box::new(Flatten::new()));
+    layers.push(Box::new(Linear::new(c5 * feat * feat, cfg.ch(64), &mut rng)));
+    layers.push(Box::new(Relu::new()));
+    layers.push(Box::new(Dropout::new(0.25)));
+    layers.push(Box::new(Linear::new(cfg.ch(64), cfg.num_classes, &mut rng)));
+    Network::new(Box::new(Sequential::new(layers)))
+}
+
+/// VGG-19-style plain conv stack: `[2, 2, 4]` convs per stage with pooling
+/// between stages and a linear head.
+pub fn vgg19(cfg: &ZooConfig) -> Network {
+    cfg.validate();
+    let mut rng = cfg.rng();
+    let stages: [(usize, usize); 3] = [(cfg.ch(8), 2), (cfg.ch(16), 2), (cfg.ch(32), 4)];
+    let mut layers: Vec<Box<dyn Module>> = Vec::new();
+    let mut in_ch = cfg.in_channels;
+    for (out_ch, n) in stages {
+        for _ in 0..n {
+            layers.push(conv(in_ch, out_ch, 3, 1, 1, &mut rng));
+            layers.push(Box::new(Relu::new()));
+            in_ch = out_ch;
+        }
+        layers.push(Box::new(MaxPool2d::new(2, 2)));
+    }
+    layers.extend(gap_head(in_ch, cfg.num_classes, &mut rng));
+    Network::new(Box::new(Sequential::new(layers)))
+}
+
+// ---- registry ----------------------------------------------------------------
+
+/// Names accepted by [`by_name`], in a stable order.
+pub fn model_names() -> &'static [&'static str] {
+    &[
+        "lenet",
+        "alexnet",
+        "vgg19",
+        "resnet18",
+        "resnet50",
+        "resnet110",
+        "preresnet110",
+        "resnext",
+        "densenet",
+        "googlenet",
+        "mobilenet",
+        "shufflenet",
+        "squeezenet",
+    ]
+}
+
+/// Constructs a zoo model by name. Returns `None` for unknown names.
+pub fn by_name(name: &str, cfg: &ZooConfig) -> Option<Network> {
+    Some(match name {
+        "lenet" => lenet(cfg),
+        "alexnet" => alexnet(cfg),
+        "vgg19" => vgg19(cfg),
+        "resnet18" => resnet18(cfg),
+        "resnet50" => resnet50(cfg),
+        "resnet110" => resnet110(cfg),
+        "preresnet110" => preresnet110(cfg),
+        "resnext" => resnext(cfg),
+        "densenet" => densenet(cfg),
+        "googlenet" => googlenet(cfg),
+        "mobilenet" => mobilenet(cfg),
+        "shufflenet" => shufflenet(cfg),
+        "squeezenet" => squeezenet(cfg),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rustfi_tensor::Tensor;
+
+    #[test]
+    fn every_model_builds_and_infers() {
+        let cfg = ZooConfig::tiny(10);
+        let x = Tensor::ones(&[2, 3, 16, 16]);
+        for name in model_names() {
+            let mut net = by_name(name, &cfg).expect("registered model");
+            let y = net.forward(&x);
+            assert_eq!(y.dims(), &[2, 10], "{name} output shape");
+            assert!(!y.has_non_finite(), "{name} produced non-finite logits");
+        }
+    }
+
+    #[test]
+    fn every_model_backprops() {
+        let cfg = ZooConfig::tiny(4);
+        let x = Tensor::ones(&[2, 3, 16, 16]);
+        for name in model_names() {
+            let mut net = by_name(name, &cfg).expect("registered model");
+            net.set_training(true);
+            let y = net.forward(&x);
+            let (_, grad) = crate::loss::cross_entropy(&y, &[0, 1]);
+            let gin = net.backward(&grad);
+            assert_eq!(gin.dims(), x.dims(), "{name} input gradient shape");
+            let mut total = 0.0;
+            net.for_each_param(&mut |p| total += p.grad.sq_norm());
+            assert!(total > 0.0, "{name} has zero gradients");
+        }
+    }
+
+    #[test]
+    fn by_name_rejects_unknown() {
+        assert!(by_name("transformer", &ZooConfig::tiny(2)).is_none());
+    }
+
+    #[test]
+    fn models_have_injectable_conv_layers() {
+        let cfg = ZooConfig::tiny(10);
+        for name in model_names() {
+            let net = by_name(name, &cfg).unwrap();
+            assert!(
+                net.injectable_layers().len() >= 2,
+                "{name} should expose conv/linear layers"
+            );
+        }
+    }
+
+    #[test]
+    fn width_multiplier_scales_parameters() {
+        let cfg1 = ZooConfig::tiny(10);
+        let cfg2 = ZooConfig::tiny(10).with_width(2.0);
+        let mut a = vgg19(&cfg1);
+        let mut b = vgg19(&cfg2);
+        assert!(b.param_count() > 2 * a.param_count());
+    }
+
+    #[test]
+    fn seeds_change_weights_not_shapes() {
+        let a = alexnet(&ZooConfig::tiny(10));
+        let b = alexnet(&ZooConfig::tiny(10).with_seed(99));
+        let dims_a: Vec<_> = a.layer_infos().iter().map(|l| l.weight_dims.clone()).collect();
+        let dims_b: Vec<_> = b.layer_infos().iter().map(|l| l.weight_dims.clone()).collect();
+        assert_eq!(dims_a, dims_b);
+        let mut a = a;
+        let mut b = b;
+        let x = Tensor::ones(&[1, 3, 16, 16]);
+        assert_ne!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn imagenet_like_config_is_wider() {
+        let mut tiny = resnet50(&ZooConfig::tiny(20));
+        let mut wide = resnet50(&ZooConfig::imagenet_like());
+        assert!(wide.param_count() > tiny.param_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn config_rejects_bad_image_size() {
+        let mut cfg = ZooConfig::tiny(10);
+        cfg.image_hw = 12;
+        lenet(&cfg);
+    }
+
+    #[test]
+    fn larger_input_sizes_work() {
+        let mut cfg = ZooConfig::tiny(10);
+        cfg.image_hw = 32;
+        let mut net = alexnet(&cfg);
+        let y = net.forward(&Tensor::ones(&[1, 3, 32, 32]));
+        assert_eq!(y.dims(), &[1, 10]);
+    }
+}

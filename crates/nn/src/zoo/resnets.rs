@@ -1,0 +1,250 @@
+//! Residual-family architectures: ResNet (basic and bottleneck),
+//! pre-activation ResNet, and ResNeXt (grouped bottleneck).
+
+use super::{conv, conv_bn_relu, gap_head, gconv, ZooConfig};
+use crate::layer::{BatchNorm2d, Relu, Residual, Sequential};
+use crate::module::{Module, Network};
+use rustfi_tensor::SeededRng;
+
+/// Basic residual block: conv-bn-relu-conv-bn plus skip, ReLU after the add.
+fn basic_block(in_ch: usize, out_ch: usize, stride: usize, rng: &mut SeededRng) -> Vec<Box<dyn Module>> {
+    let mut body: Vec<Box<dyn Module>> = Vec::new();
+    body.extend(conv_bn_relu(in_ch, out_ch, 3, stride, 1, rng));
+    body.push(conv(out_ch, out_ch, 3, 1, 1, rng));
+    body.push(Box::new(BatchNorm2d::new(out_ch)));
+    let body = Box::new(Sequential::new(body));
+    let block: Box<dyn Module> = if stride != 1 || in_ch != out_ch {
+        let shortcut = Sequential::new(vec![
+            conv(in_ch, out_ch, 1, stride, 0, rng),
+            Box::new(BatchNorm2d::new(out_ch)),
+        ]);
+        Box::new(Residual::with_shortcut(body, Box::new(shortcut)))
+    } else {
+        Box::new(Residual::new(body))
+    };
+    vec![block, Box::new(Relu::new())]
+}
+
+/// Bottleneck block: 1×1 reduce, 3×3 (optionally grouped), 1×1 expand.
+fn bottleneck_block(
+    in_ch: usize,
+    mid_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    groups: usize,
+    rng: &mut SeededRng,
+) -> Vec<Box<dyn Module>> {
+    let mut body: Vec<Box<dyn Module>> = Vec::new();
+    body.extend(conv_bn_relu(in_ch, mid_ch, 1, 1, 0, rng));
+    body.push(gconv(mid_ch, mid_ch, 3, stride, 1, groups, rng));
+    body.push(Box::new(BatchNorm2d::new(mid_ch)));
+    body.push(Box::new(Relu::new()));
+    body.push(conv(mid_ch, out_ch, 1, 1, 0, rng));
+    body.push(Box::new(BatchNorm2d::new(out_ch)));
+    let body = Box::new(Sequential::new(body));
+    let block: Box<dyn Module> = if stride != 1 || in_ch != out_ch {
+        let shortcut = Sequential::new(vec![
+            conv(in_ch, out_ch, 1, stride, 0, rng),
+            Box::new(BatchNorm2d::new(out_ch)),
+        ]);
+        Box::new(Residual::with_shortcut(body, Box::new(shortcut)))
+    } else {
+        Box::new(Residual::new(body))
+    };
+    vec![block, Box::new(Relu::new())]
+}
+
+/// Pre-activation basic block (He et al. 2016): bn-relu-conv, bn-relu-conv
+/// plus skip, *no* post-addition ReLU.
+fn preact_block(in_ch: usize, out_ch: usize, stride: usize, rng: &mut SeededRng) -> Box<dyn Module> {
+    let body = Sequential::new(vec![
+        Box::new(BatchNorm2d::new(in_ch)),
+        Box::new(Relu::new()),
+        conv(in_ch, out_ch, 3, stride, 1, rng),
+        Box::new(BatchNorm2d::new(out_ch)),
+        Box::new(Relu::new()),
+        conv(out_ch, out_ch, 3, 1, 1, rng),
+    ]);
+    if stride != 1 || in_ch != out_ch {
+        Box::new(Residual::with_shortcut(
+            Box::new(body),
+            conv(in_ch, out_ch, 1, stride, 0, rng),
+        ))
+    } else {
+        Box::new(Residual::new(Box::new(body)))
+    }
+}
+
+fn resnet_basic(cfg: &ZooConfig, blocks_per_stage: usize) -> Network {
+    cfg.validate();
+    let mut rng = cfg.rng();
+    let widths = [cfg.ch(8), cfg.ch(16), cfg.ch(32)];
+    let mut layers: Vec<Box<dyn Module>> = Vec::new();
+    layers.extend(conv_bn_relu(cfg.in_channels, widths[0], 3, 1, 1, &mut rng));
+    let mut in_ch = widths[0];
+    for (stage, &w) in widths.iter().enumerate() {
+        for b in 0..blocks_per_stage {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            layers.extend(basic_block(in_ch, w, stride, &mut rng));
+            in_ch = w;
+        }
+    }
+    layers.extend(gap_head(in_ch, cfg.num_classes, &mut rng));
+    Network::new(Box::new(Sequential::new(layers)))
+}
+
+/// ResNet-18-style network: basic blocks, 2 per stage.
+pub fn resnet18(cfg: &ZooConfig) -> Network {
+    resnet_basic(cfg, 2)
+}
+
+/// ResNet-110-style (CIFAR) network: basic blocks, 3 per stage (scaled from
+/// the paper's 18-per-stage).
+pub fn resnet110(cfg: &ZooConfig) -> Network {
+    resnet_basic(cfg, 3)
+}
+
+/// ResNet-50-style network: bottleneck blocks with 4× expansion, 2 per stage.
+pub fn resnet50(cfg: &ZooConfig) -> Network {
+    cfg.validate();
+    let mut rng = cfg.rng();
+    let mids = [cfg.ch(4), cfg.ch(8), cfg.ch(16)];
+    let mut layers: Vec<Box<dyn Module>> = Vec::new();
+    let stem = cfg.ch(8);
+    layers.extend(conv_bn_relu(cfg.in_channels, stem, 3, 1, 1, &mut rng));
+    let mut in_ch = stem;
+    for (stage, &mid) in mids.iter().enumerate() {
+        let out = mid * 4;
+        for b in 0..2 {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            layers.extend(bottleneck_block(in_ch, mid, out, stride, 1, &mut rng));
+            in_ch = out;
+        }
+    }
+    layers.extend(gap_head(in_ch, cfg.num_classes, &mut rng));
+    Network::new(Box::new(Sequential::new(layers)))
+}
+
+/// Pre-activation ResNet-110-style network.
+pub fn preresnet110(cfg: &ZooConfig) -> Network {
+    cfg.validate();
+    let mut rng = cfg.rng();
+    let widths = [cfg.ch(8), cfg.ch(16), cfg.ch(32)];
+    let mut layers: Vec<Box<dyn Module>> = Vec::new();
+    layers.push(conv(cfg.in_channels, widths[0], 3, 1, 1, &mut rng));
+    let mut in_ch = widths[0];
+    for (stage, &w) in widths.iter().enumerate() {
+        for b in 0..3 {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            layers.push(preact_block(in_ch, w, stride, &mut rng));
+            in_ch = w;
+        }
+    }
+    // Final BN-ReLU before the head, as in the pre-activation paper.
+    layers.push(Box::new(BatchNorm2d::new(in_ch)));
+    layers.push(Box::new(Relu::new()));
+    layers.extend(gap_head(in_ch, cfg.num_classes, &mut rng));
+    Network::new(Box::new(Sequential::new(layers)))
+}
+
+/// ResNeXt-style network: bottleneck blocks whose 3×3 convolution is grouped
+/// (cardinality 4).
+pub fn resnext(cfg: &ZooConfig) -> Network {
+    cfg.validate();
+    let mut rng = cfg.rng();
+    let cardinality = 4;
+    let mids = [cfg.ch(8), cfg.ch(16), cfg.ch(32)];
+    let mut layers: Vec<Box<dyn Module>> = Vec::new();
+    let stem = cfg.ch(8);
+    layers.extend(conv_bn_relu(cfg.in_channels, stem, 3, 1, 1, &mut rng));
+    let mut in_ch = stem;
+    for (stage, &mid) in mids.iter().enumerate() {
+        // Keep mid divisible by the cardinality.
+        let mid = mid.div_ceil(cardinality) * cardinality;
+        let out = mid * 2;
+        for b in 0..2 {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            layers.extend(bottleneck_block(in_ch, mid, out, stride, cardinality, &mut rng));
+            in_ch = out;
+        }
+    }
+    layers.extend(gap_head(in_ch, cfg.num_classes, &mut rng));
+    Network::new(Box::new(Sequential::new(layers)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::LayerKind;
+    use rustfi_tensor::Tensor;
+
+    #[test]
+    fn resnet18_has_residual_blocks() {
+        let net = resnet18(&ZooConfig::tiny(10));
+        let residuals = net
+            .layer_infos()
+            .iter()
+            .filter(|l| l.kind == LayerKind::Residual)
+            .count();
+        assert_eq!(residuals, 6, "2 blocks x 3 stages");
+    }
+
+    #[test]
+    fn resnet110_is_deeper_than_resnet18() {
+        let a = resnet18(&ZooConfig::tiny(10));
+        let b = resnet110(&ZooConfig::tiny(10));
+        assert!(b.module_count() > a.module_count());
+    }
+
+    #[test]
+    fn resnet50_uses_bottlenecks() {
+        let mut net = resnet50(&ZooConfig::tiny(10));
+        // Bottleneck blocks contain 1x1 convolutions.
+        let has_1x1 = net
+            .layer_infos()
+            .iter()
+            .any(|l| matches!(&l.weight_dims, Some(d) if d.len() == 4 && d[2] == 1 && d[3] == 1));
+        assert!(has_1x1);
+        let y = net.forward(&Tensor::ones(&[1, 3, 16, 16]));
+        assert_eq!(y.dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn preresnet_starts_blocks_with_bn() {
+        // Pre-activation: first op inside a residual body is BatchNorm.
+        let net = preresnet110(&ZooConfig::tiny(10));
+        let infos = net.layer_infos();
+        let first_res = infos.iter().position(|l| l.kind == LayerKind::Residual).unwrap();
+        // Pre-order: Residual, Sequential (body), BatchNorm...
+        assert_eq!(infos[first_res + 1].kind, LayerKind::Sequential);
+        assert_eq!(infos[first_res + 2].kind, LayerKind::BatchNorm2d);
+    }
+
+    #[test]
+    fn resnext_uses_grouped_convs() {
+        let net = resnext(&ZooConfig::tiny(10));
+        // Grouped 3x3 conv: weight in-channels (dim 1) < its layer's input
+        // channels; detectable as mid/groups < mid. With cardinality 4 and
+        // mid >= 8, some conv has dims[1] * 4 == preceding channel width.
+        let has_grouped = net.layer_infos().iter().any(|l| {
+            matches!(&l.weight_dims, Some(d) if d.len() == 4 && d[2] == 3 && d[0] == d[1] * 4)
+        });
+        assert!(has_grouped, "expected a cardinality-4 grouped conv");
+    }
+
+    #[test]
+    fn residual_models_train_one_step_without_nan() {
+        for build in [resnet18, resnet50, preresnet110, resnext] {
+            let mut net = build(&ZooConfig::tiny(4));
+            net.set_training(true);
+            let x = Tensor::ones(&[4, 3, 16, 16]);
+            let y = net.forward(&x);
+            let (_, g) = crate::loss::cross_entropy(&y, &[0, 1, 2, 3]);
+            net.backward(&g);
+            let mut sgd = crate::optim::Sgd::new(0.01);
+            sgd.step(&mut net);
+            let y2 = net.forward(&x);
+            assert!(!y2.has_non_finite());
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! FP32 bit-flip fault models.
+//!
+//! Thin semantic layer over [`rustfi_tensor::bits`]: random-bit selection and
+//! field-aware helpers used by perturbation models that target IEEE-754
+//! values directly (the object-detection use case injects uniformly random
+//! FP32 values; other studies flip specific exponent/mantissa bits).
+
+use rustfi_tensor::bits;
+use rustfi_tensor::SeededRng;
+
+/// Flips one uniformly chosen bit of an `f32`.
+pub fn flip_random_bit(value: f32, rng: &mut SeededRng) -> f32 {
+    bits::flip_bit_f32(value, rng.below(32) as u32)
+}
+
+/// Flips one uniformly chosen *exponent* bit (bits 23–30) — the flips most
+/// likely to produce egregious magnitudes.
+pub fn flip_random_exponent_bit(value: f32, rng: &mut SeededRng) -> f32 {
+    bits::flip_bit_f32(value, 23 + rng.below(8) as u32)
+}
+
+/// Flips one uniformly chosen *mantissa* bit (bits 0–22) — small relative
+/// perturbations.
+pub fn flip_random_mantissa_bit(value: f32, rng: &mut SeededRng) -> f32 {
+    bits::flip_bit_f32(value, rng.below(23) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_flip_changes_bits_deterministically() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(1);
+        let x = 1.25f32;
+        assert_eq!(flip_random_bit(x, &mut a), flip_random_bit(x, &mut b));
+        assert_ne!(flip_random_bit(x, &mut a).to_bits(), x.to_bits());
+    }
+
+    #[test]
+    fn exponent_flip_changes_magnitude_class() {
+        let mut rng = SeededRng::new(2);
+        for _ in 0..32 {
+            let y = flip_random_exponent_bit(1.0, &mut rng);
+            let ratio = (y / 1.0).abs();
+            assert!(
+                ratio <= 0.5 + 1e-6 || ratio >= 2.0 - 1e-6,
+                "exponent flip at least halves or doubles: {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn mantissa_flip_keeps_sign_and_exponent_class() {
+        let mut rng = SeededRng::new(3);
+        for _ in 0..32 {
+            let y = flip_random_mantissa_bit(4.0, &mut rng);
+            assert!(y > 0.0, "sign preserved");
+            assert!((4.0..8.0).contains(&y), "same binade, got {y}");
+        }
+    }
+}

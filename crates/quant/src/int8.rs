@@ -1,0 +1,228 @@
+//! Symmetric INT8 quantization and INT8 bit-flip fault models.
+//!
+//! The scheme is symmetric per-tensor quantization with the zero point fixed
+//! at 0 and the representable range `[-127, 127]` (the value `-128` is left
+//! unused, as common INT8 inference kernels do):
+//!
+//! ```text
+//! scale = max|x| / 127        q = clamp(round(x / scale), -127, 127)
+//! ```
+
+use rustfi_tensor::Tensor;
+
+/// Largest representable quantized magnitude.
+pub const QMAX: i32 = 127;
+
+/// Number of bits in the INT8 representation.
+pub const INT8_BITS: u32 = 8;
+
+/// Minimum scale used to avoid division by zero for all-zero tensors.
+const MIN_SCALE: f32 = 1e-12;
+
+/// Quantization scale that maps `max_abs` to [`QMAX`].
+///
+/// A non-finite `max_abs` (which arises when quantizing activations that an
+/// upstream fault has driven to ±∞) saturates to the largest finite range,
+/// mirroring hardware that clamps at the representable maximum.
+///
+/// # Panics
+///
+/// Panics if `max_abs` is negative or NaN.
+pub fn scale_for_max_abs(max_abs: f32) -> f32 {
+    assert!(!max_abs.is_nan() && max_abs >= 0.0, "invalid max_abs {max_abs}");
+    if max_abs.is_infinite() {
+        return f32::MAX / QMAX as f32;
+    }
+    (max_abs / QMAX as f32).max(MIN_SCALE)
+}
+
+/// Scale for quantizing all values of a tensor (per-tensor dynamic range).
+///
+/// Non-finite elements (possible under upstream fault injection) are ignored
+/// when determining the range; an all-non-finite tensor falls back to the
+/// minimum scale.
+pub fn tensor_scale(t: &Tensor) -> f32 {
+    let max_abs = t
+        .data()
+        .iter()
+        .filter(|v| v.is_finite())
+        .fold(0.0f32, |m, &x| m.max(x.abs()));
+    scale_for_max_abs(max_abs)
+}
+
+/// Quantizes a value to INT8 with the given scale.
+///
+/// Infinite inputs saturate to ±[`QMAX`]; NaN quantizes to 0 (Rust's
+/// saturating float→int cast), so faulty activations stay representable.
+///
+/// # Panics
+///
+/// Panics if `scale` is not positive.
+pub fn quantize(x: f32, scale: f32) -> i8 {
+    assert!(scale > 0.0, "scale must be positive, got {scale}");
+    let q = (x / scale).round();
+    q.clamp(-(QMAX as f32), QMAX as f32) as i8
+}
+
+/// Dequantizes an INT8 value.
+pub fn dequantize(q: i8, scale: f32) -> f32 {
+    q as f32 * scale
+}
+
+/// Rounds a value through the INT8 grid ("fake quantization"): the result is
+/// an FP32 value representable in INT8 under `scale`.
+pub fn fake_quantize(x: f32, scale: f32) -> f32 {
+    dequantize(quantize(x, scale), scale)
+}
+
+/// Fake-quantizes every element of a tensor with its own dynamic per-tensor
+/// scale; returns the quantized tensor and the scale used.
+///
+/// This is how the stack emulates "INT8 neuron-quantization" (paper §IV-A):
+/// activations are snapped to the INT8 grid after each injectable layer.
+pub fn fake_quantize_tensor(t: &Tensor) -> (Tensor, f32) {
+    let scale = tensor_scale(t);
+    (t.map(|x| fake_quantize(x, scale)), scale)
+}
+
+/// Flips bit `bit` (0 = LSB, 7 = sign bit of the two's-complement byte) of
+/// an INT8 value.
+///
+/// # Panics
+///
+/// Panics if `bit >= 8`.
+pub fn flip_bit_i8(q: i8, bit: u32) -> i8 {
+    assert!(bit < INT8_BITS, "int8 bit index {bit} out of range");
+    (q as u8 ^ (1u8 << bit)) as i8
+}
+
+/// Models a hardware bit flip in a quantized neuron, observed at FP32 level:
+/// quantize `x`, flip one stored bit, dequantize.
+///
+/// # Panics
+///
+/// Panics if `bit >= 8` or `scale` is not positive.
+pub fn flip_bit_in_quantized(x: f32, scale: f32, bit: u32) -> f32 {
+    dequantize(flip_bit_i8(quantize(x, scale), bit), scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rustfi_tensor::SeededRng;
+
+    #[test]
+    fn quantize_roundtrip_error_below_half_step() {
+        let scale = scale_for_max_abs(10.0);
+        for &x in &[0.0f32, 1.0, -3.7, 9.99, -10.0] {
+            let err = (fake_quantize(x, scale) - x).abs();
+            assert!(err <= scale / 2.0 + 1e-6, "x={x}, err={err}");
+        }
+    }
+
+    #[test]
+    fn quantize_clamps_out_of_range() {
+        let scale = scale_for_max_abs(1.0);
+        assert_eq!(quantize(100.0, scale), 127);
+        assert_eq!(quantize(-100.0, scale), -127);
+    }
+
+    #[test]
+    fn zero_maps_to_zero() {
+        let scale = scale_for_max_abs(5.0);
+        assert_eq!(quantize(0.0, scale), 0);
+        assert_eq!(dequantize(0, scale), 0.0);
+    }
+
+    #[test]
+    fn all_zero_tensor_has_tiny_scale_but_no_nan() {
+        let t = Tensor::zeros(&[8]);
+        let (q, scale) = fake_quantize_tensor(&t);
+        assert!(scale > 0.0);
+        assert!(!q.has_non_finite());
+        assert!(q.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn tensor_scale_uses_max_abs() {
+        let t = Tensor::from_vec(vec![1.0, -6.35, 2.0], &[3]);
+        assert!((tensor_scale(&t) - 6.35 / 127.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn fake_quantize_tensor_is_idempotent() {
+        let mut rng = SeededRng::new(1);
+        let t = Tensor::rand_normal(&[64], 0.0, 2.0, &mut rng);
+        let (q1, s1) = fake_quantize_tensor(&t);
+        let (q2, s2) = fake_quantize_tensor(&q1);
+        // The max element is exactly representable, so the scale is stable
+        // and a second pass changes nothing (up to float rounding).
+        assert!((s1 - s2).abs() < 1e-9);
+        for (a, b) in q1.data().iter().zip(q2.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bit_flip_is_involutive() {
+        for q in [-127i8, -1, 0, 1, 42, 127] {
+            for bit in 0..8 {
+                assert_eq!(flip_bit_i8(flip_bit_i8(q, bit), bit), q);
+            }
+        }
+    }
+
+    #[test]
+    fn sign_bit_flip_changes_sign_region() {
+        // Two's complement: flipping bit 7 of a small positive value makes it
+        // very negative.
+        let q = flip_bit_i8(5, 7);
+        assert!(q < -100, "got {q}");
+    }
+
+    #[test]
+    fn high_bit_flip_moves_value_by_half_range() {
+        let scale = scale_for_max_abs(127.0); // scale = 1
+        let before = 10.0;
+        let after = flip_bit_in_quantized(before, scale, 6);
+        assert!((after - before).abs() >= 63.9, "bit 6 is worth 64 steps");
+    }
+
+    #[test]
+    fn lsb_flip_is_one_step() {
+        let scale = scale_for_max_abs(127.0);
+        let after = flip_bit_in_quantized(10.0, scale, 0);
+        assert!(((after - 10.0).abs() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bit_8() {
+        flip_bit_i8(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid max_abs")]
+    fn rejects_nan_max() {
+        scale_for_max_abs(f32::NAN);
+    }
+
+    #[test]
+    fn infinite_range_saturates() {
+        let scale = scale_for_max_abs(f32::INFINITY);
+        assert!(scale.is_finite() && scale > 0.0);
+        assert_eq!(quantize(f32::INFINITY, scale), 127);
+        assert_eq!(quantize(f32::NEG_INFINITY, scale), -127);
+        assert_eq!(quantize(f32::NAN, scale), 0);
+    }
+
+    #[test]
+    fn tensor_scale_ignores_non_finite_elements() {
+        let t = Tensor::from_vec(vec![1.0, f32::INFINITY, -3.0, f32::NAN], &[4]);
+        let scale = tensor_scale(&t);
+        assert!((scale - 3.0 / 127.0).abs() < 1e-7, "range from finite values only");
+        // Fake-quantizing the faulty tensor stays finite.
+        let q = t.map(|x| fake_quantize(x, scale));
+        assert!(!q.has_non_finite());
+    }
+}

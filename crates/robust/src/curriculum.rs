@@ -1,0 +1,92 @@
+//! The linear α/ε ramp schedule used by IBP training.
+//!
+//! Gowal et al. (and the paper's §IV-C) ramp both the worst-case loss weight
+//! α and the perturbation radius ε linearly from zero to their maxima over a
+//! window of training steps to keep convergence stable; the paper uses
+//! iterations 41→123.
+
+/// Linear ramp schedule for `(α, ε)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Curriculum {
+    /// First step of the ramp (α = ε = 0 before it).
+    pub ramp_start: usize,
+    /// Last step of the ramp (maxima from here on).
+    pub ramp_end: usize,
+    /// Final worst-case loss weight.
+    pub alpha_max: f32,
+    /// Final perturbation radius.
+    pub eps_max: f32,
+}
+
+impl Curriculum {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ramp_end < ramp_start` or maxima are negative.
+    pub fn new(ramp_start: usize, ramp_end: usize, alpha_max: f32, eps_max: f32) -> Self {
+        assert!(ramp_end >= ramp_start, "ramp must not be inverted");
+        assert!(alpha_max >= 0.0 && eps_max >= 0.0, "maxima must be non-negative");
+        Self {
+            ramp_start,
+            ramp_end,
+            alpha_max,
+            eps_max,
+        }
+    }
+
+    /// `(α, ε)` at a training step.
+    pub fn at(&self, step: usize) -> (f32, f32) {
+        let t = if step <= self.ramp_start {
+            0.0
+        } else if step >= self.ramp_end {
+            1.0
+        } else {
+            (step - self.ramp_start) as f32 / (self.ramp_end - self.ramp_start) as f32
+        };
+        (self.alpha_max * t, self.eps_max * t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_endpoints() {
+        let c = Curriculum::new(41, 123, 0.25, 0.5);
+        assert_eq!(c.at(0), (0.0, 0.0));
+        assert_eq!(c.at(41), (0.0, 0.0));
+        assert_eq!(c.at(123), (0.25, 0.5));
+        assert_eq!(c.at(1000), (0.25, 0.5));
+    }
+
+    #[test]
+    fn ramp_is_linear_in_between() {
+        let c = Curriculum::new(0, 100, 1.0, 2.0);
+        let (a, e) = c.at(50);
+        assert!((a - 0.5).abs() < 1e-6);
+        assert!((e - 1.0).abs() < 1e-6);
+        // Monotone.
+        let mut last = (0.0, 0.0);
+        for s in 0..=100 {
+            let cur = c.at(s);
+            assert!(cur.0 >= last.0 && cur.1 >= last.1);
+            last = cur;
+        }
+    }
+
+    #[test]
+    fn degenerate_ramp_is_a_step() {
+        let c = Curriculum::new(10, 10, 0.3, 0.3);
+        assert_eq!(c.at(9), (0.0, 0.0));
+        assert_eq!(c.at(10), (0.0, 0.0));
+        assert_eq!(c.at(11), (0.3, 0.3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn rejects_inverted_ramp() {
+        Curriculum::new(10, 5, 0.1, 0.1);
+    }
+}

@@ -1,0 +1,918 @@
+//! IBP-trainable network (paper §IV-C, Eq. 1).
+//!
+//! [`IbpNet`] is a dedicated AlexNet-topology network that supports *two*
+//! differentiable paths sharing one set of weights:
+//!
+//! - the **nominal** path (ordinary forward/backward), and
+//! - the **interval** path (forward/backward through the IBP bound
+//!   propagation of [`crate::interval`]).
+//!
+//! Training minimizes `(1-α)·CE(z, y) + α·CE(z_worst, y)` with `z_worst`
+//! assembled from the output bounds (`lo` for the true class, `hi` for the
+//! rest). After training, [`IbpNet::to_network`] exports the weights into an
+//! ordinary [`rustfi_nn::Network`] so the fault injector can analyze it.
+
+use crate::curriculum::Curriculum;
+use crate::interval::{conv_interval, linear_interval, split_weights};
+use rustfi_nn::layer::{Conv2d, Flatten, Linear, MaxPool2d, Relu, Sequential};
+use rustfi_nn::loss::cross_entropy;
+use rustfi_nn::module::{Module, Network};
+use rustfi_tensor::linalg::{matmul, transpose};
+use rustfi_tensor::{
+    conv2d, conv2d_backward, max_pool2d, max_pool2d_backward, ConvSpec, PoolSpec, SeededRng,
+    Tensor,
+};
+
+/// Architecture parameters for [`IbpNet::alexnet_like`].
+#[derive(Debug, Clone)]
+pub struct IbpSpec {
+    /// Output classes.
+    pub num_classes: usize,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Square input size (multiple of 8).
+    pub image_hw: usize,
+    /// Base width (channels of the first conv).
+    pub width: usize,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl IbpSpec {
+    /// 3×16×16 inputs, base width 8.
+    pub fn tiny(num_classes: usize) -> Self {
+        Self {
+            num_classes,
+            in_channels: 3,
+            image_hw: 16,
+            width: 8,
+            seed: 0x1B9,
+        }
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Training hyperparameters for [`IbpNet::train`].
+#[derive(Debug, Clone)]
+pub struct IbpTrainConfig {
+    /// Epochs over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum.
+    pub momentum: f32,
+    /// Final worst-case loss weight α.
+    pub alpha_max: f32,
+    /// Final perturbation radius ε.
+    pub eps_max: f32,
+    /// Fraction of total steps at which the α/ε ramp starts.
+    pub ramp_start_frac: f32,
+    /// Fraction of total steps at which the ramp ends.
+    pub ramp_end_frac: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for IbpTrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 30,
+            batch_size: 16,
+            lr: 0.01,
+            momentum: 0.8,
+            alpha_max: 0.1,
+            eps_max: 0.25,
+            // Scaled version of the paper's iteration 41 -> 123 ramp.
+            ramp_start_frac: 0.25,
+            ramp_end_frac: 0.75,
+            seed: 0,
+        }
+    }
+}
+
+/// `(argmax indices, input dims)` cached by a pooling layer.
+type PoolCache = (Vec<usize>, Vec<usize>);
+
+enum Layer {
+    Conv {
+        w: Tensor,
+        b: Tensor,
+        gw: Tensor,
+        gb: Tensor,
+        spec: ConvSpec,
+        nom_in: Option<Tensor>,
+        int_in: Option<(Tensor, Tensor)>,
+    },
+    Relu {
+        nom_mask: Option<Tensor>,
+        int_mask: Option<(Tensor, Tensor)>,
+    },
+    MaxPool {
+        spec: PoolSpec,
+        nom: Option<PoolCache>,
+        int: Option<(PoolCache, PoolCache)>,
+    },
+    Flatten {
+        nom_dims: Option<Vec<usize>>,
+        int_dims: Option<Vec<usize>>,
+    },
+    Linear {
+        w: Tensor,
+        b: Tensor,
+        gw: Tensor,
+        gb: Tensor,
+        nom_in: Option<Tensor>,
+        int_in: Option<(Tensor, Tensor)>,
+    },
+}
+
+/// Result of [`IbpNet::train`].
+#[derive(Debug, Clone)]
+pub struct IbpTrainReport {
+    /// Mean combined loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// `(α, ε)` at the final step.
+    pub final_schedule: (f32, f32),
+}
+
+/// An AlexNet-topology network trainable with Interval Bound Propagation.
+pub struct IbpNet {
+    layers: Vec<Layer>,
+    velocities: Vec<Tensor>,
+    spec: IbpSpec,
+}
+
+impl IbpNet {
+    /// Builds the AlexNet-like architecture: five 3×3 convolutions with
+    /// three max-pools, then a two-layer fully-connected head. No batch norm
+    /// (IBP bounds through batch statistics are not well-defined).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image_hw` is not a positive multiple of 8.
+    pub fn alexnet_like(spec: &IbpSpec) -> Self {
+        assert!(
+            spec.image_hw >= 8 && spec.image_hw.is_multiple_of(8),
+            "image size must be a positive multiple of 8"
+        );
+        let mut rng = SeededRng::new(spec.seed);
+        let w = spec.width;
+        let feat = spec.image_hw / 8;
+        let conv = |ci: usize, co: usize, rng: &mut SeededRng| {
+            let std = (2.0 / (ci * 9) as f32).sqrt();
+            Layer::Conv {
+                w: Tensor::rand_normal(&[co, ci, 3, 3], 0.0, std, rng),
+                b: Tensor::zeros(&[co]),
+                gw: Tensor::zeros(&[co, ci, 3, 3]),
+                gb: Tensor::zeros(&[co]),
+                spec: ConvSpec::new().padding(1),
+                nom_in: None,
+                int_in: None,
+            }
+        };
+        let linear = |fi: usize, fo: usize, rng: &mut SeededRng| {
+            let std = (2.0 / fi as f32).sqrt();
+            Layer::Linear {
+                w: Tensor::rand_normal(&[fo, fi], 0.0, std, rng),
+                b: Tensor::zeros(&[fo]),
+                gw: Tensor::zeros(&[fo, fi]),
+                gb: Tensor::zeros(&[fo]),
+                nom_in: None,
+                int_in: None,
+            }
+        };
+        let relu = || Layer::Relu {
+            nom_mask: None,
+            int_mask: None,
+        };
+        let pool = || Layer::MaxPool {
+            spec: PoolSpec::new(2, 2),
+            nom: None,
+            int: None,
+        };
+        let layers = vec![
+            conv(spec.in_channels, w, &mut rng),
+            relu(),
+            pool(),
+            conv(w, 2 * w, &mut rng),
+            relu(),
+            pool(),
+            conv(2 * w, 3 * w, &mut rng),
+            relu(),
+            conv(3 * w, 2 * w, &mut rng),
+            relu(),
+            conv(2 * w, 2 * w, &mut rng),
+            relu(),
+            pool(),
+            Layer::Flatten {
+                nom_dims: None,
+                int_dims: None,
+            },
+            linear(2 * w * feat * feat, 4 * w, &mut rng),
+            relu(),
+            linear(4 * w, spec.num_classes, &mut rng),
+        ];
+        Self {
+            layers,
+            velocities: Vec::new(),
+            spec: spec.clone(),
+        }
+    }
+
+    /// The architecture spec.
+    pub fn spec(&self) -> &IbpSpec {
+        &self.spec
+    }
+
+    /// Nominal forward pass (caches activations for `backward_nominal`).
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = match layer {
+                Layer::Conv {
+                    w, b, spec, nom_in, ..
+                } => {
+                    *nom_in = Some(cur.clone());
+                    conv2d(&cur, w, b, spec)
+                }
+                Layer::Relu { nom_mask, .. } => {
+                    *nom_mask = Some(cur.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+                    cur.relu()
+                }
+                Layer::MaxPool { spec, nom, .. } => {
+                    let (out, argmax) = max_pool2d(&cur, spec);
+                    *nom = Some((argmax, cur.dims().to_vec()));
+                    out
+                }
+                Layer::Flatten { nom_dims, .. } => {
+                    *nom_dims = Some(cur.dims().to_vec());
+                    let n = cur.dims()[0];
+                    let rest = cur.len() / n;
+                    cur.reshaped(&[n, rest]).expect("flatten")
+                }
+                Layer::Linear { w, b, nom_in, .. } => {
+                    *nom_in = Some(cur.clone());
+                    let mut out = matmul(&cur, &transpose(w));
+                    let (batch, out_f) = out.dims2();
+                    for bi in 0..batch {
+                        for o in 0..out_f {
+                            out.data_mut()[bi * out_f + o] += b.data()[o];
+                        }
+                    }
+                    out
+                }
+            };
+        }
+        cur
+    }
+
+    /// Interval forward pass: sound output bounds for inputs in
+    /// `[lo, hi]` (caches for `backward_interval`).
+    pub fn forward_interval(&mut self, lo: &Tensor, hi: &Tensor) -> (Tensor, Tensor) {
+        let mut cur = (lo.clone(), hi.clone());
+        for layer in &mut self.layers {
+            cur = match layer {
+                Layer::Conv {
+                    w, b, spec, int_in, ..
+                } => {
+                    *int_in = Some(cur.clone());
+                    conv_interval(&cur.0, &cur.1, w, b, spec)
+                }
+                Layer::Relu { int_mask, .. } => {
+                    *int_mask = Some((
+                        cur.0.map(|v| if v > 0.0 { 1.0 } else { 0.0 }),
+                        cur.1.map(|v| if v > 0.0 { 1.0 } else { 0.0 }),
+                    ));
+                    (cur.0.relu(), cur.1.relu())
+                }
+                Layer::MaxPool { spec, int, .. } => {
+                    let (out_lo, arg_lo) = max_pool2d(&cur.0, spec);
+                    let (out_hi, arg_hi) = max_pool2d(&cur.1, spec);
+                    *int = Some((
+                        (arg_lo, cur.0.dims().to_vec()),
+                        (arg_hi, cur.1.dims().to_vec()),
+                    ));
+                    (out_lo, out_hi)
+                }
+                Layer::Flatten { int_dims, .. } => {
+                    *int_dims = Some(cur.0.dims().to_vec());
+                    let n = cur.0.dims()[0];
+                    let rest = cur.0.len() / n;
+                    (
+                        cur.0.reshaped(&[n, rest]).expect("flatten"),
+                        cur.1.reshaped(&[n, rest]).expect("flatten"),
+                    )
+                }
+                Layer::Linear { w, b, int_in, .. } => {
+                    *int_in = Some(cur.clone());
+                    linear_interval(&cur.0, &cur.1, w, b)
+                }
+            };
+        }
+        cur
+    }
+
+    /// Nominal backward pass; accumulates `scale ×` gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`IbpNet::forward`].
+    pub fn backward_nominal(&mut self, grad_out: &Tensor, scale: f32) {
+        let mut g = grad_out.scale(scale);
+        for layer in self.layers.iter_mut().rev() {
+            g = match layer {
+                Layer::Conv {
+                    w, gw, gb, spec, nom_in, ..
+                } => {
+                    let input = nom_in.as_ref().expect("nominal forward first");
+                    let grads = conv2d_backward(input, w, &g, spec);
+                    gw.add_assign(&grads.weight);
+                    gb.add_assign(&grads.bias);
+                    grads.input
+                }
+                Layer::Relu { nom_mask, .. } => {
+                    g.mul(nom_mask.as_ref().expect("nominal forward first"))
+                }
+                Layer::MaxPool { nom, .. } => {
+                    let (argmax, dims) = nom.as_ref().expect("nominal forward first");
+                    max_pool2d_backward(&g, argmax, dims)
+                }
+                Layer::Flatten { nom_dims, .. } => g
+                    .reshaped(nom_dims.as_ref().expect("nominal forward first"))
+                    .expect("unflatten"),
+                Layer::Linear {
+                    w, gw, gb, nom_in, ..
+                } => {
+                    let input = nom_in.as_ref().expect("nominal forward first");
+                    gw.add_assign(&matmul(&transpose(&g), input));
+                    let (batch, out_f) = g.dims2();
+                    for bi in 0..batch {
+                        for o in 0..out_f {
+                            gb.data_mut()[o] += g.data()[bi * out_f + o];
+                        }
+                    }
+                    matmul(&g, w)
+                }
+            };
+        }
+    }
+
+    /// Interval backward pass from output-bound gradients `(g_lo, g_hi)`;
+    /// accumulates `scale ×` gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`IbpNet::forward_interval`].
+    pub fn backward_interval(&mut self, grad_lo: &Tensor, grad_hi: &Tensor, scale: f32) {
+        let mut glo = grad_lo.scale(scale);
+        let mut ghi = grad_hi.scale(scale);
+        for layer in self.layers.iter_mut().rev() {
+            match layer {
+                Layer::Conv {
+                    w, gw, gb, spec, int_in, ..
+                } => {
+                    let (lo_in, hi_in) = int_in.as_ref().expect("interval forward first");
+                    let (wp, wn) = split_weights(w);
+                    let a = conv2d_backward(lo_in, &wp, &glo, spec);
+                    let bb = conv2d_backward(hi_in, &wn, &glo, spec);
+                    let c = conv2d_backward(hi_in, &wp, &ghi, spec);
+                    let d = conv2d_backward(lo_in, &wn, &ghi, spec);
+                    // dW routes through the sign of each weight.
+                    let pos_part = a.weight.add(&c.weight);
+                    let neg_part = bb.weight.add(&d.weight);
+                    let dw = Tensor::from_fn(w.dims(), |i| {
+                        if w.data()[i] > 0.0 {
+                            pos_part.data()[i]
+                        } else if w.data()[i] < 0.0 {
+                            neg_part.data()[i]
+                        } else {
+                            0.0
+                        }
+                    });
+                    gw.add_assign(&dw);
+                    gb.add_assign(&a.bias.add(&c.bias));
+                    glo = a.input.add(&d.input);
+                    ghi = bb.input.add(&c.input);
+                }
+                Layer::Relu { int_mask, .. } => {
+                    let (mlo, mhi) = int_mask.as_ref().expect("interval forward first");
+                    glo = glo.mul(mlo);
+                    ghi = ghi.mul(mhi);
+                }
+                Layer::MaxPool { int, .. } => {
+                    let ((arg_lo, dims_lo), (arg_hi, dims_hi)) =
+                        int.as_ref().expect("interval forward first");
+                    glo = max_pool2d_backward(&glo, arg_lo, dims_lo);
+                    ghi = max_pool2d_backward(&ghi, arg_hi, dims_hi);
+                }
+                Layer::Flatten { int_dims, .. } => {
+                    let dims = int_dims.as_ref().expect("interval forward first");
+                    glo = glo.reshaped(dims).expect("unflatten");
+                    ghi = ghi.reshaped(dims).expect("unflatten");
+                }
+                Layer::Linear {
+                    w, gw, gb, int_in, ..
+                } => {
+                    let (lo_in, hi_in) = int_in.as_ref().expect("interval forward first");
+                    let (wp, wn) = split_weights(w);
+                    // dWp = glo^T lo + ghi^T hi ; dWn = glo^T hi + ghi^T lo.
+                    let pos_part = matmul(&transpose(&glo), lo_in).add(&matmul(&transpose(&ghi), hi_in));
+                    let neg_part = matmul(&transpose(&glo), hi_in).add(&matmul(&transpose(&ghi), lo_in));
+                    let dw = Tensor::from_fn(w.dims(), |i| {
+                        if w.data()[i] > 0.0 {
+                            pos_part.data()[i]
+                        } else if w.data()[i] < 0.0 {
+                            neg_part.data()[i]
+                        } else {
+                            0.0
+                        }
+                    });
+                    gw.add_assign(&dw);
+                    let (batch, out_f) = glo.dims2();
+                    for bi in 0..batch {
+                        for o in 0..out_f {
+                            gb.data_mut()[o] += glo.data()[bi * out_f + o] + ghi.data()[bi * out_f + o];
+                        }
+                    }
+                    let new_glo = matmul(&glo, &wp).add(&matmul(&ghi, &wn));
+                    let new_ghi = matmul(&ghi, &wp).add(&matmul(&glo, &wn));
+                    glo = new_glo;
+                    ghi = new_ghi;
+                }
+            }
+        }
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            match layer {
+                Layer::Conv { gw, gb, .. } | Layer::Linear { gw, gb, .. } => {
+                    gw.map_inplace(|_| 0.0);
+                    gb.map_inplace(|_| 0.0);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// One SGD-with-momentum update from the accumulated gradients.
+    pub fn step(&mut self, lr: f32, momentum: f32) {
+        let mut idx = 0;
+        for layer in &mut self.layers {
+            let pairs: Vec<(&mut Tensor, &Tensor)> = match layer {
+                Layer::Conv { w, b, gw, gb, .. } | Layer::Linear { w, b, gw, gb, .. } => {
+                    vec![(w, gw), (b, gb)]
+                }
+                _ => continue,
+            };
+            for (value, grad) in pairs {
+                if self.velocities.len() == idx {
+                    self.velocities.push(Tensor::zeros(value.dims()));
+                }
+                let v = &mut self.velocities[idx];
+                for ((vv, &g), wv) in v
+                    .data_mut()
+                    .iter_mut()
+                    .zip(grad.data())
+                    .zip(value.data_mut())
+                {
+                    *vv = momentum * *vv - lr * g;
+                    *wv += *vv;
+                }
+                idx += 1;
+            }
+        }
+    }
+
+    /// Worst-case logits from output bounds: the true class takes its lower
+    /// bound, every other class its upper bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or a label is out of range.
+    pub fn worst_case_logits(lo: &Tensor, hi: &Tensor, labels: &[usize]) -> Tensor {
+        let (batch, classes) = lo.dims2();
+        assert_eq!(labels.len(), batch, "one label per batch element");
+        Tensor::from_fn(lo.dims(), |i| {
+            let b = i / classes;
+            let k = i % classes;
+            assert!(labels[b] < classes, "label out of range");
+            if k == labels[b] {
+                lo.data()[i]
+            } else {
+                hi.data()[i]
+            }
+        })
+    }
+
+    /// IBP training with the Eq. 1 objective and a linear α/ε curriculum.
+    #[allow(clippy::needless_range_loop)]
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty data or mismatched lengths.
+    pub fn train(&mut self, images: &Tensor, labels: &[usize], cfg: &IbpTrainConfig) -> IbpTrainReport {
+        let n = images.dims()[0];
+        assert_eq!(n, labels.len(), "{n} images, {} labels", labels.len());
+        assert!(n > 0 && cfg.batch_size > 0, "empty data or batch");
+        let steps_per_epoch = n.div_ceil(cfg.batch_size);
+        let total_steps = steps_per_epoch * cfg.epochs;
+        let schedule = Curriculum::new(
+            (total_steps as f32 * cfg.ramp_start_frac) as usize,
+            ((total_steps as f32 * cfg.ramp_end_frac) as usize).max(1),
+            cfg.alpha_max,
+            cfg.eps_max,
+        );
+        let mut rng = SeededRng::new(cfg.seed).fork(0x1B9);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+        let mut step = 0;
+        let mut final_schedule = (0.0, 0.0);
+        for _epoch in 0..cfg.epochs {
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for chunk in order.chunks(cfg.batch_size) {
+                let imgs: Vec<Tensor> = chunk.iter().map(|&i| images.select_batch(i)).collect();
+                let x = Tensor::stack_batch(&imgs);
+                let y: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+                let (alpha, eps) = schedule.at(step);
+                final_schedule = (alpha, eps);
+
+                self.zero_grad();
+                // Nominal path.
+                let z = self.forward(&x);
+                let (loss_nom, g_nom) = cross_entropy(&z, &y);
+                self.backward_nominal(&g_nom, 1.0 - alpha);
+                let mut loss = (1.0 - alpha) * loss_nom;
+                // Worst-case path.
+                if alpha > 0.0 && eps > 0.0 {
+                    let (lo, hi) =
+                        self.forward_interval(&x.add_scalar(-eps), &x.add_scalar(eps));
+                    let z_wc = Self::worst_case_logits(&lo, &hi, &y);
+                    let (loss_wc, g_wc) = cross_entropy(&z_wc, &y);
+                    // Distribute the worst-case gradient to the bounds it
+                    // came from.
+                    let (batch, classes) = z_wc.dims2();
+                    let mut g_lo = Tensor::zeros(z_wc.dims());
+                    let mut g_hi = Tensor::zeros(z_wc.dims());
+                    for b in 0..batch {
+                        for k in 0..classes {
+                            let off = b * classes + k;
+                            if k == y[b] {
+                                g_lo.data_mut()[off] = g_wc.data()[off];
+                            } else {
+                                g_hi.data_mut()[off] = g_wc.data()[off];
+                            }
+                        }
+                    }
+                    self.backward_interval(&g_lo, &g_hi, alpha);
+                    loss += alpha * loss_wc;
+                }
+                self.step(cfg.lr, cfg.momentum);
+                epoch_loss += loss;
+                batches += 1;
+                step += 1;
+            }
+            epoch_losses.push(epoch_loss / batches as f32);
+        }
+        IbpTrainReport {
+            epoch_losses,
+            final_schedule,
+        }
+    }
+
+    /// Fraction of `(images, labels)` whose classification is *certified*
+    /// robust at radius `eps`: the worst-case logits over the input box
+    /// `[x-ε, x+ε]` still rank the true class first. This is the quantity
+    /// the IBP objective optimizes, so it is the natural check that robust
+    /// training actually worked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree or the set is empty.
+    pub fn certified_accuracy(&mut self, images: &Tensor, labels: &[usize], eps: f32) -> f32 {
+        let n = images.dims()[0];
+        assert_eq!(n, labels.len(), "{n} images, {} labels", labels.len());
+        assert!(n > 0, "empty evaluation set");
+        let mut certified = 0;
+        for (i, &label) in labels.iter().enumerate() {
+            let x = images.select_batch(i);
+            let (lo, hi) = self.forward_interval(&x.add_scalar(-eps), &x.add_scalar(eps));
+            // Certified iff the true class's lower bound beats every other
+            // class's upper bound.
+            let lo_true = lo.at(&[0, label]);
+            let beaten = (0..hi.dims2().1)
+                .filter(|&k| k != label)
+                .all(|k| hi.at(&[0, k]) < lo_true);
+            if beaten {
+                certified += 1;
+            }
+        }
+        certified as f32 / n as f32
+    }
+
+    /// Exports the trained weights into an ordinary hook-capable
+    /// [`Network`] with the identical topology, ready for fault injection.
+    pub fn to_network(&self) -> Network {
+        let mut rng = SeededRng::new(self.spec.seed);
+        let w = self.spec.width;
+        let feat = self.spec.image_hw / 8;
+        let mut layers: Vec<Box<dyn Module>> = Vec::new();
+        for layer in &self.layers {
+            match layer {
+                Layer::Conv { w: cw, .. } => {
+                    let dims = cw.dims();
+                    layers.push(Box::new(Conv2d::new(
+                        dims[1],
+                        dims[0],
+                        dims[2],
+                        ConvSpec::new().padding(1),
+                        &mut rng,
+                    )));
+                }
+                Layer::Relu { .. } => layers.push(Box::new(Relu::new())),
+                Layer::MaxPool { .. } => layers.push(Box::new(MaxPool2d::new(2, 2))),
+                Layer::Flatten { .. } => layers.push(Box::new(Flatten::new())),
+                Layer::Linear { w: lw, .. } => {
+                    let (fo, fi) = lw.dims2();
+                    layers.push(Box::new(Linear::new(fi, fo, &mut rng)));
+                }
+            }
+        }
+        let _ = (w, feat);
+        let mut net = Network::new(Box::new(Sequential::new(layers)));
+        // Copy weights: state order is (w, b) per affine layer, in order.
+        let mut tensors: Vec<Tensor> = Vec::new();
+        for layer in &self.layers {
+            match layer {
+                Layer::Conv { w, b, .. } | Layer::Linear { w, b, .. } => {
+                    tensors.push(w.clone());
+                    tensors.push(b.clone());
+                }
+                _ => {}
+            }
+        }
+        let mut iter = tensors.into_iter();
+        net.for_each_state(&mut |t| {
+            let src = iter.next().expect("matching state count");
+            assert_eq!(t.dims(), src.dims(), "topology mismatch in export");
+            *t = src;
+        });
+        net
+    }
+}
+
+impl IbpNet {
+    /// Accumulated gradients in deterministic `(w, b)` order — debugging aid.
+    #[doc(hidden)]
+    pub fn debug_grads(&self) -> Vec<Tensor> {
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            match layer {
+                Layer::Conv { gw, gb, .. } | Layer::Linear { gw, gb, .. } => {
+                    out.push(gw.clone());
+                    out.push(gb.clone());
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rustfi_data::SynthSpec;
+    use rustfi_nn::train::accuracy;
+
+    #[test]
+    fn nominal_forward_shapes() {
+        let mut net = IbpNet::alexnet_like(&IbpSpec::tiny(10));
+        let z = net.forward(&Tensor::zeros(&[2, 3, 16, 16]));
+        assert_eq!(z.dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn interval_bounds_contain_nominal() {
+        let mut net = IbpNet::alexnet_like(&IbpSpec::tiny(10));
+        let mut rng = SeededRng::new(1);
+        let x = Tensor::rand_normal(&[1, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let z = net.forward(&x);
+        let (lo, hi) = net.forward_interval(&x.add_scalar(-0.1), &x.add_scalar(0.1));
+        for ((l, v), h) in lo.data().iter().zip(z.data()).zip(hi.data()) {
+            assert!(l - 1e-4 <= *v && *v <= h + 1e-4, "{l} <= {v} <= {h}");
+        }
+    }
+
+    #[test]
+    fn zero_eps_interval_equals_nominal() {
+        let mut net = IbpNet::alexnet_like(&IbpSpec::tiny(4));
+        let mut rng = SeededRng::new(2);
+        let x = Tensor::rand_normal(&[1, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let z = net.forward(&x);
+        let (lo, hi) = net.forward_interval(&x, &x);
+        for ((l, v), h) in lo.data().iter().zip(z.data()).zip(hi.data()) {
+            assert!((l - v).abs() < 1e-3 && (h - v).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn nominal_gradients_match_numeric() {
+        let mut net = IbpNet::alexnet_like(&IbpSpec::tiny(4));
+        let mut rng = SeededRng::new(3);
+        let x = Tensor::rand_normal(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let labels = [1usize, 2];
+        net.zero_grad();
+        let z = net.forward(&x);
+        let (_, g) = cross_entropy(&z, &labels);
+        net.backward_nominal(&g, 1.0);
+        // Probe first conv weight elements.
+        let idx_list = [0usize, 7, 31];
+        let analytic: Vec<f32> = {
+            let Layer::Conv { gw, .. } = &net.layers[0] else {
+                panic!("layer 0 is conv")
+            };
+            idx_list.iter().map(|&i| gw.data()[i]).collect()
+        };
+        let eps = 1e-2;
+        for (k, &i) in idx_list.iter().enumerate() {
+            let loss_at = |net: &mut IbpNet, delta: f32| {
+                {
+                    let Layer::Conv { w, .. } = &mut net.layers[0] else {
+                        panic!()
+                    };
+                    w.data_mut()[i] += delta;
+                }
+                let z = net.forward(&x);
+                let (l, _) = cross_entropy(&z, &labels);
+                {
+                    let Layer::Conv { w, .. } = &mut net.layers[0] else {
+                        panic!()
+                    };
+                    w.data_mut()[i] -= delta;
+                }
+                l
+            };
+            let num = (loss_at(&mut net, eps) - loss_at(&mut net, -eps)) / (2.0 * eps);
+            // f32 finite differences through five conv layers and max-pool
+            // kinks are noisy; the exact check against the rustfi-nn
+            // reference lives in nominal_gradients_match_nn_reference.
+            let tol = 0.03 + 0.15 * analytic[k].abs();
+            assert!(
+                (num - analytic[k]).abs() < tol,
+                "conv grad {i}: {num} vs {}",
+                analytic[k]
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_interval_backward_equals_nominal() {
+        // With lo = hi = x the interval pass computes the nominal function,
+        // and backward_interval(g/2, g/2) must accumulate exactly the
+        // nominal parameter gradients of g — this exercises every routing
+        // path (W+/W- splits, dual pooling argmaxes, dual ReLU masks).
+        let mut rng = SeededRng::new(4);
+        let x = Tensor::rand_normal(&[2, 3, 16, 16], 0.0, 0.5, &mut rng);
+        let labels = [0usize, 2];
+
+        let mut net_a = IbpNet::alexnet_like(&IbpSpec::tiny(3));
+        net_a.zero_grad();
+        let z = net_a.forward(&x);
+        let (_, g) = cross_entropy(&z, &labels);
+        net_a.backward_nominal(&g, 1.0);
+        let nominal_grads = net_a.debug_grads();
+
+        let mut net_b = IbpNet::alexnet_like(&IbpSpec::tiny(3));
+        net_b.zero_grad();
+        let (lo, hi) = net_b.forward_interval(&x, &x);
+        assert_eq!(lo, hi, "degenerate interval stays degenerate");
+        let half = g.scale(0.5);
+        net_b.backward_interval(&half, &half, 1.0);
+        let interval_grads = net_b.debug_grads();
+
+        for (a, b) in nominal_grads.iter().zip(&interval_grads) {
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn interval_gradient_descends_worst_case_loss() {
+        // First-order sanity under a real interval: a small step along the
+        // negative accumulated gradient must reduce the worst-case loss.
+        let mut net = IbpNet::alexnet_like(&IbpSpec::tiny(3));
+        let mut rng = SeededRng::new(5);
+        let x = Tensor::rand_normal(&[2, 3, 16, 16], 0.0, 0.5, &mut rng);
+        let labels = [0usize, 1];
+        // Interval widths amplify ~6e5x through the untrained stack; keep
+        // eps small enough that the worst-case cross-entropy is not
+        // saturated at the log clamp.
+        let eps_in = 1e-5;
+
+        let wc_loss = |net: &mut IbpNet| {
+            let (lo, hi) = net.forward_interval(&x.add_scalar(-eps_in), &x.add_scalar(eps_in));
+            let z_wc = IbpNet::worst_case_logits(&lo, &hi, &labels);
+            cross_entropy(&z_wc, &labels).0
+        };
+
+        net.zero_grad();
+        let before = {
+            let (lo, hi) = net.forward_interval(&x.add_scalar(-eps_in), &x.add_scalar(eps_in));
+            let z_wc = IbpNet::worst_case_logits(&lo, &hi, &labels);
+            let (loss, g_wc) = cross_entropy(&z_wc, &labels);
+            assert!(loss < 27.0, "test premise: loss not saturated, got {loss}");
+            let (_, classes) = z_wc.dims2();
+            let mut g_lo = Tensor::zeros(z_wc.dims());
+            let mut g_hi = Tensor::zeros(z_wc.dims());
+            for (b, &label) in labels.iter().enumerate() {
+                for k in 0..classes {
+                    let off = b * classes + k;
+                    if k == label {
+                        g_lo.data_mut()[off] = g_wc.data()[off];
+                    } else {
+                        g_hi.data_mut()[off] = g_wc.data()[off];
+                    }
+                }
+            }
+            net.backward_interval(&g_lo, &g_hi, 1.0);
+            loss
+        };
+        net.step(1e-4, 0.0);
+        let after = wc_loss(&mut net);
+        assert!(after < before, "descent step: {after} !< {before}");
+    }
+
+    #[test]
+    fn worst_case_logits_mix_bounds() {
+        let lo = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let hi = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[1, 3]);
+        let wc = IbpNet::worst_case_logits(&lo, &hi, &[1]);
+        assert_eq!(wc.data(), &[4.0, 2.0, 6.0]);
+    }
+
+    #[test]
+    fn nominal_gradients_match_nn_reference() {
+        // Exact check: the IbpNet nominal backward must agree bit-for-bit
+        // with the independently tested rustfi-nn implementation.
+        let mut net = IbpNet::alexnet_like(&IbpSpec::tiny(4));
+        let mut rng = SeededRng::new(7);
+        let x = Tensor::rand_normal(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let labels = [1usize, 2];
+        net.zero_grad();
+        let z = net.forward(&x);
+        let (_, g) = cross_entropy(&z, &labels);
+        net.backward_nominal(&g, 1.0);
+
+        let mut exported = net.to_network();
+        let z2 = exported.forward(&x);
+        assert_eq!(z, z2, "forward passes agree exactly");
+        let (_, g2) = cross_entropy(&z2, &labels);
+        exported.backward(&g2);
+        let mut ref_grads: Vec<Tensor> = Vec::new();
+        exported.for_each_param(&mut |p| ref_grads.push(p.grad.clone()));
+        for (a, b) in net.debug_grads().iter().zip(&ref_grads) {
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn ibp_training_learns_and_exports() {
+        let data = SynthSpec::cifar10_like().with_budget(20, 6).generate();
+        let mut net = IbpNet::alexnet_like(&IbpSpec::tiny(10));
+        let report = net.train(
+            &data.train_images,
+            &data.train_labels,
+            &IbpTrainConfig::default(),
+        );
+        // The combined loss includes the ramped worst-case term, so compare
+        // against the pre-ramp epochs rather than demanding monotonicity.
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+        assert!(report.final_schedule.0 > 0.0, "curriculum ramped alpha");
+
+        let mut exported = net.to_network();
+        let acc = accuracy(&mut exported, &data.test_images, &data.test_labels, 16);
+        assert!(acc > 0.5, "exported IBP model accuracy {acc}");
+
+        // The exported network agrees with the IBP net exactly.
+        let x = data.test_images.select_batch(0);
+        let z_ibp = net.forward(&x);
+        let z_exp = exported.forward(&x);
+        for (a, b) in z_ibp.data().iter().zip(z_exp.data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Interval arithmetic through network layers.
+//!
+//! For a layer `y = f(x)` and an input box `[lo, hi]`, these functions
+//! compute a sound output box: every `x ∈ [lo, hi]` maps into
+//! `[f_lo, f_hi]`. For affine layers the standard IBP decomposition is used:
+//! split the weights into positive and negative parts, route the lower bound
+//! through `W⁺` and the upper through `W⁻` (and vice versa).
+
+use rustfi_tensor::{conv2d, ConvSpec, Tensor};
+
+/// Splits a weight tensor into its positive and negative parts
+/// (`w = w_pos + w_neg`, `w_pos ≥ 0`, `w_neg ≤ 0`).
+pub fn split_weights(w: &Tensor) -> (Tensor, Tensor) {
+    (w.map(|v| v.max(0.0)), w.map(|v| v.min(0.0)))
+}
+
+/// Interval convolution: sound bounds of `conv(x, w) + b` over `x ∈ [lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent (see [`conv2d`]).
+pub fn conv_interval(
+    lo: &Tensor,
+    hi: &Tensor,
+    w: &Tensor,
+    b: &Tensor,
+    spec: &ConvSpec,
+) -> (Tensor, Tensor) {
+    let (wp, wn) = split_weights(w);
+    let zero_bias = Tensor::zeros(&[w.dims()[0]]);
+    let out_lo = conv2d(lo, &wp, b, spec).add(&conv2d(hi, &wn, &zero_bias, spec));
+    let out_hi = conv2d(hi, &wp, b, spec).add(&conv2d(lo, &wn, &zero_bias, spec));
+    (out_lo, out_hi)
+}
+
+/// Interval dense layer: sound bounds of `x W^T + b`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn linear_interval(
+    lo: &Tensor,
+    hi: &Tensor,
+    w: &Tensor,
+    b: &Tensor,
+) -> (Tensor, Tensor) {
+    use rustfi_tensor::linalg::{matmul, transpose};
+    let (wp, wn) = split_weights(w);
+    let wp_t = transpose(&wp);
+    let wn_t = transpose(&wn);
+    let mut out_lo = matmul(lo, &wp_t).add(&matmul(hi, &wn_t));
+    let mut out_hi = matmul(hi, &wp_t).add(&matmul(lo, &wn_t));
+    let (batch, out_f) = out_lo.dims2();
+    for bi in 0..batch {
+        for o in 0..out_f {
+            let off = bi * out_f + o;
+            out_lo.data_mut()[off] += b.data()[o];
+            out_hi.data_mut()[off] += b.data()[o];
+        }
+    }
+    (out_lo, out_hi)
+}
+
+/// Interval ReLU: elementwise `max(·, 0)` on both bounds (monotone).
+pub fn relu_interval(lo: &Tensor, hi: &Tensor) -> (Tensor, Tensor) {
+    (lo.relu(), hi.relu())
+}
+
+/// Interval max pooling: pool both bounds independently (max is monotone).
+/// Returns the bounds and their argmax index vectors (for backward).
+pub fn max_pool_interval(
+    lo: &Tensor,
+    hi: &Tensor,
+    spec: &rustfi_tensor::PoolSpec,
+) -> ((Tensor, Vec<usize>), (Tensor, Vec<usize>)) {
+    (
+        rustfi_tensor::max_pool2d(lo, spec),
+        rustfi_tensor::max_pool2d(hi, spec),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rustfi_tensor::SeededRng;
+
+    fn assert_sound(lo: &Tensor, hi: &Tensor) {
+        for (l, h) in lo.data().iter().zip(hi.data()) {
+            assert!(l <= h, "interval inverted: {l} > {h}");
+        }
+    }
+
+    #[test]
+    fn split_weights_partition() {
+        let w = Tensor::from_vec(vec![1.0, -2.0, 0.0, 3.0], &[2, 2]);
+        let (p, n) = split_weights(&w);
+        assert_eq!(p.data(), &[1.0, 0.0, 0.0, 3.0]);
+        assert_eq!(n.data(), &[0.0, -2.0, 0.0, 0.0]);
+        assert_eq!(p.add(&n), w);
+    }
+
+    #[test]
+    fn conv_interval_contains_samples() {
+        let mut rng = SeededRng::new(1);
+        let x = Tensor::rand_normal(&[1, 2, 6, 6], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal(&[3, 2, 3, 3], 0.0, 0.5, &mut rng);
+        let b = Tensor::rand_normal(&[3], 0.0, 0.1, &mut rng);
+        let spec = ConvSpec::new().padding(1);
+        let eps = 0.1;
+        let (lo, hi) = conv_interval(&x.add_scalar(-eps), &x.add_scalar(eps), &w, &b, &spec);
+        assert_sound(&lo, &hi);
+        // Sample 20 random points in the box and check containment.
+        for _ in 0..20 {
+            let xs = Tensor::from_fn(x.dims(), |i| x.data()[i] + rng.uniform(-eps, eps));
+            let y = conv2d(&xs, &w, &b, &spec);
+            for ((yl, yv), yh) in lo.data().iter().zip(y.data()).zip(hi.data()) {
+                assert!(yl - 1e-4 <= *yv && *yv <= yh + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn conv_interval_degenerate_box_is_exact() {
+        let mut rng = SeededRng::new(2);
+        let x = Tensor::rand_normal(&[1, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal(&[2, 2, 3, 3], 0.0, 0.5, &mut rng);
+        let b = Tensor::zeros(&[2]);
+        let spec = ConvSpec::new();
+        let (lo, hi) = conv_interval(&x, &x, &w, &b, &spec);
+        let y = conv2d(&x, &w, &b, &spec);
+        for ((l, v), h) in lo.data().iter().zip(y.data()).zip(hi.data()) {
+            assert!((l - v).abs() < 1e-4 && (h - v).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn linear_interval_contains_samples() {
+        use rustfi_tensor::linalg::{matmul, transpose};
+        let mut rng = SeededRng::new(3);
+        let x = Tensor::rand_normal(&[2, 5], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal(&[4, 5], 0.0, 0.5, &mut rng);
+        let b = Tensor::rand_normal(&[4], 0.0, 0.1, &mut rng);
+        let eps = 0.2;
+        let (lo, hi) = linear_interval(&x.add_scalar(-eps), &x.add_scalar(eps), &w, &b);
+        assert_sound(&lo, &hi);
+        for _ in 0..20 {
+            let xs = Tensor::from_fn(x.dims(), |i| x.data()[i] + rng.uniform(-eps, eps));
+            let mut y = matmul(&xs, &transpose(&w));
+            let (batch, out_f) = y.dims2();
+            for bi in 0..batch {
+                for o in 0..out_f {
+                    y.data_mut()[bi * out_f + o] += b.data()[o];
+                }
+            }
+            for ((yl, yv), yh) in lo.data().iter().zip(y.data()).zip(hi.data()) {
+                assert!(yl - 1e-4 <= *yv && *yv <= yh + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn relu_interval_is_sound_and_monotone() {
+        let lo = Tensor::from_vec(vec![-1.0, -0.5, 0.5], &[3]);
+        let hi = Tensor::from_vec(vec![-0.5, 0.5, 1.0], &[3]);
+        let (l, h) = relu_interval(&lo, &hi);
+        assert_eq!(l.data(), &[0.0, 0.0, 0.5]);
+        assert_eq!(h.data(), &[0.0, 0.5, 1.0]);
+        assert_sound(&l, &h);
+    }
+
+    #[test]
+    fn wider_input_boxes_give_wider_outputs() {
+        let mut rng = SeededRng::new(4);
+        let x = Tensor::rand_normal(&[1, 1, 4, 4], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal(&[1, 1, 3, 3], 0.0, 0.5, &mut rng);
+        let b = Tensor::zeros(&[1]);
+        let spec = ConvSpec::new();
+        let width = |eps: f32| {
+            let (lo, hi) =
+                conv_interval(&x.add_scalar(-eps), &x.add_scalar(eps), &w, &b, &spec);
+            hi.sub(&lo).sum()
+        };
+        assert!(width(0.2) > width(0.1));
+        assert!(width(0.1) > width(0.0) - 1e-6);
+    }
+}

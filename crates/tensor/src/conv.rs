@@ -1,0 +1,514 @@
+//! 2-D convolution (im2col + matmul) and its gradients.
+//!
+//! Supports stride, symmetric zero padding, and grouped convolution (which
+//! also covers depthwise convolution when `groups == in_channels`). These are
+//! the only convolution variants the model zoo needs.
+
+use crate::linalg::matmul;
+use crate::tensor::Tensor;
+
+/// Geometry of a convolution: stride, padding, groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvSpec {
+    /// Step between filter applications (same in both spatial dims).
+    pub stride: usize,
+    /// Symmetric zero padding (same on all four sides).
+    pub padding: usize,
+    /// Number of filter groups; `in_channels` and `out_channels` must both be
+    /// divisible by it.
+    pub groups: usize,
+}
+
+impl ConvSpec {
+    /// A stride-1, unpadded, ungrouped convolution.
+    pub fn new() -> Self {
+        Self {
+            stride: 1,
+            padding: 0,
+            groups: 1,
+        }
+    }
+
+    /// Sets the stride.
+    pub fn stride(mut self, stride: usize) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Sets the padding.
+    pub fn padding(mut self, padding: usize) -> Self {
+        self.padding = padding;
+        self
+    }
+
+    /// Sets the group count.
+    pub fn groups(mut self, groups: usize) -> Self {
+        self.groups = groups;
+        self
+    }
+
+    /// Output spatial size for an input extent `in_size` and kernel `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel (with padding) does not fit in the input.
+    pub fn out_size(&self, in_size: usize, k: usize) -> usize {
+        let padded = in_size + 2 * self.padding;
+        assert!(
+            padded >= k,
+            "kernel {k} larger than padded input {padded}"
+        );
+        (padded - k) / self.stride + 1
+    }
+}
+
+impl Default for ConvSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient w.r.t. the input, same shape as the forward input.
+    pub input: Tensor,
+    /// Gradient w.r.t. the weights, same shape as the weight tensor.
+    pub weight: Tensor,
+    /// Gradient w.r.t. the bias, shape `[out_channels]`.
+    pub bias: Tensor,
+}
+
+/// Lowers one batch element's group slice into an im2col matrix of shape
+/// `[cg*kh*kw, oh*ow]`.
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    input: &Tensor,
+    n: usize,
+    c_start: usize,
+    cg: usize,
+    kh: usize,
+    kw: usize,
+    spec: &ConvSpec,
+    oh: usize,
+    ow: usize,
+) -> Tensor {
+    let (_, _, h, w) = input.dims4();
+    let mut cols = vec![0.0f32; cg * kh * kw * oh * ow];
+    let ow_stride = oh * ow;
+    for c in 0..cg {
+        let fm = input.fmap(n, c_start + c);
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = ((c * kh + ky) * kw + kx) * ow_stride;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        cols[row + oy * ow + ox] = fm[iy * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(cols, &[cg * kh * kw, oh * ow])
+}
+
+/// Scatters an im2col-shaped gradient matrix back onto the input gradient
+/// (inverse of [`im2col`], accumulating where patches overlap).
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    cols: &Tensor,
+    grad_input: &mut Tensor,
+    n: usize,
+    c_start: usize,
+    cg: usize,
+    kh: usize,
+    kw: usize,
+    spec: &ConvSpec,
+    oh: usize,
+    ow: usize,
+) {
+    let (_, _, h, w) = grad_input.dims4();
+    let data = cols.data();
+    let ow_stride = oh * ow;
+    for c in 0..cg {
+        let fm = grad_input.fmap_mut(n, c_start + c);
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = ((c * kh + ky) * kw + kx) * ow_stride;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        fm[iy * w + ix as usize] += data[row + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_conv_args(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) {
+    let (_, c, _, _) = input.dims4();
+    let (oc, wc, _, _) = weight.dims4();
+    assert!(spec.groups > 0, "groups must be positive");
+    assert!(spec.stride > 0, "stride must be positive");
+    assert_eq!(
+        c % spec.groups,
+        0,
+        "in_channels {c} not divisible by groups {}",
+        spec.groups
+    );
+    assert_eq!(
+        oc % spec.groups,
+        0,
+        "out_channels {oc} not divisible by groups {}",
+        spec.groups
+    );
+    assert_eq!(
+        wc,
+        c / spec.groups,
+        "weight expects {} input channels per group, input provides {}",
+        wc,
+        c / spec.groups
+    );
+    assert_eq!(bias.len(), oc, "bias length {} != out_channels {oc}", bias.len());
+}
+
+/// 2-D convolution.
+///
+/// - `input`: `[n, c, h, w]`
+/// - `weight`: `[oc, c/groups, kh, kw]`
+/// - `bias`: `[oc]`
+///
+/// Returns `[n, oc, oh, ow]` with `oh/ow` given by [`ConvSpec::out_size`].
+///
+/// # Panics
+///
+/// Panics if shapes or the spec are inconsistent (see [`ConvSpec`]).
+///
+/// # Example
+///
+/// ```
+/// use rustfi_tensor::{conv2d, ConvSpec, Tensor};
+///
+/// let x = Tensor::ones(&[1, 1, 3, 3]);
+/// let w = Tensor::ones(&[1, 1, 3, 3]);
+/// let b = Tensor::zeros(&[1]);
+/// let y = conv2d(&x, &w, &b, &ConvSpec::new());
+/// assert_eq!(y.dims(), &[1, 1, 1, 1]);
+/// assert_eq!(y.at(&[0, 0, 0, 0]), 9.0);
+/// ```
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -> Tensor {
+    check_conv_args(input, weight, bias, spec);
+    let (n, c, h, w) = input.dims4();
+    let (oc, _, kh, kw) = weight.dims4();
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(w, kw);
+    let cg = c / spec.groups;
+    let og = oc / spec.groups;
+
+    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+    for bn in 0..n {
+        for g in 0..spec.groups {
+            let cols = im2col(input, bn, g * cg, cg, kh, kw, spec, oh, ow);
+            // Weight slab for this group as a [og, cg*kh*kw] matrix.
+            let wstart = g * og * cg * kh * kw;
+            let wmat = Tensor::from_vec(
+                weight.data()[wstart..wstart + og * cg * kh * kw].to_vec(),
+                &[og, cg * kh * kw],
+            );
+            let prod = matmul(&wmat, &cols); // [og, oh*ow]
+            for o in 0..og {
+                let b = bias.data()[g * og + o];
+                let dst = out.fmap_mut(bn, g * og + o);
+                let src = &prod.data()[o * oh * ow..(o + 1) * oh * ow];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = s + b;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Gradients of [`conv2d`] given the upstream gradient `grad_out`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with the forward pass.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: &ConvSpec,
+) -> Conv2dGrads {
+    let (n, c, h, w) = input.dims4();
+    let (oc, _, kh, kw) = weight.dims4();
+    let (gn, goc, oh, ow) = grad_out.dims4();
+    assert_eq!(gn, n, "grad batch {gn} != input batch {n}");
+    assert_eq!(goc, oc, "grad channels {goc} != out_channels {oc}");
+    assert_eq!(oh, spec.out_size(h, kh), "grad height mismatch");
+    assert_eq!(ow, spec.out_size(w, kw), "grad width mismatch");
+    let cg = c / spec.groups;
+    let og = oc / spec.groups;
+
+    let mut grad_input = Tensor::zeros(&[n, c, h, w]);
+    let mut grad_weight = Tensor::zeros(weight.dims());
+    let mut grad_bias = Tensor::zeros(&[oc]);
+
+    for bn in 0..n {
+        for g in 0..spec.groups {
+            // grad_out slab for this group: [og, oh*ow]
+            let mut gmat = Vec::with_capacity(og * oh * ow);
+            for o in 0..og {
+                gmat.extend_from_slice(grad_out.fmap(bn, g * og + o));
+            }
+            let gmat = Tensor::from_vec(gmat, &[og, oh * ow]);
+
+            // Bias gradient: sum over spatial positions.
+            for o in 0..og {
+                let s: f32 = gmat.data()[o * oh * ow..(o + 1) * oh * ow].iter().sum();
+                grad_bias.data_mut()[g * og + o] += s;
+            }
+
+            // Weight gradient: gmat [og, ohw] x cols^T [ohw, cg*kh*kw].
+            let cols = im2col(input, bn, g * cg, cg, kh, kw, spec, oh, ow);
+            let cols_t = crate::linalg::transpose(&cols);
+            let gw = matmul(&gmat, &cols_t); // [og, cg*kh*kw]
+            let wstart = g * og * cg * kh * kw;
+            for (dst, src) in grad_weight.data_mut()[wstart..wstart + og * cg * kh * kw]
+                .iter_mut()
+                .zip(gw.data())
+            {
+                *dst += src;
+            }
+
+            // Input gradient: W^T [cg*kh*kw, og] x gmat [og, ohw] -> cols grad.
+            let wmat = Tensor::from_vec(
+                weight.data()[wstart..wstart + og * cg * kh * kw].to_vec(),
+                &[og, cg * kh * kw],
+            );
+            let wt = crate::linalg::transpose(&wmat);
+            let gcols = matmul(&wt, &gmat); // [cg*kh*kw, ohw]
+            col2im(&gcols, &mut grad_input, bn, g * cg, cg, kh, kw, spec, oh, ow);
+        }
+    }
+
+    Conv2dGrads {
+        input: grad_input,
+        weight: grad_weight,
+        bias: grad_bias,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    /// Direct (naive) convolution used as a reference implementation.
+    fn conv2d_naive(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -> Tensor {
+        let (n, c, h, w) = input.dims4();
+        let (oc, _, kh, kw) = weight.dims4();
+        let oh = spec.out_size(h, kh);
+        let ow = spec.out_size(w, kw);
+        let cg = c / spec.groups;
+        let og = oc / spec.groups;
+        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+        for bn in 0..n {
+            for o in 0..oc {
+                let g = o / og;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias.data()[o];
+                        for ci in 0..cg {
+                            for ky in 0..kh {
+                                for kx in 0..kw {
+                                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                    let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                        continue;
+                                    }
+                                    acc += input.at(&[bn, g * cg + ci, iy as usize, ix as usize])
+                                        * weight.at(&[o, ci, ky, kx]);
+                                }
+                            }
+                        }
+                        out.set(&[bn, o, oy, ox], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn out_size_formula() {
+        let s = ConvSpec::new().stride(2).padding(1);
+        assert_eq!(s.out_size(8, 3), 4);
+        assert_eq!(ConvSpec::new().out_size(5, 5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than padded input")]
+    fn out_size_rejects_oversized_kernel() {
+        ConvSpec::new().out_size(2, 5);
+    }
+
+    #[test]
+    fn conv_matches_naive_basic() {
+        let mut rng = SeededRng::new(10);
+        let x = Tensor::rand_normal(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal(&[4, 3, 3, 3], 0.0, 0.5, &mut rng);
+        let b = Tensor::rand_normal(&[4], 0.0, 0.1, &mut rng);
+        let spec = ConvSpec::new().padding(1);
+        assert_close(&conv2d(&x, &w, &b, &spec), &conv2d_naive(&x, &w, &b, &spec), 1e-4);
+    }
+
+    #[test]
+    fn conv_matches_naive_strided() {
+        let mut rng = SeededRng::new(11);
+        let x = Tensor::rand_normal(&[1, 2, 9, 9], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal(&[3, 2, 3, 3], 0.0, 0.5, &mut rng);
+        let b = Tensor::zeros(&[3]);
+        let spec = ConvSpec::new().stride(2).padding(1);
+        assert_close(&conv2d(&x, &w, &b, &spec), &conv2d_naive(&x, &w, &b, &spec), 1e-4);
+    }
+
+    #[test]
+    fn conv_matches_naive_grouped() {
+        let mut rng = SeededRng::new(12);
+        let x = Tensor::rand_normal(&[2, 4, 6, 6], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal(&[6, 2, 3, 3], 0.0, 0.5, &mut rng);
+        let b = Tensor::rand_normal(&[6], 0.0, 0.1, &mut rng);
+        let spec = ConvSpec::new().padding(1).groups(2);
+        assert_close(&conv2d(&x, &w, &b, &spec), &conv2d_naive(&x, &w, &b, &spec), 1e-4);
+    }
+
+    #[test]
+    fn conv_depthwise() {
+        let mut rng = SeededRng::new(13);
+        let x = Tensor::rand_normal(&[1, 4, 5, 5], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal(&[4, 1, 3, 3], 0.0, 0.5, &mut rng);
+        let b = Tensor::zeros(&[4]);
+        let spec = ConvSpec::new().padding(1).groups(4);
+        assert_close(&conv2d(&x, &w, &b, &spec), &conv2d_naive(&x, &w, &b, &spec), 1e-4);
+    }
+
+    #[test]
+    fn conv_1x1_is_channel_mix() {
+        // A 1x1 conv with identity-like weights moves channels around exactly.
+        let x = Tensor::from_fn(&[1, 2, 2, 2], |i| i as f32);
+        let w = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2, 1, 1]); // swap channels
+        let b = Tensor::zeros(&[2]);
+        let y = conv2d(&x, &w, &b, &ConvSpec::new());
+        assert_eq!(y.fmap(0, 0), x.fmap(0, 1));
+        assert_eq!(y.fmap(0, 1), x.fmap(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible by groups")]
+    fn conv_rejects_bad_groups() {
+        let x = Tensor::zeros(&[1, 3, 4, 4]);
+        let w = Tensor::zeros(&[2, 1, 1, 1]);
+        let b = Tensor::zeros(&[2]);
+        conv2d(&x, &w, &b, &ConvSpec::new().groups(2));
+    }
+
+    /// Numeric gradient check of the analytic backward pass.
+    #[test]
+    fn backward_matches_numeric_gradient() {
+        let mut rng = SeededRng::new(20);
+        let x = Tensor::rand_normal(&[1, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal(&[3, 2, 3, 3], 0.0, 0.5, &mut rng);
+        let b = Tensor::rand_normal(&[3], 0.0, 0.1, &mut rng);
+        let spec = ConvSpec::new().padding(1).stride(2);
+
+        // Loss = sum(conv(x)), so upstream gradient is all-ones.
+        let y = conv2d(&x, &w, &b, &spec);
+        let gout = Tensor::ones(y.dims());
+        let grads = conv2d_backward(&x, &w, &gout, &spec);
+
+        let eps = 1e-2f32;
+        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| conv2d(x, w, b, &spec).sum();
+
+        // Check a scattering of input positions.
+        for &i in &[0usize, 7, 13, 24, 49] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps);
+            let ana = grads.input.data()[i];
+            assert!((num - ana).abs() < 1e-2, "input grad {i}: {num} vs {ana}");
+        }
+        // Check a scattering of weight positions.
+        for &i in &[0usize, 5, 17, 35, 53] {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let num = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps);
+            let ana = grads.weight.data()[i];
+            assert!((num - ana).abs() < 1e-2, "weight grad {i}: {num} vs {ana}");
+        }
+        // Bias gradient is the spatial size of the output per channel.
+        let (_, _, oh, ow) = y.dims4();
+        for v in grads.bias.data() {
+            assert!((v - (oh * ow) as f32).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn backward_grouped_matches_numeric() {
+        let mut rng = SeededRng::new(21);
+        let x = Tensor::rand_normal(&[1, 4, 4, 4], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal(&[4, 2, 3, 3], 0.0, 0.5, &mut rng);
+        let b = Tensor::zeros(&[4]);
+        let spec = ConvSpec::new().padding(1).groups(2);
+        let y = conv2d(&x, &w, &b, &spec);
+        let gout = Tensor::ones(y.dims());
+        let grads = conv2d_backward(&x, &w, &gout, &spec);
+        let eps = 1e-2f32;
+        let loss = |x: &Tensor, w: &Tensor| conv2d(x, w, &b, &spec).sum();
+        for &i in &[0usize, 11, 30, 63] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            assert!((num - grads.input.data()[i]).abs() < 1e-2);
+        }
+        for &i in &[0usize, 20, 40, 71] {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            assert!((num - grads.weight.data()[i]).abs() < 1e-2);
+        }
+    }
+}

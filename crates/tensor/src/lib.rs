@@ -1,0 +1,47 @@
+//! # rustfi-tensor
+//!
+//! A minimal, dependency-light CPU tensor library used as the numerical
+//! substrate of the RustFI stack (a Rust reproduction of *PyTorchFI*,
+//! DSN 2020).
+//!
+//! Everything is `f32`, row-major, and contiguous. The library provides the
+//! operations a small convolutional-network framework needs:
+//!
+//! - [`Tensor`]: an n-dimensional array with shape bookkeeping,
+//! - elementwise and scalar arithmetic ([`ops`]),
+//! - matrix multiplication ([`linalg`]),
+//! - 2-D convolution with stride/padding/groups and its gradients ([`conv`]),
+//! - max/avg pooling and their gradients ([`pool`]),
+//! - IEEE-754 bit manipulation used by fault models ([`bits`]),
+//! - a deterministic, forkable RNG ([`rng`]),
+//! - scoped-thread data parallelism helpers ([`parallel`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rustfi_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::full(&[2, 2], 0.5);
+//! let c = a.add(&b);
+//! assert_eq!(c.at(&[1, 1]), 4.5);
+//! ```
+
+pub mod bits;
+pub mod conv;
+pub mod linalg;
+pub mod ops;
+pub mod parallel;
+pub mod pool;
+pub mod resize;
+pub mod rng;
+mod shape;
+mod tensor;
+
+pub use conv::{conv2d, conv2d_backward, Conv2dGrads, ConvSpec};
+pub use linalg::matmul;
+pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec};
+pub use resize::{resize_map, upsample_nearest, zero_pad2d};
+pub use rng::SeededRng;
+pub use shape::ShapeError;
+pub use tensor::Tensor;

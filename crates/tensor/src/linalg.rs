@@ -1,0 +1,147 @@
+//! Dense matrix multiplication.
+
+use crate::parallel;
+use crate::tensor::Tensor;
+
+/// Threshold (in multiply–accumulate operations) above which matmul fans out
+/// across threads.
+const PARALLEL_MACS: usize = 1 << 20;
+
+/// Multiplies two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+///
+/// Uses an ikj loop order for cache-friendly access and parallelizes over
+/// output rows for large problems.
+///
+/// # Panics
+///
+/// Panics if either input is not rank 2 or the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use rustfi_tensor::{matmul, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+/// assert_eq!(matmul(&a, &i), a);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.dims2();
+    let (k2, n) = b.dims2();
+    assert_eq!(
+        k, k2,
+        "matmul inner dimension mismatch: {:?} x {:?}",
+        a.dims(),
+        b.dims()
+    );
+    let mut out = vec![0.0f32; m * n];
+    let a_data = a.data();
+    let b_data = b.data();
+
+    let row_work = |rows: std::ops::Range<usize>, out_rows: &mut [f32]| {
+        for (local_i, i) in rows.enumerate() {
+            let out_row = &mut out_rows[local_i * n..(local_i + 1) * n];
+            for kk in 0..k {
+                let aik = a_data[i * k + kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b_data[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * bv;
+                }
+            }
+        }
+    };
+
+    if m * n * k >= PARALLEL_MACS && m > 1 {
+        parallel::for_each_chunk_mut(&mut out, n, |chunk_idx, rows, slab| {
+            row_work(chunk_idx..chunk_idx + rows, slab);
+        });
+    } else {
+        row_work(0..m, &mut out);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Transposes a rank-2 tensor.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 2.
+pub fn transpose(a: &Tensor) -> Tensor {
+    let (m, n) = a.dims2();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = a.data()[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, &[n, m])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_fn(&[4, 4], |i| i as f32);
+        let mut eye = Tensor::zeros(&[4, 4]);
+        for i in 0..4 {
+            eye.set(&[i, i], 1.0);
+        }
+        assert_eq!(matmul(&a, &eye), a);
+        assert_eq!(matmul(&eye, &a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_rejects_mismatch() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[2, 2]));
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        use crate::rng::SeededRng;
+        let mut rng = SeededRng::new(1);
+        // Big enough to cross PARALLEL_MACS.
+        let a = Tensor::rand_normal(&[128, 96], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[96, 128], 0.0, 1.0, &mut rng);
+        let fast = matmul(&a, &b);
+        // Serial reference.
+        let (m, k) = a.dims2();
+        let (_, n) = b.dims2();
+        let mut reference = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for kk in 0..k {
+                    s += a.data()[i * k + kk] * b.data()[kk * n + j];
+                }
+                reference[i * n + j] = s;
+            }
+        }
+        for (x, y) in fast.data().iter().zip(&reference) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_fn(&[3, 5], |i| i as f32);
+        let t = transpose(&a);
+        assert_eq!(t.dims(), &[5, 3]);
+        assert_eq!(t.at(&[4, 2]), a.at(&[2, 4]));
+        assert_eq!(transpose(&t), a);
+    }
+}

@@ -1,0 +1,399 @@
+//! Elementwise and reduction operations on [`Tensor`].
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Elementwise sum. Shapes must match exactly (no broadcasting).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Adds `other` into `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        self.zip_apply(other, |a, b| *a += b);
+    }
+
+    /// Adds `scale * other` into `self` in place (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
+        self.zip_apply(other, |a, b| *a += scale * b);
+    }
+
+    /// Returns `self * scalar`.
+    pub fn scale(&self, scalar: f32) -> Tensor {
+        self.map(|x| x * scalar)
+    }
+
+    /// Multiplies by a scalar in place.
+    pub fn scale_inplace(&mut self, scalar: f32) {
+        for x in self.data_mut() {
+            *x *= scalar;
+        }
+    }
+
+    /// Returns `self + scalar` elementwise.
+    pub fn add_scalar(&self, scalar: f32) -> Tensor {
+        self.map(|x| x + scalar)
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor::from_vec(self.data().iter().map(|&x| f(x)).collect(), self.dims())
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in self.data_mut() {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shape tensors elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "elementwise op on mismatched shapes {:?} vs {:?}",
+            self.dims(),
+            other.dims()
+        );
+        Tensor::from_vec(
+            self.data()
+                .iter()
+                .zip(other.data())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            self.dims(),
+        )
+    }
+
+    /// Combines `other` into `self` elementwise, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_apply(&mut self, other: &Tensor, f: impl Fn(&mut f32, f32)) {
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "elementwise op on mismatched shapes {:?} vs {:?}",
+            self.dims(),
+            other.dims()
+        );
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
+            f(a, b);
+        }
+    }
+
+    /// Rectified linear unit, elementwise.
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn max(&self) -> f32 {
+        assert!(!self.is_empty(), "max of empty tensor");
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn min(&self) -> f32 {
+        assert!(!self.is_empty(), "min of empty tensor");
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Largest absolute value (0 for an empty tensor).
+    pub fn max_abs(&self) -> f32 {
+        self.data().iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Flat index of the maximum element (first on ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for (i, &x) in self.data().iter().enumerate() {
+            if x > self.data()[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Squared L2 norm.
+    pub fn sq_norm(&self) -> f32 {
+        self.data().iter().map(|&x| x * x).sum()
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data().iter().any(|x| !x.is_finite())
+    }
+
+    /// Indices (flat) of the `k` largest elements, descending.
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.data()[b]
+                .partial_cmp(&self.data()[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx.truncate(k);
+        idx
+    }
+
+    /// Row-wise softmax of a rank-2 tensor `[batch, classes]`.
+    ///
+    /// Numerically stabilized by subtracting each row's maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn softmax_rows(&self) -> Tensor {
+        let (rows, cols) = self.dims2();
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            let row = &self.data()[r * cols..(r + 1) * cols];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0;
+            for c in 0..cols {
+                let e = (row[c] - m).exp();
+                out[r * cols + c] = e;
+                denom += e;
+            }
+            for c in 0..cols {
+                out[r * cols + c] /= denom;
+            }
+        }
+        Tensor::from_vec(out, self.dims())
+    }
+
+    /// Concatenates rank-4 tensors along the channel axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or `N`, `H`, `W` disagree.
+    pub fn concat_channels(parts: &[Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat of empty list");
+        let (n, _, h, w) = parts[0].dims4();
+        let total_c: usize = parts.iter().map(|p| p.dims4().1).sum();
+        let mut out = Tensor::zeros(&[n, total_c, h, w]);
+        for bn in 0..n {
+            let mut c_off = 0;
+            for p in parts {
+                let (pn, pc, ph, pw) = p.dims4();
+                assert_eq!(
+                    (pn, ph, pw),
+                    (n, h, w),
+                    "concat_channels mismatch: {:?} vs {:?}",
+                    p.dims(),
+                    parts[0].dims()
+                );
+                for c in 0..pc {
+                    out.fmap_mut(bn, c_off + c).copy_from_slice(p.fmap(bn, c));
+                }
+                c_off += pc;
+            }
+        }
+        out
+    }
+
+    /// Splits a rank-4 tensor along the channel axis into chunks of the given
+    /// sizes (inverse of [`Tensor::concat_channels`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes do not sum to the channel count.
+    pub fn split_channels(&self, sizes: &[usize]) -> Vec<Tensor> {
+        let (n, c, h, w) = self.dims4();
+        assert_eq!(
+            sizes.iter().sum::<usize>(),
+            c,
+            "split sizes {:?} do not sum to channel count {}",
+            sizes,
+            c
+        );
+        let mut out = Vec::with_capacity(sizes.len());
+        let mut c_off = 0;
+        for &sz in sizes {
+            let mut part = Tensor::zeros(&[n, sz, h, w]);
+            for bn in 0..n {
+                for cc in 0..sz {
+                    part.fmap_mut(bn, cc).copy_from_slice(self.fmap(bn, c_off + cc));
+                }
+            }
+            out.push(part);
+            c_off += sz;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape)
+    }
+
+    #[test]
+    fn add_sub_mul() {
+        let a = t(&[1.0, 2.0, 3.0], &[3]);
+        let b = t(&[4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched shapes")]
+    fn add_rejects_shape_mismatch() {
+        t(&[1.0], &[1]).add(&t(&[1.0, 2.0], &[2]));
+    }
+
+    #[test]
+    fn axpy_and_inplace() {
+        let mut a = t(&[1.0, 1.0], &[2]);
+        a.add_scaled(&t(&[2.0, 4.0], &[2]), 0.5);
+        assert_eq!(a.data(), &[2.0, 3.0]);
+        a.scale_inplace(2.0);
+        assert_eq!(a.data(), &[4.0, 6.0]);
+        a.add_assign(&t(&[1.0, 1.0], &[2]));
+        assert_eq!(a.data(), &[5.0, 7.0]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let a = t(&[-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(a.relu().data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t(&[-3.0, 1.0, 2.0], &[3]);
+        assert_eq!(a.sum(), 0.0);
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.max(), 2.0);
+        assert_eq!(a.min(), -3.0);
+        assert_eq!(a.max_abs(), 3.0);
+        assert_eq!(a.argmax(), 2);
+        assert_eq!(a.sq_norm(), 14.0);
+    }
+
+    #[test]
+    fn argmax_takes_first_on_ties() {
+        assert_eq!(t(&[1.0, 3.0, 3.0], &[3]).argmax(), 1);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        assert!(!t(&[1.0, 2.0], &[2]).has_non_finite());
+        assert!(t(&[1.0, f32::NAN], &[2]).has_non_finite());
+        assert!(t(&[f32::INFINITY, 0.0], &[2]).has_non_finite());
+    }
+
+    #[test]
+    fn top_k_orders_descending() {
+        let a = t(&[0.1, 0.9, 0.5, 0.7], &[4]);
+        assert_eq!(a.top_k(3), vec![1, 3, 2]);
+        assert_eq!(a.top_k(10).len(), 4, "top_k clamps to length");
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = t(&[1.0, 2.0, 3.0, 1.0, 1.0, 1.0], &[2, 3]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = (0..3).map(|c| s.at(&[r, c])).sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Uniform logits give uniform probabilities.
+        assert!((s.at(&[1, 0]) - 1.0 / 3.0).abs() < 1e-6);
+        // Softmax is monotone in the logits.
+        assert!(s.at(&[0, 2]) > s.at(&[0, 1]));
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let a = t(&[1000.0, 1001.0], &[1, 2]);
+        let s = a.softmax_rows();
+        assert!(!s.has_non_finite());
+        assert!((s.at(&[0, 0]) + s.at(&[0, 1]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concat_split_roundtrip() {
+        let a = Tensor::from_fn(&[2, 2, 2, 2], |i| i as f32);
+        let b = Tensor::from_fn(&[2, 3, 2, 2], |i| 100.0 + i as f32);
+        let cat = Tensor::concat_channels(&[a.clone(), b.clone()]);
+        assert_eq!(cat.dims(), &[2, 5, 2, 2]);
+        let parts = cat.split_channels(&[2, 3]);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not sum to channel count")]
+    fn split_rejects_bad_sizes() {
+        Tensor::zeros(&[1, 4, 1, 1]).split_channels(&[1, 2]);
+    }
+}

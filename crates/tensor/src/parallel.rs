@@ -1,0 +1,186 @@
+//! Scoped-thread data-parallel helpers built on `crossbeam::scope`.
+//!
+//! The RustFI stack uses plain data parallelism in two places: large matrix
+//! multiplies inside convolution, and fault-injection campaigns that fan
+//! independent trials across worker threads. Both are expressed with the two
+//! helpers here, so thread management lives in exactly one module.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use (cached; at least 1).
+pub fn worker_count() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Splits `out` into contiguous chunks of `rows_per_item * item_width`
+/// elements and runs `f(first_item_index, items_in_chunk, chunk)` on worker
+/// threads.
+///
+/// `out.len()` must be a multiple of `item_width`. Items are the unit of
+/// distribution; each worker receives a contiguous run of items.
+///
+/// # Panics
+///
+/// Panics if `item_width == 0` or `out.len()` is not a multiple of it, or if
+/// a worker panics.
+pub fn for_each_chunk_mut<F>(out: &mut [f32], item_width: usize, f: F)
+where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    assert!(item_width > 0, "item_width must be positive");
+    assert_eq!(
+        out.len() % item_width,
+        0,
+        "output length {} is not a multiple of item width {}",
+        out.len(),
+        item_width
+    );
+    let items = out.len() / item_width;
+    if items == 0 {
+        return;
+    }
+    let workers = worker_count().min(items);
+    if workers <= 1 {
+        f(0, items, out);
+        return;
+    }
+    let per = items.div_ceil(workers);
+    crossbeam::scope(|scope| {
+        let mut rest = out;
+        let mut start = 0;
+        while start < items {
+            let take = per.min(items - start);
+            let (head, tail) = rest.split_at_mut(take * item_width);
+            rest = tail;
+            let fref = &f;
+            let item_start = start;
+            scope.spawn(move |_| fref(item_start, take, head));
+            start += take;
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Runs `f(i)` for every `i in 0..n` across worker threads and collects the
+/// results in order.
+///
+/// Work is distributed by index striding through an atomic counter, so uneven
+/// per-item cost still balances. Results are returned in input order.
+///
+/// # Panics
+///
+/// Panics if a worker panics.
+pub fn map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count().min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let counter = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        let results: Vec<_> = (0..workers)
+            .map(|_| {
+                let fref = &f;
+                let cref = &counter;
+                scope.spawn(move |_| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = cref.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, fref(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in results {
+            for (i, v) in handle.join().expect("parallel worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    })
+    .expect("parallel scope failed");
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker skipped an index"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn chunked_fill_covers_everything() {
+        let mut out = vec![0.0f32; 12 * 5];
+        for_each_chunk_mut(&mut out, 5, |start, items, slab| {
+            for i in 0..items {
+                for j in 0..5 {
+                    slab[i * 5 + j] = (start + i) as f32;
+                }
+            }
+        });
+        for item in 0..12 {
+            for j in 0..5 {
+                assert_eq!(out[item * 5 + j], item as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_handles_empty() {
+        let mut out: Vec<f32> = Vec::new();
+        for_each_chunk_mut(&mut out, 4, |_, _, _| panic!("should not run"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn chunked_rejects_misaligned_width() {
+        let mut out = vec![0.0f32; 7];
+        for_each_chunk_mut(&mut out, 2, |_, _, _| {});
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        let v = map_indexed(100, |i| i * i);
+        assert_eq!(v.len(), 100);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * i);
+        }
+    }
+
+    #[test]
+    fn map_indexed_empty() {
+        let v: Vec<usize> = map_indexed(0, |i| i);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn map_indexed_single() {
+        assert_eq!(map_indexed(1, |i| i + 41), vec![41]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Max and average pooling and their gradients.
+
+use crate::tensor::Tensor;
+
+/// Geometry of a pooling operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSpec {
+    /// Square window size.
+    pub kernel: usize,
+    /// Step between windows.
+    pub stride: usize,
+}
+
+impl PoolSpec {
+    /// A `kernel`-sized window moving by `stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either is zero.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "pool kernel/stride must be positive");
+        Self { kernel, stride }
+    }
+
+    /// Output spatial extent for an input extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is larger than the input.
+    pub fn out_size(&self, in_size: usize) -> usize {
+        assert!(
+            in_size >= self.kernel,
+            "pool window {} larger than input {in_size}",
+            self.kernel
+        );
+        (in_size - self.kernel) / self.stride + 1
+    }
+}
+
+/// Max pooling over an `NCHW` tensor.
+///
+/// Returns the pooled tensor and the flat within-feature-map index of each
+/// selected maximum (needed by [`max_pool2d_backward`]).
+///
+/// # Panics
+///
+/// Panics if the input is not rank 4 or the window does not fit.
+pub fn max_pool2d(input: &Tensor, spec: &PoolSpec) -> (Tensor, Vec<usize>) {
+    let (n, c, h, w) = input.dims4();
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    for bn in 0..n {
+        for ch in 0..c {
+            let fm = input.fmap(bn, ch);
+            let dst = out.fmap_mut(bn, ch);
+            let arg_base = (bn * c + ch) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for ky in 0..spec.kernel {
+                        for kx in 0..spec.kernel {
+                            let iy = oy * spec.stride + ky;
+                            let ix = ox * spec.stride + kx;
+                            let v = fm[iy * w + ix];
+                            if v > best {
+                                best = v;
+                                best_idx = iy * w + ix;
+                            }
+                        }
+                    }
+                    dst[oy * ow + ox] = best;
+                    argmax[arg_base + oy * ow + ox] = best_idx;
+                }
+            }
+        }
+    }
+    (out, argmax)
+}
+
+/// Gradient of [`max_pool2d`]: routes each output gradient to the input
+/// position that produced the maximum.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with the forward pass.
+pub fn max_pool2d_backward(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_dims: &[usize],
+) -> Tensor {
+    let (n, c, oh, ow) = grad_out.dims4();
+    assert_eq!(argmax.len(), n * c * oh * ow, "argmax length mismatch");
+    let mut grad_input = Tensor::zeros(input_dims);
+    for bn in 0..n {
+        for ch in 0..c {
+            let g = grad_out.fmap(bn, ch).to_vec();
+            let arg_base = (bn * c + ch) * oh * ow;
+            let dst = grad_input.fmap_mut(bn, ch);
+            for (i, &gv) in g.iter().enumerate() {
+                dst[argmax[arg_base + i]] += gv;
+            }
+        }
+    }
+    grad_input
+}
+
+/// Average pooling over an `NCHW` tensor.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 4 or the window does not fit.
+pub fn avg_pool2d(input: &Tensor, spec: &PoolSpec) -> Tensor {
+    let (n, c, h, w) = input.dims4();
+    let oh = spec.out_size(h);
+    let ow = spec.out_size(w);
+    let norm = 1.0 / (spec.kernel * spec.kernel) as f32;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    for bn in 0..n {
+        for ch in 0..c {
+            let fm = input.fmap(bn, ch);
+            let dst = out.fmap_mut(bn, ch);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..spec.kernel {
+                        for kx in 0..spec.kernel {
+                            acc += fm[(oy * spec.stride + ky) * w + ox * spec.stride + kx];
+                        }
+                    }
+                    dst[oy * ow + ox] = acc * norm;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Gradient of [`avg_pool2d`]: spreads each output gradient uniformly over
+/// its window.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with the forward pass.
+pub fn avg_pool2d_backward(grad_out: &Tensor, spec: &PoolSpec, input_dims: &[usize]) -> Tensor {
+    let (n, c, oh, ow) = grad_out.dims4();
+    let w = input_dims[3];
+    let norm = 1.0 / (spec.kernel * spec.kernel) as f32;
+    let mut grad_input = Tensor::zeros(input_dims);
+    for bn in 0..n {
+        for ch in 0..c {
+            let g = grad_out.fmap(bn, ch).to_vec();
+            let dst = grad_input.fmap_mut(bn, ch);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let gv = g[oy * ow + ox] * norm;
+                    for ky in 0..spec.kernel {
+                        for kx in 0..spec.kernel {
+                            dst[(oy * spec.stride + ky) * w + ox * spec.stride + kx] += gv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    grad_input
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_window_maxima() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, -2.0, 0.0, 0.5, //
+                -3.0, -4.0, 0.25, 0.75,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let (y, arg) = max_pool2d(&x, &PoolSpec::new(2, 2));
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 8.0, -1.0, 0.75]);
+        assert_eq!(arg, vec![5, 7, 8, 15]);
+    }
+
+    #[test]
+    fn max_pool_overlapping_windows() {
+        let x = Tensor::from_fn(&[1, 1, 3, 3], |i| i as f32);
+        let (y, _) = max_pool2d(&x, &PoolSpec::new(2, 1));
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 9.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let (_, arg) = max_pool2d(&x, &PoolSpec::new(2, 2));
+        let gout = Tensor::from_vec(vec![2.5], &[1, 1, 1, 1]);
+        let gin = max_pool2d_backward(&gout, &arg, &[1, 1, 2, 2]);
+        assert_eq!(gin.data(), &[0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_accumulates_on_overlap() {
+        // Stride-1 pooling of a tensor whose max is shared by all windows.
+        let x = Tensor::from_vec(
+            vec![0.0, 0.0, 0.0, 0.0, 9.0, 0.0, 0.0, 0.0, 0.0],
+            &[1, 1, 3, 3],
+        );
+        let (_, arg) = max_pool2d(&x, &PoolSpec::new(2, 1));
+        let gout = Tensor::ones(&[1, 1, 2, 2]);
+        let gin = max_pool2d_backward(&gout, &arg, &[1, 1, 3, 3]);
+        // All four windows route their gradient to the center.
+        assert_eq!(gin.at(&[0, 0, 1, 1]), 4.0);
+        assert_eq!(gin.sum(), 4.0);
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let x = Tensor::from_fn(&[1, 1, 2, 2], |i| i as f32);
+        let y = avg_pool2d(&x, &PoolSpec::new(2, 2));
+        assert_eq!(y.data(), &[1.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_is_uniform() {
+        let gout = Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]);
+        let gin = avg_pool2d_backward(&gout, &PoolSpec::new(2, 2), &[1, 1, 2, 2]);
+        assert_eq!(gin.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn avg_pool_numeric_gradient() {
+        use crate::rng::SeededRng;
+        let mut rng = SeededRng::new(5);
+        let x = Tensor::rand_normal(&[1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let spec = PoolSpec::new(2, 2);
+        let y = avg_pool2d(&x, &spec);
+        let gout = Tensor::ones(y.dims());
+        let gin = avg_pool2d_backward(&gout, &spec, x.dims());
+        let eps = 1e-2f32;
+        for &i in &[0usize, 9, 21, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (avg_pool2d(&xp, &spec).sum() - avg_pool2d(&xm, &spec).sum()) / (2.0 * eps);
+            assert!((num - gin.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than input")]
+    fn pool_rejects_oversized_window() {
+        max_pool2d(&Tensor::zeros(&[1, 1, 2, 2]), &PoolSpec::new(3, 1));
+    }
+}

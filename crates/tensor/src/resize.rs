@@ -1,0 +1,135 @@
+//! Spatial resizing: zero padding and nearest-neighbour upsampling.
+//!
+//! Used by the interpretability stack to bring layer-resolution heatmaps up
+//! to input resolution (the paper's Fig. 7 panels superimpose the Grad-CAM
+//! map on the image), and generally useful for custom architectures.
+
+use crate::tensor::Tensor;
+
+/// Zero-pads an `NCHW` tensor by `pad` pixels on all four spatial sides.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 4.
+pub fn zero_pad2d(input: &Tensor, pad: usize) -> Tensor {
+    let (n, c, h, w) = input.dims4();
+    let (oh, ow) = (h + 2 * pad, w + 2 * pad);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    for bn in 0..n {
+        for ch in 0..c {
+            let src = input.fmap(bn, ch).to_vec();
+            let dst = out.fmap_mut(bn, ch);
+            for y in 0..h {
+                let drow = (y + pad) * ow + pad;
+                dst[drow..drow + w].copy_from_slice(&src[y * w..(y + 1) * w]);
+            }
+        }
+    }
+    out
+}
+
+/// Nearest-neighbour upsampling of an `NCHW` tensor by an integer factor.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 4 or `factor == 0`.
+pub fn upsample_nearest(input: &Tensor, factor: usize) -> Tensor {
+    assert!(factor > 0, "upsampling factor must be positive");
+    let (n, c, h, w) = input.dims4();
+    let (oh, ow) = (h * factor, w * factor);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    for bn in 0..n {
+        for ch in 0..c {
+            let src = input.fmap(bn, ch).to_vec();
+            let dst = out.fmap_mut(bn, ch);
+            for oy in 0..oh {
+                let sy = oy / factor;
+                for ox in 0..ow {
+                    dst[oy * ow + ox] = src[sy * w + ox / factor];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Nearest-neighbour resize of a rank-2 map (e.g. a heatmap) to an arbitrary
+/// target size.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 2 or a target dimension is zero.
+pub fn resize_map(map: &Tensor, target_h: usize, target_w: usize) -> Tensor {
+    let (h, w) = map.dims2();
+    assert!(target_h > 0 && target_w > 0, "target size must be positive");
+    Tensor::from_fn(&[target_h, target_w], |i| {
+        let y = i / target_w;
+        let x = i % target_w;
+        let sy = (y * h / target_h).min(h - 1);
+        let sx = (x * w / target_w).min(w - 1);
+        map.at(&[sy, sx])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_pad_places_content_centrally() {
+        let x = Tensor::from_fn(&[1, 1, 2, 2], |i| 1.0 + i as f32);
+        let p = zero_pad2d(&x, 1);
+        assert_eq!(p.dims(), &[1, 1, 4, 4]);
+        assert_eq!(p.at(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(p.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(p.at(&[0, 0, 2, 2]), 4.0);
+        assert_eq!(p.sum(), x.sum(), "padding adds no mass");
+    }
+
+    #[test]
+    fn zero_pad_zero_is_identity() {
+        let x = Tensor::from_fn(&[2, 3, 4, 4], |i| i as f32);
+        assert_eq!(zero_pad2d(&x, 0), x);
+    }
+
+    #[test]
+    fn upsample_repeats_pixels() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let u = upsample_nearest(&x, 2);
+        assert_eq!(u.dims(), &[1, 1, 4, 4]);
+        assert_eq!(u.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(u.at(&[0, 0, 0, 1]), 1.0);
+        assert_eq!(u.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(u.at(&[0, 0, 3, 3]), 4.0);
+        assert_eq!(u.sum(), 4.0 * x.sum(), "each pixel appears factor^2 times");
+    }
+
+    #[test]
+    fn upsample_factor_one_is_identity() {
+        let x = Tensor::from_fn(&[1, 2, 3, 3], |i| i as f32);
+        assert_eq!(upsample_nearest(&x, 1), x);
+    }
+
+    #[test]
+    fn resize_map_integer_factor_matches_upsample() {
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let r = resize_map(&m, 4, 4);
+        let u = upsample_nearest(&m.reshaped(&[1, 1, 2, 2]).unwrap(), 2);
+        assert_eq!(r.data(), u.data());
+    }
+
+    #[test]
+    fn resize_map_downsamples_too() {
+        let m = Tensor::from_fn(&[4, 4], |i| i as f32);
+        let r = resize_map(&m, 2, 2);
+        assert_eq!(r.dims(), &[2, 2]);
+        assert_eq!(r.at(&[0, 0]), m.at(&[0, 0]));
+        assert_eq!(r.at(&[1, 1]), m.at(&[2, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be positive")]
+    fn upsample_rejects_zero_factor() {
+        upsample_nearest(&Tensor::zeros(&[1, 1, 2, 2]), 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Shape bookkeeping and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when tensor shapes are inconsistent with an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    message: String,
+}
+
+impl ShapeError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error: {}", self.message)
+    }
+}
+
+impl Error for ShapeError {}
+
+/// Number of elements implied by a shape.
+pub(crate) fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major strides for a shape.
+pub(crate) fn strides(shape: &[usize]) -> Vec<usize> {
+    let mut out = vec![1; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        out[i] = out[i + 1] * shape[i + 1];
+    }
+    out
+}
+
+/// Flat row-major offset of a multi-index.
+///
+/// # Panics
+///
+/// Panics if `index.len() != shape.len()` or an index is out of bounds.
+pub(crate) fn offset(shape: &[usize], index: &[usize]) -> usize {
+    assert_eq!(
+        index.len(),
+        shape.len(),
+        "index rank {} does not match tensor rank {}",
+        index.len(),
+        shape.len()
+    );
+    let mut off = 0;
+    let mut stride = 1;
+    for i in (0..shape.len()).rev() {
+        assert!(
+            index[i] < shape[i],
+            "index {} out of bounds for axis {} with size {}",
+            index[i],
+            i,
+            shape[i]
+        );
+        off += index[i] * stride;
+        stride *= shape[i];
+    }
+    off
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_of_empty_shape_is_one() {
+        // A rank-0 tensor is a scalar with one element.
+        assert_eq!(numel(&[]), 1);
+    }
+
+    #[test]
+    fn numel_multiplies_axes() {
+        assert_eq!(numel(&[2, 3, 4]), 24);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides(&[5]), vec![1]);
+    }
+
+    #[test]
+    fn offset_walks_row_major() {
+        let shape = [2, 3, 4];
+        assert_eq!(offset(&shape, &[0, 0, 0]), 0);
+        assert_eq!(offset(&shape, &[0, 0, 3]), 3);
+        assert_eq!(offset(&shape, &[0, 1, 0]), 4);
+        assert_eq!(offset(&shape, &[1, 2, 3]), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_panics_out_of_bounds() {
+        offset(&[2, 2], &[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match tensor rank")]
+    fn offset_panics_on_rank_mismatch() {
+        offset(&[2, 2], &[1]);
+    }
+
+    #[test]
+    fn shape_error_displays_message() {
+        let err = ShapeError::new("bad reshape");
+        assert_eq!(err.to_string(), "shape error: bad reshape");
+    }
+}

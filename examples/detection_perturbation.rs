@@ -1,0 +1,75 @@
+//! Object-detection perturbation (paper §IV-B / Fig. 5, in miniature):
+//! train the YOLO-lite detector on synthetic scenes, then inject one random
+//! neuron per layer with a random FP32 bit pattern and compare detections —
+//! phantom objects appear, exactly as in the paper's qualitative figure.
+//!
+//! Run with: `cargo run --example detection_perturbation --release`
+
+use rustfi::{models, BatchSelect, FaultInjector, FiConfig, NeuronFault, NeuronSelect};
+use rustfi_data::DetectionSpec;
+use rustfi_detect::{diff_detections, DetectorConfig, TrainDetectorConfig, YoloLite};
+use rustfi_interpret::render::render_channel;
+use std::sync::Arc;
+
+fn main() -> Result<(), rustfi::FiError> {
+    let scenes = DetectionSpec::coco_like().generate(32);
+    let det_cfg = DetectorConfig::default();
+    let mut detector = YoloLite::new(&det_cfg);
+    println!("training YOLO-lite on {} scenes...", scenes.len());
+    let losses = detector.train(&scenes, &TrainDetectorConfig::default());
+    println!(
+        "loss: {:.3} -> {:.3}",
+        losses[0],
+        losses.last().copied().unwrap_or(f32::NAN)
+    );
+
+    // Wrap the detector's network in the injector.
+    let fi = FaultInjector::new(
+        detector.into_net(),
+        FiConfig::for_input(&[1, 3, det_cfg.image_hw, det_cfg.image_hw]),
+    )?;
+
+    // One random neuron per layer, each set to a uniformly random FP32 bit
+    // pattern (the paper's §IV-B error model).
+    let per_layer_faults: Vec<NeuronFault> = (0..fi.profile().len())
+        .map(|layer| NeuronFault {
+            select: NeuronSelect::RandomInLayer { layer },
+            batch: BatchSelect::All,
+            model: Arc::new(models::RandomFp32Bits),
+        })
+        .collect();
+
+    let scene = &scenes[0];
+    println!("\nscene (red channel):\n{}", render_channel(&scene.image, 0, 0));
+    println!("ground truth: {:?}\n", scene.objects);
+
+    // Clean run.
+    let mut detector = YoloLite::from_net(fi.into_inner(), &det_cfg);
+    let clean = detector.detect(&scene.image, 0.4);
+    let clean_diff = diff_detections(&clean, &scene.objects, 0.3);
+    println!("clean:     {} detections, {clean_diff:?}", clean.len());
+
+    // Faulty runs (several trials to show the spread).
+    let mut fi = FaultInjector::new(
+        detector.into_net(),
+        FiConfig::for_input(&[1, 3, det_cfg.image_hw, det_cfg.image_hw]),
+    )?;
+    for trial in 0..5 {
+        fi.restore();
+        fi.reseed(100 + trial);
+        fi.declare_neuron_fi(&per_layer_faults)?;
+        let raw = fi.forward(&scene.image);
+        let cands = rustfi_detect::decode_grid(&raw, 0, det_cfg.num_classes);
+        let dets = rustfi_detect::nms(
+            cands.into_iter().filter(|d| d.score >= 0.4).collect(),
+            0.4,
+        );
+        let diff = diff_detections(&dets, &scene.objects, 0.3);
+        println!(
+            "faulty #{trial}: {} detections, {diff:?}{}",
+            dets.len(),
+            if diff.phantom > 0 { "  <- phantom objects!" } else { "" }
+        );
+    }
+    Ok(())
+}

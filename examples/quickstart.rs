@@ -1,0 +1,45 @@
+//! Quickstart: the paper's "three lines of code" workflow.
+//!
+//! 1. Build (or load) a model.
+//! 2. Wrap it in a `FaultInjector` — this runs the dummy profiling pass.
+//! 3. Declare a perturbation and run inference.
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use rustfi::{models, BatchSelect, FaultInjector, FiConfig, NeuronFault, NeuronSelect};
+use rustfi_nn::{zoo, ZooConfig};
+use rustfi_tensor::{SeededRng, Tensor};
+use std::sync::Arc;
+
+fn main() -> Result<(), rustfi::FiError> {
+    // Step 1: a model (LeNet on 3x16x16 inputs, 10 classes).
+    let net = zoo::lenet(&ZooConfig::tiny(10));
+
+    // Step 2: wrap it. The injector profiles the model with one dummy
+    // inference and learns every injectable layer's geometry.
+    let mut fi = FaultInjector::new(net, FiConfig::for_input(&[1, 3, 16, 16]))?;
+    println!("{}", fi.profile());
+
+    // A test input.
+    let mut rng = SeededRng::new(7);
+    let image = Tensor::rand_normal(&[1, 3, 16, 16], 0.0, 1.0, &mut rng);
+    let clean = fi.forward(&image);
+    println!("clean logits:     {:?}", &clean.data()[..5]);
+
+    // Step 3: declare a perturbation — the paper's default error model is a
+    // uniform random value in [-1, 1] at a random neuron.
+    let sites = fi.declare_neuron_fi(&[NeuronFault {
+        select: NeuronSelect::Random,
+        batch: BatchSelect::All,
+        model: Arc::new(models::RandomUniform::default()),
+    }])?;
+    println!("injected at: {:?}", sites[0]);
+    let faulty = fi.forward(&image);
+    println!("perturbed logits: {:?}", &faulty.data()[..5]);
+
+    // Clean up and verify the model is pristine again.
+    fi.restore();
+    assert_eq!(fi.forward(&image), clean);
+    println!("restored: outputs match the clean run again");
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Training inherently error-resilient models (paper §IV-D / Table I, in
+//! miniature): train the same ResNet-18 twice from identical initial
+//! weights — once clean, once with a random neuron per layer perturbed to a
+//! uniform value in [-1, 1] on every training forward pass — then compare
+//! training time, accuracy, and post-training SDC counts.
+//!
+//! Run with: `cargo run --example resilient_training --release`
+
+use rustfi::{models, Campaign, CampaignConfig, FaultMode, NeuronSelect};
+use rustfi_data::SynthSpec;
+use rustfi_nn::train::{accuracy, fit, TrainConfig};
+use rustfi_nn::{checkpoint, zoo, ZooConfig};
+use rustfi_robust::TrainingInjector;
+use std::sync::Arc;
+
+fn main() {
+    let data = SynthSpec::cifar10_like().generate();
+    let cfg = TrainConfig::default();
+    let zoo_cfg = ZooConfig::cifar10_like();
+
+    // Baseline: clean training.
+    let mut baseline = zoo::resnet18(&zoo_cfg);
+    let base_report = fit(&mut baseline, &data.train_images, &data.train_labels, &cfg);
+    let base_acc = accuracy(&mut baseline, &data.test_images, &data.test_labels, 32);
+
+    // Same initialization seed, but with injection hooks during training.
+    let mut fi_net = zoo::resnet18(&zoo_cfg);
+    let injector = TrainingInjector::install_hidden(&fi_net, -1.0, 1.0, 7);
+    let fi_report = fit(&mut fi_net, &data.train_images, &data.train_labels, &cfg);
+    let injections = injector.injections();
+    injector.remove();
+    let fi_acc = accuracy(&mut fi_net, &data.test_images, &data.test_labels, 32);
+
+    println!("                     baseline      FI-trained");
+    println!(
+        "training time        {:>10.2?}   {:>10.2?}",
+        base_report.wall_time, fi_report.wall_time
+    );
+    println!(
+        "test accuracy        {:>9.2}%   {:>9.2}%",
+        100.0 * base_acc,
+        100.0 * fi_acc
+    );
+    println!("injections during training: {injections}");
+
+    // Post-training resiliency comparison (random INT8 bit flips).
+    let trials = 3000;
+    let run_campaign = |net: &mut rustfi_nn::Network, tag: &str| {
+        let ckpt = std::env::temp_dir().join(format!("rustfi-example-table1-{tag}.ckpt"));
+        checkpoint::save(net, &ckpt).expect("write checkpoint");
+        let path = ckpt.clone();
+        let factory = move || {
+            let mut net = zoo::resnet18(&ZooConfig::cifar10_like());
+            checkpoint::load(&mut net, &path).expect("read checkpoint");
+            net
+        };
+        let campaign = Campaign::new(
+            &factory,
+            &data.test_images,
+            &data.test_labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(models::BitFlipInt8::new(models::BitSelect::Random)),
+        );
+        let result = campaign.run(&CampaignConfig {
+            trials,
+            seed: 11,
+            threads: None,
+            int8_activations: true,
+        });
+        std::fs::remove_file(&ckpt).ok();
+        result
+    };
+    let base_result = run_campaign(&mut baseline, "base");
+    let fi_result = run_campaign(&mut fi_net, "fi");
+    println!(
+        "post-training SDCs   {:>10}   {:>10}   (out of {trials} injections each)",
+        base_result.counts.sdc, fi_result.counts.sdc
+    );
+    if fi_result.counts.sdc < base_result.counts.sdc {
+        println!("=> FI-trained model is more resilient, as in Table I");
+    }
+}

@@ -1,0 +1,85 @@
+//! Feature-map-granularity vulnerability analysis for low-cost selective
+//! protection — the follow-on study the paper's §IV-A proposes: inject at
+//! feature-map granularity, rank the maps, and find the smallest set whose
+//! protection (e.g. by duplication) would cover most observed corruptions.
+//!
+//! Run with: `cargo run --example selective_protection --release`
+
+use rustfi::granularity::{feature_map_vulnerability, selective_protection};
+use rustfi::{models, CampaignConfig};
+use rustfi_data::SynthSpec;
+use rustfi_nn::train::{fit, TrainConfig};
+use rustfi_nn::{checkpoint, zoo, LayerKind, ZooConfig};
+use std::sync::Arc;
+
+fn main() {
+    let mut spec = SynthSpec::cifar10_like();
+    spec.noise = 1.3; // thin margins so corruption is observable
+    let data = spec.generate();
+    let mut net = zoo::alexnet(&ZooConfig::cifar10_like());
+    println!("training alexnet...");
+    fit(
+        &mut net,
+        &data.train_images,
+        &data.train_labels,
+        &TrainConfig {
+            lr: 0.005,
+            epochs: 20,
+            ..TrainConfig::default()
+        },
+    );
+
+    // Geometry of the layer under study (the third conv, the widest).
+    let conv_infos: Vec<_> = net
+        .layer_infos()
+        .iter()
+        .filter(|l| l.kind == LayerKind::Conv2d)
+        .cloned()
+        .collect();
+    let layer = 2;
+    let channels = conv_infos[layer].weight_dims.as_ref().expect("conv has weights")[0];
+    println!(
+        "profiling layer {layer} ({}, {channels} feature maps) with stuck-at-30 injections",
+        conv_infos[layer].name
+    );
+
+    let ckpt = std::env::temp_dir().join("rustfi-example-selective.ckpt");
+    checkpoint::save(&mut net, &ckpt).expect("write checkpoint");
+    let path = ckpt.clone();
+    let factory = move || {
+        let mut net = zoo::alexnet(&ZooConfig::cifar10_like());
+        checkpoint::load(&mut net, &path).expect("read checkpoint");
+        net
+    };
+
+    let profile = feature_map_vulnerability(
+        &factory,
+        &data.test_images,
+        &data.test_labels,
+        layer,
+        channels,
+        Arc::new(models::StuckAt::new(30.0)),
+        400,
+        &CampaignConfig::default(),
+    );
+
+    println!("\nper-feature-map vulnerability:");
+    for (channel, &(trials, sdcs)) in profile.per_map.iter().enumerate() {
+        let rate = 100.0 * sdcs as f64 / trials.max(1) as f64;
+        println!(
+            "  map {channel:>2}: {sdcs:>4} SDC / {trials} trials ({rate:>5.2}%) {}",
+            "#".repeat((rate / 2.0) as usize)
+        );
+    }
+
+    for coverage in [0.5, 0.8, 0.95] {
+        let protect = selective_protection(&profile, coverage);
+        println!(
+            "\nprotecting {:>2}/{channels} maps ({:?}) covers {:.0}% of observed SDCs",
+            protect.len(),
+            protect,
+            100.0 * coverage
+        );
+    }
+    std::fs::remove_file(&ckpt).ok();
+}

@@ -1,0 +1,204 @@
+//! End-to-end integration tests spanning the whole stack: synthetic data →
+//! training → fault injection → outcome metrics.
+
+use rustfi::{
+    models, BatchSelect, Campaign, CampaignConfig, FaultInjector, FaultMode, FiConfig,
+    NeuronFault, NeuronSelect, OutcomeKind, WeightFault, WeightSelect,
+};
+use rustfi_data::SynthSpec;
+use rustfi_nn::train::{accuracy, fit, TrainConfig};
+use rustfi_nn::{checkpoint, zoo, Network, ZooConfig};
+use std::sync::Arc;
+
+fn small_dataset() -> rustfi_data::ClassificationDataset {
+    let mut spec = SynthSpec::cifar10_like().with_budget(12, 6);
+    spec.noise = 0.6;
+    spec.generate()
+}
+
+fn trained_lenet(data: &rustfi_data::ClassificationDataset) -> Network {
+    let mut net = zoo::lenet(&ZooConfig::cifar10_like());
+    fit(
+        &mut net,
+        &data.train_images,
+        &data.train_labels,
+        &TrainConfig {
+            epochs: 10,
+            lr: 0.02,
+            ..TrainConfig::default()
+        },
+    );
+    net
+}
+
+#[test]
+fn train_inject_measure_pipeline() {
+    let data = small_dataset();
+    let mut net = trained_lenet(&data);
+    let acc = accuracy(&mut net, &data.test_images, &data.test_labels, 16);
+    assert!(acc > 0.8, "trained model accuracy {acc}");
+
+    // Zero-value injections in the logits layer must change some outcomes.
+    let mut fi = FaultInjector::new(net, FiConfig::for_input(&[1, 3, 16, 16])).unwrap();
+    let last = fi.profile().len() - 1;
+    let mut outcomes = Vec::new();
+    for i in 0..data.test_len() {
+        fi.restore();
+        fi.reseed(i as u64);
+        fi.declare_neuron_fi(&[NeuronFault {
+            select: NeuronSelect::RandomInLayer { layer: last },
+            batch: BatchSelect::All,
+            model: Arc::new(models::StuckAt::new(1e4)),
+        }])
+        .unwrap();
+        let x = data.test_images.select_batch(i);
+        let out = fi.forward(&x);
+        outcomes.push(rustfi::classify_outcome(data.test_labels[i], out.data()));
+    }
+    let sdc = outcomes.iter().filter(|o| **o == OutcomeKind::Sdc).count();
+    assert!(
+        sdc > data.test_len() / 2,
+        "a stuck-at-1e4 logit should usually win Top-1: {sdc}/{}",
+        data.test_len()
+    );
+}
+
+#[test]
+fn campaign_over_trained_model_with_checkpoint_factory() {
+    let data = small_dataset();
+    let mut net = trained_lenet(&data);
+    let ckpt = std::env::temp_dir().join(format!("rustfi-it-{}.ckpt", std::process::id()));
+    checkpoint::save(&mut net, &ckpt).unwrap();
+    let path = ckpt.clone();
+    let factory = move || {
+        let mut n = zoo::lenet(&ZooConfig::cifar10_like());
+        checkpoint::load(&mut n, &path).unwrap();
+        n
+    };
+
+    let campaign = Campaign::new(
+        &factory,
+        &data.test_images,
+        &data.test_labels,
+        FaultMode::Neuron(NeuronSelect::Random),
+        Arc::new(models::BitFlipInt8::new(models::BitSelect::Random)),
+    );
+    let result = campaign.run(&CampaignConfig {
+        trials: 300,
+        seed: 3,
+        threads: Some(3),
+        int8_activations: true,
+    });
+    assert_eq!(result.counts.total(), 300);
+    assert!(result.eligible_images > data.test_len() / 2);
+    // Single INT8 bit flips are mostly masked (the paper's headline).
+    assert!(
+        result.counts.masked > 250,
+        "bit flips should be mostly masked: {:?}",
+        result.counts
+    );
+    std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn bigger_perturbations_cause_more_corruption() {
+    let data = small_dataset();
+    let mut net = trained_lenet(&data);
+    let ckpt = std::env::temp_dir().join(format!("rustfi-it2-{}.ckpt", std::process::id()));
+    checkpoint::save(&mut net, &ckpt).unwrap();
+    let path = ckpt.clone();
+    let factory = move || {
+        let mut n = zoo::lenet(&ZooConfig::cifar10_like());
+        checkpoint::load(&mut n, &path).unwrap();
+        n
+    };
+
+    let run = |model: Arc<dyn rustfi::PerturbationModel>| {
+        Campaign::new(
+            &factory,
+            &data.test_images,
+            &data.test_labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            model,
+        )
+        .run(&CampaignConfig {
+            trials: 250,
+            seed: 9,
+            threads: None,
+            int8_activations: false,
+        })
+        .counts
+    };
+    let small = run(Arc::new(models::RandomUniform::new(-0.01, 0.01)));
+    let huge = run(Arc::new(models::StuckAt::new(1e8)));
+    assert!(
+        huge.sdc + huge.due > small.sdc + small.due,
+        "1e8 stuck-at ({huge:?}) should corrupt more than ±0.01 noise ({small:?})"
+    );
+    std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn weight_faults_persist_across_inferences_and_restore() {
+    let data = small_dataset();
+    let net = trained_lenet(&data);
+    let mut fi = FaultInjector::new(net, FiConfig::for_input(&[1, 3, 16, 16])).unwrap();
+    let x = data.test_images.select_batch(0);
+    let clean = fi.forward(&x);
+    fi.declare_weight_fi(&[WeightFault {
+        select: WeightSelect::RandomInLayer { layer: 0 },
+        model: Arc::new(models::Gain::new(-50.0)),
+    }])
+    .unwrap();
+    let f1 = fi.forward(&x);
+    let f2 = fi.forward(&x);
+    assert_eq!(f1, f2, "offline weight faults are stable across inferences");
+    assert_ne!(clean, f1);
+    fi.restore();
+    assert_eq!(fi.forward(&x), clean);
+}
+
+#[test]
+fn int8_quantization_barely_moves_accuracy() {
+    // The quantized-network emulation itself must not break the model —
+    // otherwise Fig. 4's "quantized networks" premise is violated.
+    let data = small_dataset();
+    let net = trained_lenet(&data);
+    let mut fi = FaultInjector::new(net, FiConfig::for_input(&[1, 3, 16, 16])).unwrap();
+    let count_correct = |fi: &mut FaultInjector| {
+        let mut correct = 0;
+        for i in 0..data.test_len() {
+            let out = fi.forward(&data.test_images.select_batch(i));
+            if rustfi::metrics::top1(out.data()) == data.test_labels[i] {
+                correct += 1;
+            }
+        }
+        correct
+    };
+    let fp32 = count_correct(&mut fi);
+    fi.enable_int8_activations();
+    let int8 = count_correct(&mut fi);
+    assert!(
+        (fp32 as i64 - int8 as i64).abs() <= 2,
+        "INT8 emulation changed accuracy too much: {fp32} vs {int8}"
+    );
+}
+
+#[test]
+fn every_zoo_model_survives_wrapping_and_random_injection() {
+    let cfg = ZooConfig::tiny(6);
+    for name in zoo::model_names() {
+        let net = zoo::by_name(name, &cfg).unwrap();
+        let mut fi = FaultInjector::new(net, FiConfig::for_input(&[1, 3, 16, 16]))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        fi.declare_neuron_fi(&[NeuronFault {
+            select: NeuronSelect::Random,
+            batch: BatchSelect::All,
+            model: Arc::new(models::RandomUniform::default()),
+        }])
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let out = fi.forward(&rustfi_tensor::Tensor::ones(&[1, 3, 16, 16]));
+        assert_eq!(out.dims(), &[1, 6], "{name}");
+        assert_eq!(fi.injections_applied(), 1, "{name}");
+    }
+}
