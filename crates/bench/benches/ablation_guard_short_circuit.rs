@@ -1,0 +1,72 @@
+//! Ablation for the NaN/Inf guard hook: once an activation goes non-finite,
+//! every later layer computes garbage. `GuardMode::ShortCircuit` aborts the
+//! forward pass at the first corrupted layer; this bench measures how much
+//! of the inference that saves against scanning without aborting
+//! (`GuardMode::Record`) and against no guard at all.
+//!
+//! The workload injects `+Inf` into the first conv layer, the worst case for
+//! wasted downstream compute (and one ReLU/max-pool cannot launder away, as
+//! `f32::max` would for NaN).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rustfi::{models, BatchSelect, FaultInjector, FiConfig, NeuronFault, NeuronSelect};
+use rustfi_nn::{zoo, GuardConfig, GuardHook, ZooConfig};
+use rustfi_tensor::{SeededRng, Tensor};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// An injector with an Inf stuck-at fault in the first conv layer.
+fn inf_injector() -> FaultInjector {
+    let mut fi = FaultInjector::new(
+        zoo::vgg19(&ZooConfig::tiny(10)),
+        FiConfig::for_input(&[1, 3, 16, 16]),
+    )
+    .expect("injectable");
+    fi.declare_neuron_fi(&[NeuronFault {
+        select: NeuronSelect::RandomInLayer { layer: 0 },
+        batch: BatchSelect::All,
+        model: Arc::new(models::StuckAt::new(f32::INFINITY)),
+    }])
+    .expect("legal fault");
+    fi
+}
+
+fn bench_guard(c: &mut Criterion) {
+    let input = Tensor::rand_normal(&[1, 3, 16, 16], 0.0, 1.0, &mut SeededRng::new(1));
+    let mut group = c.benchmark_group("ablation_guard_short_circuit");
+    group.sample_size(20);
+
+    let mut unguarded = inf_injector();
+    group.bench_function("no_guard", |b| {
+        b.iter(|| std::hint::black_box(unguarded.forward(&input)))
+    });
+
+    let mut recording = inf_injector();
+    let record_guard = GuardHook::install(recording.net(), GuardConfig::default());
+    group.bench_function("guard_record", |b| {
+        b.iter(|| {
+            record_guard.reset();
+            std::hint::black_box(recording.forward(&input))
+        })
+    });
+
+    let mut aborting = inf_injector();
+    let short_guard = GuardHook::install(
+        aborting.net(),
+        GuardConfig {
+            short_circuit: true,
+            ..GuardConfig::default()
+        },
+    );
+    group.bench_function("guard_short_circuit", |b| {
+        b.iter(|| {
+            short_guard.reset();
+            let aborted = catch_unwind(AssertUnwindSafe(|| aborting.forward(&input)));
+            std::hint::black_box(aborted.is_err())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_guard);
+criterion_main!(benches);

@@ -66,7 +66,13 @@ impl Module for PerturbLayer {
 fn lenet_with_perturb_layers() -> Network {
     let mut rng = SeededRng::new(0x5EED);
     let mut layers: Vec<Box<dyn Module>> = Vec::new();
-    layers.push(Box::new(Conv2d::new(3, 6, 5, ConvSpec::new().padding(2), &mut rng)));
+    layers.push(Box::new(Conv2d::new(
+        3,
+        6,
+        5,
+        ConvSpec::new().padding(2),
+        &mut rng,
+    )));
     layers.push(Box::new(PerturbLayer {
         meta: LayerMeta::default(),
         offset: 10,
@@ -74,7 +80,13 @@ fn lenet_with_perturb_layers() -> Network {
     }));
     layers.push(Box::new(Relu::new()));
     layers.push(Box::new(MaxPool2d::new(2, 2)));
-    layers.push(Box::new(Conv2d::new(6, 12, 5, ConvSpec::new().padding(2), &mut rng)));
+    layers.push(Box::new(Conv2d::new(
+        6,
+        12,
+        5,
+        ConvSpec::new().padding(2),
+        &mut rng,
+    )));
     layers.push(Box::new(PerturbLayer {
         meta: LayerMeta::default(),
         offset: usize::MAX, // inert but still pays the copy
@@ -95,7 +107,9 @@ fn bench_dispatch(c: &mut Criterion) {
     group.sample_size(30);
 
     let mut clean = zoo::lenet(&ZooConfig::tiny(10));
-    group.bench_function("clean", |b| b.iter(|| std::hint::black_box(clean.forward(&input))));
+    group.bench_function("clean", |b| {
+        b.iter(|| std::hint::black_box(clean.forward(&input)))
+    });
 
     let mut fi = FaultInjector::new(
         zoo::lenet(&ZooConfig::tiny(10)),
@@ -113,7 +127,9 @@ fn bench_dispatch(c: &mut Criterion) {
         model: Arc::new(models::StuckAt::new(0.42)),
     }])
     .expect("legal fault");
-    group.bench_function("hooks_armed", |b| b.iter(|| std::hint::black_box(fi.forward(&input))));
+    group.bench_function("hooks_armed", |b| {
+        b.iter(|| std::hint::black_box(fi.forward(&input)))
+    });
 
     let mut rewritten = lenet_with_perturb_layers();
     group.bench_function("perturb_layers", |b| {

@@ -28,7 +28,9 @@ fn bench_weight_offline(c: &mut Criterion) {
     group.sample_size(20);
 
     let mut clean = make_fi();
-    group.bench_function("clean", |b| b.iter(|| std::hint::black_box(clean.forward(&input))));
+    group.bench_function("clean", |b| {
+        b.iter(|| std::hint::black_box(clean.forward(&input)))
+    });
 
     let mut weight = make_fi();
     weight

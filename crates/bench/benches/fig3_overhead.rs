@@ -26,7 +26,8 @@ fn bench_overhead(c: &mut Criterion) {
         let input = Tensor::rand_normal(&[1, 3, cfg.image_hw, cfg.image_hw], 0.0, 1.0, &mut rng);
 
         let net = zoo::by_name(model, &cfg).expect("known model");
-        let mut fi = FaultInjector::new(net, FiConfig::for_input(input.dims())).expect("injectable");
+        let mut fi =
+            FaultInjector::new(net, FiConfig::for_input(input.dims())).expect("injectable");
         group.bench_with_input(BenchmarkId::new("base", model), &(), |b, ()| {
             b.iter(|| std::hint::black_box(fi.forward(&input)))
         });

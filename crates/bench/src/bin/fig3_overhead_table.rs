@@ -31,7 +31,8 @@ fn main() {
         let net = zoo::by_name(model, &cfg).expect("known model");
         let input = Tensor::rand_normal(&[1, 3, cfg.image_hw, cfg.image_hw], 0.0, 1.0, &mut rng);
 
-        let mut fi = FaultInjector::new(net, FiConfig::for_input(input.dims())).expect("injectable");
+        let mut fi =
+            FaultInjector::new(net, FiConfig::for_input(input.dims())).expect("injectable");
         let base = mean_seconds(reps, || {
             std::hint::black_box(fi.forward(&input));
         });
@@ -68,12 +69,16 @@ fn main() {
 
     // §III-C batch sweep: amortized cost per model.
     println!("\n§III-C — batch sweep (resnet110, cifar10-like), per-batch wall clock");
-    println!("{:>6} {:>12} {:>12} {:>10}", "batch", "base (ms)", "fi (ms)", "overhead");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "batch", "base (ms)", "fi (ms)", "overhead"
+    );
     for batch in [1usize, 4, 16, 64] {
         let cfg = zoo_config_for("cifar10-like");
         let net = zoo::resnet110(&cfg);
         let input = Tensor::rand_normal(&[batch, 3, 16, 16], 0.0, 1.0, &mut rng);
-        let mut fi = FaultInjector::new(net, FiConfig::for_input(input.dims())).expect("injectable");
+        let mut fi =
+            FaultInjector::new(net, FiConfig::for_input(input.dims())).expect("injectable");
         let reps_b = (reps / batch).max(10);
         let base = mean_seconds(reps_b, || {
             std::hint::black_box(fi.forward(&input));

@@ -6,11 +6,23 @@
 //! rates are below 1%, and rates differ across topologies (AlexNet and
 //! ShuffleNet land near each other despite very different accuracy).
 //!
+//! The table reports the full outcome taxonomy (masked/SDC/DUE/crash/hang);
+//! single bit flips never crash or hang, so those columns stay zero here and
+//! act as a sanity check of the campaign's trial accounting.
+//!
+//! After the main table, a guard-hook ablation floods activations with Inf
+//! (a worst-case DUE workload) and compares `GuardMode::Record` against
+//! `GuardMode::ShortCircuit`: identical classifications, less wall clock.
+//!
 //! Run with: `cargo run -p rustfi-bench --bin fig4_classification --release`
-//! Knobs: `RUSTFI_TRIALS` (default 20000) injections per network.
+//! Knobs: `RUSTFI_TRIALS` (default 20000) injections per network,
+//! `RUSTFI_GUARD_TRIALS` (default 1000) for the guard ablation.
 
-use rustfi::{models, Campaign, CampaignConfig, FaultMode, NeuronSelect};
-use rustfi_bench::{env_usize, factory_from_checkpoint, fig4_models, train_and_checkpoint};
+use rustfi::{models, Campaign, CampaignConfig, FaultMode, GuardMode, NeuronSelect};
+use rustfi_bench::{
+    env_usize, factory_from_checkpoint, fig4_models, outcome_table_header, outcome_table_row,
+    train_and_checkpoint,
+};
 use rustfi_data::SynthSpec;
 use std::sync::Arc;
 
@@ -22,10 +34,7 @@ fn main() {
         "Fig. 4 — single INT8 bit flips in random neurons, {trials} trials/network, dataset {}",
         spec.name
     );
-    println!(
-        "{:<12} {:>9} {:>9} {:>8} {:>8} {:>12} {:>12} {:>14}",
-        "model", "accuracy", "eligible", "SDC", "DUE", "SDC rate", "99% CI", "top5-miss rate"
-    );
+    println!("{}", outcome_table_header());
 
     for model in fig4_models() {
         let (ckpt, acc) = train_and_checkpoint(model, &spec);
@@ -37,23 +46,60 @@ fn main() {
             FaultMode::Neuron(NeuronSelect::Random),
             Arc::new(models::BitFlipInt8::new(models::BitSelect::Random)),
         );
-        let result = campaign.run(&CampaignConfig {
-            trials,
-            seed: 0xF164,
-            threads: None,
-            int8_activations: true,
-        });
-        println!(
-            "{:<12} {:>8.1}% {:>9} {:>8} {:>8} {:>11.3}% {:>10.3}% {:>13.3}%",
-            model,
-            100.0 * acc,
-            result.eligible_images,
-            result.counts.sdc,
-            result.counts.due,
-            100.0 * result.sdc_rate(),
-            100.0 * result.counts.sdc_rate_ci99(),
-            100.0 * result.top5_miss_rate(),
-        );
+        let result = campaign
+            .run(&CampaignConfig {
+                trials,
+                seed: 0xF164,
+                int8_activations: true,
+                ..CampaignConfig::default()
+            })
+            .expect("campaign config is valid");
+        println!("{}", outcome_table_row(model, Some(acc), &result));
+
+        if model == &"alexnet" {
+            guard_ablation(&factory, &data);
+        }
         std::fs::remove_file(&ckpt).ok();
     }
+}
+
+/// Guard-hook ablation on the first (AlexNet) checkpoint: every trial
+/// injects `+Inf`, so every forward pass goes non-finite and the
+/// short-circuiting guard can skip the remaining layers.
+fn guard_ablation(
+    factory: &(dyn Fn() -> rustfi_nn::Network + Sync),
+    data: &rustfi_data::ClassificationDataset,
+) {
+    let trials = env_usize("RUSTFI_GUARD_TRIALS", 1000);
+    let campaign = Campaign::new(
+        factory,
+        &data.test_images,
+        &data.test_labels,
+        FaultMode::Neuron(NeuronSelect::Random),
+        Arc::new(models::StuckAt::new(f32::INFINITY)),
+    );
+    let timed = |guard| {
+        let start = std::time::Instant::now();
+        let result = campaign
+            .run(&CampaignConfig {
+                trials,
+                seed: 0x6A2D,
+                int8_activations: true,
+                guard,
+                ..CampaignConfig::default()
+            })
+            .expect("campaign config is valid");
+        (start.elapsed().as_secs_f64(), result)
+    };
+    let (t_record, record) = timed(GuardMode::Record);
+    let (t_short, short) = timed(GuardMode::ShortCircuit);
+    println!(
+        "  guard ablation (alexnet, stuck-at-Inf, {trials} trials): \
+         record {t_record:.2}s | short-circuit {t_short:.2}s | speedup {:.2}x | \
+         DUEs {}/{} | classifications identical: {}",
+        t_record / t_short.max(1e-9),
+        record.counts.due,
+        record.counts.total(),
+        record.records == short.records
+    );
 }

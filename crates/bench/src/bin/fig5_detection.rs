@@ -11,7 +11,9 @@
 use rustfi::{models, BatchSelect, FaultInjector, FiConfig, NeuronFault, NeuronSelect};
 use rustfi_bench::env_usize;
 use rustfi_data::DetectionSpec;
-use rustfi_detect::{decode_grid, diff_detections, nms, DetectionDiff, DetectorConfig, TrainDetectorConfig, YoloLite};
+use rustfi_detect::{
+    decode_grid, diff_detections, nms, DetectionDiff, DetectorConfig, TrainDetectorConfig, YoloLite,
+};
 use rustfi_interpret::render::render_channel;
 use std::sync::Arc;
 
@@ -21,19 +23,29 @@ fn main() {
     let score_threshold = 0.4;
 
     let train_scenes = DetectionSpec::coco_like().generate(env_usize("RUSTFI_TRAIN_SCENES", 96));
-    let eval_scenes = DetectionSpec::coco_like().with_seed(0xE7A1).generate(n_scenes);
+    let eval_scenes = DetectionSpec::coco_like()
+        .with_seed(0xE7A1)
+        .generate(n_scenes);
 
     let det_cfg = DetectorConfig::default();
     let mut detector = YoloLite::new(&det_cfg);
     println!("training YOLO-lite on {} scenes...", train_scenes.len());
     let losses = detector.train(&train_scenes, &TrainDetectorConfig::default());
-    println!("training loss {:.3} -> {:.3}\n", losses[0], losses.last().unwrap());
+    println!(
+        "training loss {:.3} -> {:.3}\n",
+        losses[0],
+        losses.last().unwrap()
+    );
 
     // Clean pass over the evaluation scenes.
     let mut clean_total = DetectionDiff::default();
     let mut clean_per_scene = Vec::with_capacity(n_scenes);
     for scene in &eval_scenes {
-        let d = diff_detections(&detector.detect(&scene.image, score_threshold), &scene.objects, 0.3);
+        let d = diff_detections(
+            &detector.detect(&scene.image, score_threshold),
+            &scene.objects,
+            0.3,
+        );
         clean_per_scene.push(d);
         clean_total = add(clean_total, d);
     }
@@ -59,7 +71,8 @@ fn main() {
         for t in 0..fi_trials {
             fi.restore();
             fi.reseed((si * fi_trials + t) as u64);
-            fi.declare_neuron_fi(&per_layer_faults).expect("legal faults");
+            fi.declare_neuron_fi(&per_layer_faults)
+                .expect("legal faults");
             let raw = fi.forward(&scene.image);
             let dets = nms(
                 decode_grid(&raw, 0, det_cfg.num_classes)
@@ -107,7 +120,10 @@ fn main() {
 
     // Qualitative panel: one scene, clean vs faulty detections.
     let scene = &eval_scenes[0];
-    println!("\nexample scene (channel 0):\n{}", render_channel(&scene.image, 0, 0));
+    println!(
+        "\nexample scene (channel 0):\n{}",
+        render_channel(&scene.image, 0, 0)
+    );
     println!("ground truth: {:?}", scene.objects);
     let mut detector = YoloLite::from_net(fi.into_inner(), &det_cfg);
     let clean = detector.detect(&scene.image, score_threshold);
@@ -118,7 +134,8 @@ fn main() {
     )
     .expect("detector has conv layers");
     fi.reseed(1);
-    fi.declare_neuron_fi(&per_layer_faults).expect("legal faults");
+    fi.declare_neuron_fi(&per_layer_faults)
+        .expect("legal faults");
     let raw = fi.forward(&scene.image);
     let dets = nms(
         decode_grid(&raw, 0, det_cfg.num_classes)

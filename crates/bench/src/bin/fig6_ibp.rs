@@ -83,12 +83,14 @@ fn first_two_layer_rate(
             FaultMode::Neuron(NeuronSelect::RandomInLayer { layer }),
             Arc::clone(&model) as Arc<dyn rustfi::PerturbationModel>,
         );
-        let result = campaign.run(&CampaignConfig {
-            trials,
-            seed: 0xF166 + layer as u64,
-            threads: None,
-            int8_activations: true,
-        });
+        let result = campaign
+            .run(&CampaignConfig {
+                trials,
+                seed: 0xF166 + layer as u64,
+                int8_activations: true,
+                ..CampaignConfig::default()
+            })
+            .expect("campaign config is valid");
         sdcs += result.counts.sdc + result.counts.due;
         total += result.counts.total();
     }
@@ -125,7 +127,11 @@ fn main() {
             let (ckpt, acc) = train_variant(&data, alpha, eps, &tag);
             let factory = ibp_factory(ckpt.clone());
             let (rate, sdcs) = first_two_layer_rate(&factory, &data, trials);
-            let relative = if base_rate > 0.0 { rate / base_rate } else { f64::NAN };
+            let relative = if base_rate > 0.0 {
+                rate / base_rate
+            } else {
+                f64::NAN
+            };
             println!(
                 "{:>9} {:>7} {:>9.1}% {:>11.4}% {:>8} {:>22.3}",
                 eps,

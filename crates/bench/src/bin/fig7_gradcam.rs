@@ -43,7 +43,10 @@ fn main() {
         .filter(|&i| preds[i] == data.test_labels[i])
         .map(|i| {
             let logits = net.forward(&data.test_images.select_batch(i));
-            (i, rustfi::metrics::confidence(logits.data(), data.test_labels[i]))
+            (
+                i,
+                rustfi::metrics::confidence(logits.data(), data.test_labels[i]),
+            )
         })
         .collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
@@ -111,10 +114,18 @@ fn main() {
             idx,
             label,
             cams[0].top1,
-            if cams[0].top1 == clean.top1 { "ok" } else { "FLP" },
+            if cams[0].top1 == clean.top1 {
+                "ok"
+            } else {
+                "FLP"
+            },
             least_div,
             cams[1].top1,
-            if cams[1].top1 == clean.top1 { "ok" } else { "FLP" },
+            if cams[1].top1 == clean.top1 {
+                "ok"
+            } else {
+                "FLP"
+            },
             most_div,
         );
         if first_panels.is_none() {

@@ -52,12 +52,14 @@ fn post_training_sdcs(
         FaultMode::Neuron(NeuronSelect::Random),
         Arc::new(models::BitFlipInt8::new(models::BitSelect::Random)),
     );
-    let result = campaign.run(&CampaignConfig {
-        trials,
-        seed: 0x7AB1E1,
-        threads: None,
-        int8_activations: true,
-    });
+    let result = campaign
+        .run(&CampaignConfig {
+            trials,
+            seed: 0x7AB1E1,
+            int8_activations: true,
+            ..CampaignConfig::default()
+        })
+        .expect("campaign config is valid");
     std::fs::remove_file(&ckpt).ok();
     result.counts.sdc + result.counts.due
 }
@@ -99,7 +101,10 @@ fn main() {
     };
 
     println!("Table I — training ResNet-18 with and without RustFI");
-    println!("({} post-training injections per model; {injections} injections during FI training)\n", trials);
+    println!(
+        "({} post-training injections per model; {injections} injections during FI training)\n",
+        trials
+    );
     println!("{:<42} {:>14} {:>14}", "", "Baseline", "RustFI");
     println!(
         "{:<42} {:>14} {:>14}",
@@ -119,7 +124,12 @@ fn main() {
         base.sdcs,
         fi.sdcs
     );
-    println!("{:<42} {:>14} {:>14}", format!("  (out of {trials})"), "", "");
+    println!(
+        "{:<42} {:>14} {:>14}",
+        format!("  (out of {trials})"),
+        "",
+        ""
+    );
     if fi.sdcs < base.sdcs {
         println!("\n=> FI-trained model is more resilient, matching the paper's Table I.");
     } else {

@@ -15,6 +15,7 @@
 //! Criterion benches (`benches/`) cover the Fig. 3 measurement loop and the
 //! two design-choice ablations called out in `DESIGN.md`.
 
+use rustfi::CampaignResult;
 use rustfi_data::SynthSpec;
 use rustfi_nn::train::TrainConfig;
 use rustfi_nn::{checkpoint, train, zoo, Network, ZooConfig};
@@ -32,10 +33,24 @@ pub fn env_usize(name: &str, default: usize) -> usize {
 /// The 19 network/dataset pairs of Fig. 3, as `(dataset, model)` names.
 pub fn fig3_pairs() -> Vec<(&'static str, &'static str)> {
     let mut pairs = Vec::new();
-    for model in ["alexnet", "densenet", "preresnet110", "resnet110", "resnext", "vgg19"] {
+    for model in [
+        "alexnet",
+        "densenet",
+        "preresnet110",
+        "resnet110",
+        "resnext",
+        "vgg19",
+    ] {
         pairs.push(("cifar10-like", model));
     }
-    for model in ["alexnet", "densenet", "preresnet110", "resnet110", "resnext", "vgg19"] {
+    for model in [
+        "alexnet",
+        "densenet",
+        "preresnet110",
+        "resnet110",
+        "resnext",
+        "vgg19",
+    ] {
         pairs.push(("cifar100-like", model));
     }
     for model in [
@@ -54,7 +69,14 @@ pub fn fig3_pairs() -> Vec<(&'static str, &'static str)> {
 
 /// The six networks of Fig. 4 (ImageNet-like).
 pub fn fig4_models() -> &'static [&'static str] {
-    &["alexnet", "googlenet", "resnet50", "shufflenet", "squeezenet", "vgg19"]
+    &[
+        "alexnet",
+        "googlenet",
+        "resnet50",
+        "shufflenet",
+        "squeezenet",
+        "vgg19",
+    ]
 }
 
 /// Zoo config for a dataset name.
@@ -111,7 +133,12 @@ pub fn train_and_checkpoint(model: &str, dataset: &SynthSpec) -> (PathBuf, f32) 
     let data = dataset.generate();
     let cfg = zoo_config_for(dataset.name);
     let mut net = zoo::by_name(model, &cfg).unwrap_or_else(|| panic!("unknown model {model}"));
-    train::fit(&mut net, &data.train_images, &data.train_labels, &recipe(model));
+    train::fit(
+        &mut net,
+        &data.train_images,
+        &data.train_labels,
+        &recipe(model),
+    );
     let acc = train::accuracy(&mut net, &data.test_images, &data.test_labels, 32);
     let path = std::env::temp_dir().join(format!(
         "rustfi-bench-{}-{}-{}.ckpt",
@@ -135,6 +162,49 @@ pub fn factory_from_checkpoint(
         checkpoint::load(&mut net, &path).expect("read checkpoint");
         net
     }
+}
+
+/// Header of the shared campaign-outcome table used by the experiment
+/// binaries: one column per outcome kind of the full taxonomy plus the
+/// paper's headline rates. Rows come from [`outcome_table_row`].
+pub fn outcome_table_header() -> String {
+    format!(
+        "{:<12} {:>9} {:>9} {:>8} {:>7} {:>7} {:>6} {:>5} {:>11} {:>9} {:>10}",
+        "model",
+        "accuracy",
+        "eligible",
+        "masked",
+        "SDC",
+        "DUE",
+        "crash",
+        "hang",
+        "SDC rate",
+        "99% CI",
+        "top5-miss"
+    )
+}
+
+/// One row of the shared outcome table. Pass `None` for `accuracy` when the
+/// table has no clean-accuracy column value (e.g. untrained ablations).
+pub fn outcome_table_row(name: &str, accuracy: Option<f32>, r: &CampaignResult) -> String {
+    let acc = match accuracy {
+        Some(a) => format!("{:>8.1}%", 100.0 * a),
+        None => format!("{:>9}", "-"),
+    };
+    format!(
+        "{:<12} {} {:>9} {:>8} {:>7} {:>7} {:>6} {:>5} {:>10.3}% {:>8.3}% {:>9.3}%",
+        name,
+        acc,
+        r.eligible_images,
+        r.counts.masked,
+        r.counts.sdc,
+        r.counts.due,
+        r.counts.crash,
+        r.counts.hang,
+        100.0 * r.sdc_rate(),
+        100.0 * r.counts.sdc_rate_ci99(),
+        100.0 * r.top5_miss_rate()
+    )
 }
 
 /// Mean wall-clock seconds per call of `f` over `n` calls (after one warmup).
@@ -176,6 +246,35 @@ mod tests {
         assert_eq!(env_usize("RUSTFI_TEST_KNOB", 5), 123);
         assert_eq!(env_usize("RUSTFI_TEST_KNOB_MISSING", 5), 5);
         std::env::remove_var("RUSTFI_TEST_KNOB");
+    }
+
+    #[test]
+    fn outcome_table_rows_line_up_with_the_header() {
+        use rustfi::{OutcomeCounts, OutcomeKind};
+        let mut counts = OutcomeCounts::default();
+        for _ in 0..97 {
+            counts.record(&OutcomeKind::Masked);
+        }
+        counts.record(&OutcomeKind::Sdc);
+        counts.record(&OutcomeKind::Crash { detail: "x".into() });
+        counts.record(&OutcomeKind::Hang);
+        let result = CampaignResult {
+            records: Vec::new(),
+            counts,
+            per_layer: Vec::new(),
+            eligible_images: 42,
+        };
+        let header = outcome_table_header();
+        let with_acc = outcome_table_row("alexnet", Some(0.935), &result);
+        let without = outcome_table_row("probe", None, &result);
+        assert_eq!(header.len(), with_acc.len(), "\n{header}\n{with_acc}");
+        assert_eq!(header.len(), without.len(), "\n{header}\n{without}");
+        assert!(with_acc.contains("93.5%"));
+        assert!(with_acc.contains("42"));
+        // masked, SDC, crash, hang all present.
+        for needle in ["97", "1"] {
+            assert!(with_acc.contains(needle), "{with_acc}");
+        }
     }
 
     #[test]

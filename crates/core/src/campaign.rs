@@ -1,18 +1,38 @@
-//! Seeded, parallel error-injection campaigns.
+//! Seeded, parallel, crash-safe error-injection campaigns.
 //!
 //! A campaign repeats: pick a correctly-classified input, plan a fresh fault
 //! from a template, run the perturbed inference, classify the outcome. Trials
 //! are distributed across worker threads, but every trial's randomness is
 //! derived from `(campaign seed, trial index)`, so results are identical for
 //! any thread count.
+//!
+//! Campaigns are *resilient*:
+//!
+//! - every trial runs inside a panic shield — a perturbation model or layer
+//!   that panics costs one [`OutcomeKind::Crash`] record, not the campaign;
+//! - an optional step-budget watchdog cuts runaway forward passes short and
+//!   classifies them [`OutcomeKind::Hang`];
+//! - optional NaN/Inf guard hooks ([`GuardMode`]) catch non-finite
+//!   activations *inside* the network — including those that downstream
+//!   ReLU/pooling would launder back into finite logits — and record the
+//!   originating layer as DUE provenance;
+//! - [`Campaign::run_journaled`] appends each finished trial to a crash-safe
+//!   JSONL journal, and [`Campaign::resume`] replays it, running only the
+//!   missing trials. Because trial randomness is position-based, a resumed
+//!   campaign is bit-identical to an uninterrupted one.
 
 use crate::config::FiConfig;
+use crate::error::FiError;
 use crate::injector::{FaultInjector, NeuronFault, WeightFault};
+use crate::journal::{read_journal_repairing, JournalHeader, JournalWriter};
 use crate::location::{BatchSelect, NeuronSelect, NeuronSite, WeightSelect};
 use crate::metrics::{classify_outcome, confidence, top1, OutcomeCounts, OutcomeKind};
 use crate::perturbation::PerturbationModel;
-use rustfi_nn::Network;
+use parking_lot::Mutex;
+use rustfi_nn::{DeadlineInterrupt, GuardConfig, GuardHook, Network, NonFiniteInterrupt};
 use rustfi_tensor::{parallel, SeededRng, Tensor};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// What kind of fault each trial plans.
@@ -22,6 +42,23 @@ pub enum FaultMode {
     Neuron(NeuronSelect),
     /// A weight fault from this selection template.
     Weight(WeightSelect),
+}
+
+/// How a campaign uses NaN/Inf guard hooks during trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GuardMode {
+    /// No activation scanning; DUEs are detected from the output only.
+    #[default]
+    Off,
+    /// Scan every layer's output; a trial whose activations go non-finite is
+    /// classified DUE with the originating layer recorded, but the forward
+    /// pass runs to completion.
+    Record,
+    /// Like [`GuardMode::Record`], but abort the forward pass at the first
+    /// non-finite activation — the remaining layers' work is skipped. The
+    /// classification is identical to `Record`; only the wasted compute
+    /// differs.
+    ShortCircuit,
 }
 
 /// Campaign-level knobs.
@@ -36,6 +73,12 @@ pub struct CampaignConfig {
     /// Whether to emulate INT8 activation quantization during trials (and
     /// when computing golden predictions).
     pub int8_activations: bool,
+    /// NaN/Inf guard-hook behaviour during trials.
+    pub guard: GuardMode,
+    /// Per-trial step budget: a forward pass dispatching more than this many
+    /// leaf layers is cut short and classified [`OutcomeKind::Hang`].
+    /// `None` disables the watchdog.
+    pub max_steps: Option<usize>,
 }
 
 impl Default for CampaignConfig {
@@ -45,32 +88,41 @@ impl Default for CampaignConfig {
             seed: 0xCA_4F,
             threads: None,
             int8_activations: false,
+            guard: GuardMode::Off,
+            max_steps: None,
         }
     }
 }
 
 /// One trial's record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrialRecord {
     /// Trial index.
     pub trial: usize,
     /// Which test image was used.
     pub image_index: usize,
-    /// The injectable layer that was hit.
+    /// The injectable layer that was hit (`usize::MAX` when the trial
+    /// crashed before a fault was planned).
     pub layer: usize,
-    /// The resolved neuron site (weights faults report channel/x/y of 0).
+    /// The resolved neuron site (weight faults report `None`).
     pub site: Option<NeuronSite>,
     /// Outcome vs. the golden prediction.
     pub outcome: OutcomeKind,
+    /// For DUE outcomes caught by a guard hook: the network layer index
+    /// where the first non-finite activation appeared. `None` when the DUE
+    /// was only detected at the output (or the outcome is not a DUE).
+    pub due_layer: Option<usize>,
     /// Whether the golden class dropped out of the Top-5 — the paper's
-    /// alternative, stricter corruption criterion (§IV-A).
+    /// alternative, stricter corruption criterion (§IV-A). Crashed, hung,
+    /// and guard-aborted trials produced no ranking and count as misses.
     pub top5_miss: bool,
-    /// Change in softmax confidence of the golden class.
+    /// Change in softmax confidence of the golden class. Zero for crashed
+    /// and hung trials (no output to compare).
     pub confidence_delta: f32,
 }
 
 /// Aggregated campaign results.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignResult {
     /// Per-trial records, in trial order.
     pub records: Vec<TrialRecord>,
@@ -113,6 +165,15 @@ impl CampaignResult {
         }
         self.records.iter().map(|r| r.confidence_delta).sum::<f32>() / self.records.len() as f32
     }
+}
+
+/// Journal bookkeeping shared by the workers of a journaled run.
+struct JournalState {
+    path: PathBuf,
+    writer: Mutex<JournalWriter>,
+    /// Records replayed from an earlier run, keyed by trial. Workers skip
+    /// these trials; the records merge into the final result.
+    done: BTreeMap<usize, TrialRecord>,
 }
 
 /// An injection campaign over a fixed model and test set.
@@ -162,16 +223,89 @@ impl<'a> Campaign<'a> {
     ///
     /// Only images the clean model classifies correctly participate (as in
     /// the paper); if none qualify, the result reports zero trials.
-    pub fn run(&self, cfg: &CampaignConfig) -> CampaignResult {
+    pub fn run(&self, cfg: &CampaignConfig) -> Result<CampaignResult, FiError> {
+        self.run_internal(cfg, None)
+    }
+
+    /// Runs the campaign with a crash-safe journal at `path`.
+    ///
+    /// If the journal already exists this resumes it (see
+    /// [`Campaign::resume`]); otherwise a fresh journal is created and every
+    /// finished trial is appended to it, flushed line-atomically.
+    pub fn run_journaled(
+        &self,
+        cfg: &CampaignConfig,
+        path: &Path,
+    ) -> Result<CampaignResult, FiError> {
+        if path.exists() {
+            return self.resume(cfg, path);
+        }
+        let writer = JournalWriter::create(
+            path,
+            JournalHeader {
+                seed: cfg.seed,
+                trials: cfg.trials,
+            },
+        )?;
+        self.run_internal(
+            cfg,
+            Some(JournalState {
+                path: path.to_path_buf(),
+                writer: Mutex::new(writer),
+                done: BTreeMap::new(),
+            }),
+        )
+    }
+
+    /// Resumes a journaled campaign: trials already recorded in the journal
+    /// are replayed, only the missing ones run. The merged result is
+    /// bit-identical to an uninterrupted [`Campaign::run`] with the same
+    /// configuration.
+    pub fn resume(&self, cfg: &CampaignConfig, path: &Path) -> Result<CampaignResult, FiError> {
+        let (header, replayed) = read_journal_repairing(path)?;
+        let expected = JournalHeader {
+            seed: cfg.seed,
+            trials: cfg.trials,
+        };
+        if header != expected {
+            return Err(FiError::Journal {
+                line: 1,
+                detail: format!(
+                    "journal belongs to a different campaign: it records seed {} over {} \
+                     trials, the config asks for seed {} over {} trials",
+                    header.seed, header.trials, cfg.seed, cfg.trials
+                ),
+            });
+        }
+        let mut done = BTreeMap::new();
+        for r in replayed {
+            if r.trial < cfg.trials {
+                done.entry(r.trial).or_insert(r);
+            }
+        }
+        let writer = JournalWriter::open_append(path)?;
+        self.run_internal(
+            cfg,
+            Some(JournalState {
+                path: path.to_path_buf(),
+                writer: Mutex::new(writer),
+                done,
+            }),
+        )
+    }
+
+    fn run_internal(
+        &self,
+        cfg: &CampaignConfig,
+        journal: Option<JournalState>,
+    ) -> Result<CampaignResult, FiError> {
         let input_dims = {
             let d = self.images.dims();
             [1, d[1], d[2], d[3]]
         };
 
         // Golden pass: find eligible images and their clean confidence.
-        let mut golden_net = (self.factory)();
-        let mut golden = FaultInjector::new(golden_net_take(&mut golden_net), FiConfig::for_input(&input_dims))
-            .expect("model must have injectable layers");
+        let mut golden = FaultInjector::new((self.factory)(), FiConfig::for_input(&input_dims))?;
         if cfg.int8_activations {
             golden.enable_int8_activations();
         }
@@ -186,12 +320,12 @@ impl<'a> Campaign<'a> {
         }
         drop(golden);
         if eligible.is_empty() {
-            return CampaignResult {
+            return Ok(CampaignResult {
                 records: Vec::new(),
                 counts: OutcomeCounts::default(),
                 per_layer: Vec::new(),
                 eligible_images: 0,
-            };
+            });
         }
 
         // Fan trials across workers; trial randomness depends only on
@@ -208,72 +342,178 @@ impl<'a> Campaign<'a> {
         let factory = self.factory;
         let images = self.images;
         let labels = self.labels;
+        let journal_ref = journal.as_ref();
 
-        let mut all_records: Vec<TrialRecord> = parallel::map_indexed(workers, |w| {
-            let mut fi = FaultInjector::new((factory)(), FiConfig::for_input(&input_dims))
-                .expect("model must have injectable layers");
-            if cfg.int8_activations {
-                fi.enable_int8_activations();
-            }
-            let mut records = Vec::new();
-            let mut t = w;
-            while t < trials {
-                let trial_seed = root.fork(t as u64).seed();
-                let mut pick_rng = SeededRng::new(trial_seed).fork(3);
-                let (image_index, clean_conf) = eligible[pick_rng.below(eligible.len())];
-                fi.restore();
-                fi.reseed(trial_seed);
-
-                let (layer, site) = match mode {
-                    FaultMode::Neuron(select) => {
-                        let sites = fi
-                            .declare_neuron_fi(&[NeuronFault {
-                                select: select.clone(),
-                                batch: BatchSelect::All,
-                                model: Arc::clone(model),
-                            }])
-                            .expect("template validated against profile");
-                        (sites[0].layer, Some(sites[0]))
+        let worker_results: Vec<Result<Vec<TrialRecord>, FiError>> =
+            parallel::map_indexed(workers, |w| {
+                // A fresh injector (+ guard) for this worker; also used to
+                // rebuild after a crashed trial, whose unwind may have left
+                // the network mid-mutation.
+                let build = || -> Result<(FaultInjector, Option<GuardHook>), FiError> {
+                    let mut fi = FaultInjector::new((factory)(), FiConfig::for_input(&input_dims))?;
+                    if cfg.int8_activations {
+                        fi.enable_int8_activations();
                     }
-                    FaultMode::Weight(select) => {
-                        let sites = fi
-                            .declare_weight_fi(&[WeightFault {
-                                select: select.clone(),
-                                model: Arc::clone(model),
-                            }])
-                            .expect("template validated against profile");
-                        (sites[0].layer, None)
+                    // Install the guard after the int8 hook so it scans the
+                    // values the next layer will actually consume.
+                    let guard =
+                        (cfg.guard != GuardMode::Off || cfg.max_steps.is_some()).then(|| {
+                            GuardHook::install(
+                                fi.net(),
+                                GuardConfig {
+                                    detect_non_finite: cfg.guard != GuardMode::Off,
+                                    short_circuit: cfg.guard == GuardMode::ShortCircuit,
+                                    max_steps: cfg.max_steps,
+                                },
+                            )
+                        });
+                    Ok((fi, guard))
+                };
+                let (mut fi, mut guard) = build()?;
+                let mut records = Vec::new();
+                let mut t = w;
+                while t < trials {
+                    if journal_ref.is_some_and(|j| j.done.contains_key(&t)) {
+                        t += workers;
+                        continue;
                     }
-                };
+                    let trial_seed = root.fork(t as u64).seed();
+                    let mut pick_rng = SeededRng::new(trial_seed).fork(3);
+                    let (image_index, clean_conf) = eligible[pick_rng.below(eligible.len())];
+                    let golden_label = labels[image_index];
+                    fi.restore();
+                    fi.reseed(trial_seed);
+                    if let Some(g) = &guard {
+                        g.reset();
+                    }
 
-                let x = images.select_batch(image_index);
-                let out = fi.forward(&x);
-                let row = out.data();
-                let golden_label = labels[image_index];
-                let outcome = classify_outcome(golden_label, row);
-                let finite = row.iter().all(|v| v.is_finite());
-                let top5_miss = !finite || !crate::metrics::in_top_k(row, golden_label, 5);
-                let confidence_delta = if finite {
-                    confidence(row, golden_label) - clean_conf
-                } else {
-                    -clean_conf
-                };
-                records.push(TrialRecord {
-                    trial: t,
-                    image_index,
-                    layer,
-                    site,
-                    outcome,
-                    top5_miss,
-                    confidence_delta,
-                });
-                t += workers;
-            }
-            records
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+                    // The shield confines a panicking perturbation model (or
+                    // layer) to this trial; guard interrupts unwind through
+                    // the same channel and are told apart by payload type.
+                    let mut planned: Option<(usize, Option<NeuronSite>)> = None;
+                    let shielded =
+                        parallel::shield::run_quietly(|| -> Result<Vec<f32>, FiError> {
+                            let (layer, site) = match mode {
+                                FaultMode::Neuron(select) => {
+                                    let sites = fi
+                                        .declare_neuron_fi(&[NeuronFault {
+                                            select: select.clone(),
+                                            batch: BatchSelect::All,
+                                            model: Arc::clone(model),
+                                        }])
+                                        .map_err(|e| FiError::Trial {
+                                            trial: t,
+                                            source: Box::new(e),
+                                        })?;
+                                    (sites[0].layer, Some(sites[0]))
+                                }
+                                FaultMode::Weight(select) => {
+                                    let sites = fi
+                                        .declare_weight_fi(&[WeightFault {
+                                            select: select.clone(),
+                                            model: Arc::clone(model),
+                                        }])
+                                        .map_err(|e| FiError::Trial {
+                                            trial: t,
+                                            source: Box::new(e),
+                                        })?;
+                                    (sites[0].layer, None)
+                                }
+                            };
+                            planned = Some((layer, site));
+                            let x = images.select_batch(image_index);
+                            Ok(fi.forward(&x).data().to_vec())
+                        });
+
+                    let (layer, site) = planned.unwrap_or((usize::MAX, None));
+                    let base = TrialRecord {
+                        trial: t,
+                        image_index,
+                        layer,
+                        site,
+                        outcome: OutcomeKind::Hang, // placeholder, always overwritten
+                        due_layer: None,
+                        top5_miss: true,
+                        confidence_delta: 0.0,
+                    };
+                    let record = match shielded {
+                        Ok(Ok(row)) => {
+                            match guard.as_ref().and_then(|g| g.first_non_finite()) {
+                                // Guard saw a non-finite activation (the
+                                // output itself may look fine): DUE with
+                                // layer provenance, classified exactly as a
+                                // short-circuited trial would be.
+                                Some((gid, _)) => TrialRecord {
+                                    outcome: OutcomeKind::Due,
+                                    due_layer: Some(gid.index()),
+                                    confidence_delta: -clean_conf,
+                                    ..base
+                                },
+                                None => {
+                                    let outcome = classify_outcome(golden_label, &row);
+                                    let finite = row.iter().all(|v| v.is_finite());
+                                    let top5_miss =
+                                        !finite || !crate::metrics::in_top_k(&row, golden_label, 5);
+                                    let confidence_delta = if finite {
+                                        confidence(&row, golden_label) - clean_conf
+                                    } else {
+                                        -clean_conf
+                                    };
+                                    TrialRecord {
+                                        outcome,
+                                        top5_miss,
+                                        confidence_delta,
+                                        ..base
+                                    }
+                                }
+                            }
+                        }
+                        // Planning rejected the fault template: a
+                        // configuration error, not a trial outcome.
+                        Ok(Err(e)) => return Err(e),
+                        Err(payload) => {
+                            if let Some(nf) = payload.downcast_ref::<NonFiniteInterrupt>() {
+                                TrialRecord {
+                                    outcome: OutcomeKind::Due,
+                                    due_layer: Some(nf.layer.index()),
+                                    confidence_delta: -clean_conf,
+                                    ..base
+                                }
+                            } else if payload.downcast_ref::<DeadlineInterrupt>().is_some() {
+                                TrialRecord {
+                                    outcome: OutcomeKind::Hang,
+                                    ..base
+                                }
+                            } else {
+                                let detail = parallel::shield::payload_message(payload.as_ref());
+                                // The unwind may have interrupted a weight
+                                // mutation or hook bookkeeping: rebuild this
+                                // worker's injector from scratch.
+                                let (new_fi, new_guard) = build()?;
+                                fi = new_fi;
+                                guard = new_guard;
+                                TrialRecord {
+                                    outcome: OutcomeKind::Crash { detail },
+                                    ..base
+                                }
+                            }
+                        }
+                    };
+                    if let Some(j) = journal_ref {
+                        j.writer.lock().append(&record, &j.path)?;
+                    }
+                    records.push(record);
+                    t += workers;
+                }
+                Ok(records)
+            });
+
+        let mut all_records: Vec<TrialRecord> = journal
+            .map(|j| j.done.into_values().collect())
+            .unwrap_or_default();
+        for result in worker_results {
+            all_records.extend(result?);
+        }
         all_records.sort_by_key(|r| r.trial);
 
         // Aggregate.
@@ -285,7 +525,7 @@ impl<'a> Campaign<'a> {
         };
         let mut per_layer = vec![(0usize, 0usize); layer_count];
         for r in &all_records {
-            counts.record(r.outcome);
+            counts.record(&r.outcome);
             if r.layer < per_layer.len() {
                 per_layer[r.layer].0 += 1;
                 if r.outcome == OutcomeKind::Sdc {
@@ -293,24 +533,19 @@ impl<'a> Campaign<'a> {
                 }
             }
         }
-        CampaignResult {
+        Ok(CampaignResult {
             records: all_records,
             counts,
             per_layer,
             eligible_images: eligible.len(),
-        }
+        })
     }
-}
-
-/// Moves a network out of a mutable binding (helper keeping `run` readable).
-fn golden_net_take(net: &mut Network) -> Network {
-    std::mem::replace(net, Network::new(Box::new(rustfi_nn::layer::Sequential::new(Vec::new()))))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::models::{RandomUniform, StuckAt};
+    use crate::models::{Custom, RandomUniform, StuckAt};
     use rustfi_nn::{zoo, ZooConfig};
     use rustfi_tensor::Tensor;
 
@@ -334,6 +569,14 @@ mod tests {
         Tensor::from_fn(&[6, 3, 16, 16], |i| ((i as f32) * 0.013).sin())
     }
 
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("rustfi-campaign-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
     #[test]
     fn campaign_runs_and_accounts_every_trial() {
         let images = images();
@@ -345,12 +588,14 @@ mod tests {
             FaultMode::Neuron(NeuronSelect::Random),
             Arc::new(RandomUniform::default()),
         );
-        let result = campaign.run(&CampaignConfig {
-            trials: 64,
-            seed: 1,
-            threads: Some(2),
-            int8_activations: false,
-        });
+        let result = campaign
+            .run(&CampaignConfig {
+                trials: 64,
+                seed: 1,
+                threads: Some(2),
+                ..CampaignConfig::default()
+            })
+            .unwrap();
         assert_eq!(result.records.len(), 64);
         assert_eq!(result.counts.total(), 64);
         assert_eq!(result.eligible_images, 6);
@@ -373,16 +618,14 @@ mod tests {
             Arc::new(RandomUniform::default()),
         );
         let run = |threads| {
-            let r = campaign.run(&CampaignConfig {
-                trials: 40,
-                seed: 5,
-                threads: Some(threads),
-                int8_activations: false,
-            });
-            r.records
-                .iter()
-                .map(|r| (r.image_index, r.layer, r.site, r.outcome))
-                .collect::<Vec<_>>()
+            campaign
+                .run(&CampaignConfig {
+                    trials: 40,
+                    seed: 5,
+                    threads: Some(threads),
+                    ..CampaignConfig::default()
+                })
+                .unwrap()
         };
         assert_eq!(run(1), run(4));
     }
@@ -404,8 +647,9 @@ mod tests {
                     trials: 10,
                     seed,
                     threads: Some(1),
-                    int8_activations: false,
+                    ..CampaignConfig::default()
                 })
+                .unwrap()
                 .records
                 .iter()
                 .map(|r| r.site)
@@ -427,18 +671,30 @@ mod tests {
             FaultMode::Neuron(NeuronSelect::Random),
             Arc::new(StuckAt::new(1e9)),
         );
-        let result = campaign.run(&CampaignConfig {
-            trials: 60,
-            seed: 2,
-            threads: None,
-            int8_activations: false,
-        });
+        let result = campaign
+            .run(&CampaignConfig {
+                trials: 150,
+                seed: 2,
+                ..CampaignConfig::default()
+            })
+            .unwrap();
         assert!(
             result.counts.sdc + result.counts.due > 0,
             "1e9 injections should corrupt something: {:?}",
             result.counts
         );
-        assert!(result.mean_confidence_delta() < 0.0, "confidence drops on average");
+        // On corrupted trials the saturated class outcompetes the golden
+        // label, so its confidence must drop on average. (Over *all* trials
+        // the sign is noise: an injection that saturates the golden class
+        // itself yields a masked outcome with a large positive delta.)
+        let corrupted: Vec<f32> = result
+            .records
+            .iter()
+            .filter(|r| r.outcome != OutcomeKind::Masked)
+            .map(|r| r.confidence_delta)
+            .collect();
+        let mean = corrupted.iter().sum::<f32>() / corrupted.len() as f32;
+        assert!(mean < 0.0, "confidence drops on corrupted trials: {mean}");
     }
 
     #[test]
@@ -452,17 +708,23 @@ mod tests {
             FaultMode::Neuron(NeuronSelect::Random),
             Arc::new(StuckAt::new(1e9)),
         );
-        let result = campaign.run(&CampaignConfig {
-            trials: 80,
-            seed: 6,
-            threads: Some(2),
-            int8_activations: false,
-        });
+        let result = campaign
+            .run(&CampaignConfig {
+                trials: 80,
+                seed: 6,
+                threads: Some(2),
+                ..CampaignConfig::default()
+            })
+            .unwrap();
         // A Top-5 miss implies a Top-1 miss, never the other way around.
         assert!(result.top5_miss_rate() <= result.sdc_rate() + 1e-9);
         for r in &result.records {
             if r.top5_miss {
-                assert_ne!(r.outcome, OutcomeKind::Masked, "top-5 miss implies corruption");
+                assert_ne!(
+                    r.outcome,
+                    OutcomeKind::Masked,
+                    "top-5 miss implies corruption"
+                );
             }
         }
     }
@@ -478,12 +740,14 @@ mod tests {
             FaultMode::Weight(WeightSelect::Random),
             Arc::new(RandomUniform::default()),
         );
-        let result = campaign.run(&CampaignConfig {
-            trials: 16,
-            seed: 3,
-            threads: Some(2),
-            int8_activations: false,
-        });
+        let result = campaign
+            .run(&CampaignConfig {
+                trials: 16,
+                seed: 3,
+                threads: Some(2),
+                ..CampaignConfig::default()
+            })
+            .unwrap();
         assert_eq!(result.counts.total(), 16);
         assert!(result.records.iter().all(|r| r.site.is_none()));
     }
@@ -499,13 +763,202 @@ mod tests {
             FaultMode::Neuron(NeuronSelect::RandomInLayer { layer: 2 }),
             Arc::new(RandomUniform::default()),
         );
-        let result = campaign.run(&CampaignConfig {
-            trials: 20,
-            seed: 4,
-            threads: Some(2),
-            int8_activations: false,
-        });
+        let result = campaign
+            .run(&CampaignConfig {
+                trials: 20,
+                seed: 4,
+                threads: Some(2),
+                ..CampaignConfig::default()
+            })
+            .unwrap();
         assert!(result.records.iter().all(|r| r.layer == 2));
         assert_eq!(result.per_layer[2].0, 20);
+    }
+
+    /// A perturbation model that panics on a seeded fraction of trials.
+    fn grenade(p: f64) -> Arc<Custom> {
+        Arc::new(Custom::new("grenade", move |old, ctx| {
+            if ctx.rng.chance(p) {
+                panic!("perturbation model exploded");
+            }
+            old + 1e6
+        }))
+    }
+
+    #[test]
+    fn panicking_trials_are_recorded_as_crashes() {
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            grenade(0.3),
+        );
+        let run = |threads| {
+            campaign
+                .run(&CampaignConfig {
+                    trials: 40,
+                    seed: 7,
+                    threads: Some(threads),
+                    ..CampaignConfig::default()
+                })
+                .unwrap()
+        };
+        let result = run(1);
+        assert_eq!(result.counts.total(), 40, "every trial accounted for");
+        assert!(
+            result.counts.crash > 0 && result.counts.crash < 40,
+            "a seeded fraction crashes: {:?}",
+            result.counts
+        );
+        for r in &result.records {
+            if let OutcomeKind::Crash { detail } = &r.outcome {
+                assert!(detail.contains("exploded"), "panic message kept: {detail}");
+                assert!(r.top5_miss && r.confidence_delta == 0.0);
+            }
+        }
+        // Isolation must not break determinism: same records (including
+        // which trials crashed) for any thread count.
+        assert_eq!(result, run(4));
+    }
+
+    #[test]
+    fn watchdog_flags_hangs() {
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(RandomUniform::default()),
+        );
+        let result = campaign
+            .run(&CampaignConfig {
+                trials: 12,
+                seed: 8,
+                threads: Some(3),
+                max_steps: Some(2),
+                ..CampaignConfig::default()
+            })
+            .unwrap();
+        assert_eq!(result.counts.hang, 12, "a 2-step budget hangs every trial");
+        assert!(result
+            .records
+            .iter()
+            .all(|r| r.outcome == OutcomeKind::Hang && r.top5_miss));
+    }
+
+    #[test]
+    fn guard_record_and_short_circuit_classify_identically() {
+        let images = images();
+        let labels = aligned_labels(&images);
+        // Inf floods survive downstream ReLU/max-pool (unlike NaN, which
+        // `f32::max` absorbs), so the guard reliably has something to see.
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(StuckAt::new(f32::INFINITY)),
+        );
+        let run = |guard| {
+            campaign
+                .run(&CampaignConfig {
+                    trials: 24,
+                    seed: 9,
+                    threads: Some(2),
+                    guard,
+                    ..CampaignConfig::default()
+                })
+                .unwrap()
+        };
+        let record = run(GuardMode::Record);
+        let short = run(GuardMode::ShortCircuit);
+        assert!(record.counts.due > 0, "Inf injections are DUEs");
+        assert_eq!(
+            record, short,
+            "short-circuiting only skips work, never changes the classification"
+        );
+        for r in &record.records {
+            if r.outcome == OutcomeKind::Due {
+                assert!(r.due_layer.is_some(), "guard DUEs carry layer provenance");
+            }
+        }
+    }
+
+    #[test]
+    fn journal_resume_is_bit_identical() {
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            grenade(0.2),
+        );
+        let cfg = CampaignConfig {
+            trials: 30,
+            seed: 10,
+            threads: Some(2),
+            ..CampaignConfig::default()
+        };
+        let uninterrupted = campaign.run(&cfg).unwrap();
+
+        let path = tmp("resume.jsonl");
+        let journaled = campaign.run_journaled(&cfg, &path).unwrap();
+        assert_eq!(journaled, uninterrupted, "journaling is invisible");
+
+        // Simulate a kill: keep the header plus a prefix of the records,
+        // with the final kept line torn mid-write.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep: Vec<&str> = text.lines().take(12).collect();
+        let mut truncated = keep.join("\n");
+        truncated.push('\n');
+        truncated.push_str(&keep[11][..keep[11].len() / 2]);
+        std::fs::write(&path, truncated).unwrap();
+
+        let resumed = campaign.resume(&cfg, &path).unwrap();
+        assert_eq!(resumed, uninterrupted, "resume fills exactly the gap");
+        // And the journal is now complete: resuming again runs nothing new.
+        let again = campaign.run_journaled(&cfg, &path).unwrap();
+        assert_eq!(again, uninterrupted);
+    }
+
+    #[test]
+    fn resume_rejects_a_foreign_journal() {
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(RandomUniform::default()),
+        );
+        let path = tmp("foreign.jsonl");
+        let cfg = CampaignConfig {
+            trials: 8,
+            seed: 11,
+            threads: Some(1),
+            ..CampaignConfig::default()
+        };
+        campaign.run_journaled(&cfg, &path).unwrap();
+        let err = campaign
+            .resume(
+                &CampaignConfig {
+                    seed: 12,
+                    ..cfg.clone()
+                },
+                &path,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, FiError::Journal { .. }),
+            "seed mismatch rejected: {err}"
+        );
     }
 }

@@ -2,12 +2,13 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Why a fault-injection request was rejected.
 ///
 /// These errors carry the model geometry learned during profiling, matching
 /// the paper's goal of "detailed debugging messages to the end user".
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub enum FiError {
     /// The model exposes no convolution/linear layers to inject into.
     NoInjectableLayers,
@@ -46,7 +47,123 @@ pub enum FiError {
         /// Explanation of the problem.
         detail: String,
     },
+    /// An I/O operation (journal read/write) failed.
+    Io {
+        /// What the campaign was doing when the operation failed.
+        context: String,
+        /// The underlying I/O error (shared so `FiError` stays `Clone`).
+        source: Arc<std::io::Error>,
+    },
+    /// A journal file existed but could not be interpreted.
+    Journal {
+        /// 1-based line number of the offending journal line.
+        line: usize,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A campaign trial failed while planning its fault.
+    Trial {
+        /// The trial index that failed.
+        trial: usize,
+        /// The underlying injection error.
+        source: Box<FiError>,
+    },
 }
+
+impl FiError {
+    /// Wraps an I/O error with campaign context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        FiError::Io {
+            context: context.into(),
+            source: Arc::new(source),
+        }
+    }
+}
+
+// Manual impl: `io::Error` is not `PartialEq`; compare by kind + context,
+// which is what tests and retry logic actually distinguish on.
+impl PartialEq for FiError {
+    fn eq(&self, other: &Self) -> bool {
+        use FiError::*;
+        match (self, other) {
+            (NoInjectableLayers, NoInjectableLayers) => true,
+            (
+                LayerOutOfRange {
+                    requested: a,
+                    available: b,
+                },
+                LayerOutOfRange {
+                    requested: c,
+                    available: d,
+                },
+            ) => a == c && b == d,
+            (
+                NeuronOutOfRange {
+                    layer: a,
+                    detail: b,
+                },
+                NeuronOutOfRange {
+                    layer: c,
+                    detail: d,
+                },
+            ) => a == c && b == d,
+            (
+                WeightOutOfRange {
+                    layer: a,
+                    detail: b,
+                },
+                WeightOutOfRange {
+                    layer: c,
+                    detail: d,
+                },
+            ) => a == c && b == d,
+            (
+                BatchOutOfRange {
+                    requested: a,
+                    batch_size: b,
+                },
+                BatchOutOfRange {
+                    requested: c,
+                    batch_size: d,
+                },
+            ) => a == c && b == d,
+            (
+                BadInputShape {
+                    expected: a,
+                    detail: b,
+                },
+                BadInputShape {
+                    expected: c,
+                    detail: d,
+                },
+            ) => a == c && b == d,
+            (
+                Io {
+                    context: a,
+                    source: b,
+                },
+                Io {
+                    context: c,
+                    source: d,
+                },
+            ) => a == c && b.kind() == d.kind(),
+            (Journal { line: a, detail: b }, Journal { line: c, detail: d }) => a == c && b == d,
+            (
+                Trial {
+                    trial: a,
+                    source: b,
+                },
+                Trial {
+                    trial: c,
+                    source: d,
+                },
+            ) => a == c && b == d,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for FiError {}
 
 impl fmt::Display for FiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -77,11 +194,28 @@ impl fmt::Display for FiError {
             FiError::BadInputShape { expected, detail } => {
                 write!(f, "bad input shape (expected {expected:?}): {detail}")
             }
+            FiError::Io { context, source } => {
+                write!(f, "campaign I/O failed while {context}: {source}")
+            }
+            FiError::Journal { line, detail } => {
+                write!(f, "journal line {line} is invalid: {detail}")
+            }
+            FiError::Trial { trial, source } => {
+                write!(f, "trial {trial} failed to plan its fault: {source}")
+            }
         }
     }
 }
 
-impl Error for FiError {}
+impl Error for FiError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FiError::Io { source, .. } => Some(source.as_ref()),
+            FiError::Trial { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -122,5 +256,44 @@ mod tests {
     fn error_is_send_sync() {
         fn check<T: Send + Sync + std::error::Error>() {}
         check::<FiError>();
+    }
+
+    #[test]
+    fn io_and_trial_expose_source_chains() {
+        let io = FiError::io(
+            "appending a trial record",
+            std::io::Error::new(std::io::ErrorKind::PermissionDenied, "read-only fs"),
+        );
+        assert!(io.to_string().contains("appending a trial record"));
+        let src = io.source().expect("io error has a source");
+        assert!(src.to_string().contains("read-only fs"));
+
+        let trial = FiError::Trial {
+            trial: 17,
+            source: Box::new(FiError::NoInjectableLayers),
+        };
+        assert!(trial.to_string().contains("trial 17"));
+        assert_eq!(
+            trial.source().unwrap().to_string(),
+            FiError::NoInjectableLayers.to_string()
+        );
+        assert!(FiError::NoInjectableLayers.source().is_none());
+    }
+
+    #[test]
+    fn io_errors_compare_by_kind_and_context() {
+        let kind = std::io::ErrorKind::NotFound;
+        let a = FiError::io("resuming", std::io::Error::new(kind, "gone"));
+        let b = FiError::io("resuming", std::io::Error::new(kind, "also gone"));
+        let c = FiError::io("writing", std::io::Error::new(kind, "gone"));
+        assert_eq!(a, b, "same kind + context compare equal");
+        assert_ne!(a, c, "different context differs");
+        assert_ne!(
+            a,
+            FiError::Journal {
+                line: 1,
+                detail: "x".into()
+            }
+        );
     }
 }

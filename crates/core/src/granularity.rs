@@ -75,12 +75,13 @@ pub fn feature_map_vulnerability(
             FaultMode::Neuron(NeuronSelect::RandomInChannel { layer, channel }),
             Arc::clone(&model),
         );
-        let result = campaign.run(&CampaignConfig {
-            trials: trials_per_map,
-            seed: cfg.seed ^ (channel as u64).wrapping_mul(0x9E37_79B9),
-            threads: cfg.threads,
-            int8_activations: cfg.int8_activations,
-        });
+        let result = campaign
+            .run(&CampaignConfig {
+                trials: trials_per_map,
+                seed: cfg.seed ^ (channel as u64).wrapping_mul(0x9E37_79B9),
+                ..cfg.clone()
+            })
+            .expect("feature-map campaign inherits a validated config");
         per_map.push((result.counts.total(), result.counts.sdc + result.counts.due));
     }
     FeatureMapProfile { layer, per_map }
@@ -124,8 +125,8 @@ pub fn selective_protection(profile: &FeatureMapProfile, coverage: f64) -> Vec<u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::models::StuckAt;
     use crate::metrics::top1;
+    use crate::models::StuckAt;
     use rustfi_nn::{zoo, ZooConfig};
 
     fn factory() -> Network {

@@ -146,11 +146,17 @@ impl FaultInjector {
     ///
     /// Returns [`FiError`] if any selection is illegal for the profiled
     /// model; in that case no hooks are installed.
-    pub fn declare_neuron_fi(&mut self, faults: &[NeuronFault]) -> Result<Vec<NeuronSite>, FiError> {
+    pub fn declare_neuron_fi(
+        &mut self,
+        faults: &[NeuronFault],
+    ) -> Result<Vec<NeuronSite>, FiError> {
         // Resolve everything first so failures leave the injector unchanged.
         let mut resolved: Vec<(NeuronSite, Arc<dyn PerturbationModel>)> = Vec::new();
         for fault in faults {
-            for site in fault.select.resolve(&self.profile, fault.batch, &mut self.plan_rng)? {
+            for site in fault
+                .select
+                .resolve(&self.profile, fault.batch, &mut self.plan_rng)?
+            {
                 resolved.push((site, Arc::clone(&fault.model)));
             }
         }
@@ -169,46 +175,49 @@ impl FaultInjector {
             let layer_id = self.profile.layers()[layer].id;
             let exec_rng = Arc::clone(&self.exec_rng);
             let applied = Arc::clone(&self.applied);
-            let handle = self.net.hooks().register_forward(layer_id, move |_ctx, out| {
-                // Normalize geometry: linear outputs are [n, f] ~ [n, f, 1, 1].
-                let (n, c, h, w) = match out.ndim() {
-                    4 => out.dims4(),
-                    2 => {
-                        let (n, f) = out.dims2();
-                        (n, f, 1, 1)
-                    }
-                    other => panic!("injectable output of rank {other}"),
-                };
-                let mut max_abs_cache: Option<f32> = None;
-                let mut rng = exec_rng.lock();
-                for (site, model) in &group {
-                    let batches: Vec<usize> = match site.batch {
-                        Some(b) if b < n => vec![b],
-                        Some(_) => continue, // declared for a bigger batch
-                        None => (0..n).collect(),
+            let handle = self
+                .net
+                .hooks()
+                .register_forward(layer_id, move |_ctx, out| {
+                    // Normalize geometry: linear outputs are [n, f] ~ [n, f, 1, 1].
+                    let (n, c, h, w) = match out.ndim() {
+                        4 => out.dims4(),
+                        2 => {
+                            let (n, f) = out.dims2();
+                            (n, f, 1, 1)
+                        }
+                        other => panic!("injectable output of rank {other}"),
                     };
-                    if site.channel >= c || site.y >= h || site.x >= w {
-                        // The live tensor is smaller than the profiled one;
-                        // skip rather than corrupt the wrong neuron.
-                        continue;
-                    }
-                    let max_abs = *max_abs_cache.get_or_insert_with(|| out.max_abs());
-                    for b in batches {
-                        let off = ((b * c + site.channel) * h + site.y) * w + site.x;
-                        let old = out.data()[off];
-                        let mut pctx = PerturbCtx {
-                            layer: site.layer,
-                            batch: b,
-                            channel: site.channel,
-                            tensor_max_abs: max_abs,
-                            rng: &mut rng,
+                    let mut max_abs_cache: Option<f32> = None;
+                    let mut rng = exec_rng.lock();
+                    for (site, model) in &group {
+                        let batches: Vec<usize> = match site.batch {
+                            Some(b) if b < n => vec![b],
+                            Some(_) => continue, // declared for a bigger batch
+                            None => (0..n).collect(),
                         };
-                        let new = model.perturb(old, &mut pctx);
-                        out.data_mut()[off] = new;
-                        applied.fetch_add(1, Ordering::Relaxed);
+                        if site.channel >= c || site.y >= h || site.x >= w {
+                            // The live tensor is smaller than the profiled one;
+                            // skip rather than corrupt the wrong neuron.
+                            continue;
+                        }
+                        let max_abs = *max_abs_cache.get_or_insert_with(|| out.max_abs());
+                        for b in batches {
+                            let off = ((b * c + site.channel) * h + site.y) * w + site.x;
+                            let old = out.data()[off];
+                            let mut pctx = PerturbCtx {
+                                layer: site.layer,
+                                batch: b,
+                                channel: site.channel,
+                                tensor_max_abs: max_abs,
+                                rng: &mut rng,
+                            };
+                            let new = model.perturb(old, &mut pctx);
+                            out.data_mut()[off] = new;
+                            applied.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
-                }
-            });
+                });
             self.handles.push(handle);
         }
         Ok(sites)
@@ -221,7 +230,10 @@ impl FaultInjector {
     ///
     /// Returns [`FiError`] if any selection is illegal; in that case no
     /// weights are modified.
-    pub fn declare_weight_fi(&mut self, faults: &[WeightFault]) -> Result<Vec<WeightSite>, FiError> {
+    pub fn declare_weight_fi(
+        &mut self,
+        faults: &[WeightFault],
+    ) -> Result<Vec<WeightSite>, FiError> {
         let mut resolved: Vec<(WeightSite, Arc<dyn PerturbationModel>)> = Vec::new();
         for fault in faults {
             let site = fault.select.resolve(&self.profile, &mut self.plan_rng)?;

@@ -1,0 +1,706 @@
+//! Crash-safe campaign journals: append-only JSONL with resume support.
+//!
+//! A long campaign that dies (power loss, OOM kill, preemption) should not
+//! have to rerun completed trials. [`JournalWriter`] appends one JSON object
+//! per finished [`TrialRecord`] — written and flushed line-atomically, so a
+//! kill can at worst lose the line being written — and [`read_journal`]
+//! replays a journal, tolerating a truncated final line.
+//!
+//! Because every trial's randomness derives only from `(campaign seed, trial
+//! index)`, a resumed campaign that runs just the missing trials produces
+//! records bit-identical to an uninterrupted run.
+//!
+//! The format is deliberately dependency-free: a fixed header line
+//! `{"rustfi_journal":1,"seed":S,"trials":N}` followed by flat record
+//! objects. Numbers are kept as raw text during parsing (no `u64` → `f64`
+//! detour), and `f32` fields round-trip exactly through Rust's
+//! shortest-representation `Display`.
+
+use crate::campaign::TrialRecord;
+use crate::error::FiError;
+use crate::location::NeuronSite;
+use crate::metrics::OutcomeKind;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read as _, Write as _};
+use std::path::Path;
+
+/// Journal format version this build writes and accepts.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// Identity of the campaign a journal belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// The campaign's root seed.
+    pub seed: u64,
+    /// The campaign's total trial count.
+    pub trials: usize,
+}
+
+/// Append-only journal writer. Each [`JournalWriter::append`] writes one
+/// line and flushes it before returning.
+pub struct JournalWriter {
+    out: BufWriter<File>,
+}
+
+impl JournalWriter {
+    /// Creates a fresh journal at `path` (truncating any existing file) and
+    /// writes the header line.
+    pub fn create(path: &Path, header: JournalHeader) -> Result<Self, FiError> {
+        let file = File::create(path)
+            .map_err(|e| FiError::io(format!("creating journal {}", path.display()), e))?;
+        let mut writer = Self {
+            out: BufWriter::new(file),
+        };
+        let line = format!(
+            "{{\"rustfi_journal\":{JOURNAL_VERSION},\"seed\":{},\"trials\":{}}}",
+            header.seed, header.trials
+        );
+        writer.write_line(&line, path)?;
+        Ok(writer)
+    }
+
+    /// Reopens an existing journal at `path` for appending.
+    pub fn open_append(path: &Path) -> Result<Self, FiError> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| FiError::io(format!("reopening journal {}", path.display()), e))?;
+        Ok(Self {
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// Appends one record and flushes it to the OS.
+    pub fn append(&mut self, record: &TrialRecord, path: &Path) -> Result<(), FiError> {
+        let line = record_to_json(record);
+        self.write_line(&line, path)
+    }
+
+    fn write_line(&mut self, line: &str, path: &Path) -> Result<(), FiError> {
+        let ctx = || format!("appending to journal {}", path.display());
+        self.out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+            .and_then(|()| self.out.flush())
+            .map_err(|e| FiError::io(ctx(), e))
+    }
+}
+
+/// Reads a journal: header plus every complete, valid record line.
+///
+/// A torn *final* line — truncated mid-write, or missing its newline: the
+/// signatures of a kill — is ignored; corruption anywhere earlier is an
+/// error, as is a header that doesn't parse.
+pub fn read_journal(path: &Path) -> Result<(JournalHeader, Vec<TrialRecord>), FiError> {
+    let (header, records, _) = read_journal_inner(path)?;
+    Ok((header, records))
+}
+
+/// Like [`read_journal`], but also truncates a torn trailing line off the
+/// file, so that it is safe to append to. Campaign resume uses this; the
+/// trial the torn line belonged to simply reruns (deterministically, so the
+/// rewritten record is identical).
+pub fn read_journal_repairing(path: &Path) -> Result<(JournalHeader, Vec<TrialRecord>), FiError> {
+    let (header, records, valid_len) = read_journal_inner(path)?;
+    let file = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| FiError::io(format!("repairing journal {}", path.display()), e))?;
+    let actual = file
+        .metadata()
+        .map_err(|e| FiError::io(format!("repairing journal {}", path.display()), e))?
+        .len();
+    if actual > valid_len {
+        file.set_len(valid_len).map_err(|e| {
+            FiError::io(
+                format!("truncating torn journal tail in {}", path.display()),
+                e,
+            )
+        })?;
+    }
+    Ok((header, records))
+}
+
+/// Shared reader: returns the header, the valid records, and the byte length
+/// of the valid prefix (everything up to and including the last good line).
+fn read_journal_inner(path: &Path) -> Result<(JournalHeader, Vec<TrialRecord>, u64), FiError> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| FiError::io(format!("reading journal {}", path.display()), e))?;
+    let segments: Vec<&str> = text.split_inclusive('\n').collect();
+
+    let header_seg = *segments.first().ok_or(FiError::Journal {
+        line: 1,
+        detail: String::from("empty journal (missing header)"),
+    })?;
+    if !header_seg.ends_with('\n') {
+        return Err(FiError::Journal {
+            line: 1,
+            detail: String::from("header line was interrupted mid-write"),
+        });
+    }
+    let header = parse_header(header_seg.trim_end_matches('\n'))?;
+    let mut valid_len = header_seg.len() as u64;
+
+    let mut records = Vec::new();
+    for (i, seg) in segments.iter().enumerate().skip(1) {
+        let is_last = i + 1 == segments.len();
+        // A line without its newline was interrupted mid-write; only the
+        // final line may be in that state, and it doesn't count as written
+        // even if the JSON happens to parse.
+        let complete = seg.ends_with('\n');
+        match parse_record(seg.trim_end_matches('\n')) {
+            Ok(r) if complete => {
+                records.push(r);
+                valid_len += seg.len() as u64;
+            }
+            Ok(_) | Err(_) if is_last => break,
+            Ok(_) => unreachable!("only the final segment can lack a newline"),
+            Err(detail) => {
+                return Err(FiError::Journal {
+                    line: i + 1,
+                    detail,
+                })
+            }
+        }
+    }
+    Ok((header, records, valid_len))
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+fn record_to_json(r: &TrialRecord) -> String {
+    let mut s = String::with_capacity(128);
+    let _ = write!(
+        s,
+        "{{\"trial\":{},\"image_index\":{},\"layer\":{},\"site\":",
+        r.trial, r.image_index, r.layer
+    );
+    match &r.site {
+        Some(site) => {
+            let _ = write!(s, "{{\"layer\":{},\"batch\":", site.layer);
+            match site.batch {
+                Some(b) => {
+                    let _ = write!(s, "{b}");
+                }
+                None => s.push_str("null"),
+            }
+            let _ = write!(
+                s,
+                ",\"channel\":{},\"y\":{},\"x\":{}}}",
+                site.channel, site.y, site.x
+            );
+        }
+        None => s.push_str("null"),
+    }
+    let _ = write!(s, ",\"outcome\":\"{}\"", r.outcome.label());
+    if let OutcomeKind::Crash { detail } = &r.outcome {
+        s.push_str(",\"detail\":\"");
+        escape_json_into(detail, &mut s);
+        s.push('"');
+    }
+    s.push_str(",\"due_layer\":");
+    match r.due_layer {
+        Some(l) => {
+            let _ = write!(s, "{l}");
+        }
+        None => s.push_str("null"),
+    }
+    // `{}` on a finite f32 is the shortest string that parses back to the
+    // same bits, so confidence deltas survive the round trip exactly.
+    let delta = if r.confidence_delta.is_finite() {
+        r.confidence_delta
+    } else {
+        0.0
+    };
+    let _ = write!(
+        s,
+        ",\"top5_miss\":{},\"confidence_delta\":{delta}}}",
+        r.top5_miss
+    );
+    s
+}
+
+fn escape_json_into(raw: &str, out: &mut String) {
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing — a minimal recursive-descent JSON reader. Numbers stay raw text.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => Ok(Json::Num(self.parse_number())),
+            other => Err(format!("unexpected token {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(String::from("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("invalid \\u escape")?;
+                            s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = text.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos == self.bytes.len()
+    }
+}
+
+fn parse_line(line: &str) -> Result<Json, String> {
+    let mut p = Parser::new(line);
+    let v = p.parse_value()?;
+    if !p.at_end() {
+        return Err(String::from("trailing garbage after JSON value"));
+    }
+    Ok(v)
+}
+
+fn num_as<T: std::str::FromStr>(v: &Json, what: &str) -> Result<T, String> {
+    match v {
+        Json::Num(raw) => raw.parse().map_err(|_| format!("bad {what}: {raw:?}")),
+        other => Err(format!("{what} is not a number: {other:?}")),
+    }
+}
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
+    obj.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn parse_header(line: &str) -> Result<JournalHeader, FiError> {
+    let as_err = |detail: String| FiError::Journal { line: 1, detail };
+    let obj = parse_line(line).map_err(as_err)?;
+    let version: u64 =
+        num_as(field(&obj, "rustfi_journal").map_err(as_err)?, "version").map_err(as_err)?;
+    if version != JOURNAL_VERSION {
+        return Err(as_err(format!(
+            "journal version {version} (this build reads {JOURNAL_VERSION})"
+        )));
+    }
+    let seed = num_as(field(&obj, "seed").map_err(as_err)?, "seed").map_err(as_err)?;
+    let trials = num_as(field(&obj, "trials").map_err(as_err)?, "trials").map_err(as_err)?;
+    Ok(JournalHeader { seed, trials })
+}
+
+fn parse_record(line: &str) -> Result<TrialRecord, String> {
+    let obj = parse_line(line)?;
+    let trial = num_as(field(&obj, "trial")?, "trial")?;
+    let image_index = num_as(field(&obj, "image_index")?, "image_index")?;
+    let layer = num_as(field(&obj, "layer")?, "layer")?;
+    let site = match field(&obj, "site")? {
+        Json::Null => None,
+        site @ Json::Obj(_) => Some(NeuronSite {
+            layer: num_as(field(site, "layer")?, "site.layer")?,
+            batch: match field(site, "batch")? {
+                Json::Null => None,
+                b => Some(num_as(b, "site.batch")?),
+            },
+            channel: num_as(field(site, "channel")?, "site.channel")?,
+            y: num_as(field(site, "y")?, "site.y")?,
+            x: num_as(field(site, "x")?, "site.x")?,
+        }),
+        other => return Err(format!("site is neither object nor null: {other:?}")),
+    };
+    let outcome = match field(&obj, "outcome")? {
+        Json::Str(label) => match label.as_str() {
+            "masked" => OutcomeKind::Masked,
+            "sdc" => OutcomeKind::Sdc,
+            "due" => OutcomeKind::Due,
+            "hang" => OutcomeKind::Hang,
+            "crash" => OutcomeKind::Crash {
+                detail: match obj.get("detail") {
+                    Some(Json::Str(d)) => d.clone(),
+                    _ => String::new(),
+                },
+            },
+            other => return Err(format!("unknown outcome label {other:?}")),
+        },
+        other => return Err(format!("outcome is not a string: {other:?}")),
+    };
+    let due_layer = match field(&obj, "due_layer")? {
+        Json::Null => None,
+        v => Some(num_as(v, "due_layer")?),
+    };
+    let top5_miss = match field(&obj, "top5_miss")? {
+        Json::Bool(b) => *b,
+        other => return Err(format!("top5_miss is not a bool: {other:?}")),
+    };
+    let confidence_delta = num_as(field(&obj, "confidence_delta")?, "confidence_delta")?;
+    Ok(TrialRecord {
+        trial,
+        image_index,
+        layer,
+        site,
+        outcome,
+        due_layer,
+        top5_miss,
+        confidence_delta,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<TrialRecord> {
+        vec![
+            TrialRecord {
+                trial: 0,
+                image_index: 3,
+                layer: 1,
+                site: Some(NeuronSite {
+                    layer: 1,
+                    batch: None,
+                    channel: 2,
+                    y: 4,
+                    x: 5,
+                }),
+                outcome: OutcomeKind::Masked,
+                due_layer: None,
+                top5_miss: false,
+                confidence_delta: -0.012345678,
+            },
+            TrialRecord {
+                trial: 1,
+                image_index: 0,
+                layer: 2,
+                site: Some(NeuronSite {
+                    layer: 2,
+                    batch: Some(7),
+                    channel: 0,
+                    y: 0,
+                    x: 1,
+                }),
+                outcome: OutcomeKind::Due,
+                due_layer: Some(9),
+                top5_miss: true,
+                confidence_delta: -0.75,
+            },
+            TrialRecord {
+                trial: 2,
+                image_index: 5,
+                layer: usize::MAX,
+                site: None,
+                outcome: OutcomeKind::Crash {
+                    detail: "index 99 out of bounds: \"quoted\"\nsecond line \\ tab\t".into(),
+                },
+                due_layer: None,
+                top5_miss: true,
+                confidence_delta: 0.0,
+            },
+            TrialRecord {
+                trial: 3,
+                image_index: 2,
+                layer: 0,
+                site: None,
+                outcome: OutcomeKind::Hang,
+                due_layer: None,
+                top5_miss: true,
+                confidence_delta: 0.0,
+            },
+        ]
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("rustfi-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn records_roundtrip_bit_exactly() {
+        let path = tmp("roundtrip.jsonl");
+        let header = JournalHeader {
+            seed: u64::MAX - 3,
+            trials: 4,
+        };
+        let mut w = JournalWriter::create(&path, header).unwrap();
+        for r in &sample_records() {
+            w.append(r, &path).unwrap();
+        }
+        drop(w);
+        let (h, rs) = read_journal(&path).unwrap();
+        assert_eq!(h, header, "u64 seed survives without f64 precision loss");
+        assert_eq!(rs, sample_records());
+    }
+
+    #[test]
+    fn append_after_reopen_continues_the_file() {
+        let path = tmp("reopen.jsonl");
+        let header = JournalHeader { seed: 1, trials: 4 };
+        let records = sample_records();
+        let mut w = JournalWriter::create(&path, header).unwrap();
+        w.append(&records[0], &path).unwrap();
+        drop(w);
+        let mut w = JournalWriter::open_append(&path).unwrap();
+        w.append(&records[1], &path).unwrap();
+        drop(w);
+        let (_, rs) = read_journal(&path).unwrap();
+        assert_eq!(rs, records[..2]);
+    }
+
+    #[test]
+    fn torn_final_line_is_ignored() {
+        let path = tmp("torn.jsonl");
+        let mut w = JournalWriter::create(&path, JournalHeader { seed: 2, trials: 4 }).unwrap();
+        w.append(&sample_records()[0], &path).unwrap();
+        drop(w);
+        // Simulate a kill mid-write: half a record at the end.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"trial\":1,\"image_index\":0,\"lay");
+        std::fs::write(&path, text).unwrap();
+        let (_, rs) = read_journal(&path).unwrap();
+        assert_eq!(rs.len(), 1, "torn line dropped, valid prefix kept");
+    }
+
+    #[test]
+    fn repairing_truncates_the_torn_tail_for_safe_appends() {
+        let path = tmp("repair.jsonl");
+        let records = sample_records();
+        let mut w = JournalWriter::create(&path, JournalHeader { seed: 3, trials: 4 }).unwrap();
+        w.append(&records[0], &path).unwrap();
+        drop(w);
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"trial\":1,\"ima");
+        std::fs::write(&path, &text).unwrap();
+
+        let (_, rs) = read_journal_repairing(&path).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            clean_len,
+            "torn tail removed"
+        );
+        // The file is now safe to append to: no line merging.
+        let mut w = JournalWriter::open_append(&path).unwrap();
+        w.append(&records[1], &path).unwrap();
+        drop(w);
+        let (_, rs) = read_journal(&path).unwrap();
+        assert_eq!(rs, records[..2]);
+    }
+
+    #[test]
+    fn corruption_before_the_end_is_an_error() {
+        let path = tmp("corrupt.jsonl");
+        let records = sample_records();
+        let mut w = JournalWriter::create(&path, JournalHeader { seed: 2, trials: 4 }).unwrap();
+        w.append(&records[0], &path).unwrap();
+        drop(w);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("not json at all\n");
+        text.push_str(&record_to_json(&records[1]));
+        text.push('\n');
+        std::fs::write(&path, text).unwrap();
+        let err = read_journal(&path).unwrap_err();
+        assert!(
+            matches!(err, FiError::Journal { line: 3, .. }),
+            "corruption at line 3 reported: {err}"
+        );
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_journal(Path::new("/nonexistent/rustfi.jsonl")).unwrap_err();
+        assert!(matches!(err, FiError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        let path = tmp("bad-header.jsonl");
+        std::fs::write(&path, "{\"seed\":1}\n").unwrap();
+        let err = read_journal(&path).unwrap_err();
+        assert!(matches!(err, FiError::Journal { line: 1, .. }), "{err}");
+
+        std::fs::write(&path, "{\"rustfi_journal\":99,\"seed\":1,\"trials\":2}\n").unwrap();
+        let err = read_journal(&path).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn f32_extremes_roundtrip() {
+        for delta in [
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+            1e-38,
+            0.1 + 0.2,
+            -0.999_999_94,
+            f32::MAX,
+        ] {
+            let r = TrialRecord {
+                trial: 0,
+                image_index: 0,
+                layer: 0,
+                site: None,
+                outcome: OutcomeKind::Sdc,
+                due_layer: None,
+                top5_miss: false,
+                confidence_delta: delta,
+            };
+            let parsed = parse_record(&record_to_json(&r)).unwrap();
+            assert_eq!(parsed.confidence_delta.to_bits(), delta.to_bits());
+        }
+    }
+}

@@ -21,7 +21,11 @@
 //!   network-random site selection, and per-batch-element semantics
 //!   ([`NeuronSelect`], [`BatchSelect`]);
 //! - runs large seeded, parallel **error-injection campaigns** with SDC
-//!   accounting ([`campaign`]).
+//!   accounting ([`campaign`]), hardened for long unattended runs: panicking
+//!   trials are isolated and recorded as crashes, a step-budget watchdog
+//!   flags hangs, NaN/Inf guard hooks attribute DUEs to the layer that
+//!   produced them, and a crash-safe JSONL [`journal`] lets an interrupted
+//!   campaign resume bit-identically.
 //!
 //! # Three steps, as in the paper
 //!
@@ -50,6 +54,7 @@ pub mod config;
 pub mod error;
 pub mod granularity;
 pub mod injector;
+pub mod journal;
 pub mod location;
 pub mod metrics;
 pub mod models;
@@ -57,11 +62,12 @@ pub mod perturbation;
 pub mod profile;
 pub mod report;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignResult, FaultMode, TrialRecord};
+pub use campaign::{Campaign, CampaignConfig, CampaignResult, FaultMode, GuardMode, TrialRecord};
 pub use config::FiConfig;
 pub use error::FiError;
 pub use injector::{FaultInjector, NeuronFault, WeightFault};
+pub use journal::{read_journal, read_journal_repairing, JournalHeader, JournalWriter};
 pub use location::{BatchSelect, NeuronSelect, NeuronSite, WeightSelect, WeightSite};
-pub use metrics::{classify_outcome, OutcomeKind};
+pub use metrics::{classify_outcome, OutcomeCounts, OutcomeKind};
 pub use perturbation::{PerturbCtx, PerturbationModel};
 pub use profile::{LayerProfile, ModelProfile};

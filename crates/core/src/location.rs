@@ -152,7 +152,12 @@ impl NeuronSelect {
         };
         let mut sites = Vec::with_capacity(batches.len());
         for b in batches {
-            if let NeuronSelect::RandomPatch { layer, height, width } = *self {
+            if let NeuronSelect::RandomPatch {
+                layer,
+                height,
+                width,
+            } = *self
+            {
                 sites.extend(Self::resolve_patch(profile, layer, height, width, b, rng)?);
             } else {
                 sites.push(self.resolve_one(profile, b, rng)?);
@@ -205,7 +210,12 @@ impl NeuronSelect {
         rng: &mut SeededRng,
     ) -> Result<NeuronSite, FiError> {
         match *self {
-            NeuronSelect::Exact { layer, channel, y, x } => {
+            NeuronSelect::Exact {
+                layer,
+                channel,
+                y,
+                x,
+            } => {
                 check_layer(profile, layer)?;
                 let dims = profile.layers()[layer].output_dims;
                 if channel >= dims[1] || y >= dims[2] || x >= dims[3] {
@@ -295,7 +305,11 @@ impl WeightSelect {
     /// # Errors
     ///
     /// Returns [`FiError`] if a layer index or weight index is out of range.
-    pub fn resolve(&self, profile: &ModelProfile, rng: &mut SeededRng) -> Result<WeightSite, FiError> {
+    pub fn resolve(
+        &self,
+        profile: &ModelProfile,
+        rng: &mut SeededRng,
+    ) -> Result<WeightSite, FiError> {
         if profile.is_empty() {
             return Err(FiError::NoInjectableLayers);
         }
@@ -428,7 +442,10 @@ mod tests {
         }
         let frac = in_layer0 as f32 / n as f32;
         let expect = 1536.0 / 2346.0;
-        assert!((frac - expect).abs() < 0.04, "got {frac}, expected ~{expect}");
+        assert!(
+            (frac - expect).abs() < 0.04,
+            "got {frac}, expected ~{expect}"
+        );
     }
 
     #[test]
@@ -464,9 +481,12 @@ mod tests {
         let p = profile();
         let mut rng = SeededRng::new(6);
         for _ in 0..50 {
-            let site = NeuronSelect::RandomInChannel { layer: 1, channel: 3 }
-                .resolve(&p, BatchSelect::All, &mut rng)
-                .unwrap()[0];
+            let site = NeuronSelect::RandomInChannel {
+                layer: 1,
+                channel: 3,
+            }
+            .resolve(&p, BatchSelect::All, &mut rng)
+            .unwrap()[0];
             assert_eq!(site.layer, 1);
             assert_eq!(site.channel, 3);
         }

@@ -3,15 +3,47 @@
 use rustfi_tensor::Tensor;
 
 /// What a single injection did to the inference result.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The first three kinds are the paper's classification of an inference that
+/// *completed*; `Crash` and `Hang` extend the taxonomy to trials that did not
+/// (a perturbation or model panicked, or the trial exceeded its step budget),
+/// so a resilience campaign can always account for every trial.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum OutcomeKind {
     /// The Top-1 prediction was unchanged — the error was masked.
     Masked,
     /// Silent data corruption: a different Top-1 prediction, the paper's
     /// "output corruption" criterion.
     Sdc,
-    /// Detected unrecoverable error: the output contained NaN/Inf.
+    /// Detected unrecoverable error: the output (or, with guard hooks, an
+    /// intermediate activation) contained NaN/Inf.
     Due,
+    /// The trial panicked; the inference produced no output.
+    Crash {
+        /// The panic message, for debugging the perturbation or model.
+        detail: String,
+    },
+    /// The trial exceeded its step budget and was cut short by the watchdog.
+    Hang,
+}
+
+impl OutcomeKind {
+    /// Stable lowercase label used in CSV exports and journals.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OutcomeKind::Masked => "masked",
+            OutcomeKind::Sdc => "sdc",
+            OutcomeKind::Due => "due",
+            OutcomeKind::Crash { .. } => "crash",
+            OutcomeKind::Hang => "hang",
+        }
+    }
+
+    /// Whether the trial corrupted or aborted the inference (anything but
+    /// masked).
+    pub fn is_corruption(&self) -> bool {
+        !matches!(self, OutcomeKind::Masked)
+    }
 }
 
 /// Index of the largest value in a logits row.
@@ -75,7 +107,12 @@ pub fn classify_outcome(golden_top1: usize, perturbed_row: &[f32]) -> OutcomeKin
 /// Panics if `golden.len()` differs from the batch size.
 pub fn classify_batch(golden: &[usize], perturbed: &Tensor) -> Vec<OutcomeKind> {
     let (n, k) = perturbed.dims2();
-    assert_eq!(golden.len(), n, "{} golden labels for batch {n}", golden.len());
+    assert_eq!(
+        golden.len(),
+        n,
+        "{} golden labels for batch {n}",
+        golden.len()
+    );
     (0..n)
         .map(|b| classify_outcome(golden[b], &perturbed.data()[b * k..(b + 1) * k]))
         .collect()
@@ -90,21 +127,27 @@ pub struct OutcomeCounts {
     pub sdc: usize,
     /// DUE trials.
     pub due: usize,
+    /// Crashed trials (the perturbation or model panicked).
+    pub crash: usize,
+    /// Hung trials (cut short by the watchdog).
+    pub hang: usize,
 }
 
 impl OutcomeCounts {
     /// Adds one outcome.
-    pub fn record(&mut self, outcome: OutcomeKind) {
+    pub fn record(&mut self, outcome: &OutcomeKind) {
         match outcome {
             OutcomeKind::Masked => self.masked += 1,
             OutcomeKind::Sdc => self.sdc += 1,
             OutcomeKind::Due => self.due += 1,
+            OutcomeKind::Crash { .. } => self.crash += 1,
+            OutcomeKind::Hang => self.hang += 1,
         }
     }
 
     /// Total trials recorded.
     pub fn total(&self) -> usize {
-        self.masked + self.sdc + self.due
+        self.masked + self.sdc + self.due + self.crash + self.hang
     }
 
     /// Fraction of trials that were SDCs (0 if none recorded).
@@ -144,7 +187,10 @@ mod tests {
         assert!(in_top_k(&row, 1, 1));
         assert!(!in_top_k(&row, 2, 2));
         assert!(in_top_k(&row, 2, 3));
-        assert!(!in_top_k(&row, 9, 4), "out-of-range label is never in top-k");
+        assert!(
+            !in_top_k(&row, 9, 4),
+            "out-of-range label is never in top-k"
+        );
     }
 
     #[test]
@@ -173,16 +219,38 @@ mod tests {
     #[test]
     fn counts_accumulate_and_rate() {
         let mut c = OutcomeCounts::default();
-        for _ in 0..97 {
-            c.record(OutcomeKind::Masked);
+        for _ in 0..95 {
+            c.record(&OutcomeKind::Masked);
         }
         for _ in 0..2 {
-            c.record(OutcomeKind::Sdc);
+            c.record(&OutcomeKind::Sdc);
         }
-        c.record(OutcomeKind::Due);
+        c.record(&OutcomeKind::Due);
+        c.record(&OutcomeKind::Crash {
+            detail: "index out of bounds".into(),
+        });
+        c.record(&OutcomeKind::Hang);
         assert_eq!(c.total(), 100);
+        assert_eq!((c.crash, c.hang), (1, 1));
         assert!((c.sdc_rate() - 0.02).abs() < 1e-9);
         assert!(c.sdc_rate_ci99() > 0.0 && c.sdc_rate_ci99() < 0.1);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(OutcomeKind::Masked.label(), "masked");
+        assert_eq!(OutcomeKind::Sdc.label(), "sdc");
+        assert_eq!(OutcomeKind::Due.label(), "due");
+        assert_eq!(
+            OutcomeKind::Crash {
+                detail: String::new()
+            }
+            .label(),
+            "crash"
+        );
+        assert_eq!(OutcomeKind::Hang.label(), "hang");
+        assert!(!OutcomeKind::Masked.is_corruption());
+        assert!(OutcomeKind::Hang.is_corruption());
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl RandomUniform {
     ///
     /// Panics if the interval is empty or non-finite.
     pub fn new(lo: f32, hi: f32) -> Self {
-        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad interval [{lo}, {hi})");
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "bad interval [{lo}, {hi})"
+        );
         Self { lo, hi }
     }
 }
@@ -194,7 +197,10 @@ impl MultiBitFlipInt8 {
     ///
     /// Panics unless `1 <= count <= 8`.
     pub fn new(count: u32) -> Self {
-        assert!((1..=8).contains(&count), "int8 multi-bit count {count} out of range");
+        assert!(
+            (1..=8).contains(&count),
+            "int8 multi-bit count {count} out of range"
+        );
         Self { count }
     }
 }
@@ -374,9 +380,15 @@ mod tests {
                 // Quantizing the output may clamp at ±127 (e.g. a flip to
                 // -128 reads back as -127), so compare via dequantized
                 // distance only when unclamped.
-                if (-127..=127).contains(&(q_after as i32)) && v == rustfi_quant::int8::dequantize(q_after, scale) {
+                if (-127..=127).contains(&(q_after as i32))
+                    && v == rustfi_quant::int8::dequantize(q_after, scale)
+                {
                     let diff = (q_before as u8) ^ (q_after as u8);
-                    assert_eq!(diff.count_ones(), count, "count {count}: {q_before} -> {q_after}");
+                    assert_eq!(
+                        diff.count_ones(),
+                        count,
+                        "count {count}: {q_before} -> {q_after}"
+                    );
                 }
             }
         }
@@ -400,7 +412,10 @@ mod tests {
                 big += 1;
             }
         }
-        assert!(big > 50, "random bit patterns regularly produce huge values: {big}");
+        assert!(
+            big > 50,
+            "random bit patterns regularly produce huge values: {big}"
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Model profiling: the dummy inference that discovers layer geometry.
 
+use parking_lot::Mutex;
 use rustfi_nn::{LayerId, LayerKind, Network};
 use rustfi_tensor::Tensor;
-use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
 
@@ -121,7 +121,10 @@ impl ModelProfile {
 
     /// Total neurons per image across all injectable layers.
     pub fn total_neurons_per_image(&self) -> usize {
-        self.layers.iter().map(LayerProfile::neurons_per_image).sum()
+        self.layers
+            .iter()
+            .map(LayerProfile::neurons_per_image)
+            .sum()
     }
 
     /// Total weight scalars across all injectable layers.
@@ -188,7 +191,10 @@ mod tests {
     fn profiling_removes_its_hook() {
         let mut net = zoo::lenet(&ZooConfig::tiny(10));
         let _ = ModelProfile::discover(&mut net, [1, 3, 16, 16]);
-        assert!(net.hooks().is_empty(), "profiling must clean up after itself");
+        assert!(
+            net.hooks().is_empty(),
+            "profiling must clean up after itself"
+        );
     }
 
     #[test]

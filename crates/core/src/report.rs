@@ -6,7 +6,6 @@
 //! per-trial records as CSV for downstream analysis.
 
 use crate::campaign::CampaignResult;
-use crate::metrics::OutcomeKind;
 use std::fmt::Write as _;
 
 /// Renders a multi-line human-readable summary of a campaign.
@@ -21,8 +20,8 @@ pub fn summarize(result: &CampaignResult) -> String {
     );
     let _ = writeln!(
         out,
-        "outcomes: {} masked | {} SDC | {} DUE",
-        c.masked, c.sdc, c.due
+        "outcomes: {} masked | {} SDC | {} DUE | {} crash | {} hang",
+        c.masked, c.sdc, c.due, c.crash, c.hang
     );
     let _ = writeln!(
         out,
@@ -50,9 +49,9 @@ pub fn summarize(result: &CampaignResult) -> String {
     out
 }
 
-/// CSV header matching [`record_to_csv`].
+/// CSV header matching [`to_csv`]'s rows.
 pub const CSV_HEADER: &str =
-    "trial,image_index,layer,batch,channel,y,x,outcome,top5_miss,confidence_delta";
+    "trial,image_index,layer,batch,channel,y,x,outcome,due_layer,top5_miss,confidence_delta";
 
 /// Exports all trial records as CSV (header + one line per trial).
 pub fn to_csv(result: &CampaignResult) -> String {
@@ -67,17 +66,23 @@ pub fn to_csv(result: &CampaignResult) -> String {
                 s.y.to_string(),
                 s.x.to_string(),
             ),
-            None => (String::from(""), String::new(), String::new(), String::new()),
+            None => (
+                String::from(""),
+                String::new(),
+                String::new(),
+                String::new(),
+            ),
         };
-        let outcome = match r.outcome {
-            OutcomeKind::Masked => "masked",
-            OutcomeKind::Sdc => "sdc",
-            OutcomeKind::Due => "due",
-        };
+        let due_layer = r.due_layer.map_or(String::new(), |l| l.to_string());
         let _ = writeln!(
             out,
-            "{},{},{},{batch},{channel},{y},{x},{outcome},{},{}",
-            r.trial, r.image_index, r.layer, r.top5_miss, r.confidence_delta
+            "{},{},{},{batch},{channel},{y},{x},{},{due_layer},{},{}",
+            r.trial,
+            r.image_index,
+            r.layer,
+            r.outcome.label(),
+            r.top5_miss,
+            r.confidence_delta
         );
     }
     out
@@ -88,41 +93,67 @@ mod tests {
     use super::*;
     use crate::campaign::TrialRecord;
     use crate::location::NeuronSite;
-    use crate::metrics::OutcomeCounts;
+    use crate::metrics::{OutcomeCounts, OutcomeKind};
 
     fn sample_result() -> CampaignResult {
-        let mut counts = OutcomeCounts::default();
-        counts.record(OutcomeKind::Masked);
-        counts.record(OutcomeKind::Sdc);
-        CampaignResult {
-            records: vec![
-                TrialRecord {
-                    trial: 0,
-                    image_index: 3,
+        let records = vec![
+            TrialRecord {
+                trial: 0,
+                image_index: 3,
+                layer: 1,
+                site: Some(NeuronSite {
                     layer: 1,
-                    site: Some(NeuronSite {
-                        layer: 1,
-                        batch: None,
-                        channel: 2,
-                        y: 4,
-                        x: 5,
-                    }),
-                    outcome: OutcomeKind::Masked,
-                    top5_miss: false,
-                    confidence_delta: -0.01,
+                    batch: None,
+                    channel: 2,
+                    y: 4,
+                    x: 5,
+                }),
+                outcome: OutcomeKind::Masked,
+                due_layer: None,
+                top5_miss: false,
+                confidence_delta: -0.01,
+            },
+            TrialRecord {
+                trial: 1,
+                image_index: 7,
+                layer: 0,
+                site: None,
+                outcome: OutcomeKind::Sdc,
+                due_layer: None,
+                top5_miss: true,
+                confidence_delta: -0.8,
+            },
+            TrialRecord {
+                trial: 2,
+                image_index: 1,
+                layer: 2,
+                site: None,
+                outcome: OutcomeKind::Due,
+                due_layer: Some(6),
+                top5_miss: true,
+                confidence_delta: -0.5,
+            },
+            TrialRecord {
+                trial: 3,
+                image_index: 0,
+                layer: usize::MAX,
+                site: None,
+                outcome: OutcomeKind::Crash {
+                    detail: "boom".into(),
                 },
-                TrialRecord {
-                    trial: 1,
-                    image_index: 7,
-                    layer: 0,
-                    site: None,
-                    outcome: OutcomeKind::Sdc,
-                    top5_miss: true,
-                    confidence_delta: -0.8,
-                },
-            ],
+                due_layer: None,
+                top5_miss: true,
+                confidence_delta: 0.0,
+            },
+        ];
+        let mut counts = OutcomeCounts::default();
+        for r in &records {
+            counts.record(&r.outcome);
+        }
+        CampaignResult {
+            records,
             counts,
-            per_layer: vec![(1, 1), (1, 0)],
+            per_layer: vec![(1, 1), (1, 0), (1, 0)],
             eligible_images: 10,
         }
     }
@@ -130,8 +161,11 @@ mod tests {
     #[test]
     fn summary_contains_key_figures() {
         let s = summarize(&sample_result());
-        assert!(s.contains("2 trials over 10 eligible images"), "{s}");
-        assert!(s.contains("1 masked | 1 SDC | 0 DUE"), "{s}");
+        assert!(s.contains("4 trials over 10 eligible images"), "{s}");
+        assert!(
+            s.contains("1 masked | 1 SDC | 1 DUE | 1 crash | 0 hang"),
+            "{s}"
+        );
         assert!(s.contains("per-layer vulnerability"), "{s}");
         assert!(s.contains("layer   0"), "{s}");
     }
@@ -142,9 +176,13 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(lines.next(), Some(CSV_HEADER));
         let row0 = lines.next().unwrap();
-        assert_eq!(row0, "0,3,1,all,2,4,5,masked,false,-0.01");
+        assert_eq!(row0, "0,3,1,all,2,4,5,masked,,false,-0.01");
         let row1 = lines.next().unwrap();
-        assert!(row1.starts_with("1,7,0,,,,,sdc,true,"), "{row1}");
+        assert!(row1.starts_with("1,7,0,,,,,sdc,,true,"), "{row1}");
+        let row2 = lines.next().unwrap();
+        assert!(row2.starts_with("2,1,2,,,,,due,6,true,"), "{row2}");
+        let row3 = lines.next().unwrap();
+        assert!(row3.contains(",crash,,true,0"), "{row3}");
         assert_eq!(lines.next(), None);
     }
 

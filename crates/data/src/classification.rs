@@ -198,7 +198,10 @@ mod tests {
     fn train_and_test_are_disjoint_samples() {
         let d = SynthSpec::cifar10_like().with_budget(2, 2).generate();
         // Same prototypes, different noise draws.
-        assert_ne!(d.train_images.select_batch(0), d.test_images.select_batch(0));
+        assert_ne!(
+            d.train_images.select_batch(0),
+            d.test_images.select_batch(0)
+        );
     }
 
     #[test]
@@ -207,7 +210,10 @@ mod tests {
         let b = SynthSpec::cifar10_like().with_budget(3, 1).generate();
         assert_eq!(a.train_images, b.train_images);
         assert_eq!(a.test_labels, b.test_labels);
-        let c = SynthSpec::cifar10_like().with_budget(3, 1).with_seed(7).generate();
+        let c = SynthSpec::cifar10_like()
+            .with_budget(3, 1)
+            .with_seed(7)
+            .generate();
         assert_ne!(a.train_images, c.train_images);
     }
 

@@ -91,14 +91,15 @@ impl DetectionSpec {
             self.max_objects
         );
         let rng = SeededRng::new(self.seed);
-        (0..n).map(|i| self.scene(&mut rng.fork(i as u64))).collect()
+        (0..n)
+            .map(|i| self.scene(&mut rng.fork(i as u64)))
+            .collect()
     }
 
     fn scene(&self, rng: &mut SeededRng) -> Scene {
         let hw = self.image_hw;
-        let mut image = Tensor::from_fn(&[1, self.channels, hw, hw], |_| {
-            rng.normal(0.0, self.noise)
-        });
+        let mut image =
+            Tensor::from_fn(&[1, self.channels, hw, hw], |_| rng.normal(0.0, self.noise));
         let count = rng.range(self.min_objects, self.max_objects + 1);
         let mut objects = Vec::with_capacity(count);
         for _ in 0..count {
@@ -134,9 +135,9 @@ impl DetectionSpec {
                 let fy = (y - y0) as f32 / px as f32 - 0.5;
                 let fx = (x - x0) as f32 / px as f32 - 0.5;
                 let inside = match class {
-                    0 => true,                                   // filled square
-                    1 => fx * fx + fy * fy <= 0.25,              // disc
-                    _ => fx.abs() < 0.17 || fy.abs() < 0.17,     // cross
+                    0 => true,                               // filled square
+                    1 => fx * fx + fy * fy <= 0.25,          // disc
+                    _ => fx.abs() < 0.17 || fy.abs() < 0.17, // cross
                 };
                 if inside {
                     let fm = image.fmap_mut(0, ch);

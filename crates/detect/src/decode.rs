@@ -45,7 +45,12 @@ pub fn decode_grid(raw: &Tensor, batch: usize, num_classes: usize) -> Vec<Detect
     let (n, ch, s, s2) = raw.dims4();
     assert!(batch < n, "batch {batch} out of range");
     assert_eq!(s, s2, "grid must be square");
-    assert_eq!(ch, 5 + num_classes, "expected {} channels, got {ch}", 5 + num_classes);
+    assert_eq!(
+        ch,
+        5 + num_classes,
+        "expected {} channels, got {ch}",
+        5 + num_classes
+    );
     let mut out = Vec::with_capacity(s * s);
     for gy in 0..s {
         for gx in 0..s {

@@ -47,7 +47,11 @@ pub fn average_precision(scenes: &[SceneEval], class: usize, iou_threshold: f32)
             dets.push((si, d));
         }
     }
-    dets.sort_by(|a, b| b.1.score.partial_cmp(&a.1.score).unwrap_or(std::cmp::Ordering::Equal));
+    dets.sort_by(|a, b| {
+        b.1.score
+            .partial_cmp(&a.1.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     // Greedy matching per scene; each ground truth matches once.
     let mut taken: Vec<Vec<bool>> = scenes
@@ -83,10 +87,7 @@ pub fn average_precision(scenes: &[SceneEval], class: usize, iou_threshold: f32)
     let mut ap = 0.0;
     let mut prev_recall = 0.0;
     for i in 0..curve.len() {
-        let max_prec = curve[i..]
-            .iter()
-            .map(|&(_, p)| p)
-            .fold(0.0f32, f32::max);
+        let max_prec = curve[i..].iter().map(|&(_, p)| p).fold(0.0f32, f32::max);
         let (recall, _) = curve[i];
         ap += (recall - prev_recall) * max_prec;
         prev_recall = recall;
@@ -208,7 +209,10 @@ mod tests {
             ground_truth: vec![gt(0, 0.3, 0.3), gt(1, 0.7, 0.7)], // class 1 missed
         }];
         let map = mean_average_precision(&scenes, 3, 0.5);
-        assert!((map - 0.5).abs() < 1e-6, "mean of 1.0 and 0.0; class 2 absent");
+        assert!(
+            (map - 0.5).abs() < 1e-6,
+            "mean of 1.0 and 0.0; class 2 absent"
+        );
     }
 
     #[test]

@@ -107,9 +107,21 @@ impl YoloLite {
             layers.push(Box::new(Relu::new()));
             layers.push(Box::new(MaxPool2d::new(2, 2)));
         }
-        layers.push(Box::new(Conv2d::new(2 * w, 2 * w, 3, ConvSpec::new().padding(1), &mut rng)));
+        layers.push(Box::new(Conv2d::new(
+            2 * w,
+            2 * w,
+            3,
+            ConvSpec::new().padding(1),
+            &mut rng,
+        )));
         layers.push(Box::new(Relu::new()));
-        layers.push(Box::new(Conv2d::new(2 * w, head_ch, 1, ConvSpec::new(), &mut rng)));
+        layers.push(Box::new(Conv2d::new(
+            2 * w,
+            head_ch,
+            1,
+            ConvSpec::new(),
+            &mut rng,
+        )));
         Self {
             net: Network::new(Box::new(Sequential::new(layers))),
             cfg: cfg.clone(),

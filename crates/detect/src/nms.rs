@@ -26,7 +26,11 @@ pub fn iou(a: &Detection, b: &Detection) -> f32 {
 /// Greedy non-maximum suppression: keeps the highest-scoring detection and
 /// drops same-class detections overlapping it by more than `iou_threshold`.
 pub fn nms(mut detections: Vec<Detection>, iou_threshold: f32) -> Vec<Detection> {
-    detections.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    detections.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut kept: Vec<Detection> = Vec::new();
     for d in detections {
         if kept

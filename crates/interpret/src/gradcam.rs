@@ -61,7 +61,10 @@ pub fn gradcam(net: &mut Network, image: &Tensor, class: usize, layer: LayerId) 
     net.set_training(false);
     let logits = net.forward(image);
     let (_, classes) = logits.dims2();
-    assert!(class < classes, "class {class} out of range for {classes} classes");
+    assert!(
+        class < classes,
+        "class {class} out of range for {classes} classes"
+    );
     let mut onehot = Tensor::zeros(logits.dims());
     onehot.set(&[0, class], 1.0);
     net.backward(&onehot);
@@ -70,8 +73,14 @@ pub fn gradcam(net: &mut Network, image: &Tensor, class: usize, layer: LayerId) 
     net.hooks().remove(h_fwd);
     net.hooks().remove(h_grad);
 
-    let acts = acts.lock().take().expect("forward hook captured activations");
-    let grads = grads.lock().take().expect("gradient hook captured gradients");
+    let acts = acts
+        .lock()
+        .take()
+        .expect("forward hook captured activations");
+    let grads = grads
+        .lock()
+        .take()
+        .expect("gradient hook captured gradients");
     assert_eq!(
         acts.ndim(),
         4,

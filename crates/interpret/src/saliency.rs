@@ -22,7 +22,10 @@ pub fn saliency(net: &mut Network, image: &Tensor, class: usize) -> Tensor {
     net.set_training(false);
     let logits = net.forward(image);
     let (_, classes) = logits.dims2();
-    assert!(class < classes, "class {class} out of range for {classes} classes");
+    assert!(
+        class < classes,
+        "class {class} out of range for {classes} classes"
+    );
     let mut onehot = Tensor::zeros(logits.dims());
     onehot.set(&[0, class], 1.0);
     let grad_input = net.backward(&onehot);

@@ -81,7 +81,10 @@ mod tests {
         assert_eq!(ranked[0].0, 1);
         assert_eq!(ranked[1].0, 2);
         assert_eq!(ranked[2].0, 0);
-        assert!((ranked[0].1 - 0.9).abs() < 1e-6, "scores are absolute values");
+        assert!(
+            (ranked[0].1 - 0.9).abs() < 1e-6,
+            "scores are absolute values"
+        );
     }
 
     #[test]

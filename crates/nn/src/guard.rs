@@ -1,0 +1,270 @@
+//! Activation guard hooks: NaN/Inf detection and step-budget watchdogs.
+//!
+//! A fault-injection trial can drive a network into states where the final
+//! logits are non-finite (a DUE in the paper's taxonomy). By the time the
+//! output is inspected, *which layer* first produced the non-finite value is
+//! lost — and every layer after it computed garbage for nothing. A
+//! [`GuardHook`] attaches to the network's forward-hook registry and:
+//!
+//! - records the first layer whose output contains NaN/Inf (DUE provenance);
+//! - optionally *short-circuits* the rest of the forward pass the moment a
+//!   non-finite activation appears, by raising a [`NonFiniteInterrupt`];
+//! - optionally enforces a step budget: a forward pass that dispatches more
+//!   than `max_steps` leaf layers raises a [`DeadlineInterrupt`] (the
+//!   cooperative watchdog campaigns use to classify hangs).
+//!
+//! Interrupts are delivered with [`std::panic::resume_unwind`], which unwinds
+//! *without* invoking the panic hook — no backtrace spew — and is caught by
+//! the same `catch_unwind` isolation campaigns already wrap around trials.
+//! Callers downcast the payload to tell an interrupt from a genuine panic.
+//!
+//! Dispatch-order note: hooks registered for *all* layers fire before a
+//! layer's own injection hooks, so a guard sees the injected value at the
+//! **next** leaf layer it propagates to, not at the injection site itself.
+
+use crate::hook::HookHandle;
+use crate::module::{LayerId, Network};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// What a [`GuardHook`] watches for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardConfig {
+    /// Scan every leaf layer's output for NaN/Inf.
+    pub detect_non_finite: bool,
+    /// Abort the forward pass on the first non-finite activation (implies
+    /// `detect_non_finite`). The aborted inference has no output; the caller
+    /// classifies it from the interrupt payload instead.
+    pub short_circuit: bool,
+    /// Maximum leaf-layer dispatches per [`GuardHook::reset`] window before a
+    /// [`DeadlineInterrupt`] fires. `None` disables the watchdog.
+    pub max_steps: Option<usize>,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self {
+            detect_non_finite: true,
+            short_circuit: false,
+            max_steps: None,
+        }
+    }
+}
+
+/// Interrupt payload: a non-finite activation was detected and the guard was
+/// configured to short-circuit.
+#[derive(Debug, Clone)]
+pub struct NonFiniteInterrupt {
+    /// The first layer whose output contained NaN/Inf.
+    pub layer: LayerId,
+    /// That layer's name.
+    pub layer_name: String,
+}
+
+/// Interrupt payload: the forward pass exceeded the guard's step budget.
+#[derive(Debug, Clone, Copy)]
+pub struct DeadlineInterrupt {
+    /// Leaf-layer dispatches counted when the budget tripped.
+    pub steps: usize,
+}
+
+#[derive(Default)]
+struct GuardState {
+    steps: AtomicUsize,
+    first_non_finite: Mutex<Option<(LayerId, String)>>,
+}
+
+/// An installed guard. Dropping it does *not* unregister the hook; call
+/// [`GuardHook::uninstall`] (or clear the registry) for that.
+pub struct GuardHook {
+    handle: HookHandle,
+    state: Arc<GuardState>,
+}
+
+impl GuardHook {
+    /// Installs a guard on the network's forward-hook registry.
+    pub fn install(net: &Network, cfg: GuardConfig) -> Self {
+        let state = Arc::new(GuardState::default());
+        let hook_state = Arc::clone(&state);
+        let scan = cfg.detect_non_finite || cfg.short_circuit;
+        let handle = net.hooks().register_forward_all(move |ctx, out| {
+            let steps = hook_state.steps.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(budget) = cfg.max_steps {
+                if steps > budget {
+                    std::panic::resume_unwind(Box::new(DeadlineInterrupt { steps }));
+                }
+            }
+            if scan && out.data().iter().any(|v| !v.is_finite()) {
+                let mut first = hook_state.first_non_finite.lock();
+                let fresh = first.is_none();
+                if fresh {
+                    *first = Some((ctx.id, ctx.name.to_string()));
+                }
+                drop(first);
+                if cfg.short_circuit && fresh {
+                    std::panic::resume_unwind(Box::new(NonFiniteInterrupt {
+                        layer: ctx.id,
+                        layer_name: ctx.name.to_string(),
+                    }));
+                }
+            }
+        });
+        Self { handle, state }
+    }
+
+    /// Clears the step counter and non-finite provenance. Call between
+    /// inferences that should be judged independently.
+    pub fn reset(&self) {
+        self.state.steps.store(0, Ordering::Relaxed);
+        *self.state.first_non_finite.lock() = None;
+    }
+
+    /// Leaf-layer dispatches seen since the last [`GuardHook::reset`].
+    pub fn steps(&self) -> usize {
+        self.state.steps.load(Ordering::Relaxed)
+    }
+
+    /// The first layer observed with a non-finite output, if any.
+    pub fn first_non_finite(&self) -> Option<(LayerId, String)> {
+        self.state.first_non_finite.lock().clone()
+    }
+
+    /// The registry handle (for manual removal).
+    pub fn handle(&self) -> HookHandle {
+        self.handle
+    }
+
+    /// Unregisters the guard from the network it was installed on.
+    pub fn uninstall(&self, net: &Network) {
+        net.hooks().remove(self.handle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{self, ZooConfig};
+    use rustfi_tensor::Tensor;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn net_and_input() -> (Network, Tensor) {
+        let net = zoo::lenet(&ZooConfig::tiny(4));
+        let x = Tensor::from_fn(&[1, 3, 16, 16], |i| ((i as f32) * 0.017).cos());
+        (net, x)
+    }
+
+    /// Id of the first injectable (conv) layer.
+    fn first_conv(net: &Network) -> LayerId {
+        net.injectable_layers()[0]
+    }
+
+    #[test]
+    fn guard_counts_steps_and_resets() {
+        let (mut net, x) = net_and_input();
+        let guard = GuardHook::install(&net, GuardConfig::default());
+        net.forward(&x);
+        let steps = guard.steps();
+        assert!(steps > 0, "leaf layers dispatched");
+        net.forward(&x);
+        assert_eq!(guard.steps(), 2 * steps, "steps accumulate until reset");
+        guard.reset();
+        assert_eq!(guard.steps(), 0);
+        assert!(guard.first_non_finite().is_none());
+    }
+
+    #[test]
+    fn deadline_interrupt_fires_over_budget() {
+        let (mut net, x) = net_and_input();
+        let guard = GuardHook::install(
+            &net,
+            GuardConfig {
+                max_steps: Some(2),
+                ..GuardConfig::default()
+            },
+        );
+        let err = catch_unwind(AssertUnwindSafe(|| net.forward(&x)))
+            .expect_err("budget of 2 must interrupt");
+        let interrupt = err
+            .downcast_ref::<DeadlineInterrupt>()
+            .expect("payload is a DeadlineInterrupt");
+        assert_eq!(interrupt.steps, 3, "tripped on the step after the budget");
+        assert_eq!(guard.steps(), 3);
+    }
+
+    /// Floods a layer's output with `+Inf` when the hook fires.
+    fn flood_inf(net: &Network, layer: LayerId) {
+        net.hooks().register_forward(layer, |_, out| {
+            for v in out.data_mut() {
+                *v = f32::INFINITY;
+            }
+        });
+    }
+
+    #[test]
+    fn records_first_non_finite_layer_without_aborting() {
+        let (mut net, x) = net_and_input();
+        let conv = first_conv(&net);
+        flood_inf(&net, conv);
+        let guard = GuardHook::install(&net, GuardConfig::default());
+        net.forward(&x);
+        // The guard must catch the corruption even though downstream
+        // ReLU/pooling (`x.max(0.0)` absorbs NaN) can launder it back into
+        // finite logits — the case output-only DUE detection misses.
+        let (layer, name) = guard.first_non_finite().expect("guard saw the corruption");
+        // All-layer hooks fire before the injection hook on the same layer,
+        // so detection lands on a layer *after* the injection site.
+        assert!(
+            layer.index() > conv.index(),
+            "{name} is downstream of the injection"
+        );
+    }
+
+    #[test]
+    fn short_circuit_aborts_with_provenance() {
+        let (mut net, x) = net_and_input();
+        let conv = first_conv(&net);
+        flood_inf(&net, conv);
+        let guard = GuardHook::install(
+            &net,
+            GuardConfig {
+                short_circuit: true,
+                ..GuardConfig::default()
+            },
+        );
+        let full_steps = {
+            let clean = zoo::lenet(&ZooConfig::tiny(4));
+            let probe = GuardHook::install(&clean, GuardConfig::default());
+            let mut clean = clean;
+            clean.forward(&x);
+            probe.steps()
+        };
+        let err = catch_unwind(AssertUnwindSafe(|| net.forward(&x)))
+            .expect_err("short-circuit must interrupt");
+        let interrupt = err
+            .downcast_ref::<NonFiniteInterrupt>()
+            .expect("payload is a NonFiniteInterrupt");
+        assert_eq!(
+            Some((interrupt.layer, interrupt.layer_name.clone())),
+            guard.first_non_finite()
+        );
+        assert!(
+            guard.steps() < full_steps,
+            "aborted early: {} of {} steps",
+            guard.steps(),
+            full_steps
+        );
+    }
+
+    #[test]
+    fn uninstall_removes_the_hook() {
+        let (mut net, x) = net_and_input();
+        let guard = GuardHook::install(&net, GuardConfig::default());
+        net.forward(&x);
+        assert!(guard.steps() > 0);
+        guard.uninstall(&net);
+        guard.reset();
+        net.forward(&x);
+        assert_eq!(guard.steps(), 0, "uninstalled guard no longer counts");
+    }
+}

@@ -140,7 +140,9 @@ impl HookRegistry {
         F: Fn(&LayerCtx<'_>, &mut Tensor) + Send + Sync + 'static,
     {
         let handle = self.fresh_handle();
-        self.forward.write().insert(Target::All, handle, Arc::new(hook));
+        self.forward
+            .write()
+            .insert(Target::All, handle, Arc::new(hook));
         self.forward_nonempty.store(true, Ordering::Release);
         handle
     }

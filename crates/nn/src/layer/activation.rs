@@ -46,7 +46,10 @@ impl Module for Relu {
 
     fn backward(&mut self, grad_out: &Tensor, ctx: &mut BackwardCtx<'_>) -> Tensor {
         ctx.run_grad_hooks(&self.meta, LayerKind::Relu, grad_out);
-        let mask = self.mask.as_ref().expect("Relu::backward called before forward");
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("Relu::backward called before forward");
         grad_out.mul(mask)
     }
 }

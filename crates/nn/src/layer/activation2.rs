@@ -57,7 +57,10 @@ impl Module for Sigmoid {
 
     fn backward(&mut self, grad_out: &Tensor, ctx: &mut BackwardCtx<'_>) -> Tensor {
         ctx.run_grad_hooks(&self.meta, LayerKind::Relu, grad_out);
-        let y = self.output.as_ref().expect("Sigmoid::backward called before forward");
+        let y = self
+            .output
+            .as_ref()
+            .expect("Sigmoid::backward called before forward");
         grad_out.zip_map(y, |g, y| g * y * (1.0 - y))
     }
 }
@@ -100,7 +103,10 @@ impl Module for Tanh {
 
     fn backward(&mut self, grad_out: &Tensor, ctx: &mut BackwardCtx<'_>) -> Tensor {
         ctx.run_grad_hooks(&self.meta, LayerKind::Relu, grad_out);
-        let y = self.output.as_ref().expect("Tanh::backward called before forward");
+        let y = self
+            .output
+            .as_ref()
+            .expect("Tanh::backward called before forward");
         grad_out.zip_map(y, |g, y| g * (1.0 - y * y))
     }
 }
@@ -119,7 +125,10 @@ impl LeakyRelu {
     ///
     /// Panics unless `0 <= slope < 1`.
     pub fn new(slope: f32) -> Self {
-        assert!((0.0..1.0).contains(&slope), "leaky slope {slope} out of range");
+        assert!(
+            (0.0..1.0).contains(&slope),
+            "leaky slope {slope} out of range"
+        );
         Self {
             meta: LayerMeta::default(),
             slope,
@@ -145,7 +154,10 @@ impl Module for LeakyRelu {
 
     fn backward(&mut self, grad_out: &Tensor, ctx: &mut BackwardCtx<'_>) -> Tensor {
         ctx.run_grad_hooks(&self.meta, LayerKind::Relu, grad_out);
-        let mask = self.mask.as_ref().expect("LeakyRelu::backward called before forward");
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("LeakyRelu::backward called before forward");
         grad_out.mul(mask)
     }
 }

@@ -3,9 +3,7 @@
 //! along channels, as in Inception/SqueezeNet), and [`ChannelShuffle`]
 //! (ShuffleNet's group-mixing permutation).
 
-use crate::module::{
-    BackwardCtx, ForwardCtx, LayerId, LayerKind, LayerMeta, Module, Param,
-};
+use crate::module::{BackwardCtx, ForwardCtx, LayerId, LayerKind, LayerMeta, Module, Param};
 use rustfi_tensor::Tensor;
 
 /// Runs children in order, feeding each output to the next child.
@@ -530,7 +528,13 @@ mod tests {
     #[test]
     fn nested_find_mut_reaches_deep_layers() {
         let mut rng = SeededRng::new(4);
-        let inner = Sequential::new(vec![Box::new(Conv2d::new(1, 1, 1, ConvSpec::new(), &mut rng))]);
+        let inner = Sequential::new(vec![Box::new(Conv2d::new(
+            1,
+            1,
+            1,
+            ConvSpec::new(),
+            &mut rng,
+        ))]);
         let outer = Sequential::new(vec![Box::new(Relu::new()), Box::new(inner)]);
         let mut net = Network::new(Box::new(outer));
         let conv_id = net.injectable_layers()[0];

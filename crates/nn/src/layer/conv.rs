@@ -1,6 +1,8 @@
 //! 2-D convolution layer.
 
-use crate::module::{leaf_boilerplate, BackwardCtx, ForwardCtx, LayerKind, LayerMeta, Module, Param};
+use crate::module::{
+    leaf_boilerplate, BackwardCtx, ForwardCtx, LayerKind, LayerMeta, Module, Param,
+};
 use rustfi_tensor::{conv2d, conv2d_backward, ConvSpec, SeededRng, Tensor};
 
 /// A 2-D convolution with learned weights and bias.
@@ -31,8 +33,13 @@ impl Conv2d {
         spec: ConvSpec,
         rng: &mut SeededRng,
     ) -> Self {
-        assert!(spec.groups > 0 && in_ch.is_multiple_of(spec.groups) && out_ch.is_multiple_of(spec.groups),
-            "conv channels ({in_ch} -> {out_ch}) must be divisible by groups {}", spec.groups);
+        assert!(
+            spec.groups > 0
+                && in_ch.is_multiple_of(spec.groups)
+                && out_ch.is_multiple_of(spec.groups),
+            "conv channels ({in_ch} -> {out_ch}) must be divisible by groups {}",
+            spec.groups
+        );
         let cg = in_ch / spec.groups;
         let fan_in = (cg * kernel * kernel) as f32;
         let std = (2.0 / fan_in).sqrt();

@@ -1,6 +1,8 @@
 //! Fully-connected layer.
 
-use crate::module::{leaf_boilerplate, BackwardCtx, ForwardCtx, LayerKind, LayerMeta, Module, Param};
+use crate::module::{
+    leaf_boilerplate, BackwardCtx, ForwardCtx, LayerKind, LayerMeta, Module, Param,
+};
 use rustfi_tensor::linalg::{self, matmul};
 use rustfi_tensor::{SeededRng, Tensor};
 
@@ -176,7 +178,10 @@ mod tests {
                 idx += 1;
             });
             let num = (fp - fm) / (2.0 * eps);
-            assert!((num - expected).abs() < 1e-2, "param {pi} elem {i}: {num} vs {expected}");
+            assert!(
+                (num - expected).abs() < 1e-2,
+                "param {pi} elem {i}: {num} vs {expected}"
+            );
         };
         for i in 0..grads[0].len() {
             probe(0, i, grads[0].data()[i], &mut net);

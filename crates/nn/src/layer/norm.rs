@@ -1,6 +1,8 @@
 //! Batch normalization.
 
-use crate::module::{leaf_boilerplate, BackwardCtx, ForwardCtx, LayerKind, LayerMeta, Module, Param};
+use crate::module::{
+    leaf_boilerplate, BackwardCtx, ForwardCtx, LayerKind, LayerMeta, Module, Param,
+};
 use rustfi_tensor::Tensor;
 
 /// 2-D batch normalization over the channel axis of an `NCHW` tensor.
@@ -82,15 +84,18 @@ impl Module for BatchNorm2d {
                 mean /= count;
                 let mut var = 0.0;
                 for bn in 0..n {
-                    var += input.fmap(bn, ch).iter().map(|x| (x - mean).powi(2)).sum::<f32>();
+                    var += input
+                        .fmap(bn, ch)
+                        .iter()
+                        .map(|x| (x - mean).powi(2))
+                        .sum::<f32>();
                 }
                 var /= count;
                 // Update running statistics.
                 let m = self.momentum;
                 self.running_mean.data_mut()[ch] =
                     (1.0 - m) * self.running_mean.data()[ch] + m * mean;
-                self.running_var.data_mut()[ch] =
-                    (1.0 - m) * self.running_var.data()[ch] + m * var;
+                self.running_var.data_mut()[ch] = (1.0 - m) * self.running_var.data()[ch] + m * var;
                 (mean, var)
             } else {
                 (self.running_mean.data()[ch], self.running_var.data()[ch])
@@ -156,8 +161,8 @@ impl Module for BatchNorm2d {
                     let xh = cache.x_hat.fmap(bn, ch).to_vec();
                     let dst = gin.fmap_mut(bn, ch);
                     for i in 0..h * w {
-                        dst[i] = g * inv_std
-                            * (dy[i] - sum_dy / count - xh[i] * sum_dy_xhat / count);
+                        dst[i] =
+                            g * inv_std * (dy[i] - sum_dy / count - xh[i] * sum_dy_xhat / count);
                     }
                 }
             } else {
@@ -249,7 +254,11 @@ mod tests {
         net.set_training(false);
         // After many constant batches the running mean approaches 10.
         let y = net.forward(&x);
-        assert!(y.data().iter().all(|v| v.abs() < 0.5), "output ~0, got {:?}", &y.data()[..2]);
+        assert!(
+            y.data().iter().all(|v| v.abs() < 0.5),
+            "output ~0, got {:?}",
+            &y.data()[..2]
+        );
     }
 
     #[test]

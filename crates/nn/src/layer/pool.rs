@@ -1,7 +1,9 @@
 //! Pooling layers.
 
 use crate::module::{leaf_boilerplate, BackwardCtx, ForwardCtx, LayerKind, LayerMeta, Module};
-use rustfi_tensor::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec, Tensor};
+use rustfi_tensor::{
+    avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec, Tensor,
+};
 
 /// Max pooling over square windows.
 pub struct MaxPool2d {

@@ -67,7 +67,10 @@ impl Dropout {
     ///
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability {p} out of range");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability {p} out of range"
+        );
         Self {
             meta: LayerMeta::default(),
             p,
@@ -89,13 +92,7 @@ impl Module for Dropout {
             let scale = 1.0 / keep;
             let p = self.p as f64;
             let rng = ctx.rng();
-            let mask = Tensor::from_fn(input.dims(), |_| {
-                if rng.chance(p) {
-                    0.0
-                } else {
-                    scale
-                }
-            });
+            let mask = Tensor::from_fn(input.dims(), |_| if rng.chance(p) { 0.0 } else { scale });
             let out = input.mul(&mask);
             self.mask = Some(mask);
             out

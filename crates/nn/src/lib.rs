@@ -34,6 +34,7 @@
 //! ```
 
 pub mod checkpoint;
+pub mod guard;
 pub mod hook;
 pub mod layer;
 pub mod loss;
@@ -42,6 +43,7 @@ pub mod optim;
 pub mod train;
 pub mod zoo;
 
+pub use guard::{DeadlineInterrupt, GuardConfig, GuardHook, NonFiniteInterrupt};
 pub use hook::{HookHandle, HookRegistry, LayerCtx};
 pub use module::{
     BackwardCtx, ForwardCtx, LayerId, LayerInfo, LayerKind, LayerMeta, Module, Network, Param,

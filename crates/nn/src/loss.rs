@@ -37,7 +37,10 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
     let mut grad = probs.clone();
     let inv_b = 1.0 / batch as f32;
     for (b, &label) in labels.iter().enumerate() {
-        assert!(label < classes, "label {label} out of range for {classes} classes");
+        assert!(
+            label < classes,
+            "label {label} out of range for {classes} classes"
+        );
         let p = probs.at(&[b, label]).max(1e-12);
         loss -= p.ln();
         let off = b * classes + label;
@@ -80,8 +83,16 @@ pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
 ///
 /// Panics on shape mismatch between any pair of arguments.
 pub fn weighted_sq_error(pred: &Tensor, target: &Tensor, weight: &Tensor) -> (f32, Tensor) {
-    assert_eq!(pred.dims(), target.dims(), "weighted_sq_error shape mismatch");
-    assert_eq!(pred.dims(), weight.dims(), "weighted_sq_error weight mismatch");
+    assert_eq!(
+        pred.dims(),
+        target.dims(),
+        "weighted_sq_error shape mismatch"
+    );
+    assert_eq!(
+        pred.dims(),
+        weight.dims(),
+        "weighted_sq_error weight mismatch"
+    );
     let diff = pred.sub(target);
     let loss: f32 = diff
         .data()

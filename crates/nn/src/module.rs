@@ -418,15 +418,27 @@ impl fmt::Debug for Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layer::{Conv2d, Relu};
     use crate::layer::container::Sequential;
+    use crate::layer::{Conv2d, Relu};
 
     fn tiny_net() -> Network {
         let mut rng = SeededRng::new(1);
         Network::new(Box::new(Sequential::new(vec![
-            Box::new(Conv2d::new(3, 4, 3, rustfi_tensor::ConvSpec::new().padding(1), &mut rng)),
+            Box::new(Conv2d::new(
+                3,
+                4,
+                3,
+                rustfi_tensor::ConvSpec::new().padding(1),
+                &mut rng,
+            )),
             Box::new(Relu::new()),
-            Box::new(Conv2d::new(4, 2, 3, rustfi_tensor::ConvSpec::new().padding(1), &mut rng)),
+            Box::new(Conv2d::new(
+                4,
+                2,
+                3,
+                rustfi_tensor::ConvSpec::new().padding(1),
+                &mut rng,
+            )),
         ])))
     }
 

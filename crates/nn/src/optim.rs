@@ -51,7 +51,10 @@ impl Sgd {
 
     /// Sets the momentum coefficient.
     pub fn momentum(mut self, momentum: f32) -> Self {
-        assert!((0.0..1.0).contains(&momentum), "momentum {momentum} out of range");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum {momentum} out of range"
+        );
         self.momentum = momentum;
         self
     }
@@ -135,7 +138,10 @@ mod tests {
             let (loss, grad) = mse(&y, &target);
             net.backward(&grad);
             sgd.step(&mut net);
-            assert!(loss <= last + 1e-4, "loss must not increase: {loss} > {last}");
+            assert!(
+                loss <= last + 1e-4,
+                "loss must not increase: {loss} > {last}"
+            );
             last = loss;
         }
         assert!(last < 1e-4, "converged, final loss {last}");

@@ -225,7 +225,11 @@ mod tests {
                 ..TrainConfig::default()
             },
         );
-        assert!(report.final_loss() < 0.1, "final loss {}", report.final_loss());
+        assert!(
+            report.final_loss() < 0.1,
+            "final loss {}",
+            report.final_loss()
+        );
         let acc = accuracy(&mut net, &images, &labels, 16);
         assert!(acc > 0.95, "accuracy {acc}");
         assert_eq!(report.steps, 20 * 8);

@@ -59,7 +59,14 @@ pub fn densenet(cfg: &ZooConfig) -> Network {
 /// projection path standing in for the pooled path (our pooling layers do
 /// not pad, so the pool-project branch is simplified to projection only —
 /// documented in DESIGN.md).
-fn inception(in_ch: usize, c1: usize, c3: usize, c5: usize, cp: usize, rng: &mut SeededRng) -> Box<dyn Module> {
+fn inception(
+    in_ch: usize,
+    c1: usize,
+    c3: usize,
+    c5: usize,
+    cp: usize,
+    rng: &mut SeededRng,
+) -> Box<dyn Module> {
     let path1 = Sequential::new(vec![conv(in_ch, c1, 1, 1, 0, rng), Box::new(Relu::new())]);
     let path2 = Sequential::new(vec![
         conv(in_ch, c3 / 2, 1, 1, 0, rng),

@@ -14,7 +14,12 @@ use rustfi_tensor::SeededRng;
 
 /// Depthwise-separable block: depthwise 3×3 (groups = channels) then
 /// pointwise 1×1, each followed by bn-relu.
-fn dw_separable(in_ch: usize, out_ch: usize, stride: usize, rng: &mut SeededRng) -> Vec<Box<dyn Module>> {
+fn dw_separable(
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    rng: &mut SeededRng,
+) -> Vec<Box<dyn Module>> {
     let mut layers: Vec<Box<dyn Module>> = Vec::new();
     layers.push(gconv(in_ch, in_ch, 3, stride, 1, in_ch, rng)); // depthwise
     layers.push(Box::new(BatchNorm2d::new(in_ch)));
@@ -90,8 +95,14 @@ pub fn shufflenet(cfg: &ZooConfig) -> Network {
 /// SqueezeNet fire module: a 1×1 "squeeze" conv followed by parallel 1×1 and
 /// 3×3 "expand" convs whose outputs concatenate.
 fn fire(in_ch: usize, squeeze: usize, expand: usize, rng: &mut SeededRng) -> Vec<Box<dyn Module>> {
-    let expand1 = Sequential::new(vec![conv(squeeze, expand, 1, 1, 0, rng), Box::new(Relu::new())]);
-    let expand3 = Sequential::new(vec![conv(squeeze, expand, 3, 1, 1, rng), Box::new(Relu::new())]);
+    let expand1 = Sequential::new(vec![
+        conv(squeeze, expand, 1, 1, 0, rng),
+        Box::new(Relu::new()),
+    ]);
+    let expand3 = Sequential::new(vec![
+        conv(squeeze, expand, 3, 1, 1, rng),
+        Box::new(Relu::new()),
+    ]);
     vec![
         conv(in_ch, squeeze, 1, 1, 0, rng),
         Box::new(Relu::new()),

@@ -165,7 +165,11 @@ pub(crate) fn conv_bn_relu(
 }
 
 /// GAP → flatten → linear classifier head.
-pub(crate) fn gap_head(channels: usize, num_classes: usize, rng: &mut SeededRng) -> Vec<Box<dyn Module>> {
+pub(crate) fn gap_head(
+    channels: usize,
+    num_classes: usize,
+    rng: &mut SeededRng,
+) -> Vec<Box<dyn Module>> {
     vec![
         Box::new(GlobalAvgPool::new()),
         Box::new(Flatten::new()),
@@ -190,7 +194,11 @@ pub fn lenet(cfg: &ZooConfig) -> Network {
     layers.push(Box::new(Relu::new()));
     layers.push(Box::new(MaxPool2d::new(2, 2)));
     layers.push(Box::new(Flatten::new()));
-    layers.push(Box::new(Linear::new(c2 * feat * feat, cfg.ch(32), &mut rng)));
+    layers.push(Box::new(Linear::new(
+        c2 * feat * feat,
+        cfg.ch(32),
+        &mut rng,
+    )));
     layers.push(Box::new(Relu::new()));
     layers.push(Box::new(Linear::new(cfg.ch(32), cfg.num_classes, &mut rng)));
     Network::new(Box::new(Sequential::new(layers)))
@@ -217,7 +225,11 @@ pub fn alexnet(cfg: &ZooConfig) -> Network {
     layers.push(Box::new(Relu::new()));
     layers.push(Box::new(MaxPool2d::new(2, 2)));
     layers.push(Box::new(Flatten::new()));
-    layers.push(Box::new(Linear::new(c5 * feat * feat, cfg.ch(64), &mut rng)));
+    layers.push(Box::new(Linear::new(
+        c5 * feat * feat,
+        cfg.ch(64),
+        &mut rng,
+    )));
     layers.push(Box::new(Relu::new()));
     layers.push(Box::new(Dropout::new(0.25)));
     layers.push(Box::new(Linear::new(cfg.ch(64), cfg.num_classes, &mut rng)));
@@ -349,8 +361,16 @@ mod tests {
     fn seeds_change_weights_not_shapes() {
         let a = alexnet(&ZooConfig::tiny(10));
         let b = alexnet(&ZooConfig::tiny(10).with_seed(99));
-        let dims_a: Vec<_> = a.layer_infos().iter().map(|l| l.weight_dims.clone()).collect();
-        let dims_b: Vec<_> = b.layer_infos().iter().map(|l| l.weight_dims.clone()).collect();
+        let dims_a: Vec<_> = a
+            .layer_infos()
+            .iter()
+            .map(|l| l.weight_dims.clone())
+            .collect();
+        let dims_b: Vec<_> = b
+            .layer_infos()
+            .iter()
+            .map(|l| l.weight_dims.clone())
+            .collect();
         assert_eq!(dims_a, dims_b);
         let mut a = a;
         let mut b = b;

@@ -7,7 +7,12 @@ use crate::module::{Module, Network};
 use rustfi_tensor::SeededRng;
 
 /// Basic residual block: conv-bn-relu-conv-bn plus skip, ReLU after the add.
-fn basic_block(in_ch: usize, out_ch: usize, stride: usize, rng: &mut SeededRng) -> Vec<Box<dyn Module>> {
+fn basic_block(
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    rng: &mut SeededRng,
+) -> Vec<Box<dyn Module>> {
     let mut body: Vec<Box<dyn Module>> = Vec::new();
     body.extend(conv_bn_relu(in_ch, out_ch, 3, stride, 1, rng));
     body.push(conv(out_ch, out_ch, 3, 1, 1, rng));
@@ -56,7 +61,12 @@ fn bottleneck_block(
 
 /// Pre-activation basic block (He et al. 2016): bn-relu-conv, bn-relu-conv
 /// plus skip, *no* post-addition ReLU.
-fn preact_block(in_ch: usize, out_ch: usize, stride: usize, rng: &mut SeededRng) -> Box<dyn Module> {
+fn preact_block(
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    rng: &mut SeededRng,
+) -> Box<dyn Module> {
     let body = Sequential::new(vec![
         Box::new(BatchNorm2d::new(in_ch)),
         Box::new(Relu::new()),
@@ -164,7 +174,14 @@ pub fn resnext(cfg: &ZooConfig) -> Network {
         let out = mid * 2;
         for b in 0..2 {
             let stride = if stage > 0 && b == 0 { 2 } else { 1 };
-            layers.extend(bottleneck_block(in_ch, mid, out, stride, cardinality, &mut rng));
+            layers.extend(bottleneck_block(
+                in_ch,
+                mid,
+                out,
+                stride,
+                cardinality,
+                &mut rng,
+            ));
             in_ch = out;
         }
     }
@@ -214,7 +231,10 @@ mod tests {
         // Pre-activation: first op inside a residual body is BatchNorm.
         let net = preresnet110(&ZooConfig::tiny(10));
         let infos = net.layer_infos();
-        let first_res = infos.iter().position(|l| l.kind == LayerKind::Residual).unwrap();
+        let first_res = infos
+            .iter()
+            .position(|l| l.kind == LayerKind::Residual)
+            .unwrap();
         // Pre-order: Residual, Sequential (body), BatchNorm...
         assert_eq!(infos[first_res + 1].kind, LayerKind::Sequential);
         assert_eq!(infos[first_res + 2].kind, LayerKind::BatchNorm2d);
@@ -226,9 +246,9 @@ mod tests {
         // Grouped 3x3 conv: weight in-channels (dim 1) < its layer's input
         // channels; detectable as mid/groups < mid. With cardinality 4 and
         // mid >= 8, some conv has dims[1] * 4 == preceding channel width.
-        let has_grouped = net.layer_infos().iter().any(|l| {
-            matches!(&l.weight_dims, Some(d) if d.len() == 4 && d[2] == 3 && d[0] == d[1] * 4)
-        });
+        let has_grouped = net.layer_infos().iter().any(
+            |l| matches!(&l.weight_dims, Some(d) if d.len() == 4 && d[2] == 3 && d[0] == d[1] * 4),
+        );
         assert!(has_grouped, "expected a cardinality-4 grouped conv");
     }
 

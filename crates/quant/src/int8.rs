@@ -29,7 +29,10 @@ const MIN_SCALE: f32 = 1e-12;
 ///
 /// Panics if `max_abs` is negative or NaN.
 pub fn scale_for_max_abs(max_abs: f32) -> f32 {
-    assert!(!max_abs.is_nan() && max_abs >= 0.0, "invalid max_abs {max_abs}");
+    assert!(
+        !max_abs.is_nan() && max_abs >= 0.0,
+        "invalid max_abs {max_abs}"
+    );
     if max_abs.is_infinite() {
         return f32::MAX / QMAX as f32;
     }
@@ -220,7 +223,10 @@ mod tests {
     fn tensor_scale_ignores_non_finite_elements() {
         let t = Tensor::from_vec(vec![1.0, f32::INFINITY, -3.0, f32::NAN], &[4]);
         let scale = tensor_scale(&t);
-        assert!((scale - 3.0 / 127.0).abs() < 1e-7, "range from finite values only");
+        assert!(
+            (scale - 3.0 / 127.0).abs() < 1e-7,
+            "range from finite values only"
+        );
         // Fake-quantizing the faulty tensor stays finite.
         let q = t.map(|x| fake_quantize(x, scale));
         assert!(!q.has_non_finite());

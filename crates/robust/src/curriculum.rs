@@ -26,7 +26,10 @@ impl Curriculum {
     /// Panics if `ramp_end < ramp_start` or maxima are negative.
     pub fn new(ramp_start: usize, ramp_end: usize, alpha_max: f32, eps_max: f32) -> Self {
         assert!(ramp_end >= ramp_start, "ramp must not be inverted");
-        assert!(alpha_max >= 0.0 && eps_max >= 0.0, "maxima must be non-negative");
+        assert!(
+            alpha_max >= 0.0 && eps_max >= 0.0,
+            "maxima must be non-negative"
+        );
         Self {
             ramp_start,
             ramp_end,

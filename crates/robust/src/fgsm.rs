@@ -26,7 +26,10 @@ pub fn fgsm(net: &mut Network, image: &Tensor, label: usize, eps: f32) -> Tensor
     net.set_training(false);
     let logits = net.forward(image);
     let (_, classes) = logits.dims2();
-    assert!(label < classes, "label {label} out of range for {classes} classes");
+    assert!(
+        label < classes,
+        "label {label} out of range for {classes} classes"
+    );
     let (_, grad_logits) = cross_entropy(&logits, &[label]);
     let grad_input = net.backward(&grad_logits);
     net.set_training(was_training);

@@ -62,12 +62,25 @@ impl TrainingInjector {
     /// # Panics
     ///
     /// Panics if the interval is empty or `dose` is zero.
-    pub fn install_hidden_with_dose(net: &Network, lo: f32, hi: f32, seed: u64, dose: usize) -> Self {
+    pub fn install_hidden_with_dose(
+        net: &Network,
+        lo: f32,
+        hi: f32,
+        seed: u64,
+        dose: usize,
+    ) -> Self {
         assert!(dose > 0, "dose must be positive");
         Self::install_impl(net, lo, hi, seed, true, dose)
     }
 
-    fn install_impl(net: &Network, lo: f32, hi: f32, seed: u64, skip_last: bool, dose: usize) -> Self {
+    fn install_impl(
+        net: &Network,
+        lo: f32,
+        hi: f32,
+        seed: u64,
+        skip_last: bool,
+        dose: usize,
+    ) -> Self {
         assert!(lo < hi, "empty injection interval [{lo}, {hi})");
         let rng = Arc::new(Mutex::new(SeededRng::new(seed)));
         let fired = Arc::new(AtomicUsize::new(0));

@@ -19,8 +19,7 @@ use rustfi_nn::loss::cross_entropy;
 use rustfi_nn::module::{Module, Network};
 use rustfi_tensor::linalg::{matmul, transpose};
 use rustfi_tensor::{
-    conv2d, conv2d_backward, max_pool2d, max_pool2d_backward, ConvSpec, PoolSpec, SeededRng,
-    Tensor,
+    conv2d, conv2d_backward, max_pool2d, max_pool2d_backward, ConvSpec, PoolSpec, SeededRng, Tensor,
 };
 
 /// Architecture parameters for [`IbpNet::alexnet_like`].
@@ -329,7 +328,12 @@ impl IbpNet {
         for layer in self.layers.iter_mut().rev() {
             g = match layer {
                 Layer::Conv {
-                    w, gw, gb, spec, nom_in, ..
+                    w,
+                    gw,
+                    gb,
+                    spec,
+                    nom_in,
+                    ..
                 } => {
                     let input = nom_in.as_ref().expect("nominal forward first");
                     let grads = conv2d_backward(input, w, &g, spec);
@@ -376,7 +380,12 @@ impl IbpNet {
         for layer in self.layers.iter_mut().rev() {
             match layer {
                 Layer::Conv {
-                    w, gw, gb, spec, int_in, ..
+                    w,
+                    gw,
+                    gb,
+                    spec,
+                    int_in,
+                    ..
                 } => {
                     let (lo_in, hi_in) = int_in.as_ref().expect("interval forward first");
                     let (wp, wn) = split_weights(w);
@@ -423,8 +432,10 @@ impl IbpNet {
                     let (lo_in, hi_in) = int_in.as_ref().expect("interval forward first");
                     let (wp, wn) = split_weights(w);
                     // dWp = glo^T lo + ghi^T hi ; dWn = glo^T hi + ghi^T lo.
-                    let pos_part = matmul(&transpose(&glo), lo_in).add(&matmul(&transpose(&ghi), hi_in));
-                    let neg_part = matmul(&transpose(&glo), hi_in).add(&matmul(&transpose(&ghi), lo_in));
+                    let pos_part =
+                        matmul(&transpose(&glo), lo_in).add(&matmul(&transpose(&ghi), hi_in));
+                    let neg_part =
+                        matmul(&transpose(&glo), hi_in).add(&matmul(&transpose(&ghi), lo_in));
                     let dw = Tensor::from_fn(w.dims(), |i| {
                         if w.data()[i] > 0.0 {
                             pos_part.data()[i]
@@ -438,7 +449,8 @@ impl IbpNet {
                     let (batch, out_f) = glo.dims2();
                     for bi in 0..batch {
                         for o in 0..out_f {
-                            gb.data_mut()[o] += glo.data()[bi * out_f + o] + ghi.data()[bi * out_f + o];
+                            gb.data_mut()[o] +=
+                                glo.data()[bi * out_f + o] + ghi.data()[bi * out_f + o];
                         }
                     }
                     let new_glo = matmul(&glo, &wp).add(&matmul(&ghi, &wn));
@@ -519,7 +531,12 @@ impl IbpNet {
     /// # Panics
     ///
     /// Panics on empty data or mismatched lengths.
-    pub fn train(&mut self, images: &Tensor, labels: &[usize], cfg: &IbpTrainConfig) -> IbpTrainReport {
+    pub fn train(
+        &mut self,
+        images: &Tensor,
+        labels: &[usize],
+        cfg: &IbpTrainConfig,
+    ) -> IbpTrainReport {
         let n = images.dims()[0];
         assert_eq!(n, labels.len(), "{n} images, {} labels", labels.len());
         assert!(n > 0 && cfg.batch_size > 0, "empty data or batch");
@@ -555,8 +572,7 @@ impl IbpNet {
                 let mut loss = (1.0 - alpha) * loss_nom;
                 // Worst-case path.
                 if alpha > 0.0 && eps > 0.0 {
-                    let (lo, hi) =
-                        self.forward_interval(&x.add_scalar(-eps), &x.add_scalar(eps));
+                    let (lo, hi) = self.forward_interval(&x.add_scalar(-eps), &x.add_scalar(eps));
                     let z_wc = Self::worst_case_logits(&lo, &hi, &y);
                     let (loss_wc, g_wc) = cross_entropy(&z_wc, &y);
                     // Distribute the worst-case gradient to the bounds it
@@ -896,7 +912,10 @@ mod tests {
         let report = net.train(
             &data.train_images,
             &data.train_labels,
-            &IbpTrainConfig::default(),
+            &IbpTrainConfig {
+                epochs: 60,
+                ..IbpTrainConfig::default()
+            },
         );
         // The combined loss includes the ramped worst-case term, so compare
         // against the pre-ramp epochs rather than demanding monotonicity.

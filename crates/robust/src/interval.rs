@@ -38,12 +38,7 @@ pub fn conv_interval(
 /// # Panics
 ///
 /// Panics if shapes are inconsistent.
-pub fn linear_interval(
-    lo: &Tensor,
-    hi: &Tensor,
-    w: &Tensor,
-    b: &Tensor,
-) -> (Tensor, Tensor) {
+pub fn linear_interval(lo: &Tensor, hi: &Tensor, w: &Tensor, b: &Tensor) -> (Tensor, Tensor) {
     use rustfi_tensor::linalg::{matmul, transpose};
     let (wp, wn) = split_weights(w);
     let wp_t = transpose(&wp);
@@ -176,8 +171,7 @@ mod tests {
         let b = Tensor::zeros(&[1]);
         let spec = ConvSpec::new();
         let width = |eps: f32| {
-            let (lo, hi) =
-                conv_interval(&x.add_scalar(-eps), &x.add_scalar(eps), &w, &b, &spec);
+            let (lo, hi) = conv_interval(&x.add_scalar(-eps), &x.add_scalar(eps), &w, &b, &spec);
             hi.sub(&lo).sum()
         };
         assert!(width(0.2) > width(0.1));

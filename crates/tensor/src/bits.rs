@@ -43,7 +43,11 @@ pub fn bit_of_f32(value: f32, bit: u32) -> bool {
 /// Decomposes an `f32` into `(sign, biased_exponent, mantissa)` fields.
 pub fn fields_of_f32(value: f32) -> (bool, u8, u32) {
     let bits = value.to_bits();
-    ((bits >> 31) != 0, ((bits >> 23) & 0xFF) as u8, bits & 0x7F_FFFF)
+    (
+        (bits >> 31) != 0,
+        ((bits >> 23) & 0xFF) as u8,
+        bits & 0x7F_FFFF,
+    )
 }
 
 #[cfg(test)]
@@ -60,7 +64,10 @@ mod tests {
     fn flip_is_involutive_for_every_bit() {
         for bit in 0..32 {
             let x = 0.734_f32;
-            assert_eq!(flip_bit_f32(flip_bit_f32(x, bit), bit).to_bits(), x.to_bits());
+            assert_eq!(
+                flip_bit_f32(flip_bit_f32(x, bit), bit).to_bits(),
+                x.to_bits()
+            );
         }
     }
 

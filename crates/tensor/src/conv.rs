@@ -54,10 +54,7 @@ impl ConvSpec {
     /// Panics if the kernel (with padding) does not fit in the input.
     pub fn out_size(&self, in_size: usize, k: usize) -> usize {
         let padded = in_size + 2 * self.padding;
-        assert!(
-            padded >= k,
-            "kernel {k} larger than padded input {padded}"
-        );
+        assert!(padded >= k, "kernel {k} larger than padded input {padded}");
         (padded - k) / self.stride + 1
     }
 }
@@ -187,7 +184,12 @@ fn check_conv_args(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSp
         wc,
         c / spec.groups
     );
-    assert_eq!(bias.len(), oc, "bias length {} != out_channels {oc}", bias.len());
+    assert_eq!(
+        bias.len(),
+        oc,
+        "bias length {} != out_channels {oc}",
+        bias.len()
+    );
 }
 
 /// 2-D convolution.
@@ -306,7 +308,18 @@ pub fn conv2d_backward(
             );
             let wt = crate::linalg::transpose(&wmat);
             let gcols = matmul(&wt, &gmat); // [cg*kh*kw, ohw]
-            col2im(&gcols, &mut grad_input, bn, g * cg, cg, kh, kw, spec, oh, ow);
+            col2im(
+                &gcols,
+                &mut grad_input,
+                bn,
+                g * cg,
+                cg,
+                kh,
+                kw,
+                spec,
+                oh,
+                ow,
+            );
         }
     }
 
@@ -340,8 +353,10 @@ mod tests {
                         for ci in 0..cg {
                             for ky in 0..kh {
                                 for kx in 0..kw {
-                                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                                    let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                    let iy =
+                                        (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                    let ix =
+                                        (ox * spec.stride + kx) as isize - spec.padding as isize;
                                     if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
                                         continue;
                                     }
@@ -385,7 +400,11 @@ mod tests {
         let w = Tensor::rand_normal(&[4, 3, 3, 3], 0.0, 0.5, &mut rng);
         let b = Tensor::rand_normal(&[4], 0.0, 0.1, &mut rng);
         let spec = ConvSpec::new().padding(1);
-        assert_close(&conv2d(&x, &w, &b, &spec), &conv2d_naive(&x, &w, &b, &spec), 1e-4);
+        assert_close(
+            &conv2d(&x, &w, &b, &spec),
+            &conv2d_naive(&x, &w, &b, &spec),
+            1e-4,
+        );
     }
 
     #[test]
@@ -395,7 +414,11 @@ mod tests {
         let w = Tensor::rand_normal(&[3, 2, 3, 3], 0.0, 0.5, &mut rng);
         let b = Tensor::zeros(&[3]);
         let spec = ConvSpec::new().stride(2).padding(1);
-        assert_close(&conv2d(&x, &w, &b, &spec), &conv2d_naive(&x, &w, &b, &spec), 1e-4);
+        assert_close(
+            &conv2d(&x, &w, &b, &spec),
+            &conv2d_naive(&x, &w, &b, &spec),
+            1e-4,
+        );
     }
 
     #[test]
@@ -405,7 +428,11 @@ mod tests {
         let w = Tensor::rand_normal(&[6, 2, 3, 3], 0.0, 0.5, &mut rng);
         let b = Tensor::rand_normal(&[6], 0.0, 0.1, &mut rng);
         let spec = ConvSpec::new().padding(1).groups(2);
-        assert_close(&conv2d(&x, &w, &b, &spec), &conv2d_naive(&x, &w, &b, &spec), 1e-4);
+        assert_close(
+            &conv2d(&x, &w, &b, &spec),
+            &conv2d_naive(&x, &w, &b, &spec),
+            1e-4,
+        );
     }
 
     #[test]
@@ -415,7 +442,11 @@ mod tests {
         let w = Tensor::rand_normal(&[4, 1, 3, 3], 0.0, 0.5, &mut rng);
         let b = Tensor::zeros(&[4]);
         let spec = ConvSpec::new().padding(1).groups(4);
-        assert_close(&conv2d(&x, &w, &b, &spec), &conv2d_naive(&x, &w, &b, &spec), 1e-4);
+        assert_close(
+            &conv2d(&x, &w, &b, &spec),
+            &conv2d_naive(&x, &w, &b, &spec),
+            1e-4,
+        );
     }
 
     #[test]

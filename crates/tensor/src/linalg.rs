@@ -29,7 +29,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = a.dims2();
     let (k2, n) = b.dims2();
     assert_eq!(
-        k, k2,
+        k,
+        k2,
         "matmul inner dimension mismatch: {:?} x {:?}",
         a.dims(),
         b.dims()

@@ -144,7 +144,10 @@ impl Tensor {
     /// Panics on an empty tensor.
     pub fn max(&self) -> f32 {
         assert!(!self.is_empty(), "max of empty tensor");
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element.
@@ -277,7 +280,8 @@ impl Tensor {
             let mut part = Tensor::zeros(&[n, sz, h, w]);
             for bn in 0..n {
                 for cc in 0..sz {
-                    part.fmap_mut(bn, cc).copy_from_slice(self.fmap(bn, c_off + cc));
+                    part.fmap_mut(bn, cc)
+                        .copy_from_slice(self.fmap(bn, c_off + cc));
                 }
             }
             out.push(part);

@@ -1,9 +1,14 @@
-//! Scoped-thread data-parallel helpers built on `crossbeam::scope`.
+//! Scoped-thread data-parallel helpers built on [`std::thread::scope`].
 //!
 //! The RustFI stack uses plain data parallelism in two places: large matrix
 //! multiplies inside convolution, and fault-injection campaigns that fan
 //! independent trials across worker threads. Both are expressed with the two
 //! helpers here, so thread management lives in exactly one module.
+//!
+//! The [`shield`] submodule is the campaign-resilience primitive: it runs a
+//! closure under [`std::panic::catch_unwind`] while suppressing the global
+//! panic hook's stderr spew for that thread, so a deliberately isolated
+//! panicking trial neither kills the worker nor floods the terminal.
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -55,7 +60,7 @@ where
         return;
     }
     let per = items.div_ceil(workers);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest = out;
         let mut start = 0;
         while start < items {
@@ -64,11 +69,10 @@ where
             rest = tail;
             let fref = &f;
             let item_start = start;
-            scope.spawn(move |_| fref(item_start, take, head));
+            scope.spawn(move || fref(item_start, take, head));
             start += take;
         }
-    })
-    .expect("parallel worker panicked");
+    });
 }
 
 /// Runs `f(i)` for every `i in 0..n` across worker threads and collects the
@@ -94,12 +98,12 @@ where
     }
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let counter = AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        let results: Vec<_> = (0..workers)
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let fref = &f;
                 let cref = &counter;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local: Vec<(usize, T)> = Vec::new();
                     loop {
                         let i = cref.fetch_add(1, Ordering::Relaxed);
@@ -112,17 +116,108 @@ where
                 })
             })
             .collect();
-        for handle in results {
+        for handle in handles {
             for (i, v) in handle.join().expect("parallel worker panicked") {
                 slots[i] = Some(v);
             }
         }
-    })
-    .expect("parallel scope failed");
+    });
     slots
         .into_iter()
         .map(|s| s.expect("worker skipped an index"))
         .collect()
+}
+
+/// Panic containment for fault-injection trials.
+///
+/// A fault-injection campaign deliberately drives models into pathological
+/// states; a trial that panics (an index assert tripped by an extreme
+/// perturbation, an interrupt raised by a guard hook) must be *recorded*,
+/// not allowed to kill the worker thread — and must not spray a backtrace
+/// for every isolated trial.
+pub mod shield {
+    use std::any::Any;
+    use std::cell::Cell;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Once;
+
+    thread_local! {
+        static SHIELDED: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Installs (once, process-wide) a panic hook that stays silent on
+    /// threads currently inside [`run_quietly`] and delegates to the
+    /// previously installed hook everywhere else.
+    fn install_quiet_hook() {
+        static INSTALL: Once = Once::new();
+        INSTALL.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if !SHIELDED.with(Cell::get) {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    /// Runs `f`, catching any panic it raises. While `f` runs, panics on
+    /// this thread do not reach the panic hook's default stderr output;
+    /// other threads are unaffected. Nested calls are safe.
+    pub fn run_quietly<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn Any + Send>> {
+        install_quiet_hook();
+        struct Restore(bool);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                SHIELDED.with(|s| s.set(self.0));
+            }
+        }
+        let _restore = Restore(SHIELDED.with(|s| s.replace(true)));
+        catch_unwind(AssertUnwindSafe(f))
+    }
+
+    /// Best-effort human-readable message from a caught panic payload.
+    pub fn payload_message(payload: &(dyn Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            String::from("non-string panic payload")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn catches_and_describes_panics() {
+            let caught = run_quietly(|| panic!("boom {}", 42)).unwrap_err();
+            assert_eq!(payload_message(caught.as_ref()), "boom 42");
+            let caught = run_quietly(|| std::panic::panic_any(7u32)).unwrap_err();
+            assert_eq!(payload_message(caught.as_ref()), "non-string panic payload");
+        }
+
+        #[test]
+        fn passes_values_through_on_success() {
+            assert_eq!(run_quietly(|| 1 + 1).unwrap(), 2);
+        }
+
+        #[test]
+        fn shield_flag_restores_after_nesting() {
+            let outer = run_quietly(|| {
+                let inner = run_quietly(|| panic!("inner"));
+                assert!(inner.is_err());
+                // Still shielded after the nested call returns.
+                SHIELDED.with(Cell::get)
+            });
+            assert!(outer.unwrap());
+            assert!(
+                !SHIELDED.with(Cell::get),
+                "flag cleared after outermost call"
+            );
+        }
+    }
 }
 
 #[cfg(test)]

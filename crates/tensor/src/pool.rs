@@ -18,7 +18,10 @@ impl PoolSpec {
     ///
     /// Panics if either is zero.
     pub fn new(kernel: usize, stride: usize) -> Self {
-        assert!(kernel > 0 && stride > 0, "pool kernel/stride must be positive");
+        assert!(
+            kernel > 0 && stride > 0,
+            "pool kernel/stride must be positive"
+        );
         Self { kernel, stride }
     }
 
@@ -86,11 +89,7 @@ pub fn max_pool2d(input: &Tensor, spec: &PoolSpec) -> (Tensor, Vec<usize>) {
 /// # Panics
 ///
 /// Panics if shapes are inconsistent with the forward pass.
-pub fn max_pool2d_backward(
-    grad_out: &Tensor,
-    argmax: &[usize],
-    input_dims: &[usize],
-) -> Tensor {
+pub fn max_pool2d_backward(grad_out: &Tensor, argmax: &[usize], input_dims: &[usize]) -> Tensor {
     let (n, c, oh, ow) = grad_out.dims4();
     assert_eq!(argmax.len(), n * c * oh * ow, "argmax length mismatch");
     let mut grad_input = Tensor::zeros(input_dims);

@@ -6,10 +6,11 @@
 //! count: parallel units each receive a *forked* stream derived from the
 //! parent seed rather than sharing one generator.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 /// A deterministic RNG with explicit seeding and cheap stream forking.
+///
+/// The generator is a self-contained xoshiro256++ (no external dependency),
+/// seeded through a SplitMix64 expansion of the 64-bit seed, so the stack
+/// builds and reproduces results on fully offline machines.
 ///
 /// # Example
 ///
@@ -27,7 +28,7 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
 }
 
@@ -42,10 +43,33 @@ fn splitmix64(mut x: u64) -> u64 {
 impl SeededRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        Self {
-            inner: StdRng::seed_from_u64(seed),
-            seed,
-        }
+        // Expand the seed with SplitMix64, the recommended xoshiro seeding.
+        let mut sm = seed;
+        let mut next = || {
+            sm = splitmix64(sm);
+            sm
+        };
+        let state = [next(), next(), next(), next()];
+        Self { state, seed }
+    }
+
+    /// xoshiro256++ step.
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// The seed this generator was created from.
@@ -59,7 +83,9 @@ impl SeededRng {
     /// been drawn from `self`, which is what makes parallel campaigns
     /// deterministic.
     pub fn fork(&self, stream: u64) -> SeededRng {
-        SeededRng::new(splitmix64(self.seed ^ splitmix64(stream.wrapping_add(0xA5A5_5A5A))))
+        SeededRng::new(splitmix64(
+            self.seed ^ splitmix64(stream.wrapping_add(0xA5A5_5A5A)),
+        ))
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -72,14 +98,20 @@ impl SeededRng {
             lo < hi && lo.is_finite() && hi.is_finite(),
             "invalid uniform bounds [{lo}, {hi})"
         );
-        self.inner.gen_range(lo..hi)
+        let v = (lo as f64 + (hi as f64 - lo as f64) * self.unit_f64()) as f32;
+        // f32 rounding can land exactly on `hi`; keep the half-open contract.
+        if v >= hi {
+            hi.next_down().max(lo)
+        } else {
+            v.max(lo)
+        }
     }
 
     /// Standard normal sample via Box–Muller.
     pub fn standard_normal(&mut self) -> f32 {
         // Box–Muller: u1 in (0,1] avoids ln(0).
-        let u1: f64 = 1.0 - self.inner.gen::<f64>();
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1: f64 = 1.0 - self.unit_f64();
+        let u2: f64 = self.unit_f64();
         ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
     }
 
@@ -95,7 +127,9 @@ impl SeededRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot sample below 0");
-        self.inner.gen_range(0..n)
+        // Lemire's multiply-shift: maps a 64-bit draw onto [0, n) without
+        // modulo bias worth caring about at our range sizes.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -105,18 +139,18 @@ impl SeededRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: usize, hi: usize) -> usize {
         assert!(lo < hi, "invalid integer range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Bernoulli trial with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen::<f64>() < p
+        self.unit_f64() < p
     }
 
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i + 1);
             items.swap(i, j);
         }
     }
@@ -190,7 +224,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50-element shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "50-element shuffle left input unchanged"
+        );
     }
 
     #[test]

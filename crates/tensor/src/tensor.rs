@@ -222,7 +222,11 @@ impl Tensor {
     /// Panics if the tensor is not rank 4 or the indices are out of range.
     pub fn fmap(&self, n: usize, c: usize) -> &[f32] {
         let (bn, bc, h, w) = self.dims4();
-        assert!(n < bn && c < bc, "fmap ({n},{c}) out of range for {:?}", self.shape);
+        assert!(
+            n < bn && c < bc,
+            "fmap ({n},{c}) out of range for {:?}",
+            self.shape
+        );
         let hw = h * w;
         let start = (n * bc + c) * hw;
         &self.data[start..start + hw]
@@ -235,7 +239,11 @@ impl Tensor {
     /// Panics if the tensor is not rank 4 or the indices are out of range.
     pub fn fmap_mut(&mut self, n: usize, c: usize) -> &mut [f32] {
         let (bn, bc, h, w) = self.dims4();
-        assert!(n < bn && c < bc, "fmap ({n},{c}) out of range for {:?}", self.shape);
+        assert!(
+            n < bn && c < bc,
+            "fmap ({n},{c}) out of range for {:?}",
+            self.shape
+        );
         let hw = h * w;
         let start = (n * bc + c) * hw;
         &mut self.data[start..start + hw]
@@ -250,7 +258,10 @@ impl Tensor {
         let (bn, c, h, w) = self.dims4();
         assert!(n < bn, "batch index {n} out of range for {:?}", self.shape);
         let stride = c * h * w;
-        Tensor::from_vec(self.data[n * stride..(n + 1) * stride].to_vec(), &[1, c, h, w])
+        Tensor::from_vec(
+            self.data[n * stride..(n + 1) * stride].to_vec(),
+            &[1, c, h, w],
+        )
     }
 
     /// Stacks `1CHW` tensors along the batch axis.

@@ -40,7 +40,10 @@ fn main() -> Result<(), rustfi::FiError> {
         .collect();
 
     let scene = &scenes[0];
-    println!("\nscene (red channel):\n{}", render_channel(&scene.image, 0, 0));
+    println!(
+        "\nscene (red channel):\n{}",
+        render_channel(&scene.image, 0, 0)
+    );
     println!("ground truth: {:?}\n", scene.objects);
 
     // Clean run.
@@ -60,15 +63,16 @@ fn main() -> Result<(), rustfi::FiError> {
         fi.declare_neuron_fi(&per_layer_faults)?;
         let raw = fi.forward(&scene.image);
         let cands = rustfi_detect::decode_grid(&raw, 0, det_cfg.num_classes);
-        let dets = rustfi_detect::nms(
-            cands.into_iter().filter(|d| d.score >= 0.4).collect(),
-            0.4,
-        );
+        let dets = rustfi_detect::nms(cands.into_iter().filter(|d| d.score >= 0.4).collect(), 0.4);
         let diff = diff_detections(&dets, &scene.objects, 0.3);
         println!(
             "faulty #{trial}: {} detections, {diff:?}{}",
             dets.len(),
-            if diff.phantom > 0 { "  <- phantom objects!" } else { "" }
+            if diff.phantom > 0 {
+                "  <- phantom objects!"
+            } else {
+                ""
+            }
         );
     }
     Ok(())

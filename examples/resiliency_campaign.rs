@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --example resiliency_campaign --release`
 
-use rustfi::{models, Campaign, CampaignConfig, FaultMode, NeuronSelect};
+use rustfi::{models, Campaign, CampaignConfig, FaultMode, GuardMode, NeuronSelect};
 use rustfi_data::SynthSpec;
 use rustfi_nn::train::{accuracy, fit, TrainConfig};
 use rustfi_nn::{checkpoint, zoo, ZooConfig};
@@ -16,7 +16,11 @@ fn main() {
     // §IV-A setting, scaled down).
     let data = SynthSpec::imagenet_like().generate();
     let mut net = zoo::alexnet(&ZooConfig::imagenet_like());
-    println!("training alexnet on {} ({} images)...", data.name, data.train_len());
+    println!(
+        "training alexnet on {} ({} images)...",
+        data.name,
+        data.train_len()
+    );
     let report = fit(
         &mut net,
         &data.train_images,
@@ -51,17 +55,32 @@ fn main() {
         Arc::new(models::BitFlipInt8::new(models::BitSelect::Random)),
     );
     let trials = 4000;
-    println!("running {trials} INT8 bit-flip injections...");
-    let result = campaign.run(&CampaignConfig {
-        trials,
-        seed: 1,
-        threads: None,
-        int8_activations: true,
-    });
+    println!("running {trials} INT8 bit-flip injections (journaled, guarded)...");
+    // A journaled run survives being killed: rerunning this example resumes
+    // from the journal and replays finished trials bit-identically. The
+    // guard hooks attribute any NaN/Inf DUE to the layer that produced it.
+    let journal = std::env::temp_dir().join("rustfi-example-campaign.jsonl");
+    let result = campaign
+        .run_journaled(
+            &CampaignConfig {
+                trials,
+                seed: 1,
+                int8_activations: true,
+                guard: GuardMode::Record,
+                ..CampaignConfig::default()
+            },
+            &journal,
+        )
+        .expect("campaign runs to completion");
 
     println!(
-        "eligible images: {} | outcomes: {} masked, {} SDC, {} DUE",
-        result.eligible_images, result.counts.masked, result.counts.sdc, result.counts.due
+        "eligible images: {} | outcomes: {} masked, {} SDC, {} DUE, {} crash, {} hang",
+        result.eligible_images,
+        result.counts.masked,
+        result.counts.sdc,
+        result.counts.due,
+        result.counts.crash,
+        result.counts.hang
     );
     println!(
         "SDC rate: {:.3}% (99% CI ±{:.3}%), mean confidence delta {:+.4}",
@@ -80,4 +99,5 @@ fn main() {
         );
     }
     std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(&journal).ok();
 }

@@ -61,12 +61,14 @@ fn main() {
             FaultMode::Neuron(NeuronSelect::Random),
             Arc::new(models::BitFlipInt8::new(models::BitSelect::Random)),
         );
-        let result = campaign.run(&CampaignConfig {
-            trials,
-            seed: 11,
-            threads: None,
-            int8_activations: true,
-        });
+        let result = campaign
+            .run(&CampaignConfig {
+                trials,
+                seed: 11,
+                int8_activations: true,
+                ..CampaignConfig::default()
+            })
+            .expect("campaign config is valid");
         std::fs::remove_file(&ckpt).ok();
         result
     };

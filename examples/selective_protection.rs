@@ -37,7 +37,10 @@ fn main() {
         .cloned()
         .collect();
     let layer = 2;
-    let channels = conv_infos[layer].weight_dims.as_ref().expect("conv has weights")[0];
+    let channels = conv_infos[layer]
+        .weight_dims
+        .as_ref()
+        .expect("conv has weights")[0];
     println!(
         "profiling layer {layer} ({}, {channels} feature maps) with stuck-at-30 injections",
         conv_infos[layer].name

@@ -2,8 +2,8 @@
 //! training → fault injection → outcome metrics.
 
 use rustfi::{
-    models, BatchSelect, Campaign, CampaignConfig, FaultInjector, FaultMode, FiConfig,
-    NeuronFault, NeuronSelect, OutcomeKind, WeightFault, WeightSelect,
+    models, BatchSelect, Campaign, CampaignConfig, FaultInjector, FaultMode, FiConfig, NeuronFault,
+    NeuronSelect, OutcomeKind, WeightFault, WeightSelect,
 };
 use rustfi_data::SynthSpec;
 use rustfi_nn::train::{accuracy, fit, TrainConfig};
@@ -83,12 +83,15 @@ fn campaign_over_trained_model_with_checkpoint_factory() {
         FaultMode::Neuron(NeuronSelect::Random),
         Arc::new(models::BitFlipInt8::new(models::BitSelect::Random)),
     );
-    let result = campaign.run(&CampaignConfig {
-        trials: 300,
-        seed: 3,
-        threads: Some(3),
-        int8_activations: true,
-    });
+    let result = campaign
+        .run(&CampaignConfig {
+            trials: 300,
+            seed: 3,
+            threads: Some(3),
+            int8_activations: true,
+            ..CampaignConfig::default()
+        })
+        .unwrap();
     assert_eq!(result.counts.total(), 300);
     assert!(result.eligible_images > data.test_len() / 2);
     // Single INT8 bit flips are mostly masked (the paper's headline).
@@ -124,9 +127,9 @@ fn bigger_perturbations_cause_more_corruption() {
         .run(&CampaignConfig {
             trials: 250,
             seed: 9,
-            threads: None,
-            int8_activations: false,
+            ..CampaignConfig::default()
         })
+        .unwrap()
         .counts
     };
     let small = run(Arc::new(models::RandomUniform::new(-0.01, 0.01)));
@@ -136,6 +139,69 @@ fn bigger_perturbations_cause_more_corruption() {
         "1e8 stuck-at ({huge:?}) should corrupt more than ±0.01 noise ({small:?})"
     );
     std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn crashy_campaign_completes_isolates_and_resumes() {
+    let data = small_dataset();
+    let mut net = trained_lenet(&data);
+    let ckpt = std::env::temp_dir().join(format!("rustfi-it3-{}.ckpt", std::process::id()));
+    checkpoint::save(&mut net, &ckpt).unwrap();
+    let path = ckpt.clone();
+    let factory = move || {
+        let mut n = zoo::lenet(&ZooConfig::cifar10_like());
+        checkpoint::load(&mut n, &path).unwrap();
+        n
+    };
+
+    // A perturbation model that panics on a seeded ~15% of trials.
+    let campaign = Campaign::new(
+        &factory,
+        &data.test_images,
+        &data.test_labels,
+        FaultMode::Neuron(NeuronSelect::Random),
+        Arc::new(models::Custom::new("crashy", |old, ctx| {
+            if ctx.rng.chance(0.15) {
+                panic!("simulated perturbation bug");
+            }
+            old * -8.0
+        })),
+    );
+    let cfg = CampaignConfig {
+        trials: 60,
+        seed: 21,
+        threads: Some(2),
+        ..CampaignConfig::default()
+    };
+    let result = campaign.run(&cfg).unwrap();
+    assert_eq!(result.counts.total(), 60, "every trial completes");
+    assert!(
+        result.counts.crash > 0,
+        "some trials crash: {:?}",
+        result.counts
+    );
+    // Crash isolation keeps determinism across thread counts.
+    let single = campaign
+        .run(&CampaignConfig {
+            threads: Some(1),
+            ..cfg.clone()
+        })
+        .unwrap();
+    assert_eq!(result, single);
+
+    // Journal, kill after a prefix, resume: bit-identical result.
+    let journal = std::env::temp_dir().join(format!("rustfi-it3-{}.jsonl", std::process::id()));
+    std::fs::remove_file(&journal).ok();
+    let journaled = campaign.run_journaled(&cfg, &journal).unwrap();
+    assert_eq!(journaled, result);
+    let text = std::fs::read_to_string(&journal).unwrap();
+    let prefix: Vec<&str> = text.lines().take(20).collect();
+    std::fs::write(&journal, format!("{}\n", prefix.join("\n"))).unwrap();
+    let resumed = campaign.resume(&cfg, &journal).unwrap();
+    assert_eq!(resumed, result, "resume is bit-identical");
+
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(&journal).ok();
 }
 
 #[test]

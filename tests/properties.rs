@@ -1,11 +1,15 @@
 //! Property-based tests (proptest) of the stack's core invariants.
 
 use proptest::prelude::*;
-use rustfi::{models, BatchSelect, NeuronSelect, PerturbationModel, WeightSelect};
-use rustfi_nn::{zoo, ZooConfig};
+use rustfi::{
+    models, BatchSelect, Campaign, CampaignConfig, FaultMode, NeuronSelect, PerturbationModel,
+    WeightSelect,
+};
+use rustfi_nn::{zoo, Network, ZooConfig};
 use rustfi_quant::int8;
 use rustfi_tensor::bits;
 use rustfi_tensor::{SeededRng, Tensor};
+use std::sync::Arc;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -151,6 +155,49 @@ proptest! {
         let i2 = rustfi_detect::iou(&b, &a);
         prop_assert!((0.0..=1.0 + 1e-6).contains(&i1));
         prop_assert!((i1 - i2).abs() < 1e-5);
+    }
+
+    /// Trial isolation never breaks campaign determinism: for any seed and
+    /// any crash probability, a campaign whose perturbation model panics on
+    /// a seeded fraction of trials produces identical records — including
+    /// *which* trials crashed — on 1 worker and on 4, and accounts for every
+    /// trial.
+    #[test]
+    fn crashy_campaigns_are_thread_count_invariant(seed in any::<u64>(), crash_p in 0.05f64..0.5) {
+        fn tiny_lenet() -> Network {
+            zoo::lenet(&ZooConfig::tiny(4))
+        }
+        let images = Tensor::from_fn(&[5, 3, 16, 16], |i| ((i as f32) * 0.011).sin());
+        let mut probe = tiny_lenet();
+        let labels: Vec<usize> = (0..images.dims()[0])
+            .map(|i| rustfi::metrics::top1(probe.forward(&images.select_batch(i)).data()))
+            .collect();
+        let campaign = Campaign::new(
+            &tiny_lenet,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(models::Custom::new("crashy", move |old, ctx| {
+                if ctx.rng.chance(crash_p) {
+                    panic!("seeded perturbation crash");
+                }
+                old + 1e5
+            })),
+        );
+        let run = |threads| {
+            campaign
+                .run(&CampaignConfig {
+                    trials: 12,
+                    seed,
+                    threads: Some(threads),
+                    ..CampaignConfig::default()
+                })
+                .unwrap()
+        };
+        let single = run(1);
+        let four = run(4);
+        prop_assert_eq!(&single, &four);
+        prop_assert_eq!(single.counts.total(), 12);
     }
 
     /// Interval convolution bounds always contain the nominal output.

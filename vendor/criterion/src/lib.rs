@@ -1,0 +1,214 @@
+//! Offline mini-criterion.
+//!
+//! The RustFI build environment is hermetic (no crates.io), so this crate
+//! implements the small slice of the `criterion` API the workspace's benches
+//! use: `benchmark_group` / `bench_function` / `bench_with_input` /
+//! `BenchmarkId` / `black_box` and the `criterion_group!` / `criterion_main!`
+//! macros.
+//!
+//! Statistics are deliberately simple — a short warm-up followed by timed
+//! batches, reporting mean wall-clock time per iteration — which is enough
+//! for the relative comparisons (figure reproductions, ablations) these
+//! benches exist to make.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, matching criterion's display convention.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A bare parameter id (criterion's `from_parameter`).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean time per call.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up: run a few times so first-touch costs (allocation, page
+        // faults, lazy init) don't pollute the measurement.
+        let warmups = 2.min(self.sample_size);
+        for _ in 0..warmups {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.report(total);
+    }
+
+    fn report(&self, total: Duration) {
+        let mean = total.as_secs_f64() / self.sample_size as f64;
+        println!(
+            "    time: {} (mean of {} iterations)",
+            format_seconds(mean),
+            self.sample_size
+        );
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function(&mut self, id: impl Display, routine: impl FnMut(&mut Bencher)) {
+        self.run(id, routine);
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(id, |b| routine(b, input));
+    }
+
+    /// Ends the group (present for API parity; reporting is immediate).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: impl Display, mut routine: impl FnMut(&mut Bencher)) {
+        println!("{}/{}", self.name, id);
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher);
+    }
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function(&mut self, id: impl Display, routine: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, routine);
+        group.finish();
+    }
+}
+
+/// Bundles benchmark functions under one name, as upstream criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups (CLI arguments are ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        // 2 warm-ups + 3 timed iterations.
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(1);
+        group.bench_with_input(BenchmarkId::new("sq", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("conv", 32).to_string(), "conv/32");
+        assert_eq!(BenchmarkId::from_parameter(5).to_string(), "5");
+    }
+}
