@@ -1,0 +1,48 @@
+//! Ablation for the observability layer: forward-pass cost of the recorder
+//! hook-points.
+//!
+//! Three variants run the same LeNet forward pass:
+//! - `no_recorder`: observability disabled (the `None` fast path — one branch
+//!   per child dispatch);
+//! - `null_recorder`: a [`NullRecorder`] installed — every hook-point fires
+//!   but resolves to an inlined no-op. The zero-cost claim is that this is
+//!   indistinguishable from `no_recorder`;
+//! - `trace_recorder`: the full [`TraceRecorder`] buffering spans, the price
+//!   of actually collecting a profile.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rustfi_nn::{zoo, Network, ZooConfig};
+use rustfi_obs::{NullRecorder, Recorder, TraceRecorder};
+use rustfi_tensor::{SeededRng, Tensor};
+use std::sync::Arc;
+
+fn lenet_with(recorder: Option<Arc<dyn Recorder>>) -> Network {
+    let mut net = zoo::lenet(&ZooConfig::tiny(10));
+    net.set_recorder(recorder);
+    net
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let input = Tensor::rand_normal(&[1, 3, 16, 16], 0.0, 1.0, &mut SeededRng::new(1));
+    let mut group = c.benchmark_group("ablation_obs_overhead");
+    group.sample_size(30);
+
+    let mut clean = lenet_with(None);
+    group.bench_function("no_recorder", |b| {
+        b.iter(|| std::hint::black_box(clean.forward(&input)))
+    });
+
+    let mut null = lenet_with(Some(Arc::new(NullRecorder)));
+    group.bench_function("null_recorder", |b| {
+        b.iter(|| std::hint::black_box(null.forward(&input)))
+    });
+
+    let mut traced = lenet_with(Some(Arc::new(TraceRecorder::new())));
+    group.bench_function("trace_recorder", |b| {
+        b.iter(|| std::hint::black_box(traced.forward(&input)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

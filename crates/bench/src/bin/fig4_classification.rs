@@ -79,17 +79,18 @@ fn guard_ablation(
         Arc::new(models::StuckAt::new(f32::INFINITY)),
     );
     let timed = |guard| {
-        let start = std::time::Instant::now();
-        let result = campaign
-            .run(&CampaignConfig {
-                trials,
-                seed: 0x6A2D,
-                int8_activations: true,
-                guard,
-                ..CampaignConfig::default()
-            })
-            .expect("campaign config is valid");
-        (start.elapsed().as_secs_f64(), result)
+        let (result, elapsed) = rustfi_obs::time(|| {
+            campaign
+                .run(&CampaignConfig {
+                    trials,
+                    seed: 0x6A2D,
+                    int8_activations: true,
+                    guard,
+                    ..CampaignConfig::default()
+                })
+                .expect("campaign config is valid")
+        });
+        (elapsed.as_secs_f64(), result)
     };
     let (t_record, record) = timed(GuardMode::Record);
     let (t_short, short) = timed(GuardMode::ShortCircuit);

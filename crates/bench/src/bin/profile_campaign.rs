@@ -1,0 +1,145 @@
+//! Campaign profiler: runs a neuron bit-flip campaign with the full
+//! observability stack armed and reports where the time goes.
+//!
+//! Output:
+//! - a per-layer table joining forward wall time (from layer spans) with
+//!   injection trials and SDC counts (from the campaign result);
+//! - trial latency summary and kernel-call counters;
+//! - a Chrome `trace_event` JSON file loadable in Perfetto or
+//!   `chrome://tracing` (one row per worker thread, one slice per layer);
+//! - the Prometheus text exposition of all counters and timings.
+//!
+//! The model is untrained and labels are aligned to its own clean
+//! predictions, so every image is campaign-eligible without a training run.
+//!
+//! Run with: `cargo run -p rustfi-bench --bin profile_campaign --release`
+//! Knobs: `RUSTFI_TRIALS` (default 200), `RUSTFI_MODEL` (default alexnet),
+//! `RUSTFI_THREADS` (default: all cores), `RUSTFI_TRACE_PATH` (default
+//! `profile_campaign.trace.json`), `RUSTFI_EVENTS_PATH` (optional JSONL
+//! event-stream dump).
+
+use rustfi::{
+    models, Campaign, CampaignConfig, FaultMode, GuardMode, ModelProfile, NeuronSelect,
+    ProgressRecorder,
+};
+use rustfi_bench::env_usize;
+use rustfi_nn::{train, zoo, ZooConfig};
+use rustfi_obs::{Recorder, TraceRecorder};
+use rustfi_tensor::{opcount, Tensor};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn env_str(name: &str, default: &str) -> String {
+    std::env::var(name).unwrap_or_else(|_| default.to_string())
+}
+
+fn main() {
+    let trials = env_usize("RUSTFI_TRIALS", 200);
+    let model = env_str("RUSTFI_MODEL", "alexnet");
+    let threads = std::env::var("RUSTFI_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let trace_path = PathBuf::from(env_str("RUSTFI_TRACE_PATH", "profile_campaign.trace.json"));
+
+    let cfg = ZooConfig::imagenet_like();
+    let factory = || zoo::by_name(&model, &cfg).unwrap_or_else(|| panic!("unknown model {model}"));
+    let images = Tensor::from_fn(&[8, cfg.in_channels, cfg.image_hw, cfg.image_hw], |i| {
+        ((i as f32) * 0.013).sin()
+    });
+    let labels = train::predict(&mut factory(), &images, 8);
+
+    println!("profile_campaign — {model} (untrained, imagenet-like config), {trials} trials");
+    opcount::reset();
+    opcount::enable(true);
+    let recorder = Arc::new(TraceRecorder::new());
+    let campaign = Campaign::new(
+        &factory,
+        &images,
+        &labels,
+        FaultMode::Neuron(NeuronSelect::Random),
+        Arc::new(models::BitFlipFp32::new(models::BitSelect::Random)),
+    );
+    let result = campaign
+        .run(&CampaignConfig {
+            trials,
+            seed: 0x9806,
+            threads,
+            guard: GuardMode::Record,
+            recorder: Some(recorder.clone() as Arc<dyn Recorder>),
+            progress: Some(ProgressRecorder::stderr(trials.div_ceil(10).max(1))),
+            ..CampaignConfig::default()
+        })
+        .expect("campaign config is valid");
+    opcount::enable(false);
+
+    // Join the recorder's per-layer wall time (keyed by network layer index)
+    // with the campaign's per-injectable-layer trial/SDC counts.
+    let snap = recorder.snapshot();
+    let profile = ModelProfile::discover(
+        &mut factory(),
+        [1, cfg.in_channels, cfg.image_hw, cfg.image_hw],
+    );
+    println!(
+        "\n{:<5} {:<8} {:<24} {:>8} {:>10} {:>10} {:>7} {:>5}",
+        "layer", "kind", "name", "calls", "mean µs", "total ms", "trials", "SDC"
+    );
+    for row in snap.layer_times() {
+        let injected = profile
+            .layers()
+            .iter()
+            .position(|l| l.id.index() == row.layer)
+            .and_then(|i| result.per_layer.get(i));
+        let (t, s) = injected.copied().unwrap_or((0, 0));
+        println!(
+            "{:<5} {:<8} {:<24} {:>8} {:>10.1} {:>10.2} {:>7} {:>5}",
+            row.layer,
+            row.kind,
+            row.name,
+            row.calls,
+            row.mean_ns() as f64 / 1_000.0,
+            row.total_ns as f64 / 1e6,
+            t,
+            s
+        );
+    }
+
+    if let Some(stat) = snap.timings.get("campaign.trial_ns") {
+        println!(
+            "\ntrials: {} | mean {:.2} ms | min {:.2} ms | max {:.2} ms",
+            stat.count,
+            stat.mean_ns() as f64 / 1e6,
+            stat.min_ns as f64 / 1e6,
+            stat.max_ns as f64 / 1e6
+        );
+    }
+    let (convs, matmuls) = opcount::snapshot();
+    println!("kernel calls: conv2d {convs} | matmul {matmuls}");
+    println!(
+        "outcomes: masked {} sdc {} due {} crash {} hang {} (SDC rate {:.3}%)",
+        result.counts.masked,
+        result.counts.sdc,
+        result.counts.due,
+        result.counts.crash,
+        result.counts.hang,
+        100.0 * result.sdc_rate()
+    );
+
+    recorder
+        .write_chrome_trace(&trace_path)
+        .expect("write chrome trace");
+    println!(
+        "\nwrote {} spans + {} events to {} (load in Perfetto / chrome://tracing)",
+        snap.spans.len(),
+        snap.events.len(),
+        trace_path.display()
+    );
+    if let Ok(events_path) = std::env::var("RUSTFI_EVENTS_PATH") {
+        let events_path = PathBuf::from(events_path);
+        recorder
+            .write_events_jsonl(&events_path)
+            .expect("write events jsonl");
+        println!("wrote event stream to {}", events_path.display());
+    }
+
+    println!("\n# Prometheus exposition\n{}", recorder.prometheus());
+}

@@ -207,15 +207,7 @@ pub fn outcome_table_row(name: &str, accuracy: Option<f32>, r: &CampaignResult) 
     )
 }
 
-/// Mean wall-clock seconds per call of `f` over `n` calls (after one warmup).
-pub fn mean_seconds(n: usize, mut f: impl FnMut()) -> f64 {
-    f();
-    let start = std::time::Instant::now();
-    for _ in 0..n {
-        f();
-    }
-    start.elapsed().as_secs_f64() / n as f64
-}
+pub use rustfi_obs::mean_seconds;
 
 #[cfg(test)]
 mod tests {

@@ -30,10 +30,15 @@ use crate::metrics::{classify_outcome, confidence, top1, OutcomeCounts, OutcomeK
 use crate::perturbation::PerturbationModel;
 use parking_lot::Mutex;
 use rustfi_nn::{DeadlineInterrupt, GuardConfig, GuardHook, Network, NonFiniteInterrupt};
+use rustfi_obs::{
+    now_ns, thread_tid, Event as ObsEvent, LocalRecorder, Recorder, SpanRecord, TrialOutcomeEvent,
+};
 use rustfi_tensor::{parallel, SeededRng, Tensor};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// What kind of fault each trial plans.
 #[derive(Debug, Clone)]
@@ -61,8 +66,105 @@ pub enum GuardMode {
     ShortCircuit,
 }
 
+/// A live snapshot of campaign progress, handed to a
+/// [`ProgressRecorder`]'s sink every reporting interval.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgressUpdate {
+    /// Trials finished so far (journal-replayed trials included).
+    pub done: usize,
+    /// Total trials the campaign will run.
+    pub total: usize,
+    /// Wall time since the workers started.
+    pub elapsed: Duration,
+    /// Running outcome tallies.
+    pub counts: OutcomeCounts,
+}
+
+impl ProgressUpdate {
+    /// Completed trials per second of wall time.
+    pub fn trials_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.done as f64 / secs
+        }
+    }
+
+    /// Estimated wall time until the campaign finishes, extrapolated from
+    /// the current rate.
+    pub fn eta(&self) -> Duration {
+        let rate = self.trials_per_sec();
+        if rate <= 0.0 || self.done >= self.total {
+            return Duration::ZERO;
+        }
+        Duration::from_secs_f64((self.total - self.done) as f64 / rate)
+    }
+
+    /// One-line human-readable rendering.
+    pub fn render(&self) -> String {
+        let c = &self.counts;
+        format!(
+            "trials {}/{} ({:.1}/s, ETA {:.1}s) | masked {} sdc {} due {} crash {} hang {}",
+            self.done,
+            self.total,
+            self.trials_per_sec(),
+            self.eta().as_secs_f64(),
+            c.masked,
+            c.sdc,
+            c.due,
+            c.crash,
+            c.hang
+        )
+    }
+}
+
+/// Periodic live progress reporting for campaigns.
+///
+/// The sink runs on whichever worker thread finishes the interval's last
+/// trial, so it must be cheap and thread-safe. Reporting never affects trial
+/// results (randomness is position-based).
+#[derive(Clone)]
+pub struct ProgressRecorder {
+    every: usize,
+    sink: Arc<dyn Fn(&ProgressUpdate) + Send + Sync>,
+}
+
+impl ProgressRecorder {
+    /// Calls `sink` after every `every` finished trials (and at completion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn new(every: usize, sink: impl Fn(&ProgressUpdate) + Send + Sync + 'static) -> Self {
+        assert!(every > 0, "progress interval must be positive");
+        Self {
+            every,
+            sink: Arc::new(sink),
+        }
+    }
+
+    /// A reporter that prints [`ProgressUpdate::render`] to stderr.
+    pub fn stderr(every: usize) -> Self {
+        Self::new(every, |u| eprintln!("{}", u.render()))
+    }
+
+    /// The reporting interval in trials.
+    pub fn every(&self) -> usize {
+        self.every
+    }
+}
+
+impl std::fmt::Debug for ProgressRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressRecorder")
+            .field("every", &self.every)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Campaign-level knobs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CampaignConfig {
     /// Number of injection trials.
     pub trials: usize,
@@ -79,6 +181,13 @@ pub struct CampaignConfig {
     /// leaf layers is cut short and classified [`OutcomeKind::Hang`].
     /// `None` disables the watchdog.
     pub max_steps: Option<usize>,
+    /// Observability sink. Workers buffer spans/events/counters into
+    /// per-thread recorders and merge them here at trial boundaries, so
+    /// recording neither serializes workers nor perturbs results (a property
+    /// test asserts bit-identical records with and without a recorder).
+    pub recorder: Option<Arc<dyn Recorder>>,
+    /// Live progress reporting (trials done, rate, ETA, outcome tallies).
+    pub progress: Option<ProgressRecorder>,
 }
 
 impl Default for CampaignConfig {
@@ -90,8 +199,32 @@ impl Default for CampaignConfig {
             int8_activations: false,
             guard: GuardMode::Off,
             max_steps: None,
+            recorder: None,
+            progress: None,
         }
     }
+}
+
+impl std::fmt::Debug for CampaignConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignConfig")
+            .field("trials", &self.trials)
+            .field("seed", &self.seed)
+            .field("threads", &self.threads)
+            .field("int8_activations", &self.int8_activations)
+            .field("guard", &self.guard)
+            .field("max_steps", &self.max_steps)
+            .field("recorder", &self.recorder.is_some())
+            .field("progress", &self.progress)
+            .finish()
+    }
+}
+
+/// Shared progress bookkeeping for one campaign run.
+struct ProgressState {
+    done: AtomicUsize,
+    counts: Mutex<OutcomeCounts>,
+    start: Instant,
 }
 
 /// One trial's record.
@@ -343,14 +476,46 @@ impl<'a> Campaign<'a> {
         let images = self.images;
         let labels = self.labels;
         let journal_ref = journal.as_ref();
+        let shared_recorder = cfg.recorder.clone();
+        let shared_recorder = shared_recorder.as_ref();
+        let progress = cfg.progress.clone();
+        // Journal-replayed trials count as already done so a resumed
+        // campaign's progress line starts from where the previous run ended.
+        let progress_state = progress.as_ref().map(|_| {
+            let mut counts = OutcomeCounts::default();
+            let mut done = 0usize;
+            if let Some(j) = journal_ref {
+                for r in j.done.values() {
+                    counts.record(&r.outcome);
+                    done += 1;
+                }
+            }
+            ProgressState {
+                done: AtomicUsize::new(done),
+                counts: Mutex::new(counts),
+                start: Instant::now(),
+            }
+        });
+        let progress_state = progress_state.as_ref();
+        let progress = progress.as_ref();
 
         let worker_results: Vec<Result<Vec<TrialRecord>, FiError>> =
             parallel::map_indexed(workers, |w| {
+                // Per-worker observability buffer; merged into the shared
+                // recorder at trial boundaries (one lock-free push per trial)
+                // so recording never serializes workers.
+                let local: Option<Arc<LocalRecorder>> =
+                    shared_recorder.map(|_| Arc::new(LocalRecorder::new()));
                 // A fresh injector (+ guard) for this worker; also used to
                 // rebuild after a crashed trial, whose unwind may have left
                 // the network mid-mutation.
                 let build = || -> Result<(FaultInjector, Option<GuardHook>), FiError> {
                     let mut fi = FaultInjector::new((factory)(), FiConfig::for_input(&input_dims))?;
+                    if let Some(l) = &local {
+                        // Before the guard install, so guard events route
+                        // through the same buffer.
+                        fi.set_recorder(Some(Arc::clone(l) as Arc<dyn Recorder>));
+                    }
                     if cfg.int8_activations {
                         fi.enable_int8_activations();
                     }
@@ -383,6 +548,8 @@ impl<'a> Campaign<'a> {
                     let golden_label = labels[image_index];
                     fi.restore();
                     fi.reseed(trial_seed);
+                    fi.set_trial(Some(t));
+                    let trial_start = local.as_ref().map(|_| now_ns());
                     if let Some(g) = &guard {
                         g.reset();
                     }
@@ -501,6 +668,47 @@ impl<'a> Campaign<'a> {
                     };
                     if let Some(j) = journal_ref {
                         j.writer.lock().append(&record, &j.path)?;
+                    }
+                    if let (Some(l), Some(start)) = (&local, trial_start) {
+                        let dur = now_ns().saturating_sub(start);
+                        l.span(SpanRecord {
+                            name: format!("trial {t}"),
+                            kind: "trial",
+                            layer: None,
+                            start_ns: start,
+                            dur_ns: dur,
+                            tid: thread_tid(),
+                        });
+                        l.observe_ns("campaign.trial_ns", dur);
+                        l.event(ObsEvent::TrialOutcome(TrialOutcomeEvent {
+                            trial: t,
+                            layer: record.layer,
+                            outcome: record.outcome.label(),
+                            due_layer: record.due_layer,
+                        }));
+                        // Trial boundary: hand the whole buffer to the shared
+                        // recorder in one lock-free merge.
+                        if let Some(shared) = shared_recorder {
+                            l.flush_into(&**shared);
+                        }
+                    }
+                    if let Some(p) = progress_state {
+                        let done = {
+                            let mut c = p.counts.lock();
+                            c.record(&record.outcome);
+                            p.done.fetch_add(1, Ordering::Relaxed) + 1
+                        };
+                        if let Some(pr) = progress {
+                            if done % pr.every() == 0 || done == trials {
+                                let counts = *p.counts.lock();
+                                (pr.sink)(&ProgressUpdate {
+                                    done,
+                                    total: trials,
+                                    elapsed: p.start.elapsed(),
+                                    counts,
+                                });
+                            }
+                        }
                     }
                     records.push(record);
                     t += workers;
@@ -926,6 +1134,112 @@ mod tests {
         // And the journal is now complete: resuming again runs nothing new.
         let again = campaign.run_journaled(&cfg, &path).unwrap();
         assert_eq!(again, uninterrupted);
+    }
+
+    #[test]
+    fn recording_and_progress_leave_results_bit_identical() {
+        use rustfi_obs::TraceRecorder;
+
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(StuckAt::new(f32::INFINITY)),
+        );
+        let cfg = CampaignConfig {
+            trials: 24,
+            seed: 13,
+            threads: Some(2),
+            guard: GuardMode::Record,
+            ..CampaignConfig::default()
+        };
+        let plain = campaign.run(&cfg).unwrap();
+
+        let rec = Arc::new(TraceRecorder::new());
+        let updates: Arc<Mutex<Vec<ProgressUpdate>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_updates = Arc::clone(&updates);
+        let observed = campaign
+            .run(&CampaignConfig {
+                recorder: Some(rec.clone() as Arc<dyn Recorder>),
+                progress: Some(ProgressRecorder::new(5, move |u| {
+                    sink_updates.lock().push(*u);
+                })),
+                ..cfg.clone()
+            })
+            .unwrap();
+        assert_eq!(observed, plain, "observation never changes outcomes");
+
+        let snap = rec.snapshot();
+        let trial_spans = snap.spans.iter().filter(|s| s.kind == "trial").count();
+        assert_eq!(trial_spans, 24, "one trial span per trial");
+        assert!(
+            snap.spans.iter().any(|s| s.kind == "conv"),
+            "layer spans flowed through the worker recorders"
+        );
+        let outcomes: Vec<_> = snap
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                rustfi_obs::Event::TrialOutcome(o) => Some(o.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(outcomes.len(), 24);
+        let mut trials_seen: Vec<usize> = outcomes.iter().map(|o| o.trial).collect();
+        trials_seen.sort_unstable();
+        assert_eq!(trials_seen, (0..24).collect::<Vec<_>>());
+        // Inf injections under GuardMode::Record produce guard provenance
+        // events and matching DUE outcome labels.
+        assert!(plain.counts.due > 0);
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| matches!(e, rustfi_obs::Event::Guard(_))));
+        assert!(snap.counters.contains_key("fi.injections"));
+        assert_eq!(snap.timings.get("campaign.trial_ns").unwrap().count, 24);
+
+        let updates = updates.lock();
+        assert!(!updates.is_empty(), "progress fired");
+        let last = updates.last().unwrap();
+        assert_eq!(last.done, 24);
+        assert_eq!(last.total, 24);
+        assert_eq!(last.counts.total(), 24);
+        for u in updates.iter() {
+            assert!(u.done % 5 == 0 || u.done == 24);
+        }
+        assert!(last.render().contains("trials 24/24"));
+    }
+
+    #[test]
+    fn recorder_is_thread_count_invariant() {
+        use rustfi_obs::{NullRecorder, TraceRecorder};
+
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            grenade(0.2),
+        );
+        let run = |threads, recorder: Option<Arc<dyn Recorder>>| {
+            campaign
+                .run(&CampaignConfig {
+                    trials: 30,
+                    seed: 14,
+                    threads: Some(threads),
+                    recorder,
+                    ..CampaignConfig::default()
+                })
+                .unwrap()
+        };
+        let baseline = run(1, None);
+        assert_eq!(baseline, run(4, Some(Arc::new(NullRecorder))));
+        assert_eq!(baseline, run(3, Some(Arc::new(TraceRecorder::new()))));
     }
 
     #[test]

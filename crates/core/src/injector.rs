@@ -8,10 +8,15 @@ use crate::perturbation::{PerturbCtx, PerturbationModel};
 use crate::profile::ModelProfile;
 use parking_lot::Mutex;
 use rustfi_nn::{HookHandle, Network};
+use rustfi_obs::{Event as ObsEvent, InjectionEvent, InjectionSite, Recorder};
 use rustfi_quant::int8;
 use rustfi_tensor::{SeededRng, Tensor};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Sentinel stored in the shared trial cell when no campaign trial is
+/// active (provenance events then carry `trial: None`).
+const NO_TRIAL: usize = usize::MAX;
 
 /// One declared neuron fault: where ([`NeuronSelect`] × [`BatchSelect`]) and
 /// what ([`PerturbationModel`]).
@@ -72,6 +77,12 @@ pub struct FaultInjector {
     plan_rng: SeededRng,
     exec_rng: Arc<Mutex<SeededRng>>,
     applied: Arc<AtomicUsize>,
+    /// Shared with already-installed hook closures, so `set_recorder` takes
+    /// effect regardless of declare/install order.
+    recorder: Arc<Mutex<Option<Arc<dyn Recorder>>>>,
+    /// Current campaign trial ([`NO_TRIAL`] outside campaigns); shared with
+    /// hook closures for event provenance.
+    trial: Arc<AtomicUsize>,
 }
 
 impl FaultInjector {
@@ -97,7 +108,28 @@ impl FaultInjector {
             plan_rng: root.fork(1),
             exec_rng: Arc::new(Mutex::new(root.fork(2))),
             applied: Arc::new(AtomicUsize::new(0)),
+            recorder: Arc::new(Mutex::new(None)),
+            trial: Arc::new(AtomicUsize::new(NO_TRIAL)),
         })
+    }
+
+    /// Installs (or removes, with `None`) an observability recorder on both
+    /// the injector and the wrapped network.
+    ///
+    /// With a recorder installed, every applied perturbation emits an
+    /// [`InjectionEvent`] (layer, site, flipped bit when derivable, value
+    /// before/after) and counts under `fi.injections`; the network emits
+    /// per-layer forward spans. Takes effect for faults already declared.
+    pub fn set_recorder(&mut self, recorder: Option<Arc<dyn Recorder>>) {
+        *self.recorder.lock() = recorder.clone();
+        self.net.set_recorder(recorder);
+    }
+
+    /// Tags subsequently emitted injection events with a campaign trial
+    /// index. Pass `None` outside campaigns.
+    pub fn set_trial(&mut self, trial: Option<usize>) {
+        self.trial
+            .store(trial.unwrap_or(NO_TRIAL), Ordering::Relaxed);
     }
 
     /// The model profile from the dummy inference.
@@ -175,6 +207,8 @@ impl FaultInjector {
             let layer_id = self.profile.layers()[layer].id;
             let exec_rng = Arc::clone(&self.exec_rng);
             let applied = Arc::clone(&self.applied);
+            let recorder = Arc::clone(&self.recorder);
+            let trial = Arc::clone(&self.trial);
             let handle = self
                 .net
                 .hooks()
@@ -215,6 +249,23 @@ impl FaultInjector {
                             let new = model.perturb(old, &mut pctx);
                             out.data_mut()[off] = new;
                             applied.fetch_add(1, Ordering::Relaxed);
+                            if let Some(rec) = recorder.lock().as_ref() {
+                                let t = trial.load(Ordering::Relaxed);
+                                rec.event(ObsEvent::Injection(InjectionEvent {
+                                    trial: (t != NO_TRIAL).then_some(t),
+                                    layer: site.layer,
+                                    site: InjectionSite::Neuron {
+                                        batch: b,
+                                        channel: site.channel,
+                                        y: site.y,
+                                        x: site.x,
+                                    },
+                                    bit: InjectionEvent::flipped_bit(old, new),
+                                    before: old,
+                                    after: new,
+                                }));
+                                rec.counter_add("fi.injections", 1);
+                            }
                         }
                     }
                 });
@@ -274,6 +325,18 @@ impl FaultInjector {
                 .data_mut()[site.index] = new;
             self.weight_undo.push((site.layer, site.index, old));
             self.applied.fetch_add(1, Ordering::Relaxed);
+            if let Some(rec) = self.recorder.lock().as_ref() {
+                let t = self.trial.load(Ordering::Relaxed);
+                rec.event(ObsEvent::Injection(InjectionEvent {
+                    trial: (t != NO_TRIAL).then_some(t),
+                    layer: site.layer,
+                    site: InjectionSite::Weight { index: site.index },
+                    bit: InjectionEvent::flipped_bit(old, new),
+                    before: old,
+                    after: new,
+                }));
+                rec.counter_add("fi.injections", 1);
+            }
         }
         Ok(sites)
     }
@@ -609,6 +672,77 @@ mod tests {
         let mut net = fi.into_inner();
         assert!(net.hooks().is_empty());
         assert_eq!(net.forward(&x()), clean);
+    }
+
+    #[test]
+    fn recorder_sees_injection_provenance() {
+        use rustfi_obs::TraceRecorder;
+
+        let mut fi = injector();
+        let rec = Arc::new(TraceRecorder::new());
+        // Declare first, install the recorder second: order must not matter.
+        fi.declare_neuron_fi(&[NeuronFault {
+            select: NeuronSelect::Exact {
+                layer: 3,
+                channel: 4,
+                y: 0,
+                x: 0,
+            },
+            batch: BatchSelect::All,
+            model: Arc::new(StuckAt::new(77.0)),
+        }])
+        .unwrap();
+        fi.set_recorder(Some(rec.clone()));
+        fi.set_trial(Some(9));
+        fi.forward(&x());
+
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters.get("fi.injections"), Some(&1));
+        let inj = snap
+            .events
+            .iter()
+            .find_map(|e| match e {
+                ObsEvent::Injection(i) => Some(*i),
+                _ => None,
+            })
+            .expect("injection event emitted");
+        assert_eq!(inj.trial, Some(9));
+        assert_eq!(inj.layer, 3);
+        assert_eq!(
+            inj.site,
+            InjectionSite::Neuron {
+                batch: 0,
+                channel: 4,
+                y: 0,
+                x: 0
+            }
+        );
+        assert_eq!(inj.after, 77.0);
+        assert!(
+            !snap.spans.is_empty(),
+            "network forward emitted layer spans"
+        );
+
+        // Weight provenance, outside a trial.
+        fi.set_trial(None);
+        fi.declare_weight_fi(&[WeightFault {
+            select: WeightSelect::Exact { layer: 0, index: 5 },
+            model: Arc::new(StuckAt::new(3.0)),
+        }])
+        .unwrap();
+        let snap = rec.snapshot();
+        let weight_inj = snap
+            .events
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                ObsEvent::Injection(i) => Some(*i),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(weight_inj.trial, None);
+        assert_eq!(weight_inj.site, InjectionSite::Weight { index: 5 });
+        assert_eq!(weight_inj.after, 3.0);
     }
 
     #[test]

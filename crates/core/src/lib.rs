@@ -62,7 +62,10 @@ pub mod perturbation;
 pub mod profile;
 pub mod report;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignResult, FaultMode, GuardMode, TrialRecord};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignResult, FaultMode, GuardMode, ProgressRecorder,
+    ProgressUpdate, TrialRecord,
+};
 pub use config::FiConfig;
 pub use error::FiError;
 pub use injector::{FaultInjector, NeuronFault, WeightFault};

@@ -25,6 +25,7 @@
 use crate::hook::HookHandle;
 use crate::module::{LayerId, Network};
 use parking_lot::Mutex;
+use rustfi_obs::{Event as ObsEvent, GuardEvent as ObsGuardEvent};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -84,14 +85,26 @@ pub struct GuardHook {
 
 impl GuardHook {
     /// Installs a guard on the network's forward-hook registry.
+    ///
+    /// If the network has an observability recorder installed at this
+    /// moment, the guard emits [`rustfi_obs::GuardEvent`]s through it (the
+    /// first non-finite layer, deadline trips) and counts scans under
+    /// `nn.guard_checks`.
     pub fn install(net: &Network, cfg: GuardConfig) -> Self {
         let state = Arc::new(GuardState::default());
         let hook_state = Arc::clone(&state);
+        let recorder = net.recorder();
         let scan = cfg.detect_non_finite || cfg.short_circuit;
         let handle = net.hooks().register_forward_all(move |ctx, out| {
             let steps = hook_state.steps.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(rec) = &recorder {
+                rec.counter_add("nn.guard_checks", 1);
+            }
             if let Some(budget) = cfg.max_steps {
                 if steps > budget {
+                    if let Some(rec) = &recorder {
+                        rec.event(ObsEvent::Guard(ObsGuardEvent::Deadline { steps }));
+                    }
                     std::panic::resume_unwind(Box::new(DeadlineInterrupt { steps }));
                 }
             }
@@ -102,6 +115,14 @@ impl GuardHook {
                     *first = Some((ctx.id, ctx.name.to_string()));
                 }
                 drop(first);
+                if fresh {
+                    if let Some(rec) = &recorder {
+                        rec.event(ObsEvent::Guard(ObsGuardEvent::NonFinite {
+                            layer: ctx.id.index(),
+                            layer_name: ctx.name.to_string(),
+                        }));
+                    }
+                }
                 if cfg.short_circuit && fresh {
                     std::panic::resume_unwind(Box::new(NonFiniteInterrupt {
                         layer: ctx.id,

@@ -196,11 +196,11 @@ impl HookRegistry {
         self.len() == 0
     }
 
-    /// Fires forward hooks for a layer. This is the per-layer fast path: a
-    /// relaxed atomic load when nothing is registered.
-    pub(crate) fn dispatch_forward(&self, ctx: &LayerCtx<'_>, out: &mut Tensor) {
+    /// Fires forward hooks for a layer, returning how many ran. This is the
+    /// per-layer fast path: a relaxed atomic load when nothing is registered.
+    pub(crate) fn dispatch_forward(&self, ctx: &LayerCtx<'_>, out: &mut Tensor) -> usize {
         if !self.forward_nonempty.load(Ordering::Acquire) {
-            return;
+            return 0;
         }
         // Clone the Arc list out of the lock so hooks can re-enter the
         // registry (e.g. a hook that removes itself).
@@ -220,9 +220,11 @@ impl HookRegistry {
                 )
                 .collect()
         };
+        let fired = hooks.len();
         for hook in hooks {
             hook(ctx, out);
         }
+        fired
     }
 
     /// Fires gradient hooks for a layer.

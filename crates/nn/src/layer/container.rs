@@ -53,7 +53,7 @@ impl Module for Sequential {
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
         let mut x = input.clone();
         for child in &mut self.children {
-            x = child.forward(&x, ctx);
+            x = ctx.forward_child(child.as_mut(), &x);
         }
         x
     }
@@ -144,9 +144,9 @@ impl Module for Residual {
     }
 
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
-        let main = self.body.forward(input, ctx);
+        let main = ctx.forward_child(self.body.as_mut(), input);
         let skip = match &mut self.shortcut {
-            Some(s) => s.forward(input, ctx),
+            Some(s) => ctx.forward_child(s.as_mut(), input),
             None => input.clone(),
         };
         assert_eq!(
@@ -267,7 +267,7 @@ impl Module for Branches {
             outputs.push(input.clone());
         }
         for b in &mut self.branches {
-            outputs.push(b.forward(input, ctx));
+            outputs.push(ctx.forward_child(b.as_mut(), input));
         }
         self.split_sizes = outputs.iter().map(|o| o.dims4().1).collect();
         Tensor::concat_channels(&outputs)

@@ -1,6 +1,7 @@
 //! The [`Module`] trait, layer identity, and the [`Network`] wrapper.
 
 use crate::hook::{HookRegistry, LayerCtx};
+use rustfi_obs::{Recorder, SpanCtx};
 use rustfi_tensor::{SeededRng, Tensor};
 use std::fmt;
 use std::sync::Arc;
@@ -106,14 +107,23 @@ pub struct ForwardCtx<'a> {
     pub training: bool,
     hooks: &'a HookRegistry,
     rng: &'a mut SeededRng,
+    /// Observability sink; `None` keeps the forward path entirely
+    /// uninstrumented (one branch per child dispatch).
+    recorder: Option<&'a dyn Recorder>,
 }
 
 impl<'a> ForwardCtx<'a> {
-    pub(crate) fn new(training: bool, hooks: &'a HookRegistry, rng: &'a mut SeededRng) -> Self {
+    pub(crate) fn new(
+        training: bool,
+        hooks: &'a HookRegistry,
+        rng: &'a mut SeededRng,
+        recorder: Option<&'a dyn Recorder>,
+    ) -> Self {
         Self {
             training,
             hooks,
             rng,
+            recorder,
         }
     }
 
@@ -122,10 +132,33 @@ impl<'a> ForwardCtx<'a> {
         self.rng
     }
 
+    /// Forwards through `child`, wrapping the call in a per-layer span when a
+    /// recorder is installed. Containers route every child through this so
+    /// the trace shows the module tree as nested spans.
+    pub fn forward_child(&mut self, child: &mut dyn Module, input: &Tensor) -> Tensor {
+        match self.recorder {
+            None => child.forward(input, self),
+            Some(rec) => {
+                let token = rec.layer_enter();
+                let out = child.forward(input, self);
+                let meta = child.meta();
+                rec.layer_exit(
+                    &SpanCtx {
+                        name: &meta.name,
+                        kind: child.kind().short_name(),
+                        layer: Some(meta.id.index()),
+                    },
+                    token,
+                );
+                out
+            }
+        }
+    }
+
     /// Runs all forward hooks registered for `meta`'s layer, letting them
     /// mutate `out` in place. Leaf layers call this once per forward.
     pub fn run_forward_hooks(&mut self, meta: &LayerMeta, kind: LayerKind, out: &mut Tensor) {
-        self.hooks.dispatch_forward(
+        let fired = self.hooks.dispatch_forward(
             &LayerCtx {
                 id: meta.id,
                 name: &meta.name,
@@ -133,6 +166,11 @@ impl<'a> ForwardCtx<'a> {
             },
             out,
         );
+        if fired > 0 {
+            if let Some(rec) = self.recorder {
+                rec.counter_add("nn.hook_dispatches", fired as u64);
+            }
+        }
     }
 }
 
@@ -265,6 +303,7 @@ pub struct Network {
     layer_infos: Vec<LayerInfo>,
     rng: SeededRng,
     training: bool,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl Network {
@@ -300,7 +339,22 @@ impl Network {
             layer_infos,
             rng: SeededRng::new(0xD0_07),
             training: false,
+            recorder: None,
         }
+    }
+
+    /// Installs (or removes, with `None`) the observability recorder.
+    ///
+    /// With a recorder installed, every forward pass emits one span per
+    /// module and counts hook dispatches; with `None` (the default) the
+    /// forward path stays uninstrumented apart from one branch per child.
+    pub fn set_recorder(&mut self, recorder: Option<Arc<dyn Recorder>>) {
+        self.recorder = recorder;
+    }
+
+    /// The currently installed observability recorder, if any.
+    pub fn recorder(&self) -> Option<Arc<dyn Recorder>> {
+        self.recorder.clone()
     }
 
     /// The shared hook registry.
@@ -345,8 +399,13 @@ impl Network {
 
     /// Runs a forward pass, dispatching forward hooks at every leaf layer.
     pub fn forward(&mut self, input: &Tensor) -> Tensor {
-        let mut ctx = ForwardCtx::new(self.training, &self.hooks, &mut self.rng);
-        self.root.forward(input, &mut ctx)
+        let mut ctx = ForwardCtx::new(
+            self.training,
+            &self.hooks,
+            &mut self.rng,
+            self.recorder.as_deref(),
+        );
+        ctx.forward_child(self.root.as_mut(), input)
     }
 
     /// Runs a backward pass from the gradient of the loss w.r.t. the output
@@ -539,5 +598,55 @@ mod tests {
     #[test]
     fn layer_id_display() {
         assert_eq!(LayerId::from_index(7).to_string(), "L7");
+    }
+
+    #[test]
+    fn recorder_captures_layer_spans_without_changing_output() {
+        let mut net = tiny_net();
+        let x = Tensor::ones(&[1, 3, 6, 6]);
+        let plain = net.forward(&x);
+
+        let rec = Arc::new(rustfi_obs::TraceRecorder::new());
+        net.set_recorder(Some(rec.clone()));
+        assert!(net.recorder().is_some());
+        let recorded = net.forward(&x);
+        assert_eq!(plain, recorded, "recording must not perturb the forward");
+
+        let snap = rec.snapshot();
+        // One span per module: seq, conv, relu, conv.
+        assert_eq!(snap.spans.len(), 4);
+        let names: Vec<_> = snap.spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"conv1") && names.contains(&"relu2"));
+        let seq = snap.spans.iter().find(|s| s.kind == "seq").unwrap();
+        assert_eq!(seq.layer, Some(0));
+        for child in snap.spans.iter().filter(|s| s.layer != Some(0)) {
+            assert!(
+                child.start_ns >= seq.start_ns
+                    && child.start_ns + child.dur_ns <= seq.start_ns + seq.dur_ns,
+                "child spans nest inside the root span"
+            );
+        }
+
+        net.set_recorder(None);
+        assert_eq!(net.forward(&x), plain);
+        assert_eq!(rec.snapshot().spans.len(), 4, "no spans after removal");
+    }
+
+    #[test]
+    fn hook_dispatches_are_counted_when_recording() {
+        let mut net = tiny_net();
+        let rec = Arc::new(rustfi_obs::TraceRecorder::new());
+        net.set_recorder(Some(rec.clone()));
+        let x = Tensor::ones(&[1, 3, 6, 6]);
+        net.forward(&x);
+        assert_eq!(
+            rec.snapshot().counters.get("nn.hook_dispatches"),
+            None,
+            "no hooks registered, nothing counted"
+        );
+        net.hooks().register_forward_all(|_, _| {});
+        net.forward(&x);
+        // Three leaf layers (conv, relu, conv) each dispatch the all-hook.
+        assert_eq!(rec.snapshot().counters.get("nn.hook_dispatches"), Some(&3));
     }
 }

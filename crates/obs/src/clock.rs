@@ -1,0 +1,55 @@
+//! The monotonic clock and thread identity every recorder shares.
+//!
+//! Timestamps are nanoseconds since a process-wide epoch (the first call to
+//! [`now_ns`]), so spans recorded on different threads land on one timeline
+//! and Chrome trace timestamps start near zero. Thread ids are small dense
+//! integers assigned on first use, which is what trace viewers want for
+//! per-track grouping.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process-wide observation epoch (monotonic).
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// A small, dense id for the calling thread (1-based; stable for the
+/// thread's lifetime).
+pub fn thread_tid() -> u32 {
+    static NEXT: AtomicU32 = AtomicU32::new(1);
+    thread_local! {
+        static TID: Cell<u32> = const { Cell::new(0) };
+    }
+    TID.with(|t| {
+        if t.get() == 0 {
+            t.set(NEXT.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn tid_is_stable_per_thread_and_distinct_across_threads() {
+        let mine = thread_tid();
+        assert_eq!(mine, thread_tid(), "stable within a thread");
+        let other = std::thread::spawn(thread_tid).join().unwrap();
+        assert_ne!(mine, other, "distinct across threads");
+        assert!(mine >= 1 && other >= 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Line-atomic JSONL event export, following the campaign journal's
+//! discipline: one event per line, written and flushed as a unit, so a
+//! reader tailing the file never sees a torn record and a crash loses at
+//! most the final line.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use crate::event::Event;
+use crate::trace::ObsSnapshot;
+
+/// Streaming writer: one [`Event`] per line, flushed per line.
+pub struct EventJsonlWriter {
+    out: BufWriter<File>,
+    lines: u64,
+}
+
+impl EventJsonlWriter {
+    /// Creates (truncating) `path` and returns a writer.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(EventJsonlWriter {
+            out: BufWriter::new(File::create(path)?),
+            lines: 0,
+        })
+    }
+
+    /// Opens `path` for appending (creating it if absent).
+    pub fn append(path: &Path) -> std::io::Result<Self> {
+        let f = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(EventJsonlWriter {
+            out: BufWriter::new(f),
+            lines: 0,
+        })
+    }
+
+    /// Writes one event as a full line and flushes, so the line is atomic
+    /// with respect to crashes and concurrent readers.
+    pub fn write(&mut self, event: &Event) -> std::io::Result<()> {
+        let mut line = event.to_json();
+        line.push('\n');
+        self.out.write_all(line.as_bytes())?;
+        self.out.flush()?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Lines written through this writer.
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+}
+
+/// Writes every event in `snap` to `path` as JSONL (truncates first).
+pub fn write_events_jsonl(snap: &ObsSnapshot, path: &Path) -> std::io::Result<()> {
+    let mut w = EventJsonlWriter::create(path)?;
+    for event in &snap.events {
+        w.write(event)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{GuardEvent, TrialOutcomeEvent};
+    use crate::testjson::parse_json;
+
+    fn events() -> Vec<Event> {
+        vec![
+            Event::Guard(GuardEvent::NonFinite {
+                layer: 2,
+                layer_name: "conv2".into(),
+            }),
+            Event::TrialOutcome(TrialOutcomeEvent {
+                trial: 0,
+                layer: 2,
+                outcome: "due",
+                due_layer: Some(2),
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_line_is_one_complete_json_event() {
+        let dir = std::env::temp_dir().join(format!("rustfi_obs_jsonl_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+
+        let snap = ObsSnapshot {
+            events: events(),
+            ..ObsSnapshot::default()
+        };
+        write_events_jsonl(&snap, &path).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'), "file ends on a line boundary");
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let v = parse_json(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            assert!(v.get("type").is_some());
+        }
+
+        // Appending keeps earlier lines intact.
+        let mut w = EventJsonlWriter::append(&path).unwrap();
+        w.write(&Event::Guard(GuardEvent::Deadline { steps: 3 }))
+            .unwrap();
+        assert_eq!(w.lines_written(), 1);
+        drop(w);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        for line in text.lines() {
+            parse_json(line).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

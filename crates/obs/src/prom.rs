@@ -1,0 +1,95 @@
+//! Prometheus exposition-format text snapshot of counters and duration
+//! histograms.
+//!
+//! Counters render as `rustfi_<name>_total`; histograms render as
+//! Prometheus summaries (`_count` / `_sum`, with the sum in seconds per
+//! Prometheus base-unit convention) plus `_min_seconds` / `_max_seconds`
+//! gauges. Dots in recorder names become underscores to satisfy the metric
+//! name grammar.
+
+use std::fmt::Write as _;
+
+use crate::trace::ObsSnapshot;
+
+/// Renders counters and timings in Prometheus exposition format.
+pub fn prometheus_text(snap: &ObsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let metric = sanitize(name);
+        let _ = writeln!(out, "# TYPE rustfi_{metric}_total counter");
+        let _ = writeln!(out, "rustfi_{metric}_total {value}");
+    }
+    for (name, stat) in &snap.timings {
+        let metric = sanitize(name);
+        let _ = writeln!(out, "# TYPE rustfi_{metric}_seconds summary");
+        let _ = writeln!(out, "rustfi_{metric}_seconds_count {}", stat.count);
+        let _ = writeln!(
+            out,
+            "rustfi_{metric}_seconds_sum {}",
+            seconds(stat.total_ns)
+        );
+        let _ = writeln!(out, "rustfi_{metric}_seconds_min {}", seconds(stat.min_ns));
+        let _ = writeln!(out, "rustfi_{metric}_seconds_max {}", seconds(stat.max_ns));
+    }
+    if snap.dropped_spans > 0 {
+        let _ = writeln!(out, "# TYPE rustfi_obs_dropped_spans_total counter");
+        let _ = writeln!(out, "rustfi_obs_dropped_spans_total {}", snap.dropped_spans);
+    }
+    out
+}
+
+/// Maps a recorder metric name onto the Prometheus name grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): anything else becomes `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Nanoseconds as decimal seconds without float formatting surprises.
+fn seconds(ns: u64) -> String {
+    format!("{}.{:09}", ns / 1_000_000_000, ns % 1_000_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TimingStat;
+
+    #[test]
+    fn renders_counters_and_summaries() {
+        let mut snap = ObsSnapshot::default();
+        snap.counters.insert("fi.injections", 42);
+        let mut stat = TimingStat::default();
+        stat.observe(1_500_000_000);
+        stat.observe(500_000_000);
+        snap.timings.insert("campaign.trial_ns", stat);
+        snap.dropped_spans = 3;
+
+        let text = prometheus_text(&snap);
+        assert!(text.contains("# TYPE rustfi_fi_injections_total counter\n"));
+        assert!(text.contains("rustfi_fi_injections_total 42\n"));
+        assert!(text.contains("rustfi_campaign_trial_ns_seconds_count 2\n"));
+        assert!(text.contains("rustfi_campaign_trial_ns_seconds_sum 2.000000000\n"));
+        assert!(text.contains("rustfi_campaign_trial_ns_seconds_min 0.500000000\n"));
+        assert!(text.contains("rustfi_campaign_trial_ns_seconds_max 1.500000000\n"));
+        assert!(text.contains("rustfi_obs_dropped_spans_total 3\n"));
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split(' ').count() == 2,
+                "exposition line shape: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert!(prometheus_text(&ObsSnapshot::default()).is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Small shared timing utilities, so benches and binaries stop hand-rolling
+//! `Instant::now()` pairs.
+
+use std::time::{Duration, Instant};
+
+/// A restartable stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl Stopwatch {
+    /// A stopwatch running from now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Time since start (or the last [`Stopwatch::lap`]).
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// [`Stopwatch::elapsed`] in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Returns the elapsed time and restarts the stopwatch.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let lap = now - self.started;
+        self.started = now;
+        lap
+    }
+}
+
+/// Runs `f` once, returning its result and wall time.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let sw = Stopwatch::start();
+    let r = f();
+    (r, sw.elapsed())
+}
+
+/// Mean wall-clock seconds of `n` runs of `f` (0.0 when `n` is 0).
+pub fn mean_seconds(n: usize, mut f: impl FnMut()) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let sw = Stopwatch::start();
+    for _ in 0..n {
+        f();
+    }
+    sw.elapsed_secs() / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_result_and_duration() {
+        let (v, d) = time(|| 40 + 2);
+        assert_eq!(v, 42);
+        assert!(d >= Duration::ZERO);
+    }
+
+    #[test]
+    fn lap_restarts() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(1));
+        let first = sw.lap();
+        assert!(first >= Duration::from_millis(1));
+        assert!(sw.elapsed() < first + Duration::from_millis(50));
+    }
+
+    #[test]
+    fn mean_seconds_runs_exactly_n_times() {
+        let mut calls = 0;
+        let mean = mean_seconds(5, || calls += 1);
+        assert_eq!(calls, 5);
+        assert!(mean >= 0.0);
+        assert_eq!(mean_seconds(0, || unreachable!()), 0.0);
+    }
+}

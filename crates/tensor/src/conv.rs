@@ -217,6 +217,7 @@ fn check_conv_args(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSp
 /// assert_eq!(y.at(&[0, 0, 0, 0]), 9.0);
 /// ```
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -> Tensor {
+    crate::opcount::count_conv2d();
     check_conv_args(input, weight, bias, spec);
     let (n, c, h, w) = input.dims4();
     let (oc, _, kh, kw) = weight.dims4();

@@ -30,6 +30,7 @@
 pub mod bits;
 pub mod conv;
 pub mod linalg;
+pub mod opcount;
 pub mod ops;
 pub mod parallel;
 pub mod pool;

@@ -26,6 +26,7 @@ const PARALLEL_MACS: usize = 1 << 20;
 /// assert_eq!(matmul(&a, &i), a);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    crate::opcount::count_matmul();
     let (m, k) = a.dims2();
     let (k2, n) = b.dims2();
     assert_eq!(

@@ -1,0 +1,94 @@
+//! Optional global operation counters for the compute kernels.
+//!
+//! Disabled by default: the hot-path cost is one relaxed atomic load per
+//! kernel *call* (not per element). When enabled — e.g. by the
+//! `profile_campaign` binary — [`conv2d`] and [`matmul`] invocations are
+//! counted process-wide, giving campaign profiles a cheap "how much math did
+//! this take" axis next to wall time.
+//!
+//! [`conv2d`]: crate::conv2d
+//! [`matmul`]: crate::matmul
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CONV2D: AtomicU64 = AtomicU64::new(0);
+static MATMUL: AtomicU64 = AtomicU64::new(0);
+
+/// Turns counting on or off (process-wide).
+pub fn enable(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether counting is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zeroes both counters.
+pub fn reset() {
+    CONV2D.store(0, Ordering::Relaxed);
+    MATMUL.store(0, Ordering::Relaxed);
+}
+
+/// Current `(conv2d calls, matmul calls)` totals.
+///
+/// Note that [`conv2d`](crate::conv2d) is built on `matmul`, so convolutions
+/// contribute to both counters.
+pub fn snapshot() -> (u64, u64) {
+    (
+        CONV2D.load(Ordering::Relaxed),
+        MATMUL.load(Ordering::Relaxed),
+    )
+}
+
+/// Called by the conv2d kernel.
+#[inline]
+pub(crate) fn count_conv2d() {
+    if ENABLED.load(Ordering::Relaxed) {
+        CONV2D.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Called by the matmul kernel.
+#[inline]
+pub(crate) fn count_matmul() {
+    if ENABLED.load(Ordering::Relaxed) {
+        MATMUL.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{conv2d, matmul, ConvSpec, Tensor};
+
+    #[test]
+    fn disabled_by_default_and_counts_when_enabled() {
+        // Serialize against other tests via the enable flag being ours alone:
+        // the suite only toggles counting in this test.
+        reset();
+        let a = Tensor::ones(&[2, 2]);
+        matmul(&a, &a);
+        assert_eq!(snapshot(), (0, 0), "disabled: nothing counted");
+
+        enable(true);
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let b = Tensor::zeros(&[1]);
+        conv2d(&x, &w, &b, &ConvSpec::new());
+        matmul(&a, &a);
+        enable(false);
+
+        let (convs, matmuls) = snapshot();
+        // `>=` rather than `==`: sibling tests may run kernels concurrently
+        // while counting is enabled.
+        assert!(convs >= 1, "conv2d counted: {convs}");
+        // conv2d runs one matmul per (batch, group) internally, so the
+        // explicit matmul plus conv2d's internal one gives at least two.
+        assert!(matmuls >= 2, "matmul counted: {matmuls}");
+        assert!(!enabled());
+        reset();
+        assert_eq!(snapshot(), (0, 0));
+    }
+}

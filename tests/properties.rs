@@ -200,6 +200,53 @@ proptest! {
         prop_assert_eq!(single.counts.total(), 12);
     }
 
+    /// Observability is read-only: for any seed, campaigns run with no
+    /// recorder, with the [`rustfi_obs::NullRecorder`], and with the full
+    /// [`rustfi_obs::TraceRecorder`] produce bit-identical trial records,
+    /// regardless of worker thread count.
+    #[test]
+    fn recorders_never_perturb_campaign_results(seed in any::<u64>(), threads in 1usize..4) {
+        use rustfi_obs::{NullRecorder, Recorder, TraceRecorder};
+        fn tiny_lenet() -> Network {
+            zoo::lenet(&ZooConfig::tiny(4))
+        }
+        let images = Tensor::from_fn(&[5, 3, 16, 16], |i| ((i as f32) * 0.017).cos());
+        let mut probe = tiny_lenet();
+        let labels: Vec<usize> = (0..images.dims()[0])
+            .map(|i| rustfi::metrics::top1(probe.forward(&images.select_batch(i)).data()))
+            .collect();
+        let campaign = Campaign::new(
+            &tiny_lenet,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            // Exponent-bit flips produce Inf often enough to exercise the
+            // guard-event path alongside plain masked/SDC trials.
+            Arc::new(models::BitFlipFp32::new(models::BitSelect::Random)),
+        );
+        let run = |recorder: Option<Arc<dyn Recorder>>, threads: usize| {
+            campaign
+                .run(&CampaignConfig {
+                    trials: 10,
+                    seed,
+                    threads: Some(threads),
+                    guard: rustfi::GuardMode::Record,
+                    recorder,
+                    ..CampaignConfig::default()
+                })
+                .unwrap()
+        };
+        let plain = run(None, 1);
+        let null = run(Some(Arc::new(NullRecorder)), threads);
+        let trace_rec = Arc::new(TraceRecorder::new());
+        let traced = run(Some(trace_rec.clone() as Arc<dyn Recorder>), threads);
+        prop_assert_eq!(&plain, &null);
+        prop_assert_eq!(&plain, &traced);
+        let snap = trace_rec.snapshot();
+        prop_assert_eq!(snap.spans.iter().filter(|s| s.kind == "trial").count(), 10);
+        prop_assert_eq!(snap.counters.get("fi.injections").copied().unwrap_or(0) > 0, true);
+    }
+
     /// Interval convolution bounds always contain the nominal output.
     #[test]
     fn interval_conv_soundness(seed in any::<u64>(), eps in 0.0f32..0.5) {
