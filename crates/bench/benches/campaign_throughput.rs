@@ -1,0 +1,328 @@
+//! Campaign trial throughput: golden-prefix caching and the blocked matmul
+//! kernel, with a machine-readable `BENCH_campaign.json` summary.
+//!
+//! Two measurements back the perf claims in `EXPERIMENTS.md`:
+//!
+//! 1. **Kernel**: the register-blocked `matmul` against a faithful copy of
+//!    the previous ikj kernel (zero-skip branch included), at im2col GEMM
+//!    shapes representative of the zoo's convolutions.
+//! 2. **Campaign**: a Fig. 4-style per-layer injection campaign over the
+//!    mid/late layers of a CIFAR-scale network, with and without
+//!    [`rustfi::PrefixCacheConfig`] — trials resume from the injection
+//!    layer instead of re-running the clean prefix, so the speedup grows
+//!    with injection depth. Records are asserted bit-identical.
+//!
+//! Knobs (all `RUSTFI_*` environment variables):
+//!
+//! - `RUSTFI_BENCH_MODEL` (default `vgg19`), `RUSTFI_BENCH_DATASET`
+//!   (default `cifar10-like`)
+//! - `RUSTFI_IMAGES` test images (default 8), `RUSTFI_TRIALS` trials per
+//!   layer (default 500 — per-campaign setup costs amortize over trials,
+//!   so very small counts understate the steady-state throughput gain)
+//! - `RUSTFI_BENCH_JSON` output path (default `BENCH_campaign.json` in the
+//!   repository root); set to `skip` to suppress the file.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rustfi::{Campaign, CampaignConfig, FaultMode, NeuronSelect, PrefixCacheConfig};
+use rustfi_bench::{env_usize, zoo_config_for};
+use rustfi_nn::{zoo, Network};
+use rustfi_tensor::{matmul, parallel, SeededRng, Tensor};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The pre-blocking ikj kernel, kept verbatim (including the `aik == 0.0`
+/// skip and the row-parallel fan-out) as the comparison baseline.
+fn matmul_ikj_baseline(a: &Tensor, b: &Tensor) -> Tensor {
+    const PARALLEL_MACS: usize = 1 << 20;
+    let (m, k) = a.dims2();
+    let (k2, n) = b.dims2();
+    assert_eq!(k, k2);
+    let mut out = vec![0.0f32; m * n];
+    let a_data = a.data();
+    let b_data = b.data();
+    let row_work = |rows: std::ops::Range<usize>, out_rows: &mut [f32]| {
+        for (local_i, i) in rows.enumerate() {
+            let out_row = &mut out_rows[local_i * n..(local_i + 1) * n];
+            for kk in 0..k {
+                let aik = a_data[i * k + kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b_data[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * bv;
+                }
+            }
+        }
+    };
+    if m * n * k >= PARALLEL_MACS && m > 1 {
+        parallel::for_each_chunk_mut(&mut out, n, |chunk_idx, rows, slab| {
+            row_work(chunk_idx..chunk_idx + rows, slab);
+        });
+    } else {
+        row_work(0..m, &mut out);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Mean seconds per call over `iters` timed runs (after one warm-up).
+fn time_mean<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+struct MatmulRow {
+    m: usize,
+    k: usize,
+    n: usize,
+    baseline_s: f64,
+    blocked_s: f64,
+}
+
+fn bench_matmul_kernels(c: &mut Criterion, rows: &mut Vec<MatmulRow>) {
+    let mut rng = SeededRng::new(11);
+    // im2col GEMM shapes (oc, cg*kh*kw, oh*ow) of early / mid / late zoo
+    // convolutions at CIFAR scale, plus a classifier matmul.
+    let shapes = [
+        (64usize, 27usize, 1024usize),
+        (256, 1152, 256),
+        (512, 4608, 16),
+        (128, 512, 128),
+    ];
+    let iters = env_usize("RUSTFI_MATMUL_ITERS", 12);
+    let mut group = c.benchmark_group("matmul_kernel");
+    group.sample_size(iters);
+    for (m, k, n) in shapes {
+        let a = Tensor::rand_normal(&[m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[k, n], 0.0, 1.0, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("ikj_baseline", format!("{m}x{k}x{n}")),
+            &(),
+            {
+                let (a, b) = (a.clone(), b.clone());
+                move |bch, ()| bch.iter(|| matmul_ikj_baseline(&a, &b))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("blocked", format!("{m}x{k}x{n}")), &(), {
+            let (a, b) = (a.clone(), b.clone());
+            move |bch, ()| bch.iter(|| matmul(&a, &b))
+        });
+        let baseline_s = time_mean(iters, || matmul_ikj_baseline(&a, &b));
+        let blocked_s = time_mean(iters, || matmul(&a, &b));
+        println!(
+            "  {m}x{k}x{n}: ikj {:.3} ms -> blocked {:.3} ms ({:.2}x)",
+            baseline_s * 1e3,
+            blocked_s * 1e3,
+            baseline_s / blocked_s
+        );
+        rows.push(MatmulRow {
+            m,
+            k,
+            n,
+            baseline_s,
+            blocked_s,
+        });
+    }
+    group.finish();
+}
+
+struct CampaignNumbers {
+    model: String,
+    dataset: String,
+    layers: Vec<usize>,
+    trials_per_layer: usize,
+    images: usize,
+    uncached_s: f64,
+    cached_s: f64,
+    hits: u64,
+    misses: u64,
+    skipped_flops: u64,
+}
+
+fn bench_campaign(c: &mut Criterion) -> CampaignNumbers {
+    let model = std::env::var("RUSTFI_BENCH_MODEL").unwrap_or_else(|_| "vgg19".into());
+    let dataset = std::env::var("RUSTFI_BENCH_DATASET").unwrap_or_else(|_| "cifar10-like".into());
+    let n_images = env_usize("RUSTFI_IMAGES", 8);
+    let trials = env_usize("RUSTFI_TRIALS", 500);
+    let cfg = zoo_config_for(&dataset);
+    let hw = cfg.image_hw;
+
+    let model_name: &'static str = Box::leak(model.clone().into_boxed_str());
+    let dataset_name: &'static str = Box::leak(dataset.clone().into_boxed_str());
+    let factory = move || -> Network {
+        zoo::by_name(model_name, &zoo_config_for(dataset_name)).expect("known model")
+    };
+
+    let mut rng = SeededRng::new(7);
+    let images = Tensor::rand_normal(&[n_images, 3, hw, hw], 0.0, 1.0, &mut rng);
+    let mut probe = factory();
+    let labels: Vec<usize> = (0..n_images)
+        .map(|i| rustfi::metrics::top1(probe.forward(&images.select_batch(i)).data()))
+        .collect();
+    let layer_count = {
+        let profile = rustfi::ModelProfile::discover(&mut probe, [1, 3, hw, hw]);
+        profile.len()
+    };
+    drop(probe);
+    // Fig. 4 sweeps injections per layer; the mid/late back half is where
+    // prefix caching skips the most clean recomputation.
+    let layers: Vec<usize> = (layer_count / 2..layer_count).collect();
+
+    let run_all = |prefix: Option<PrefixCacheConfig>| {
+        let mut results = Vec::new();
+        for &layer in &layers {
+            let campaign = Campaign::new(
+                &factory,
+                &images,
+                &labels,
+                FaultMode::Neuron(NeuronSelect::RandomInLayer { layer }),
+                Arc::new(rustfi::models::RandomUniform::default()),
+            );
+            results.push(
+                campaign
+                    .run(&CampaignConfig {
+                        trials,
+                        seed: 0xF164 + layer as u64,
+                        prefix_cache: prefix.clone(),
+                        ..CampaignConfig::default()
+                    })
+                    .expect("campaign runs"),
+            );
+        }
+        results
+    };
+
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.sample_size(env_usize("RUSTFI_CAMPAIGN_ITERS", 3));
+    group.bench_function(BenchmarkId::new("uncached", model_name), |b| {
+        b.iter(|| run_all(None))
+    });
+    group.bench_function(BenchmarkId::new("prefix_cached", model_name), |b| {
+        b.iter(|| run_all(Some(PrefixCacheConfig::default())))
+    });
+    group.finish();
+
+    let iters = env_usize("RUSTFI_CAMPAIGN_ITERS", 3);
+    let uncached_s = time_mean(iters, || run_all(None));
+    let cached_s = time_mean(iters, || run_all(Some(PrefixCacheConfig::default())));
+
+    // The optimization must be invisible in the records.
+    let plain = run_all(None);
+    let cached = run_all(Some(PrefixCacheConfig::default()));
+    let (mut hits, mut misses, mut skipped_flops) = (0u64, 0u64, 0u64);
+    for (p, cr) in plain.iter().zip(&cached) {
+        assert_eq!(p.records, cr.records, "prefix caching changed records");
+        let s = cr.prefix.expect("stats on");
+        hits += s.hits;
+        misses += s.misses;
+        skipped_flops += s.skipped_flops;
+    }
+    let total_trials = (trials * layers.len()) as f64;
+    println!(
+        "  campaign {model_name}: uncached {:.1} trials/s -> prefix-cached {:.1} trials/s \
+         ({:.2}x, {hits} hits / {misses} misses)",
+        total_trials / uncached_s,
+        total_trials / cached_s,
+        uncached_s / cached_s
+    );
+
+    CampaignNumbers {
+        model,
+        dataset,
+        layers,
+        trials_per_layer: trials,
+        images: n_images,
+        uncached_s,
+        cached_s,
+        hits,
+        misses,
+        skipped_flops,
+    }
+}
+
+fn geomean(ratios: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = ratios.fold((0.0, 0usize), |(s, n), r| (s + r.ln(), n + 1));
+    if n == 0 {
+        1.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+fn write_json(matmul_rows: &[MatmulRow], camp: &CampaignNumbers) {
+    let path = std::env::var("RUSTFI_BENCH_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_campaign.json", env!("CARGO_MANIFEST_DIR")));
+    if path == "skip" {
+        return;
+    }
+    let matmul_json: Vec<String> = matmul_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"m\": {}, \"k\": {}, \"n\": {}, \"ikj_baseline_s\": {:.6e}, \
+                 \"blocked_s\": {:.6e}, \"speedup\": {:.3}}}",
+                r.m,
+                r.k,
+                r.n,
+                r.baseline_s,
+                r.blocked_s,
+                r.baseline_s / r.blocked_s
+            )
+        })
+        .collect();
+    let total_trials = (camp.trials_per_layer * camp.layers.len()) as f64;
+    let layers: Vec<String> = camp.layers.iter().map(|l| l.to_string()).collect();
+    let json = format!(
+        "{{\n\
+         \x20 \"bench\": \"campaign_throughput\",\n\
+         \x20 \"matmul\": [\n{}\n  ],\n\
+         \x20 \"matmul_geomean_speedup\": {:.3},\n\
+         \x20 \"campaign\": {{\n\
+         \x20   \"model\": \"{}\",\n\
+         \x20   \"dataset\": \"{}\",\n\
+         \x20   \"layers\": [{}],\n\
+         \x20   \"trials_per_layer\": {},\n\
+         \x20   \"images\": {},\n\
+         \x20   \"uncached_s\": {:.6},\n\
+         \x20   \"prefix_cached_s\": {:.6},\n\
+         \x20   \"uncached_trials_per_s\": {:.2},\n\
+         \x20   \"prefix_cached_trials_per_s\": {:.2},\n\
+         \x20   \"speedup\": {:.3},\n\
+         \x20   \"prefix_hits\": {},\n\
+         \x20   \"prefix_misses\": {},\n\
+         \x20   \"prefix_skipped_flops\": {}\n\
+         \x20 }}\n\
+         }}\n",
+        matmul_json.join(",\n"),
+        geomean(matmul_rows.iter().map(|r| r.baseline_s / r.blocked_s)),
+        camp.model,
+        camp.dataset,
+        layers.join(", "),
+        camp.trials_per_layer,
+        camp.images,
+        camp.uncached_s,
+        camp.cached_s,
+        total_trials / camp.uncached_s,
+        total_trials / camp.cached_s,
+        camp.uncached_s / camp.cached_s,
+        camp.hits,
+        camp.misses,
+        camp.skipped_flops,
+    );
+    std::fs::write(&path, json).expect("write BENCH_campaign.json");
+    println!("  wrote {path}");
+}
+
+fn bench_all(c: &mut Criterion) {
+    let mut matmul_rows = Vec::new();
+    bench_matmul_kernels(c, &mut matmul_rows);
+    let camp = bench_campaign(c);
+    write_json(&matmul_rows, &camp);
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

@@ -255,6 +255,7 @@ mod tests {
             counts,
             per_layer: Vec::new(),
             eligible_images: 42,
+            prefix: None,
         };
         let header = outcome_table_header();
         let with_acc = outcome_table_row("alexnet", Some(0.935), &result);

@@ -29,9 +29,10 @@ use crate::location::{BatchSelect, NeuronSelect, NeuronSite, WeightSelect};
 use crate::metrics::{classify_outcome, confidence, top1, OutcomeCounts, OutcomeKind};
 use crate::perturbation::PerturbationModel;
 use parking_lot::Mutex;
-use rustfi_nn::{DeadlineInterrupt, GuardConfig, GuardHook, Network, NonFiniteInterrupt};
+use rustfi_nn::{DeadlineInterrupt, GuardConfig, GuardHook, LayerId, Network, NonFiniteInterrupt};
 use rustfi_obs::{
-    now_ns, thread_tid, Event as ObsEvent, LocalRecorder, Recorder, SpanRecord, TrialOutcomeEvent,
+    names as obs_names, now_ns, thread_tid, Event as ObsEvent, LocalRecorder, Recorder, SpanRecord,
+    TrialOutcomeEvent,
 };
 use rustfi_tensor::{parallel, SeededRng, Tensor};
 use std::collections::BTreeMap;
@@ -181,6 +182,14 @@ pub struct CampaignConfig {
     /// leaf layers is cut short and classified [`OutcomeKind::Hang`].
     /// `None` disables the watchdog.
     pub max_steps: Option<usize>,
+    /// Golden-prefix activation caching ([`PrefixCacheConfig`]): snapshot
+    /// each injection layer's input during the golden pass and start trial
+    /// forward passes there instead of at the pixels. Purely a throughput
+    /// optimization — trial records are bit-identical with or without it (a
+    /// property test asserts this). Ignored when [`Self::max_steps`] is set,
+    /// because the watchdog counts executed layers and a resumed pass
+    /// executes fewer of them.
+    pub prefix_cache: Option<crate::prefix::PrefixCacheConfig>,
     /// Observability sink. Workers buffer spans/events/counters into
     /// per-thread recorders and merge them here at trial boundaries, so
     /// recording neither serializes workers nor perturbs results (a property
@@ -199,6 +208,7 @@ impl Default for CampaignConfig {
             int8_activations: false,
             guard: GuardMode::Off,
             max_steps: None,
+            prefix_cache: None,
             recorder: None,
             progress: None,
         }
@@ -214,6 +224,7 @@ impl std::fmt::Debug for CampaignConfig {
             .field("int8_activations", &self.int8_activations)
             .field("guard", &self.guard)
             .field("max_steps", &self.max_steps)
+            .field("prefix_cache", &self.prefix_cache)
             .field("recorder", &self.recorder.is_some())
             .field("progress", &self.progress)
             .finish()
@@ -265,6 +276,8 @@ pub struct CampaignResult {
     pub per_layer: Vec<(usize, usize)>,
     /// How many test images were eligible (classified correctly clean).
     pub eligible_images: usize,
+    /// Prefix-cache counters (`None` when caching was off or bypassed).
+    pub prefix: Option<crate::prefix::PrefixStats>,
 }
 
 impl CampaignResult {
@@ -437,20 +450,107 @@ impl<'a> Campaign<'a> {
             [1, d[1], d[2], d[3]]
         };
 
-        // Golden pass: find eligible images and their clean confidence.
+        // Golden pass: find eligible images and their clean confidence —
+        // and, with prefix caching on, snapshot each resume point's input
+        // so trials can skip re-running the fault-free layers before it.
+        // The watchdog counts executed layers, so a resumed (shorter) pass
+        // would classify Hang differently: caching stands down under it.
+        let use_prefix = cfg.prefix_cache.is_some() && cfg.max_steps.is_none();
         let mut golden = FaultInjector::new((self.factory)(), FiConfig::for_input(&input_dims))?;
         if cfg.int8_activations {
             golden.enable_int8_activations();
         }
+        let prefix = if use_prefix {
+            let pc = cfg.prefix_cache.as_ref().expect("use_prefix checked");
+            let layers = golden.profile().layers();
+            let resume: Vec<Option<LayerId>> = layers
+                .iter()
+                .map(|l| golden.net().resume_point(l.id))
+                .collect();
+            // A hit on layer `li` skips the injectable layers that run
+            // strictly before its resume point; layers sharing the resume
+            // point live inside the same resumed container and re-execute.
+            // (Estimate: 2 FLOPs per MAC of conv/linear layers only.)
+            let flops: Vec<u64> = layers
+                .iter()
+                .map(|l| {
+                    let per_neuron = l.weight_dims.get(1..).map_or(0, |d| d.iter().product());
+                    2 * l.neurons_per_image() as u64 * per_neuron as u64
+                })
+                .collect();
+            let skipped: Vec<u64> = (0..layers.len())
+                .map(|li| {
+                    (0..li)
+                        .filter(|&j| resume[j] != resume[li])
+                        .map(|j| flops[j])
+                        .sum()
+                })
+                .collect();
+            // Only snapshot what trials will look up: the resume points of
+            // whitelisted injection layers.
+            let capture_ids: std::collections::HashSet<LayerId> = (0..layers.len())
+                .filter(|&li| pc.allows_layer(li))
+                .filter_map(|li| resume[li])
+                .collect();
+            Some((
+                crate::prefix::PrefixCache::new(pc.budget_bytes),
+                resume,
+                skipped,
+                capture_ids,
+            ))
+        } else {
+            None
+        };
+        // With guard hooks in play, an uncached trial scans the prefix
+        // layers' activations while a cached one skips them. Golden
+        // prefixes are clean, so that only matters if the *golden* run
+        // itself goes non-finite (e.g. laundered by a downstream ReLU) —
+        // detect that here and leave such images uncached.
+        let golden_guard = (prefix.is_some() && cfg.guard != GuardMode::Off).then(|| {
+            GuardHook::install(
+                golden.net(),
+                GuardConfig {
+                    detect_non_finite: true,
+                    short_circuit: false,
+                    max_steps: None,
+                },
+            )
+        });
         let mut eligible: Vec<(usize, f32)> = Vec::new(); // (image index, clean confidence)
         for i in 0..self.labels.len() {
             let x = self.images.select_batch(i);
-            let out = golden.forward(&x);
-            let row = out.data();
-            if top1(row) == self.labels[i] {
-                eligible.push((i, confidence(row, self.labels[i])));
+            if let Some((cache, _, _, capture_ids)) = &prefix {
+                if let Some(g) = &golden_guard {
+                    g.reset();
+                }
+                let mut captured: Vec<(LayerId, Tensor)> = Vec::new();
+                let out = golden.forward_with_capture(&x, &mut |id, t| {
+                    if capture_ids.contains(&id) {
+                        captured.push((id, t.clone()));
+                    }
+                });
+                let row = out.data();
+                if top1(row) == self.labels[i] {
+                    eligible.push((i, confidence(row, self.labels[i])));
+                    let clean = golden_guard
+                        .as_ref()
+                        .and_then(|g| g.first_non_finite())
+                        .is_none();
+                    if clean {
+                        for (id, t) in captured {
+                            cache.insert(i, id, t);
+                        }
+                    }
+                }
+            } else {
+                let out = golden.forward(&x);
+                let row = out.data();
+                if top1(row) == self.labels[i] {
+                    eligible.push((i, confidence(row, self.labels[i])));
+                }
             }
         }
+        drop(golden_guard);
         drop(golden);
         if eligible.is_empty() {
             return Ok(CampaignResult {
@@ -458,6 +558,7 @@ impl<'a> Campaign<'a> {
                 counts: OutcomeCounts::default(),
                 per_layer: Vec::new(),
                 eligible_images: 0,
+                prefix: None,
             });
         }
 
@@ -470,6 +571,7 @@ impl<'a> Campaign<'a> {
             .clamp(1, trials.max(1));
         let root = SeededRng::new(cfg.seed);
         let eligible = &eligible;
+        let prefix = &prefix;
         let mode = &self.mode;
         let model = &self.model;
         let factory = self.factory;
@@ -558,6 +660,7 @@ impl<'a> Campaign<'a> {
                     // layer) to this trial; guard interrupts unwind through
                     // the same channel and are told apart by payload type.
                     let mut planned: Option<(usize, Option<NeuronSite>)> = None;
+                    let mut prefix_hit: Option<bool> = None;
                     let shielded =
                         parallel::shield::run_quietly(|| -> Result<Vec<f32>, FiError> {
                             let (layer, site) = match mode {
@@ -588,6 +691,24 @@ impl<'a> Campaign<'a> {
                                 }
                             };
                             planned = Some((layer, site));
+                            // Prefix fast path: resume from the cached
+                            // golden activation of this layer's resume
+                            // point; any miss (evicted, unwhitelisted, or
+                            // non-finite golden) falls back to a full pass
+                            // with identical results.
+                            if let Some((cache, resume, skipped, _)) = prefix {
+                                if let Some(rid) = resume.get(layer).copied().flatten() {
+                                    match cache.lookup(image_index, rid, skipped[layer]) {
+                                        Some(act) => {
+                                            prefix_hit = Some(true);
+                                            if let Some(out) = fi.forward_from(rid, &act) {
+                                                return Ok(out.data().to_vec());
+                                            }
+                                        }
+                                        None => prefix_hit = Some(false),
+                                    }
+                                }
+                            }
                             let x = images.select_batch(image_index);
                             Ok(fi.forward(&x).data().to_vec())
                         });
@@ -679,7 +800,20 @@ impl<'a> Campaign<'a> {
                             dur_ns: dur,
                             tid: thread_tid(),
                         });
-                        l.observe_ns("campaign.trial_ns", dur);
+                        l.observe_ns(obs_names::CAMPAIGN_TRIAL_NS, dur);
+                        match prefix_hit {
+                            Some(true) => {
+                                l.counter_add(obs_names::CAMPAIGN_PREFIX_HITS, 1);
+                                if let Some((_, _, skipped, _)) = prefix {
+                                    l.counter_add(
+                                        obs_names::CAMPAIGN_PREFIX_SKIPPED_FLOPS,
+                                        skipped[record.layer],
+                                    );
+                                }
+                            }
+                            Some(false) => l.counter_add(obs_names::CAMPAIGN_PREFIX_MISSES, 1),
+                            None => {}
+                        }
                         l.event(ObsEvent::TrialOutcome(TrialOutcomeEvent {
                             trial: t,
                             layer: record.layer,
@@ -746,6 +880,7 @@ impl<'a> Campaign<'a> {
             counts,
             per_layer,
             eligible_images: eligible.len(),
+            prefix: prefix.as_ref().map(|(cache, ..)| cache.stats()),
         })
     }
 }
@@ -1274,5 +1409,218 @@ mod tests {
             matches!(err, FiError::Journal { .. }),
             "seed mismatch rejected: {err}"
         );
+    }
+
+    #[test]
+    fn prefix_cache_leaves_records_bit_identical() {
+        use crate::prefix::PrefixCacheConfig;
+
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(RandomUniform::default()),
+        );
+        let cfg = CampaignConfig {
+            trials: 48,
+            seed: 21,
+            threads: Some(3),
+            ..CampaignConfig::default()
+        };
+        let plain = campaign.run(&cfg).unwrap();
+        let cached = campaign
+            .run(&CampaignConfig {
+                prefix_cache: Some(PrefixCacheConfig::default()),
+                ..cfg.clone()
+            })
+            .unwrap();
+        assert_eq!(cached.records, plain.records, "caching is invisible");
+        assert_eq!(cached.counts, plain.counts);
+        let stats = cached.prefix.expect("stats reported when caching is on");
+        assert_eq!(stats.hits + stats.misses, 48, "every trial looked up");
+        assert!(
+            stats.hits > 0,
+            "default budget caches everything: {stats:?}"
+        );
+        assert!(stats.entries > 0 && stats.bytes > 0);
+        assert_eq!(stats.evictions, 0);
+        assert!(stats.skipped_flops > 0, "mid/late layers skipped work");
+        assert!(plain.prefix.is_none());
+    }
+
+    #[test]
+    fn prefix_cache_is_thread_count_invariant_for_weight_faults() {
+        use crate::prefix::PrefixCacheConfig;
+
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Weight(WeightSelect::Random),
+            Arc::new(StuckAt::new(1e9)),
+        );
+        let run = |threads, prefix_cache| {
+            campaign
+                .run(&CampaignConfig {
+                    trials: 32,
+                    seed: 22,
+                    threads: Some(threads),
+                    prefix_cache,
+                    ..CampaignConfig::default()
+                })
+                .unwrap()
+        };
+        let baseline = run(1, None);
+        for threads in [1, 4] {
+            let cached = run(threads, Some(PrefixCacheConfig::default()));
+            assert_eq!(cached.records, baseline.records);
+        }
+    }
+
+    #[test]
+    fn prefix_cache_preserves_guard_classification() {
+        use crate::prefix::PrefixCacheConfig;
+
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(StuckAt::new(f32::INFINITY)),
+        );
+        for guard in [GuardMode::Record, GuardMode::ShortCircuit] {
+            let cfg = CampaignConfig {
+                trials: 24,
+                seed: 23,
+                threads: Some(2),
+                guard,
+                ..CampaignConfig::default()
+            };
+            let plain = campaign.run(&cfg).unwrap();
+            let cached = campaign
+                .run(&CampaignConfig {
+                    prefix_cache: Some(PrefixCacheConfig::default()),
+                    ..cfg.clone()
+                })
+                .unwrap();
+            assert!(plain.counts.due > 0, "Inf injections are DUEs");
+            assert_eq!(
+                cached.records, plain.records,
+                "DUE provenance survives prefix resumption under {guard:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_cache_stands_down_under_the_watchdog() {
+        use crate::prefix::PrefixCacheConfig;
+
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(RandomUniform::default()),
+        );
+        let result = campaign
+            .run(&CampaignConfig {
+                trials: 8,
+                seed: 24,
+                threads: Some(2),
+                max_steps: Some(1000),
+                prefix_cache: Some(PrefixCacheConfig::default()),
+                ..CampaignConfig::default()
+            })
+            .unwrap();
+        assert!(
+            result.prefix.is_none(),
+            "step accounting would differ on a resumed pass"
+        );
+    }
+
+    #[test]
+    fn tiny_budget_evicts_but_never_changes_results() {
+        use crate::prefix::PrefixCacheConfig;
+
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(RandomUniform::default()),
+        );
+        let cfg = CampaignConfig {
+            trials: 32,
+            seed: 25,
+            threads: Some(2),
+            ..CampaignConfig::default()
+        };
+        let plain = campaign.run(&cfg).unwrap();
+        // Room for a handful of activations: later images evict earlier
+        // ones, and their trials fall back to full forward passes.
+        let cached = campaign
+            .run(&CampaignConfig {
+                prefix_cache: Some(PrefixCacheConfig::with_budget(8 << 10)),
+                ..cfg.clone()
+            })
+            .unwrap();
+        assert_eq!(cached.records, plain.records);
+        let stats = cached.prefix.unwrap();
+        assert!(stats.evictions > 0, "8 KiB cannot hold 6 images: {stats:?}");
+        assert!(stats.misses > 0, "evicted entries miss");
+        assert!(stats.bytes <= 8 << 10, "budget respected");
+    }
+
+    #[test]
+    fn layer_whitelist_limits_caching_to_those_layers() {
+        use crate::prefix::PrefixCacheConfig;
+
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(RandomUniform::default()),
+        );
+        let cfg = CampaignConfig {
+            trials: 40,
+            seed: 26,
+            threads: Some(2),
+            ..CampaignConfig::default()
+        };
+        let plain = campaign.run(&cfg).unwrap();
+        let layer_count = plain.per_layer.len();
+        assert!(layer_count > 2, "lenet has several injectable layers");
+        // Whitelist only the final injectable layer.
+        let cached = campaign
+            .run(&CampaignConfig {
+                prefix_cache: Some(PrefixCacheConfig {
+                    layers: Some(vec![layer_count - 1]),
+                    ..PrefixCacheConfig::default()
+                }),
+                ..cfg.clone()
+            })
+            .unwrap();
+        assert_eq!(cached.records, plain.records);
+        let stats = cached.prefix.unwrap();
+        let last_layer_trials = plain.per_layer[layer_count - 1].0 as u64;
+        assert_eq!(
+            stats.hits, last_layer_trials,
+            "exactly the whitelisted layer's trials hit: {stats:?}"
+        );
+        assert!(stats.misses > 0, "other layers fall back");
     }
 }

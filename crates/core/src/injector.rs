@@ -7,7 +7,7 @@ use crate::location::{BatchSelect, NeuronSelect, NeuronSite, WeightSelect, Weigh
 use crate::perturbation::{PerturbCtx, PerturbationModel};
 use crate::profile::ModelProfile;
 use parking_lot::Mutex;
-use rustfi_nn::{HookHandle, Network};
+use rustfi_nn::{HookHandle, LayerId, Network};
 use rustfi_obs::{Event as ObsEvent, InjectionEvent, InjectionSite, Recorder};
 use rustfi_quant::int8;
 use rustfi_tensor::{SeededRng, Tensor};
@@ -385,6 +385,24 @@ impl FaultInjector {
     /// Runs an inference through the (possibly perturbed) network.
     pub fn forward(&mut self, input: &Tensor) -> Tensor {
         self.net.forward(input)
+    }
+
+    /// Runs an inference, additionally handing every module's input
+    /// activation to `capture` (see
+    /// [`rustfi_nn::Network::forward_with_capture`]).
+    pub fn forward_with_capture(
+        &mut self,
+        input: &Tensor,
+        capture: &mut dyn FnMut(LayerId, &Tensor),
+    ) -> Tensor {
+        self.net.forward_with_capture(input, capture)
+    }
+
+    /// Resumes an inference at `target` from a cached activation (see
+    /// [`rustfi_nn::Network::forward_from`]). Returns `None` when `target`
+    /// is not in the network.
+    pub fn forward_from(&mut self, target: LayerId, input: &Tensor) -> Option<Tensor> {
+        self.net.forward_from(target, input)
     }
 
     /// The configuration this injector was built with.

@@ -59,6 +59,7 @@ pub mod location;
 pub mod metrics;
 pub mod models;
 pub mod perturbation;
+pub mod prefix;
 pub mod profile;
 pub mod report;
 
@@ -73,4 +74,5 @@ pub use journal::{read_journal, read_journal_repairing, JournalHeader, JournalWr
 pub use location::{BatchSelect, NeuronSelect, NeuronSite, WeightSelect, WeightSite};
 pub use metrics::{classify_outcome, OutcomeCounts, OutcomeKind};
 pub use perturbation::{PerturbCtx, PerturbationModel};
+pub use prefix::{PrefixCache, PrefixCacheConfig, PrefixStats};
 pub use profile::{LayerProfile, ModelProfile};

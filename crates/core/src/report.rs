@@ -155,6 +155,7 @@ mod tests {
             counts,
             per_layer: vec![(1, 1), (1, 0), (1, 0)],
             eligible_images: 10,
+            prefix: None,
         }
     }
 
@@ -193,6 +194,7 @@ mod tests {
             counts: OutcomeCounts::default(),
             per_layer: Vec::new(),
             eligible_images: 0,
+            prefix: None,
         };
         let s = summarize(&result);
         assert!(s.contains("0 trials"));

@@ -66,6 +66,34 @@ impl Module for Sequential {
         g
     }
 
+    /// Descends toward `target`: the resume point sits inside (or is) the
+    /// child that holds it, because the preceding siblings can be skipped.
+    fn resume_point(&self, target: LayerId) -> Option<LayerId> {
+        if self.meta.id == target {
+            return Some(target);
+        }
+        self.children.iter().find_map(|c| c.resume_point(target))
+    }
+
+    fn forward_from(
+        &mut self,
+        target: LayerId,
+        input: &Tensor,
+        ctx: &mut ForwardCtx<'_>,
+    ) -> Option<Tensor> {
+        if self.meta.id == target {
+            return Some(self.forward(input, ctx));
+        }
+        // Skip every child before the one holding `target`; resume inside
+        // it, then run the remaining children normally.
+        let idx = self.children.iter().position(|c| c.contains(target))?;
+        let mut x = ctx.forward_child_from(self.children[idx].as_mut(), target, input)?;
+        for child in &mut self.children[idx + 1..] {
+            x = ctx.forward_child(child.as_mut(), &x);
+        }
+        Some(x)
+    }
+
     fn visit(&self, f: &mut dyn FnMut(&dyn Module)) {
         f(self);
         for child in &self.children {
@@ -523,6 +551,80 @@ mod tests {
         let y = net.forward(&x);
         let g = net.backward(&y);
         assert_eq!(g, x, "shuffling then unshuffling is the identity");
+    }
+
+    #[test]
+    fn resume_point_stops_at_non_sequential_containers() {
+        let mut rng = SeededRng::new(5);
+        // seq [ conv, residual { seq [ conv ] }, seq [ conv ] ]
+        let body = Sequential::new(vec![Box::new(Conv2d::new(
+            2,
+            2,
+            3,
+            ConvSpec::new().padding(1),
+            &mut rng,
+        ))]);
+        let inner = Sequential::new(vec![Box::new(Conv2d::new(
+            2,
+            2,
+            1,
+            ConvSpec::new(),
+            &mut rng,
+        ))]);
+        let net = Network::new(Box::new(Sequential::new(vec![
+            Box::new(Conv2d::new(2, 2, 1, ConvSpec::new(), &mut rng)),
+            Box::new(Residual::new(Box::new(body))),
+            Box::new(inner),
+        ])));
+        let inj = net.injectable_layers();
+        assert_eq!(inj.len(), 3);
+        // First conv is on the spine: its own input can be cached.
+        assert_eq!(net.resume_point(inj[0]), Some(inj[0]));
+        // Conv inside the residual: resumption needs the residual's input
+        // (the skip path consumes it too), so the block is the resume point.
+        let residual_id = net
+            .layer_infos()
+            .iter()
+            .find(|l| l.kind == LayerKind::Residual)
+            .unwrap()
+            .id;
+        assert_eq!(net.resume_point(inj[1]), Some(residual_id));
+        // Conv inside a nested sequential: the descent continues through it.
+        assert_eq!(net.resume_point(inj[2]), Some(inj[2]));
+    }
+
+    #[test]
+    fn forward_from_matches_full_forward_through_nested_topologies() {
+        let build = || {
+            let mut rng = SeededRng::new(6);
+            let body = Sequential::new(vec![
+                Box::new(Conv2d::new(2, 2, 3, ConvSpec::new().padding(1), &mut rng))
+                    as Box<dyn Module>,
+                Box::new(Relu::new()),
+            ]);
+            let tail =
+                Sequential::new(vec![
+                    Box::new(Conv2d::new(2, 3, 1, ConvSpec::new(), &mut rng)) as Box<dyn Module>,
+                ]);
+            Network::new(Box::new(Sequential::new(vec![
+                Box::new(Conv2d::new(2, 2, 1, ConvSpec::new(), &mut rng)),
+                Box::new(Residual::new(Box::new(body))),
+                Box::new(tail),
+            ])))
+        };
+        let mut net = build();
+        let x = rustfi_tensor::Tensor::from_fn(&[1, 2, 5, 5], |i| (i as f32 * 0.37).sin());
+        for target in net.injectable_layers() {
+            let resume = net.resume_point(target).unwrap();
+            let mut cached = None;
+            let full = net.forward_with_capture(&x, &mut |id, input| {
+                if id == resume {
+                    cached = Some(input.clone());
+                }
+            });
+            let resumed = net.forward_from(target, &cached.unwrap()).unwrap();
+            assert_eq!(resumed, full, "resume at {resume} for target {target}");
+        }
     }
 
     #[test]

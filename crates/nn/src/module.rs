@@ -101,6 +101,10 @@ pub struct Param<'a> {
     pub grad: &'a mut Tensor,
 }
 
+/// Activation tap installed via [`Network::forward_with_capture`]: receives
+/// every module's id and *input* tensor just before the module runs.
+pub type CaptureFn<'a> = &'a mut dyn FnMut(LayerId, &Tensor);
+
 /// Per-forward-pass context threaded through the module tree.
 pub struct ForwardCtx<'a> {
     /// Whether the pass is a training pass (enables dropout, batch-stats BN).
@@ -110,6 +114,10 @@ pub struct ForwardCtx<'a> {
     /// Observability sink; `None` keeps the forward path entirely
     /// uninstrumented (one branch per child dispatch).
     recorder: Option<&'a dyn Recorder>,
+    /// Activation tap: called with every module's id and *input* tensor just
+    /// before the module runs. `None` (the default) keeps the dispatch path
+    /// free of the extra call.
+    capture: Option<CaptureFn<'a>>,
 }
 
 impl<'a> ForwardCtx<'a> {
@@ -124,6 +132,7 @@ impl<'a> ForwardCtx<'a> {
             hooks,
             rng,
             recorder,
+            capture: None,
         }
     }
 
@@ -136,11 +145,42 @@ impl<'a> ForwardCtx<'a> {
     /// recorder is installed. Containers route every child through this so
     /// the trace shows the module tree as nested spans.
     pub fn forward_child(&mut self, child: &mut dyn Module, input: &Tensor) -> Tensor {
+        if let Some(cap) = self.capture.as_mut() {
+            cap(child.meta().id, input);
+        }
         match self.recorder {
             None => child.forward(input, self),
             Some(rec) => {
                 let token = rec.layer_enter();
                 let out = child.forward(input, self);
+                let meta = child.meta();
+                rec.layer_exit(
+                    &SpanCtx {
+                        name: &meta.name,
+                        kind: child.kind().short_name(),
+                        layer: Some(meta.id.index()),
+                    },
+                    token,
+                );
+                out
+            }
+        }
+    }
+
+    /// Partial-forward analogue of [`ForwardCtx::forward_child`]: resumes
+    /// `child` at `target` (see [`Module::forward_from`]), wrapping the call
+    /// in a span when a recorder is installed.
+    pub fn forward_child_from(
+        &mut self,
+        child: &mut dyn Module,
+        target: LayerId,
+        input: &Tensor,
+    ) -> Option<Tensor> {
+        match self.recorder {
+            None => child.forward_from(target, input, self),
+            Some(rec) => {
+                let token = rec.layer_enter();
+                let out = child.forward_from(target, input, self);
                 let meta = child.meta();
                 rec.layer_exit(
                     &SpanCtx {
@@ -221,6 +261,55 @@ pub trait Module: Send {
     ///
     /// Implementations may panic if called without a preceding `forward`.
     fn backward(&mut self, grad_out: &Tensor, ctx: &mut BackwardCtx<'_>) -> Tensor;
+
+    /// Whether this subtree (the module itself or any descendant) carries
+    /// the given id.
+    fn contains(&self, id: LayerId) -> bool {
+        let mut found = false;
+        self.visit(&mut |m| found |= m.meta().id == id);
+        found
+    }
+
+    /// The module whose *input* must be cached so a later forward pass can
+    /// be resumed just before `target` executes.
+    ///
+    /// Resumption is only sound on a chain of [`Sequential`] containers: a
+    /// `Sequential` can skip the children before the one holding `target`,
+    /// but any other topology (residual/branch blocks, leaves) needs its
+    /// whole input, so the descent stops there. The default — correct for
+    /// every leaf and non-sequential container — is therefore the module
+    /// itself when it contains `target`, and `None` otherwise.
+    /// [`Sequential`] overrides this to descend into the child holding
+    /// `target`.
+    ///
+    /// [`Sequential`]: crate::layer::container::Sequential
+    fn resume_point(&self, target: LayerId) -> Option<LayerId> {
+        self.contains(target).then(|| self.meta().id)
+    }
+
+    /// Runs the tail of a forward pass: skips every part of this subtree
+    /// that executes strictly before [`Module::resume_point`]`(target)`, and
+    /// feeds `input` — which must be the activation that module originally
+    /// received — to the rest. Returns `None` when `target` is not in this
+    /// subtree.
+    ///
+    /// With a fault-free prefix this is exact: every skipped layer would
+    /// have recomputed precisely the cached activation (f32 inference is
+    /// deterministic). Skipped layers do not run their forward hooks and do
+    /// not draw from the dropout RNG stream, so callers must only resume
+    /// inference-mode passes whose prefix is unperturbed.
+    fn forward_from(
+        &mut self,
+        target: LayerId,
+        input: &Tensor,
+        ctx: &mut ForwardCtx<'_>,
+    ) -> Option<Tensor> {
+        if self.contains(target) {
+            Some(self.forward(input, ctx))
+        } else {
+            None
+        }
+    }
 
     /// Pre-order traversal over this module and all descendants.
     fn visit(&self, f: &mut dyn FnMut(&dyn Module));
@@ -406,6 +495,52 @@ impl Network {
             self.recorder.as_deref(),
         );
         ctx.forward_child(self.root.as_mut(), input)
+    }
+
+    /// Runs a forward pass like [`Network::forward`], additionally calling
+    /// `capture` with every module's id and input activation just before
+    /// that module executes. The tensors handed to `capture` are the live
+    /// intermediates — clone what you keep.
+    ///
+    /// This is how a campaign snapshots golden prefix activations: capture
+    /// at the [`Network::resume_point`] of each injection layer, then replay
+    /// trials with [`Network::forward_from`].
+    pub fn forward_with_capture(
+        &mut self,
+        input: &Tensor,
+        capture: &mut dyn FnMut(LayerId, &Tensor),
+    ) -> Tensor {
+        let mut ctx = ForwardCtx::new(
+            self.training,
+            &self.hooks,
+            &mut self.rng,
+            self.recorder.as_deref(),
+        );
+        ctx.capture = Some(capture);
+        ctx.forward_child(self.root.as_mut(), input)
+    }
+
+    /// Resumes a forward pass at the resume point of `target`, feeding it
+    /// `input` — the activation that module received in a full pass (see
+    /// [`Network::forward_with_capture`]). Returns `None` if `target` is not
+    /// a layer of this network.
+    ///
+    /// Exact only when the skipped prefix is fault-free and the pass is
+    /// inference-mode (skipped layers neither run hooks nor draw RNG).
+    pub fn forward_from(&mut self, target: LayerId, input: &Tensor) -> Option<Tensor> {
+        let mut ctx = ForwardCtx::new(
+            self.training,
+            &self.hooks,
+            &mut self.rng,
+            self.recorder.as_deref(),
+        );
+        ctx.forward_child_from(self.root.as_mut(), target, input)
+    }
+
+    /// The module whose input must be cached to later resume a forward pass
+    /// just before `target` (see [`Module::resume_point`]).
+    pub fn resume_point(&self, target: LayerId) -> Option<LayerId> {
+        self.root.resume_point(target)
     }
 
     /// Runs a backward pass from the gradient of the loss w.r.t. the output
@@ -630,6 +765,79 @@ mod tests {
         net.set_recorder(None);
         assert_eq!(net.forward(&x), plain);
         assert_eq!(rec.snapshot().spans.len(), 4, "no spans after removal");
+    }
+
+    #[test]
+    fn capture_taps_every_module_input_without_changing_output() {
+        let mut net = tiny_net();
+        let x = Tensor::ones(&[1, 3, 6, 6]);
+        let plain = net.forward(&x);
+        let mut taps: Vec<(usize, Vec<usize>)> = Vec::new();
+        let out = net.forward_with_capture(&x, &mut |id, input| {
+            taps.push((id.index(), input.dims().to_vec()));
+        });
+        assert_eq!(out, plain, "capturing must not perturb the forward");
+        // Root (seq), conv, relu, conv — in dispatch order.
+        assert_eq!(taps.len(), 4);
+        assert_eq!(taps[0], (0, vec![1, 3, 6, 6]));
+        assert_eq!(taps[1], (1, vec![1, 3, 6, 6]));
+        assert_eq!(taps[2], (2, vec![1, 4, 6, 6]));
+        assert_eq!(taps[3], (3, vec![1, 4, 6, 6]));
+    }
+
+    #[test]
+    fn forward_from_cached_input_is_bit_identical() {
+        let mut net = tiny_net();
+        let x = Tensor::ones(&[1, 3, 6, 6]);
+        // Capture the input of the second conv (id 3), then resume there.
+        let target = net.injectable_layers()[1];
+        assert_eq!(net.resume_point(target), Some(target), "spine layer");
+        let mut cached: Option<Tensor> = None;
+        let full = net.forward_with_capture(&x, &mut |id, input| {
+            if id == target {
+                cached = Some(input.clone());
+            }
+        });
+        let resumed = net
+            .forward_from(target, &cached.expect("captured"))
+            .unwrap();
+        assert_eq!(resumed, full);
+    }
+
+    #[test]
+    fn forward_from_skips_hooks_before_the_resume_point() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mut net = tiny_net();
+        let x = Tensor::ones(&[1, 3, 6, 6]);
+        let target = net.injectable_layers()[1];
+        let mut cached: Option<Tensor> = None;
+        net.forward_with_capture(&x, &mut |id, input| {
+            if id == target {
+                cached = Some(input.clone());
+            }
+        });
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&fired);
+        net.hooks().register_forward_all(move |_, _| {
+            f.fetch_add(1, Ordering::Relaxed);
+        });
+        net.forward(&x);
+        assert_eq!(fired.swap(0, Ordering::Relaxed), 3, "all leaves hook");
+        net.forward_from(target, &cached.unwrap()).unwrap();
+        assert_eq!(
+            fired.load(Ordering::Relaxed),
+            1,
+            "only the resumed conv dispatches hooks"
+        );
+    }
+
+    #[test]
+    fn forward_from_unknown_target_is_none() {
+        let mut net = tiny_net();
+        assert!(net
+            .forward_from(LayerId::from_index(99), &Tensor::ones(&[1, 3, 6, 6]))
+            .is_none());
+        assert!(net.resume_point(LayerId::from_index(99)).is_none());
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod clock;
 pub mod event;
 pub mod jsonl;
 pub mod local;
+pub mod names;
 pub mod prom;
 pub mod recorder;
 pub mod timing;

@@ -1,0 +1,55 @@
+//! Canonical metric names emitted by the RustFI stack.
+//!
+//! Counter and timing keys cross crate boundaries as plain strings (the
+//! [`Recorder`](crate::Recorder) API is stringly-keyed on purpose — it keeps
+//! the trait object-safe and dependency-free). The constants here are the
+//! single source of truth for those keys, so emitters in `rustfi-nn` /
+//! `rustfi` and consumers (Prometheus export, dashboards, benches) cannot
+//! drift apart.
+
+/// Forward-hook dispatches observed at leaf layers (`rustfi-nn`).
+pub const NN_HOOK_DISPATCHES: &str = "nn.hook_dispatches";
+
+/// Guard-hook activation scans (`rustfi-nn`).
+pub const NN_GUARD_CHECKS: &str = "nn.guard_checks";
+
+/// Individual value perturbations applied by a fault injector.
+pub const FI_INJECTIONS: &str = "fi.injections";
+
+/// Per-trial wall time histogram key.
+pub const CAMPAIGN_TRIAL_NS: &str = "campaign.trial_ns";
+
+/// Trials whose forward pass resumed from a cached golden-prefix activation.
+pub const CAMPAIGN_PREFIX_HITS: &str = "campaign.prefix_hits";
+
+/// Trials that fell back to a full forward pass (entry evicted, layer not
+/// whitelisted, or image not cached).
+pub const CAMPAIGN_PREFIX_MISSES: &str = "campaign.prefix_misses";
+
+/// Estimated floating-point operations skipped by prefix-cache hits
+/// (2 × MACs of the injectable layers that did not re-execute).
+pub const CAMPAIGN_PREFIX_SKIPPED_FLOPS: &str = "campaign.prefix_skipped_flops";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_namespaced_and_distinct() {
+        let all = [
+            NN_HOOK_DISPATCHES,
+            NN_GUARD_CHECKS,
+            FI_INJECTIONS,
+            CAMPAIGN_TRIAL_NS,
+            CAMPAIGN_PREFIX_HITS,
+            CAMPAIGN_PREFIX_MISSES,
+            CAMPAIGN_PREFIX_SKIPPED_FLOPS,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            assert!(a.contains('.'), "{a} is namespaced");
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -4,8 +4,14 @@
 //! also covers depthwise convolution when `groups == in_channels`). These are
 //! the only convolution variants the model zoo needs.
 
-use crate::linalg::matmul;
+use crate::linalg::{matmul_into, transpose_into};
+use crate::parallel;
 use crate::tensor::Tensor;
+
+/// Threshold (in multiply–accumulate operations) above which [`conv2d`]
+/// parallelizes across batch elements instead of inside the per-group
+/// matmul. Matches the matmul threshold so small problems stay serial.
+const PARALLEL_BATCH_MACS: usize = 1 << 20;
 
 /// Geometry of a convolution: stride, padding, groups.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,9 +83,11 @@ pub struct Conv2dGrads {
 }
 
 /// Lowers one batch element's group slice into an im2col matrix of shape
-/// `[cg*kh*kw, oh*ow]`.
+/// `[cg*kh*kw, oh*ow]`, written into the caller's scratch buffer (zeroed
+/// here first, so padding positions come out 0 even when the buffer is
+/// dirty from a previous call).
 #[allow(clippy::too_many_arguments)]
-fn im2col(
+fn im2col_into(
     input: &Tensor,
     n: usize,
     c_start: usize,
@@ -89,9 +97,11 @@ fn im2col(
     spec: &ConvSpec,
     oh: usize,
     ow: usize,
-) -> Tensor {
+    cols: &mut [f32],
+) {
     let (_, _, h, w) = input.dims4();
-    let mut cols = vec![0.0f32; cg * kh * kw * oh * ow];
+    assert_eq!(cols.len(), cg * kh * kw * oh * ow, "im2col scratch size");
+    cols.fill(0.0);
     let ow_stride = oh * ow;
     for c in 0..cg {
         let fm = input.fmap(n, c_start + c);
@@ -115,14 +125,13 @@ fn im2col(
             }
         }
     }
-    Tensor::from_vec(cols, &[cg * kh * kw, oh * ow])
 }
 
 /// Scatters an im2col-shaped gradient matrix back onto the input gradient
 /// (inverse of [`im2col`], accumulating where patches overlap).
 #[allow(clippy::too_many_arguments)]
 fn col2im(
-    cols: &Tensor,
+    cols: &[f32],
     grad_input: &mut Tensor,
     n: usize,
     c_start: usize,
@@ -134,7 +143,7 @@ fn col2im(
     ow: usize,
 ) {
     let (_, _, h, w) = grad_input.dims4();
-    let data = cols.data();
+    let data = cols;
     let ow_stride = oh * ow;
     for c in 0..cg {
         let fm = grad_input.fmap_mut(n, c_start + c);
@@ -226,25 +235,59 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -
     let cg = c / spec.groups;
     let og = oc / spec.groups;
 
+    let kcols = cg * kh * kw;
+    let ohw = oh * ow;
+    // The per-group weight slab is a contiguous run of rows of the
+    // [oc, cg*kh*kw] weight matrix, so it can be borrowed directly — no
+    // per-batch (or even per-call) slab copy.
+    let wdata = weight.data();
+    let bdata = bias.data();
+    let spec = *spec;
+
     let mut out = Tensor::zeros(&[n, oc, oh, ow]);
-    for bn in 0..n {
+    let batch_stride = oc * ohw;
+
+    // One batch element's worth of work, with caller-owned im2col/product
+    // scratch reused across every (batch, group) iteration. The inner matmul
+    // stays serial when the caller is already fanned out across batches.
+    let run_batch = |bn: usize,
+                     out_bn: &mut [f32],
+                     cols: &mut [f32],
+                     prod: &mut [f32],
+                     parallel_matmul: bool| {
         for g in 0..spec.groups {
-            let cols = im2col(input, bn, g * cg, cg, kh, kw, spec, oh, ow);
-            // Weight slab for this group as a [og, cg*kh*kw] matrix.
-            let wstart = g * og * cg * kh * kw;
-            let wmat = Tensor::from_vec(
-                weight.data()[wstart..wstart + og * cg * kh * kw].to_vec(),
-                &[og, cg * kh * kw],
-            );
-            let prod = matmul(&wmat, &cols); // [og, oh*ow]
+            im2col_into(input, bn, g * cg, cg, kh, kw, &spec, oh, ow, cols);
+            let wslab = &wdata[g * og * kcols..(g + 1) * og * kcols];
+            matmul_into(wslab, cols, prod, og, kcols, ohw, parallel_matmul);
             for o in 0..og {
-                let b = bias.data()[g * og + o];
-                let dst = out.fmap_mut(bn, g * og + o);
-                let src = &prod.data()[o * oh * ow..(o + 1) * oh * ow];
-                for (d, &s) in dst.iter_mut().zip(src) {
+                let b = bdata[g * og + o];
+                let dst = &mut out_bn[(g * og + o) * ohw..(g * og + o + 1) * ohw];
+                for (d, &s) in dst.iter_mut().zip(&prod[o * ohw..(o + 1) * ohw]) {
                     *d = s + b;
                 }
             }
+        }
+    };
+
+    let total_macs = n * oc * ohw * kcols;
+    if n > 1 && total_macs >= PARALLEL_BATCH_MACS {
+        // Batch elements are independent, so fan them across workers; each
+        // worker reuses one scratch pair for its whole run of batches.
+        parallel::for_each_chunk_mut(out.data_mut(), batch_stride, |start, items, slab| {
+            let mut cols = vec![0.0f32; kcols * ohw];
+            let mut prod = vec![0.0f32; og * ohw];
+            for i in 0..items {
+                let out_bn = &mut slab[i * batch_stride..(i + 1) * batch_stride];
+                run_batch(start + i, out_bn, &mut cols, &mut prod, false);
+            }
+        });
+    } else {
+        let mut cols = vec![0.0f32; kcols * ohw];
+        let mut prod = vec![0.0f32; og * ohw];
+        let out_data = out.data_mut();
+        for bn in 0..n {
+            let out_bn = &mut out_data[bn * batch_stride..(bn + 1) * batch_stride];
+            run_batch(bn, out_bn, &mut cols, &mut prod, true);
         }
     }
     out
@@ -275,40 +318,54 @@ pub fn conv2d_backward(
     let mut grad_weight = Tensor::zeros(weight.dims());
     let mut grad_bias = Tensor::zeros(&[oc]);
 
-    for bn in 0..n {
-        for g in 0..spec.groups {
+    let kcols = cg * kh * kw;
+    let ohw = oh * ow;
+    // One scratch set reused across every (group, batch) iteration: the old
+    // code re-ran im2col *and* allocated a fresh transpose per pair. The
+    // weight transpose depends only on the group, so the loop is reordered
+    // group-outer and `wt` built once per group. Per-element accumulation
+    // into grad_weight/grad_bias still runs in increasing batch order, so
+    // results are unchanged.
+    let mut cols = vec![0.0f32; kcols * ohw];
+    let mut cols_t = vec![0.0f32; kcols * ohw];
+    let mut gmat = vec![0.0f32; og * ohw];
+    let mut gw = vec![0.0f32; og * kcols];
+    let mut gcols = vec![0.0f32; kcols * ohw];
+    let mut wt = vec![0.0f32; kcols * og];
+
+    for g in 0..spec.groups {
+        let wstart = g * og * kcols;
+        transpose_into(
+            &weight.data()[wstart..wstart + og * kcols],
+            &mut wt,
+            og,
+            kcols,
+        );
+        for bn in 0..n {
             // grad_out slab for this group: [og, oh*ow]
-            let mut gmat = Vec::with_capacity(og * oh * ow);
             for o in 0..og {
-                gmat.extend_from_slice(grad_out.fmap(bn, g * og + o));
+                gmat[o * ohw..(o + 1) * ohw].copy_from_slice(grad_out.fmap(bn, g * og + o));
             }
-            let gmat = Tensor::from_vec(gmat, &[og, oh * ow]);
 
             // Bias gradient: sum over spatial positions.
             for o in 0..og {
-                let s: f32 = gmat.data()[o * oh * ow..(o + 1) * oh * ow].iter().sum();
+                let s: f32 = gmat[o * ohw..(o + 1) * ohw].iter().sum();
                 grad_bias.data_mut()[g * og + o] += s;
             }
 
             // Weight gradient: gmat [og, ohw] x cols^T [ohw, cg*kh*kw].
-            let cols = im2col(input, bn, g * cg, cg, kh, kw, spec, oh, ow);
-            let cols_t = crate::linalg::transpose(&cols);
-            let gw = matmul(&gmat, &cols_t); // [og, cg*kh*kw]
-            let wstart = g * og * cg * kh * kw;
-            for (dst, src) in grad_weight.data_mut()[wstart..wstart + og * cg * kh * kw]
+            im2col_into(input, bn, g * cg, cg, kh, kw, spec, oh, ow, &mut cols);
+            transpose_into(&cols, &mut cols_t, kcols, ohw);
+            matmul_into(&gmat, &cols_t, &mut gw, og, ohw, kcols, true);
+            for (dst, src) in grad_weight.data_mut()[wstart..wstart + og * kcols]
                 .iter_mut()
-                .zip(gw.data())
+                .zip(&gw)
             {
                 *dst += src;
             }
 
             // Input gradient: W^T [cg*kh*kw, og] x gmat [og, ohw] -> cols grad.
-            let wmat = Tensor::from_vec(
-                weight.data()[wstart..wstart + og * cg * kh * kw].to_vec(),
-                &[og, cg * kh * kw],
-            );
-            let wt = crate::linalg::transpose(&wmat);
-            let gcols = matmul(&wt, &gmat); // [cg*kh*kw, ohw]
+            matmul_into(&wt, &gmat, &mut gcols, kcols, og, ohw, true);
             col2im(
                 &gcols,
                 &mut grad_input,

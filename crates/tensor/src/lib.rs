@@ -40,7 +40,7 @@ mod shape;
 mod tensor;
 
 pub use conv::{conv2d, conv2d_backward, Conv2dGrads, ConvSpec};
-pub use linalg::matmul;
+pub use linalg::{matmul, matmul_into, transpose_into};
 pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec};
 pub use resize::{resize_map, upsample_nearest, zero_pad2d};
 pub use rng::SeededRng;

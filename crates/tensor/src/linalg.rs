@@ -7,10 +7,122 @@ use crate::tensor::Tensor;
 /// across threads.
 const PARALLEL_MACS: usize = 1 << 20;
 
+/// Rows of `a` processed together by the register-blocked microkernel: each
+/// loaded `b` segment feeds this many output rows.
+const MR: usize = 4;
+
+/// Column-tile width of the microkernel. An `MR` × `NR` f32 accumulator tile
+/// fits in SIMD registers, so the hot loop does `MR * NR` fused
+/// multiply-adds per `NR`-wide load of `b`.
+const NR: usize = 16;
+
+/// Serial register-blocked kernel over `rows` of the output.
+///
+/// Accumulation order per output element is strictly `kk`-increasing — the
+/// same order for every blocking factor, tile width, and thread count — so
+/// results are bit-identical regardless of how the work is split.
+fn block_rows(
+    a: &[f32],
+    b: &[f32],
+    rows: std::ops::Range<usize>,
+    out_rows: &mut [f32],
+    k: usize,
+    n: usize,
+) {
+    let row0 = rows.start;
+    let mut i = rows.start;
+    while i < rows.end {
+        let mr = MR.min(rows.end - i);
+        let mut jt = 0;
+        while jt < n {
+            let jw = NR.min(n - jt);
+            if mr == MR && jw == NR {
+                // Full tile: constant trip counts let the accumulators live
+                // in registers across the whole k sweep.
+                let a0 = &a[i * k..(i + 1) * k];
+                let a1 = &a[(i + 1) * k..(i + 2) * k];
+                let a2 = &a[(i + 2) * k..(i + 3) * k];
+                let a3 = &a[(i + 3) * k..(i + 4) * k];
+                let mut acc = [[0.0f32; NR]; MR];
+                for kk in 0..k {
+                    let b_seg: &[f32; NR] = b[kk * n + jt..kk * n + jt + NR]
+                        .try_into()
+                        .expect("NR-wide");
+                    let (v0, v1, v2, v3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+                    for j in 0..NR {
+                        acc[0][j] += v0 * b_seg[j];
+                        acc[1][j] += v1 * b_seg[j];
+                        acc[2][j] += v2 * b_seg[j];
+                        acc[3][j] += v3 * b_seg[j];
+                    }
+                }
+                for (r, acc_row) in acc.iter().enumerate() {
+                    let base = (i - row0 + r) * n + jt;
+                    out_rows[base..base + NR].copy_from_slice(acc_row);
+                }
+            } else {
+                // Remainder rows/columns: same kk-increasing accumulation
+                // into a partial tile.
+                for r in 0..mr {
+                    let mut acc = [0.0f32; NR];
+                    let a_row = &a[(i + r) * k..(i + r + 1) * k];
+                    for (kk, &av) in a_row.iter().enumerate() {
+                        let b_seg = &b[kk * n + jt..kk * n + jt + jw];
+                        for (o, &bv) in acc.iter_mut().zip(b_seg) {
+                            *o += av * bv;
+                        }
+                    }
+                    let base = (i - row0 + r) * n + jt;
+                    out_rows[base..base + jw].copy_from_slice(&acc[..jw]);
+                }
+            }
+            jt += jw;
+        }
+        i += mr;
+    }
+}
+
+/// Multiplies `a [m, k] x b [k, n]` into `out [m * n]`, overwriting `out`.
+///
+/// This is the allocation-free core of [`matmul`], exposed so callers with
+/// reusable scratch buffers (im2col convolution, benchmarks) can skip the
+/// per-call `Tensor` allocation. Parallelizes over output rows above an
+/// internal work threshold; pass `allow_parallel = false` when calling from
+/// inside an already-parallel region to avoid nested thread fan-out.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `m`, `k`, `n`.
+pub fn matmul_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    allow_parallel: bool,
+) {
+    crate::opcount::count_matmul();
+    assert_eq!(a.len(), m * k, "lhs length != m*k");
+    assert_eq!(b.len(), k * n, "rhs length != k*n");
+    assert_eq!(out.len(), m * n, "out length != m*n");
+    // No zero-fill needed: block_rows overwrites every output element.
+    if allow_parallel && m * n * k >= PARALLEL_MACS && m > 1 {
+        parallel::for_each_chunk_mut(out, n, |chunk_idx, rows, slab| {
+            block_rows(a, b, chunk_idx..chunk_idx + rows, slab, k, n);
+        });
+    } else {
+        block_rows(a, b, 0..m, out, k, n);
+    }
+}
+
 /// Multiplies two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
 ///
-/// Uses an ikj loop order for cache-friendly access and parallelizes over
-/// output rows for large problems.
+/// Uses a register-blocked microkernel ([`MR`] output rows share each loaded
+/// `b` row, columns processed in [`NR`]-wide tiles) and parallelizes over
+/// output rows for large problems. Accumulation order per output element is
+/// identical in the serial and parallel paths, so results do not depend on
+/// the thread count.
 ///
 /// # Panics
 ///
@@ -26,7 +138,6 @@ const PARALLEL_MACS: usize = 1 << 20;
 /// assert_eq!(matmul(&a, &i), a);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    crate::opcount::count_matmul();
     let (m, k) = a.dims2();
     let (k2, n) = b.dims2();
     assert_eq!(
@@ -37,33 +148,25 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         b.dims()
     );
     let mut out = vec![0.0f32; m * n];
-    let a_data = a.data();
-    let b_data = b.data();
-
-    let row_work = |rows: std::ops::Range<usize>, out_rows: &mut [f32]| {
-        for (local_i, i) in rows.enumerate() {
-            let out_row = &mut out_rows[local_i * n..(local_i + 1) * n];
-            for kk in 0..k {
-                let aik = a_data[i * k + kk];
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &b_data[kk * n..(kk + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += aik * bv;
-                }
-            }
-        }
-    };
-
-    if m * n * k >= PARALLEL_MACS && m > 1 {
-        parallel::for_each_chunk_mut(&mut out, n, |chunk_idx, rows, slab| {
-            row_work(chunk_idx..chunk_idx + rows, slab);
-        });
-    } else {
-        row_work(0..m, &mut out);
-    }
+    matmul_into(a.data(), b.data(), &mut out, m, k, n, true);
     Tensor::from_vec(out, &[m, n])
+}
+
+/// Transposes an `[m, n]` row-major matrix in `src` into `dst` (`[n, m]`).
+///
+/// Allocation-free core of [`transpose`] for callers with scratch buffers.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `m * n`.
+pub fn transpose_into(src: &[f32], dst: &mut [f32], m: usize, n: usize) {
+    assert_eq!(src.len(), m * n, "src length != m*n");
+    assert_eq!(dst.len(), m * n, "dst length != m*n");
+    for i in 0..m {
+        for j in 0..n {
+            dst[j * m + i] = src[i * n + j];
+        }
+    }
 }
 
 /// Transposes a rank-2 tensor.
@@ -74,11 +177,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 pub fn transpose(a: &Tensor) -> Tensor {
     let (m, n) = a.dims2();
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            out[j * m + i] = a.data()[i * n + j];
-        }
-    }
+    transpose_into(a.data(), &mut out, m, n);
     Tensor::from_vec(out, &[n, m])
 }
 
@@ -136,6 +235,41 @@ mod tests {
         for (x, y) in fast.data().iter().zip(&reference) {
             assert!((x - y).abs() < 1e-3, "{x} vs {y}");
         }
+    }
+
+    #[test]
+    fn blocked_kernel_is_thread_count_and_shape_invariant() {
+        use crate::rng::SeededRng;
+        let mut rng = SeededRng::new(7);
+        // Odd sizes exercise the remainder-row path and partial column tiles.
+        for &(m, k, n) in &[(1usize, 37usize, 130usize), (5, 9, 3), (131, 64, 129)] {
+            let a = Tensor::rand_normal(&[m, k], 0.0, 1.0, &mut rng);
+            let b = Tensor::rand_normal(&[k, n], 0.0, 1.0, &mut rng);
+            let mut serial = vec![0.0f32; m * n];
+            matmul_into(a.data(), b.data(), &mut serial, m, k, n, false);
+            // The Tensor front-end may take the parallel path; results must
+            // match bit-for-bit because per-element accumulation order is
+            // identical.
+            assert_eq!(matmul(&a, &b).data(), &serial[..], "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_into_overwrites_dirty_scratch() {
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let b = [1.0f32, 0.0, 0.0, 1.0];
+        let mut out = [9.0f32; 4];
+        matmul_into(&a, &b, &mut out, 2, 2, 2, false);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn zeros_times_infinity_is_nan_not_skipped() {
+        // The old kernel skipped `a` zeros, silently turning 0 * inf into 0.
+        // IEEE says NaN; the blocked kernel must not special-case zeros.
+        let a = Tensor::from_vec(vec![0.0f32], &[1, 1]);
+        let b = Tensor::from_vec(vec![f32::INFINITY], &[1, 1]);
+        assert!(matmul(&a, &b).data()[0].is_nan());
     }
 
     #[test]

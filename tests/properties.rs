@@ -247,6 +247,58 @@ proptest! {
         prop_assert_eq!(snap.counters.get("fi.injections").copied().unwrap_or(0) > 0, true);
     }
 
+    /// Golden-prefix caching is purely a throughput optimization: for any
+    /// seed, worker count, and byte budget — including budgets so small the
+    /// cache thrashes and trials constantly fall back to full forward
+    /// passes — a prefix-cached campaign's records are bit-identical to an
+    /// uncached run, and every trial's lookup is accounted as a hit or miss.
+    #[test]
+    fn prefix_caching_never_changes_records(
+        seed in any::<u64>(),
+        threads in 1usize..4,
+        // log2 of the budget in KiB: 4 KiB (thrashing) up to 2 GiB (holds
+        // every prefix).
+        budget_log2_kib in 2u32..21,
+    ) {
+        fn tiny_lenet() -> Network {
+            zoo::lenet(&ZooConfig::tiny(4))
+        }
+        let images = Tensor::from_fn(&[5, 3, 16, 16], |i| ((i as f32) * 0.019).sin());
+        let mut probe = tiny_lenet();
+        let labels: Vec<usize> = (0..images.dims()[0])
+            .map(|i| rustfi::metrics::top1(probe.forward(&images.select_batch(i)).data()))
+            .collect();
+        let campaign = Campaign::new(
+            &tiny_lenet,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            // Exponent-bit flips mix masked, SDC, and DUE outcomes, so the
+            // equality below covers every classification path.
+            Arc::new(models::BitFlipFp32::new(models::BitSelect::Random)),
+        );
+        let run = |prefix_cache, threads: usize| {
+            campaign
+                .run(&CampaignConfig {
+                    trials: 12,
+                    seed,
+                    threads: Some(threads),
+                    guard: rustfi::GuardMode::Record,
+                    prefix_cache,
+                    ..CampaignConfig::default()
+                })
+                .unwrap()
+        };
+        let budget = 1usize << (10 + budget_log2_kib);
+        let plain = run(None, 1);
+        let cached = run(Some(rustfi::PrefixCacheConfig::with_budget(budget)), threads);
+        prop_assert_eq!(&plain.records, &cached.records);
+        prop_assert_eq!(plain.counts, cached.counts);
+        let stats = cached.prefix.unwrap();
+        prop_assert_eq!(stats.hits + stats.misses, 12);
+        prop_assert!(stats.bytes <= budget);
+    }
+
     /// Interval convolution bounds always contain the nominal output.
     #[test]
     fn interval_conv_soundness(seed in any::<u64>(), eps in 0.0f32..0.5) {
