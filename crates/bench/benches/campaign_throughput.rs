@@ -1,7 +1,8 @@
-//! Campaign trial throughput: golden-prefix caching and the blocked matmul
-//! kernel, with a machine-readable `BENCH_campaign.json` summary.
+//! Campaign trial throughput: golden-prefix caching, fused batched trials,
+//! and the blocked matmul kernel, with a machine-readable
+//! `BENCH_campaign.json` summary.
 //!
-//! Two measurements back the perf claims in `EXPERIMENTS.md`:
+//! Three measurements back the perf claims in `EXPERIMENTS.md`:
 //!
 //! 1. **Kernel**: the register-blocked `matmul` against a faithful copy of
 //!    the previous ikj kernel (zero-skip branch included), at im2col GEMM
@@ -11,20 +12,17 @@
 //!    [`rustfi::PrefixCacheConfig`] — trials resume from the injection
 //!    layer instead of re-running the clean prefix, so the speedup grows
 //!    with injection depth. Records are asserted bit-identical.
+//! 3. **Fusion**: the same campaign with [`rustfi::FusionConfig`] stacked on
+//!    the prefix cache — trials sharing an `(injection layer, image)` pair
+//!    execute as one batched forward pass, amortizing per-pass overhead
+//!    across the batch. Records are asserted bit-identical.
 //!
-//! Knobs (all `RUSTFI_*` environment variables):
-//!
-//! - `RUSTFI_BENCH_MODEL` (default `vgg19`), `RUSTFI_BENCH_DATASET`
-//!   (default `cifar10-like`)
-//! - `RUSTFI_IMAGES` test images (default 8), `RUSTFI_TRIALS` trials per
-//!   layer (default 500 — per-campaign setup costs amortize over trials,
-//!   so very small counts understate the steady-state throughput gain)
-//! - `RUSTFI_BENCH_JSON` output path (default `BENCH_campaign.json` in the
-//!   repository root); set to `skip` to suppress the file.
+//! Knobs are the shared quick-mode `RUSTFI_*` environment variables — see
+//! [`rustfi_bench::QuickMode`] — which `bench_gate` reads too.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rustfi::{Campaign, CampaignConfig, FaultMode, NeuronSelect, PrefixCacheConfig};
-use rustfi_bench::{env_usize, zoo_config_for};
+use rustfi::{Campaign, CampaignConfig, FaultMode, FusionConfig, NeuronSelect, PrefixCacheConfig};
+use rustfi_bench::{env_usize, zoo_config_for, QuickMode};
 use rustfi_nn::{zoo, Network};
 use rustfi_tensor::{matmul, parallel, SeededRng, Tensor};
 use std::sync::Arc;
@@ -138,18 +136,26 @@ struct CampaignNumbers {
     images: usize,
     uncached_s: f64,
     cached_s: f64,
+    fused_s: f64,
+    fusion_width: usize,
     hits: u64,
     misses: u64,
     skipped_flops: u64,
 }
 
-fn bench_campaign(c: &mut Criterion) -> CampaignNumbers {
-    let model = std::env::var("RUSTFI_BENCH_MODEL").unwrap_or_else(|_| "vgg19".into());
-    let dataset = std::env::var("RUSTFI_BENCH_DATASET").unwrap_or_else(|_| "cifar10-like".into());
-    let n_images = env_usize("RUSTFI_IMAGES", 8);
-    let trials = env_usize("RUSTFI_TRIALS", 500);
+fn bench_campaign(c: &mut Criterion, qm: &QuickMode) -> CampaignNumbers {
+    let QuickMode {
+        model,
+        dataset,
+        images: n_images,
+        trials,
+        iters,
+        ..
+    } = qm.clone();
     let cfg = zoo_config_for(&dataset);
     let hw = cfg.image_hw;
+    let fusion = FusionConfig::default();
+    let fusion_width = fusion.max_batch;
 
     let model_name: &'static str = Box::leak(model.clone().into_boxed_str());
     let dataset_name: &'static str = Box::leak(dataset.clone().into_boxed_str());
@@ -172,7 +178,7 @@ fn bench_campaign(c: &mut Criterion) -> CampaignNumbers {
     // prefix caching skips the most clean recomputation.
     let layers: Vec<usize> = (layer_count / 2..layer_count).collect();
 
-    let run_all = |prefix: Option<PrefixCacheConfig>| {
+    let run_all = |prefix: Option<PrefixCacheConfig>, fusion: Option<FusionConfig>| {
         let mut results = Vec::new();
         for &layer in &layers {
             let campaign = Campaign::new(
@@ -188,6 +194,7 @@ fn bench_campaign(c: &mut Criterion) -> CampaignNumbers {
                         trials,
                         seed: 0xF164 + layer as u64,
                         prefix_cache: prefix.clone(),
+                        fusion,
                         ..CampaignConfig::default()
                     })
                     .expect("campaign runs"),
@@ -197,25 +204,32 @@ fn bench_campaign(c: &mut Criterion) -> CampaignNumbers {
     };
 
     let mut group = c.benchmark_group("campaign_throughput");
-    group.sample_size(env_usize("RUSTFI_CAMPAIGN_ITERS", 3));
+    group.sample_size(iters);
     group.bench_function(BenchmarkId::new("uncached", model_name), |b| {
-        b.iter(|| run_all(None))
+        b.iter(|| run_all(None, None))
     });
     group.bench_function(BenchmarkId::new("prefix_cached", model_name), |b| {
-        b.iter(|| run_all(Some(PrefixCacheConfig::default())))
+        b.iter(|| run_all(Some(PrefixCacheConfig::default()), None))
+    });
+    group.bench_function(BenchmarkId::new("fused", model_name), |b| {
+        b.iter(|| run_all(Some(PrefixCacheConfig::default()), Some(fusion)))
     });
     group.finish();
 
-    let iters = env_usize("RUSTFI_CAMPAIGN_ITERS", 3);
-    let uncached_s = time_mean(iters, || run_all(None));
-    let cached_s = time_mean(iters, || run_all(Some(PrefixCacheConfig::default())));
+    let uncached_s = time_mean(iters, || run_all(None, None));
+    let cached_s = time_mean(iters, || run_all(Some(PrefixCacheConfig::default()), None));
+    let fused_s = time_mean(iters, || {
+        run_all(Some(PrefixCacheConfig::default()), Some(fusion))
+    });
 
-    // The optimization must be invisible in the records.
-    let plain = run_all(None);
-    let cached = run_all(Some(PrefixCacheConfig::default()));
+    // The optimizations must be invisible in the records.
+    let plain = run_all(None, None);
+    let cached = run_all(Some(PrefixCacheConfig::default()), None);
+    let fused = run_all(Some(PrefixCacheConfig::default()), Some(fusion));
     let (mut hits, mut misses, mut skipped_flops) = (0u64, 0u64, 0u64);
-    for (p, cr) in plain.iter().zip(&cached) {
+    for ((p, cr), fr) in plain.iter().zip(&cached).zip(&fused) {
         assert_eq!(p.records, cr.records, "prefix caching changed records");
+        assert_eq!(p.records, fr.records, "trial fusion changed records");
         let s = cr.prefix.expect("stats on");
         hits += s.hits;
         misses += s.misses;
@@ -224,10 +238,12 @@ fn bench_campaign(c: &mut Criterion) -> CampaignNumbers {
     let total_trials = (trials * layers.len()) as f64;
     println!(
         "  campaign {model_name}: uncached {:.1} trials/s -> prefix-cached {:.1} trials/s \
-         ({:.2}x, {hits} hits / {misses} misses)",
+         ({:.2}x, {hits} hits / {misses} misses) -> fused {:.1} trials/s ({:.2}x)",
         total_trials / uncached_s,
         total_trials / cached_s,
-        uncached_s / cached_s
+        uncached_s / cached_s,
+        total_trials / fused_s,
+        uncached_s / fused_s
     );
 
     CampaignNumbers {
@@ -238,6 +254,8 @@ fn bench_campaign(c: &mut Criterion) -> CampaignNumbers {
         images: n_images,
         uncached_s,
         cached_s,
+        fused_s,
+        fusion_width,
         hits,
         misses,
         skipped_flops,
@@ -253,12 +271,10 @@ fn geomean(ratios: impl Iterator<Item = f64>) -> f64 {
     }
 }
 
-fn write_json(matmul_rows: &[MatmulRow], camp: &CampaignNumbers) {
-    let path = std::env::var("RUSTFI_BENCH_JSON")
-        .unwrap_or_else(|_| format!("{}/../../BENCH_campaign.json", env!("CARGO_MANIFEST_DIR")));
-    if path == "skip" {
+fn write_json(matmul_rows: &[MatmulRow], camp: &CampaignNumbers, qm: &QuickMode) {
+    let Some(path) = &qm.json_path else {
         return;
-    }
+    };
     let matmul_json: Vec<String> = matmul_rows
         .iter()
         .map(|r| {
@@ -289,9 +305,13 @@ fn write_json(matmul_rows: &[MatmulRow], camp: &CampaignNumbers) {
          \x20   \"images\": {},\n\
          \x20   \"uncached_s\": {:.6},\n\
          \x20   \"prefix_cached_s\": {:.6},\n\
+         \x20   \"fused_s\": {:.6},\n\
          \x20   \"uncached_trials_per_s\": {:.2},\n\
          \x20   \"prefix_cached_trials_per_s\": {:.2},\n\
+         \x20   \"fused_trials_per_s\": {:.2},\n\
          \x20   \"speedup\": {:.3},\n\
+         \x20   \"fused_speedup\": {:.3},\n\
+         \x20   \"fusion_width\": {},\n\
          \x20   \"prefix_hits\": {},\n\
          \x20   \"prefix_misses\": {},\n\
          \x20   \"prefix_skipped_flops\": {}\n\
@@ -306,22 +326,27 @@ fn write_json(matmul_rows: &[MatmulRow], camp: &CampaignNumbers) {
         camp.images,
         camp.uncached_s,
         camp.cached_s,
+        camp.fused_s,
         total_trials / camp.uncached_s,
         total_trials / camp.cached_s,
+        total_trials / camp.fused_s,
         camp.uncached_s / camp.cached_s,
+        camp.uncached_s / camp.fused_s,
+        camp.fusion_width,
         camp.hits,
         camp.misses,
         camp.skipped_flops,
     );
-    std::fs::write(&path, json).expect("write BENCH_campaign.json");
+    std::fs::write(path, json).expect("write BENCH_campaign.json");
     println!("  wrote {path}");
 }
 
 fn bench_all(c: &mut Criterion) {
+    let qm = QuickMode::from_env();
     let mut matmul_rows = Vec::new();
     bench_matmul_kernels(c, &mut matmul_rows);
-    let camp = bench_campaign(c);
-    write_json(&matmul_rows, &camp);
+    let camp = bench_campaign(c, &qm);
+    write_json(&matmul_rows, &camp, &qm);
 }
 
 criterion_group!(benches, bench_all);

@@ -1,0 +1,86 @@
+//! CI perf-regression gate for the campaign bench.
+//!
+//! Compares a freshly measured `BENCH_campaign.json` (written by
+//! `benches/campaign_throughput` in quick mode) against the committed
+//! baseline at the repository root, and exits non-zero if any within-run
+//! speedup ratio — prefix caching, trial fusion, matmul kernel geomean —
+//! fell below `RUSTFI_GATE_MIN_RATIO` (default 0.75, i.e. a >25%
+//! regression). Speedups are ratios of two measurements from the same run
+//! on the same machine, so the comparison is runner-speed independent;
+//! gating absolute trials/sec would not be.
+//!
+//! Run with: `cargo run -p rustfi-bench --bin bench_gate --release`
+//!
+//! Knobs:
+//!
+//! - `RUSTFI_GATE_SKIP=1` — skip the gate entirely (escape hatch for known
+//!   noisy runners or intentional perf trade-offs; say why in the commit).
+//! - `RUSTFI_GATE_MIN_RATIO` — minimum fresh/baseline speedup ratio
+//!   (default `0.75`).
+//! - `RUSTFI_GATE_BASELINE` — committed baseline path (default
+//!   `BENCH_campaign.json` at the repository root).
+//! - `RUSTFI_GATE_FRESH` — freshly measured summary path (default: the
+//!   shared `RUSTFI_BENCH_JSON` quick-mode knob).
+//!
+//! To bless a new baseline after an intentional perf change, re-run the
+//! bench with its defaults and commit the regenerated `BENCH_campaign.json`.
+
+use rustfi_bench::{env_f64, gate, QuickMode};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    if std::env::var("RUSTFI_GATE_SKIP").is_ok_and(|v| v == "1") {
+        println!("bench_gate: skipped (RUSTFI_GATE_SKIP=1)");
+        return ExitCode::SUCCESS;
+    }
+    let baseline_path = std::env::var("RUSTFI_GATE_BASELINE")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_campaign.json", env!("CARGO_MANIFEST_DIR")));
+    let fresh_path = std::env::var("RUSTFI_GATE_FRESH")
+        .ok()
+        .or_else(|| QuickMode::from_env().json_path)
+        .expect("no fresh summary path: RUSTFI_GATE_FRESH unset and RUSTFI_BENCH_JSON=skip");
+    let min_ratio = env_f64("RUSTFI_GATE_MIN_RATIO", 0.75);
+
+    let read = |path: &str| {
+        std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("bench_gate: cannot read {path}: {e}"))
+    };
+    let baseline = read(&baseline_path);
+    let fresh = read(&fresh_path);
+
+    let checks = gate::checks(&baseline, &fresh);
+    assert!(
+        !checks.is_empty(),
+        "bench_gate: {baseline_path} and {fresh_path} share no comparable metric"
+    );
+
+    println!("bench_gate: {fresh_path} vs {baseline_path} (min ratio {min_ratio:.2})");
+    println!(
+        "{:<26} {:>10} {:>10} {:>8} {:>6}",
+        "metric", "baseline", "fresh", "ratio", "gate"
+    );
+    let mut failed = false;
+    for c in &checks {
+        let ok = c.passes(min_ratio);
+        failed |= !ok;
+        println!(
+            "{:<26} {:>9.2}x {:>9.2}x {:>8.3} {:>6}",
+            c.name,
+            c.baseline,
+            c.fresh,
+            c.ratio(),
+            if ok { "ok" } else { "FAIL" }
+        );
+    }
+    if failed {
+        println!(
+            "bench_gate: FAIL — speedup regressed more than {:.0}% vs the committed baseline",
+            (1.0 - min_ratio) * 100.0
+        );
+        println!("bench_gate: if intentional, bless a new baseline (see module docs)");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_gate: ok");
+        ExitCode::SUCCESS
+    }
+}

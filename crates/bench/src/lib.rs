@@ -30,6 +30,131 @@ pub fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Reads a float override from the environment, falling back to `default`.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The quick-mode knobs shared by `benches/campaign_throughput` and the
+/// `bench_gate` CI binary, read once from the `RUSTFI_*` environment instead
+/// of being re-parsed at every use site.
+#[derive(Debug, Clone)]
+pub struct QuickMode {
+    /// Zoo model under test (`RUSTFI_BENCH_MODEL`, default `vgg19`).
+    pub model: String,
+    /// Dataset geometry (`RUSTFI_BENCH_DATASET`, default `cifar10-like`).
+    pub dataset: String,
+    /// Test images (`RUSTFI_IMAGES`, default 8).
+    pub images: usize,
+    /// Trials per layer (`RUSTFI_TRIALS`, default 500 — per-campaign setup
+    /// costs amortize over trials, so very small counts understate the
+    /// steady-state throughput gain).
+    pub trials: usize,
+    /// Timed iterations per measurement (`RUSTFI_CAMPAIGN_ITERS`, default 3).
+    pub iters: usize,
+    /// Summary destination (`RUSTFI_BENCH_JSON`, default
+    /// `BENCH_campaign.json` in the repository root); `None` when suppressed
+    /// with `RUSTFI_BENCH_JSON=skip`.
+    pub json_path: Option<String>,
+}
+
+impl QuickMode {
+    /// Reads every knob from the environment.
+    pub fn from_env() -> Self {
+        let json = std::env::var("RUSTFI_BENCH_JSON").unwrap_or_else(|_| {
+            format!("{}/../../BENCH_campaign.json", env!("CARGO_MANIFEST_DIR"))
+        });
+        Self {
+            model: std::env::var("RUSTFI_BENCH_MODEL").unwrap_or_else(|_| "vgg19".into()),
+            dataset: std::env::var("RUSTFI_BENCH_DATASET")
+                .unwrap_or_else(|_| "cifar10-like".into()),
+            images: env_usize("RUSTFI_IMAGES", 8),
+            trials: env_usize("RUSTFI_TRIALS", 500),
+            iters: env_usize("RUSTFI_CAMPAIGN_ITERS", 3),
+            json_path: (json != "skip").then_some(json),
+        }
+    }
+}
+
+/// The CI perf-regression gate's comparison logic (see `src/bin/bench_gate`).
+///
+/// The gate compares *within-run speedup ratios* — prefix-cache speedup,
+/// fused speedup, matmul kernel geomean — between a freshly measured
+/// `BENCH_campaign.json` and the committed baseline. Ratios of two
+/// measurements taken on the same machine in the same run cancel out the
+/// machine's absolute speed, so the committed baseline stays meaningful on
+/// any CI runner; absolute trials/sec would not.
+pub mod gate {
+    /// How to pull one gated metric out of a bench summary.
+    type Extract = fn(&str) -> Option<f64>;
+
+    /// Extracts the JSON number following `"key":` at or after byte `from`.
+    ///
+    /// The bench summary is flat enough that positional scanning beats a
+    /// JSON dependency; `from` disambiguates keys that repeat across
+    /// sections (each matmul row has its own `"speedup"`).
+    pub fn json_f64(text: &str, key: &str, from: usize) -> Option<f64> {
+        let needle = format!("\"{key}\":");
+        let at = from + text.get(from..)?.find(&needle)? + needle.len();
+        let rest = text[at..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+
+    /// One gated metric: the fresh run must retain at least `min_ratio` of
+    /// the baseline's value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Check {
+        pub name: &'static str,
+        pub baseline: f64,
+        pub fresh: f64,
+    }
+
+    impl Check {
+        /// Fresh-to-baseline ratio (1.0 = exactly as fast as the baseline).
+        pub fn ratio(&self) -> f64 {
+            self.fresh / self.baseline
+        }
+
+        /// Whether this metric clears the gate.
+        pub fn passes(&self, min_ratio: f64) -> bool {
+            self.baseline > 0.0 && self.fresh > 0.0 && self.ratio() >= min_ratio
+        }
+    }
+
+    /// Builds the gated comparisons between two bench summaries. A metric
+    /// missing from either file is skipped (older baselines may predate it);
+    /// an empty return therefore means the files share no comparable metric.
+    pub fn checks(baseline: &str, fresh: &str) -> Vec<Check> {
+        let mut out = Vec::new();
+        let pairs: [(&'static str, Extract); 3] = [
+            ("matmul_geomean_speedup", |t| {
+                json_f64(t, "matmul_geomean_speedup", 0)
+            }),
+            ("prefix_cache_speedup", |t| {
+                let at = t.find("\"campaign\"")?;
+                json_f64(t, "speedup", at)
+            }),
+            ("fused_speedup", |t| json_f64(t, "fused_speedup", 0)),
+        ];
+        for (name, get) in pairs {
+            if let (Some(b), Some(f)) = (get(baseline), get(fresh)) {
+                out.push(Check {
+                    name,
+                    baseline: b,
+                    fresh: f,
+                });
+            }
+        }
+        out
+    }
+}
+
 /// The 19 network/dataset pairs of Fig. 3, as `(dataset, model)` names.
 pub fn fig3_pairs() -> Vec<(&'static str, &'static str)> {
     let mut pairs = Vec::new();
@@ -256,6 +381,7 @@ mod tests {
             per_layer: Vec::new(),
             eligible_images: 42,
             prefix: None,
+            fusion: None,
         };
         let header = outcome_table_header();
         let with_acc = outcome_table_row("alexnet", Some(0.935), &result);
@@ -268,6 +394,80 @@ mod tests {
         for needle in ["97", "1"] {
             assert!(with_acc.contains(needle), "{with_acc}");
         }
+    }
+
+    #[test]
+    fn quick_mode_reads_defaults_and_overrides() {
+        // Only poke knobs no other test reads, to stay order-independent.
+        std::env::remove_var("RUSTFI_BENCH_MODEL");
+        let qm = QuickMode::from_env();
+        assert_eq!(qm.model, "vgg19");
+        assert_eq!(qm.dataset, "cifar10-like");
+        assert!(
+            qm.json_path.is_some(),
+            "default path points at the repo root"
+        );
+
+        std::env::set_var("RUSTFI_BENCH_MODEL", "alexnet");
+        std::env::set_var("RUSTFI_BENCH_JSON", "skip");
+        let qm = QuickMode::from_env();
+        assert_eq!(qm.model, "alexnet");
+        assert!(qm.json_path.is_none(), "skip suppresses the summary");
+        std::env::remove_var("RUSTFI_BENCH_MODEL");
+        std::env::remove_var("RUSTFI_BENCH_JSON");
+    }
+
+    const FAKE_BENCH: &str = r#"{
+  "matmul": [
+    {"m": 1, "k": 2, "n": 3, "speedup": 9.999}
+  ],
+  "matmul_geomean_speedup": 2.000,
+  "campaign": {
+    "model": "vgg19",
+    "speedup": 4.000,
+    "fused_speedup": 8.000
+  }
+}"#;
+
+    #[test]
+    fn gate_scans_the_right_speedups() {
+        use gate::json_f64;
+        assert_eq!(json_f64(FAKE_BENCH, "matmul_geomean_speedup", 0), Some(2.0));
+        // The campaign's own "speedup", not the matmul row's.
+        let at = FAKE_BENCH.find("\"campaign\"").unwrap();
+        assert_eq!(json_f64(FAKE_BENCH, "speedup", at), Some(4.0));
+        assert_eq!(json_f64(FAKE_BENCH, "no_such_key", 0), None);
+    }
+
+    #[test]
+    fn gate_checks_compare_ratios_not_absolutes() {
+        let fresh = FAKE_BENCH
+            .replace("4.000", "3.200") // prefix speedup dropped to 0.8x
+            .replace("8.000", "5.000"); // fused speedup dropped to 0.625x
+        let checks = gate::checks(FAKE_BENCH, &fresh);
+        assert_eq!(checks.len(), 3);
+        let by_name = |n: &str| checks.iter().find(|c| c.name == n).unwrap();
+        assert!(by_name("matmul_geomean_speedup").passes(0.75), "unchanged");
+        assert!(by_name("prefix_cache_speedup").passes(0.75), "0.8 >= 0.75");
+        assert!(!by_name("fused_speedup").passes(0.75), "0.625 < 0.75");
+        // A metric absent from one side is skipped, not failed.
+        let old_baseline = FAKE_BENCH.replace("\"fused_speedup\": 8.000", "\"x\": 0");
+        assert_eq!(gate::checks(&old_baseline, FAKE_BENCH).len(), 2);
+        // Nonsense values never pass.
+        let broken = gate::Check {
+            name: "x",
+            baseline: 0.0,
+            fresh: 1.0,
+        };
+        assert!(!broken.passes(0.75));
+    }
+
+    #[test]
+    fn env_f64_parses_and_defaults() {
+        std::env::set_var("RUSTFI_TEST_RATIO", "0.5");
+        assert!((env_f64("RUSTFI_TEST_RATIO", 0.75) - 0.5).abs() < 1e-12);
+        assert!((env_f64("RUSTFI_TEST_RATIO_MISSING", 0.75) - 0.75).abs() < 1e-12);
+        std::env::remove_var("RUSTFI_TEST_RATIO");
     }
 
     #[test]

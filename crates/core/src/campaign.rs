@@ -20,10 +20,20 @@
 //!   JSONL journal, and [`Campaign::resume`] replays it, running only the
 //!   missing trials. Because trial randomness is position-based, a resumed
 //!   campaign is bit-identical to an uninterrupted one.
+//!
+//! Campaigns can also *fuse* trials ([`CampaignConfig::fusion`]): pending
+//! neuron-fault trials that share an `(injection layer, image)` pair — the
+//! prefix-cache key — execute as one batched forward pass whose batch slices
+//! carry independent faults. Guards and INT8 quantization are evaluated per
+//! sample, so a NaN in one trial never touches its batch siblings, and a
+//! chunk whose forward pass panics is replayed serially. Like prefix caching
+//! and journaling, fusion is invisible in the results: records are
+//! bit-identical to serial execution for every seed, worker count, and
+//! fusion width (property-tested).
 
 use crate::config::FiConfig;
 use crate::error::FiError;
-use crate::injector::{FaultInjector, NeuronFault, WeightFault};
+use crate::injector::{FaultInjector, FusedTrialFault, NeuronFault, WeightFault};
 use crate::journal::{read_journal_repairing, JournalHeader, JournalWriter};
 use crate::location::{BatchSelect, NeuronSelect, NeuronSite, WeightSelect};
 use crate::metrics::{classify_outcome, confidence, top1, OutcomeCounts, OutcomeKind};
@@ -37,7 +47,7 @@ use rustfi_obs::{
 use rustfi_tensor::{parallel, SeededRng, Tensor};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -65,6 +75,43 @@ pub enum GuardMode {
     /// classification is identical to `Record`; only the wasted compute
     /// differs.
     ShortCircuit,
+}
+
+/// Campaign trial-fusion knobs ([`CampaignConfig::fusion`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionConfig {
+    /// Maximum trials fused into one batched forward pass. Values below 2
+    /// disable fusion. Wider batches amortize more per-pass overhead but
+    /// cost more memory per worker and waste more work when a chunk crashes
+    /// and replays serially.
+    pub max_batch: usize,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        Self { max_batch: 16 }
+    }
+}
+
+impl FusionConfig {
+    /// Fusion with the given maximum batch width.
+    pub fn with_width(max_batch: usize) -> Self {
+        Self { max_batch }
+    }
+}
+
+/// Counters describing one campaign's trial-fusion behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FusionStats {
+    /// Trials executed inside fused batched forward passes.
+    pub fused_trials: u64,
+    /// Trials that fell back to serial execution: site planning panicked,
+    /// or the trial's fused chunk crashed and was replayed one-by-one.
+    pub serial_trials: u64,
+    /// Fused chunks (batched forward passes) executed to completion.
+    pub groups: u64,
+    /// Largest fused batch executed.
+    pub max_width: usize,
 }
 
 /// A live snapshot of campaign progress, handed to a
@@ -182,7 +229,8 @@ pub struct CampaignConfig {
     /// leaf layers is cut short and classified [`OutcomeKind::Hang`].
     /// `None` disables the watchdog.
     pub max_steps: Option<usize>,
-    /// Golden-prefix activation caching ([`PrefixCacheConfig`]): snapshot
+    /// Golden-prefix activation caching ([`crate::prefix::PrefixCacheConfig`]):
+    /// snapshot
     /// each injection layer's input during the golden pass and start trial
     /// forward passes there instead of at the pixels. Purely a throughput
     /// optimization — trial records are bit-identical with or without it (a
@@ -190,6 +238,14 @@ pub struct CampaignConfig {
     /// because the watchdog counts executed layers and a resumed pass
     /// executes fewer of them.
     pub prefix_cache: Option<crate::prefix::PrefixCacheConfig>,
+    /// Trial fusion ([`FusionConfig`]): run up to `max_batch` trials that
+    /// share an `(injection layer, image)` pair as one batched forward pass
+    /// whose slices carry independent faults. Purely a throughput
+    /// optimization — records are bit-identical to serial execution (a
+    /// property test asserts this). Applies to neuron faults only, and —
+    /// like the prefix cache — stands down when [`Self::max_steps`] is set,
+    /// because the watchdog counts per-pass layer dispatches.
+    pub fusion: Option<FusionConfig>,
     /// Observability sink. Workers buffer spans/events/counters into
     /// per-thread recorders and merge them here at trial boundaries, so
     /// recording neither serializes workers nor perturbs results (a property
@@ -209,6 +265,7 @@ impl Default for CampaignConfig {
             guard: GuardMode::Off,
             max_steps: None,
             prefix_cache: None,
+            fusion: None,
             recorder: None,
             progress: None,
         }
@@ -225,6 +282,7 @@ impl std::fmt::Debug for CampaignConfig {
             .field("guard", &self.guard)
             .field("max_steps", &self.max_steps)
             .field("prefix_cache", &self.prefix_cache)
+            .field("fusion", &self.fusion)
             .field("recorder", &self.recorder.is_some())
             .field("progress", &self.progress)
             .finish()
@@ -278,6 +336,8 @@ pub struct CampaignResult {
     pub eligible_images: usize,
     /// Prefix-cache counters (`None` when caching was off or bypassed).
     pub prefix: Option<crate::prefix::PrefixStats>,
+    /// Trial-fusion counters (`None` when fusion was off or stood down).
+    pub fusion: Option<FusionStats>,
 }
 
 impl CampaignResult {
@@ -513,6 +573,7 @@ impl<'a> Campaign<'a> {
                     detect_non_finite: true,
                     short_circuit: false,
                     max_steps: None,
+                    per_sample: false,
                 },
             )
         });
@@ -559,6 +620,7 @@ impl<'a> Campaign<'a> {
                 per_layer: Vec::new(),
                 eligible_images: 0,
                 prefix: None,
+                fusion: None,
             });
         }
 
@@ -570,23 +632,23 @@ impl<'a> Campaign<'a> {
             .unwrap_or_else(parallel::worker_count)
             .clamp(1, trials.max(1));
         let root = SeededRng::new(cfg.seed);
-        let eligible = &eligible;
-        let prefix = &prefix;
-        let mode = &self.mode;
-        let model = &self.model;
-        let factory = self.factory;
-        let images = self.images;
-        let labels = self.labels;
-        let journal_ref = journal.as_ref();
-        let shared_recorder = cfg.recorder.clone();
-        let shared_recorder = shared_recorder.as_ref();
-        let progress = cfg.progress.clone();
+        // Trial fusion: batch trials sharing an (injection layer, image)
+        // pair into one forward pass. Neuron faults only (a weight fault
+        // mutates the one set of weights every slice shares), and — like
+        // the prefix cache — it stands down under the watchdog, whose step
+        // accounting is per forward pass, not per trial.
+        let fusion_width = match (&cfg.fusion, &self.mode) {
+            (Some(f), FaultMode::Neuron(_)) if f.max_batch >= 2 && cfg.max_steps.is_none() => {
+                Some(f.max_batch)
+            }
+            _ => None,
+        };
         // Journal-replayed trials count as already done so a resumed
         // campaign's progress line starts from where the previous run ended.
-        let progress_state = progress.as_ref().map(|_| {
+        let progress_state = cfg.progress.as_ref().map(|_| {
             let mut counts = OutcomeCounts::default();
             let mut done = 0usize;
-            if let Some(j) = journal_ref {
+            if let Some(j) = journal.as_ref() {
                 for r in j.done.values() {
                     counts.record(&r.outcome);
                     done += 1;
@@ -598,257 +660,85 @@ impl<'a> Campaign<'a> {
                 start: Instant::now(),
             }
         });
-        let progress_state = progress_state.as_ref();
-        let progress = progress.as_ref();
+        let env = RunEnv {
+            input_dims,
+            trials,
+            cfg,
+            root: &root,
+            eligible: &eligible,
+            prefix: &prefix,
+            mode: &self.mode,
+            model: &self.model,
+            factory: self.factory,
+            images: self.images,
+            labels: self.labels,
+            journal: journal.as_ref(),
+            shared_recorder: cfg.recorder.as_ref(),
+            progress: cfg.progress.as_ref(),
+            progress_state: progress_state.as_ref(),
+        };
 
-        let worker_results: Vec<Result<Vec<TrialRecord>, FiError>> =
-            parallel::map_indexed(workers, |w| {
-                // Per-worker observability buffer; merged into the shared
-                // recorder at trial boundaries (one lock-free push per trial)
-                // so recording never serializes workers.
+        let mut fusion_counters: Option<FusionCounters> = None;
+        let worker_results: Vec<Result<Vec<TrialRecord>, FiError>> = if let Some(width) =
+            fusion_width
+        {
+            let counters = FusionCounters::default();
+            let units = plan_fused_units(&env, width)?;
+            let results = parallel::map_indexed(workers, |w| {
                 let local: Option<Arc<LocalRecorder>> =
-                    shared_recorder.map(|_| Arc::new(LocalRecorder::new()));
-                // A fresh injector (+ guard) for this worker; also used to
-                // rebuild after a crashed trial, whose unwind may have left
-                // the network mid-mutation.
-                let build = || -> Result<(FaultInjector, Option<GuardHook>), FiError> {
-                    let mut fi = FaultInjector::new((factory)(), FiConfig::for_input(&input_dims))?;
-                    if let Some(l) = &local {
-                        // Before the guard install, so guard events route
-                        // through the same buffer.
-                        fi.set_recorder(Some(Arc::clone(l) as Arc<dyn Recorder>));
-                    }
-                    if cfg.int8_activations {
-                        fi.enable_int8_activations();
-                    }
-                    // Install the guard after the int8 hook so it scans the
-                    // values the next layer will actually consume.
-                    let guard =
-                        (cfg.guard != GuardMode::Off || cfg.max_steps.is_some()).then(|| {
-                            GuardHook::install(
-                                fi.net(),
-                                GuardConfig {
-                                    detect_non_finite: cfg.guard != GuardMode::Off,
-                                    short_circuit: cfg.guard == GuardMode::ShortCircuit,
-                                    max_steps: cfg.max_steps,
-                                },
-                            )
-                        });
-                    Ok((fi, guard))
-                };
-                let (mut fi, mut guard) = build()?;
+                    env.shared_recorder.map(|_| Arc::new(LocalRecorder::new()));
+                let (mut fi, mut guard) = build_worker(&env, &local, true)?;
                 let mut records = Vec::new();
-                let mut t = w;
-                while t < trials {
-                    if journal_ref.is_some_and(|j| j.done.contains_key(&t)) {
-                        t += workers;
-                        continue;
-                    }
-                    let trial_seed = root.fork(t as u64).seed();
-                    let mut pick_rng = SeededRng::new(trial_seed).fork(3);
-                    let (image_index, clean_conf) = eligible[pick_rng.below(eligible.len())];
-                    let golden_label = labels[image_index];
-                    fi.restore();
-                    fi.reseed(trial_seed);
-                    fi.set_trial(Some(t));
-                    let trial_start = local.as_ref().map(|_| now_ns());
-                    if let Some(g) = &guard {
-                        g.reset();
-                    }
-
-                    // The shield confines a panicking perturbation model (or
-                    // layer) to this trial; guard interrupts unwind through
-                    // the same channel and are told apart by payload type.
-                    let mut planned: Option<(usize, Option<NeuronSite>)> = None;
-                    let mut prefix_hit: Option<bool> = None;
-                    let shielded =
-                        parallel::shield::run_quietly(|| -> Result<Vec<f32>, FiError> {
-                            let (layer, site) = match mode {
-                                FaultMode::Neuron(select) => {
-                                    let sites = fi
-                                        .declare_neuron_fi(&[NeuronFault {
-                                            select: select.clone(),
-                                            batch: BatchSelect::All,
-                                            model: Arc::clone(model),
-                                        }])
-                                        .map_err(|e| FiError::Trial {
-                                            trial: t,
-                                            source: Box::new(e),
-                                        })?;
-                                    (sites[0].layer, Some(sites[0]))
-                                }
-                                FaultMode::Weight(select) => {
-                                    let sites = fi
-                                        .declare_weight_fi(&[WeightFault {
-                                            select: select.clone(),
-                                            model: Arc::clone(model),
-                                        }])
-                                        .map_err(|e| FiError::Trial {
-                                            trial: t,
-                                            source: Box::new(e),
-                                        })?;
-                                    (sites[0].layer, None)
-                                }
-                            };
-                            planned = Some((layer, site));
-                            // Prefix fast path: resume from the cached
-                            // golden activation of this layer's resume
-                            // point; any miss (evicted, unwhitelisted, or
-                            // non-finite golden) falls back to a full pass
-                            // with identical results.
-                            if let Some((cache, resume, skipped, _)) = prefix {
-                                if let Some(rid) = resume.get(layer).copied().flatten() {
-                                    match cache.lookup(image_index, rid, skipped[layer]) {
-                                        Some(act) => {
-                                            prefix_hit = Some(true);
-                                            if let Some(out) = fi.forward_from(rid, &act) {
-                                                return Ok(out.data().to_vec());
-                                            }
-                                        }
-                                        None => prefix_hit = Some(false),
-                                    }
-                                }
-                            }
-                            let x = images.select_batch(image_index);
-                            Ok(fi.forward(&x).data().to_vec())
-                        });
-
-                    let (layer, site) = planned.unwrap_or((usize::MAX, None));
-                    let base = TrialRecord {
-                        trial: t,
-                        image_index,
-                        layer,
-                        site,
-                        outcome: OutcomeKind::Hang, // placeholder, always overwritten
-                        due_layer: None,
-                        top5_miss: true,
-                        confidence_delta: 0.0,
-                    };
-                    let record = match shielded {
-                        Ok(Ok(row)) => {
-                            match guard.as_ref().and_then(|g| g.first_non_finite()) {
-                                // Guard saw a non-finite activation (the
-                                // output itself may look fine): DUE with
-                                // layer provenance, classified exactly as a
-                                // short-circuited trial would be.
-                                Some((gid, _)) => TrialRecord {
-                                    outcome: OutcomeKind::Due,
-                                    due_layer: Some(gid.index()),
-                                    confidence_delta: -clean_conf,
-                                    ..base
-                                },
-                                None => {
-                                    let outcome = classify_outcome(golden_label, &row);
-                                    let finite = row.iter().all(|v| v.is_finite());
-                                    let top5_miss =
-                                        !finite || !crate::metrics::in_top_k(&row, golden_label, 5);
-                                    let confidence_delta = if finite {
-                                        confidence(&row, golden_label) - clean_conf
-                                    } else {
-                                        -clean_conf
-                                    };
-                                    TrialRecord {
-                                        outcome,
-                                        top5_miss,
-                                        confidence_delta,
-                                        ..base
-                                    }
-                                }
-                            }
-                        }
-                        // Planning rejected the fault template: a
-                        // configuration error, not a trial outcome.
-                        Ok(Err(e)) => return Err(e),
-                        Err(payload) => {
-                            if let Some(nf) = payload.downcast_ref::<NonFiniteInterrupt>() {
-                                TrialRecord {
-                                    outcome: OutcomeKind::Due,
-                                    due_layer: Some(nf.layer.index()),
-                                    confidence_delta: -clean_conf,
-                                    ..base
-                                }
-                            } else if payload.downcast_ref::<DeadlineInterrupt>().is_some() {
-                                TrialRecord {
-                                    outcome: OutcomeKind::Hang,
-                                    ..base
-                                }
-                            } else {
-                                let detail = parallel::shield::payload_message(payload.as_ref());
-                                // The unwind may have interrupted a weight
-                                // mutation or hook bookkeeping: rebuild this
-                                // worker's injector from scratch.
-                                let (new_fi, new_guard) = build()?;
-                                fi = new_fi;
-                                guard = new_guard;
-                                TrialRecord {
-                                    outcome: OutcomeKind::Crash { detail },
-                                    ..base
-                                }
-                            }
-                        }
-                    };
-                    if let Some(j) = journal_ref {
-                        j.writer.lock().append(&record, &j.path)?;
-                    }
-                    if let (Some(l), Some(start)) = (&local, trial_start) {
-                        let dur = now_ns().saturating_sub(start);
-                        l.span(SpanRecord {
-                            name: format!("trial {t}"),
-                            kind: "trial",
-                            layer: None,
-                            start_ns: start,
-                            dur_ns: dur,
-                            tid: thread_tid(),
-                        });
-                        l.observe_ns(obs_names::CAMPAIGN_TRIAL_NS, dur);
-                        match prefix_hit {
-                            Some(true) => {
-                                l.counter_add(obs_names::CAMPAIGN_PREFIX_HITS, 1);
-                                if let Some((_, _, skipped, _)) = prefix {
-                                    l.counter_add(
-                                        obs_names::CAMPAIGN_PREFIX_SKIPPED_FLOPS,
-                                        skipped[record.layer],
-                                    );
-                                }
-                            }
-                            Some(false) => l.counter_add(obs_names::CAMPAIGN_PREFIX_MISSES, 1),
-                            None => {}
-                        }
-                        l.event(ObsEvent::TrialOutcome(TrialOutcomeEvent {
-                            trial: t,
-                            layer: record.layer,
-                            outcome: record.outcome.label(),
-                            due_layer: record.due_layer,
-                        }));
-                        // Trial boundary: hand the whole buffer to the shared
-                        // recorder in one lock-free merge.
-                        if let Some(shared) = shared_recorder {
-                            l.flush_into(&**shared);
+                let mut u = w;
+                while u < units.len() {
+                    match &units[u] {
+                        WorkUnit::Fused {
+                            layer,
+                            image_index,
+                            chunk,
+                        } => records.extend(run_fused_chunk(
+                            &env,
+                            &mut fi,
+                            &mut guard,
+                            &local,
+                            *layer,
+                            *image_index,
+                            chunk,
+                            &counters,
+                        )?),
+                        WorkUnit::Serial(t) => {
+                            counters.serial.fetch_add(1, Ordering::Relaxed);
+                            records
+                                .push(run_one_trial(&env, &mut fi, &mut guard, &local, true, *t)?);
                         }
                     }
-                    if let Some(p) = progress_state {
-                        let done = {
-                            let mut c = p.counts.lock();
-                            c.record(&record.outcome);
-                            p.done.fetch_add(1, Ordering::Relaxed) + 1
-                        };
-                        if let Some(pr) = progress {
-                            if done % pr.every() == 0 || done == trials {
-                                let counts = *p.counts.lock();
-                                (pr.sink)(&ProgressUpdate {
-                                    done,
-                                    total: trials,
-                                    elapsed: p.start.elapsed(),
-                                    counts,
-                                });
-                            }
-                        }
-                    }
-                    records.push(record);
-                    t += workers;
+                    u += workers;
                 }
                 Ok(records)
             });
+            fusion_counters = Some(counters);
+            results
+        } else {
+            parallel::map_indexed(workers, |w| {
+                // Per-worker observability buffer; merged into the shared
+                // recorder at trial boundaries (one lock-free push per
+                // trial) so recording never serializes workers.
+                let local: Option<Arc<LocalRecorder>> =
+                    env.shared_recorder.map(|_| Arc::new(LocalRecorder::new()));
+                let (mut fi, mut guard) = build_worker(&env, &local, false)?;
+                let mut records = Vec::new();
+                let mut t = w;
+                while t < trials {
+                    if env.journal.is_some_and(|j| j.done.contains_key(&t)) {
+                        t += workers;
+                        continue;
+                    }
+                    records.push(run_one_trial(&env, &mut fi, &mut guard, &local, false, t)?);
+                    t += workers;
+                }
+                Ok(records)
+            })
+        };
 
         let mut all_records: Vec<TrialRecord> = journal
             .map(|j| j.done.into_values().collect())
@@ -881,8 +771,589 @@ impl<'a> Campaign<'a> {
             per_layer,
             eligible_images: eligible.len(),
             prefix: prefix.as_ref().map(|(cache, ..)| cache.stats()),
+            fusion: fusion_counters.map(|c| FusionStats {
+                fused_trials: c.fused.into_inner(),
+                serial_trials: c.serial.into_inner(),
+                groups: c.groups.into_inner(),
+                max_width: c.max_width.into_inner(),
+            }),
         })
     }
+}
+
+/// The golden-prefix context built once per run: the cache itself, each
+/// injectable layer's resume point, the FLOPs a hit skips, and which layer
+/// ids the golden pass snapshots.
+type PrefixEnv = (
+    crate::prefix::PrefixCache,
+    Vec<Option<LayerId>>,
+    Vec<u64>,
+    std::collections::HashSet<LayerId>,
+);
+
+/// Borrowed per-run context shared by every campaign worker.
+struct RunEnv<'e> {
+    input_dims: [usize; 4],
+    trials: usize,
+    cfg: &'e CampaignConfig,
+    root: &'e SeededRng,
+    eligible: &'e [(usize, f32)],
+    prefix: &'e Option<PrefixEnv>,
+    mode: &'e FaultMode,
+    model: &'e Arc<dyn PerturbationModel>,
+    factory: &'e (dyn Fn() -> Network + Sync),
+    images: &'e Tensor,
+    labels: &'e [usize],
+    journal: Option<&'e JournalState>,
+    shared_recorder: Option<&'e Arc<dyn Recorder>>,
+    progress: Option<&'e ProgressRecorder>,
+    progress_state: Option<&'e ProgressState>,
+}
+
+/// Shared tallies behind [`FusionStats`].
+#[derive(Default)]
+struct FusionCounters {
+    fused: AtomicU64,
+    serial: AtomicU64,
+    groups: AtomicU64,
+    max_width: AtomicUsize,
+}
+
+/// One planned (not yet executed) trial of a fused campaign.
+#[derive(Clone)]
+struct PlannedTrial {
+    t: usize,
+    seed: u64,
+    image_index: usize,
+    clean_conf: f32,
+    sites: Vec<NeuronSite>,
+}
+
+/// A unit of fused-scheduler work: a chunk of trials sharing an
+/// `(injection layer, image)` pair, or one trial that must run serially.
+enum WorkUnit {
+    Fused {
+        layer: usize,
+        image_index: usize,
+        chunk: Vec<PlannedTrial>,
+    },
+    Serial(usize),
+}
+
+/// A fresh injector (+ guard) for one worker; also used to rebuild after a
+/// crashed trial, whose unwind may have left the network mid-mutation.
+fn build_worker(
+    env: &RunEnv<'_>,
+    local: &Option<Arc<LocalRecorder>>,
+    per_sample: bool,
+) -> Result<(FaultInjector, Option<GuardHook>), FiError> {
+    let cfg = env.cfg;
+    let mut fi = FaultInjector::new((env.factory)(), FiConfig::for_input(&env.input_dims))?;
+    if let Some(l) = local {
+        // Before the guard install, so guard events route through the same
+        // buffer.
+        fi.set_recorder(Some(Arc::clone(l) as Arc<dyn Recorder>));
+    }
+    if cfg.int8_activations {
+        fi.enable_int8_activations();
+    }
+    // Install the guard after the int8 hook so it scans the values the next
+    // layer will actually consume.
+    let guard = (cfg.guard != GuardMode::Off || cfg.max_steps.is_some()).then(|| {
+        GuardHook::install(
+            fi.net(),
+            GuardConfig {
+                detect_non_finite: cfg.guard != GuardMode::Off,
+                short_circuit: cfg.guard == GuardMode::ShortCircuit,
+                max_steps: cfg.max_steps,
+                per_sample,
+            },
+        )
+    });
+    Ok((fi, guard))
+}
+
+/// Runs trial `t` serially, exactly as campaigns always have: plan, inject,
+/// forward, classify, journal, observe, report. Fused campaigns call this
+/// too — for trials whose planning panicked and for chunks replayed after a
+/// crash — which is what makes fused records bit-identical to serial ones.
+fn run_one_trial(
+    env: &RunEnv<'_>,
+    fi: &mut FaultInjector,
+    guard: &mut Option<GuardHook>,
+    local: &Option<Arc<LocalRecorder>>,
+    per_sample: bool,
+    t: usize,
+) -> Result<TrialRecord, FiError> {
+    let trials = env.trials;
+    let trial_seed = env.root.fork(t as u64).seed();
+    let mut pick_rng = SeededRng::new(trial_seed).fork(3);
+    let (image_index, clean_conf) = env.eligible[pick_rng.below(env.eligible.len())];
+    let golden_label = env.labels[image_index];
+    fi.restore();
+    fi.reseed(trial_seed);
+    fi.set_trial(Some(t));
+    let trial_start = local.as_ref().map(|_| now_ns());
+    if let Some(g) = guard.as_ref() {
+        g.reset();
+    }
+
+    // The shield confines a panicking perturbation model (or layer) to this
+    // trial; guard interrupts unwind through the same channel and are told
+    // apart by payload type.
+    let mut planned: Option<(usize, Option<NeuronSite>)> = None;
+    let mut prefix_hit: Option<bool> = None;
+    let shielded = parallel::shield::run_quietly(|| -> Result<Vec<f32>, FiError> {
+        let (layer, site) = match env.mode {
+            FaultMode::Neuron(select) => {
+                let sites = fi
+                    .declare_neuron_fi(&[NeuronFault {
+                        select: select.clone(),
+                        batch: BatchSelect::All,
+                        model: Arc::clone(env.model),
+                    }])
+                    .map_err(|e| FiError::Trial {
+                        trial: t,
+                        source: Box::new(e),
+                    })?;
+                (sites[0].layer, Some(sites[0]))
+            }
+            FaultMode::Weight(select) => {
+                let sites = fi
+                    .declare_weight_fi(&[WeightFault {
+                        select: select.clone(),
+                        model: Arc::clone(env.model),
+                    }])
+                    .map_err(|e| FiError::Trial {
+                        trial: t,
+                        source: Box::new(e),
+                    })?;
+                (sites[0].layer, None)
+            }
+        };
+        planned = Some((layer, site));
+        // Prefix fast path: resume from the cached golden activation of
+        // this layer's resume point; any miss (evicted, unwhitelisted, or
+        // non-finite golden) falls back to a full pass with identical
+        // results.
+        if let Some((cache, resume, skipped, _)) = env.prefix {
+            if let Some(rid) = resume.get(layer).copied().flatten() {
+                match cache.lookup(image_index, rid, skipped[layer]) {
+                    Some(act) => {
+                        prefix_hit = Some(true);
+                        if let Some(out) = fi.forward_from(rid, &act) {
+                            return Ok(out.data().to_vec());
+                        }
+                    }
+                    None => prefix_hit = Some(false),
+                }
+            }
+        }
+        let x = env.images.select_batch(image_index);
+        Ok(fi.forward(&x).data().to_vec())
+    });
+
+    let (layer, site) = planned.unwrap_or((usize::MAX, None));
+    let base = TrialRecord {
+        trial: t,
+        image_index,
+        layer,
+        site,
+        outcome: OutcomeKind::Hang, // placeholder, always overwritten
+        due_layer: None,
+        top5_miss: true,
+        confidence_delta: 0.0,
+    };
+    let record = match shielded {
+        Ok(Ok(row)) => {
+            match guard.as_ref().and_then(|g| g.first_non_finite()) {
+                // Guard saw a non-finite activation (the output itself may
+                // look fine): DUE with layer provenance, classified exactly
+                // as a short-circuited trial would be.
+                Some((gid, _)) => TrialRecord {
+                    outcome: OutcomeKind::Due,
+                    due_layer: Some(gid.index()),
+                    confidence_delta: -clean_conf,
+                    ..base
+                },
+                None => {
+                    let outcome = classify_outcome(golden_label, &row);
+                    let finite = row.iter().all(|v| v.is_finite());
+                    let top5_miss = !finite || !crate::metrics::in_top_k(&row, golden_label, 5);
+                    let confidence_delta = if finite {
+                        confidence(&row, golden_label) - clean_conf
+                    } else {
+                        -clean_conf
+                    };
+                    TrialRecord {
+                        outcome,
+                        top5_miss,
+                        confidence_delta,
+                        ..base
+                    }
+                }
+            }
+        }
+        // Planning rejected the fault template: a configuration error, not
+        // a trial outcome.
+        Ok(Err(e)) => return Err(e),
+        Err(payload) => {
+            if let Some(nf) = payload.downcast_ref::<NonFiniteInterrupt>() {
+                TrialRecord {
+                    outcome: OutcomeKind::Due,
+                    due_layer: Some(nf.layer.index()),
+                    confidence_delta: -clean_conf,
+                    ..base
+                }
+            } else if payload.downcast_ref::<DeadlineInterrupt>().is_some() {
+                TrialRecord {
+                    outcome: OutcomeKind::Hang,
+                    ..base
+                }
+            } else {
+                let detail = parallel::shield::payload_message(payload.as_ref());
+                // The unwind may have interrupted a weight mutation or hook
+                // bookkeeping: rebuild this worker's injector from scratch.
+                let (new_fi, new_guard) = build_worker(env, local, per_sample)?;
+                *fi = new_fi;
+                *guard = new_guard;
+                TrialRecord {
+                    outcome: OutcomeKind::Crash { detail },
+                    ..base
+                }
+            }
+        }
+    };
+    if let Some(j) = env.journal {
+        j.writer.lock().append(&record, &j.path)?;
+    }
+    if let (Some(l), Some(start)) = (local, trial_start) {
+        let dur = now_ns().saturating_sub(start);
+        l.span(SpanRecord {
+            name: format!("trial {t}"),
+            kind: "trial",
+            layer: None,
+            start_ns: start,
+            dur_ns: dur,
+            tid: thread_tid(),
+        });
+        l.observe_ns(obs_names::CAMPAIGN_TRIAL_NS, dur);
+        match prefix_hit {
+            Some(true) => {
+                l.counter_add(obs_names::CAMPAIGN_PREFIX_HITS, 1);
+                if let Some((_, _, skipped, _)) = env.prefix {
+                    l.counter_add(
+                        obs_names::CAMPAIGN_PREFIX_SKIPPED_FLOPS,
+                        skipped[record.layer],
+                    );
+                }
+            }
+            Some(false) => l.counter_add(obs_names::CAMPAIGN_PREFIX_MISSES, 1),
+            None => {}
+        }
+        l.event(ObsEvent::TrialOutcome(TrialOutcomeEvent {
+            trial: t,
+            layer: record.layer,
+            outcome: record.outcome.label(),
+            due_layer: record.due_layer,
+        }));
+        // Trial boundary: hand the whole buffer to the shared recorder in
+        // one lock-free merge.
+        if let Some(shared) = env.shared_recorder {
+            l.flush_into(&**shared);
+        }
+    }
+    if let Some(p) = env.progress_state {
+        let done = {
+            let mut c = p.counts.lock();
+            c.record(&record.outcome);
+            p.done.fetch_add(1, Ordering::Relaxed) + 1
+        };
+        if let Some(pr) = env.progress {
+            if done % pr.every() == 0 || done == trials {
+                let counts = *p.counts.lock();
+                (pr.sink)(&ProgressUpdate {
+                    done,
+                    total: trials,
+                    elapsed: p.start.elapsed(),
+                    counts,
+                });
+            }
+        }
+    }
+    Ok(record)
+}
+
+/// Plans every pending trial by replaying exactly the per-trial RNG streams
+/// a serial run would use, then groups the plans by `(injection layer,
+/// image)` and cuts each group into chunks of at most `width` trials.
+///
+/// Planning is cheap (site resolution against the profile; no inference),
+/// so it runs single-threaded — which also makes group formation trivially
+/// deterministic.
+fn plan_fused_units(env: &RunEnv<'_>, width: usize) -> Result<Vec<WorkUnit>, FiError> {
+    let select = match env.mode {
+        FaultMode::Neuron(s) => s,
+        FaultMode::Weight(_) => unreachable!("fusion stands down for weight faults"),
+    };
+    let mut net = (env.factory)();
+    let profile = crate::profile::ModelProfile::discover(&mut net, env.input_dims);
+    let mut groups: BTreeMap<(usize, usize), Vec<PlannedTrial>> = BTreeMap::new();
+    let mut serial: Vec<usize> = Vec::new();
+    for t in 0..env.trials {
+        if env.journal.is_some_and(|j| j.done.contains_key(&t)) {
+            continue;
+        }
+        let seed = env.root.fork(t as u64).seed();
+        let mut pick_rng = SeededRng::new(seed).fork(3);
+        let (image_index, clean_conf) = env.eligible[pick_rng.below(env.eligible.len())];
+        // The plan stream a serial declare would draw from after
+        // `reseed(seed)`.
+        let mut plan_rng = SeededRng::new(seed).fork(1);
+        match parallel::shield::run_quietly(|| {
+            select.resolve(&profile, BatchSelect::All, &mut plan_rng)
+        }) {
+            Ok(Ok(sites)) => groups
+                .entry((sites[0].layer, image_index))
+                .or_default()
+                .push(PlannedTrial {
+                    t,
+                    seed,
+                    image_index,
+                    clean_conf,
+                    sites,
+                }),
+            Ok(Err(e)) => {
+                return Err(FiError::Trial {
+                    trial: t,
+                    source: Box::new(e),
+                })
+            }
+            // Site resolution panicked: in serial mode that is a Crash
+            // record. Route the trial to serial execution so the crash
+            // reproduces with identical record and side effects.
+            Err(_) => serial.push(t),
+        }
+    }
+    let mut units: Vec<WorkUnit> = Vec::new();
+    for ((layer, image_index), list) in groups {
+        for chunk in list.chunks(width) {
+            units.push(WorkUnit::Fused {
+                layer,
+                image_index,
+                chunk: chunk.to_vec(),
+            });
+        }
+    }
+    units.extend(serial.into_iter().map(WorkUnit::Serial));
+    Ok(units)
+}
+
+/// Executes one fused chunk: a single batched forward pass whose slice `i`
+/// carries `chunk[i]`'s fault, then per-sample classification. If the pass
+/// panics, the whole chunk is replayed serially through [`run_one_trial`],
+/// reproducing the exact serial records (crash detail included).
+#[allow(clippy::too_many_arguments)]
+fn run_fused_chunk(
+    env: &RunEnv<'_>,
+    fi: &mut FaultInjector,
+    guard: &mut Option<GuardHook>,
+    local: &Option<Arc<LocalRecorder>>,
+    layer: usize,
+    image_index: usize,
+    chunk: &[PlannedTrial],
+    counters: &FusionCounters,
+) -> Result<Vec<TrialRecord>, FiError> {
+    let n = chunk.len();
+    fi.restore();
+    fi.set_trial(None); // injection events carry per-slice trial indices
+    if let Some(g) = guard.as_ref() {
+        g.reset_samples(n);
+    }
+    let chunk_start = local.as_ref().map(|_| now_ns());
+    let faults: Vec<FusedTrialFault> = chunk
+        .iter()
+        .map(|p| FusedTrialFault {
+            trial: p.t,
+            seed: p.seed,
+            sites: p.sites.clone(),
+            model: Arc::clone(env.model),
+        })
+        .collect();
+    fi.declare_fused_neuron_fi(layer, faults)
+        .map_err(|e| FiError::Trial {
+            trial: chunk[0].t,
+            source: Box::new(e),
+        })?;
+    // Peek the prefix cache outside the shield and charge its counters only
+    // once the pass completes: a crashed chunk's serial replay does its own
+    // per-trial counting, keeping `hits + misses == trials` either way.
+    let mut resume_from: Option<(LayerId, Arc<Tensor>)> = None;
+    let mut prefix_hit: Option<bool> = None;
+    if let Some((cache, resume, _, _)) = env.prefix {
+        if let Some(rid) = resume.get(layer).copied().flatten() {
+            match cache.peek(image_index, rid) {
+                Some(act) => {
+                    prefix_hit = Some(true);
+                    resume_from = Some((rid, act));
+                }
+                None => prefix_hit = Some(false),
+            }
+        }
+    }
+    let shielded = parallel::shield::run_quietly(|| {
+        if let Some((rid, act)) = &resume_from {
+            // On a flat spine the resume point *is* the injection layer, so
+            // every batch slice enters it with the same cached activation:
+            // compute it once at batch 1 and broadcast its output, letting
+            // the per-slice fault hooks and downstream layers run at batch
+            // `n` (bit-identical, see `forward_from_broadcast`).
+            if let Some(out) = fi.forward_from_broadcast(*rid, act, n) {
+                return out;
+            }
+            if let Some(out) = fi.forward_from(*rid, &act.repeat_batch(n)) {
+                return out;
+            }
+        }
+        fi.forward(&env.images.select_batch(image_index).repeat_batch(n))
+    });
+    let out = match shielded {
+        Ok(out) => out,
+        Err(_) => {
+            // One slice's fault panicked and unwound the whole fused pass
+            // (per-sample guards never interrupt, so this is a genuine
+            // crash). Rebuild and replay the chunk serially: every trial
+            // re-runs in isolation and produces exactly the record a serial
+            // campaign would, including which trial crashed.
+            let (new_fi, new_guard) = build_worker(env, local, true)?;
+            *fi = new_fi;
+            *guard = new_guard;
+            counters.serial.fetch_add(n as u64, Ordering::Relaxed);
+            let mut records = Vec::with_capacity(n);
+            for p in chunk {
+                records.push(run_one_trial(env, fi, guard, local, true, p.t)?);
+            }
+            return Ok(records);
+        }
+    };
+
+    // Per-sample classification — each slice judged exactly as a batch-1
+    // serial trial would be.
+    let classes = out.len() / n;
+    let data = out.data();
+    let mut records = Vec::with_capacity(n);
+    for (b, p) in chunk.iter().enumerate() {
+        let row = &data[b * classes..(b + 1) * classes];
+        let golden_label = env.labels[p.image_index];
+        let base = TrialRecord {
+            trial: p.t,
+            image_index: p.image_index,
+            layer,
+            site: Some(p.sites[0]),
+            outcome: OutcomeKind::Hang, // placeholder, always overwritten
+            due_layer: None,
+            top5_miss: true,
+            confidence_delta: 0.0,
+        };
+        let record = match guard.as_ref().and_then(|g| g.first_non_finite_for(b)) {
+            Some((gid, _)) => TrialRecord {
+                outcome: OutcomeKind::Due,
+                due_layer: Some(gid.index()),
+                confidence_delta: -p.clean_conf,
+                ..base
+            },
+            None => {
+                let outcome = classify_outcome(golden_label, row);
+                let finite = row.iter().all(|v| v.is_finite());
+                let top5_miss = !finite || !crate::metrics::in_top_k(row, golden_label, 5);
+                let confidence_delta = if finite {
+                    confidence(row, golden_label) - p.clean_conf
+                } else {
+                    -p.clean_conf
+                };
+                TrialRecord {
+                    outcome,
+                    top5_miss,
+                    confidence_delta,
+                    ..base
+                }
+            }
+        };
+        records.push(record);
+    }
+
+    if let (Some((cache, _, skipped, _)), Some(hit)) = (env.prefix, prefix_hit) {
+        cache.record_outcome(hit, n as u64, skipped[layer]);
+    }
+    counters.fused.fetch_add(n as u64, Ordering::Relaxed);
+    counters.groups.fetch_add(1, Ordering::Relaxed);
+    counters.max_width.fetch_max(n, Ordering::Relaxed);
+
+    if let Some(j) = env.journal {
+        for record in &records {
+            j.writer.lock().append(record, &j.path)?;
+        }
+    }
+    if let (Some(l), Some(start)) = (local, chunk_start) {
+        let dur = now_ns().saturating_sub(start);
+        l.span(SpanRecord {
+            name: format!("fused chunk layer {layer} image {image_index} x{n}"),
+            kind: "fused",
+            layer: None,
+            start_ns: start,
+            dur_ns: dur,
+            tid: thread_tid(),
+        });
+        l.observe_ns(obs_names::CAMPAIGN_FUSED_CHUNK_NS, dur);
+        l.observe_ns(obs_names::CAMPAIGN_FUSED_WIDTH, n as u64);
+        l.counter_add(obs_names::CAMPAIGN_FUSED_TRIALS, n as u64);
+        l.counter_add(obs_names::CAMPAIGN_FUSED_GROUPS, 1);
+        match prefix_hit {
+            Some(true) => {
+                l.counter_add(obs_names::CAMPAIGN_PREFIX_HITS, n as u64);
+                if let Some((_, _, skipped, _)) = env.prefix {
+                    l.counter_add(
+                        obs_names::CAMPAIGN_PREFIX_SKIPPED_FLOPS,
+                        skipped[layer] * n as u64,
+                    );
+                }
+            }
+            Some(false) => l.counter_add(obs_names::CAMPAIGN_PREFIX_MISSES, n as u64),
+            None => {}
+        }
+        for record in &records {
+            l.event(ObsEvent::TrialOutcome(TrialOutcomeEvent {
+                trial: record.trial,
+                layer: record.layer,
+                outcome: record.outcome.label(),
+                due_layer: record.due_layer,
+            }));
+        }
+        if let Some(shared) = env.shared_recorder {
+            l.flush_into(&**shared);
+        }
+    }
+    if let Some(p) = env.progress_state {
+        for record in &records {
+            let done = {
+                let mut c = p.counts.lock();
+                c.record(&record.outcome);
+                p.done.fetch_add(1, Ordering::Relaxed) + 1
+            };
+            if let Some(pr) = env.progress {
+                if done % pr.every() == 0 || done == env.trials {
+                    let counts = *p.counts.lock();
+                    (pr.sink)(&ProgressUpdate {
+                        done,
+                        total: env.trials,
+                        elapsed: p.start.elapsed(),
+                        counts,
+                    });
+                }
+            }
+        }
+    }
+    Ok(records)
 }
 
 #[cfg(test)]
@@ -1622,5 +2093,329 @@ mod tests {
             "exactly the whitelisted layer's trials hit: {stats:?}"
         );
         assert!(stats.misses > 0, "other layers fall back");
+    }
+
+    #[test]
+    fn fusion_leaves_records_bit_identical() {
+        use crate::prefix::PrefixCacheConfig;
+
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(RandomUniform::default()),
+        );
+        let cfg = CampaignConfig {
+            trials: 48,
+            seed: 31,
+            threads: Some(1),
+            ..CampaignConfig::default()
+        };
+        let plain = campaign.run(&cfg).unwrap();
+        for width in [2, 5, 16] {
+            for threads in [1, 3] {
+                for prefix_cache in [None, Some(PrefixCacheConfig::default())] {
+                    let fused = campaign
+                        .run(&CampaignConfig {
+                            threads: Some(threads),
+                            fusion: Some(FusionConfig::with_width(width)),
+                            prefix_cache: prefix_cache.clone(),
+                            ..cfg.clone()
+                        })
+                        .unwrap();
+                    assert_eq!(
+                        fused.records,
+                        plain.records,
+                        "fusion is invisible at width {width}, {threads} threads, \
+                         prefix={}",
+                        prefix_cache.is_some()
+                    );
+                    assert_eq!(fused.counts, plain.counts);
+                    let stats = fused.fusion.expect("stats reported when fusion is on");
+                    assert_eq!(
+                        stats.fused_trials + stats.serial_trials,
+                        48,
+                        "every trial ran exactly once: {stats:?}"
+                    );
+                    assert_eq!(stats.serial_trials, 0, "nothing crashed here");
+                    assert!(stats.groups > 0 && stats.max_width <= width);
+                    if prefix_cache.is_some() {
+                        let p = fused.prefix.expect("prefix stats still reported");
+                        assert_eq!(p.hits + p.misses, 48, "fused counting matches serial");
+                    }
+                }
+            }
+        }
+        assert!(plain.fusion.is_none(), "no stats when fusion is off");
+    }
+
+    #[test]
+    fn fused_crashes_replay_serially_and_stay_bit_identical() {
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            grenade(0.3),
+        );
+        let cfg = CampaignConfig {
+            trials: 40,
+            seed: 32,
+            threads: Some(2),
+            ..CampaignConfig::default()
+        };
+        let plain = campaign.run(&cfg).unwrap();
+        assert!(
+            plain.counts.crash > 0,
+            "the grenade fires: {:?}",
+            plain.counts
+        );
+        let fused = campaign
+            .run(&CampaignConfig {
+                fusion: Some(FusionConfig::default()),
+                ..cfg.clone()
+            })
+            .unwrap();
+        assert_eq!(
+            fused.records, plain.records,
+            "a crashed chunk replays serially with identical records"
+        );
+        let stats = fused.fusion.unwrap();
+        assert!(
+            stats.serial_trials > 0,
+            "crashed chunks fell back to serial: {stats:?}"
+        );
+        assert_eq!(stats.fused_trials + stats.serial_trials, 40);
+    }
+
+    #[test]
+    fn fused_guard_blames_only_the_corrupt_slice() {
+        let images = images();
+        let labels = aligned_labels(&images);
+        // Inf floods make some slices DUE while their chunk-mates stay
+        // clean: per-sample guards must keep those verdicts separate.
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(Custom::new("inf-sometimes", |old, ctx| {
+                if ctx.rng.chance(0.5) {
+                    f32::INFINITY
+                } else {
+                    old
+                }
+            })),
+        );
+        for guard in [GuardMode::Record, GuardMode::ShortCircuit] {
+            let cfg = CampaignConfig {
+                trials: 32,
+                seed: 33,
+                threads: Some(2),
+                guard,
+                ..CampaignConfig::default()
+            };
+            let plain = campaign.run(&cfg).unwrap();
+            assert!(
+                plain.counts.due > 0 && plain.counts.masked > 0,
+                "mixed outcomes under {guard:?}: {:?}",
+                plain.counts
+            );
+            let fused = campaign
+                .run(&CampaignConfig {
+                    fusion: Some(FusionConfig::with_width(8)),
+                    ..cfg.clone()
+                })
+                .unwrap();
+            assert_eq!(
+                fused.records, plain.records,
+                "an Inf in one slice never contaminates its chunk-mates \
+                 under {guard:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fusion_stands_down_for_weight_faults_and_watchdog() {
+        let images = images();
+        let labels = aligned_labels(&images);
+        let weight = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Weight(WeightSelect::Random),
+            Arc::new(RandomUniform::default()),
+        );
+        let result = weight
+            .run(&CampaignConfig {
+                trials: 8,
+                seed: 34,
+                fusion: Some(FusionConfig::default()),
+                ..CampaignConfig::default()
+            })
+            .unwrap();
+        assert!(
+            result.fusion.is_none(),
+            "weight faults mutate shared state; fusion stands down"
+        );
+
+        let neuron = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(RandomUniform::default()),
+        );
+        let result = neuron
+            .run(&CampaignConfig {
+                trials: 8,
+                seed: 34,
+                max_steps: Some(1000),
+                fusion: Some(FusionConfig::default()),
+                ..CampaignConfig::default()
+            })
+            .unwrap();
+        assert!(
+            result.fusion.is_none(),
+            "step budgets count per forward pass; fusion stands down"
+        );
+        // A width below 2 cannot fuse anything.
+        let result = neuron
+            .run(&CampaignConfig {
+                trials: 8,
+                seed: 34,
+                fusion: Some(FusionConfig::with_width(1)),
+                ..CampaignConfig::default()
+            })
+            .unwrap();
+        assert!(result.fusion.is_none());
+    }
+
+    #[test]
+    fn fused_int8_campaigns_match_serial() {
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(StuckAt::new(1e9)),
+        );
+        let cfg = CampaignConfig {
+            trials: 24,
+            seed: 35,
+            threads: Some(2),
+            int8_activations: true,
+            ..CampaignConfig::default()
+        };
+        let plain = campaign.run(&cfg).unwrap();
+        let fused = campaign
+            .run(&CampaignConfig {
+                fusion: Some(FusionConfig::default()),
+                ..cfg.clone()
+            })
+            .unwrap();
+        assert_eq!(
+            fused.records, plain.records,
+            "per-slice int8 scales equal the per-tensor scales of batch-1 runs"
+        );
+    }
+
+    #[test]
+    fn fused_journal_resume_is_bit_identical() {
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(RandomUniform::default()),
+        );
+        let cfg = CampaignConfig {
+            trials: 30,
+            seed: 36,
+            threads: Some(2),
+            fusion: Some(FusionConfig::with_width(4)),
+            ..CampaignConfig::default()
+        };
+        let uninterrupted = campaign.run(&cfg).unwrap();
+
+        let path = tmp("fused-resume.jsonl");
+        let journaled = campaign.run_journaled(&cfg, &path).unwrap();
+        assert_eq!(journaled, uninterrupted, "journaling is invisible");
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep: Vec<&str> = text.lines().take(12).collect();
+        let mut truncated = keep.join("\n");
+        truncated.push('\n');
+        std::fs::write(&path, truncated).unwrap();
+
+        let resumed = campaign.resume(&cfg, &path).unwrap();
+        assert_eq!(
+            resumed.records, uninterrupted.records,
+            "resume fills the gap"
+        );
+        assert_eq!(resumed.counts, uninterrupted.counts);
+        // The journal kept 11 records, so only the 19 missing trials ran —
+        // fused among themselves, never mixed with replayed history.
+        let stats = resumed.fusion.unwrap();
+        assert_eq!(stats.fused_trials + stats.serial_trials, 19);
+    }
+
+    #[test]
+    fn fused_observability_reports_chunks_and_outcomes() {
+        use rustfi_obs::TraceRecorder;
+
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(RandomUniform::default()),
+        );
+        let rec = Arc::new(TraceRecorder::new());
+        let result = campaign
+            .run(&CampaignConfig {
+                trials: 24,
+                seed: 37,
+                threads: Some(2),
+                fusion: Some(FusionConfig::with_width(4)),
+                recorder: Some(rec.clone() as Arc<dyn Recorder>),
+                ..CampaignConfig::default()
+            })
+            .unwrap();
+        let stats = result.fusion.unwrap();
+        let snap = rec.snapshot();
+        let fused_spans = snap.spans.iter().filter(|s| s.kind == "fused").count();
+        assert_eq!(fused_spans as u64, stats.groups, "one span per chunk");
+        assert_eq!(
+            snap.counters.get("campaign.fused_trials").copied(),
+            Some(stats.fused_trials)
+        );
+        assert_eq!(
+            snap.counters.get("campaign.fused_groups").copied(),
+            Some(stats.groups)
+        );
+        let widths = snap.timings.get("campaign.fused_width").unwrap();
+        assert_eq!(widths.count, stats.groups);
+        assert!(
+            snap.timings.contains_key("campaign.fused_chunk_ns"),
+            "chunk wall time recorded"
+        );
+        let outcomes = snap
+            .events
+            .iter()
+            .filter(|e| matches!(e, rustfi_obs::Event::TrialOutcome(_)))
+            .count();
+        assert_eq!(outcomes, 24, "every trial still reports its outcome");
     }
 }

@@ -40,6 +40,32 @@ impl std::fmt::Debug for NeuronFault {
     }
 }
 
+/// One trial's slice of a fused campaign batch: pre-resolved sites (all in
+/// one injectable layer), the perturbation model, and the trial's seed for
+/// exec-time randomness. See [`FaultInjector::declare_fused_neuron_fi`].
+#[derive(Clone)]
+pub struct FusedTrialFault {
+    /// Campaign trial index (event provenance).
+    pub trial: usize,
+    /// The trial's derived seed; the slice perturbs with
+    /// `SeededRng::new(seed).fork(2)`, the serial exec stream.
+    pub seed: u64,
+    /// Resolved sites, all targeting the same layer.
+    pub sites: Vec<NeuronSite>,
+    /// The perturbation to apply.
+    pub model: Arc<dyn PerturbationModel>,
+}
+
+impl std::fmt::Debug for FusedTrialFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FusedTrialFault")
+            .field("trial", &self.trial)
+            .field("sites", &self.sites)
+            .field("model", &self.model.name())
+            .finish()
+    }
+}
+
 /// One declared weight fault.
 #[derive(Clone)]
 pub struct WeightFault {
@@ -274,6 +300,110 @@ impl FaultInjector {
         Ok(sites)
     }
 
+    /// Declares a *fused* batch of neuron-fault trials on one injectable
+    /// layer: batch slice `i` of the layer's output receives `trials[i]`'s
+    /// perturbation, and nothing else.
+    ///
+    /// This is the execution half of campaign trial fusion. Sites must
+    /// already be resolved (the campaign planner replays each trial's
+    /// planning RNG); every site must target `layer`. Each slice perturbs
+    /// with its own RNG stream — `SeededRng::new(seed).fork(2)`, exactly the
+    /// exec stream a serial trial gets from [`FaultInjector::reseed`] — and
+    /// sees [`PerturbCtx::batch`]` = 0` and the *slice's own* max-abs (the
+    /// clean whole-tensor value a batch-1 forward would report), so the
+    /// perturbed values are bit-identical to a serial run of each trial.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FiError::LayerOutOfRange`] if `layer` is not an injectable
+    /// layer of the profiled model.
+    pub fn declare_fused_neuron_fi(
+        &mut self,
+        layer: usize,
+        trials: Vec<FusedTrialFault>,
+    ) -> Result<(), FiError> {
+        if layer >= self.profile.len() {
+            return Err(FiError::LayerOutOfRange {
+                requested: layer,
+                available: self.profile.len(),
+            });
+        }
+        let layer_id = self.profile.layers()[layer].id;
+        let rngs: Mutex<Vec<SeededRng>> = Mutex::new(
+            trials
+                .iter()
+                .map(|t| SeededRng::new(t.seed).fork(2))
+                .collect(),
+        );
+        let applied = Arc::clone(&self.applied);
+        let recorder = Arc::clone(&self.recorder);
+        let handle = self
+            .net
+            .hooks()
+            .register_forward(layer_id, move |_ctx, out| {
+                let (n, c, h, w) = match out.ndim() {
+                    4 => out.dims4(),
+                    2 => {
+                        let (n, f) = out.dims2();
+                        (n, f, 1, 1)
+                    }
+                    other => panic!("injectable output of rank {other}"),
+                };
+                let sample = c * h * w;
+                let mut rngs = rngs.lock();
+                for (b, fused) in trials.iter().enumerate() {
+                    if b >= n {
+                        break; // tensor carries fewer slices than trials
+                    }
+                    let slice_off = b * sample;
+                    let mut max_abs_cache: Option<f32> = None;
+                    let rng = &mut rngs[b];
+                    for site in &fused.sites {
+                        if site.channel >= c || site.y >= h || site.x >= w {
+                            // The live tensor is smaller than the profiled
+                            // one; skip rather than corrupt the wrong neuron.
+                            continue;
+                        }
+                        let max_abs = *max_abs_cache.get_or_insert_with(|| {
+                            out.data()[slice_off..slice_off + sample]
+                                .iter()
+                                .fold(0.0f32, |m, &x| m.max(x.abs()))
+                        });
+                        let off = slice_off + (site.channel * h + site.y) * w + site.x;
+                        let old = out.data()[off];
+                        let mut pctx = PerturbCtx {
+                            layer: site.layer,
+                            batch: 0,
+                            channel: site.channel,
+                            tensor_max_abs: max_abs,
+                            rng: &mut *rng,
+                        };
+                        let new = fused.model.perturb(old, &mut pctx);
+                        out.data_mut()[off] = new;
+                        applied.fetch_add(1, Ordering::Relaxed);
+                        if let Some(rec) = recorder.lock().as_ref() {
+                            rec.event(ObsEvent::Injection(InjectionEvent {
+                                trial: Some(fused.trial),
+                                layer: site.layer,
+                                site: InjectionSite::Neuron {
+                                    batch: 0,
+                                    channel: site.channel,
+                                    y: site.y,
+                                    x: site.x,
+                                },
+                                bit: InjectionEvent::flipped_bit(old, new),
+                                before: old,
+                                after: new,
+                            }));
+                            rec.counter_add("fi.injections", 1);
+                        }
+                    }
+                }
+            });
+        self.handles.push(handle);
+        Ok(())
+    }
+
     /// Declares weight faults, applying them immediately (offline, before
     /// any inference — zero runtime overhead). Returns the resolved sites.
     ///
@@ -360,16 +490,28 @@ impl FaultInjector {
     }
 
     /// Emulates INT8 neuron quantization (paper §IV-A): every injectable
-    /// layer's output is snapped to the INT8 grid (dynamic per-tensor scale)
-    /// before fault hooks run.
+    /// layer's output is snapped to the INT8 grid before fault hooks run.
+    ///
+    /// The dynamic scale is computed *per batch sample* (identical to the
+    /// per-tensor scale at batch 1), so in a fused campaign batch one
+    /// trial's fault cannot rescale the quantization grid of its siblings.
     pub fn enable_int8_activations(&mut self) {
         if self.quant_handle.is_some() {
             return;
         }
         let handle = self.net.hooks().register_forward_all(|ctx, out| {
             if ctx.kind.is_injectable() {
-                let scale = int8::tensor_scale(out);
-                out.map_inplace(|x| int8::fake_quantize(x, scale));
+                let n = if out.ndim() >= 2 { out.dims()[0] } else { 1 };
+                if n == 0 {
+                    return;
+                }
+                let stride = out.len() / n;
+                for slice in out.data_mut().chunks_mut(stride.max(1)) {
+                    let scale = int8::slice_scale(slice);
+                    for v in slice.iter_mut() {
+                        *v = int8::fake_quantize(*v, scale);
+                    }
+                }
             }
         });
         self.quant_handle = Some(handle);
@@ -403,6 +545,41 @@ impl FaultInjector {
     /// is not in the network.
     pub fn forward_from(&mut self, target: LayerId, input: &Tensor) -> Option<Tensor> {
         self.net.forward_from(target, input)
+    }
+
+    /// Resumes an inference *at* injectable leaf `target` from a cached
+    /// batch-1 activation carried by `n` identical batch slices — without
+    /// computing `target` `n` times. Because every slice enters the layer
+    /// with the same input, its raw output is computed once at batch 1 and
+    /// broadcast; only then do the layer's forward hooks — guards, INT8
+    /// emulation, per-slice fault injection — and the downstream layers run
+    /// at batch `n`. Hooks observe exactly the tensor a full
+    /// `forward_from(target, &input.repeat_batch(n))` would hand them (the
+    /// raw output of a pointwise-in-batch layer on `n` identical slices *is*
+    /// the broadcast), so the result is bit-identical to that call.
+    ///
+    /// Returns `None` — before any hook side effect — when the
+    /// decomposition is unavailable: `target` is not an injectable leaf, or
+    /// it is not its own resume point (buried in a residual/branch block).
+    /// Callers then fall back to the plain resumed pass.
+    pub fn forward_from_broadcast(
+        &mut self,
+        target: LayerId,
+        input: &Tensor,
+        n: usize,
+    ) -> Option<Tensor> {
+        let injectable_leaf = self
+            .net
+            .layer_infos()
+            .iter()
+            .any(|l| l.id == target && l.kind.is_injectable());
+        if !injectable_leaf || self.net.resume_point(target) != Some(target) {
+            return None;
+        }
+        let golden = self.net.forward_layer_raw(target, input)?;
+        let mut out = golden.repeat_batch(n);
+        self.net.dispatch_forward_hooks(target, &mut out);
+        self.net.forward_after(target, &out)
     }
 
     /// The configuration this injector was built with.
@@ -653,6 +830,127 @@ mod tests {
         let out = fi.forward(&x());
         assert!(!out.has_non_finite());
         assert_eq!(fi.injections_applied(), 1);
+    }
+
+    #[test]
+    fn fused_slices_match_serial_batch1_runs() {
+        let seeds = [101u64, 202, 303];
+        // Serial reference: one batch-1 run per seed, random value at a
+        // fixed site.
+        let serial: Vec<Tensor> = seeds
+            .iter()
+            .map(|&s| {
+                let mut fi = injector();
+                fi.reseed(s);
+                fi.declare_neuron_fi(&[NeuronFault {
+                    select: NeuronSelect::Exact {
+                        layer: 0,
+                        channel: 1,
+                        y: 2,
+                        x: 3,
+                    },
+                    batch: BatchSelect::All,
+                    model: Arc::new(RandomUniform::default()),
+                }])
+                .unwrap();
+                fi.forward(&x())
+            })
+            .collect();
+        // Fused: all three trials in one batch-3 forward.
+        let mut fi = injector();
+        fi.declare_fused_neuron_fi(
+            0,
+            seeds
+                .iter()
+                .enumerate()
+                .map(|(t, &s)| FusedTrialFault {
+                    trial: t,
+                    seed: s,
+                    sites: vec![NeuronSite {
+                        layer: 0,
+                        batch: None,
+                        channel: 1,
+                        y: 2,
+                        x: 3,
+                    }],
+                    model: Arc::new(RandomUniform::default()),
+                })
+                .collect(),
+        )
+        .unwrap();
+        let fused = fi.forward(&x().repeat_batch(3));
+        let k = fused.len() / 3;
+        for (b, reference) in serial.iter().enumerate() {
+            assert_eq!(
+                &fused.data()[b * k..(b + 1) * k],
+                reference.data(),
+                "fused slice {b} is bit-identical to its serial run"
+            );
+        }
+        assert_eq!(fi.injections_applied(), 3);
+    }
+
+    #[test]
+    fn broadcast_resume_matches_plain_resumed_batch_pass() {
+        let seeds = [11u64, 22, 33];
+        let layer = 1; // mid conv on lenet's flat spine
+        let declare = |fi: &mut FaultInjector| {
+            let sites = vec![NeuronSite {
+                layer,
+                batch: None,
+                channel: 0,
+                y: 1,
+                x: 1,
+            }];
+            fi.declare_fused_neuron_fi(
+                layer,
+                seeds
+                    .iter()
+                    .enumerate()
+                    .map(|(t, &s)| FusedTrialFault {
+                        trial: t,
+                        seed: s,
+                        sites: sites.clone(),
+                        model: Arc::new(RandomUniform::default()),
+                    })
+                    .collect(),
+            )
+            .unwrap();
+        };
+        let mut fi = injector();
+        let layer_id = fi.profile().layers()[layer].id;
+        let rid = fi.net().resume_point(layer_id).unwrap();
+        assert_eq!(rid, layer_id, "flat spine resumes at the layer itself");
+        let mut act = None;
+        fi.forward_with_capture(&x(), &mut |id, input| {
+            if id == rid {
+                act = Some(input.clone());
+            }
+        });
+        let act = act.unwrap();
+        declare(&mut fi);
+        let reference = fi.forward_from(rid, &act.repeat_batch(3)).unwrap();
+        let mut fi2 = injector();
+        declare(&mut fi2);
+        let fast = fi2.forward_from_broadcast(rid, &act, 3).unwrap();
+        assert_eq!(fast, reference, "broadcast decomposition is bit-identical");
+        assert_eq!(fi2.injections_applied(), 3);
+    }
+
+    #[test]
+    fn broadcast_resume_declines_unknown_layer() {
+        let mut fi = injector();
+        assert!(fi
+            .forward_from_broadcast(LayerId::from_index(999), &x(), 2)
+            .is_none());
+        assert_eq!(fi.injections_applied(), 0);
+    }
+
+    #[test]
+    fn fused_declare_rejects_bad_layer() {
+        let mut fi = injector();
+        assert!(fi.declare_fused_neuron_fi(99, Vec::new()).is_err());
+        assert!(fi.net().hooks().is_empty());
     }
 
     #[test]

@@ -64,8 +64,8 @@ pub mod profile;
 pub mod report;
 
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignResult, FaultMode, GuardMode, ProgressRecorder,
-    ProgressUpdate, TrialRecord,
+    Campaign, CampaignConfig, CampaignResult, FaultMode, FusionConfig, FusionStats, GuardMode,
+    ProgressRecorder, ProgressUpdate, TrialRecord,
 };
 pub use config::FiConfig;
 pub use error::FiError;

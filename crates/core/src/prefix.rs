@@ -177,6 +177,29 @@ impl PrefixCache {
         found
     }
 
+    /// Looks up `(image, layer)` *without* counting the outcome.
+    ///
+    /// Fused campaign chunks peek before the batched forward and only charge
+    /// the counters once the pass completes (via
+    /// [`PrefixCache::record_outcome`]); if the chunk crashes and is
+    /// replayed serially, the replay's own per-trial [`PrefixCache::lookup`]
+    /// calls do the counting — keeping `hits + misses == trials` regardless
+    /// of fusion.
+    pub fn peek(&self, image: usize, layer: LayerId) -> Option<Arc<Tensor>> {
+        self.inner.lock().map.get(&(image, layer)).cloned()
+    }
+
+    /// Counts `n` trials that shared one peeked outcome: `n` hits (each
+    /// skipping `flops`) when `hit`, else `n` misses.
+    pub fn record_outcome(&self, hit: bool, n: u64, flops: u64) {
+        if hit {
+            self.hits.fetch_add(n, Ordering::Relaxed);
+            self.skipped_flops.fetch_add(flops * n, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Current counters.
     pub fn stats(&self) -> PrefixStats {
         let inner = self.inner.lock();
@@ -236,6 +259,21 @@ mod tests {
         assert_eq!(s.entries, 1);
         assert_eq!(s.bytes, 32 * 4);
         assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peek_and_record_outcome_count_like_n_lookups() {
+        let cache = PrefixCache::new(1 << 20);
+        cache.insert(0, id(3), Tensor::ones(&[8]));
+        // Peek never counts.
+        assert!(cache.peek(0, id(3)).is_some());
+        assert!(cache.peek(1, id(3)).is_none());
+        assert_eq!((cache.stats().hits, cache.stats().misses), (0, 0));
+        // A fused chunk of 5 trials on a hit, 3 on a miss.
+        cache.record_outcome(true, 5, 100);
+        cache.record_outcome(false, 3, 100);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.skipped_flops), (5, 3, 500));
     }
 
     #[test]

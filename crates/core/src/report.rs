@@ -156,6 +156,7 @@ mod tests {
             per_layer: vec![(1, 1), (1, 0), (1, 0)],
             eligible_images: 10,
             prefix: None,
+            fusion: None,
         }
     }
 
@@ -195,6 +196,7 @@ mod tests {
             per_layer: Vec::new(),
             eligible_images: 0,
             prefix: None,
+            fusion: None,
         };
         let s = summarize(&result);
         assert!(s.contains("0 trials"));

@@ -41,6 +41,14 @@ pub struct GuardConfig {
     /// Maximum leaf-layer dispatches per [`GuardHook::reset`] window before a
     /// [`DeadlineInterrupt`] fires. `None` disables the watchdog.
     pub max_steps: Option<usize>,
+    /// Scan each leading-axis (batch) sample independently and record
+    /// per-sample non-finite provenance (see
+    /// [`GuardHook::first_non_finite_for`]). Fused campaigns use this so a
+    /// NaN in one trial's batch slice never condemns its siblings. A
+    /// per-sample guard **never short-circuits** — aborting the pass would
+    /// discard the still-healthy samples sharing the batch — but the global
+    /// first-non-finite record (and its event) is maintained identically.
+    pub per_sample: bool,
 }
 
 impl Default for GuardConfig {
@@ -49,6 +57,7 @@ impl Default for GuardConfig {
             detect_non_finite: true,
             short_circuit: false,
             max_steps: None,
+            per_sample: false,
         }
     }
 }
@@ -74,6 +83,11 @@ pub struct DeadlineInterrupt {
 struct GuardState {
     steps: AtomicUsize,
     first_non_finite: Mutex<Option<(LayerId, String)>>,
+    /// Per-sample provenance table (only populated when
+    /// [`GuardConfig::per_sample`] is set): slot `b` holds the first layer
+    /// whose batch element `b` went non-finite. Grown on demand, sized by
+    /// [`GuardHook::reset_samples`].
+    sample_non_finite: Mutex<Vec<Option<(LayerId, String)>>>,
 }
 
 /// An installed guard. Dropping it does *not* unregister the hook; call
@@ -109,6 +123,23 @@ impl GuardHook {
                 }
             }
             if scan && out.data().iter().any(|v| !v.is_finite()) {
+                if cfg.per_sample {
+                    // Attribute the corruption to the batch slices that carry
+                    // it: slot `b` keeps the *first* layer where sample `b`
+                    // went bad, exactly as the global record would at batch 1.
+                    let mut table = hook_state.sample_non_finite.lock();
+                    for (b, slice) in out.sample_slices().enumerate() {
+                        if slice.iter().any(|v| !v.is_finite()) {
+                            if table.len() <= b {
+                                table.resize(b + 1, None);
+                            }
+                            if table[b].is_none() {
+                                table[b] = Some((ctx.id, ctx.name.to_string()));
+                            }
+                        }
+                    }
+                    drop(table);
+                }
                 let mut first = hook_state.first_non_finite.lock();
                 let fresh = first.is_none();
                 if fresh {
@@ -123,7 +154,7 @@ impl GuardHook {
                         }));
                     }
                 }
-                if cfg.short_circuit && fresh {
+                if cfg.short_circuit && fresh && !cfg.per_sample {
                     std::panic::resume_unwind(Box::new(NonFiniteInterrupt {
                         layer: ctx.id,
                         layer_name: ctx.name.to_string(),
@@ -139,6 +170,25 @@ impl GuardHook {
     pub fn reset(&self) {
         self.state.steps.store(0, Ordering::Relaxed);
         *self.state.first_non_finite.lock() = None;
+        self.state.sample_non_finite.lock().clear();
+    }
+
+    /// [`GuardHook::reset`], then sizes the per-sample provenance table for a
+    /// fused batch of `n` trials.
+    pub fn reset_samples(&self, n: usize) {
+        self.reset();
+        *self.state.sample_non_finite.lock() = vec![None; n];
+    }
+
+    /// The first layer observed with a non-finite output *in batch sample
+    /// `b`*, if any. Only populated under [`GuardConfig::per_sample`].
+    pub fn first_non_finite_for(&self, b: usize) -> Option<(LayerId, String)> {
+        self.state
+            .sample_non_finite
+            .lock()
+            .get(b)
+            .cloned()
+            .flatten()
     }
 
     /// Leaf-layer dispatches seen since the last [`GuardHook::reset`].
@@ -275,6 +325,61 @@ mod tests {
             guard.steps(),
             full_steps
         );
+    }
+
+    #[test]
+    fn per_sample_guard_blames_only_the_corrupt_slice() {
+        let (mut net, x1) = net_and_input();
+        let conv = first_conv(&net);
+        // Flood +Inf into batch sample 1 only.
+        net.hooks().register_forward(conv, |_, out| {
+            let n = out.dims()[0];
+            assert!(n >= 3);
+            let stride = out.len() / n;
+            for v in &mut out.data_mut()[stride..2 * stride] {
+                *v = f32::INFINITY;
+            }
+        });
+        let guard = GuardHook::install(
+            &net,
+            GuardConfig {
+                per_sample: true,
+                // Per-sample mode must refuse to short-circuit even when asked.
+                short_circuit: true,
+                ..GuardConfig::default()
+            },
+        );
+        guard.reset_samples(3);
+        let x = x1.repeat_batch(3);
+        net.forward(&x); // must complete despite short_circuit
+        assert!(guard.first_non_finite_for(0).is_none(), "sample 0 clean");
+        let (layer, _) = guard.first_non_finite_for(1).expect("sample 1 corrupt");
+        assert!(layer.index() > conv.index());
+        assert!(guard.first_non_finite_for(2).is_none(), "sample 2 clean");
+        // The global record still reflects the first corrupt dispatch.
+        assert_eq!(guard.first_non_finite().map(|(l, _)| l), Some(layer));
+        guard.reset();
+        assert!(
+            guard.first_non_finite_for(1).is_none(),
+            "reset clears table"
+        );
+    }
+
+    #[test]
+    fn per_sample_guard_at_batch_one_matches_global_record() {
+        let (mut net, x) = net_and_input();
+        let conv = first_conv(&net);
+        flood_inf(&net, conv);
+        let guard = GuardHook::install(
+            &net,
+            GuardConfig {
+                per_sample: true,
+                ..GuardConfig::default()
+            },
+        );
+        guard.reset_samples(1);
+        net.forward(&x);
+        assert_eq!(guard.first_non_finite_for(0), guard.first_non_finite());
     }
 
     #[test]

@@ -94,6 +94,27 @@ impl Module for Sequential {
         Some(x)
     }
 
+    /// Descends into the child holding `target`, resumes after it, then
+    /// runs the remaining children normally. Fails (`None`) only if the
+    /// child itself cannot resume after `target` — e.g. `target` is buried
+    /// inside a residual block.
+    fn forward_after(
+        &mut self,
+        target: LayerId,
+        input: &Tensor,
+        ctx: &mut ForwardCtx<'_>,
+    ) -> Option<Tensor> {
+        if self.meta.id == target {
+            return Some(input.clone());
+        }
+        let idx = self.children.iter().position(|c| c.contains(target))?;
+        let mut x = self.children[idx].forward_after(target, input, ctx)?;
+        for child in &mut self.children[idx + 1..] {
+            x = ctx.forward_child(child.as_mut(), &x);
+        }
+        Some(x)
+    }
+
     fn visit(&self, f: &mut dyn FnMut(&dyn Module)) {
         f(self);
         for child in &self.children {
@@ -625,6 +646,57 @@ mod tests {
             let resumed = net.forward_from(target, &cached.unwrap()).unwrap();
             assert_eq!(resumed, full, "resume at {resume} for target {target}");
         }
+    }
+
+    #[test]
+    fn forward_after_continues_downstream_of_a_leaf() {
+        let mut rng = SeededRng::new(7);
+        // seq [ conv1, relu2, conv3 ] — ids assigned in pre-order from 0.
+        let mut net = Network::new(Box::new(Sequential::new(vec![
+            Box::new(Conv2d::new(2, 2, 3, ConvSpec::new().padding(1), &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Conv2d::new(2, 3, 1, ConvSpec::new(), &mut rng)),
+        ])));
+        let conv1 = net.injectable_layers()[0];
+        // A hook so the captured intermediate is the *post-hook* output.
+        net.hooks().register_forward(conv1, |_, out| {
+            for v in out.data_mut() {
+                *v += 1.0;
+            }
+        });
+        let x = Tensor::from_fn(&[1, 2, 5, 5], |i| (i as f32 * 0.13).sin());
+        let mut after_conv1 = None;
+        let full = net.forward_with_capture(&x, &mut |id, input| {
+            if id.index() == conv1.index() + 1 {
+                after_conv1 = Some(input.clone());
+            }
+        });
+        let resumed = net.forward_after(conv1, &after_conv1.unwrap()).unwrap();
+        assert_eq!(resumed, full, "downstream layers reproduce the full pass");
+        // Resuming after the final leaf is the identity.
+        let last = net.injectable_layers()[1];
+        assert_eq!(net.forward_after(last, &full).unwrap(), full);
+    }
+
+    #[test]
+    fn forward_after_declines_residual_interior() {
+        let mut rng = SeededRng::new(8);
+        let body = Sequential::new(vec![Box::new(Conv2d::new(
+            2,
+            2,
+            3,
+            ConvSpec::new().padding(1),
+            &mut rng,
+        ))]);
+        let mut net = Network::new(Box::new(Sequential::new(vec![Box::new(Residual::new(
+            Box::new(body),
+        ))])));
+        let inner_conv = net.injectable_layers()[0];
+        // The skip path consumed the block's input, so the layers after the
+        // inner conv cannot run from its output alone.
+        assert!(net
+            .forward_after(inner_conv, &Tensor::ones(&[1, 2, 5, 5]))
+            .is_none());
     }
 
     #[test]

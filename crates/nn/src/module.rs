@@ -311,6 +311,28 @@ pub trait Module: Send {
         }
     }
 
+    /// Runs the layers that execute strictly *after* `target`, feeding them
+    /// `input` — which must be `target`'s output with its forward hooks
+    /// already applied. Returns `None` when `target` is not in this subtree
+    /// or its successors cannot be run in isolation (anywhere inside a
+    /// residual or branch block, whose sibling paths consumed the block's
+    /// input).
+    ///
+    /// The default — correct for every leaf and for resuming after an
+    /// entire container — is the identity when `target` is this module
+    /// itself. [`Sequential`] overrides this to descend into the child
+    /// holding `target` and then run the remaining children.
+    ///
+    /// [`Sequential`]: crate::layer::container::Sequential
+    fn forward_after(
+        &mut self,
+        target: LayerId,
+        input: &Tensor,
+        _ctx: &mut ForwardCtx<'_>,
+    ) -> Option<Tensor> {
+        (self.meta().id == target).then(|| input.clone())
+    }
+
     /// Pre-order traversal over this module and all descendants.
     fn visit(&self, f: &mut dyn FnMut(&dyn Module));
     /// Mutable pre-order traversal.
@@ -541,6 +563,66 @@ impl Network {
     /// just before `target` (see [`Module::resume_point`]).
     pub fn resume_point(&self, target: LayerId) -> Option<LayerId> {
         self.root.resume_point(target)
+    }
+
+    /// Runs only the module `id` on `input` with hook dispatch suppressed,
+    /// returning its raw (pre-hook) output. Returns `None` if `id` is not a
+    /// layer of this network.
+    ///
+    /// Together with [`Network::dispatch_forward_hooks`] and
+    /// [`Network::forward_after`] this decomposes a resumed pass around one
+    /// layer: compute the layer, run its hooks on a (possibly transformed)
+    /// output, continue downstream. Fused campaigns use the decomposition to
+    /// compute an injection layer once at batch 1 and broadcast its output
+    /// before the per-slice fault hooks fire.
+    pub fn forward_layer_raw(&mut self, id: LayerId, input: &Tensor) -> Option<Tensor> {
+        let empty = HookRegistry::new();
+        let mut ctx = ForwardCtx::new(
+            self.training,
+            &empty,
+            &mut self.rng,
+            self.recorder.as_deref(),
+        );
+        let layer = self.root.find_mut(id)?;
+        Some(ctx.forward_child(layer, input))
+    }
+
+    /// Dispatches layer `id`'s forward hooks on `out`, exactly as a forward
+    /// pass does after computing that layer (all-layer hooks first, then the
+    /// layer's own, in registration order). Returns `false` if `id` is not a
+    /// layer of this network.
+    pub fn dispatch_forward_hooks(&mut self, id: LayerId, out: &mut Tensor) -> bool {
+        let Some(info) = self.layer_infos.iter().find(|l| l.id == id) else {
+            return false;
+        };
+        let fired = self.hooks.dispatch_forward(
+            &LayerCtx {
+                id,
+                name: &info.name,
+                kind: info.kind,
+            },
+            out,
+        );
+        if fired > 0 {
+            if let Some(rec) = &self.recorder {
+                rec.counter_add("nn.hook_dispatches", fired as u64);
+            }
+        }
+        true
+    }
+
+    /// Resumes a forward pass immediately *after* layer `target`, feeding
+    /// the downstream layers `input` — `target`'s output with hooks already
+    /// applied (see [`Module::forward_after`]). Returns `None` when the
+    /// layers after `target` cannot be run in isolation.
+    pub fn forward_after(&mut self, target: LayerId, input: &Tensor) -> Option<Tensor> {
+        let mut ctx = ForwardCtx::new(
+            self.training,
+            &self.hooks,
+            &mut self.rng,
+            self.recorder.as_deref(),
+        );
+        self.root.forward_after(target, input, &mut ctx)
     }
 
     /// Runs a backward pass from the gradient of the loss w.r.t. the output

@@ -30,6 +30,20 @@ pub const CAMPAIGN_PREFIX_MISSES: &str = "campaign.prefix_misses";
 /// (2 × MACs of the injectable layers that did not re-execute).
 pub const CAMPAIGN_PREFIX_SKIPPED_FLOPS: &str = "campaign.prefix_skipped_flops";
 
+/// Trials executed inside fused batched forward passes.
+pub const CAMPAIGN_FUSED_TRIALS: &str = "campaign.fused_trials";
+
+/// Fused chunks (batched forward passes) executed.
+pub const CAMPAIGN_FUSED_GROUPS: &str = "campaign.fused_groups";
+
+/// Fused chunk width histogram (trials per batched forward); recorded
+/// through the generic u64 histogram channel.
+pub const CAMPAIGN_FUSED_WIDTH: &str = "campaign.fused_width";
+
+/// Per-fused-chunk wall time histogram key (replaces
+/// [`CAMPAIGN_TRIAL_NS`] for trials that ran fused).
+pub const CAMPAIGN_FUSED_CHUNK_NS: &str = "campaign.fused_chunk_ns";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,6 +58,10 @@ mod tests {
             CAMPAIGN_PREFIX_HITS,
             CAMPAIGN_PREFIX_MISSES,
             CAMPAIGN_PREFIX_SKIPPED_FLOPS,
+            CAMPAIGN_FUSED_TRIALS,
+            CAMPAIGN_FUSED_GROUPS,
+            CAMPAIGN_FUSED_WIDTH,
+            CAMPAIGN_FUSED_CHUNK_NS,
         ];
         for (i, a) in all.iter().enumerate() {
             assert!(a.contains('.'), "{a} is namespaced");

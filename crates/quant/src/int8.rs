@@ -39,18 +39,23 @@ pub fn scale_for_max_abs(max_abs: f32) -> f32 {
     (max_abs / QMAX as f32).max(MIN_SCALE)
 }
 
-/// Scale for quantizing all values of a tensor (per-tensor dynamic range).
+/// Scale for quantizing a slice of values (dynamic range over the slice).
 ///
 /// Non-finite elements (possible under upstream fault injection) are ignored
-/// when determining the range; an all-non-finite tensor falls back to the
-/// minimum scale.
-pub fn tensor_scale(t: &Tensor) -> f32 {
-    let max_abs = t
-        .data()
+/// when determining the range; an all-non-finite slice falls back to the
+/// minimum scale. Campaigns apply this per batch sample, so one fused
+/// trial's fault cannot rescale the quantization grid of its siblings.
+pub fn slice_scale(values: &[f32]) -> f32 {
+    let max_abs = values
         .iter()
         .filter(|v| v.is_finite())
         .fold(0.0f32, |m, &x| m.max(x.abs()));
     scale_for_max_abs(max_abs)
+}
+
+/// Scale for quantizing all values of a tensor (per-tensor dynamic range).
+pub fn tensor_scale(t: &Tensor) -> f32 {
+    slice_scale(t.data())
 }
 
 /// Quantizes a value to INT8 with the given scale.
@@ -217,6 +222,19 @@ mod tests {
         assert_eq!(quantize(f32::INFINITY, scale), 127);
         assert_eq!(quantize(f32::NEG_INFINITY, scale), -127);
         assert_eq!(quantize(f32::NAN, scale), 0);
+    }
+
+    #[test]
+    fn slice_scale_matches_tensor_scale_per_sample() {
+        // Two batch samples with different ranges: quantizing each against
+        // its own slice scale must match quantizing each as its own tensor.
+        let a = vec![1.0f32, -2.0, 0.5];
+        let b = vec![100.0f32, -50.0, 25.0];
+        let sa = slice_scale(&a);
+        let sb = slice_scale(&b);
+        assert_eq!(sa, tensor_scale(&Tensor::from_vec(a, &[1, 3])));
+        assert_eq!(sb, tensor_scale(&Tensor::from_vec(b, &[1, 3])));
+        assert!(sb > sa, "wider range, coarser grid");
     }
 
     #[test]

@@ -83,9 +83,9 @@ pub struct Conv2dGrads {
 }
 
 /// Lowers one batch element's group slice into an im2col matrix of shape
-/// `[cg*kh*kw, oh*ow]`, written into the caller's scratch buffer (zeroed
-/// here first, so padding positions come out 0 even when the buffer is
-/// dirty from a previous call).
+/// `[cg*kh*kw, oh*ow]`, written into the caller's scratch buffer. The buffer
+/// may be dirty from a previous call: the stride-1 path writes every element
+/// (zeros included) exactly once, and the strided path zero-fills first.
 #[allow(clippy::too_many_arguments)]
 fn im2col_into(
     input: &Tensor,
@@ -101,7 +101,9 @@ fn im2col_into(
 ) {
     let (_, _, h, w) = input.dims4();
     assert_eq!(cols.len(), cg * kh * kw * oh * ow, "im2col scratch size");
-    cols.fill(0.0);
+    if spec.stride != 1 {
+        cols.fill(0.0);
+    }
     let ow_stride = oh * ow;
     for c in 0..cg {
         let fm = input.fmap(n, c_start + c);
@@ -110,6 +112,41 @@ fn im2col_into(
                 let row = ((c * kh + ky) * kw + kx) * ow_stride;
                 for oy in 0..oh {
                     let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if spec.stride == 1 {
+                        // Stride 1: `ix = ox + kx - padding` walks the input
+                        // row contiguously, so each destination row is two
+                        // zero borders around one copied span, written in one
+                        // pass — no gather, no whole-buffer pre-fill. Narrow
+                        // rows use an element loop: a dynamic-length memcpy
+                        // call costs more than the handful of moves it does.
+                        let dst = &mut cols[row + oy * ow..row + (oy + 1) * ow];
+                        if iy < 0 || iy >= h as isize {
+                            dst.fill(0.0);
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        let src = &fm[iy * w..(iy + 1) * w];
+                        if ow < 16 {
+                            for (ox, d) in dst.iter_mut().enumerate() {
+                                let ix = (ox + kx) as isize - spec.padding as isize;
+                                *d = if ix >= 0 && ix < w as isize {
+                                    src[ix as usize]
+                                } else {
+                                    0.0
+                                };
+                            }
+                            continue;
+                        }
+                        let ox0 = spec.padding.saturating_sub(kx);
+                        let ox1 = ow.min((w + spec.padding).saturating_sub(kx));
+                        dst[..ox0.min(ow)].fill(0.0);
+                        if ox0 < ox1 {
+                            let ix0 = ox0 + kx - spec.padding;
+                            dst[ox0..ox1].copy_from_slice(&src[ix0..ix0 + (ox1 - ox0)]);
+                        }
+                        dst[ox1.max(ox0).min(ow)..].fill(0.0);
+                        continue;
+                    }
                     if iy < 0 || iy >= h as isize {
                         continue;
                     }
@@ -248,8 +285,12 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -
     let batch_stride = oc * ohw;
 
     // One batch element's worth of work, with caller-owned im2col/product
-    // scratch reused across every (batch, group) iteration. The inner matmul
-    // stays serial when the caller is already fanned out across batches.
+    // scratch reused across every (batch, group) iteration. Per-sample GEMMs
+    // beat one batch-wide GEMM here: each sample's `[kcols, ohw]` im2col
+    // panel stays cache-resident for its whole k sweep, where a merged
+    // `[kcols, n*ohw]` panel would stream from memory once per row block.
+    // The inner matmul stays serial when the caller is already fanned out
+    // across batches.
     let run_batch = |bn: usize,
                      out_bn: &mut [f32],
                      cols: &mut [f32],
@@ -274,23 +315,46 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -
         // Batch elements are independent, so fan them across workers; each
         // worker reuses one scratch pair for its whole run of batches.
         parallel::for_each_chunk_mut(out.data_mut(), batch_stride, |start, items, slab| {
-            let mut cols = vec![0.0f32; kcols * ohw];
-            let mut prod = vec![0.0f32; og * ohw];
-            for i in 0..items {
-                let out_bn = &mut slab[i * batch_stride..(i + 1) * batch_stride];
-                run_batch(start + i, out_bn, &mut cols, &mut prod, false);
-            }
+            with_conv_scratch(kcols * ohw, og * ohw, |cols, prod| {
+                for i in 0..items {
+                    let out_bn = &mut slab[i * batch_stride..(i + 1) * batch_stride];
+                    run_batch(start + i, out_bn, cols, prod, false);
+                }
+            });
         });
     } else {
-        let mut cols = vec![0.0f32; kcols * ohw];
-        let mut prod = vec![0.0f32; og * ohw];
         let out_data = out.data_mut();
-        for bn in 0..n {
-            let out_bn = &mut out_data[bn * batch_stride..(bn + 1) * batch_stride];
-            run_batch(bn, out_bn, &mut cols, &mut prod, true);
-        }
+        with_conv_scratch(kcols * ohw, og * ohw, |cols, prod| {
+            for bn in 0..n {
+                let out_bn = &mut out_data[bn * batch_stride..(bn + 1) * batch_stride];
+                run_batch(bn, out_bn, cols, prod, true);
+            }
+        });
     }
     out
+}
+
+/// Runs `f` with this thread's reusable im2col/product scratch, sized to at
+/// least `cols_len`/`prod_len`. Reuse skips a malloc + memset per [`conv2d`]
+/// call, which dominates small convolutions; stale contents are harmless
+/// because [`im2col_into`] writes (or zero-fills) every element it exposes
+/// and the product buffer is fully overwritten by `matmul_into`.
+fn with_conv_scratch(cols_len: usize, prod_len: usize, f: impl FnOnce(&mut [f32], &mut [f32])) {
+    use std::cell::RefCell;
+    thread_local! {
+        static SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    }
+    SCRATCH.with(|cell| {
+        let mut guard = cell.borrow_mut();
+        let (cols, prod) = &mut *guard;
+        if cols.len() < cols_len {
+            cols.resize(cols_len, 0.0);
+        }
+        if prod.len() < prod_len {
+            prod.resize(prod_len, 0.0);
+        }
+        f(&mut cols[..cols_len], &mut prod[..prod_len]);
+    });
 }
 
 /// Gradients of [`conv2d`] given the upstream gradient `grad_out`.

@@ -21,7 +21,47 @@ const NR: usize = 16;
 /// Accumulation order per output element is strictly `kk`-increasing — the
 /// same order for every blocking factor, tile width, and thread count — so
 /// results are bit-identical regardless of how the work is split.
+///
+/// On x86-64 the same body is also compiled with AVX2 enabled and selected
+/// by runtime CPU detection. Only the SIMD lane width changes: every output
+/// element still sees the identical sequence of f32 multiplies and adds
+/// (Rust never contracts `a * b + c` into a fused multiply-add), so the two
+/// paths are bit-identical and the dispatch is unobservable in results.
 fn block_rows(
+    a: &[f32],
+    b: &[f32],
+    rows: std::ops::Range<usize>,
+    out_rows: &mut [f32],
+    k: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the AVX2 compilation of the kernel is only reached after
+        // runtime detection confirms the CPU supports it.
+        unsafe { block_rows_avx2(a, b, rows, out_rows, k, n) };
+        return;
+    }
+    block_rows_impl(a, b, rows, out_rows, k, n);
+}
+
+/// The portable compilation of [`block_rows_impl`], widened to AVX2 lanes.
+/// Same ops in the same per-element order — see [`block_rows`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn block_rows_avx2(
+    a: &[f32],
+    b: &[f32],
+    rows: std::ops::Range<usize>,
+    out_rows: &mut [f32],
+    k: usize,
+    n: usize,
+) {
+    block_rows_impl(a, b, rows, out_rows, k, n);
+}
+
+#[inline(always)]
+fn block_rows_impl(
     a: &[f32],
     b: &[f32],
     rows: std::ops::Range<usize>,
@@ -118,8 +158,8 @@ pub fn matmul_into(
 
 /// Multiplies two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
 ///
-/// Uses a register-blocked microkernel ([`MR`] output rows share each loaded
-/// `b` row, columns processed in [`NR`]-wide tiles) and parallelizes over
+/// Uses a register-blocked microkernel (`MR` output rows share each loaded
+/// `b` row, columns processed in `NR`-wide tiles) and parallelizes over
 /// output rows for large problems. Accumulation order per output element is
 /// identical in the serial and parallel paths, so results do not depend on
 /// the thread count.
@@ -251,6 +291,23 @@ mod tests {
             // match bit-for-bit because per-element accumulation order is
             // identical.
             assert_eq!(matmul(&a, &b).data(), &serial[..], "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn simd_dispatch_is_bit_identical_to_portable_kernel() {
+        use crate::rng::SeededRng;
+        let mut rng = SeededRng::new(23);
+        // Full tiles, remainder rows, and partial column tiles all compared
+        // against the portable compilation. On CPUs with AVX2 this pins the
+        // dispatched path to the exact bits of the portable one; without it,
+        // both sides run the same code and the test is trivially green.
+        for &(m, k, n) in &[(8usize, 64usize, 48usize), (5, 37, 19), (1, 7, 3)] {
+            let a = Tensor::rand_normal(&[m, k], 0.0, 1.0, &mut rng);
+            let b = Tensor::rand_normal(&[k, n], 0.0, 1.0, &mut rng);
+            let mut portable = vec![0.0f32; m * n];
+            block_rows_impl(a.data(), b.data(), 0..m, &mut portable, k, n);
+            assert_eq!(matmul(&a, &b).data(), &portable[..], "{m}x{k}x{n}");
         }
     }
 

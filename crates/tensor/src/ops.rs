@@ -186,9 +186,29 @@ impl Tensor {
         self.data().iter().map(|&x| x * x).sum()
     }
 
+    /// Largest absolute value of each leading-axis (batch) sample.
+    ///
+    /// The per-sample counterpart of [`Tensor::max_abs`]: element `b` equals
+    /// `self` restricted to batch element `b`, so relative perturbation
+    /// models scale against their own sample's range even inside a fused
+    /// batch.
+    pub fn max_abs_batch(&self) -> Vec<f32> {
+        self.sample_slices()
+            .map(|s| s.iter().fold(0.0f32, |m, &x| m.max(x.abs())))
+            .collect()
+    }
+
     /// True if any element is NaN or infinite.
     pub fn has_non_finite(&self) -> bool {
         self.data().iter().any(|x| !x.is_finite())
+    }
+
+    /// Per-sample non-finite scan along the leading (batch) axis: element
+    /// `b` is true when batch element `b` contains NaN/Inf.
+    pub fn non_finite_batch(&self) -> Vec<bool> {
+        self.sample_slices()
+            .map(|s| s.iter().any(|x| !x.is_finite()))
+            .collect()
     }
 
     /// Indices (flat) of the `k` largest elements, descending.
@@ -323,6 +343,17 @@ mod tests {
         assert_eq!(a.data(), &[4.0, 6.0]);
         a.add_assign(&t(&[1.0, 1.0], &[2]));
         assert_eq!(a.data(), &[5.0, 7.0]);
+    }
+
+    #[test]
+    fn per_sample_reductions_split_by_leading_axis() {
+        let a = t(&[1.0, -4.0, 2.0, 0.5, f32::NAN, 1.0], &[3, 2]);
+        // NaN is skipped by the f32::max fold, as in `max_abs`.
+        assert_eq!(a.max_abs_batch(), vec![4.0, 2.0, 1.0]);
+        assert_eq!(a.non_finite_batch(), vec![false, false, true]);
+        // Batch-1: per-sample equals whole-tensor.
+        let b = t(&[1.0, -4.0], &[1, 2]);
+        assert_eq!(b.max_abs_batch(), vec![b.max_abs()]);
     }
 
     #[test]

@@ -264,6 +264,45 @@ impl Tensor {
         )
     }
 
+    /// Broadcasts a batch-1 tensor into `n` identical batch elements along
+    /// the leading axis (`[1, ...] -> [n, ...]`).
+    ///
+    /// This is how fused campaign trials turn one cached golden activation
+    /// (or input image) into a batch whose slices are then perturbed
+    /// independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is rank 0, its leading dimension is not 1, or
+    /// `n` is zero.
+    pub fn repeat_batch(&self, n: usize) -> Tensor {
+        assert!(n > 0, "cannot broadcast to an empty batch");
+        assert!(
+            self.ndim() >= 1 && self.shape[0] == 1,
+            "repeat_batch expects a batch-1 tensor, got shape {:?}",
+            self.shape
+        );
+        let mut data = Vec::with_capacity(self.len() * n);
+        for _ in 0..n {
+            data.extend_from_slice(&self.data);
+        }
+        let mut shape = self.shape.clone();
+        shape[0] = n;
+        Tensor::from_vec(data, &shape)
+    }
+
+    /// Contiguous per-sample slices along the leading (batch) axis.
+    ///
+    /// Rank-0/1 tensors are treated as a single sample; rank ≥ 2 tensors
+    /// yield one slice per leading-axis element. Used by per-sample guard
+    /// scans and per-slice injection, where one fused trial's values must be
+    /// judged independently of its batch siblings.
+    pub fn sample_slices(&self) -> impl Iterator<Item = &[f32]> {
+        let n = if self.ndim() >= 2 { self.shape[0] } else { 1 };
+        let stride = self.len().checked_div(n).unwrap_or(0);
+        (0..n).map(move |b| &self.data[b * stride..(b + 1) * stride])
+    }
+
     /// Stacks `1CHW` tensors along the batch axis.
     ///
     /// # Panics
@@ -362,6 +401,28 @@ mod tests {
         assert!(t.reshape(&[7]).is_err());
         // Shape unchanged after failed reshape.
         assert_eq!(t.dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn repeat_batch_broadcasts_and_sample_slices_invert() {
+        let t = Tensor::from_fn(&[1, 2, 2, 2], |i| i as f32);
+        let b = t.repeat_batch(3);
+        assert_eq!(b.dims(), &[3, 2, 2, 2]);
+        let slices: Vec<&[f32]> = b.sample_slices().collect();
+        assert_eq!(slices.len(), 3);
+        for s in &slices {
+            assert_eq!(*s, t.data(), "each slice is the original sample");
+        }
+        // Rank-1 tensors are one sample.
+        let v = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        assert_eq!(v.sample_slices().count(), 1);
+        assert_eq!(v.sample_slices().next().unwrap(), v.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch-1")]
+    fn repeat_batch_rejects_multi_batch_input() {
+        Tensor::zeros(&[2, 3]).repeat_batch(2);
     }
 
     #[test]

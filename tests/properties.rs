@@ -299,6 +299,66 @@ proptest! {
         prop_assert!(stats.bytes <= budget);
     }
 
+    /// Fused batched trials produce bit-identical records to serial
+    /// execution for every seed, thread count, fusion width, guard mode,
+    /// and prefix-cache setting.
+    #[test]
+    fn fusion_never_changes_records(
+        seed in any::<u64>(),
+        threads in 1usize..4,
+        width in 2usize..9,
+        guard_short in any::<bool>(),
+        with_prefix in any::<bool>(),
+    ) {
+        fn tiny_lenet() -> Network {
+            zoo::lenet(&ZooConfig::tiny(4))
+        }
+        let images = Tensor::from_fn(&[5, 3, 16, 16], |i| ((i as f32) * 0.019).sin());
+        let mut probe = tiny_lenet();
+        let labels: Vec<usize> = (0..images.dims()[0])
+            .map(|i| rustfi::metrics::top1(probe.forward(&images.select_batch(i)).data()))
+            .collect();
+        let campaign = Campaign::new(
+            &tiny_lenet,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            // Exponent-bit flips mix masked, SDC, and DUE outcomes, so the
+            // equality below covers every per-sample classification path.
+            Arc::new(models::BitFlipFp32::new(models::BitSelect::Random)),
+        );
+        let guard = if guard_short {
+            rustfi::GuardMode::ShortCircuit
+        } else {
+            rustfi::GuardMode::Record
+        };
+        let prefix_cache = with_prefix.then(rustfi::PrefixCacheConfig::default);
+        let run = |fusion, threads: usize| {
+            campaign
+                .run(&CampaignConfig {
+                    trials: 12,
+                    seed,
+                    threads: Some(threads),
+                    guard,
+                    prefix_cache: prefix_cache.clone(),
+                    fusion,
+                    ..CampaignConfig::default()
+                })
+                .unwrap()
+        };
+        let serial = run(None, 1);
+        let fused = run(Some(rustfi::FusionConfig::with_width(width)), threads);
+        prop_assert_eq!(&serial.records, &fused.records);
+        prop_assert_eq!(serial.counts, fused.counts);
+        let stats = fused.fusion.unwrap();
+        prop_assert_eq!(stats.fused_trials + stats.serial_trials, 12);
+        prop_assert!(stats.max_width <= width);
+        if with_prefix {
+            let p = fused.prefix.unwrap();
+            prop_assert_eq!(p.hits + p.misses, 12);
+        }
+    }
+
     /// Interval convolution bounds always contain the nominal output.
     #[test]
     fn interval_conv_soundness(seed in any::<u64>(), eps in 0.0f32..0.5) {
