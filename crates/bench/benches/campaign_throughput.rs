@@ -16,6 +16,11 @@
 //!    the prefix cache — trials sharing an `(injection layer, image)` pair
 //!    execute as one batched forward pass, amortizing per-pass overhead
 //!    across the batch. Records are asserted bit-identical.
+//! 4. **Elementwise tail + allocations**: the runtime-dispatched
+//!    [`rustfi_tensor::kernels`] against equivalent scalar loops compiled at
+//!    the default target level, plus the steady-state heap allocations per
+//!    forward pass with the thread-local tensor pool armed (the
+//!    zero-allocation claim, measured under a counting global allocator).
 //!
 //! Knobs are the shared quick-mode `RUSTFI_*` environment variables — see
 //! [`rustfi_bench::QuickMode`] — which `bench_gate` reads too.
@@ -23,10 +28,15 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rustfi::{Campaign, CampaignConfig, FaultMode, FusionConfig, NeuronSelect, PrefixCacheConfig};
 use rustfi_bench::{env_usize, zoo_config_for, QuickMode};
-use rustfi_nn::{zoo, Network};
-use rustfi_tensor::{matmul, parallel, SeededRng, Tensor};
+use rustfi_nn::{zoo, Network, ZooConfig};
+use rustfi_tensor::{kernels, matmul, parallel, tpool, SeededRng, Tensor};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Counts heap allocations so the steady-state zero-allocation claim is
+/// measured in the same run that produces the throughput numbers.
+#[global_allocator]
+static ALLOC: rustfi_bench::alloc_count::CountingAlloc = rustfi_bench::alloc_count::CountingAlloc;
 
 /// The pre-blocking ikj kernel, kept verbatim (including the `aik == 0.0`
 /// skip and the row-parallel fan-out) as the comparison baseline.
@@ -125,6 +135,150 @@ fn bench_matmul_kernels(c: &mut Criterion, rows: &mut Vec<MatmulRow>) {
             blocked_s,
         });
     }
+    group.finish();
+}
+
+struct ElemwiseRow {
+    op: &'static str,
+    scalar_s: f64,
+    kernel_s: f64,
+}
+
+/// Plain scalar loops with the shapes the pre-kernel `ops.rs` code used,
+/// compiled at the crate's default target level — the "before" side of the
+/// elementwise speedup claim. The dispatched kernels run the same
+/// per-element operations, so outputs are bit-identical; only codegen
+/// differs.
+mod scalar_ref {
+    pub fn relu(a: &[f32], out: &mut [f32]) {
+        for (o, &x) in out.iter_mut().zip(a) {
+            *o = x.max(0.0);
+        }
+    }
+
+    pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = x + y;
+        }
+    }
+
+    pub fn mul(a: &[f32], b: &[f32], out: &mut [f32]) {
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = x * y;
+        }
+    }
+
+    pub fn axpy(out: &mut [f32], a: &[f32], s: f32) {
+        for (o, &x) in out.iter_mut().zip(a) {
+            *o += s * x;
+        }
+    }
+
+    pub fn bn_fmap(
+        x: &[f32],
+        mean: f32,
+        inv_std: f32,
+        g: f32,
+        b: f32,
+        x_hat: &mut [f32],
+        out: &mut [f32],
+    ) {
+        for ((&v, xh), o) in x.iter().zip(x_hat.iter_mut()).zip(out.iter_mut()) {
+            let n = (v - mean) * inv_std;
+            *xh = n;
+            *o = g * n + b;
+        }
+    }
+
+    pub fn softmax_row(row: &[f32], out: &mut [f32]) {
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0;
+        for (o, &x) in out.iter_mut().zip(row) {
+            let e = (x - m).exp();
+            *o = e;
+            denom += e;
+        }
+        for o in out.iter_mut() {
+            *o /= denom;
+        }
+    }
+}
+
+fn bench_elementwise(c: &mut Criterion, rows: &mut Vec<ElemwiseRow>) {
+    // 64 Ki elements (256 KiB) stays cache-resident, so the measurement
+    // reflects codegen rather than memory bandwidth; softmax treats the
+    // buffer as `cols`-wide rows.
+    let len = env_usize("RUSTFI_ELEMWISE_LEN", 1 << 16).max(1);
+    let cols = 256.min(len);
+    let iters = env_usize("RUSTFI_ELEMWISE_ITERS", 200);
+    let mut rng = SeededRng::new(29);
+    let at = Tensor::rand_normal(&[len], 0.0, 1.0, &mut rng);
+    let bt = Tensor::rand_normal(&[len], 0.0, 1.0, &mut rng);
+    let (a, b) = (at.data(), bt.data());
+    let mut out = vec![0.0f32; len];
+    let mut aux = vec![0.0f32; len];
+
+    let mut group = c.benchmark_group("elementwise_kernel");
+    group.sample_size(iters);
+    // Registers the scalar/dispatched pair with Criterion, times both with
+    // `time_mean` for the JSON summary, and records the row.
+    macro_rules! case {
+        ($op:literal, $scalar:expr, $kernel:expr) => {{
+            group.bench_function(BenchmarkId::new($op, "scalar"), |bch| bch.iter(|| $scalar));
+            group.bench_function(BenchmarkId::new($op, "dispatched"), |bch| {
+                bch.iter(|| $kernel)
+            });
+            let scalar_s = time_mean(iters, || $scalar);
+            let kernel_s = time_mean(iters, || $kernel);
+            println!(
+                "  elementwise {}: scalar {:.3} µs -> dispatched {:.3} µs ({:.2}x)",
+                $op,
+                scalar_s * 1e6,
+                kernel_s * 1e6,
+                scalar_s / kernel_s
+            );
+            rows.push(ElemwiseRow {
+                op: $op,
+                scalar_s,
+                kernel_s,
+            });
+        }};
+    }
+
+    case!(
+        "relu",
+        scalar_ref::relu(a, &mut out),
+        kernels::relu(a, &mut out)
+    );
+    case!(
+        "add",
+        scalar_ref::add(a, b, &mut out),
+        kernels::add(a, b, &mut out)
+    );
+    case!(
+        "mul",
+        scalar_ref::mul(a, b, &mut out),
+        kernels::mul(a, b, &mut out)
+    );
+    case!(
+        "axpy",
+        scalar_ref::axpy(&mut out, a, 0.37),
+        kernels::axpy(&mut out, a, 0.37)
+    );
+    case!(
+        "batchnorm",
+        scalar_ref::bn_fmap(a, 0.1, 1.3, 0.9, -0.2, &mut aux, &mut out),
+        kernels::bn_fmap(a, 0.1, 1.3, 0.9, -0.2, &mut aux, &mut out)
+    );
+    case!(
+        "softmax",
+        for (r, o) in a.chunks_exact(cols).zip(out.chunks_exact_mut(cols)) {
+            scalar_ref::softmax_row(r, o);
+        },
+        for (r, o) in a.chunks_exact(cols).zip(out.chunks_exact_mut(cols)) {
+            kernels::softmax_row(r, o);
+        }
+    );
     group.finish();
 }
 
@@ -262,6 +416,25 @@ fn bench_campaign(c: &mut Criterion, qm: &QuickMode) -> CampaignNumbers {
     }
 }
 
+/// Steady-state heap allocations per forward pass on a single thread with
+/// the tensor pool armed — the zero-allocation claim, measured under the
+/// counting global allocator. Uses a model/input small enough to stay below
+/// the parallel-matmul threshold, so the scoped-thread fan-out (whose spawns
+/// allocate, and which is outside the tensor-path claim) never engages.
+fn measure_steady_state_allocs() -> f64 {
+    let _pool = tpool::budget_scope(64 << 20);
+    let cfg = ZooConfig::tiny(4);
+    let mut net = zoo::lenet(&cfg);
+    let mut rng = SeededRng::new(23);
+    let input = Tensor::rand_normal(
+        &[1, cfg.in_channels, cfg.image_hw, cfg.image_hw],
+        0.0,
+        1.0,
+        &mut rng,
+    );
+    rustfi_bench::alloc_count::steady_state_forward_allocs(&mut net, &input, 8, 32)
+}
+
 fn geomean(ratios: impl Iterator<Item = f64>) -> f64 {
     let (sum, n) = ratios.fold((0.0, 0usize), |(s, n), r| (s + r.ln(), n + 1));
     if n == 0 {
@@ -271,7 +444,13 @@ fn geomean(ratios: impl Iterator<Item = f64>) -> f64 {
     }
 }
 
-fn write_json(matmul_rows: &[MatmulRow], camp: &CampaignNumbers, qm: &QuickMode) {
+fn write_json(
+    matmul_rows: &[MatmulRow],
+    elemwise_rows: &[ElemwiseRow],
+    steady_state_allocs: f64,
+    camp: &CampaignNumbers,
+    qm: &QuickMode,
+) {
     let Some(path) = &qm.json_path else {
         return;
     };
@@ -290,6 +469,19 @@ fn write_json(matmul_rows: &[MatmulRow], camp: &CampaignNumbers, qm: &QuickMode)
             )
         })
         .collect();
+    let elemwise_json: Vec<String> = elemwise_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"op\": \"{}\", \"scalar_s\": {:.6e}, \"dispatched_s\": {:.6e}, \
+                 \"speedup\": {:.3}}}",
+                r.op,
+                r.scalar_s,
+                r.kernel_s,
+                r.scalar_s / r.kernel_s
+            )
+        })
+        .collect();
     let total_trials = (camp.trials_per_layer * camp.layers.len()) as f64;
     let layers: Vec<String> = camp.layers.iter().map(|l| l.to_string()).collect();
     let json = format!(
@@ -297,6 +489,8 @@ fn write_json(matmul_rows: &[MatmulRow], camp: &CampaignNumbers, qm: &QuickMode)
          \x20 \"bench\": \"campaign_throughput\",\n\
          \x20 \"matmul\": [\n{}\n  ],\n\
          \x20 \"matmul_geomean_speedup\": {:.3},\n\
+         \x20 \"elementwise\": [\n{}\n  ],\n\
+         \x20 \"elementwise_geomean_speedup\": {:.3},\n\
          \x20 \"campaign\": {{\n\
          \x20   \"model\": \"{}\",\n\
          \x20   \"dataset\": \"{}\",\n\
@@ -311,6 +505,7 @@ fn write_json(matmul_rows: &[MatmulRow], camp: &CampaignNumbers, qm: &QuickMode)
          \x20   \"fused_trials_per_s\": {:.2},\n\
          \x20   \"speedup\": {:.3},\n\
          \x20   \"fused_speedup\": {:.3},\n\
+         \x20   \"steady_state_allocs_per_trial\": {:.3},\n\
          \x20   \"fusion_width\": {},\n\
          \x20   \"prefix_hits\": {},\n\
          \x20   \"prefix_misses\": {},\n\
@@ -319,6 +514,8 @@ fn write_json(matmul_rows: &[MatmulRow], camp: &CampaignNumbers, qm: &QuickMode)
          }}\n",
         matmul_json.join(",\n"),
         geomean(matmul_rows.iter().map(|r| r.baseline_s / r.blocked_s)),
+        elemwise_json.join(",\n"),
+        geomean(elemwise_rows.iter().map(|r| r.scalar_s / r.kernel_s)),
         camp.model,
         camp.dataset,
         layers.join(", "),
@@ -332,6 +529,7 @@ fn write_json(matmul_rows: &[MatmulRow], camp: &CampaignNumbers, qm: &QuickMode)
         total_trials / camp.fused_s,
         camp.uncached_s / camp.cached_s,
         camp.uncached_s / camp.fused_s,
+        steady_state_allocs,
         camp.fusion_width,
         camp.hits,
         camp.misses,
@@ -345,8 +543,21 @@ fn bench_all(c: &mut Criterion) {
     let qm = QuickMode::from_env();
     let mut matmul_rows = Vec::new();
     bench_matmul_kernels(c, &mut matmul_rows);
+    let mut elemwise_rows = Vec::new();
+    bench_elementwise(c, &mut elemwise_rows);
     let camp = bench_campaign(c, &qm);
-    write_json(&matmul_rows, &camp, &qm);
+    let steady_state_allocs = measure_steady_state_allocs();
+    println!(
+        "  steady-state forward allocations/pass (pool armed, single thread): \
+         {steady_state_allocs:.3}"
+    );
+    write_json(
+        &matmul_rows,
+        &elemwise_rows,
+        steady_state_allocs,
+        &camp,
+        &qm,
+    );
 }
 
 criterion_group!(benches, bench_all);

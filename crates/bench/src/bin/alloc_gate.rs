@@ -1,0 +1,58 @@
+//! CI gate for the zero-allocation forward path.
+//!
+//! Installs the counting global allocator, arms the thread-local tensor
+//! pool, warms a small CNN, and asserts that subsequent forward passes make
+//! **zero** heap allocations. The model and input are deliberately small
+//! enough to stay below the parallel-matmul threshold: the scoped-thread
+//! fan-out allocates when it spawns, and thread management is outside the
+//! tensor-path claim this gate protects.
+//!
+//! Two measurements keep the assertion honest:
+//!
+//! 1. With pooling *disabled* (budget 0), the same passes must allocate —
+//!    proving the counter actually observes the forward path (a vacuously
+//!    green gate would otherwise hide a broken instrument).
+//! 2. With pooling *enabled*, warmed passes must allocate nothing.
+//!
+//! Run with: `cargo run -p rustfi-bench --bin alloc_gate --release`
+
+use rustfi_bench::alloc_count::{self, CountingAlloc};
+use rustfi_nn::{zoo, ZooConfig};
+use rustfi_tensor::{tpool, SeededRng, Tensor};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn main() {
+    let cfg = ZooConfig::tiny(4);
+    let mut net = zoo::lenet(&cfg);
+    let mut rng = SeededRng::new(23);
+    let input = Tensor::rand_normal(
+        &[1, cfg.in_channels, cfg.image_hw, cfg.image_hw],
+        0.0,
+        1.0,
+        &mut rng,
+    );
+
+    let unpooled = {
+        let _off = tpool::budget_scope(0);
+        alloc_count::steady_state_forward_allocs(&mut net, &input, 4, 16)
+    };
+    println!("alloc_gate: pooling off  -> {unpooled:.1} allocations/pass");
+    assert!(
+        unpooled > 0.0,
+        "counter saw no allocations even with pooling disabled — instrument is broken"
+    );
+
+    let pooled = {
+        let _pool = tpool::budget_scope(64 << 20);
+        alloc_count::steady_state_forward_allocs(&mut net, &input, 8, 64)
+    };
+    println!("alloc_gate: pooling on   -> {pooled:.1} allocations/pass");
+    assert!(
+        pooled == 0.0,
+        "forward path allocated at steady state with the tensor pool armed \
+         ({pooled:.3} allocations/pass)"
+    );
+    println!("alloc_gate: ok — steady-state forward passes are allocation-free");
+}

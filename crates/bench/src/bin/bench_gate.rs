@@ -37,6 +37,16 @@ fn main() -> ExitCode {
         .unwrap_or_else(|_| format!("{}/../../BENCH_campaign.json", env!("CARGO_MANIFEST_DIR")));
     let fresh_path = std::env::var("RUSTFI_GATE_FRESH")
         .ok()
+        // Anchor a relative override at the workspace root, matching where
+        // the bench harness resolves `RUSTFI_BENCH_JSON` (its CWD is the
+        // package dir, ours is the caller's).
+        .map(|p| {
+            if std::path::Path::new(&p).is_absolute() {
+                p
+            } else {
+                format!("{}/../../{p}", env!("CARGO_MANIFEST_DIR"))
+            }
+        })
         .or_else(|| QuickMode::from_env().json_path)
         .expect("no fresh summary path: RUSTFI_GATE_FRESH unset and RUSTFI_BENCH_JSON=skip");
     let min_ratio = env_f64("RUSTFI_GATE_MIN_RATIO", 0.75);

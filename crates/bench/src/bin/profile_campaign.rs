@@ -112,8 +112,19 @@ fn main() {
             stat.max_ns as f64 / 1e6
         );
     }
-    let (convs, matmuls) = opcount::snapshot();
-    println!("kernel calls: conv2d {convs} | matmul {matmuls}");
+    let ops = opcount::counts();
+    println!(
+        "kernel calls: conv2d {} | matmul {} | elementwise {} | pool {} | norm {}",
+        ops.conv2d, ops.matmul, ops.elementwise, ops.pool, ops.norm
+    );
+    let tail = ops.elementwise + ops.pool + ops.norm;
+    let total = ops.conv2d + ops.matmul + tail;
+    if total > 0 {
+        println!(
+            "memory-bound tail (elementwise+pool+norm): {tail} of {total} kernel calls ({:.1}%)",
+            100.0 * tail as f64 / total as f64
+        );
+    }
     println!(
         "outcomes: masked {} sdc {} due {} crash {} hang {} (SDC rate {:.3}%)",
         result.counts.masked,

@@ -64,9 +64,17 @@ pub struct QuickMode {
 impl QuickMode {
     /// Reads every knob from the environment.
     pub fn from_env() -> Self {
-        let json = std::env::var("RUSTFI_BENCH_JSON").unwrap_or_else(|_| {
-            format!("{}/../../BENCH_campaign.json", env!("CARGO_MANIFEST_DIR"))
-        });
+        let json = match std::env::var("RUSTFI_BENCH_JSON") {
+            // Cargo runs bench harnesses with CWD = the package dir but
+            // `cargo run` binaries (like bench_gate) with the caller's CWD,
+            // so a relative override is anchored at the workspace root to
+            // mean the same file from both sides.
+            Ok(p) if p != "skip" && !std::path::Path::new(&p).is_absolute() => {
+                format!("{}/../../{p}", env!("CARGO_MANIFEST_DIR"))
+            }
+            Ok(p) => p,
+            Err(_) => format!("{}/../../BENCH_campaign.json", env!("CARGO_MANIFEST_DIR")),
+        };
         Self {
             model: std::env::var("RUSTFI_BENCH_MODEL").unwrap_or_else(|_| "vgg19".into()),
             dataset: std::env::var("RUSTFI_BENCH_DATASET")
@@ -132,9 +140,12 @@ pub mod gate {
     /// an empty return therefore means the files share no comparable metric.
     pub fn checks(baseline: &str, fresh: &str) -> Vec<Check> {
         let mut out = Vec::new();
-        let pairs: [(&'static str, Extract); 3] = [
+        let pairs: [(&'static str, Extract); 4] = [
             ("matmul_geomean_speedup", |t| {
                 json_f64(t, "matmul_geomean_speedup", 0)
+            }),
+            ("elementwise_geomean_speedup", |t| {
+                json_f64(t, "elementwise_geomean_speedup", 0)
             }),
             ("prefix_cache_speedup", |t| {
                 let at = t.find("\"campaign\"")?;
@@ -152,6 +163,75 @@ pub mod gate {
             }
         }
         out
+    }
+}
+
+/// A counting global allocator for the zero-allocation forward-path claim
+/// (see `src/bin/alloc_gate` and `benches/campaign_throughput`).
+///
+/// Install it with `#[global_allocator]` in a binary, warm the code under
+/// test, then diff [`alloc_count::thread_allocs`] around the measured
+/// section. Counting is per-thread, so a single-threaded measurement is
+/// immune to allocator traffic from unrelated threads.
+pub mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    /// Forwards to the system allocator, bumping a thread-local counter on
+    /// every allocation (plain, zeroed, and reallocations; frees are not
+    /// counted — the claim under test is about acquiring memory).
+    pub struct CountingAlloc;
+
+    thread_local! {
+        // `const` init: reading the counter never itself allocates.
+        static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Heap allocations made by the calling thread so far.
+    pub fn thread_allocs() -> u64 {
+        ALLOCS.with(Cell::get)
+    }
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.with(|c| c.set(c.get() + 1));
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.with(|c| c.set(c.get() + 1));
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.with(|c| c.set(c.get() + 1));
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    /// Allocations per forward pass of `net` at steady state: runs `warm`
+    /// un-counted passes (filling caches and the tensor pool), then counts
+    /// across `iters` passes and returns the mean. Meaningful only with
+    /// [`CountingAlloc`] installed; callers enable the tensor pool first.
+    pub fn steady_state_forward_allocs(
+        net: &mut rustfi_nn::Network,
+        input: &rustfi_tensor::Tensor,
+        warm: usize,
+        iters: usize,
+    ) -> f64 {
+        assert!(iters > 0, "need at least one counted iteration");
+        for _ in 0..warm {
+            std::hint::black_box(net.forward(input)).into_pool();
+        }
+        let before = thread_allocs();
+        for _ in 0..iters {
+            std::hint::black_box(net.forward(input)).into_pool();
+        }
+        (thread_allocs() - before) as f64 / iters as f64
     }
 }
 
@@ -422,6 +502,7 @@ mod tests {
     {"m": 1, "k": 2, "n": 3, "speedup": 9.999}
   ],
   "matmul_geomean_speedup": 2.000,
+  "elementwise_geomean_speedup": 1.500,
   "campaign": {
     "model": "vgg19",
     "speedup": 4.000,
@@ -445,14 +526,18 @@ mod tests {
             .replace("4.000", "3.200") // prefix speedup dropped to 0.8x
             .replace("8.000", "5.000"); // fused speedup dropped to 0.625x
         let checks = gate::checks(FAKE_BENCH, &fresh);
-        assert_eq!(checks.len(), 3);
+        assert_eq!(checks.len(), 4);
         let by_name = |n: &str| checks.iter().find(|c| c.name == n).unwrap();
         assert!(by_name("matmul_geomean_speedup").passes(0.75), "unchanged");
+        assert!(
+            by_name("elementwise_geomean_speedup").passes(0.75),
+            "unchanged"
+        );
         assert!(by_name("prefix_cache_speedup").passes(0.75), "0.8 >= 0.75");
         assert!(!by_name("fused_speedup").passes(0.75), "0.625 < 0.75");
         // A metric absent from one side is skipped, not failed.
         let old_baseline = FAKE_BENCH.replace("\"fused_speedup\": 8.000", "\"x\": 0");
-        assert_eq!(gate::checks(&old_baseline, FAKE_BENCH).len(), 2);
+        assert_eq!(gate::checks(&old_baseline, FAKE_BENCH).len(), 3);
         // Nonsense values never pass.
         let broken = gate::Check {
             name: "x",

@@ -246,6 +246,13 @@ pub struct CampaignConfig {
     /// like the prefix cache — stands down when [`Self::max_steps`] is set,
     /// because the watchdog counts per-pass layer dispatches.
     pub fusion: Option<FusionConfig>,
+    /// Per-worker tensor-pool budget in bytes: each worker thread recycles
+    /// retired activation buffers through a thread-local free list capped at
+    /// this many bytes, making steady-state forward passes allocation-free.
+    /// Purely a throughput optimization — trial records are bit-identical
+    /// with pooling on or off (a property test asserts this). `0` disables
+    /// pooling.
+    pub pool_budget_bytes: usize,
     /// Observability sink. Workers buffer spans/events/counters into
     /// per-thread recorders and merge them here at trial boundaries, so
     /// recording neither serializes workers nor perturbs results (a property
@@ -266,6 +273,7 @@ impl Default for CampaignConfig {
             max_steps: None,
             prefix_cache: None,
             fusion: None,
+            pool_budget_bytes: 128 << 20,
             recorder: None,
             progress: None,
         }
@@ -283,6 +291,7 @@ impl std::fmt::Debug for CampaignConfig {
             .field("max_steps", &self.max_steps)
             .field("prefix_cache", &self.prefix_cache)
             .field("fusion", &self.fusion)
+            .field("pool_budget_bytes", &self.pool_budget_bytes)
             .field("recorder", &self.recorder.is_some())
             .field("progress", &self.progress)
             .finish()
@@ -509,6 +518,10 @@ impl<'a> Campaign<'a> {
             let d = self.images.dims();
             [1, d[1], d[2], d[3]]
         };
+        // Arm this thread's tensor pool for the golden pass and planning
+        // forwards too, not just the worker trial loops; dropped (and
+        // cleared) when the campaign returns.
+        let _pool = rustfi_tensor::tpool::budget_scope(cfg.pool_budget_bytes);
 
         // Golden pass: find eligible images and their clean confidence —
         // and, with prefix caching on, snapshot each resume point's input
@@ -611,8 +624,19 @@ impl<'a> Campaign<'a> {
                 }
             }
         }
+        // `GuardHook` has no `Drop` — detach the golden guard explicitly so
+        // the recycled injector doesn't carry a stale hook into the trial
+        // loop (workers install their own guard with trial settings).
+        if let Some(g) = &golden_guard {
+            g.uninstall(golden.net());
+        }
         drop(golden_guard);
-        drop(golden);
+        // The golden injector already paid for a model build and a profiling
+        // forward; recycle both. The profile feeds fusion planning and the
+        // per-layer aggregation, and the injector itself is handed to the
+        // first worker that asks instead of being rebuilt from scratch.
+        let profile = golden.profile().clone();
+        let golden_cell: Mutex<Option<FaultInjector>> = Mutex::new(Some(golden));
         if eligible.is_empty() {
             return Ok(CampaignResult {
                 records: Vec::new(),
@@ -669,6 +693,7 @@ impl<'a> Campaign<'a> {
             prefix: &prefix,
             mode: &self.mode,
             model: &self.model,
+            profile: &profile,
             factory: self.factory,
             images: self.images,
             labels: self.labels,
@@ -685,9 +710,14 @@ impl<'a> Campaign<'a> {
             let counters = FusionCounters::default();
             let units = plan_fused_units(&env, width)?;
             let results = parallel::map_indexed(workers, |w| {
+                // Enable this worker thread's tensor pool for the duration
+                // of its trial loop; dropped (and cleared) on exit so pooling
+                // never leaks outside the campaign.
+                let _pool = rustfi_tensor::tpool::budget_scope(cfg.pool_budget_bytes);
                 let local: Option<Arc<LocalRecorder>> =
                     env.shared_recorder.map(|_| Arc::new(LocalRecorder::new()));
-                let (mut fi, mut guard) = build_worker(&env, &local, true)?;
+                let (mut fi, mut guard) =
+                    build_worker(&env, &local, true, golden_cell.lock().take())?;
                 let mut records = Vec::new();
                 let mut u = w;
                 while u < units.len() {
@@ -720,12 +750,17 @@ impl<'a> Campaign<'a> {
             results
         } else {
             parallel::map_indexed(workers, |w| {
+                // Enable this worker thread's tensor pool for the duration
+                // of its trial loop; dropped (and cleared) on exit so pooling
+                // never leaks outside the campaign.
+                let _pool = rustfi_tensor::tpool::budget_scope(cfg.pool_budget_bytes);
                 // Per-worker observability buffer; merged into the shared
                 // recorder at trial boundaries (one lock-free push per
                 // trial) so recording never serializes workers.
                 let local: Option<Arc<LocalRecorder>> =
                     env.shared_recorder.map(|_| Arc::new(LocalRecorder::new()));
-                let (mut fi, mut guard) = build_worker(&env, &local, false)?;
+                let (mut fi, mut guard) =
+                    build_worker(&env, &local, false, golden_cell.lock().take())?;
                 let mut records = Vec::new();
                 let mut t = w;
                 while t < trials {
@@ -750,11 +785,7 @@ impl<'a> Campaign<'a> {
 
         // Aggregate.
         let mut counts = OutcomeCounts::default();
-        let layer_count = {
-            let mut net = (self.factory)();
-            let p = crate::profile::ModelProfile::discover(&mut net, input_dims);
-            p.len()
-        };
+        let layer_count = profile.len();
         let mut per_layer = vec![(0usize, 0usize); layer_count];
         for r in &all_records {
             counts.record(&r.outcome);
@@ -801,6 +832,7 @@ struct RunEnv<'e> {
     prefix: &'e Option<PrefixEnv>,
     mode: &'e FaultMode,
     model: &'e Arc<dyn PerturbationModel>,
+    profile: &'e crate::profile::ModelProfile,
     factory: &'e (dyn Fn() -> Network + Sync),
     images: &'e Tensor,
     labels: &'e [usize],
@@ -840,15 +872,24 @@ enum WorkUnit {
     Serial(usize),
 }
 
-/// A fresh injector (+ guard) for one worker; also used to rebuild after a
+/// An injector (+ guard) for one worker; also used to rebuild after a
 /// crashed trial, whose unwind may have left the network mid-mutation.
+///
+/// `recycled` (when given) is the golden-pass injector, reused instead of
+/// paying another model build + profiling forward. Every trial path restores
+/// weights and reseeds (or carries explicit per-trial seeds) before touching
+/// the injector, so a recycled one is record-identical to a fresh build.
 fn build_worker(
     env: &RunEnv<'_>,
     local: &Option<Arc<LocalRecorder>>,
     per_sample: bool,
+    recycled: Option<FaultInjector>,
 ) -> Result<(FaultInjector, Option<GuardHook>), FiError> {
     let cfg = env.cfg;
-    let mut fi = FaultInjector::new((env.factory)(), FiConfig::for_input(&env.input_dims))?;
+    let mut fi = match recycled {
+        Some(fi) => fi,
+        None => FaultInjector::new((env.factory)(), FiConfig::for_input(&env.input_dims))?,
+    };
     if let Some(l) = local {
         // Before the guard install, so guard events route through the same
         // buffer.
@@ -942,7 +983,9 @@ fn run_one_trial(
                     Some(act) => {
                         prefix_hit = Some(true);
                         if let Some(out) = fi.forward_from(rid, &act) {
-                            return Ok(out.data().to_vec());
+                            let row = out.data().to_vec();
+                            out.into_pool();
+                            return Ok(row);
                         }
                     }
                     None => prefix_hit = Some(false),
@@ -950,7 +993,11 @@ fn run_one_trial(
             }
         }
         let x = env.images.select_batch(image_index);
-        Ok(fi.forward(&x).data().to_vec())
+        let out = fi.forward(&x);
+        x.into_pool();
+        let row = out.data().to_vec();
+        out.into_pool();
+        Ok(row)
     });
 
     let (layer, site) = planned.unwrap_or((usize::MAX, None));
@@ -1014,7 +1061,7 @@ fn run_one_trial(
                 let detail = parallel::shield::payload_message(payload.as_ref());
                 // The unwind may have interrupted a weight mutation or hook
                 // bookkeeping: rebuild this worker's injector from scratch.
-                let (new_fi, new_guard) = build_worker(env, local, per_sample)?;
+                let (new_fi, new_guard) = build_worker(env, local, per_sample, None)?;
                 *fi = new_fi;
                 *guard = new_guard;
                 TrialRecord {
@@ -1038,6 +1085,14 @@ fn run_one_trial(
             tid: thread_tid(),
         });
         l.observe_ns(obs_names::CAMPAIGN_TRIAL_NS, dur);
+        // Pool counters since the last trial boundary on this thread; zero
+        // activity (pooling disabled) emits nothing.
+        let pool = rustfi_tensor::tpool::take_stats();
+        if pool.hits + pool.misses > 0 {
+            l.counter_add(obs_names::CAMPAIGN_POOL_HITS, pool.hits);
+            l.counter_add(obs_names::CAMPAIGN_POOL_MISSES, pool.misses);
+            l.counter_add(obs_names::CAMPAIGN_POOL_RECYCLED_BYTES, pool.bytes_recycled);
+        }
         match prefix_hit {
             Some(true) => {
                 l.counter_add(obs_names::CAMPAIGN_PREFIX_HITS, 1);
@@ -1096,8 +1151,7 @@ fn plan_fused_units(env: &RunEnv<'_>, width: usize) -> Result<Vec<WorkUnit>, FiE
         FaultMode::Neuron(s) => s,
         FaultMode::Weight(_) => unreachable!("fusion stands down for weight faults"),
     };
-    let mut net = (env.factory)();
-    let profile = crate::profile::ModelProfile::discover(&mut net, env.input_dims);
+    let profile = env.profile;
     let mut groups: BTreeMap<(usize, usize), Vec<PlannedTrial>> = BTreeMap::new();
     let mut serial: Vec<usize> = Vec::new();
     for t in 0..env.trials {
@@ -1111,7 +1165,7 @@ fn plan_fused_units(env: &RunEnv<'_>, width: usize) -> Result<Vec<WorkUnit>, FiE
         // `reseed(seed)`.
         let mut plan_rng = SeededRng::new(seed).fork(1);
         match parallel::shield::run_quietly(|| {
-            select.resolve(&profile, BatchSelect::All, &mut plan_rng)
+            select.resolve(profile, BatchSelect::All, &mut plan_rng)
         }) {
             Ok(Ok(sites)) => groups
                 .entry((sites[0].layer, image_index))
@@ -1211,11 +1265,19 @@ fn run_fused_chunk(
             if let Some(out) = fi.forward_from_broadcast(*rid, act, n) {
                 return out;
             }
-            if let Some(out) = fi.forward_from(*rid, &act.repeat_batch(n)) {
+            let xb = act.repeat_batch(n);
+            let resumed = fi.forward_from(*rid, &xb);
+            xb.into_pool();
+            if let Some(out) = resumed {
                 return out;
             }
         }
-        fi.forward(&env.images.select_batch(image_index).repeat_batch(n))
+        let x = env.images.select_batch(image_index);
+        let xb = x.repeat_batch(n);
+        x.into_pool();
+        let out = fi.forward(&xb);
+        xb.into_pool();
+        out
     });
     let out = match shielded {
         Ok(out) => out,
@@ -1225,7 +1287,7 @@ fn run_fused_chunk(
             // crash). Rebuild and replay the chunk serially: every trial
             // re-runs in isolation and produces exactly the record a serial
             // campaign would, including which trial crashed.
-            let (new_fi, new_guard) = build_worker(env, local, true)?;
+            let (new_fi, new_guard) = build_worker(env, local, true, None)?;
             *fi = new_fi;
             *guard = new_guard;
             counters.serial.fetch_add(n as u64, Ordering::Relaxed);
@@ -1281,6 +1343,7 @@ fn run_fused_chunk(
         };
         records.push(record);
     }
+    out.into_pool();
 
     if let (Some((cache, _, skipped, _)), Some(hit)) = (env.prefix, prefix_hit) {
         cache.record_outcome(hit, n as u64, skipped[layer]);
@@ -1308,6 +1371,14 @@ fn run_fused_chunk(
         l.observe_ns(obs_names::CAMPAIGN_FUSED_WIDTH, n as u64);
         l.counter_add(obs_names::CAMPAIGN_FUSED_TRIALS, n as u64);
         l.counter_add(obs_names::CAMPAIGN_FUSED_GROUPS, 1);
+        // Pool counters since the last trial boundary on this thread; zero
+        // activity (pooling disabled) emits nothing.
+        let pool = rustfi_tensor::tpool::take_stats();
+        if pool.hits + pool.misses > 0 {
+            l.counter_add(obs_names::CAMPAIGN_POOL_HITS, pool.hits);
+            l.counter_add(obs_names::CAMPAIGN_POOL_MISSES, pool.misses);
+            l.counter_add(obs_names::CAMPAIGN_POOL_RECYCLED_BYTES, pool.bytes_recycled);
+        }
         match prefix_hit {
             Some(true) => {
                 l.counter_add(obs_names::CAMPAIGN_PREFIX_HITS, n as u64);

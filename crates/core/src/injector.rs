@@ -578,6 +578,7 @@ impl FaultInjector {
         }
         let golden = self.net.forward_layer_raw(target, input)?;
         let mut out = golden.repeat_batch(n);
+        golden.into_pool();
         self.net.dispatch_forward_hooks(target, &mut out);
         self.net.forward_after(target, &out)
     }

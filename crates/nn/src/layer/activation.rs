@@ -38,8 +38,11 @@ impl Module for Relu {
     }
 
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
-        self.mask = Some(input.map(|x| if x > 0.0 { 1.0 } else { 0.0 }));
-        let mut out = input.relu();
+        // One fused pass fills both the activation and the backward mask,
+        // rewriting the cached mask buffer in place at steady state.
+        let mut out = Tensor::from_pool(input.dims());
+        let mask = rustfi_tensor::tpool::reuse_slot(&mut self.mask, input.dims());
+        input.relu_mask_into(&mut out, mask);
         ctx.run_forward_hooks(&self.meta, LayerKind::Relu, &mut out);
         out
     }

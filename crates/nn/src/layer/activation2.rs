@@ -50,7 +50,9 @@ impl Module for Sigmoid {
 
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
         let mut out = input.map(stable_sigmoid);
-        self.output = Some(out.clone());
+        rustfi_tensor::tpool::reuse_slot(&mut self.output, out.dims())
+            .data_mut()
+            .copy_from_slice(out.data());
         ctx.run_forward_hooks(&self.meta, LayerKind::Relu, &mut out);
         out
     }
@@ -96,7 +98,9 @@ impl Module for Tanh {
 
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
         let mut out = input.map(f32::tanh);
-        self.output = Some(out.clone());
+        rustfi_tensor::tpool::reuse_slot(&mut self.output, out.dims())
+            .data_mut()
+            .copy_from_slice(out.data());
         ctx.run_forward_hooks(&self.meta, LayerKind::Relu, &mut out);
         out
     }
@@ -145,9 +149,9 @@ impl Module for LeakyRelu {
     }
 
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
-        let slope = self.slope;
-        self.mask = Some(input.map(|x| if x > 0.0 { 1.0 } else { slope }));
-        let mut out = input.map(|x| if x > 0.0 { x } else { slope * x });
+        let mut out = Tensor::from_pool(input.dims());
+        let mask = rustfi_tensor::tpool::reuse_slot(&mut self.mask, input.dims());
+        input.leaky_relu_mask_into(self.slope, &mut out, mask);
         ctx.run_forward_hooks(&self.meta, LayerKind::Relu, &mut out);
         out
     }

@@ -51,17 +51,29 @@ impl Module for Sequential {
     }
 
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
-        let mut x = input.clone();
-        for child in &mut self.children {
-            x = ctx.forward_child(child.as_mut(), &x);
+        let mut children = self.children.iter_mut();
+        let Some(first) = children.next() else {
+            return input.pooled_copy();
+        };
+        let mut x = ctx.forward_child(first.as_mut(), input);
+        for child in children {
+            let next = ctx.forward_child(child.as_mut(), &x);
+            // Each intermediate is dead once the next child has consumed it;
+            // retire it so the following forward of this shape recycles it.
+            std::mem::replace(&mut x, next).into_pool();
         }
         x
     }
 
     fn backward(&mut self, grad_out: &Tensor, ctx: &mut BackwardCtx<'_>) -> Tensor {
-        let mut g = grad_out.clone();
-        for child in self.children.iter_mut().rev() {
-            g = child.backward(&g, ctx);
+        let mut children = self.children.iter_mut().rev();
+        let Some(first) = children.next() else {
+            return grad_out.pooled_copy();
+        };
+        let mut g = first.backward(grad_out, ctx);
+        for child in children {
+            let next = child.backward(&g, ctx);
+            std::mem::replace(&mut g, next).into_pool();
         }
         g
     }
@@ -89,7 +101,8 @@ impl Module for Sequential {
         let idx = self.children.iter().position(|c| c.contains(target))?;
         let mut x = ctx.forward_child_from(self.children[idx].as_mut(), target, input)?;
         for child in &mut self.children[idx + 1..] {
-            x = ctx.forward_child(child.as_mut(), &x);
+            let next = ctx.forward_child(child.as_mut(), &x);
+            std::mem::replace(&mut x, next).into_pool();
         }
         Some(x)
     }
@@ -105,12 +118,13 @@ impl Module for Sequential {
         ctx: &mut ForwardCtx<'_>,
     ) -> Option<Tensor> {
         if self.meta.id == target {
-            return Some(input.clone());
+            return Some(input.pooled_copy());
         }
         let idx = self.children.iter().position(|c| c.contains(target))?;
         let mut x = self.children[idx].forward_after(target, input, ctx)?;
         for child in &mut self.children[idx + 1..] {
-            x = ctx.forward_child(child.as_mut(), &x);
+            let next = ctx.forward_child(child.as_mut(), &x);
+            std::mem::replace(&mut x, next).into_pool();
         }
         Some(x)
     }
@@ -193,29 +207,49 @@ impl Module for Residual {
     }
 
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
-        let main = ctx.forward_child(self.body.as_mut(), input);
-        let skip = match &mut self.shortcut {
-            Some(s) => ctx.forward_child(s.as_mut(), input),
-            None => input.clone(),
-        };
-        assert_eq!(
-            main.dims(),
-            skip.dims(),
-            "residual block {}: body output {:?} does not match shortcut {:?}",
-            self.meta.name,
-            main.dims(),
-            skip.dims()
-        );
-        main.add(&skip)
+        let mut main = ctx.forward_child(self.body.as_mut(), input);
+        // Sum in place into the body output; the projection output (when
+        // any) is dead afterwards, so it goes back to the pool.
+        match &mut self.shortcut {
+            Some(s) => {
+                let skip = ctx.forward_child(s.as_mut(), input);
+                assert_eq!(
+                    main.dims(),
+                    skip.dims(),
+                    "residual block {}: body output {:?} does not match shortcut {:?}",
+                    self.meta.name,
+                    main.dims(),
+                    skip.dims()
+                );
+                main.add_assign(&skip);
+                skip.into_pool();
+            }
+            None => {
+                assert_eq!(
+                    main.dims(),
+                    input.dims(),
+                    "residual block {}: body output {:?} does not match shortcut {:?}",
+                    self.meta.name,
+                    main.dims(),
+                    input.dims()
+                );
+                main.add_assign(input);
+            }
+        }
+        main
     }
 
     fn backward(&mut self, grad_out: &Tensor, ctx: &mut BackwardCtx<'_>) -> Tensor {
-        let g_body = self.body.backward(grad_out, ctx);
-        let g_skip = match &mut self.shortcut {
-            Some(s) => s.backward(grad_out, ctx),
-            None => grad_out.clone(),
-        };
-        g_body.add(&g_skip)
+        let mut g_body = self.body.backward(grad_out, ctx);
+        match &mut self.shortcut {
+            Some(s) => {
+                let g_skip = s.backward(grad_out, ctx);
+                g_body.add_assign(&g_skip);
+                g_skip.into_pool();
+            }
+            None => g_body.add_assign(grad_out),
+        }
+        g_body
     }
 
     fn visit(&self, f: &mut dyn FnMut(&dyn Module)) {
@@ -313,13 +347,18 @@ impl Module for Branches {
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
         let mut outputs = Vec::with_capacity(self.branches.len() + 1);
         if self.include_input {
-            outputs.push(input.clone());
+            outputs.push(input.pooled_copy());
         }
         for b in &mut self.branches {
             outputs.push(ctx.forward_child(b.as_mut(), input));
         }
-        self.split_sizes = outputs.iter().map(|o| o.dims4().1).collect();
-        Tensor::concat_channels(&outputs)
+        self.split_sizes.clear();
+        self.split_sizes.extend(outputs.iter().map(|o| o.dims4().1));
+        let out = Tensor::concat_channels(&outputs);
+        for o in outputs {
+            o.into_pool();
+        }
+        out
     }
 
     fn backward(&mut self, grad_out: &Tensor, ctx: &mut BackwardCtx<'_>) -> Tensor {
@@ -335,9 +374,14 @@ impl Module for Branches {
             None
         };
         for b in &mut self.branches {
-            let g = b.backward(&parts.next().expect("one gradient per branch"), ctx);
+            let part = parts.next().expect("one gradient per branch");
+            let g = b.backward(&part, ctx);
+            part.into_pool();
             match &mut grad_in {
-                Some(acc) => acc.add_assign(&g),
+                Some(acc) => {
+                    acc.add_assign(&g);
+                    g.into_pool();
+                }
                 None => grad_in = Some(g),
             }
         }
@@ -408,7 +452,9 @@ impl ChannelShuffle {
             self.groups
         );
         let per = c / self.groups;
-        let mut out = Tensor::zeros(input.dims());
+        // The permutation is a bijection over channels, so every element of
+        // the output is written: stale pool contents are fine.
+        let mut out = Tensor::from_pool(input.dims());
         for bn in 0..n {
             for ch in 0..c {
                 // forward: out[j * g + i] = in[i * per + j] for group i, member j

@@ -75,7 +75,9 @@ impl Module for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
-        self.cached_input = Some(input.clone());
+        rustfi_tensor::tpool::reuse_slot(&mut self.cached_input, input.dims())
+            .data_mut()
+            .copy_from_slice(input.data());
         let mut out = conv2d(input, &self.weight, &self.bias, &self.spec);
         ctx.run_forward_hooks(&self.meta, LayerKind::Conv2d, &mut out);
         out

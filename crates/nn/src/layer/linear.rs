@@ -18,6 +18,10 @@ pub struct Linear {
     grad_weight: Tensor,
     grad_bias: Tensor,
     cached_input: Option<Tensor>,
+    /// Reused per-forward `W^T` scratch. Not a cache: weight-fault campaigns
+    /// mutate `weight` between forwards, so the transpose is recomputed every
+    /// pass — only the buffer survives.
+    wt_scratch: Option<Tensor>,
 }
 
 impl Linear {
@@ -32,6 +36,7 @@ impl Linear {
             bias: Tensor::zeros(&[out_features]),
             weight,
             cached_input: None,
+            wt_scratch: None,
         }
     }
 
@@ -56,15 +61,22 @@ impl Module for Linear {
             "linear layer {} expects {} features, got {}",
             self.meta.name, w_in, in_f
         );
-        self.cached_input = Some(input.clone());
-        let wt = linalg::transpose(&self.weight);
-        let mut out = matmul(input, &wt);
-        for b in 0..batch {
-            for o in 0..out_f {
-                let off = b * out_f + o;
-                out.data_mut()[off] += self.bias.data()[o];
-            }
-        }
+        rustfi_tensor::tpool::reuse_slot(&mut self.cached_input, input.dims())
+            .data_mut()
+            .copy_from_slice(input.data());
+        let wt = rustfi_tensor::tpool::reuse_slot(&mut self.wt_scratch, &[in_f, out_f]);
+        linalg::transpose_into(self.weight.data(), wt.data_mut(), out_f, in_f);
+        let mut out = Tensor::from_pool(&[batch, out_f]);
+        linalg::matmul_into(
+            input.data(),
+            wt.data(),
+            out.data_mut(),
+            batch,
+            in_f,
+            out_f,
+            true,
+        );
+        out.bias_add_rows(&self.bias);
         ctx.run_forward_hooks(&self.meta, LayerKind::Linear, &mut out);
         out
     }

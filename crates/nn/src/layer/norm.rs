@@ -22,6 +22,8 @@ pub struct BatchNorm2d {
     eps: f32,
     /// Cached for backward: (normalized input, 1/std per channel, input, batch mean).
     cache: Option<BnCache>,
+    /// Per-channel mean scratch, reused across forwards to stay allocation-free.
+    mean_scratch: Vec<f32>,
 }
 
 struct BnCache {
@@ -45,6 +47,7 @@ impl BatchNorm2d {
             momentum: 0.1,
             eps: 1e-5,
             cache: None,
+            mean_scratch: Vec::new(),
         }
     }
 
@@ -71,9 +74,17 @@ impl Module for BatchNorm2d {
             self.channels()
         );
         let count = (n * h * w) as f32;
-        let mut out = Tensor::zeros(input.dims());
-        let mut x_hat = Tensor::zeros(input.dims());
-        let mut inv_stds = vec![0.0f32; c];
+        // Recycle the previous forward's cache buffers: at steady state the
+        // x_hat tensor, the inv_std vector, and the mean scratch are all
+        // rewritten in place.
+        let (mut x_hat_slot, mut inv_stds) = match self.cache.take() {
+            Some(cache) => (Some(cache.x_hat), cache.inv_std),
+            None => (None, Vec::new()),
+        };
+        inv_stds.clear();
+        inv_stds.resize(c, 0.0);
+        self.mean_scratch.clear();
+        self.mean_scratch.resize(c, 0.0);
 
         for ch in 0..c {
             let (mean, var) = if ctx.training {
@@ -100,25 +111,22 @@ impl Module for BatchNorm2d {
             } else {
                 (self.running_mean.data()[ch], self.running_var.data()[ch])
             };
-            let inv_std = 1.0 / (var + self.eps).sqrt();
-            inv_stds[ch] = inv_std;
-            let g = self.gamma.data()[ch];
-            let b = self.beta.data()[ch];
-            for bn in 0..n {
-                let src = input.fmap(bn, ch).to_vec();
-                let xh = x_hat.fmap_mut(bn, ch);
-                for (i, &x) in src.iter().enumerate() {
-                    xh[i] = (x - mean) * inv_std;
-                }
-                let dst = out.fmap_mut(bn, ch);
-                let xh = x_hat.fmap(bn, ch).to_vec();
-                for (i, &v) in xh.iter().enumerate() {
-                    dst[i] = g * v + b;
-                }
-            }
+            self.mean_scratch[ch] = mean;
+            inv_stds[ch] = 1.0 / (var + self.eps).sqrt();
         }
-        self.cache = Some(BnCache {
+
+        let mut out = Tensor::from_pool(input.dims());
+        let x_hat = rustfi_tensor::tpool::reuse_slot(&mut x_hat_slot, input.dims());
+        input.batchnorm2d_into(
+            &self.mean_scratch,
+            &inv_stds,
+            self.gamma.data(),
+            self.beta.data(),
             x_hat,
+            &mut out,
+        );
+        self.cache = Some(BnCache {
+            x_hat: x_hat_slot.expect("x_hat slot was just filled"),
             inv_std: inv_stds,
             training: ctx.training,
         });
@@ -135,7 +143,8 @@ impl Module for BatchNorm2d {
         let (n, c, h, w) = grad_out.dims4();
         let hw = h * w;
         let count = (n * hw) as f32;
-        let mut gin = Tensor::zeros(grad_out.dims());
+        // Every element is assigned below, so stale pool contents are fine.
+        let mut gin = Tensor::from_pool(grad_out.dims());
 
         for ch in 0..c {
             let g = self.gamma.data()[ch];
@@ -157,8 +166,8 @@ impl Module for BatchNorm2d {
             if cache.training {
                 // Full batch-stats backward.
                 for bn in 0..n {
-                    let dy = grad_out.fmap(bn, ch).to_vec();
-                    let xh = cache.x_hat.fmap(bn, ch).to_vec();
+                    let dy = grad_out.fmap(bn, ch);
+                    let xh = cache.x_hat.fmap(bn, ch);
                     let dst = gin.fmap_mut(bn, ch);
                     for i in 0..h * w {
                         dst[i] =
@@ -168,7 +177,7 @@ impl Module for BatchNorm2d {
             } else {
                 // Running-stats mode: mean/var are constants.
                 for bn in 0..n {
-                    let dy = grad_out.fmap(bn, ch).to_vec();
+                    let dy = grad_out.fmap(bn, ch);
                     let dst = gin.fmap_mut(bn, ch);
                     for i in 0..h * w {
                         dst[i] = g * inv_std * dy[i];

@@ -2,7 +2,7 @@
 
 use crate::module::{leaf_boilerplate, BackwardCtx, ForwardCtx, LayerKind, LayerMeta, Module};
 use rustfi_tensor::{
-    avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec, Tensor,
+    avg_pool2d, avg_pool2d_backward, max_pool2d_backward, max_pool2d_into, PoolSpec, Tensor,
 };
 
 /// Max pooling over square windows.
@@ -10,6 +10,13 @@ pub struct MaxPool2d {
     pub(crate) meta: LayerMeta,
     spec: PoolSpec,
     cached: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input_dims)
+}
+
+/// Rewrites a cached dims vec in place instead of reallocating each forward.
+fn store_dims(slot: &mut Option<Vec<usize>>, dims: &[usize]) {
+    let buf = slot.get_or_insert_with(Vec::new);
+    buf.clear();
+    buf.extend_from_slice(dims);
 }
 
 impl MaxPool2d {
@@ -31,8 +38,16 @@ impl Module for MaxPool2d {
     }
 
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
-        let (mut out, argmax) = max_pool2d(input, &self.spec);
-        self.cached = Some((argmax, input.dims().to_vec()));
+        // Recycle the argmax and dims vecs across forwards of the same shape.
+        let (mut argmax, mut dims) = self.cached.take().unwrap_or_default();
+        dims.clear();
+        dims.extend_from_slice(input.dims());
+        // Pre-sized from the pool (fully overwritten below) so the `_into`
+        // call never has to churn a placeholder tensor.
+        let (n, c, h, w) = input.dims4();
+        let mut out = Tensor::from_pool(&[n, c, self.spec.out_size(h), self.spec.out_size(w)]);
+        max_pool2d_into(input, &self.spec, &mut out, &mut argmax);
+        self.cached = Some((argmax, dims));
         ctx.run_forward_hooks(&self.meta, LayerKind::MaxPool2d, &mut out);
         out
     }
@@ -73,7 +88,7 @@ impl Module for AvgPool2d {
     }
 
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
-        self.input_dims = Some(input.dims().to_vec());
+        store_dims(&mut self.input_dims, input.dims());
         let mut out = avg_pool2d(input, &self.spec);
         ctx.run_forward_hooks(&self.meta, LayerKind::AvgPool2d, &mut out);
         out
@@ -120,9 +135,10 @@ impl Module for GlobalAvgPool {
 
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
         let (n, c, h, w) = input.dims4();
-        self.input_dims = Some(input.dims().to_vec());
+        store_dims(&mut self.input_dims, input.dims());
         let norm = 1.0 / (h * w) as f32;
-        let mut out = Tensor::zeros(&[n, c, 1, 1]);
+        // Every element is assigned below, so stale pool contents are fine.
+        let mut out = Tensor::from_pool(&[n, c, 1, 1]);
         for bn in 0..n {
             for ch in 0..c {
                 let s: f32 = input.fmap(bn, ch).iter().sum();
@@ -141,7 +157,8 @@ impl Module for GlobalAvgPool {
             .expect("GlobalAvgPool::backward called before forward");
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let norm = 1.0 / (h * w) as f32;
-        let mut gin = Tensor::zeros(dims);
+        // Every element is assigned below, so stale pool contents are fine.
+        let mut gin = Tensor::from_pool(dims);
         for bn in 0..n {
             for ch in 0..c {
                 let g = grad_out.fmap(bn, ch)[0] * norm;

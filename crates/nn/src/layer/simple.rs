@@ -34,10 +34,13 @@ impl Module for Flatten {
 
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
         assert!(input.ndim() >= 2, "flatten expects rank >= 2");
-        self.input_dims = Some(input.dims().to_vec());
+        let dims_buf = self.input_dims.get_or_insert_with(Vec::new);
+        dims_buf.clear();
+        dims_buf.extend_from_slice(input.dims());
         let n = input.dims()[0];
         let rest = input.len() / n;
-        let mut out = input.reshaped(&[n, rest]).expect("same element count");
+        let mut out = Tensor::from_pool(&[n, rest]);
+        out.data_mut().copy_from_slice(input.data());
         ctx.run_forward_hooks(&self.meta, LayerKind::Flatten, &mut out);
         out
     }
@@ -48,7 +51,14 @@ impl Module for Flatten {
             .input_dims
             .as_ref()
             .expect("Flatten::backward called before forward");
-        grad_out.reshaped(dims).expect("same element count")
+        assert_eq!(
+            grad_out.len(),
+            dims.iter().product::<usize>(),
+            "same element count"
+        );
+        let mut g = Tensor::from_pool(dims);
+        g.data_mut().copy_from_slice(grad_out.data());
+        g
     }
 }
 
@@ -87,18 +97,19 @@ impl Module for Dropout {
     }
 
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        let mask = rustfi_tensor::tpool::reuse_slot(&mut self.mask, input.dims());
         let mut out = if ctx.training && self.p > 0.0 {
             let keep = 1.0 - self.p;
             let scale = 1.0 / keep;
             let p = self.p as f64;
             let rng = ctx.rng();
-            let mask = Tensor::from_fn(input.dims(), |_| if rng.chance(p) { 0.0 } else { scale });
-            let out = input.mul(&mask);
-            self.mask = Some(mask);
-            out
+            for m in mask.data_mut() {
+                *m = if rng.chance(p) { 0.0 } else { scale };
+            }
+            input.mul(mask)
         } else {
-            self.mask = Some(Tensor::ones(input.dims()));
-            input.clone()
+            mask.data_mut().fill(1.0);
+            input.pooled_copy()
         };
         ctx.run_forward_hooks(&self.meta, LayerKind::Dropout, &mut out);
         out

@@ -34,7 +34,7 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
     );
     let probs = logits.softmax_rows();
     let mut loss = 0.0;
-    let mut grad = probs.clone();
+    let mut grad = probs.pooled_copy();
     let inv_b = 1.0 / batch as f32;
     for (b, &label) in labels.iter().enumerate() {
         assert!(

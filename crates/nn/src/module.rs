@@ -330,7 +330,7 @@ pub trait Module: Send {
         input: &Tensor,
         _ctx: &mut ForwardCtx<'_>,
     ) -> Option<Tensor> {
-        (self.meta().id == target).then(|| input.clone())
+        (self.meta().id == target).then(|| input.pooled_copy())
     }
 
     /// Pre-order traversal over this module and all descendants.

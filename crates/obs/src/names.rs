@@ -44,6 +44,16 @@ pub const CAMPAIGN_FUSED_WIDTH: &str = "campaign.fused_width";
 /// [`CAMPAIGN_TRIAL_NS`] for trials that ran fused).
 pub const CAMPAIGN_FUSED_CHUNK_NS: &str = "campaign.fused_chunk_ns";
 
+/// Tensor-pool requests satisfied from a worker's thread-local free list.
+pub const CAMPAIGN_POOL_HITS: &str = "campaign.pool_hits";
+
+/// Tensor-pool requests that fell back to a fresh heap allocation while
+/// pooling was enabled.
+pub const CAMPAIGN_POOL_MISSES: &str = "campaign.pool_misses";
+
+/// Total bytes of activation storage handed out from recycled buffers.
+pub const CAMPAIGN_POOL_RECYCLED_BYTES: &str = "campaign.pool_recycled_bytes";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,6 +72,9 @@ mod tests {
             CAMPAIGN_FUSED_GROUPS,
             CAMPAIGN_FUSED_WIDTH,
             CAMPAIGN_FUSED_CHUNK_NS,
+            CAMPAIGN_POOL_HITS,
+            CAMPAIGN_POOL_MISSES,
+            CAMPAIGN_POOL_RECYCLED_BYTES,
         ];
         for (i, a) in all.iter().enumerate() {
             assert!(a.contains('.'), "{a} is namespaced");

@@ -281,7 +281,9 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -
     let bdata = bias.data();
     let spec = *spec;
 
-    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+    // Fully overwritten below (`*d = s + b` covers every element), so the
+    // buffer can come from the recycling pool with stale contents.
+    let mut out = Tensor::from_pool(&[n, oc, oh, ow]);
     let batch_stride = oc * ohw;
 
     // One batch element's worth of work, with caller-owned im2col/product

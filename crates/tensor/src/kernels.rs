@@ -1,0 +1,480 @@
+//! Runtime-dispatched slice kernels for the elementwise tail.
+//!
+//! The FLOP-heavy kernels ([`matmul`], [`conv2d`]) were vectorized first;
+//! after prefix caching and trial fusion the campaign hot loop is dominated
+//! by the memory-bound tail — ReLU, tensor add/mul, batch-norm inference,
+//! pooling, softmax. This module rewrites that tail as flat slice kernels
+//! and applies the same dispatch pattern as `linalg::block_rows`: one
+//! portable body, additionally compiled with AVX2 codegen enabled on x86-64
+//! and selected by runtime CPU detection.
+//!
+//! Every kernel is bit-identical across the two compilations: only the SIMD
+//! lane width changes, each output element sees the identical sequence of
+//! f32 operations (Rust never contracts `a * b + c` into a fused
+//! multiply-add, and no reduction order is altered), so the dispatch is
+//! unobservable in results. Reductions whose order *would* matter — the
+//! softmax row maximum and denominator — stay strictly in input order in
+//! both builds.
+//!
+//! [`matmul`]: crate::matmul
+//! [`conv2d`]: crate::conv2d
+
+/// Defines the three compilations of one kernel: a public front that
+/// dispatches on runtime AVX2 detection, the AVX2-enabled recompilation, and
+/// the shared portable body. Mirrors the `block_rows` trio in `linalg`.
+macro_rules! simd_kernel {
+    ($(#[$meta:meta])* $name:ident / $avx2:ident / $imp:ident,
+     ($($arg:ident: $ty:ty),* $(,)?) $body:block) => {
+        $(#[$meta])*
+        // Flat slice kernels spell out their geometry (widths, strides,
+        // window sizes) as scalars on purpose; a params struct would only
+        // obscure the call sites.
+        #[allow(clippy::too_many_arguments)]
+        pub fn $name($($arg: $ty),*) {
+            #[cfg(target_arch = "x86_64")]
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: the AVX2 compilation of the kernel is only reached
+                // after runtime detection confirms the CPU supports it.
+                unsafe { $avx2($($arg),*) };
+                return;
+            }
+            $imp($($arg),*);
+        }
+
+        /// The portable body recompiled with AVX2 lanes. Same ops in the
+        /// same per-element order — see the module docs.
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2")]
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn $avx2($($arg: $ty),*) {
+            $imp($($arg),*)
+        }
+
+        #[inline(always)]
+        #[allow(clippy::too_many_arguments)]
+        fn $imp($($arg: $ty),*) $body
+    };
+}
+
+simd_kernel! {
+    /// `out[i] = a[i] + b[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    add / add_avx2 / add_impl, (a: &[f32], b: &[f32], out: &mut [f32]) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), out.len());
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = x + y;
+        }
+    }
+}
+
+simd_kernel! {
+    /// `out[i] = a[i] - b[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    sub / sub_avx2 / sub_impl, (a: &[f32], b: &[f32], out: &mut [f32]) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), out.len());
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = x - y;
+        }
+    }
+}
+
+simd_kernel! {
+    /// `out[i] = a[i] * b[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    mul / mul_avx2 / mul_impl, (a: &[f32], b: &[f32], out: &mut [f32]) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), out.len());
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = x * y;
+        }
+    }
+}
+
+simd_kernel! {
+    /// `out[i] += a[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    add_assign / add_assign_avx2 / add_assign_impl, (out: &mut [f32], a: &[f32]) {
+        assert_eq!(a.len(), out.len());
+        for (o, &x) in out.iter_mut().zip(a) {
+            *o += x;
+        }
+    }
+}
+
+simd_kernel! {
+    /// `out[i] += s * a[i]` (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    axpy / axpy_avx2 / axpy_impl, (out: &mut [f32], a: &[f32], s: f32) {
+        assert_eq!(a.len(), out.len());
+        for (o, &x) in out.iter_mut().zip(a) {
+            *o += s * x;
+        }
+    }
+}
+
+simd_kernel! {
+    /// `out[i] = s * a[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    scale / scale_avx2 / scale_impl, (a: &[f32], s: f32, out: &mut [f32]) {
+        assert_eq!(a.len(), out.len());
+        for (o, &x) in out.iter_mut().zip(a) {
+            *o = x * s;
+        }
+    }
+}
+
+simd_kernel! {
+    /// `out[i] *= s`.
+    scale_assign / scale_assign_avx2 / scale_assign_impl, (out: &mut [f32], s: f32) {
+        for o in out.iter_mut() {
+            *o *= s;
+        }
+    }
+}
+
+simd_kernel! {
+    /// `out[i] = a[i] + s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    add_scalar / add_scalar_avx2 / add_scalar_impl, (a: &[f32], s: f32, out: &mut [f32]) {
+        assert_eq!(a.len(), out.len());
+        for (o, &x) in out.iter_mut().zip(a) {
+            *o = x + s;
+        }
+    }
+}
+
+simd_kernel! {
+    /// `out[i] = max(a[i], 0)` — same `f32::max` the scalar path always
+    /// used, so NaN and signed-zero handling are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    relu / relu_avx2 / relu_impl, (a: &[f32], out: &mut [f32]) {
+        assert_eq!(a.len(), out.len());
+        for (o, &x) in out.iter_mut().zip(a) {
+            *o = x.max(0.0);
+        }
+    }
+}
+
+simd_kernel! {
+    /// Fused ReLU: `out[i] = max(a[i], 0)` and `mask[i] = (a[i] > 0) as f32`
+    /// in one pass, producing both the activation and its backward mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    relu_mask / relu_mask_avx2 / relu_mask_impl,
+    (a: &[f32], out: &mut [f32], mask: &mut [f32]) {
+        assert_eq!(a.len(), out.len());
+        assert_eq!(a.len(), mask.len());
+        for ((&x, o), m) in a.iter().zip(out.iter_mut()).zip(mask.iter_mut()) {
+            *o = x.max(0.0);
+            *m = if x > 0.0 { 1.0 } else { 0.0 };
+        }
+    }
+}
+
+simd_kernel! {
+    /// Fused leaky ReLU: `out[i] = x if x > 0 else slope * x`, with the
+    /// backward mask (`1` or `slope`) filled in the same pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    leaky_relu_mask / leaky_relu_mask_avx2 / leaky_relu_mask_impl,
+    (a: &[f32], slope: f32, out: &mut [f32], mask: &mut [f32]) {
+        assert_eq!(a.len(), out.len());
+        assert_eq!(a.len(), mask.len());
+        for ((&x, o), m) in a.iter().zip(out.iter_mut()).zip(mask.iter_mut()) {
+            let neg = x <= 0.0;
+            *o = if neg { slope * x } else { x };
+            *m = if neg { slope } else { 1.0 };
+        }
+    }
+}
+
+simd_kernel! {
+    /// Adds a bias row to each row of a `[rows, bias.len()]` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` is not a multiple of `bias.len()`.
+    bias_add_rows / bias_add_rows_avx2 / bias_add_rows_impl,
+    (out: &mut [f32], bias: &[f32]) {
+        assert_eq!(out.len() % bias.len().max(1), 0);
+        for row in out.chunks_exact_mut(bias.len()) {
+            for (o, &b) in row.iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+    }
+}
+
+simd_kernel! {
+    /// Batch-norm inference for one feature map: writes the normalized
+    /// activations `x_hat[i] = (x[i] - mean) * inv_std` (kept for backward)
+    /// and the affine output `out[i] = g * x_hat[i] + b`, exactly the
+    /// per-element order the scalar layer used.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    bn_fmap / bn_fmap_avx2 / bn_fmap_impl,
+    (x: &[f32], mean: f32, inv_std: f32, g: f32, b: f32, x_hat: &mut [f32], out: &mut [f32]) {
+        assert_eq!(x.len(), x_hat.len());
+        assert_eq!(x.len(), out.len());
+        for ((&v, xh), o) in x.iter().zip(x_hat.iter_mut()).zip(out.iter_mut()) {
+            let n = (v - mean) * inv_std;
+            *xh = n;
+            *o = g * n + b;
+        }
+    }
+}
+
+simd_kernel! {
+    /// Max-pools one feature map: `fm` is an `h`×`w` map (row stride `w`),
+    /// `dst`/`argmax` are `oh`×`ow`. Window scan order (`ky` outer, `kx`
+    /// inner, strict `>` keeps the first maximum) matches the scalar layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output slices are smaller than `oh * ow`.
+    max_pool_fmap / max_pool_fmap_avx2 / max_pool_fmap_impl,
+    (fm: &[f32], w: usize, oh: usize, ow: usize, kernel: usize, stride: usize,
+     dst: &mut [f32], argmax: &mut [usize]) {
+        assert!(dst.len() >= oh * ow && argmax.len() >= oh * ow);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0;
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        let iy = oy * stride + ky;
+                        let ix = ox * stride + kx;
+                        let v = fm[iy * w + ix];
+                        if v > best {
+                            best = v;
+                            best_idx = iy * w + ix;
+                        }
+                    }
+                }
+                dst[oy * ow + ox] = best;
+                argmax[oy * ow + ox] = best_idx;
+            }
+        }
+    }
+}
+
+simd_kernel! {
+    /// Average-pools one feature map (see [`max_pool_fmap`] for geometry).
+    /// Each output element accumulates its window in `ky`/`kx` order and
+    /// multiplies by `norm = 1 / kernel²`, as the scalar layer did.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is smaller than `oh * ow`.
+    avg_pool_fmap / avg_pool_fmap_avx2 / avg_pool_fmap_impl,
+    (fm: &[f32], w: usize, oh: usize, ow: usize, kernel: usize, stride: usize,
+     norm: f32, dst: &mut [f32]) {
+        assert!(dst.len() >= oh * ow);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0;
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        acc += fm[(oy * stride + ky) * w + ox * stride + kx];
+                    }
+                }
+                dst[oy * ow + ox] = acc * norm;
+            }
+        }
+    }
+}
+
+simd_kernel! {
+    /// Softmax of one row, numerically stabilized by the row maximum.
+    ///
+    /// The maximum fold and the denominator sum run strictly in input order
+    /// in both compilations — reassociating either would change bits — so
+    /// only the elementwise exponential/divide parts gain lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    softmax_row / softmax_row_avx2 / softmax_row_impl, (row: &[f32], out: &mut [f32]) {
+        assert_eq!(row.len(), out.len());
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0;
+        for (o, &x) in out.iter_mut().zip(row) {
+            let e = (x - m).exp();
+            *o = e;
+            denom += e;
+        }
+        for o in out.iter_mut() {
+            *o /= denom;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Awkward values: negatives, zeros of both signs, subnormals, large
+    /// magnitudes, and NaN/Inf where the op tolerates them.
+    fn probe(len: usize, salt: f32) -> Vec<f32> {
+        (0..len)
+            .map(|i| match i % 7 {
+                0 => -0.0,
+                1 => (i as f32 + salt) * 1.00001e-3,
+                2 => -(i as f32) * 3.7e4,
+                3 => f32::MIN_POSITIVE / 2.0,
+                4 => (i as f32 + salt).sin() * 1e8,
+                5 => -1.0 / (i as f32 + 1.0),
+                _ => i as f32 - salt,
+            })
+            .collect()
+    }
+
+    /// Exact bit equality, treating NaN as equal to NaN.
+    fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}[{i}]: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn elementwise_dispatch_is_bit_identical_to_portable_kernels() {
+        // Odd lengths exercise SIMD remainders in the AVX2 compilation.
+        for len in [1usize, 7, 8, 31, 64, 257] {
+            let a = probe(len, 0.25);
+            let b = probe(len, 1.75);
+            let mut d = vec![0.0; len];
+            let mut p = vec![0.0; len];
+
+            add(&a, &b, &mut d);
+            add_impl(&a, &b, &mut p);
+            assert_bits_eq(&d, &p, "add");
+
+            sub(&a, &b, &mut d);
+            sub_impl(&a, &b, &mut p);
+            assert_bits_eq(&d, &p, "sub");
+
+            mul(&a, &b, &mut d);
+            mul_impl(&a, &b, &mut p);
+            assert_bits_eq(&d, &p, "mul");
+
+            d.copy_from_slice(&b);
+            p.copy_from_slice(&b);
+            add_assign(&mut d, &a);
+            add_assign_impl(&mut p, &a);
+            assert_bits_eq(&d, &p, "add_assign");
+
+            d.copy_from_slice(&b);
+            p.copy_from_slice(&b);
+            axpy(&mut d, &a, 0.3333);
+            axpy_impl(&mut p, &a, 0.3333);
+            assert_bits_eq(&d, &p, "axpy");
+
+            scale(&a, -1.7, &mut d);
+            scale_impl(&a, -1.7, &mut p);
+            assert_bits_eq(&d, &p, "scale");
+
+            d.copy_from_slice(&a);
+            p.copy_from_slice(&a);
+            scale_assign(&mut d, 0.0049);
+            scale_assign_impl(&mut p, 0.0049);
+            assert_bits_eq(&d, &p, "scale_assign");
+
+            add_scalar(&a, 2.5e-7, &mut d);
+            add_scalar_impl(&a, 2.5e-7, &mut p);
+            assert_bits_eq(&d, &p, "add_scalar");
+
+            relu(&a, &mut d);
+            relu_impl(&a, &mut p);
+            assert_bits_eq(&d, &p, "relu");
+
+            let (mut dm, mut pm) = (vec![0.0; len], vec![0.0; len]);
+            relu_mask(&a, &mut d, &mut dm);
+            relu_mask_impl(&a, &mut p, &mut pm);
+            assert_bits_eq(&d, &p, "relu_mask out");
+            assert_bits_eq(&dm, &pm, "relu_mask mask");
+
+            leaky_relu_mask(&a, 0.01, &mut d, &mut dm);
+            leaky_relu_mask_impl(&a, 0.01, &mut p, &mut pm);
+            assert_bits_eq(&d, &p, "leaky out");
+            assert_bits_eq(&dm, &pm, "leaky mask");
+
+            bn_fmap(&a, 0.37, 1.21, 0.9, -0.1, &mut dm, &mut d);
+            bn_fmap_impl(&a, 0.37, 1.21, 0.9, -0.1, &mut pm, &mut p);
+            assert_bits_eq(&d, &p, "bn out");
+            assert_bits_eq(&dm, &pm, "bn x_hat");
+
+            softmax_row(&a, &mut d);
+            softmax_row_impl(&a, &mut p);
+            assert_bits_eq(&d, &p, "softmax_row");
+        }
+
+        // Bias rows and pooling have 2-D geometry; probe a ragged case.
+        let a = probe(6 * 9, 0.5);
+        let bias = probe(9, 3.0);
+        let mut d = a.clone();
+        let mut p = a.clone();
+        bias_add_rows(&mut d, &bias);
+        bias_add_rows_impl(&mut p, &bias);
+        assert_bits_eq(&d, &p, "bias_add_rows");
+
+        let fm = probe(7 * 7, 0.125);
+        let (oh, ow) = (3, 3);
+        let mut d = vec![0.0; oh * ow];
+        let mut p = vec![0.0; oh * ow];
+        let mut da = vec![0usize; oh * ow];
+        let mut pa = vec![0usize; oh * ow];
+        max_pool_fmap(&fm, 7, oh, ow, 3, 2, &mut d, &mut da);
+        max_pool_fmap_impl(&fm, 7, oh, ow, 3, 2, &mut p, &mut pa);
+        assert_bits_eq(&d, &p, "max_pool");
+        assert_eq!(da, pa, "max_pool argmax");
+
+        avg_pool_fmap(&fm, 7, oh, ow, 3, 2, 1.0 / 9.0, &mut d);
+        avg_pool_fmap_impl(&fm, 7, oh, ow, 3, 2, 1.0 / 9.0, &mut p);
+        assert_bits_eq(&d, &p, "avg_pool");
+    }
+
+    #[test]
+    fn relu_mask_matches_separate_ops() {
+        let a = [-2.0, -0.0, 0.0, 3.5, f32::NAN];
+        let mut out = [9.0; 5];
+        let mut mask = [9.0; 5];
+        relu_mask(&a, &mut out, &mut mask);
+        for i in 0..a.len() {
+            assert_eq!(out[i].to_bits(), a[i].max(0.0).to_bits());
+            assert_eq!(mask[i], if a[i] > 0.0 { 1.0 } else { 0.0 });
+        }
+    }
+}

@@ -14,7 +14,11 @@
 //! - max/avg pooling and their gradients ([`pool`]),
 //! - IEEE-754 bit manipulation used by fault models ([`bits`]),
 //! - a deterministic, forkable RNG ([`rng`]),
-//! - scoped-thread data parallelism helpers ([`parallel`]).
+//! - scoped-thread data parallelism helpers ([`parallel`]),
+//! - runtime-dispatched AVX2 slice kernels for the elementwise tail
+//!   ([`kernels`]),
+//! - a thread-local buffer recycling pool for allocation-free steady-state
+//!   forward passes ([`tpool`]).
 //!
 //! # Example
 //!
@@ -29,6 +33,7 @@
 
 pub mod bits;
 pub mod conv;
+pub mod kernels;
 pub mod linalg;
 pub mod opcount;
 pub mod ops;
@@ -38,10 +43,13 @@ pub mod resize;
 pub mod rng;
 mod shape;
 mod tensor;
+pub mod tpool;
 
 pub use conv::{conv2d, conv2d_backward, Conv2dGrads, ConvSpec};
 pub use linalg::{matmul, matmul_into, transpose_into};
-pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolSpec};
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, max_pool2d_into, PoolSpec,
+};
 pub use resize::{resize_map, upsample_nearest, zero_pad2d};
 pub use rng::SeededRng;
 pub use shape::ShapeError;

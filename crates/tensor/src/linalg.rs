@@ -187,9 +187,9 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         a.dims(),
         b.dims()
     );
-    let mut out = vec![0.0f32; m * n];
-    matmul_into(a.data(), b.data(), &mut out, m, k, n, true);
-    Tensor::from_vec(out, &[m, n])
+    let mut out = Tensor::from_pool(&[m, n]);
+    matmul_into(a.data(), b.data(), out.data_mut(), m, k, n, true);
+    out
 }
 
 /// Transposes an `[m, n]` row-major matrix in `src` into `dst` (`[n, m]`).
@@ -216,9 +216,9 @@ pub fn transpose_into(src: &[f32], dst: &mut [f32], m: usize, n: usize) {
 /// Panics if the input is not rank 2.
 pub fn transpose(a: &Tensor) -> Tensor {
     let (m, n) = a.dims2();
-    let mut out = vec![0.0f32; m * n];
-    transpose_into(a.data(), &mut out, m, n);
-    Tensor::from_vec(out, &[n, m])
+    let mut out = Tensor::from_pool(&[n, m]);
+    transpose_into(a.data(), out.data_mut(), m, n);
+    out
 }
 
 #[cfg(test)]

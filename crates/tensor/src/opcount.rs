@@ -2,9 +2,10 @@
 //!
 //! Disabled by default: the hot-path cost is one relaxed atomic load per
 //! kernel *call* (not per element). When enabled — e.g. by the
-//! `profile_campaign` binary — [`conv2d`] and [`matmul`] invocations are
+//! `profile_campaign` binary — [`conv2d`], [`matmul`], the elementwise tail
+//! (add/mul/relu/softmax/…), pooling, and batch-norm invocations are
 //! counted process-wide, giving campaign profiles a cheap "how much math did
-//! this take" axis next to wall time.
+//! this take" axis next to wall time that also covers the memory-bound tail.
 //!
 //! [`conv2d`]: crate::conv2d
 //! [`matmul`]: crate::matmul
@@ -14,6 +15,24 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static CONV2D: AtomicU64 = AtomicU64::new(0);
 static MATMUL: AtomicU64 = AtomicU64::new(0);
+static ELEMENTWISE: AtomicU64 = AtomicU64::new(0);
+static POOL: AtomicU64 = AtomicU64::new(0);
+static NORM: AtomicU64 = AtomicU64::new(0);
+
+/// One snapshot of every kernel-call counter (see [`counts`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// `conv2d` invocations.
+    pub conv2d: u64,
+    /// `matmul` invocations (convolutions contribute here too).
+    pub matmul: u64,
+    /// Elementwise tensor ops: add/sub/mul/scale/relu/axpy/bias/softmax.
+    pub elementwise: u64,
+    /// Max/avg pooling invocations.
+    pub pool: u64,
+    /// Batch-norm applications.
+    pub norm: u64,
+}
 
 /// Turns counting on or off (process-wide).
 pub fn enable(on: bool) {
@@ -25,16 +44,20 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Zeroes both counters.
+/// Zeroes every counter.
 pub fn reset() {
     CONV2D.store(0, Ordering::Relaxed);
     MATMUL.store(0, Ordering::Relaxed);
+    ELEMENTWISE.store(0, Ordering::Relaxed);
+    POOL.store(0, Ordering::Relaxed);
+    NORM.store(0, Ordering::Relaxed);
 }
 
 /// Current `(conv2d calls, matmul calls)` totals.
 ///
 /// Note that [`conv2d`](crate::conv2d) is built on `matmul`, so convolutions
-/// contribute to both counters.
+/// contribute to both counters. See [`counts`] for the full breakdown
+/// including the elementwise/pool/norm tail.
 pub fn snapshot() -> (u64, u64) {
     (
         CONV2D.load(Ordering::Relaxed),
@@ -42,20 +65,52 @@ pub fn snapshot() -> (u64, u64) {
     )
 }
 
+/// Current totals of every counter, including the memory-bound tail.
+pub fn counts() -> OpCounts {
+    OpCounts {
+        conv2d: CONV2D.load(Ordering::Relaxed),
+        matmul: MATMUL.load(Ordering::Relaxed),
+        elementwise: ELEMENTWISE.load(Ordering::Relaxed),
+        pool: POOL.load(Ordering::Relaxed),
+        norm: NORM.load(Ordering::Relaxed),
+    }
+}
+
+#[inline]
+fn bump(counter: &AtomicU64) {
+    if ENABLED.load(Ordering::Relaxed) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// Called by the conv2d kernel.
 #[inline]
 pub(crate) fn count_conv2d() {
-    if ENABLED.load(Ordering::Relaxed) {
-        CONV2D.fetch_add(1, Ordering::Relaxed);
-    }
+    bump(&CONV2D);
 }
 
 /// Called by the matmul kernel.
 #[inline]
 pub(crate) fn count_matmul() {
-    if ENABLED.load(Ordering::Relaxed) {
-        MATMUL.fetch_add(1, Ordering::Relaxed);
-    }
+    bump(&MATMUL);
+}
+
+/// Called by the elementwise tensor ops.
+#[inline]
+pub(crate) fn count_elementwise() {
+    bump(&ELEMENTWISE);
+}
+
+/// Called by the pooling kernels.
+#[inline]
+pub(crate) fn count_pool() {
+    bump(&POOL);
+}
+
+/// Called by the batch-norm kernel.
+#[inline]
+pub(crate) fn count_norm() {
+    bump(&NORM);
 }
 
 #[cfg(test)]
@@ -70,7 +125,9 @@ mod tests {
         reset();
         let a = Tensor::ones(&[2, 2]);
         matmul(&a, &a);
+        a.relu();
         assert_eq!(snapshot(), (0, 0), "disabled: nothing counted");
+        assert_eq!(counts(), OpCounts::default());
 
         enable(true);
         let x = Tensor::ones(&[1, 1, 3, 3]);
@@ -78,17 +135,28 @@ mod tests {
         let b = Tensor::zeros(&[1]);
         conv2d(&x, &w, &b, &ConvSpec::new());
         matmul(&a, &a);
+        a.relu();
+        a.add(&a);
+        crate::max_pool2d(&x, &crate::PoolSpec::new(2, 1));
         enable(false);
 
         let (convs, matmuls) = snapshot();
+        let all = counts();
         // `>=` rather than `==`: sibling tests may run kernels concurrently
         // while counting is enabled.
         assert!(convs >= 1, "conv2d counted: {convs}");
         // conv2d runs one matmul per (batch, group) internally, so the
         // explicit matmul plus conv2d's internal one gives at least two.
         assert!(matmuls >= 2, "matmul counted: {matmuls}");
+        assert_eq!((all.conv2d, all.matmul), (convs, matmuls));
+        assert!(
+            all.elementwise >= 2,
+            "relu+add counted: {}",
+            all.elementwise
+        );
+        assert!(all.pool >= 1, "pooling counted: {}", all.pool);
         assert!(!enabled());
         reset();
-        assert_eq!(snapshot(), (0, 0));
+        assert_eq!(counts(), OpCounts::default());
     }
 }

@@ -1,15 +1,36 @@
 //! Elementwise and reduction operations on [`Tensor`].
+//!
+//! The elementwise producers draw their outputs from the thread-local
+//! recycling pool (see [`crate::tpool`]) and run on the runtime-dispatched
+//! slice kernels in [`crate::kernels`], so steady-state forward passes are
+//! allocation-free and vectorized without any caller-visible API change.
 
+use crate::kernels;
+use crate::opcount;
 use crate::tensor::Tensor;
 
 impl Tensor {
+    fn assert_same_shape(&self, other: &Tensor) {
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "elementwise op on mismatched shapes {:?} vs {:?}",
+            self.dims(),
+            other.dims()
+        );
+    }
+
     /// Elementwise sum. Shapes must match exactly (no broadcasting).
     ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
     pub fn add(&self, other: &Tensor) -> Tensor {
-        self.zip_map(other, |a, b| a + b)
+        self.assert_same_shape(other);
+        opcount::count_elementwise();
+        let mut out = Tensor::from_pool(self.dims());
+        kernels::add(self.data(), other.data(), out.data_mut());
+        out
     }
 
     /// Elementwise difference.
@@ -18,7 +39,11 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn sub(&self, other: &Tensor) -> Tensor {
-        self.zip_map(other, |a, b| a - b)
+        self.assert_same_shape(other);
+        opcount::count_elementwise();
+        let mut out = Tensor::from_pool(self.dims());
+        kernels::sub(self.data(), other.data(), out.data_mut());
+        out
     }
 
     /// Elementwise (Hadamard) product.
@@ -27,7 +52,11 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn mul(&self, other: &Tensor) -> Tensor {
-        self.zip_map(other, |a, b| a * b)
+        self.assert_same_shape(other);
+        opcount::count_elementwise();
+        let mut out = Tensor::from_pool(self.dims());
+        kernels::mul(self.data(), other.data(), out.data_mut());
+        out
     }
 
     /// Adds `other` into `self` in place.
@@ -36,7 +65,9 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn add_assign(&mut self, other: &Tensor) {
-        self.zip_apply(other, |a, b| *a += b);
+        self.assert_same_shape(other);
+        opcount::count_elementwise();
+        kernels::add_assign(self.data_mut(), other.data());
     }
 
     /// Adds `scale * other` into `self` in place (axpy).
@@ -45,29 +76,59 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
-        self.zip_apply(other, |a, b| *a += scale * b);
+        self.assert_same_shape(other);
+        opcount::count_elementwise();
+        kernels::axpy(self.data_mut(), other.data(), scale);
     }
 
     /// Returns `self * scalar`.
     pub fn scale(&self, scalar: f32) -> Tensor {
-        self.map(|x| x * scalar)
+        opcount::count_elementwise();
+        let mut out = Tensor::from_pool(self.dims());
+        kernels::scale(self.data(), scalar, out.data_mut());
+        out
     }
 
     /// Multiplies by a scalar in place.
     pub fn scale_inplace(&mut self, scalar: f32) {
-        for x in self.data_mut() {
-            *x *= scalar;
-        }
+        opcount::count_elementwise();
+        kernels::scale_assign(self.data_mut(), scalar);
     }
 
     /// Returns `self + scalar` elementwise.
     pub fn add_scalar(&self, scalar: f32) -> Tensor {
-        self.map(|x| x + scalar)
+        opcount::count_elementwise();
+        let mut out = Tensor::from_pool(self.dims());
+        kernels::add_scalar(self.data(), scalar, out.data_mut());
+        out
     }
 
-    /// Applies `f` elementwise, returning a new tensor.
+    /// Adds a `[cols]` bias vector to every row of this `[rows, cols]`
+    /// tensor in place (the linear layer's bias step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not rank 2 or the column count mismatches.
+    pub fn bias_add_rows(&mut self, bias: &Tensor) {
+        let (_, cols) = self.dims2();
+        assert_eq!(
+            cols,
+            bias.len(),
+            "bias length {} does not match column count {cols}",
+            bias.len()
+        );
+        opcount::count_elementwise();
+        kernels::bias_add_rows(self.data_mut(), bias.data());
+    }
+
+    /// Applies `f` elementwise, returning a new (pool-backed) tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_vec(self.data().iter().map(|&x| f(x)).collect(), self.dims())
+        opcount::count_elementwise();
+        let mut out = Tensor::from_pool(self.dims());
+        for (o, &x) in out.data_mut().iter_mut().zip(self.data()) {
+            *o = f(x);
+        }
+        out
     }
 
     /// Applies `f` elementwise in place.
@@ -77,27 +138,20 @@ impl Tensor {
         }
     }
 
-    /// Combines two same-shape tensors elementwise.
+    /// Combines two same-shape tensors elementwise into a new (pool-backed)
+    /// tensor.
     ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-        assert_eq!(
-            self.dims(),
-            other.dims(),
-            "elementwise op on mismatched shapes {:?} vs {:?}",
-            self.dims(),
-            other.dims()
-        );
-        Tensor::from_vec(
-            self.data()
-                .iter()
-                .zip(other.data())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-            self.dims(),
-        )
+        self.assert_same_shape(other);
+        opcount::count_elementwise();
+        let mut out = Tensor::from_pool(self.dims());
+        for ((o, &a), &b) in out.data_mut().iter_mut().zip(self.data()).zip(other.data()) {
+            *o = f(a, b);
+        }
+        out
     }
 
     /// Combines `other` into `self` elementwise, in place.
@@ -106,13 +160,8 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn zip_apply(&mut self, other: &Tensor, f: impl Fn(&mut f32, f32)) {
-        assert_eq!(
-            self.dims(),
-            other.dims(),
-            "elementwise op on mismatched shapes {:?} vs {:?}",
-            self.dims(),
-            other.dims()
-        );
+        self.assert_same_shape(other);
+        opcount::count_elementwise();
         for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
             f(a, b);
         }
@@ -120,7 +169,78 @@ impl Tensor {
 
     /// Rectified linear unit, elementwise.
     pub fn relu(&self) -> Tensor {
-        self.map(|x| x.max(0.0))
+        opcount::count_elementwise();
+        let mut out = Tensor::from_pool(self.dims());
+        kernels::relu(self.data(), out.data_mut());
+        out
+    }
+
+    /// Fused ReLU forward: writes `max(x, 0)` into `out` and the backward
+    /// mask (`1` where `x > 0`, else `0`) into `mask`, in one pass over
+    /// recycled buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` or `mask` shapes differ from `self`.
+    pub fn relu_mask_into(&self, out: &mut Tensor, mask: &mut Tensor) {
+        self.assert_same_shape(out);
+        self.assert_same_shape(mask);
+        opcount::count_elementwise();
+        kernels::relu_mask(self.data(), out.data_mut(), mask.data_mut());
+    }
+
+    /// Fused leaky-ReLU forward: `out = x > 0 ? x : slope * x`, with the
+    /// backward mask (`1` or `slope`) filled in the same pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` or `mask` shapes differ from `self`.
+    pub fn leaky_relu_mask_into(&self, slope: f32, out: &mut Tensor, mask: &mut Tensor) {
+        self.assert_same_shape(out);
+        self.assert_same_shape(mask);
+        opcount::count_elementwise();
+        kernels::leaky_relu_mask(self.data(), slope, out.data_mut(), mask.data_mut());
+    }
+
+    /// Batch-norm inference/affine step over an `NCHW` tensor: per channel
+    /// `c`, writes `x_hat = (x - mean[c]) * inv_std[c]` and
+    /// `out = gamma[c] * x_hat + beta[c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not rank 4, the per-channel slices are not `C`
+    /// long, or `x_hat`/`out` shapes differ from `self`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn batchnorm2d_into(
+        &self,
+        mean: &[f32],
+        inv_std: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        x_hat: &mut Tensor,
+        out: &mut Tensor,
+    ) {
+        let (n, c, _, _) = self.dims4();
+        assert!(
+            mean.len() == c && inv_std.len() == c && gamma.len() == c && beta.len() == c,
+            "per-channel stats must have length {c}"
+        );
+        self.assert_same_shape(x_hat);
+        self.assert_same_shape(out);
+        opcount::count_norm();
+        for bn in 0..n {
+            for ch in 0..c {
+                kernels::bn_fmap(
+                    self.fmap(bn, ch),
+                    mean[ch],
+                    inv_std[ch],
+                    gamma[ch],
+                    beta[ch],
+                    x_hat.fmap_mut(bn, ch),
+                    out.fmap_mut(bn, ch),
+                );
+            }
+        }
     }
 
     /// Sum of all elements.
@@ -232,21 +352,15 @@ impl Tensor {
     /// Panics if the tensor is not rank 2.
     pub fn softmax_rows(&self) -> Tensor {
         let (rows, cols) = self.dims2();
-        let mut out = vec![0.0f32; rows * cols];
+        opcount::count_elementwise();
+        let mut out = Tensor::from_pool(self.dims());
         for r in 0..rows {
-            let row = &self.data()[r * cols..(r + 1) * cols];
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0;
-            for c in 0..cols {
-                let e = (row[c] - m).exp();
-                out[r * cols + c] = e;
-                denom += e;
-            }
-            for c in 0..cols {
-                out[r * cols + c] /= denom;
-            }
+            kernels::softmax_row(
+                &self.data()[r * cols..(r + 1) * cols],
+                &mut out.data_mut()[r * cols..(r + 1) * cols],
+            );
         }
-        Tensor::from_vec(out, self.dims())
+        out
     }
 
     /// Concatenates rank-4 tensors along the channel axis.
@@ -258,7 +372,7 @@ impl Tensor {
         assert!(!parts.is_empty(), "concat of empty list");
         let (n, _, h, w) = parts[0].dims4();
         let total_c: usize = parts.iter().map(|p| p.dims4().1).sum();
-        let mut out = Tensor::zeros(&[n, total_c, h, w]);
+        let mut out = Tensor::from_pool(&[n, total_c, h, w]);
         for bn in 0..n {
             let mut c_off = 0;
             for p in parts {
@@ -297,7 +411,7 @@ impl Tensor {
         let mut out = Vec::with_capacity(sizes.len());
         let mut c_off = 0;
         for &sz in sizes {
-            let mut part = Tensor::zeros(&[n, sz, h, w]);
+            let mut part = Tensor::from_pool(&[n, sz, h, w]);
             for bn in 0..n {
                 for cc in 0..sz {
                     part.fmap_mut(bn, cc)

@@ -1,5 +1,7 @@
 //! Max and average pooling and their gradients.
 
+use crate::kernels;
+use crate::opcount;
 use crate::tensor::Tensor;
 
 /// Geometry of a pooling operation.
@@ -49,38 +51,46 @@ impl PoolSpec {
 ///
 /// Panics if the input is not rank 4 or the window does not fit.
 pub fn max_pool2d(input: &Tensor, spec: &PoolSpec) -> (Tensor, Vec<usize>) {
+    let mut out = Tensor::default();
+    let mut argmax = Vec::new();
+    max_pool2d_into(input, spec, &mut out, &mut argmax);
+    (out, argmax)
+}
+
+/// [`max_pool2d`] writing into caller-owned (recycled) buffers: `out` is
+/// redrawn from the pool at the output shape and `argmax` is resized in
+/// place, so a steady-state caller reuses both across invocations.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 4 or the window does not fit.
+pub fn max_pool2d_into(input: &Tensor, spec: &PoolSpec, out: &mut Tensor, argmax: &mut Vec<usize>) {
+    opcount::count_pool();
     let (n, c, h, w) = input.dims4();
     let oh = spec.out_size(h);
     let ow = spec.out_size(w);
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
-    let mut argmax = vec![0usize; n * c * oh * ow];
+    let out_dims = [n, c, oh, ow];
+    if out.dims() != out_dims {
+        // `replace` (not `take`) — constructing a `Tensor::default()`
+        // placeholder would itself heap-allocate a shape vec every call.
+        std::mem::replace(out, Tensor::from_pool(&out_dims)).into_pool();
+    }
+    argmax.resize(n * c * oh * ow, 0);
     for bn in 0..n {
         for ch in 0..c {
-            let fm = input.fmap(bn, ch);
-            let dst = out.fmap_mut(bn, ch);
             let arg_base = (bn * c + ch) * oh * ow;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = 0;
-                    for ky in 0..spec.kernel {
-                        for kx in 0..spec.kernel {
-                            let iy = oy * spec.stride + ky;
-                            let ix = ox * spec.stride + kx;
-                            let v = fm[iy * w + ix];
-                            if v > best {
-                                best = v;
-                                best_idx = iy * w + ix;
-                            }
-                        }
-                    }
-                    dst[oy * ow + ox] = best;
-                    argmax[arg_base + oy * ow + ox] = best_idx;
-                }
-            }
+            kernels::max_pool_fmap(
+                input.fmap(bn, ch),
+                w,
+                oh,
+                ow,
+                spec.kernel,
+                spec.stride,
+                out.fmap_mut(bn, ch),
+                &mut argmax[arg_base..arg_base + oh * ow],
+            );
         }
     }
-    (out, argmax)
 }
 
 /// Gradient of [`max_pool2d`]: routes each output gradient to the input
@@ -92,10 +102,10 @@ pub fn max_pool2d(input: &Tensor, spec: &PoolSpec) -> (Tensor, Vec<usize>) {
 pub fn max_pool2d_backward(grad_out: &Tensor, argmax: &[usize], input_dims: &[usize]) -> Tensor {
     let (n, c, oh, ow) = grad_out.dims4();
     assert_eq!(argmax.len(), n * c * oh * ow, "argmax length mismatch");
-    let mut grad_input = Tensor::zeros(input_dims);
+    let mut grad_input = Tensor::from_pool_zeroed(input_dims);
     for bn in 0..n {
         for ch in 0..c {
-            let g = grad_out.fmap(bn, ch).to_vec();
+            let g = grad_out.fmap(bn, ch);
             let arg_base = (bn * c + ch) * oh * ow;
             let dst = grad_input.fmap_mut(bn, ch);
             for (i, &gv) in g.iter().enumerate() {
@@ -112,26 +122,24 @@ pub fn max_pool2d_backward(grad_out: &Tensor, argmax: &[usize], input_dims: &[us
 ///
 /// Panics if the input is not rank 4 or the window does not fit.
 pub fn avg_pool2d(input: &Tensor, spec: &PoolSpec) -> Tensor {
+    opcount::count_pool();
     let (n, c, h, w) = input.dims4();
     let oh = spec.out_size(h);
     let ow = spec.out_size(w);
     let norm = 1.0 / (spec.kernel * spec.kernel) as f32;
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut out = Tensor::from_pool(&[n, c, oh, ow]);
     for bn in 0..n {
         for ch in 0..c {
-            let fm = input.fmap(bn, ch);
-            let dst = out.fmap_mut(bn, ch);
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = 0.0;
-                    for ky in 0..spec.kernel {
-                        for kx in 0..spec.kernel {
-                            acc += fm[(oy * spec.stride + ky) * w + ox * spec.stride + kx];
-                        }
-                    }
-                    dst[oy * ow + ox] = acc * norm;
-                }
-            }
+            kernels::avg_pool_fmap(
+                input.fmap(bn, ch),
+                w,
+                oh,
+                ow,
+                spec.kernel,
+                spec.stride,
+                norm,
+                out.fmap_mut(bn, ch),
+            );
         }
     }
     out
@@ -147,10 +155,10 @@ pub fn avg_pool2d_backward(grad_out: &Tensor, spec: &PoolSpec, input_dims: &[usi
     let (n, c, oh, ow) = grad_out.dims4();
     let w = input_dims[3];
     let norm = 1.0 / (spec.kernel * spec.kernel) as f32;
-    let mut grad_input = Tensor::zeros(input_dims);
+    let mut grad_input = Tensor::from_pool_zeroed(input_dims);
     for bn in 0..n {
         for ch in 0..c {
-            let g = grad_out.fmap(bn, ch).to_vec();
+            let g = grad_out.fmap(bn, ch);
             let dst = grad_input.fmap_mut(bn, ch);
             for oy in 0..oh {
                 for ox in 0..ow {

@@ -104,6 +104,25 @@ impl Tensor {
         self.data.is_empty()
     }
 
+    /// Rewrites the shape header in place without touching storage. Used by
+    /// the recycling pool, which buckets buffers by exact element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape's element count differs from the current one.
+    pub(crate) fn set_shape_in_place(&mut self, shape: &[usize]) {
+        assert_eq!(
+            shape::numel(shape),
+            self.data.len(),
+            "cannot relabel {:?} ({} elements) as {:?}",
+            self.shape,
+            self.data.len(),
+            shape
+        );
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+
     /// Immutable view of the underlying storage (row-major).
     pub fn data(&self) -> &[f32] {
         &self.data
@@ -258,10 +277,10 @@ impl Tensor {
         let (bn, c, h, w) = self.dims4();
         assert!(n < bn, "batch index {n} out of range for {:?}", self.shape);
         let stride = c * h * w;
-        Tensor::from_vec(
-            self.data[n * stride..(n + 1) * stride].to_vec(),
-            &[1, c, h, w],
-        )
+        let mut out = Tensor::from_pool(&[1, c, h, w]);
+        out.data_mut()
+            .copy_from_slice(&self.data[n * stride..(n + 1) * stride]);
+        out
     }
 
     /// Broadcasts a batch-1 tensor into `n` identical batch elements along
@@ -282,13 +301,14 @@ impl Tensor {
             "repeat_batch expects a batch-1 tensor, got shape {:?}",
             self.shape
         );
-        let mut data = Vec::with_capacity(self.len() * n);
-        for _ in 0..n {
-            data.extend_from_slice(&self.data);
-        }
         let mut shape = self.shape.clone();
         shape[0] = n;
-        Tensor::from_vec(data, &shape)
+        let mut out = Tensor::from_pool(&shape);
+        let stride = self.len();
+        for b in 0..n {
+            out.data_mut()[b * stride..(b + 1) * stride].copy_from_slice(&self.data);
+        }
+        out
     }
 
     /// Contiguous per-sample slices along the leading (batch) axis.

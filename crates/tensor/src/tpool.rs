@@ -1,0 +1,302 @@
+//! Thread-local tensor buffer recycling for allocation-free forward passes.
+//!
+//! Steady-state perturbation campaigns run the same network shape thousands
+//! of times per second; with a fresh `Vec<f32>` behind every activation the
+//! hot loop is dominated by allocator traffic rather than arithmetic. This
+//! module keeps a per-thread free list of retired tensor buffers, bucketed
+//! by exact element count, so the next forward pass of the same shape reuses
+//! storage instead of hitting the heap.
+//!
+//! The pool is *opt-in per thread*: the budget defaults to 0 bytes, which
+//! disables recycling entirely — [`Tensor::from_pool`] then allocates fresh
+//! and [`Tensor::into_pool`] just drops, reproducing the unpooled behavior
+//! bit-for-bit and allocation-for-allocation. Campaign workers enable it by
+//! installing a [`budget_scope`] for the duration of their trial loop.
+//!
+//! Two invariants make pooling unobservable in results:
+//!
+//! - [`Tensor::from_pool`] hands back buffers with **unspecified contents**
+//!   (stale values from a previous life). Every producer that draws from the
+//!   pool fully overwrites its output; accumulators use
+//!   [`Tensor::from_pool_zeroed`].
+//! - Bucketing is by exact element count, so a recycled buffer never changes
+//!   length — only its shape header is rewritten in place.
+
+use crate::shape;
+use crate::tensor::Tensor;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Cumulative per-thread recycling counters (see [`stats`]/[`take_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `from_pool` requests satisfied from the free list.
+    pub hits: u64,
+    /// `from_pool` requests that fell back to a fresh allocation (only
+    /// counted while the pool is enabled).
+    pub misses: u64,
+    /// Total bytes handed out from recycled buffers.
+    pub bytes_recycled: u64,
+}
+
+struct Pool {
+    /// Maximum bytes of retired buffers held; 0 disables recycling.
+    budget_bytes: usize,
+    /// Bytes currently parked on the free lists.
+    held_bytes: usize,
+    /// Free lists bucketed by exact element count.
+    buckets: BTreeMap<usize, Vec<Tensor>>,
+    stats: PoolStats,
+}
+
+impl Pool {
+    const fn new() -> Self {
+        Self {
+            budget_bytes: 0,
+            held_bytes: 0,
+            buckets: BTreeMap::new(),
+            stats: PoolStats {
+                hits: 0,
+                misses: 0,
+                bytes_recycled: 0,
+            },
+        }
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = const { RefCell::new(Pool::new()) };
+}
+
+/// Sets this thread's pool budget in bytes (0 disables recycling) and
+/// returns the previous budget. Shrinking the budget does not evict buffers
+/// already held; [`clear`] does.
+pub fn set_budget_bytes(bytes: usize) -> usize {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        std::mem::replace(&mut p.budget_bytes, bytes)
+    })
+}
+
+/// This thread's current pool budget in bytes.
+pub fn budget_bytes() -> usize {
+    POOL.with(|p| p.borrow().budget_bytes)
+}
+
+/// Drops every buffer on this thread's free lists, returning the memory to
+/// the allocator. The budget and cumulative stats are unchanged.
+pub fn clear() {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.buckets.clear();
+        p.held_bytes = 0;
+    })
+}
+
+/// This thread's cumulative recycling counters.
+pub fn stats() -> PoolStats {
+    POOL.with(|p| p.borrow().stats)
+}
+
+/// Returns this thread's counters and resets them to zero — the read-delta
+/// primitive campaign trials use to attribute recycling per trial.
+pub fn take_stats() -> PoolStats {
+    POOL.with(|p| std::mem::take(&mut p.borrow_mut().stats))
+}
+
+/// Enables the pool on this thread for the guard's lifetime.
+///
+/// On drop the previous budget is restored and the free lists are released.
+/// Campaign workers wrap their trial loop in one of these so test threads
+/// and library users see no behavior change outside campaigns.
+pub fn budget_scope(bytes: usize) -> BudgetScope {
+    BudgetScope {
+        prev_budget: set_budget_bytes(bytes),
+    }
+}
+
+/// Guard returned by [`budget_scope`].
+pub struct BudgetScope {
+    prev_budget: usize,
+}
+
+impl Drop for BudgetScope {
+    fn drop(&mut self) {
+        set_budget_bytes(self.prev_budget);
+        clear();
+    }
+}
+
+/// Reuses `slot`'s tensor when its shape already matches `dims`, otherwise
+/// retires the old tensor to the pool and draws a fresh one. The returned
+/// buffer has **unspecified contents**; callers must fully overwrite it.
+///
+/// This is the cache-slot primitive layers use for backward state (ReLU
+/// masks, batch-norm `x_hat`, cached inputs): after the first forward of a
+/// given shape, every subsequent forward rewrites the same buffer in place.
+pub fn reuse_slot<'a>(slot: &'a mut Option<Tensor>, dims: &[usize]) -> &'a mut Tensor {
+    let matches = slot.as_ref().is_some_and(|t| t.dims() == dims);
+    if !matches {
+        if let Some(old) = slot.take() {
+            old.into_pool();
+        }
+        *slot = Some(Tensor::from_pool(dims));
+    }
+    slot.as_mut().expect("slot was just filled")
+}
+
+impl Tensor {
+    /// Draws a tensor of the given shape from this thread's pool, falling
+    /// back to a fresh allocation on a miss (or when the pool is disabled).
+    ///
+    /// The contents are **unspecified** — a recycled buffer carries stale
+    /// values from its previous life. Use [`Tensor::from_pool_zeroed`] when
+    /// the consumer accumulates instead of overwriting.
+    pub fn from_pool(shape: &[usize]) -> Tensor {
+        let n = shape::numel(shape);
+        let recycled = POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.budget_bytes == 0 || n == 0 {
+                return None;
+            }
+            let hit = p.buckets.get_mut(&n).and_then(Vec::pop);
+            match hit {
+                Some(mut t) => {
+                    let bytes = n * std::mem::size_of::<f32>();
+                    p.held_bytes -= bytes;
+                    p.stats.hits += 1;
+                    p.stats.bytes_recycled += bytes as u64;
+                    t.set_shape_in_place(shape);
+                    Some(t)
+                }
+                None => {
+                    p.stats.misses += 1;
+                    None
+                }
+            }
+        });
+        recycled.unwrap_or_else(|| Tensor::zeros(shape))
+    }
+
+    /// [`Tensor::from_pool`] with the contents zeroed — for accumulation
+    /// targets that add into their output rather than overwriting it.
+    pub fn from_pool_zeroed(shape: &[usize]) -> Tensor {
+        let mut t = Tensor::from_pool(shape);
+        t.data_mut().fill(0.0);
+        t
+    }
+
+    /// Retires this tensor's buffer to the thread's pool for reuse by a
+    /// later [`Tensor::from_pool`] of the same element count. Drops the
+    /// buffer instead when the pool is disabled, the tensor is empty, or
+    /// parking it would exceed the budget.
+    pub fn into_pool(self) {
+        POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            let bytes = self.len() * std::mem::size_of::<f32>();
+            if p.budget_bytes == 0 || self.is_empty() || p.held_bytes + bytes > p.budget_bytes {
+                return;
+            }
+            p.held_bytes += bytes;
+            p.buckets.entry(self.len()).or_default().push(self);
+        })
+    }
+
+    /// A pool-backed deep copy: same contents as `clone()`, but the storage
+    /// comes from [`Tensor::from_pool`].
+    pub fn pooled_copy(&self) -> Tensor {
+        let mut out = Tensor::from_pool(self.dims());
+        out.data_mut().copy_from_slice(self.data());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_pool_never_recycles() {
+        assert_eq!(budget_bytes(), 0, "pool starts disabled");
+        let t = Tensor::from_fn(&[4], |i| i as f32);
+        t.into_pool();
+        let fresh = Tensor::from_pool(&[4]);
+        assert_eq!(fresh.data(), &[0.0; 4], "disabled pool allocates zeros");
+        assert_eq!(
+            stats(),
+            PoolStats::default(),
+            "disabled pool counts nothing"
+        );
+    }
+
+    #[test]
+    fn recycles_exact_size_classes_within_budget() {
+        let _scope = budget_scope(1 << 20);
+        take_stats();
+        let t = Tensor::from_fn(&[2, 3], |i| 1.0 + i as f32);
+        t.into_pool();
+        // Different element count: miss.
+        let other = Tensor::from_pool(&[7]);
+        assert_eq!(other.len(), 7);
+        // Same element count, different shape: hit, shape rewritten, stale
+        // contents preserved (callers must overwrite).
+        let hit = Tensor::from_pool(&[3, 2]);
+        assert_eq!(hit.dims(), &[3, 2]);
+        assert_eq!(hit.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let s = take_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.bytes_recycled, 24);
+    }
+
+    #[test]
+    fn from_pool_zeroed_clears_stale_contents() {
+        let _scope = budget_scope(1 << 20);
+        Tensor::ones(&[8]).into_pool();
+        let z = Tensor::from_pool_zeroed(&[8]);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn budget_caps_held_bytes() {
+        let _scope = budget_scope(16); // room for one 4-element tensor
+        Tensor::ones(&[4]).into_pool();
+        Tensor::full(&[4], 2.0).into_pool(); // over budget: dropped
+        take_stats();
+        let a = Tensor::from_pool(&[4]);
+        assert_eq!(a.data(), &[1.0; 4]);
+        let b = Tensor::from_pool(&[4]);
+        assert_eq!(b.data(), &[0.0; 4], "second draw is a fresh allocation");
+        let s = take_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn budget_scope_restores_and_clears() {
+        {
+            let _scope = budget_scope(1 << 20);
+            assert_eq!(budget_bytes(), 1 << 20);
+            Tensor::ones(&[4]).into_pool();
+        }
+        assert_eq!(budget_bytes(), 0, "scope restores the previous budget");
+        let _scope = budget_scope(1 << 20);
+        let t = Tensor::from_pool(&[4]);
+        assert_eq!(t.data(), &[0.0; 4], "scope exit cleared the free lists");
+    }
+
+    #[test]
+    fn reuse_slot_rewrites_in_place_on_shape_match() {
+        let mut slot: Option<Tensor> = None;
+        let t = reuse_slot(&mut slot, &[2, 2]);
+        t.data_mut().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let again = reuse_slot(&mut slot, &[2, 2]);
+        assert_eq!(again.data(), &[1.0, 2.0, 3.0, 4.0], "same buffer reused");
+        let resized = reuse_slot(&mut slot, &[3]);
+        assert_eq!(resized.dims(), &[3]);
+    }
+
+    #[test]
+    fn pooled_copy_equals_clone() {
+        let t = Tensor::from_fn(&[2, 5], |i| (i as f32).sin());
+        assert_eq!(t.pooled_copy(), t);
+    }
+}

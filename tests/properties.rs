@@ -359,6 +359,59 @@ proptest! {
         }
     }
 
+    /// Thread-local tensor pooling produces bit-identical records to the
+    /// unpooled path for every seed, worker count, fusion setting, and guard
+    /// mode — recycling activation buffers must be unobservable in results.
+    #[test]
+    fn tensor_pool_never_changes_records(
+        seed in any::<u64>(),
+        threads in 1usize..4,
+        with_fusion in any::<bool>(),
+        guard_short in any::<bool>(),
+    ) {
+        fn tiny_lenet() -> Network {
+            zoo::lenet(&ZooConfig::tiny(4))
+        }
+        let images = Tensor::from_fn(&[5, 3, 16, 16], |i| ((i as f32) * 0.023).cos());
+        let mut probe = tiny_lenet();
+        let labels: Vec<usize> = (0..images.dims()[0])
+            .map(|i| rustfi::metrics::top1(probe.forward(&images.select_batch(i)).data()))
+            .collect();
+        let campaign = Campaign::new(
+            &tiny_lenet,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            // Exponent-bit flips mix masked, SDC, and DUE outcomes, so the
+            // equality below covers every per-sample classification path.
+            Arc::new(models::BitFlipFp32::new(models::BitSelect::Random)),
+        );
+        let guard = if guard_short {
+            rustfi::GuardMode::ShortCircuit
+        } else {
+            rustfi::GuardMode::Record
+        };
+        let fusion = with_fusion.then(rustfi::FusionConfig::default);
+        let run = |pool_budget_bytes: usize| {
+            campaign
+                .run(&CampaignConfig {
+                    trials: 12,
+                    seed,
+                    threads: Some(threads),
+                    guard,
+                    prefix_cache: with_fusion.then(rustfi::PrefixCacheConfig::default),
+                    fusion,
+                    pool_budget_bytes,
+                    ..CampaignConfig::default()
+                })
+                .unwrap()
+        };
+        let unpooled = run(0);
+        let pooled = run(128 << 20);
+        prop_assert_eq!(&unpooled.records, &pooled.records);
+        prop_assert_eq!(unpooled.counts, pooled.counts);
+    }
+
     /// Interval convolution bounds always contain the nominal output.
     #[test]
     fn interval_conv_soundness(seed in any::<u64>(), eps in 0.0f32..0.5) {
