@@ -122,6 +122,11 @@ pub struct ProgressUpdate {
     pub done: usize,
     /// Total trials the campaign will run.
     pub total: usize,
+    /// Trials replayed from a journal at startup rather than executed by
+    /// this run. Counted inside [`Self::done`], but excluded from the rate:
+    /// a resume that instantly replays 90% of the campaign has not observed
+    /// a 90%-per-tick execution rate.
+    pub resumed: usize,
     /// Wall time since the workers started.
     pub elapsed: Duration,
     /// Running outcome tallies.
@@ -129,35 +134,51 @@ pub struct ProgressUpdate {
 }
 
 impl ProgressUpdate {
-    /// Completed trials per second of wall time.
+    /// Trials *executed by this run* per second of wall time
+    /// (journal-replayed trials excluded). Zero until the run has both
+    /// executed a trial and observed measurable wall time.
     pub fn trials_per_sec(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
+        let executed = self.done.saturating_sub(self.resumed);
         if secs <= 0.0 {
             0.0
         } else {
-            self.done as f64 / secs
+            executed as f64 / secs
         }
     }
 
     /// Estimated wall time until the campaign finishes, extrapolated from
-    /// the current rate.
-    pub fn eta(&self) -> Duration {
-        let rate = self.trials_per_sec();
-        if rate <= 0.0 || self.done >= self.total {
-            return Duration::ZERO;
+    /// the current execution rate.
+    ///
+    /// `None` until a rate exists — on the very first tick, and right after
+    /// a resume whose replayed trials say nothing about execution speed —
+    /// rather than a nonsense extrapolation from a zero rate.
+    pub fn eta(&self) -> Option<Duration> {
+        if self.done >= self.total {
+            return Some(Duration::ZERO);
         }
-        Duration::from_secs_f64((self.total - self.done) as f64 / rate)
+        let rate = self.trials_per_sec();
+        if rate <= 0.0 || !rate.is_finite() {
+            return None;
+        }
+        Some(Duration::from_secs_f64(
+            (self.total - self.done) as f64 / rate,
+        ))
     }
 
-    /// One-line human-readable rendering.
+    /// One-line human-readable rendering. The ETA shows `--:--` until a
+    /// rate has been observed.
     pub fn render(&self) -> String {
         let c = &self.counts;
+        let eta = match self.eta() {
+            Some(d) => format!("{:.1}s", d.as_secs_f64()),
+            None => String::from("--:--"),
+        };
         format!(
-            "trials {}/{} ({:.1}/s, ETA {:.1}s) | masked {} sdc {} due {} crash {} hang {}",
+            "trials {}/{} ({:.1}/s, ETA {eta}) | masked {} sdc {} due {} crash {} hang {}",
             self.done,
             self.total,
             self.trials_per_sec(),
-            self.eta().as_secs_f64(),
             c.masked,
             c.sdc,
             c.due,
@@ -200,6 +221,13 @@ impl ProgressRecorder {
     /// The reporting interval in trials.
     pub fn every(&self) -> usize {
         self.every
+    }
+
+    /// Invokes the sink directly with an externally-computed update — for
+    /// aggregators (e.g. a fleet orchestrator summing shard journals) that
+    /// track progress themselves rather than through a running campaign.
+    pub fn emit(&self, update: &ProgressUpdate) {
+        (self.sink)(update);
     }
 }
 
@@ -301,6 +329,9 @@ impl std::fmt::Debug for CampaignConfig {
 /// Shared progress bookkeeping for one campaign run.
 struct ProgressState {
     done: AtomicUsize,
+    /// Trials replayed from a journal at startup; see
+    /// [`ProgressUpdate::resumed`].
+    resumed: usize,
     counts: Mutex<OutcomeCounts>,
     start: Instant,
 }
@@ -382,6 +413,48 @@ impl CampaignResult {
     }
 }
 
+/// Refuses to resume `header` when it doesn't match `expected`, with a
+/// message that pinpoints *what* diverged: a configuration-fingerprint
+/// mismatch (same campaign shape, different record-affecting knobs — the
+/// silent-mixed-report hazard) gets called out explicitly.
+fn refuse_foreign_journal(header: &JournalHeader, expected: &JournalHeader) -> Result<(), FiError> {
+    if header == expected {
+        return Ok(());
+    }
+    let detail = if (
+        header.seed,
+        header.trials,
+        header.shard_index,
+        header.shard_count,
+    ) == (
+        expected.seed,
+        expected.trials,
+        expected.shard_index,
+        expected.shard_count,
+    ) {
+        format!(
+            "journal belongs to a different campaign configuration: it was written under \
+             config fingerprint {:#018x}, this campaign's record-affecting knobs hash to \
+             {:#018x}; resuming would silently mix records from diverging runs",
+            header.config_hash, expected.config_hash
+        )
+    } else {
+        format!(
+            "journal belongs to a different campaign: it records seed {} over {} trials \
+             (shard {} of {}), the config asks for seed {} over {} trials (shard {} of {})",
+            header.seed,
+            header.trials,
+            header.shard_index,
+            header.shard_count,
+            expected.seed,
+            expected.trials,
+            expected.shard_index,
+            expected.shard_count
+        )
+    };
+    Err(FiError::Journal { line: 1, detail })
+}
+
 /// Journal bookkeeping shared by the workers of a journaled run.
 struct JournalState {
     path: PathBuf,
@@ -439,7 +512,13 @@ impl<'a> Campaign<'a> {
     /// Only images the clean model classifies correctly participate (as in
     /// the paper); if none qualify, the result reports zero trials.
     pub fn run(&self, cfg: &CampaignConfig) -> Result<CampaignResult, FiError> {
-        self.run_internal(cfg, None)
+        self.run_internal(cfg, None, (0, cfg.trials))
+    }
+
+    /// The record-affecting configuration fingerprint this campaign stamps
+    /// into journal headers; see [`crate::shard::config_fingerprint`].
+    pub fn config_hash(&self, cfg: &CampaignConfig) -> u64 {
+        crate::shard::config_fingerprint(cfg, &self.mode, self.model.name())
     }
 
     /// Runs the campaign with a crash-safe journal at `path`.
@@ -457,10 +536,7 @@ impl<'a> Campaign<'a> {
         }
         let writer = JournalWriter::create(
             path,
-            JournalHeader {
-                seed: cfg.seed,
-                trials: cfg.trials,
-            },
+            JournalHeader::solo(cfg.seed, cfg.trials, self.config_hash(cfg)),
         )?;
         self.run_internal(
             cfg,
@@ -469,6 +545,7 @@ impl<'a> Campaign<'a> {
                 writer: Mutex::new(writer),
                 done: BTreeMap::new(),
             }),
+            (0, cfg.trials),
         )
     }
 
@@ -478,20 +555,8 @@ impl<'a> Campaign<'a> {
     /// configuration.
     pub fn resume(&self, cfg: &CampaignConfig, path: &Path) -> Result<CampaignResult, FiError> {
         let (header, replayed) = read_journal_repairing(path)?;
-        let expected = JournalHeader {
-            seed: cfg.seed,
-            trials: cfg.trials,
-        };
-        if header != expected {
-            return Err(FiError::Journal {
-                line: 1,
-                detail: format!(
-                    "journal belongs to a different campaign: it records seed {} over {} \
-                     trials, the config asks for seed {} over {} trials",
-                    header.seed, header.trials, cfg.seed, cfg.trials
-                ),
-            });
-        }
+        let expected = JournalHeader::solo(cfg.seed, cfg.trials, self.config_hash(cfg));
+        refuse_foreign_journal(&header, &expected)?;
         let mut done = BTreeMap::new();
         for r in replayed {
             if r.trial < cfg.trials {
@@ -506,13 +571,81 @@ impl<'a> Campaign<'a> {
                 writer: Mutex::new(writer),
                 done,
             }),
+            (0, cfg.trials),
         )
+    }
+
+    /// Runs one shard of the campaign — trials `spec.start..spec.end` of
+    /// `cfg.trials` — with a crash-safe journal at `path`, creating or
+    /// resuming it exactly as [`Campaign::run_journaled`] does.
+    ///
+    /// Trial randomness depends only on `(cfg.seed, trial index)`, never on
+    /// which shard or worker executes a trial, so the records this shard
+    /// produces are bit-identical to the same trial range of an unsharded
+    /// run; [`crate::shard::merge_shard_journals`] reassembles the full
+    /// report. All execution-strategy knobs (threads, fusion, prefix cache,
+    /// pooling) apply per shard. The returned [`CampaignResult`] covers only
+    /// this shard's range.
+    ///
+    /// The shard spec must come from [`crate::shard::plan_shards`] for this
+    /// campaign's trial count; an inconsistent spec is refused, as is an
+    /// existing journal written by a different campaign, shard identity, or
+    /// configuration fingerprint.
+    pub fn run_shard(
+        &self,
+        cfg: &CampaignConfig,
+        spec: &crate::shard::ShardSpec,
+        path: &Path,
+    ) -> Result<CampaignResult, FiError> {
+        let canonical = crate::shard::plan_shards(cfg.trials, spec.count)
+            .get(spec.index)
+            .copied();
+        if canonical != Some(*spec) {
+            return Err(FiError::Journal {
+                line: 1,
+                detail: format!(
+                    "shard spec {spec:?} does not match the canonical plan entry {canonical:?} \
+                     for {} trials",
+                    cfg.trials
+                ),
+            });
+        }
+        let expected = JournalHeader {
+            seed: cfg.seed,
+            trials: cfg.trials,
+            config_hash: self.config_hash(cfg),
+            shard_index: spec.index,
+            shard_count: spec.count,
+        };
+        let journal = if path.exists() {
+            let (header, replayed) = read_journal_repairing(path)?;
+            refuse_foreign_journal(&header, &expected)?;
+            let mut done = BTreeMap::new();
+            for r in replayed {
+                if spec.contains(r.trial) {
+                    done.entry(r.trial).or_insert(r);
+                }
+            }
+            JournalState {
+                path: path.to_path_buf(),
+                writer: Mutex::new(JournalWriter::open_append(path)?),
+                done,
+            }
+        } else {
+            JournalState {
+                path: path.to_path_buf(),
+                writer: Mutex::new(JournalWriter::create(path, expected)?),
+                done: BTreeMap::new(),
+            }
+        };
+        self.run_internal(cfg, Some(journal), (spec.start, spec.end))
     }
 
     fn run_internal(
         &self,
         cfg: &CampaignConfig,
         journal: Option<JournalState>,
+        range: (usize, usize),
     ) -> Result<CampaignResult, FiError> {
         let input_dims = {
             let d = self.images.dims();
@@ -648,13 +781,16 @@ impl<'a> Campaign<'a> {
             });
         }
 
-        // Fan trials across workers; trial randomness depends only on
-        // (seed, trial).
-        let trials = cfg.trials;
+        // Fan this run's trial range across workers; trial randomness
+        // depends only on (seed, trial), so the range — the whole campaign,
+        // or one shard's slice — never affects a trial's record.
+        let (start, end) = range;
+        debug_assert!(start <= end && end <= cfg.trials);
+        let span = end - start;
         let workers = cfg
             .threads
             .unwrap_or_else(parallel::worker_count)
-            .clamp(1, trials.max(1));
+            .clamp(1, span.max(1));
         let root = SeededRng::new(cfg.seed);
         // Trial fusion: batch trials sharing an (injection layer, image)
         // pair into one forward pass. Neuron faults only (a weight fault
@@ -680,13 +816,14 @@ impl<'a> Campaign<'a> {
             }
             ProgressState {
                 done: AtomicUsize::new(done),
+                resumed: done,
                 counts: Mutex::new(counts),
                 start: Instant::now(),
             }
         });
         let env = RunEnv {
             input_dims,
-            trials,
+            range,
             cfg,
             root: &root,
             eligible: &eligible,
@@ -762,8 +899,8 @@ impl<'a> Campaign<'a> {
                 let (mut fi, mut guard) =
                     build_worker(&env, &local, false, golden_cell.lock().take())?;
                 let mut records = Vec::new();
-                let mut t = w;
-                while t < trials {
+                let mut t = start + w;
+                while t < end {
                     if env.journal.is_some_and(|j| j.done.contains_key(&t)) {
                         t += workers;
                         continue;
@@ -825,7 +962,9 @@ type PrefixEnv = (
 /// Borrowed per-run context shared by every campaign worker.
 struct RunEnv<'e> {
     input_dims: [usize; 4],
-    trials: usize,
+    /// This run's trial range `[start, end)`: the whole campaign for
+    /// ordinary runs, one shard's slice under [`Campaign::run_shard`].
+    range: (usize, usize),
     cfg: &'e CampaignConfig,
     root: &'e SeededRng,
     eligible: &'e [(usize, f32)],
@@ -840,6 +979,13 @@ struct RunEnv<'e> {
     shared_recorder: Option<&'e Arc<dyn Recorder>>,
     progress: Option<&'e ProgressRecorder>,
     progress_state: Option<&'e ProgressState>,
+}
+
+impl RunEnv<'_> {
+    /// Trials in this run's range — the progress total.
+    fn span(&self) -> usize {
+        self.range.1 - self.range.0
+    }
 }
 
 /// Shared tallies behind [`FusionStats`].
@@ -926,7 +1072,7 @@ fn run_one_trial(
     per_sample: bool,
     t: usize,
 ) -> Result<TrialRecord, FiError> {
-    let trials = env.trials;
+    let total = env.span();
     let trial_seed = env.root.fork(t as u64).seed();
     let mut pick_rng = SeededRng::new(trial_seed).fork(3);
     let (image_index, clean_conf) = env.eligible[pick_rng.below(env.eligible.len())];
@@ -1125,11 +1271,12 @@ fn run_one_trial(
             p.done.fetch_add(1, Ordering::Relaxed) + 1
         };
         if let Some(pr) = env.progress {
-            if done % pr.every() == 0 || done == trials {
+            if done % pr.every() == 0 || done == total {
                 let counts = *p.counts.lock();
                 (pr.sink)(&ProgressUpdate {
                     done,
-                    total: trials,
+                    total,
+                    resumed: p.resumed,
                     elapsed: p.start.elapsed(),
                     counts,
                 });
@@ -1154,7 +1301,7 @@ fn plan_fused_units(env: &RunEnv<'_>, width: usize) -> Result<Vec<WorkUnit>, FiE
     let profile = env.profile;
     let mut groups: BTreeMap<(usize, usize), Vec<PlannedTrial>> = BTreeMap::new();
     let mut serial: Vec<usize> = Vec::new();
-    for t in 0..env.trials {
+    for t in env.range.0..env.range.1 {
         if env.journal.is_some_and(|j| j.done.contains_key(&t)) {
             continue;
         }
@@ -1412,11 +1559,12 @@ fn run_fused_chunk(
                 p.done.fetch_add(1, Ordering::Relaxed) + 1
             };
             if let Some(pr) = env.progress {
-                if done % pr.every() == 0 || done == env.trials {
+                if done % pr.every() == 0 || done == env.span() {
                     let counts = *p.counts.lock();
                     (pr.sink)(&ProgressUpdate {
                         done,
-                        total: env.trials,
+                        total: env.span(),
+                        resumed: p.resumed,
                         elapsed: p.start.elapsed(),
                         counts,
                     });

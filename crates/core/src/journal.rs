@@ -11,10 +11,22 @@
 //! records bit-identical to an uninterrupted run.
 //!
 //! The format is deliberately dependency-free: a fixed header line
-//! `{"rustfi_journal":1,"seed":S,"trials":N}` followed by flat record
-//! objects. Numbers are kept as raw text during parsing (no `u64` → `f64`
-//! detour), and `f32` fields round-trip exactly through Rust's
-//! shortest-representation `Display`.
+//! `{"rustfi_journal":2,"seed":S,"trials":N,"config":H,"shard":I,"shards":K}`
+//! followed by flat record objects. Numbers are kept as raw text during
+//! parsing (no `u64` → `f64` detour), and `f32` fields round-trip exactly
+//! through Rust's shortest-representation `Display`.
+//!
+//! The header binds the journal to its campaign three ways: the root seed
+//! and trial count, a fingerprint of every record-affecting configuration
+//! knob ([`JournalHeader::config_hash`]) so a resume can refuse a journal
+//! written under a different guard mode / fault mode / quantization setting
+//! instead of silently producing a mixed report, and — for distributed
+//! campaigns ([`crate::shard`]) — which shard of how many this journal
+//! belongs to.
+//!
+//! Journals may also contain `{"heartbeat":<unix_ms>}` lines, appended by
+//! fleet workers so an orchestrator can tell a slow shard from a dead one.
+//! Readers skip them; they carry no trial state.
 
 use crate::campaign::TrialRecord;
 use crate::error::FiError;
@@ -26,15 +38,43 @@ use std::io::{BufWriter, Read as _, Write as _};
 use std::path::Path;
 
 /// Journal format version this build writes and accepts.
-pub const JOURNAL_VERSION: u64 = 1;
+///
+/// Version 2 added the campaign-config fingerprint and the shard fields;
+/// version-1 journals (which carried neither) are refused rather than
+/// guessed at.
+pub const JOURNAL_VERSION: u64 = 2;
 
-/// Identity of the campaign a journal belongs to.
+/// Identity of the campaign (and, for distributed runs, the shard) a
+/// journal belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JournalHeader {
     /// The campaign's root seed.
     pub seed: u64,
-    /// The campaign's total trial count.
+    /// The campaign's total trial count (the *whole* campaign's, not the
+    /// shard's — shards share one trial space).
     pub trials: usize,
+    /// Fingerprint of every record-affecting campaign knob
+    /// ([`crate::shard::config_fingerprint`]). Resume refuses a journal
+    /// whose fingerprint doesn't match the resuming campaign.
+    pub config_hash: u64,
+    /// Which shard this journal belongs to (`0` for single-process runs).
+    pub shard_index: usize,
+    /// Total shard count of the run that wrote this journal (`1` for
+    /// single-process runs).
+    pub shard_count: usize,
+}
+
+impl JournalHeader {
+    /// Header for an unsharded (single-process) campaign.
+    pub fn solo(seed: u64, trials: usize, config_hash: u64) -> Self {
+        Self {
+            seed,
+            trials,
+            config_hash,
+            shard_index: 0,
+            shard_count: 1,
+        }
+    }
 }
 
 /// Append-only journal writer. Each [`JournalWriter::append`] writes one
@@ -53,8 +93,9 @@ impl JournalWriter {
             out: BufWriter::new(file),
         };
         let line = format!(
-            "{{\"rustfi_journal\":{JOURNAL_VERSION},\"seed\":{},\"trials\":{}}}",
-            header.seed, header.trials
+            "{{\"rustfi_journal\":{JOURNAL_VERSION},\"seed\":{},\"trials\":{},\
+             \"config\":{},\"shard\":{},\"shards\":{}}}",
+            header.seed, header.trials, header.config_hash, header.shard_index, header.shard_count
         );
         writer.write_line(&line, path)?;
         Ok(writer)
@@ -85,6 +126,41 @@ impl JournalWriter {
             .and_then(|()| self.out.flush())
             .map_err(|e| FiError::io(ctx(), e))
     }
+}
+
+/// Appends one `{"heartbeat":<unix_ms>}` line to an existing journal, so an
+/// orchestrator watching the file can tell a slow shard from a dead one.
+///
+/// Opens the file `O_APPEND` per call — line writes this small are atomic on
+/// every platform we target, so a heartbeat thread can share the file with
+/// the campaign's own [`JournalWriter`] without interleaving. Returns
+/// `Ok(false)` (not an error) when the journal doesn't exist yet: the
+/// campaign creates it, and a heartbeat must never create a file that
+/// [`crate::campaign::Campaign::run_journaled`] would then try to resume.
+pub fn append_heartbeat(path: &Path) -> Result<bool, FiError> {
+    let file = match OpenOptions::new().append(true).open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => {
+            return Err(FiError::io(
+                format!("opening journal {} for heartbeat", path.display()),
+                e,
+            ))
+        }
+    };
+    let ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis());
+    let mut out = BufWriter::new(file);
+    out.write_all(format!("{{\"heartbeat\":{ms}}}\n").as_bytes())
+        .and_then(|()| out.flush())
+        .map_err(|e| {
+            FiError::io(
+                format!("appending heartbeat to journal {}", path.display()),
+                e,
+            )
+        })?;
+    Ok(true)
 }
 
 /// Reads a journal: header plus every complete, valid record line.
@@ -151,9 +227,16 @@ fn read_journal_inner(path: &Path) -> Result<(JournalHeader, Vec<TrialRecord>, u
         // final line may be in that state, and it doesn't count as written
         // even if the JSON happens to parse.
         let complete = seg.ends_with('\n');
-        match parse_record(seg.trim_end_matches('\n')) {
-            Ok(r) if complete => {
+        match parse_journal_line(seg.trim_end_matches('\n')) {
+            Ok(JournalLine::Record(r)) if complete => {
                 records.push(r);
+                valid_len += seg.len() as u64;
+            }
+            // Heartbeats carry no trial state; they only extend the valid
+            // prefix so a repair doesn't truncate good record lines after
+            // them (there are none — heartbeats are appended, not
+            // interleaved — but the reader shouldn't depend on that).
+            Ok(JournalLine::Heartbeat) if complete => {
                 valid_len += seg.len() as u64;
             }
             Ok(_) | Err(_) if is_last => break,
@@ -441,15 +524,47 @@ fn parse_header(line: &str) -> Result<JournalHeader, FiError> {
     }
     let seed = num_as(field(&obj, "seed").map_err(as_err)?, "seed").map_err(as_err)?;
     let trials = num_as(field(&obj, "trials").map_err(as_err)?, "trials").map_err(as_err)?;
-    Ok(JournalHeader { seed, trials })
+    let config_hash = num_as(field(&obj, "config").map_err(as_err)?, "config").map_err(as_err)?;
+    let shard_index = num_as(field(&obj, "shard").map_err(as_err)?, "shard").map_err(as_err)?;
+    let shard_count = num_as(field(&obj, "shards").map_err(as_err)?, "shards").map_err(as_err)?;
+    if shard_count == 0 || shard_index >= shard_count {
+        return Err(as_err(format!(
+            "shard {shard_index} of {shard_count} is not a valid shard identity"
+        )));
+    }
+    Ok(JournalHeader {
+        seed,
+        trials,
+        config_hash,
+        shard_index,
+        shard_count,
+    })
 }
 
-fn parse_record(line: &str) -> Result<TrialRecord, String> {
+/// One parsed journal body line: a trial record, or a liveness heartbeat.
+enum JournalLine {
+    Record(TrialRecord),
+    Heartbeat,
+}
+
+fn parse_journal_line(line: &str) -> Result<JournalLine, String> {
     let obj = parse_line(line)?;
-    let trial = num_as(field(&obj, "trial")?, "trial")?;
-    let image_index = num_as(field(&obj, "image_index")?, "image_index")?;
-    let layer = num_as(field(&obj, "layer")?, "layer")?;
-    let site = match field(&obj, "site")? {
+    if obj.get("heartbeat").is_some() {
+        return Ok(JournalLine::Heartbeat);
+    }
+    record_from_json(&obj).map(JournalLine::Record)
+}
+
+#[cfg(test)]
+fn parse_record(line: &str) -> Result<TrialRecord, String> {
+    record_from_json(&parse_line(line)?)
+}
+
+fn record_from_json(obj: &Json) -> Result<TrialRecord, String> {
+    let trial = num_as(field(obj, "trial")?, "trial")?;
+    let image_index = num_as(field(obj, "image_index")?, "image_index")?;
+    let layer = num_as(field(obj, "layer")?, "layer")?;
+    let site = match field(obj, "site")? {
         Json::Null => None,
         site @ Json::Obj(_) => Some(NeuronSite {
             layer: num_as(field(site, "layer")?, "site.layer")?,
@@ -463,7 +578,7 @@ fn parse_record(line: &str) -> Result<TrialRecord, String> {
         }),
         other => return Err(format!("site is neither object nor null: {other:?}")),
     };
-    let outcome = match field(&obj, "outcome")? {
+    let outcome = match field(obj, "outcome")? {
         Json::Str(label) => match label.as_str() {
             "masked" => OutcomeKind::Masked,
             "sdc" => OutcomeKind::Sdc,
@@ -479,15 +594,15 @@ fn parse_record(line: &str) -> Result<TrialRecord, String> {
         },
         other => return Err(format!("outcome is not a string: {other:?}")),
     };
-    let due_layer = match field(&obj, "due_layer")? {
+    let due_layer = match field(obj, "due_layer")? {
         Json::Null => None,
         v => Some(num_as(v, "due_layer")?),
     };
-    let top5_miss = match field(&obj, "top5_miss")? {
+    let top5_miss = match field(obj, "top5_miss")? {
         Json::Bool(b) => *b,
         other => return Err(format!("top5_miss is not a bool: {other:?}")),
     };
-    let confidence_delta = num_as(field(&obj, "confidence_delta")?, "confidence_delta")?;
+    let confidence_delta = num_as(field(obj, "confidence_delta")?, "confidence_delta")?;
     Ok(TrialRecord {
         trial,
         image_index,
@@ -575,6 +690,9 @@ mod tests {
         let header = JournalHeader {
             seed: u64::MAX - 3,
             trials: 4,
+            config_hash: u64::MAX - 7,
+            shard_index: 2,
+            shard_count: 5,
         };
         let mut w = JournalWriter::create(&path, header).unwrap();
         for r in &sample_records() {
@@ -589,7 +707,7 @@ mod tests {
     #[test]
     fn append_after_reopen_continues_the_file() {
         let path = tmp("reopen.jsonl");
-        let header = JournalHeader { seed: 1, trials: 4 };
+        let header = JournalHeader::solo(1, 4, 99);
         let records = sample_records();
         let mut w = JournalWriter::create(&path, header).unwrap();
         w.append(&records[0], &path).unwrap();
@@ -604,7 +722,7 @@ mod tests {
     #[test]
     fn torn_final_line_is_ignored() {
         let path = tmp("torn.jsonl");
-        let mut w = JournalWriter::create(&path, JournalHeader { seed: 2, trials: 4 }).unwrap();
+        let mut w = JournalWriter::create(&path, JournalHeader::solo(2, 4, 0)).unwrap();
         w.append(&sample_records()[0], &path).unwrap();
         drop(w);
         // Simulate a kill mid-write: half a record at the end.
@@ -619,7 +737,7 @@ mod tests {
     fn repairing_truncates_the_torn_tail_for_safe_appends() {
         let path = tmp("repair.jsonl");
         let records = sample_records();
-        let mut w = JournalWriter::create(&path, JournalHeader { seed: 3, trials: 4 }).unwrap();
+        let mut w = JournalWriter::create(&path, JournalHeader::solo(3, 4, 0)).unwrap();
         w.append(&records[0], &path).unwrap();
         drop(w);
         let clean_len = std::fs::metadata(&path).unwrap().len();
@@ -646,7 +764,7 @@ mod tests {
     fn corruption_before_the_end_is_an_error() {
         let path = tmp("corrupt.jsonl");
         let records = sample_records();
-        let mut w = JournalWriter::create(&path, JournalHeader { seed: 2, trials: 4 }).unwrap();
+        let mut w = JournalWriter::create(&path, JournalHeader::solo(2, 4, 0)).unwrap();
         w.append(&records[0], &path).unwrap();
         drop(w);
         let mut text = std::fs::read_to_string(&path).unwrap();
@@ -677,6 +795,53 @@ mod tests {
         std::fs::write(&path, "{\"rustfi_journal\":99,\"seed\":1,\"trials\":2}\n").unwrap();
         let err = read_journal(&path).unwrap_err();
         assert!(err.to_string().contains("version 99"), "{err}");
+
+        // A v1 journal (no config fingerprint, no shard identity) is
+        // refused by the version gate, never half-interpreted.
+        std::fs::write(&path, "{\"rustfi_journal\":1,\"seed\":1,\"trials\":2}\n").unwrap();
+        let err = read_journal(&path).unwrap_err();
+        assert!(err.to_string().contains("version 1"), "{err}");
+
+        // A self-contradictory shard identity is rejected.
+        std::fs::write(
+            &path,
+            "{\"rustfi_journal\":2,\"seed\":1,\"trials\":2,\"config\":0,\"shard\":3,\"shards\":2}\n",
+        )
+        .unwrap();
+        let err = read_journal(&path).unwrap_err();
+        assert!(err.to_string().contains("shard 3 of 2"), "{err}");
+    }
+
+    #[test]
+    fn heartbeats_are_skipped_and_survive_repair() {
+        let path = tmp("heartbeat.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let records = sample_records();
+        assert!(
+            !append_heartbeat(&path).unwrap(),
+            "no file yet: heartbeat declines to create one"
+        );
+        assert!(!path.exists());
+
+        let mut w = JournalWriter::create(&path, JournalHeader::solo(4, 4, 7)).unwrap();
+        w.append(&records[0], &path).unwrap();
+        assert!(append_heartbeat(&path).unwrap());
+        w.append(&records[1], &path).unwrap();
+        assert!(append_heartbeat(&path).unwrap());
+        drop(w);
+
+        let (h, rs) = read_journal(&path).unwrap();
+        assert_eq!(h.config_hash, 7);
+        assert_eq!(rs, records[..2], "heartbeats carry no trial state");
+
+        // A torn *heartbeat* tail repairs exactly like a torn record tail.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let clean_len = text.len() as u64;
+        text.push_str("{\"heartbe");
+        std::fs::write(&path, &text).unwrap();
+        let (_, rs) = read_journal_repairing(&path).unwrap();
+        assert_eq!(rs, records[..2]);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
     }
 
     #[test]

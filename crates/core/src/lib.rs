@@ -62,6 +62,7 @@ pub mod perturbation;
 pub mod prefix;
 pub mod profile;
 pub mod report;
+pub mod shard;
 
 pub use campaign::{
     Campaign, CampaignConfig, CampaignResult, FaultMode, FusionConfig, FusionStats, GuardMode,
@@ -70,9 +71,13 @@ pub use campaign::{
 pub use config::FiConfig;
 pub use error::FiError;
 pub use injector::{FaultInjector, NeuronFault, WeightFault};
-pub use journal::{read_journal, read_journal_repairing, JournalHeader, JournalWriter};
+pub use journal::{
+    append_heartbeat, read_journal, read_journal_repairing, JournalHeader, JournalWriter,
+    JOURNAL_VERSION,
+};
 pub use location::{BatchSelect, NeuronSelect, NeuronSite, WeightSelect, WeightSite};
 pub use metrics::{classify_outcome, OutcomeCounts, OutcomeKind};
 pub use perturbation::{PerturbCtx, PerturbationModel};
 pub use prefix::{PrefixCache, PrefixCacheConfig, PrefixStats};
 pub use profile::{LayerProfile, ModelProfile};
+pub use shard::{config_fingerprint, merge_shard_journals, plan_shards, MergedCampaign, ShardSpec};

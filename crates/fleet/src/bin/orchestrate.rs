@@ -1,0 +1,126 @@
+//! Fleet orchestrator: runs a sharded campaign across worker processes
+//! with crash-tolerant supervision, then prints the merged report.
+//!
+//! One binary, two modes. Launched plainly it is the **orchestrator**: it
+//! plans shards, re-executes itself once per shard with the
+//! `RUSTFI_SHARD_*` environment set, watches journals and heartbeats,
+//! restarts dead or hung workers with exponential backoff (each restart
+//! resumes from the shard journal), and finally merges the shard journals.
+//! With `RUSTFI_SHARD_INDEX` set it is a **worker**: it rebuilds the same
+//! deterministic campaign from the environment and runs just its shard's
+//! trial range.
+//!
+//! Run with: `cargo run -p rustfi-fleet --bin orchestrate --release`
+//!
+//! Knobs (on top of the testbed's `RUSTFI_MODEL`/`RUSTFI_TRIALS`/
+//! `RUSTFI_SEED`/`RUSTFI_IMAGES`/`RUSTFI_FUSION`/`RUSTFI_THREADS`):
+//! `RUSTFI_SHARDS` (default 4), `RUSTFI_FLEET_DIR` (default
+//! `fleet-journals`), `RUSTFI_MAX_RESTARTS` (default 3),
+//! `RUSTFI_HEARTBEAT_TIMEOUT_MS` (default 30000), `RUSTFI_POLL_MS`
+//! (default 50), `RUSTFI_FLEET_DEADLINE_MS` (optional wall-clock budget).
+
+use rustfi::shard::plan_shards;
+use rustfi::ProgressRecorder;
+use rustfi_fleet::testbed::{env_usize, Testbed};
+use rustfi_fleet::{
+    orchestrate, run_shard_worker, worker_env, FleetConfig, ENV_SHARD_ATTEMPT, ENV_SHARD_COUNT,
+    ENV_SHARD_INDEX, ENV_SHARD_JOURNAL,
+};
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+
+fn main() {
+    if let Some(w) = worker_env() {
+        worker_main(&w);
+        return;
+    }
+
+    let tb = Testbed::from_env();
+    let cam_cfg = tb.campaign_config();
+    let shards = env_usize("RUSTFI_SHARDS", 4);
+    let dir = PathBuf::from(
+        std::env::var("RUSTFI_FLEET_DIR").unwrap_or_else(|_| String::from("fleet-journals")),
+    );
+    let mut fleet = FleetConfig::new(cam_cfg.trials, shards, dir);
+    fleet.max_restarts = env_usize("RUSTFI_MAX_RESTARTS", 3);
+    fleet.heartbeat_timeout =
+        Duration::from_millis(env_usize("RUSTFI_HEARTBEAT_TIMEOUT_MS", 30_000) as u64);
+    fleet.poll_interval = Duration::from_millis(env_usize("RUSTFI_POLL_MS", 50) as u64);
+    if let Ok(ms) = std::env::var("RUSTFI_FLEET_DEADLINE_MS") {
+        fleet.deadline = ms.parse().ok().map(Duration::from_millis);
+    }
+    fleet.progress = Some(ProgressRecorder::stderr(cam_cfg.trials.div_ceil(20).max(1)));
+
+    let exe = std::env::current_exe().expect("own executable path");
+    eprintln!(
+        "orchestrate — {} trials over {} shards (journals in {})",
+        cam_cfg.trials,
+        shards,
+        fleet.dir.display()
+    );
+    let report = orchestrate(&fleet, |spec, path, attempt| {
+        Command::new(&exe)
+            .env(ENV_SHARD_INDEX, spec.index.to_string())
+            .env(ENV_SHARD_COUNT, spec.count.to_string())
+            .env(ENV_SHARD_JOURNAL, path)
+            .env(ENV_SHARD_ATTEMPT, attempt.to_string())
+            .spawn()
+    })
+    .expect("fleet failed");
+
+    println!(
+        "fleet finished in {:.2}s: {} spawns, {} restarts, {} hung kills",
+        report.elapsed.as_secs_f64(),
+        report.spawns,
+        report.restarts,
+        report.hung_kills
+    );
+    match &report.merged {
+        Some(m) if report.is_complete() => {
+            println!(
+                "merged report: {} records | masked {} sdc {} due {} crash {} hang {}",
+                m.records.len(),
+                m.counts.masked,
+                m.counts.sdc,
+                m.counts.due,
+                m.counts.crash,
+                m.counts.hang
+            );
+        }
+        Some(m) => {
+            println!(
+                "PARTIAL merged report: {} of {} trials, missing shards {:?}, abandoned {:?}",
+                m.records.len(),
+                m.trials,
+                m.missing_shards,
+                report.abandoned
+            );
+            std::process::exit(2);
+        }
+        None => {
+            println!(
+                "no shard journal was ever written; abandoned {:?}",
+                report.abandoned
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn worker_main(w: &rustfi_fleet::WorkerEnv) {
+    let tb = Testbed::from_env();
+    let cfg = tb.campaign_config();
+    let factory = tb.factory();
+    let campaign = tb.campaign(&factory);
+    let spec = plan_shards(cfg.trials, w.count)[w.index];
+    let result = run_shard_worker(&campaign, &cfg, &spec, &w.journal, Duration::from_secs(1))
+        .expect("shard run failed");
+    eprintln!(
+        "shard {}/{} (attempt {}) done: {} records this range",
+        w.index,
+        w.count,
+        w.attempt,
+        result.records.len()
+    );
+}

@@ -1,0 +1,105 @@
+//! Environment-driven campaign construction shared by the fleet binaries.
+//!
+//! The orchestrator and its re-executed workers are separate processes that
+//! must agree *exactly* on the campaign — same model weights, images,
+//! labels, and every record-affecting knob — or the config fingerprint in
+//! the shard journals will (correctly) refuse to merge. Everything here is
+//! a pure function of environment variables and fixed seeds, so each
+//! process reconstructs the identical campaign independently: zoo models
+//! initialize from a seed, images are synthesized from a fixed formula, and
+//! labels are the untrained model's own clean predictions (making every
+//! image campaign-eligible without a training run, like the
+//! `profile_campaign` bench does).
+//!
+//! Knobs: `RUSTFI_MODEL` (default `lenet`), `RUSTFI_TRIALS` (default 96),
+//! `RUSTFI_SEED`, `RUSTFI_IMAGES` (default 6), `RUSTFI_FUSION` (fused batch
+//! width, `0`/`1` disables, default 8), `RUSTFI_THREADS` (per worker).
+
+use rustfi::{models, Campaign, CampaignConfig, FaultMode, FusionConfig, NeuronSelect};
+use rustfi_nn::{train, zoo, Network, ZooConfig};
+use rustfi_tensor::Tensor;
+use std::sync::Arc;
+
+/// Reads a usize knob from the environment.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a u64 knob from the environment.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The fixture every fleet process rebuilds identically from the
+/// environment: model factory inputs, images, and aligned labels.
+pub struct Testbed {
+    model: String,
+    zoo_cfg: ZooConfig,
+    /// Synthetic test images.
+    pub images: Tensor,
+    /// The untrained model's own predictions, so all images are eligible.
+    pub labels: Vec<usize>,
+}
+
+impl Testbed {
+    /// Builds the fixture from `RUSTFI_MODEL` / `RUSTFI_IMAGES`.
+    pub fn from_env() -> Self {
+        let model = std::env::var("RUSTFI_MODEL").unwrap_or_else(|_| String::from("lenet"));
+        let zoo_cfg = ZooConfig::tiny(8);
+        let n = env_usize("RUSTFI_IMAGES", 6);
+        let images = Tensor::from_fn(
+            &[n, zoo_cfg.in_channels, zoo_cfg.image_hw, zoo_cfg.image_hw],
+            |i| ((i as f32) * 0.017).sin(),
+        );
+        let mut net = build(&model, &zoo_cfg);
+        let labels = train::predict(&mut net, &images, n);
+        Self {
+            model,
+            zoo_cfg,
+            images,
+            labels,
+        }
+    }
+
+    /// The model factory closure [`Campaign::new`] borrows.
+    pub fn factory(&self) -> impl Fn() -> Network + Sync + '_ {
+        move || build(&self.model, &self.zoo_cfg)
+    }
+
+    /// The campaign config every fleet process agrees on, from
+    /// `RUSTFI_TRIALS` / `RUSTFI_SEED` / `RUSTFI_FUSION` / `RUSTFI_THREADS`.
+    pub fn campaign_config(&self) -> CampaignConfig {
+        let fusion = env_usize("RUSTFI_FUSION", 8);
+        CampaignConfig {
+            trials: env_usize("RUSTFI_TRIALS", 96),
+            seed: env_u64("RUSTFI_SEED", 0xF1EE7),
+            threads: std::env::var("RUSTFI_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok()),
+            fusion: (fusion >= 2).then(|| FusionConfig::with_width(fusion)),
+            ..CampaignConfig::default()
+        }
+    }
+
+    /// The campaign over this fixture: random-neuron FP32 bit flips, the
+    /// paper's flagship mode.
+    pub fn campaign<'a>(&'a self, factory: &'a (dyn Fn() -> Network + Sync)) -> Campaign<'a> {
+        Campaign::new(
+            factory,
+            &self.images,
+            &self.labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(models::BitFlipFp32::new(models::BitSelect::Random)),
+        )
+    }
+}
+
+fn build(model: &str, cfg: &ZooConfig) -> Network {
+    zoo::by_name(model, cfg).unwrap_or_else(|| panic!("unknown model {model}"))
+}

@@ -54,6 +54,22 @@ pub const CAMPAIGN_POOL_MISSES: &str = "campaign.pool_misses";
 /// Total bytes of activation storage handed out from recycled buffers.
 pub const CAMPAIGN_POOL_RECYCLED_BYTES: &str = "campaign.pool_recycled_bytes";
 
+/// Shard worker processes spawned by a fleet orchestrator (first launches
+/// and restarts alike).
+pub const FLEET_SPAWNS: &str = "fleet.spawns";
+
+/// Shard workers restarted after dying (non-zero exit, signal) before
+/// finishing their range.
+pub const FLEET_RESTARTS: &str = "fleet.restarts";
+
+/// Shard workers killed by the orchestrator for missing their heartbeat
+/// deadline (hung, not dead).
+pub const FLEET_HUNG_KILLS: &str = "fleet.hung_kills";
+
+/// Shards abandoned after exhausting their restart budget; the merged
+/// report lists them in `missing_shards`.
+pub const FLEET_ABANDONED: &str = "fleet.abandoned";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +91,10 @@ mod tests {
             CAMPAIGN_POOL_HITS,
             CAMPAIGN_POOL_MISSES,
             CAMPAIGN_POOL_RECYCLED_BYTES,
+            FLEET_SPAWNS,
+            FLEET_RESTARTS,
+            FLEET_HUNG_KILLS,
+            FLEET_ABANDONED,
         ];
         for (i, a) in all.iter().enumerate() {
             assert!(a.contains('.'), "{a} is namespaced");

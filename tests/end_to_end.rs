@@ -200,7 +200,141 @@ fn crashy_campaign_completes_isolates_and_resumes() {
     let resumed = campaign.resume(&cfg, &journal).unwrap();
     assert_eq!(resumed, result, "resume is bit-identical");
 
+    // Same kill-and-resume story with trial fusion enabled: the resumed
+    // run re-plans fused units over only the missing trials, and must
+    // still land bit-identical to the uninterrupted fused run.
+    let fused_cfg = CampaignConfig {
+        fusion: Some(rustfi::FusionConfig::default()),
+        ..cfg.clone()
+    };
+    let fused = campaign.run(&fused_cfg).unwrap();
+    assert_eq!(
+        fused.records, result.records,
+        "fusion changes no records even with crashing trials"
+    );
+    std::fs::remove_file(&journal).ok();
+    campaign.run_journaled(&fused_cfg, &journal).unwrap();
+    let text = std::fs::read_to_string(&journal).unwrap();
+    let prefix: Vec<&str> = text.lines().take(20).collect();
+    std::fs::write(&journal, format!("{}\n", prefix.join("\n"))).unwrap();
+    let resumed = campaign.resume(&fused_cfg, &journal).unwrap();
+    // Fusion *stats* legitimately differ (the resume fuses only the missing
+    // trials); the report itself must be bit-identical.
+    assert_eq!(resumed.records, fused.records, "fused resume records");
+    assert_eq!(resumed.counts, fused.counts, "fused resume counts");
+    assert_eq!(resumed.per_layer, fused.per_layer, "fused resume per-layer");
+
     std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(&journal).ok();
+}
+
+/// Cheap, untrained fixture for journal-robustness tests: a seeded tiny
+/// LeNet labeled with its own clean predictions, so every image is
+/// campaign-eligible without a training run.
+fn tiny_fixture() -> (rustfi_tensor::Tensor, Vec<usize>) {
+    let images = rustfi_tensor::Tensor::from_fn(&[5, 3, 16, 16], |i| ((i as f32) * 0.013).cos());
+    let mut probe = zoo::lenet(&ZooConfig::tiny(4));
+    let labels = (0..images.dims()[0])
+        .map(|i| rustfi::metrics::top1(probe.forward(&images.select_batch(i)).data()))
+        .collect();
+    (images, labels)
+}
+
+fn tiny_net() -> Network {
+    zoo::lenet(&ZooConfig::tiny(4))
+}
+
+fn tiny_campaign<'a>(images: &'a rustfi_tensor::Tensor, labels: &'a [usize]) -> Campaign<'a> {
+    Campaign::new(
+        &tiny_net,
+        images,
+        labels,
+        FaultMode::Neuron(NeuronSelect::Random),
+        Arc::new(models::BitFlipFp32::new(models::BitSelect::Random)),
+    )
+}
+
+/// Fuzz the torn-tail repair: truncating a valid journal at *every* byte
+/// offset inside the last record must still resume to a bit-identical
+/// report — no trial duplicated, none dropped, no offset that wedges it.
+#[test]
+fn resume_survives_truncation_at_every_byte_of_the_last_record() {
+    let (images, labels) = tiny_fixture();
+    let campaign = tiny_campaign(&images, &labels);
+    let cfg = CampaignConfig {
+        trials: 10,
+        seed: 77,
+        ..CampaignConfig::default()
+    };
+    let reference = campaign.run(&cfg).unwrap();
+
+    let journal = std::env::temp_dir().join(format!("rustfi-fuzz-{}.jsonl", std::process::id()));
+    std::fs::remove_file(&journal).ok();
+    campaign.run_journaled(&cfg, &journal).unwrap();
+    let full = std::fs::read(&journal).unwrap();
+    // Byte offset where the last record line starts (the journal ends with
+    // a newline, so search from the byte before it).
+    let last_line_start = full[..full.len() - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|p| p + 1)
+        .expect("journal has a header line");
+
+    for cut in last_line_start..full.len() {
+        std::fs::write(&journal, &full[..cut]).unwrap();
+        let resumed = campaign
+            .resume(&cfg, &journal)
+            .unwrap_or_else(|e| panic!("resume failed after truncating to {cut} bytes: {e}"));
+        assert_eq!(
+            resumed, reference,
+            "truncating to {cut} bytes changed the resumed report"
+        );
+        assert_eq!(resumed.counts.total(), cfg.trials, "cut at {cut}");
+    }
+    std::fs::remove_file(&journal).ok();
+}
+
+/// Resume refuses a journal whose campaign configuration fingerprint does
+/// not match — silently mixing records from diverging configs would be
+/// worse than failing.
+#[test]
+fn resume_refuses_a_journal_from_a_different_configuration() {
+    let (images, labels) = tiny_fixture();
+    let campaign = tiny_campaign(&images, &labels);
+    let cfg = CampaignConfig {
+        trials: 8,
+        seed: 5,
+        ..CampaignConfig::default()
+    };
+    let journal = std::env::temp_dir().join(format!("rustfi-refuse-{}.jsonl", std::process::id()));
+    std::fs::remove_file(&journal).ok();
+    campaign.run_journaled(&cfg, &journal).unwrap();
+
+    // Record-affecting knob changed → typed journal error, not silence.
+    let altered = CampaignConfig {
+        int8_activations: true,
+        ..cfg.clone()
+    };
+    let err = campaign.resume(&altered, &journal).unwrap_err();
+    assert!(
+        matches!(err, rustfi::FiError::Journal { .. }),
+        "expected a journal error, got {err:?}"
+    );
+    assert!(
+        err.to_string().contains("different campaign configuration"),
+        "unexpected message: {err}"
+    );
+
+    // Execution-strategy knobs (threads, fusion) are record-invariant and
+    // deliberately excluded from the fingerprint: resume still works.
+    let restrategized = CampaignConfig {
+        threads: Some(3),
+        fusion: Some(rustfi::FusionConfig::default()),
+        ..cfg.clone()
+    };
+    let resumed = campaign.resume(&restrategized, &journal).unwrap();
+    assert_eq!(resumed.counts.total(), cfg.trials);
+
     std::fs::remove_file(&journal).ok();
 }
 

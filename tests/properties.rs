@@ -434,3 +434,71 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Each case runs a dozen full campaigns (one unsharded reference plus
+    // every shard of four different plans), so this block gets a smaller
+    // case budget than the cheap invariants above.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Shard invariance, the distributed-campaign analogue of thread
+    /// invariance: for any seed, splitting a campaign into 1, 2, 3, or 5
+    /// shards — each run independently through its own journal, as fleet
+    /// worker processes would — and merging the shard journals yields
+    /// records and counts identical to the unsharded run, with fusion and
+    /// prefix caching on or off.
+    #[test]
+    fn shard_invariance(
+        seed in any::<u64>(),
+        with_fusion in any::<bool>(),
+        with_prefix in any::<bool>(),
+    ) {
+        fn tiny_lenet() -> Network {
+            zoo::lenet(&ZooConfig::tiny(4))
+        }
+        let images = Tensor::from_fn(&[5, 3, 16, 16], |i| ((i as f32) * 0.029).sin());
+        let mut probe = tiny_lenet();
+        let labels: Vec<usize> = (0..images.dims()[0])
+            .map(|i| rustfi::metrics::top1(probe.forward(&images.select_batch(i)).data()))
+            .collect();
+        let campaign = Campaign::new(
+            &tiny_lenet,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            // Exponent-bit flips mix masked, SDC, and DUE outcomes, so the
+            // equality below covers every classification path.
+            Arc::new(models::BitFlipFp32::new(models::BitSelect::Random)),
+        );
+        let cfg = CampaignConfig {
+            trials: 12,
+            seed,
+            threads: Some(2),
+            guard: rustfi::GuardMode::Record,
+            fusion: with_fusion.then(rustfi::FusionConfig::default),
+            prefix_cache: with_prefix.then(rustfi::PrefixCacheConfig::default),
+            ..CampaignConfig::default()
+        };
+        let reference = campaign.run(&cfg).unwrap();
+        for count in [1usize, 2, 3, 5] {
+            let dir = std::env::temp_dir().join("rustfi-shard-invariance").join(format!(
+                "{seed:x}-{}{}-{count}",
+                u8::from(with_fusion),
+                u8::from(with_prefix)
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let mut paths = Vec::new();
+            for spec in rustfi::plan_shards(cfg.trials, count) {
+                let path = spec.journal_path(&dir);
+                campaign.run_shard(&cfg, &spec, &path).unwrap();
+                paths.push(path);
+            }
+            let merged = rustfi::merge_shard_journals(&paths).unwrap();
+            prop_assert!(merged.is_complete(), "{count} shards left gaps");
+            prop_assert_eq!(&merged.records, &reference.records, "{} shards", count);
+            prop_assert_eq!(merged.counts, reference.counts);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
