@@ -24,7 +24,7 @@ use rustfi::{
 };
 use rustfi_bench::env_usize;
 use rustfi_nn::{train, zoo, ZooConfig};
-use rustfi_obs::{Recorder, TraceRecorder};
+use rustfi_obs::{FanoutRecorder, Recorder, StatsRecorder, TraceRecorder};
 use rustfi_tensor::{opcount, Tensor};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -51,7 +51,15 @@ fn main() {
     println!("profile_campaign — {model} (untrained, imagenet-like config), {trials} trials");
     opcount::reset();
     opcount::enable(true);
+    // Tee the stream: the trace recorder keeps everything for the Chrome
+    // trace / per-layer join, the stats recorder folds outcomes and
+    // latencies into fixed-memory streaming statistics.
     let recorder = Arc::new(TraceRecorder::new());
+    let stats_rec = Arc::new(StatsRecorder::default());
+    let fanout = Arc::new(FanoutRecorder::new(vec![
+        recorder.clone() as Arc<dyn Recorder>,
+        stats_rec.clone() as Arc<dyn Recorder>,
+    ]));
     let campaign = Campaign::new(
         &factory,
         &images,
@@ -65,7 +73,7 @@ fn main() {
             seed: 0x9806,
             threads,
             guard: GuardMode::Record,
-            recorder: Some(recorder.clone() as Arc<dyn Recorder>),
+            recorder: Some(fanout as Arc<dyn Recorder>),
             progress: Some(ProgressRecorder::stderr(trials.div_ceil(10).max(1))),
             ..CampaignConfig::default()
         })
@@ -134,6 +142,14 @@ fn main() {
         result.counts.hang,
         100.0 * result.sdc_rate()
     );
+
+    // Streaming statistical report: per-layer SDC/DUE rates with 95% Wilson
+    // score intervals, plus latency quantiles from the log-linear
+    // histograms. Nothing here stored per-record.
+    let stats = stats_rec.snapshot();
+    println!("\n# Statistical report (95% Wilson intervals)");
+    print!("{}", stats.sdc_table());
+    print!("{}", stats.latency_summary());
 
     recorder
         .write_chrome_trace(&trace_path)

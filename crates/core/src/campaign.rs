@@ -771,6 +771,11 @@ impl<'a> Campaign<'a> {
         let profile = golden.profile().clone();
         let golden_cell: Mutex<Option<FaultInjector>> = Mutex::new(Some(golden));
         if eligible.is_empty() {
+            // Durability point even for degenerate runs: streaming recorders
+            // (telemetry sidecars, flight rings) get their flush hook.
+            if let Some(rec) = &cfg.recorder {
+                rec.flush();
+            }
             return Ok(CampaignResult {
                 records: Vec::new(),
                 counts: OutcomeCounts::default(),
@@ -932,6 +937,13 @@ impl<'a> Campaign<'a> {
                     per_layer[r.layer].1 += 1;
                 }
             }
+        }
+        // Durability point: every worker has flushed its LocalRecorder into
+        // the shared recorder by now; ask the recorder to push buffered
+        // state to its backing store (telemetry sidecar, flight postmortem)
+        // before the result is reported. In-memory recorders no-op.
+        if let Some(rec) = &cfg.recorder {
+            rec.flush();
         }
         Ok(CampaignResult {
             records: all_records,

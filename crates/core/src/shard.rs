@@ -489,6 +489,32 @@ mod tests {
     }
 
     #[test]
+    fn merge_accepts_heartbeat_only_journals_as_gaps() {
+        // A worker that was spawned, wrote its header, heartbeated for a
+        // while, and was killed before finishing a single trial leaves a
+        // header-plus-heartbeats journal. That is a *gap*, not corruption:
+        // the merge must succeed and report every one of that shard's
+        // trials as missing.
+        let trials = 9;
+        let dir = tmp_dir("heartbeat-only");
+        let plan = plan_shards(trials, 3);
+        let full_a = write_shard(&dir, &plan[0], trials, trials);
+        let full_c = write_shard(&dir, &plan[2], trials, trials);
+        // Shard 1: header, three heartbeats, zero records.
+        let idle = write_shard(&dir, &plan[1], trials, plan[1].start);
+        for _ in 0..3 {
+            assert!(crate::journal::append_heartbeat(&idle).unwrap());
+        }
+        let merged = merge_shard_journals(&[full_a, idle, full_c]).unwrap();
+        assert!(!merged.is_complete());
+        assert_eq!(merged.missing_shards, vec![1]);
+        assert_eq!(merged.missing_trials, plan[1].trials());
+        assert_eq!(merged.records.len(), trials - plan[1].trials());
+        // Only trials outside shard 1's range were recovered.
+        assert!(merged.records.iter().all(|r| !plan[1].contains(r.trial)));
+    }
+
+    #[test]
     fn merge_refuses_mixed_campaigns() {
         let trials = 6;
         let dir = tmp_dir("mixed");

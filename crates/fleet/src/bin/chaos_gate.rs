@@ -1,15 +1,22 @@
 //! CI chaos gate: proves the fleet's crash story end to end.
 //!
-//! Two legs, both against the same single-process reference run:
+//! Two legs, both against the same single-process reference run and both
+//! with fleet telemetry on (sidecars + flight recorders):
 //!
 //! 1. **kill leg** — a 4-shard fleet where the orchestrator SIGKILLs one
 //!    worker mid-run (after it has journaled a few records). The gate
 //!    asserts the death was detected, the shard restarted with backoff and
 //!    resumed from its torn journal, and the merged report is
-//!    **bit-identical** to the uninterrupted reference.
+//!    **bit-identical** to the uninterrupted reference. It then asserts the
+//!    telemetry survived the murder: the merged Chrome trace has a lane for
+//!    every shard *and* a restart sub-lane for the victim, and the victim
+//!    left a non-empty `.flight` postmortem.
 //! 2. **hang leg** — one worker (first attempt only) hangs before writing a
 //!    byte. The gate asserts the heartbeat deadline caught it, the restart
 //!    recovered, and the merged report is again bit-identical.
+//!
+//! Artifacts (merged trace + flight postmortems) are copied into
+//! `RUSTFI_CHAOS_ARTIFACTS` (default `chaos-artifacts/`) for CI upload.
 //!
 //! Exits non-zero on any violation. Run with:
 //! `cargo run -p rustfi-fleet --bin chaos_gate --release`
@@ -18,9 +25,11 @@ use rustfi::shard::plan_shards;
 use rustfi::ProgressRecorder;
 use rustfi_fleet::testbed::Testbed;
 use rustfi_fleet::{
-    orchestrate, run_shard_worker, worker_env, ChaosKill, FleetConfig, WorkerEnv,
-    ENV_SHARD_ATTEMPT, ENV_SHARD_COUNT, ENV_SHARD_INDEX, ENV_SHARD_JOURNAL,
+    orchestrate, run_shard_worker_observed, worker_env, ChaosKill, FleetConfig, WorkerEnv,
+    ENV_SHARD_ATTEMPT, ENV_SHARD_COUNT, ENV_SHARD_INDEX, ENV_SHARD_JOURNAL, ENV_SHARD_TELEMETRY,
 };
+use rustfi_obs::json::{parse_json, Value};
+use rustfi_obs::read_flight;
 use std::path::PathBuf;
 use std::process::Command;
 use std::time::Duration;
@@ -43,6 +52,11 @@ fn main() {
     std::env::set_var("RUSTFI_IMAGES", "6");
     std::env::set_var("RUSTFI_FUSION", "8");
     std::env::set_var("RUSTFI_THREADS", "2");
+
+    let artifacts = PathBuf::from(
+        std::env::var("RUSTFI_CHAOS_ARTIFACTS").unwrap_or_else(|_| String::from("chaos-artifacts")),
+    );
+    std::fs::create_dir_all(&artifacts).expect("artifact dir");
 
     let tb = Testbed::from_env();
     let cfg = tb.campaign_config();
@@ -81,6 +95,7 @@ fn main() {
         "the killed shard was never restarted: {report:?}"
     );
     check_identical("kill leg", &reference, &report);
+    check_telemetry(&report, &artifacts);
 
     // Leg 2: a worker hangs before writing anything; the heartbeat
     // deadline must catch it.
@@ -125,7 +140,8 @@ fn worker_cmd(exe: &PathBuf, index: usize, path: &std::path::Path, attempt: usiz
     cmd.env(ENV_SHARD_INDEX, index.to_string())
         .env(ENV_SHARD_COUNT, SHARDS.to_string())
         .env(ENV_SHARD_JOURNAL, path)
-        .env(ENV_SHARD_ATTEMPT, attempt.to_string());
+        .env(ENV_SHARD_ATTEMPT, attempt.to_string())
+        .env(ENV_SHARD_TELEMETRY, "1");
     cmd
 }
 
@@ -158,6 +174,79 @@ fn check_identical(
     );
 }
 
+/// The kill leg's telemetry assertions: a lane for every shard, a restart
+/// sub-lane for the victim, a parseable merged Chrome trace, and a
+/// non-empty flight postmortem for the killed shard. Copies the artifacts
+/// out for CI upload.
+fn check_telemetry(report: &rustfi_fleet::FleetReport, artifacts: &std::path::Path) {
+    let telemetry = report
+        .telemetry
+        .as_ref()
+        .expect("kill leg: observed workers left no telemetry sidecars");
+    let shards_present = telemetry.shards_present();
+    assert_eq!(
+        shards_present.len(),
+        SHARDS,
+        "kill leg: trace is missing shard lanes: {shards_present:?}"
+    );
+    let victim_attempts = telemetry.attempts_for(VICTIM);
+    assert!(
+        victim_attempts.len() >= 2,
+        "kill leg: victim shard {VICTIM} should have a restart sub-lane, got attempts {victim_attempts:?}"
+    );
+
+    // The merged trace must be valid JSON with one ph:"X" stream per lane.
+    let trace_path = artifacts.join("fleet-trace.json");
+    telemetry
+        .write_chrome_trace(&trace_path)
+        .expect("writing merged trace");
+    let trace = parse_json(&std::fs::read_to_string(&trace_path).expect("reading trace back"))
+        .expect("merged trace is not valid JSON");
+    let events = trace
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("trace has no traceEvents array");
+    assert!(!events.is_empty(), "merged trace is empty");
+    let mut pids: Vec<f64> = events
+        .iter()
+        .filter_map(|e| e.get("pid").and_then(Value::as_f64))
+        .collect();
+    pids.sort_by(f64::total_cmp);
+    pids.dedup();
+    assert_eq!(
+        pids.len(),
+        SHARDS,
+        "trace lanes (pids) don't cover every shard: {pids:?}"
+    );
+
+    // The victim's flight postmortem: present, parseable, non-empty.
+    let (_, flight) = report
+        .flights
+        .iter()
+        .find(|(shard, _)| *shard == VICTIM)
+        .expect("kill leg: victim left no flight postmortem");
+    let post = read_flight(flight).expect("victim flight postmortem unreadable");
+    assert_eq!(post.shard, Some(VICTIM));
+    assert!(
+        post.seq > 0 && !post.entries.is_empty(),
+        "victim flight postmortem is empty: seq={} entries={}",
+        post.seq,
+        post.entries.len()
+    );
+    std::fs::copy(flight, artifacts.join("victim.flight")).expect("copying flight artifact");
+
+    println!(
+        "kill leg telemetry OK: {} lanes (victim attempts {:?}), {} trace events, \
+         victim flight holds {} of {} items — artifacts in {}",
+        telemetry.lanes.len(),
+        victim_attempts,
+        events.len(),
+        post.entries.len(),
+        post.seq,
+        artifacts.display()
+    );
+}
+
 fn worker_main(w: &WorkerEnv) {
     if std::env::var("RUSTFI_CHAOS_HANG").is_ok() {
         // Chaos: hang before touching the journal; the orchestrator's
@@ -183,11 +272,12 @@ fn worker_main(w: &WorkerEnv) {
     let factory = tb.factory();
     let campaign = tb.campaign(&factory);
     let spec = plan_shards(cfg.trials, w.count)[w.index];
-    run_shard_worker(
+    run_shard_worker_observed(
         &campaign,
         &cfg,
         &spec,
         &w.journal,
+        w.attempt as u32,
         Duration::from_millis(200),
     )
     .expect("shard run failed");

@@ -12,6 +12,14 @@
 //!
 //! Run with: `cargo run -p rustfi-fleet --bin orchestrate --release`
 //!
+//! Observability: `--trace <out.json>` turns on fleet telemetry — each
+//! worker streams spans/events to a crash-safe sidecar next to its journal,
+//! keeps a `.flight` postmortem ring, and the orchestrator merges every
+//! sidecar (restarts included) into one clock-normalized Chrome trace at
+//! `out.json` (open in Perfetto), prints the per-layer SDC/DUE table with
+//! 95% Wilson intervals and latency quantiles, and with `--prom <out.prom>`
+//! also writes the aggregated Prometheus dump.
+//!
 //! Knobs (on top of the testbed's `RUSTFI_MODEL`/`RUSTFI_TRIALS`/
 //! `RUSTFI_SEED`/`RUSTFI_IMAGES`/`RUSTFI_FUSION`/`RUSTFI_THREADS`):
 //! `RUSTFI_SHARDS` (default 4), `RUSTFI_FLEET_DIR` (default
@@ -23,9 +31,10 @@ use rustfi::shard::plan_shards;
 use rustfi::ProgressRecorder;
 use rustfi_fleet::testbed::{env_usize, Testbed};
 use rustfi_fleet::{
-    orchestrate, run_shard_worker, worker_env, FleetConfig, ENV_SHARD_ATTEMPT, ENV_SHARD_COUNT,
-    ENV_SHARD_INDEX, ENV_SHARD_JOURNAL,
+    orchestrate, run_shard_worker, run_shard_worker_observed, worker_env, FleetConfig, FleetReport,
+    ENV_SHARD_ATTEMPT, ENV_SHARD_COUNT, ENV_SHARD_INDEX, ENV_SHARD_JOURNAL, ENV_SHARD_TELEMETRY,
 };
+use rustfi_obs::CampaignStats;
 use std::path::PathBuf;
 use std::process::Command;
 use std::time::Duration;
@@ -35,6 +44,9 @@ fn main() {
         worker_main(&w);
         return;
     }
+
+    let (trace_out, prom_out) = parse_args();
+    let telemetry_on = trace_out.is_some() || prom_out.is_some();
 
     let tb = Testbed::from_env();
     let cam_cfg = tb.campaign_config();
@@ -54,18 +66,22 @@ fn main() {
 
     let exe = std::env::current_exe().expect("own executable path");
     eprintln!(
-        "orchestrate — {} trials over {} shards (journals in {})",
+        "orchestrate — {} trials over {} shards (journals in {}{})",
         cam_cfg.trials,
         shards,
-        fleet.dir.display()
+        fleet.dir.display(),
+        if telemetry_on { ", telemetry on" } else { "" }
     );
     let report = orchestrate(&fleet, |spec, path, attempt| {
-        Command::new(&exe)
-            .env(ENV_SHARD_INDEX, spec.index.to_string())
+        let mut cmd = Command::new(&exe);
+        cmd.env(ENV_SHARD_INDEX, spec.index.to_string())
             .env(ENV_SHARD_COUNT, spec.count.to_string())
             .env(ENV_SHARD_JOURNAL, path)
-            .env(ENV_SHARD_ATTEMPT, attempt.to_string())
-            .spawn()
+            .env(ENV_SHARD_ATTEMPT, attempt.to_string());
+        if telemetry_on {
+            cmd.env(ENV_SHARD_TELEMETRY, "1");
+        }
+        cmd.spawn()
     })
     .expect("fleet failed");
 
@@ -76,6 +92,7 @@ fn main() {
         report.restarts,
         report.hung_kills
     );
+    render_telemetry(&report, trace_out.as_deref(), prom_out.as_deref());
     match &report.merged {
         Some(m) if report.is_complete() => {
             println!(
@@ -90,12 +107,22 @@ fn main() {
         }
         Some(m) => {
             println!(
-                "PARTIAL merged report: {} of {} trials, missing shards {:?}, abandoned {:?}",
+                "PARTIAL merged report: {} of {} trials, missing shards {:?}",
                 m.records.len(),
                 m.trials,
                 m.missing_shards,
-                report.abandoned
             );
+            for d in &report.abandoned_detail {
+                println!(
+                    "  abandoned shard {}: {} restart(s), {}/{} records, \
+                     last activity {:.1}s before the fleet ended",
+                    d.shard,
+                    d.restarts,
+                    d.records,
+                    d.trials,
+                    d.last_activity_age.as_secs_f64()
+                );
+            }
             std::process::exit(2);
         }
         None => {
@@ -108,14 +135,85 @@ fn main() {
     }
 }
 
+/// Parses `--trace <path>` and `--prom <path>`; anything else is refused so
+/// a typo can't silently run without the trace the user asked for.
+fn parse_args() -> (Option<PathBuf>, Option<PathBuf>) {
+    let mut trace = None;
+    let mut prom = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let slot = match arg.as_str() {
+            "--trace" => &mut trace,
+            "--prom" => &mut prom,
+            other => {
+                eprintln!("unknown argument {other:?}; usage: orchestrate [--trace out.json] [--prom out.prom]");
+                std::process::exit(64);
+            }
+        };
+        match args.next() {
+            Some(path) => *slot = Some(PathBuf::from(path)),
+            None => {
+                eprintln!("{arg} needs a path argument");
+                std::process::exit(64);
+            }
+        }
+    }
+    (trace, prom)
+}
+
+/// Writes the merged Chrome trace / Prometheus dump and prints the
+/// statistical campaign report from whatever telemetry the fleet harvested.
+fn render_telemetry(
+    report: &FleetReport,
+    trace_out: Option<&std::path::Path>,
+    prom_out: Option<&std::path::Path>,
+) {
+    let Some(telemetry) = &report.telemetry else {
+        if trace_out.is_some() || prom_out.is_some() {
+            eprintln!("no telemetry sidecars found; nothing to export");
+        }
+        return;
+    };
+    if let Some(path) = trace_out {
+        match telemetry.write_chrome_trace(path) {
+            Ok(()) => println!(
+                "merged trace: {} ({} lanes, load in https://ui.perfetto.dev)",
+                path.display(),
+                telemetry.lanes.len()
+            ),
+            Err(e) => eprintln!("writing trace {}: {e}", path.display()),
+        }
+    }
+    if let Some(path) = prom_out {
+        match std::fs::write(path, telemetry.prometheus()) {
+            Ok(()) => println!("prometheus dump: {}", path.display()),
+            Err(e) => eprintln!("writing prometheus dump {}: {e}", path.display()),
+        }
+    }
+    for (shard, path) in &report.flights {
+        println!("flight postmortem (shard {shard}): {}", path.display());
+    }
+    let mut stats = CampaignStats::default();
+    for lane in &telemetry.lanes {
+        stats.ingest_batch(&lane.batch);
+    }
+    print!("{}", stats.sdc_table());
+    print!("{}", stats.latency_summary());
+}
+
 fn worker_main(w: &rustfi_fleet::WorkerEnv) {
     let tb = Testbed::from_env();
     let cfg = tb.campaign_config();
     let factory = tb.factory();
     let campaign = tb.campaign(&factory);
     let spec = plan_shards(cfg.trials, w.count)[w.index];
-    let result = run_shard_worker(&campaign, &cfg, &spec, &w.journal, Duration::from_secs(1))
-        .expect("shard run failed");
+    let every = Duration::from_secs(1);
+    let result = if w.telemetry {
+        run_shard_worker_observed(&campaign, &cfg, &spec, &w.journal, w.attempt as u32, every)
+    } else {
+        run_shard_worker(&campaign, &cfg, &spec, &w.journal, every)
+    }
+    .expect("shard run failed");
     eprintln!(
         "shard {}/{} (attempt {}) done: {} records this range",
         w.index,

@@ -37,7 +37,10 @@ use rustfi::{
     append_heartbeat, read_journal, Campaign, CampaignConfig, CampaignResult, FiError,
     OutcomeCounts,
 };
-use rustfi_obs::{names as obs_names, Recorder};
+use rustfi_obs::{
+    flight_path, names as obs_names, FanoutRecorder, FlightRecorder, MergedTelemetry, Recorder,
+    SidecarRecorder, DEFAULT_FLIGHT_CAP,
+};
 use std::path::{Path, PathBuf};
 use std::process::Child;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -56,6 +59,11 @@ pub const ENV_SHARD_JOURNAL: &str = "RUSTFI_SHARD_JOURNAL";
 /// Environment variable carrying the launch attempt (0 = first launch),
 /// so chaos harnesses can misbehave on one attempt only.
 pub const ENV_SHARD_ATTEMPT: &str = "RUSTFI_SHARD_ATTEMPT";
+/// Environment variable switching workers into observed mode (`"1"`):
+/// each worker streams its telemetry to a per-attempt sidecar and keeps a
+/// flight-recorder postmortem next to its journal
+/// (see [`run_shard_worker_observed`]).
+pub const ENV_SHARD_TELEMETRY: &str = "RUSTFI_SHARD_TELEMETRY";
 
 /// A worker process's shard assignment, decoded from the environment.
 #[derive(Debug, Clone)]
@@ -68,6 +76,8 @@ pub struct WorkerEnv {
     pub journal: PathBuf,
     /// Launch attempt, 0 for the first launch.
     pub attempt: usize,
+    /// Whether the orchestrator asked for telemetry ([`ENV_SHARD_TELEMETRY`]).
+    pub telemetry: bool,
 }
 
 /// Decodes the worker-mode environment ([`ENV_SHARD_INDEX`] and friends).
@@ -91,6 +101,7 @@ pub fn worker_env() -> Option<WorkerEnv> {
         count: parse(ENV_SHARD_COUNT, &get(ENV_SHARD_COUNT)),
         journal: PathBuf::from(get(ENV_SHARD_JOURNAL)),
         attempt: parse(ENV_SHARD_ATTEMPT, &get(ENV_SHARD_ATTEMPT)),
+        telemetry: std::env::var(ENV_SHARD_TELEMETRY).is_ok_and(|v| v == "1"),
     })
 }
 
@@ -109,11 +120,25 @@ impl Heartbeat {
     /// resumable), and I/O failures are swallowed; liveness reporting must
     /// never take a worker down.
     pub fn start(path: PathBuf, every: Duration) -> Self {
+        Self::start_with_tick(path, every, || {})
+    }
+
+    /// Like [`Heartbeat::start`], but also runs `tick` once per beat from
+    /// the heartbeat thread. The observed worker path uses this to snapshot
+    /// its flight-recorder ring to disk periodically: a SIGKILL gives no
+    /// chance to flush, so the on-disk postmortem trails reality by at most
+    /// one heartbeat interval.
+    pub fn start_with_tick(
+        path: PathBuf,
+        every: Duration,
+        tick: impl Fn() + Send + 'static,
+    ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let seen = Arc::clone(&stop);
         let thread = std::thread::spawn(move || {
             while !seen.load(Ordering::Relaxed) {
                 let _ = append_heartbeat(&path);
+                tick();
                 // Sleep in short steps so drop() never waits a full interval.
                 let mut slept = Duration::ZERO;
                 while slept < every && !seen.load(Ordering::Relaxed) {
@@ -166,6 +191,70 @@ pub fn run_shard_worker(
         .map_err(|e| FiError::io(format!("inspecting journal {}", journal.display()), e))?;
     let _beat = Heartbeat::start(journal.to_path_buf(), heartbeat_every);
     campaign.run_shard(cfg, spec, journal)
+}
+
+/// [`run_shard_worker`] plus the fleet-telemetry tentpole: the worker's
+/// observability stream goes to a per-attempt crash-safe sidecar
+/// (`<journal>.attempt-NNNN.telemetry.jsonl`), and a bounded flight-recorder
+/// ring keeps the last [`DEFAULT_FLIGHT_CAP`] spans/events for the
+/// `<journal stem>.flight` postmortem. Three flush paths arm the postmortem:
+/// an initial snapshot before the campaign starts (an instantly-killed
+/// worker still leaves one), a periodic snapshot from the heartbeat thread
+/// (a SIGKILL loses at most one heartbeat interval of history), and a
+/// panic-hook snapshot.
+///
+/// Any recorder already in `cfg.recorder` keeps receiving everything via a
+/// [`FanoutRecorder`]. Recording is proven record-invariant by the workspace
+/// property tests, so an observed worker's journal stays bit-identical to an
+/// unobserved one's. Telemetry failures (sidecar unwritable, snapshot I/O
+/// errors) degrade to running unobserved — they never fail the shard.
+pub fn run_shard_worker_observed(
+    campaign: &Campaign<'_>,
+    cfg: &CampaignConfig,
+    spec: &ShardSpec,
+    journal: &Path,
+    attempt: u32,
+    heartbeat_every: Duration,
+) -> Result<CampaignResult, FiError> {
+    discard_stillborn_journal(journal)
+        .map_err(|e| FiError::io(format!("inspecting journal {}", journal.display()), e))?;
+    let mut cfg = cfg.clone();
+    let mut inner: Vec<Arc<dyn Recorder>> = Vec::new();
+    let mut flight_for_beat: Option<Arc<FlightRecorder>> = None;
+    match SidecarRecorder::create_for_journal(journal, spec.index, spec.count, attempt) {
+        Ok(sidecar) => {
+            let identity = sidecar.header();
+            inner.push(Arc::new(sidecar));
+            let flight = Arc::new(
+                FlightRecorder::new(DEFAULT_FLIGHT_CAP)
+                    .with_path(&flight_path(journal), Some(identity)),
+            );
+            FlightRecorder::arm_panic_flush(&flight);
+            flight.snapshot_to_disk();
+            flight_for_beat = Some(Arc::clone(&flight));
+            inner.push(flight);
+        }
+        Err(_) => {
+            // Telemetry must never take the worker down; run unobserved.
+        }
+    }
+    if let Some(existing) = cfg.recorder.take() {
+        inner.push(existing);
+    }
+    cfg.recorder = match inner.len() {
+        0 => None,
+        1 => inner.pop(),
+        _ => Some(Arc::new(FanoutRecorder::new(inner))),
+    };
+    let _beat = match flight_for_beat {
+        Some(flight) => {
+            Heartbeat::start_with_tick(journal.to_path_buf(), heartbeat_every, move || {
+                flight.snapshot_to_disk()
+            })
+        }
+        None => Heartbeat::start(journal.to_path_buf(), heartbeat_every),
+    };
+    campaign.run_shard(&cfg, spec, journal)
 }
 
 /// Test-only fault injection for the fleet itself (a fault-injection tool's
@@ -237,6 +326,24 @@ impl FleetConfig {
     }
 }
 
+/// Everything worth knowing about one abandoned shard, so a partial
+/// report can say *why* the gap exists instead of just numbering it.
+#[derive(Debug, Clone)]
+pub struct AbandonedShard {
+    /// The shard's index.
+    pub shard: usize,
+    /// Restarts performed before giving up (launches minus one).
+    pub restarts: usize,
+    /// How long before the fleet ended the shard's journal last grew
+    /// (records or heartbeats) — large values mean it died early and
+    /// stayed dead, small ones mean it was still thrashing at the end.
+    pub last_activity_age: Duration,
+    /// Trial records its journal holds.
+    pub records: usize,
+    /// Trials its shard plan assigned.
+    pub trials: usize,
+}
+
 /// What a fleet run produced.
 #[derive(Debug)]
 pub struct FleetReport {
@@ -251,6 +358,17 @@ pub struct FleetReport {
     /// Shards abandoned after exhausting their restart budget (or cut off
     /// by the fleet deadline).
     pub abandoned: Vec<usize>,
+    /// Per-shard postmortem detail for every entry in `abandoned`.
+    pub abandoned_detail: Vec<AbandonedShard>,
+    /// Flight-recorder postmortems harvested from the fleet dir after the
+    /// run: `(shard index, path)`. Killed and hung workers leave one
+    /// because the heartbeat thread snapshots the ring periodically.
+    pub flights: Vec<(usize, PathBuf)>,
+    /// Merged worker telemetry (sidecars found in the fleet dir), when any
+    /// worker ran observed ([`run_shard_worker_observed`]). Carries the
+    /// clock-normalized fleet timeline: render with
+    /// [`MergedTelemetry::chrome_trace`] / `prometheus`.
+    pub telemetry: Option<MergedTelemetry>,
     /// Fleet wall time.
     pub elapsed: Duration,
 }
@@ -489,6 +607,32 @@ where
         .filter(|s| s.abandoned)
         .map(|s| s.spec.index)
         .collect();
+    let abandoned_detail: Vec<AbandonedShard> = shards
+        .iter()
+        .filter(|s| s.abandoned)
+        .map(|s| AbandonedShard {
+            shard: s.spec.index,
+            restarts: s.attempt.saturating_sub(1),
+            last_activity_age: now.duration_since(s.last_activity),
+            records: s.records,
+            trials: s.spec.trials(),
+        })
+        .collect();
+    // Harvest whatever telemetry the workers left behind: flight
+    // postmortems next to each journal (killed/hung workers leave one via
+    // the heartbeat thread's periodic snapshots) and the telemetry
+    // sidecars, merged onto one clock-normalized fleet timeline.
+    let flights: Vec<(usize, PathBuf)> = shards
+        .iter()
+        .filter_map(|s| {
+            let p = flight_path(&s.path);
+            p.exists().then(|| (s.spec.index, p))
+        })
+        .collect();
+    let telemetry = match MergedTelemetry::from_dir(&cfg.dir) {
+        Ok(t) if !t.lanes.is_empty() => Some(t),
+        _ => None,
+    };
     if let Some(r) = &cfg.recorder {
         r.counter_add(obs_names::FLEET_SPAWNS, spawns);
         r.counter_add(obs_names::FLEET_RESTARTS, restarts);
@@ -507,6 +651,9 @@ where
         restarts,
         hung_kills,
         abandoned,
+        abandoned_detail,
+        flights,
+        telemetry,
         elapsed: start.elapsed(),
     })
 }
@@ -664,6 +811,12 @@ mod tests {
         .unwrap();
         assert!(!report.is_complete());
         assert_eq!(report.abandoned, vec![1]);
+        assert_eq!(report.abandoned_detail.len(), 1);
+        let detail = &report.abandoned_detail[0];
+        assert_eq!(detail.shard, 1);
+        assert_eq!(detail.restarts, 1, "one restart before the budget ran out");
+        assert_eq!(detail.records, 0, "`false` never journals anything");
+        assert_eq!(detail.trials, plan[1].trials());
         let merged = report.merged.unwrap();
         assert_eq!(merged.missing_shards, vec![1]);
         assert_eq!(merged.records.len(), plan[0].trials());
@@ -705,6 +858,77 @@ mod tests {
         assert!(real.exists(), "journal with a complete line survives");
 
         discard_stillborn_journal(&dir.join("absent.jsonl")).unwrap();
+    }
+
+    #[test]
+    fn observed_worker_leaves_sidecar_and_flight_and_identical_records() {
+        use rustfi_obs::{read_flight, read_sidecar, sidecar_path};
+
+        let dir = tmp_dir("observed");
+        let tb = testbed::Testbed::from_env();
+        let mut cfg = tb.campaign_config();
+        cfg.trials = 12;
+        let factory = tb.factory();
+        let campaign = tb.campaign(&factory);
+        let spec = plan_shards(cfg.trials, 1)[0];
+
+        // Unobserved reference first, then the observed worker in a second
+        // directory: telemetry must not perturb a single record.
+        let plain = run_shard_worker(
+            &campaign,
+            &cfg,
+            &spec,
+            &dir.join("plain.jsonl"),
+            Duration::from_millis(50),
+        )
+        .unwrap();
+        let journal = dir.join("shard-0000-of-0001.jsonl");
+        let observed = run_shard_worker_observed(
+            &campaign,
+            &cfg,
+            &spec,
+            &journal,
+            2,
+            Duration::from_millis(50),
+        )
+        .unwrap();
+        assert_eq!(
+            observed.records, plain.records,
+            "telemetry perturbed records"
+        );
+
+        // The sidecar for attempt 2 exists, reads clean, and saw the run:
+        // trial outcomes for every trial plus per-trial timings.
+        let sc = read_sidecar(&sidecar_path(&journal, 2)).unwrap();
+        assert_eq!(sc.torn_lines, 0);
+        assert_eq!(
+            (sc.header.shard, sc.header.shards, sc.header.attempt),
+            (0, 1, 2)
+        );
+        let outcomes = sc
+            .batch
+            .events
+            .iter()
+            .filter(|e| matches!(e, rustfi_obs::Event::TrialOutcome(_)))
+            .count();
+        assert_eq!(outcomes, cfg.trials, "one outcome event per trial");
+
+        // The flight postmortem exists (campaign-end flush at minimum) and
+        // carries the shard identity.
+        let fl = read_flight(&flight_path(&journal)).unwrap();
+        assert_eq!(fl.shard, Some(0));
+        assert_eq!(fl.attempt, Some(2));
+        assert!(fl.seq > 0, "the ring saw the run");
+
+        // An orchestrator over this directory harvests both.
+        let report = orchestrate(&fast_cfg(cfg.trials, 1, dir), |_s, _p, _a| {
+            panic!("finished shard must not relaunch")
+        })
+        .unwrap();
+        assert_eq!(report.flights.len(), 1);
+        let telemetry = report.telemetry.expect("sidecar was found and merged");
+        assert_eq!(telemetry.lanes.len(), 1);
+        assert!(telemetry.chrome_trace().contains("\"traceEvents\""));
     }
 
     #[test]

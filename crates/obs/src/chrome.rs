@@ -53,7 +53,7 @@ fn sep(out: &mut String, first: &mut bool) {
 
 /// Micro-second rendering with nanosecond precision kept as decimals
 /// (Chrome's `ts`/`dur` are floating-point microseconds).
-fn micros(ns: u64) -> String {
+pub(crate) fn micros(ns: u64) -> String {
     let whole = ns / 1_000;
     let frac = ns % 1_000;
     if frac == 0 {
@@ -77,8 +77,8 @@ fn instant_event(out: &mut String, event: &Event) {
 mod tests {
     use super::*;
     use crate::event::{GuardEvent, InjectionEvent, InjectionSite};
+    use crate::json::parse_json;
     use crate::recorder::SpanRecord;
-    use crate::testjson::parse_json;
 
     fn snapshot() -> ObsSnapshot {
         ObsSnapshot {

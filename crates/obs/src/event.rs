@@ -176,6 +176,115 @@ impl Event {
     }
 }
 
+impl Event {
+    /// Decodes an event from its [`Event::to_json`] encoding. The inverse is
+    /// exact for every field except that unknown outcome labels collapse to
+    /// `"unknown"` (outcome labels are `&'static str`, so only the closed
+    /// taxonomy round-trips — which is all the campaign ever emits).
+    pub fn from_json(v: &crate::json::Value) -> Result<Event, String> {
+        use crate::json::Value;
+        let kind = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or("event missing \"type\"")?;
+        let get_usize = |key: &str| -> Result<usize, String> {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .map(|n| n as usize)
+                .ok_or_else(|| format!("event missing integer \"{key}\""))
+        };
+        let get_opt_usize =
+            |key: &str| -> Option<usize> { v.get(key).and_then(Value::as_u64).map(|n| n as usize) };
+        match kind {
+            "injection" => {
+                let site_v = v.get("site").ok_or("injection missing \"site\"")?;
+                let site_kind = site_v
+                    .get("kind")
+                    .and_then(Value::as_str)
+                    .ok_or("site missing \"kind\"")?;
+                let site_field = |key: &str| -> Result<usize, String> {
+                    site_v
+                        .get(key)
+                        .and_then(Value::as_u64)
+                        .map(|n| n as usize)
+                        .ok_or_else(|| format!("site missing \"{key}\""))
+                };
+                let site = match site_kind {
+                    "neuron" => InjectionSite::Neuron {
+                        batch: site_field("batch")?,
+                        channel: site_field("channel")?,
+                        y: site_field("y")?,
+                        x: site_field("x")?,
+                    },
+                    "weight" => InjectionSite::Weight {
+                        index: site_field("index")?,
+                    },
+                    other => return Err(format!("unknown site kind {other:?}")),
+                };
+                Ok(Event::Injection(InjectionEvent {
+                    trial: get_opt_usize("trial"),
+                    layer: get_usize("layer")?,
+                    site,
+                    bit: v.get("bit").and_then(Value::as_u64).map(|b| b as u32),
+                    before: f32_from_value(v.get("before"))?,
+                    after: f32_from_value(v.get("after"))?,
+                }))
+            }
+            "guard" => match v.get("kind").and_then(Value::as_str) {
+                Some("non_finite") => Ok(Event::Guard(GuardEvent::NonFinite {
+                    layer: get_usize("layer")?,
+                    layer_name: v
+                        .get("layer_name")
+                        .and_then(Value::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                })),
+                Some("deadline") => Ok(Event::Guard(GuardEvent::Deadline {
+                    steps: get_usize("steps")?,
+                })),
+                other => Err(format!("unknown guard kind {other:?}")),
+            },
+            "trial_outcome" => Ok(Event::TrialOutcome(TrialOutcomeEvent {
+                trial: get_usize("trial")?,
+                layer: get_usize("layer")?,
+                outcome: outcome_label(
+                    v.get("outcome").and_then(Value::as_str).unwrap_or_default(),
+                ),
+                due_layer: get_opt_usize("due_layer"),
+            })),
+            other => Err(format!("unknown event type {other:?}")),
+        }
+    }
+}
+
+/// Maps an outcome string back to the campaign's static label set.
+fn outcome_label(s: &str) -> &'static str {
+    match s {
+        "masked" => "masked",
+        "sdc" => "sdc",
+        "due" => "due",
+        "crash" => "crash",
+        "hang" => "hang",
+        _ => "unknown",
+    }
+}
+
+/// Decodes an `f32` written by [`push_f32`]: a JSON number, or the strings
+/// `"inf"` / `"-inf"` / `"nan"`.
+fn f32_from_value(v: Option<&crate::json::Value>) -> Result<f32, String> {
+    use crate::json::Value;
+    match v {
+        Some(Value::Num(n)) => Ok(*n as f32),
+        Some(Value::Str(s)) => match s.as_str() {
+            "inf" => Ok(f32::INFINITY),
+            "-inf" => Ok(f32::NEG_INFINITY),
+            "nan" => Ok(f32::NAN),
+            other => Err(format!("bad float string {other:?}")),
+        },
+        other => Err(format!("expected float, got {other:?}")),
+    }
+}
+
 fn push_opt_usize(out: &mut String, v: Option<usize>) {
     match v {
         Some(v) => {
@@ -219,7 +328,7 @@ pub(crate) fn escape_json_into(raw: &str, out: &mut String) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testjson::parse_json;
+    use crate::json::parse_json;
 
     #[test]
     fn flipped_bit_detects_single_bit_flips() {
@@ -276,6 +385,63 @@ mod tests {
                 Some(e.kind()),
                 "{json}"
             );
+        }
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = vec![
+            Event::Injection(InjectionEvent {
+                trial: Some(7),
+                layer: 2,
+                site: InjectionSite::Neuron {
+                    batch: 0,
+                    channel: 3,
+                    y: 1,
+                    x: 4,
+                },
+                bit: Some(21),
+                before: 0.25,
+                after: f32::INFINITY,
+            }),
+            Event::Injection(InjectionEvent {
+                trial: None,
+                layer: 0,
+                site: InjectionSite::Weight { index: 91 },
+                bit: None,
+                before: -3.5,
+                after: -1.0,
+            }),
+            Event::Guard(GuardEvent::NonFinite {
+                layer: 9,
+                layer_name: "relu\"9\"\n".into(),
+            }),
+            Event::Guard(GuardEvent::Deadline { steps: 12 }),
+            Event::TrialOutcome(TrialOutcomeEvent {
+                trial: 4,
+                layer: 1,
+                outcome: "sdc",
+                due_layer: Some(3),
+            }),
+        ];
+        for e in events {
+            let v = parse_json(&e.to_json()).unwrap();
+            let back = Event::from_json(&v).unwrap_or_else(|err| panic!("{err}"));
+            assert_eq!(back, e);
+        }
+        // NaN compares unequal to itself; check the decode shape directly.
+        let nan = Event::Injection(InjectionEvent {
+            trial: None,
+            layer: 0,
+            site: InjectionSite::Weight { index: 1 },
+            bit: None,
+            before: f32::NAN,
+            after: 1.0,
+        });
+        let v = parse_json(&nan.to_json()).unwrap();
+        match Event::from_json(&v).unwrap() {
+            Event::Injection(e) => assert!(e.before.is_nan() && e.after == 1.0),
+            other => panic!("wrong variant: {other:?}"),
         }
     }
 

@@ -1,7 +1,8 @@
-//! Test-only minimal JSON parser used to round-trip-validate the exporters
-//! (the build environment is hermetic — no serde). Supports the full value
-//! grammar the exporters emit: objects, arrays, strings with escapes,
-//! numbers, booleans, null.
+//! Minimal JSON parser (the build environment is hermetic — no serde).
+//! Originally test-only for round-trip-validating the exporters; now also the
+//! runtime parser for telemetry sidecars and flight-recorder postmortems.
+//! Supports the full value grammar the exporters emit: objects, arrays,
+//! strings with escapes, numbers, booleans, null.
 
 use std::collections::BTreeMap;
 
@@ -45,6 +46,27 @@ impl Value {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if this is a whole number that
+    /// fits `u64` exactly (the parser stores numbers as `f64`, so integers are
+    /// exact up to 2^53 — far beyond any counter or nanosecond offset the
+    /// telemetry layer writes).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9.007_199_254_740_992e15 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
             _ => None,
         }
     }

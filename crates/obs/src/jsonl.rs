@@ -64,7 +64,7 @@ pub fn write_events_jsonl(snap: &ObsSnapshot, path: &Path) -> std::io::Result<()
 mod tests {
     use super::*;
     use crate::event::{GuardEvent, TrialOutcomeEvent};
-    use crate::testjson::parse_json;
+    use crate::json::parse_json;
 
     fn events() -> Vec<Event> {
         vec![

@@ -47,27 +47,39 @@
 pub mod chrome;
 pub mod clock;
 pub mod event;
+pub mod flight;
+pub mod json;
 pub mod jsonl;
 pub mod local;
+pub mod merge;
 pub mod names;
 pub mod prom;
 pub mod recorder;
+pub mod sidecar;
+pub mod stats;
 pub mod timing;
 pub mod trace;
 
 pub use chrome::chrome_trace_json;
 pub use clock::{now_ns, thread_tid};
 pub use event::{Event, GuardEvent, InjectionEvent, InjectionSite, TrialOutcomeEvent};
+pub use flight::{read_flight, FlightRead, FlightRecorder, DEFAULT_FLIGHT_CAP};
 pub use jsonl::{write_events_jsonl, EventJsonlWriter};
 pub use local::LocalRecorder;
-pub use prom::prometheus_text;
-pub use recorder::{NullRecorder, ObsBatch, Recorder, SpanCtx, SpanRecord, SpanToken};
+pub use merge::{merge_shard_telemetry, MergedTelemetry, ShardLane};
+pub use prom::{prometheus_text, prometheus_text_labeled};
+pub use recorder::{
+    FanoutRecorder, NullRecorder, ObsBatch, Recorder, SpanCtx, SpanRecord, SpanToken,
+};
+pub use sidecar::{
+    flight_path, read_sidecar, sidecar_path, SidecarHeader, SidecarRead, SidecarRecorder,
+};
+pub use stats::{
+    wilson_interval, CampaignStats, OutcomeCounts, StatsRecorder, StreamingHistogram, Z_95,
+};
 pub use timing::{mean_seconds, time, Stopwatch};
 pub use trace::{LayerTimeRow, ObsSnapshot, TimingStat, TraceRecorder};
 
 /// Name the satellite tasks use: the memory-collecting recorder whose
 /// flagship export is the Chrome trace.
 pub type ChromeTraceRecorder = TraceRecorder;
-
-#[cfg(test)]
-pub(crate) mod testjson;

@@ -201,12 +201,17 @@ proptest! {
     }
 
     /// Observability is read-only: for any seed, campaigns run with no
-    /// recorder, with the [`rustfi_obs::NullRecorder`], and with the full
-    /// [`rustfi_obs::TraceRecorder`] produce bit-identical trial records,
-    /// regardless of worker thread count.
+    /// recorder, with the [`rustfi_obs::NullRecorder`], with the full
+    /// [`rustfi_obs::TraceRecorder`], and with the fleet-telemetry stack
+    /// (disk-streaming [`rustfi_obs::SidecarRecorder`] fanned out with a
+    /// [`rustfi_obs::FlightRecorder`] ring) produce bit-identical trial
+    /// records, regardless of worker thread count.
     #[test]
     fn recorders_never_perturb_campaign_results(seed in any::<u64>(), threads in 1usize..4) {
-        use rustfi_obs::{NullRecorder, Recorder, TraceRecorder};
+        use rustfi_obs::{
+            FanoutRecorder, FlightRecorder, NullRecorder, Recorder, SidecarRecorder,
+            TraceRecorder,
+        };
         fn tiny_lenet() -> Network {
             zoo::lenet(&ZooConfig::tiny(4))
         }
@@ -245,6 +250,34 @@ proptest! {
         let snap = trace_rec.snapshot();
         prop_assert_eq!(snap.spans.iter().filter(|s| s.kind == "trial").count(), 10);
         prop_assert_eq!(snap.counters.get("fi.injections").copied().unwrap_or(0) > 0, true);
+
+        // The fleet-telemetry stack streams to disk mid-campaign, which
+        // must be just as invisible as the in-memory recorders.
+        let dir = std::env::temp_dir().join(format!(
+            "rustfi_props_sidecar_{}_{seed:x}_{threads}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sidecar = SidecarRecorder::create(&dir.join("run.telemetry.jsonl"), 0, 1, 0).unwrap();
+        let flight = FlightRecorder::new(64).with_path(&dir.join("run.flight"), None);
+        let fanout = Arc::new(FanoutRecorder::new(vec![
+            Arc::new(sidecar) as Arc<dyn Recorder>,
+            Arc::new(flight) as Arc<dyn Recorder>,
+        ]));
+        let observed = run(Some(fanout as Arc<dyn Recorder>), threads);
+        prop_assert_eq!(&plain, &observed);
+        let sc = rustfi_obs::read_sidecar(&dir.join("run.telemetry.jsonl")).unwrap();
+        prop_assert_eq!(sc.torn_lines, 0);
+        prop_assert_eq!(
+            sc.batch
+                .events
+                .iter()
+                .filter(|e| matches!(e, rustfi_obs::Event::TrialOutcome(_)))
+                .count(),
+            10
+        );
+        prop_assert!(rustfi_obs::read_flight(&dir.join("run.flight")).unwrap().seq > 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// Golden-prefix caching is purely a throughput optimization: for any
