@@ -21,14 +21,23 @@
 //!    the default target level, plus the steady-state heap allocations per
 //!    forward pass with the thread-local tensor pool armed (the
 //!    zero-allocation claim, measured under a counting global allocator).
+//! 5. **INT8**: the AVX2-dispatched integer GEMM
+//!    ([`rustfi_tensor::matmul_i8_nt`]) against its portable compilation at
+//!    the same im2col shapes (outputs asserted bit-identical), and the same
+//!    fused campaign re-run with [`rustfi::QuantMode::Int8`] — real integer
+//!    kernels, faults landing in stored INT8 words — reported as a
+//!    within-run ratio against the f32 fused campaign.
 //!
 //! Knobs are the shared quick-mode `RUSTFI_*` environment variables — see
 //! [`rustfi_bench::QuickMode`] — which `bench_gate` reads too.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rustfi::{Campaign, CampaignConfig, FaultMode, FusionConfig, NeuronSelect, PrefixCacheConfig};
+use rustfi::{
+    Campaign, CampaignConfig, FaultMode, FusionConfig, NeuronSelect, PrefixCacheConfig, QuantMode,
+};
 use rustfi_bench::{env_usize, zoo_config_for, QuickMode};
 use rustfi_nn::{zoo, Network, ZooConfig};
+use rustfi_tensor::qkernels::{matmul_i8_nt, matmul_i8_nt_portable};
 use rustfi_tensor::{kernels, matmul, parallel, tpool, SeededRng, Tensor};
 use std::sync::Arc;
 use std::time::Instant;
@@ -133,6 +142,86 @@ fn bench_matmul_kernels(c: &mut Criterion, rows: &mut Vec<MatmulRow>) {
             n,
             baseline_s,
             blocked_s,
+        });
+    }
+    group.finish();
+}
+
+struct Int8MatmulRow {
+    m: usize,
+    k: usize,
+    n: usize,
+    portable_s: f64,
+    dispatched_s: f64,
+}
+
+/// Which int8 GEMM the dispatcher resolves to on this host; the gate only
+/// applies the absolute speedup floor when AVX2 actually ran (a portable-only
+/// host measures 1.0x by construction).
+fn int8_matmul_simd() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        return "avx2";
+    }
+    "portable"
+}
+
+/// The integer GEMM behind the quantized conv/linear layers: the
+/// AVX2-dispatched kernel against its portable compilation, at the f32
+/// bench's im2col shapes (weights-as-`a`, im2row patches as transposed `b`).
+/// Every output element is an exact integer dot product, so the two
+/// compilations must agree bit for bit — asserted after timing.
+fn bench_int8_matmul(c: &mut Criterion, rows: &mut Vec<Int8MatmulRow>) {
+    let mut rng = SeededRng::new(13);
+    let shapes = [
+        (64usize, 27usize, 1024usize),
+        (256, 1152, 256),
+        (512, 4608, 16),
+        (128, 512, 128),
+    ];
+    let iters = env_usize("RUSTFI_MATMUL_ITERS", 12);
+    let mut group = c.benchmark_group("int8_matmul_kernel");
+    group.sample_size(iters);
+    for (m, k, n) in shapes {
+        let a: Vec<i8> = (0..m * k)
+            .map(|_| (rng.below(255) as i64 - 127) as i8)
+            .collect();
+        let b: Vec<i8> = (0..n * k)
+            .map(|_| (rng.below(255) as i64 - 127) as i8)
+            .collect();
+        group.bench_with_input(BenchmarkId::new("portable", format!("{m}x{k}x{n}")), &(), {
+            let (a, b) = (a.clone(), b.clone());
+            let mut out = vec![0i32; m * n];
+            move |bch, ()| bch.iter(|| matmul_i8_nt_portable(&a, &b, &mut out, m, k, n))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("dispatched", format!("{m}x{k}x{n}")),
+            &(),
+            {
+                let (a, b) = (a.clone(), b.clone());
+                let mut out = vec![0i32; m * n];
+                move |bch, ()| bch.iter(|| matmul_i8_nt(&a, &b, &mut out, m, k, n))
+            },
+        );
+        let mut portable = vec![0i32; m * n];
+        let mut dispatched = vec![0i32; m * n];
+        let portable_s = time_mean(iters, || {
+            matmul_i8_nt_portable(&a, &b, &mut portable, m, k, n)
+        });
+        let dispatched_s = time_mean(iters, || matmul_i8_nt(&a, &b, &mut dispatched, m, k, n));
+        assert_eq!(portable, dispatched, "int8 GEMM compilations disagree");
+        println!(
+            "  int8 {m}x{k}x{n}: portable {:.3} ms -> dispatched {:.3} ms ({:.2}x)",
+            portable_s * 1e3,
+            dispatched_s * 1e3,
+            portable_s / dispatched_s
+        );
+        rows.push(Int8MatmulRow {
+            m,
+            k,
+            n,
+            portable_s,
+            dispatched_s,
         });
     }
     group.finish();
@@ -291,6 +380,8 @@ struct CampaignNumbers {
     uncached_s: f64,
     cached_s: f64,
     fused_s: f64,
+    int8_uncached_s: f64,
+    int8_fused_s: f64,
     fusion_width: usize,
     hits: u64,
     misses: u64,
@@ -332,7 +423,20 @@ fn bench_campaign(c: &mut Criterion, qm: &QuickMode) -> CampaignNumbers {
     // prefix caching skips the most clean recomputation.
     let layers: Vec<usize> = (layer_count / 2..layer_count).collect();
 
-    let run_all = |prefix: Option<PrefixCacheConfig>, fusion: Option<FusionConfig>| {
+    // The f32 campaigns perturb with uniform random values (the Fig. 3
+    // workload); the quantized campaigns flip a random bit in the stored
+    // INT8 word — the fault model the real-INT8 backend exists for. Both
+    // models cost nanoseconds per trial, so the throughput ratio reflects
+    // the forward-pass kernels, not the perturbation arithmetic.
+    let f32_model: Arc<dyn rustfi::PerturbationModel> =
+        Arc::new(rustfi::models::RandomUniform::default());
+    let int8_model: Arc<dyn rustfi::PerturbationModel> = Arc::new(
+        rustfi::models::BitFlipInt8::new(rustfi::models::BitSelect::Random),
+    );
+    let run_all = |prefix: Option<PrefixCacheConfig>,
+                   fusion: Option<FusionConfig>,
+                   quant: QuantMode,
+                   pmodel: &Arc<dyn rustfi::PerturbationModel>| {
         let mut results = Vec::new();
         for &layer in &layers {
             let campaign = Campaign::new(
@@ -340,7 +444,7 @@ fn bench_campaign(c: &mut Criterion, qm: &QuickMode) -> CampaignNumbers {
                 &images,
                 &labels,
                 FaultMode::Neuron(NeuronSelect::RandomInLayer { layer }),
-                Arc::new(rustfi::models::RandomUniform::default()),
+                Arc::clone(pmodel),
             );
             results.push(
                 campaign
@@ -349,6 +453,7 @@ fn bench_campaign(c: &mut Criterion, qm: &QuickMode) -> CampaignNumbers {
                         seed: 0xF164 + layer as u64,
                         prefix_cache: prefix.clone(),
                         fusion,
+                        quant,
                         ..CampaignConfig::default()
                     })
                     .expect("campaign runs"),
@@ -360,26 +465,82 @@ fn bench_campaign(c: &mut Criterion, qm: &QuickMode) -> CampaignNumbers {
     let mut group = c.benchmark_group("campaign_throughput");
     group.sample_size(iters);
     group.bench_function(BenchmarkId::new("uncached", model_name), |b| {
-        b.iter(|| run_all(None, None))
+        b.iter(|| run_all(None, None, QuantMode::Off, &f32_model))
     });
     group.bench_function(BenchmarkId::new("prefix_cached", model_name), |b| {
-        b.iter(|| run_all(Some(PrefixCacheConfig::default()), None))
+        b.iter(|| {
+            run_all(
+                Some(PrefixCacheConfig::default()),
+                None,
+                QuantMode::Off,
+                &f32_model,
+            )
+        })
     });
     group.bench_function(BenchmarkId::new("fused", model_name), |b| {
-        b.iter(|| run_all(Some(PrefixCacheConfig::default()), Some(fusion)))
+        b.iter(|| {
+            run_all(
+                Some(PrefixCacheConfig::default()),
+                Some(fusion),
+                QuantMode::Off,
+                &f32_model,
+            )
+        })
+    });
+    group.bench_function(BenchmarkId::new("int8_fused", model_name), |b| {
+        b.iter(|| {
+            run_all(
+                Some(PrefixCacheConfig::default()),
+                Some(fusion),
+                QuantMode::Int8,
+                &int8_model,
+            )
+        })
     });
     group.finish();
 
-    let uncached_s = time_mean(iters, || run_all(None, None));
-    let cached_s = time_mean(iters, || run_all(Some(PrefixCacheConfig::default()), None));
+    let uncached_s = time_mean(iters, || run_all(None, None, QuantMode::Off, &f32_model));
+    let cached_s = time_mean(iters, || {
+        run_all(
+            Some(PrefixCacheConfig::default()),
+            None,
+            QuantMode::Off,
+            &f32_model,
+        )
+    });
     let fused_s = time_mean(iters, || {
-        run_all(Some(PrefixCacheConfig::default()), Some(fusion))
+        run_all(
+            Some(PrefixCacheConfig::default()),
+            Some(fusion),
+            QuantMode::Off,
+            &f32_model,
+        )
+    });
+    let int8_uncached_s = time_mean(iters, || run_all(None, None, QuantMode::Int8, &int8_model));
+    let int8_fused_s = time_mean(iters, || {
+        run_all(
+            Some(PrefixCacheConfig::default()),
+            Some(fusion),
+            QuantMode::Int8,
+            &int8_model,
+        )
     });
 
-    // The optimizations must be invisible in the records.
-    let plain = run_all(None, None);
-    let cached = run_all(Some(PrefixCacheConfig::default()), None);
-    let fused = run_all(Some(PrefixCacheConfig::default()), Some(fusion));
+    // The optimizations must be invisible in the records — in both
+    // quantization regimes.
+    let plain = run_all(None, None, QuantMode::Off, &f32_model);
+    let cached = run_all(
+        Some(PrefixCacheConfig::default()),
+        None,
+        QuantMode::Off,
+        &f32_model,
+    );
+    let fused = run_all(
+        Some(PrefixCacheConfig::default()),
+        Some(fusion),
+        QuantMode::Off,
+        &f32_model,
+    );
     let (mut hits, mut misses, mut skipped_flops) = (0u64, 0u64, 0u64);
     for ((p, cr), fr) in plain.iter().zip(&cached).zip(&fused) {
         assert_eq!(p.records, cr.records, "prefix caching changed records");
@@ -388,6 +549,16 @@ fn bench_campaign(c: &mut Criterion, qm: &QuickMode) -> CampaignNumbers {
         hits += s.hits;
         misses += s.misses;
         skipped_flops += s.skipped_flops;
+    }
+    let int8_plain = run_all(None, None, QuantMode::Int8, &int8_model);
+    let int8_fused = run_all(
+        Some(PrefixCacheConfig::default()),
+        Some(fusion),
+        QuantMode::Int8,
+        &int8_model,
+    );
+    for (p, fr) in int8_plain.iter().zip(&int8_fused) {
+        assert_eq!(p.records, fr.records, "acceleration changed INT8 records");
     }
     let total_trials = (trials * layers.len()) as f64;
     println!(
@@ -399,6 +570,13 @@ fn bench_campaign(c: &mut Criterion, qm: &QuickMode) -> CampaignNumbers {
         total_trials / fused_s,
         uncached_s / fused_s
     );
+    println!(
+        "  campaign {model_name} int8: uncached {:.1} trials/s -> fused {:.1} trials/s \
+         ({:.2}x of the f32 fused rate)",
+        total_trials / int8_uncached_s,
+        total_trials / int8_fused_s,
+        fused_s / int8_fused_s
+    );
 
     CampaignNumbers {
         model,
@@ -409,6 +587,8 @@ fn bench_campaign(c: &mut Criterion, qm: &QuickMode) -> CampaignNumbers {
         uncached_s,
         cached_s,
         fused_s,
+        int8_uncached_s,
+        int8_fused_s,
         fusion_width,
         hits,
         misses,
@@ -446,6 +626,7 @@ fn geomean(ratios: impl Iterator<Item = f64>) -> f64 {
 
 fn write_json(
     matmul_rows: &[MatmulRow],
+    int8_matmul_rows: &[Int8MatmulRow],
     elemwise_rows: &[ElemwiseRow],
     steady_state_allocs: f64,
     camp: &CampaignNumbers,
@@ -469,6 +650,21 @@ fn write_json(
             )
         })
         .collect();
+    let int8_matmul_json: Vec<String> = int8_matmul_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"m\": {}, \"k\": {}, \"n\": {}, \"portable_s\": {:.6e}, \
+                 \"dispatched_s\": {:.6e}, \"speedup\": {:.3}}}",
+                r.m,
+                r.k,
+                r.n,
+                r.portable_s,
+                r.dispatched_s,
+                r.portable_s / r.dispatched_s
+            )
+        })
+        .collect();
     let elemwise_json: Vec<String> = elemwise_rows
         .iter()
         .map(|r| {
@@ -489,6 +685,9 @@ fn write_json(
          \x20 \"bench\": \"campaign_throughput\",\n\
          \x20 \"matmul\": [\n{}\n  ],\n\
          \x20 \"matmul_geomean_speedup\": {:.3},\n\
+         \x20 \"int8_matmul\": [\n{}\n  ],\n\
+         \x20 \"int8_matmul_geomean_speedup\": {:.3},\n\
+         \x20 \"int8_matmul_simd\": \"{}\",\n\
          \x20 \"elementwise\": [\n{}\n  ],\n\
          \x20 \"elementwise_geomean_speedup\": {:.3},\n\
          \x20 \"campaign\": {{\n\
@@ -505,6 +704,10 @@ fn write_json(
          \x20   \"fused_trials_per_s\": {:.2},\n\
          \x20   \"speedup\": {:.3},\n\
          \x20   \"fused_speedup\": {:.3},\n\
+         \x20   \"int8_uncached_s\": {:.6},\n\
+         \x20   \"int8_fused_s\": {:.6},\n\
+         \x20   \"int8_fused_trials_per_s\": {:.2},\n\
+         \x20   \"int8_fused_vs_f32\": {:.3},\n\
          \x20   \"steady_state_allocs_per_trial\": {:.3},\n\
          \x20   \"fusion_width\": {},\n\
          \x20   \"prefix_hits\": {},\n\
@@ -514,6 +717,13 @@ fn write_json(
          }}\n",
         matmul_json.join(",\n"),
         geomean(matmul_rows.iter().map(|r| r.baseline_s / r.blocked_s)),
+        int8_matmul_json.join(",\n"),
+        geomean(
+            int8_matmul_rows
+                .iter()
+                .map(|r| r.portable_s / r.dispatched_s)
+        ),
+        int8_matmul_simd(),
         elemwise_json.join(",\n"),
         geomean(elemwise_rows.iter().map(|r| r.scalar_s / r.kernel_s)),
         camp.model,
@@ -529,6 +739,10 @@ fn write_json(
         total_trials / camp.fused_s,
         camp.uncached_s / camp.cached_s,
         camp.uncached_s / camp.fused_s,
+        camp.int8_uncached_s,
+        camp.int8_fused_s,
+        total_trials / camp.int8_fused_s,
+        camp.fused_s / camp.int8_fused_s,
         steady_state_allocs,
         camp.fusion_width,
         camp.hits,
@@ -543,6 +757,8 @@ fn bench_all(c: &mut Criterion) {
     let qm = QuickMode::from_env();
     let mut matmul_rows = Vec::new();
     bench_matmul_kernels(c, &mut matmul_rows);
+    let mut int8_matmul_rows = Vec::new();
+    bench_int8_matmul(c, &mut int8_matmul_rows);
     let mut elemwise_rows = Vec::new();
     bench_elementwise(c, &mut elemwise_rows);
     let camp = bench_campaign(c, &qm);
@@ -553,6 +769,7 @@ fn bench_all(c: &mut Criterion) {
     );
     write_json(
         &matmul_rows,
+        &int8_matmul_rows,
         &elemwise_rows,
         steady_state_allocs,
         &camp,

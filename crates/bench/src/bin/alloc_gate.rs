@@ -7,18 +7,23 @@
 //! fan-out allocates when it spawns, and thread management is outside the
 //! tensor-path claim this gate protects.
 //!
-//! Two measurements keep the assertion honest:
+//! Three measurements keep the assertion honest:
 //!
 //! 1. With pooling *disabled* (budget 0), the same passes must allocate —
 //!    proving the counter actually observes the forward path (a vacuously
 //!    green gate would otherwise hide a broken instrument).
 //! 2. With pooling *enabled*, warmed passes must allocate nothing.
+//! 3. With the real-INT8 backend armed on top (calibrated scales, integer
+//!    kernels, thread-local `i8`/`i32` scratch), warmed passes must still
+//!    allocate nothing — the quantized fast path shares the zero-allocation
+//!    claim.
 //!
 //! Run with: `cargo run -p rustfi-bench --bin alloc_gate --release`
 
 use rustfi_bench::alloc_count::{self, CountingAlloc};
-use rustfi_nn::{zoo, ZooConfig};
+use rustfi_nn::{zoo, Backend, CalibrationTable, ZooConfig};
 use rustfi_tensor::{tpool, SeededRng, Tensor};
+use std::sync::Arc;
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -53,6 +58,19 @@ fn main() {
         pooled == 0.0,
         "forward path allocated at steady state with the tensor pool armed \
          ({pooled:.3} allocations/pass)"
+    );
+
+    let quantized = {
+        let _pool = tpool::budget_scope(64 << 20);
+        let table = CalibrationTable::calibrate(&mut net, std::slice::from_ref(&input));
+        net.set_backend(Backend::Int8(Arc::new(table)));
+        alloc_count::steady_state_forward_allocs(&mut net, &input, 8, 64)
+    };
+    println!("alloc_gate: int8 backend -> {quantized:.1} allocations/pass");
+    assert!(
+        quantized == 0.0,
+        "quantized forward path allocated at steady state \
+         ({quantized:.3} allocations/pass)"
     );
     println!("alloc_gate: ok — steady-state forward passes are allocation-free");
 }

@@ -9,6 +9,11 @@
 //! on the same machine, so the comparison is runner-speed independent;
 //! gating absolute trials/sec would not be.
 //!
+//! On top of the baseline-relative ratios, the gate enforces absolute
+//! within-run floors (`gate::absolute_floors`): the AVX2 int8 GEMM must
+//! beat its own portable compilation by at least 1.5x whenever the fresh
+//! summary reports the AVX2 kernel dispatched.
+//!
 //! Run with: `cargo run -p rustfi-bench --bin bench_gate --release`
 //!
 //! Knobs:
@@ -72,6 +77,21 @@ fn main() -> ExitCode {
     let mut failed = false;
     for c in &checks {
         let ok = c.passes(min_ratio);
+        failed |= !ok;
+        println!(
+            "{:<26} {:>9.2}x {:>9.2}x {:>8.3} {:>6}",
+            c.name,
+            c.baseline,
+            c.fresh,
+            c.ratio(),
+            if ok { "ok" } else { "FAIL" }
+        );
+    }
+    // Absolute floors are judged against the fresh run alone ("baseline" is
+    // the constant floor), so the full ratio is required — no min-ratio
+    // slack.
+    for c in gate::absolute_floors(&fresh) {
+        let ok = c.passes(1.0);
         failed |= !ok;
         println!(
             "{:<26} {:>9.2}x {:>9.2}x {:>8.3} {:>6}",

@@ -14,20 +14,32 @@
 //! (a worst-case DUE workload) and compares `GuardMode::Record` against
 //! `GuardMode::ShortCircuit`: identical classifications, less wall clock.
 //!
+//! A final table puts the two quantization regimes side by side: the same
+//! bit-flip campaign under `QuantMode::Simulated` (f32 kernels, activations
+//! snapped to the INT8 grid) and under `QuantMode::Int8` (real integer
+//! kernels, faults landing in stored INT8 words), reporting SDC rates with
+//! 95% Wilson intervals. The intervals should overlap heavily — both
+//! regimes model the same hardware fault, and the words they flip are
+//! bit-identical by construction.
+//!
 //! Run with: `cargo run -p rustfi-bench --bin fig4_classification --release`
 //! Knobs: `RUSTFI_TRIALS` (default 20000) injections per network,
-//! `RUSTFI_GUARD_TRIALS` (default 1000) for the guard ablation.
+//! `RUSTFI_GUARD_TRIALS` (default 1000) for the guard ablation,
+//! `RUSTFI_INT8_TRIALS` (default `RUSTFI_TRIALS`/10) per regime for the
+//! quantization comparison.
 
-use rustfi::{models, Campaign, CampaignConfig, FaultMode, GuardMode, NeuronSelect};
+use rustfi::{models, Campaign, CampaignConfig, FaultMode, GuardMode, NeuronSelect, QuantMode};
 use rustfi_bench::{
     env_usize, factory_from_checkpoint, fig4_models, outcome_table_header, outcome_table_row,
     train_and_checkpoint,
 };
 use rustfi_data::SynthSpec;
+use rustfi_obs::{wilson_interval, Z_95};
 use std::sync::Arc;
 
 fn main() {
     let trials = env_usize("RUSTFI_TRIALS", 20_000);
+    let int8_trials = env_usize("RUSTFI_INT8_TRIALS", (trials / 10).max(1));
     let spec = SynthSpec::imagenet_like();
     let data = spec.generate();
     println!(
@@ -36,6 +48,7 @@ fn main() {
     );
     println!("{}", outcome_table_header());
 
+    let mut quant_rows = Vec::new();
     for model in fig4_models() {
         let (ckpt, acc) = train_and_checkpoint(model, &spec);
         let factory = factory_from_checkpoint(model, "imagenet-like", ckpt.clone());
@@ -50,17 +63,57 @@ fn main() {
             .run(&CampaignConfig {
                 trials,
                 seed: 0xF164,
-                int8_activations: true,
+                quant: QuantMode::Simulated,
                 ..CampaignConfig::default()
             })
             .expect("campaign config is valid");
         println!("{}", outcome_table_row(model, Some(acc), &result));
+
+        // Same campaign, both quantization regimes, for the comparison
+        // table (fewer trials: two extra campaigns per network).
+        let regime = |quant| {
+            campaign
+                .run(&CampaignConfig {
+                    trials: int8_trials,
+                    seed: 0x714D,
+                    quant,
+                    ..CampaignConfig::default()
+                })
+                .expect("campaign config is valid")
+        };
+        quant_rows.push((
+            *model,
+            regime(QuantMode::Simulated),
+            regime(QuantMode::Int8),
+        ));
 
         if model == &"alexnet" {
             guard_ablation(&factory, &data);
         }
         std::fs::remove_file(&ckpt).ok();
     }
+
+    println!(
+        "\nQuantized campaigns — simulated INT8 (f32 kernels) vs real INT8 backend \
+         (integer kernels, stored-word flips), {int8_trials} trials each, SDC with \
+         95% Wilson intervals"
+    );
+    println!("{:<12} {:>26} {:>26}", "model", "simulated", "real-int8");
+    for (model, sim, int8) in &quant_rows {
+        println!("{:<12} {:>26} {:>26}", model, sdc_ci(sim), sdc_ci(int8));
+    }
+}
+
+/// `"x.xx% [lo.xx, hi.xx]"`: the SDC rate with its 95% Wilson interval.
+fn sdc_ci(r: &rustfi::CampaignResult) -> String {
+    let n = r.counts.total() as u64;
+    let (lo, hi) = wilson_interval(r.counts.sdc as u64, n, Z_95);
+    let p = if n == 0 {
+        0.0
+    } else {
+        r.counts.sdc as f64 / n as f64
+    };
+    format!("{:.2}% [{:.2}, {:.2}]", p * 100.0, lo * 100.0, hi * 100.0)
 }
 
 /// Guard-hook ablation on the first (AlexNet) checkpoint: every trial
@@ -84,7 +137,7 @@ fn guard_ablation(
                 .run(&CampaignConfig {
                     trials,
                     seed: 0x6A2D,
-                    int8_activations: true,
+                    quant: rustfi::QuantMode::Simulated,
                     guard,
                     ..CampaignConfig::default()
                 })

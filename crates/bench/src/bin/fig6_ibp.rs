@@ -87,7 +87,7 @@ fn first_two_layer_rate(
             .run(&CampaignConfig {
                 trials,
                 seed: 0xF166 + layer as u64,
-                int8_activations: true,
+                quant: rustfi::QuantMode::Simulated,
                 ..CampaignConfig::default()
             })
             .expect("campaign config is valid");

@@ -56,7 +56,7 @@ fn post_training_sdcs(
         .run(&CampaignConfig {
             trials,
             seed: 0x7AB1E1,
-            int8_activations: true,
+            quant: rustfi::QuantMode::Simulated,
             ..CampaignConfig::default()
         })
         .expect("campaign config is valid");

@@ -140,9 +140,12 @@ pub mod gate {
     /// an empty return therefore means the files share no comparable metric.
     pub fn checks(baseline: &str, fresh: &str) -> Vec<Check> {
         let mut out = Vec::new();
-        let pairs: [(&'static str, Extract); 4] = [
+        let pairs: [(&'static str, Extract); 6] = [
             ("matmul_geomean_speedup", |t| {
                 json_f64(t, "matmul_geomean_speedup", 0)
+            }),
+            ("int8_matmul_geomean_speedup", |t| {
+                json_f64(t, "int8_matmul_geomean_speedup", 0)
             }),
             ("elementwise_geomean_speedup", |t| {
                 json_f64(t, "elementwise_geomean_speedup", 0)
@@ -152,12 +155,34 @@ pub mod gate {
                 json_f64(t, "speedup", at)
             }),
             ("fused_speedup", |t| json_f64(t, "fused_speedup", 0)),
+            ("int8_fused_vs_f32", |t| json_f64(t, "int8_fused_vs_f32", 0)),
         ];
         for (name, get) in pairs {
             if let (Some(b), Some(f)) = (get(baseline), get(fresh)) {
                 out.push(Check {
                     name,
                     baseline: b,
+                    fresh: f,
+                });
+            }
+        }
+        out
+    }
+
+    /// Absolute within-run floors, judged against the fresh summary alone
+    /// (pass = `ratio() >= 1.0`). Unlike the baseline-relative [`checks`],
+    /// these pin a claim to a constant: the AVX2 int8 GEMM must beat its own
+    /// portable compilation by at least 1.5x — a within-run ratio, so still
+    /// runner-speed independent. The floor only applies when the summary
+    /// says the AVX2 kernel actually dispatched; a portable-only host
+    /// measures 1.0x by construction and is skipped.
+    pub fn absolute_floors(fresh: &str) -> Vec<Check> {
+        let mut out = Vec::new();
+        if fresh.contains("\"int8_matmul_simd\": \"avx2\"") {
+            if let Some(f) = json_f64(fresh, "int8_matmul_geomean_speedup", 0) {
+                out.push(Check {
+                    name: "int8_matmul_floor_1.5x",
+                    baseline: 1.5,
                     fresh: f,
                 });
             }
@@ -545,6 +570,50 @@ mod tests {
             fresh: 1.0,
         };
         assert!(!broken.passes(0.75));
+    }
+
+    const FAKE_BENCH_INT8: &str = r#"{
+  "matmul_geomean_speedup": 2.000,
+  "int8_matmul": [
+    {"m": 1, "k": 2, "n": 3, "speedup": 9.999}
+  ],
+  "int8_matmul_geomean_speedup": 2.500,
+  "int8_matmul_simd": "avx2",
+  "elementwise_geomean_speedup": 1.500,
+  "campaign": {
+    "model": "vgg19",
+    "speedup": 4.000,
+    "fused_speedup": 8.000,
+    "int8_fused_vs_f32": 1.200
+  }
+}"#;
+
+    #[test]
+    fn gate_compares_int8_metrics_when_both_sides_have_them() {
+        let checks = gate::checks(FAKE_BENCH_INT8, FAKE_BENCH_INT8);
+        assert_eq!(checks.len(), 6);
+        let by_name = |n: &str| checks.iter().find(|c| c.name == n).unwrap();
+        // The int8 geomean key must not be confused with the f32 one.
+        assert_eq!(by_name("int8_matmul_geomean_speedup").fresh, 2.5);
+        assert_eq!(by_name("matmul_geomean_speedup").fresh, 2.0);
+        assert_eq!(by_name("int8_fused_vs_f32").fresh, 1.2);
+        // An old baseline without the int8 keys skips them, not fails.
+        assert_eq!(gate::checks(FAKE_BENCH, FAKE_BENCH_INT8).len(), 4);
+    }
+
+    #[test]
+    fn int8_floor_applies_only_when_avx2_dispatched() {
+        let floors = gate::absolute_floors(FAKE_BENCH_INT8);
+        assert_eq!(floors.len(), 1);
+        assert!(floors[0].passes(1.0), "2.5 clears the 1.5 floor");
+        let slow = FAKE_BENCH_INT8.replace("2.500", "1.400");
+        assert!(!gate::absolute_floors(&slow)[0].passes(1.0), "1.4 < 1.5");
+        let portable = FAKE_BENCH_INT8.replace("\"avx2\"", "\"portable\"");
+        assert!(
+            gate::absolute_floors(&portable).is_empty(),
+            "portable hosts measure 1.0x by construction and are exempt"
+        );
+        assert!(gate::absolute_floors(FAKE_BENCH).is_empty(), "no int8 data");
     }
 
     #[test]

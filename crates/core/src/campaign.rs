@@ -33,13 +33,16 @@
 
 use crate::config::FiConfig;
 use crate::error::FiError;
-use crate::injector::{FaultInjector, FusedTrialFault, NeuronFault, WeightFault};
+use crate::injector::{FaultInjector, FusedTrialFault, NeuronFault, QuantMode, WeightFault};
 use crate::journal::{read_journal_repairing, JournalHeader, JournalWriter};
 use crate::location::{BatchSelect, NeuronSelect, NeuronSite, WeightSelect};
 use crate::metrics::{classify_outcome, confidence, top1, OutcomeCounts, OutcomeKind};
 use crate::perturbation::PerturbationModel;
 use parking_lot::Mutex;
-use rustfi_nn::{DeadlineInterrupt, GuardConfig, GuardHook, LayerId, Network, NonFiniteInterrupt};
+use rustfi_nn::{
+    CalibrationTable, DeadlineInterrupt, GuardConfig, GuardHook, LayerId, Network,
+    NonFiniteInterrupt,
+};
 use rustfi_obs::{
     names as obs_names, now_ns, thread_tid, Event as ObsEvent, LocalRecorder, Recorder, SpanRecord,
     TrialOutcomeEvent,
@@ -248,9 +251,12 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Worker threads (`None` = all available cores).
     pub threads: Option<usize>,
-    /// Whether to emulate INT8 activation quantization during trials (and
-    /// when computing golden predictions).
-    pub int8_activations: bool,
+    /// Quantization regime for trial (and golden-prediction) forwards:
+    /// [`QuantMode::Simulated`] snaps activations to the INT8 grid on top of
+    /// f32 kernels; [`QuantMode::Int8`] runs real integer kernels against a
+    /// calibration table built from the campaign's image set, with faults
+    /// flipping stored INT8 words.
+    pub quant: QuantMode,
     /// NaN/Inf guard-hook behaviour during trials.
     pub guard: GuardMode,
     /// Per-trial step budget: a forward pass dispatching more than this many
@@ -296,7 +302,7 @@ impl Default for CampaignConfig {
             trials: 1000,
             seed: 0xCA_4F,
             threads: None,
-            int8_activations: false,
+            quant: QuantMode::Off,
             guard: GuardMode::Off,
             max_steps: None,
             prefix_cache: None,
@@ -314,7 +320,7 @@ impl std::fmt::Debug for CampaignConfig {
             .field("trials", &self.trials)
             .field("seed", &self.seed)
             .field("threads", &self.threads)
-            .field("int8_activations", &self.int8_activations)
+            .field("quant", &self.quant)
             .field("guard", &self.guard)
             .field("max_steps", &self.max_steps)
             .field("prefix_cache", &self.prefix_cache)
@@ -663,9 +669,27 @@ impl<'a> Campaign<'a> {
         // would classify Hang differently: caching stands down under it.
         let use_prefix = cfg.prefix_cache.is_some() && cfg.max_steps.is_none();
         let mut golden = FaultInjector::new((self.factory)(), FiConfig::for_input(&input_dims))?;
-        if cfg.int8_activations {
-            golden.enable_int8_activations();
-        }
+        // Install the quantization regime before anything observes
+        // activations: golden predictions, prefix snapshots, and trial
+        // forwards all run under the same arithmetic. The INT8 calibration
+        // ranges come from the *full* campaign image set, so the table — and
+        // with it every trial record — is identical across shards, thread
+        // counts, and fusion widths.
+        let int8_table = match cfg.quant {
+            QuantMode::Off => None,
+            QuantMode::Simulated => {
+                golden.enable_int8_activations();
+                None
+            }
+            QuantMode::Int8 => {
+                let imgs: Vec<Tensor> = (0..self.images.dims()[0])
+                    .map(|i| self.images.select_batch(i))
+                    .collect();
+                let table = Arc::new(CalibrationTable::calibrate(golden.net_mut(), &imgs));
+                golden.enable_int8_backend(Arc::clone(&table));
+                Some(table)
+            }
+        };
         let prefix = if use_prefix {
             let pc = cfg.prefix_cache.as_ref().expect("use_prefix checked");
             let layers = golden.profile().layers();
@@ -830,6 +854,7 @@ impl<'a> Campaign<'a> {
             input_dims,
             range,
             cfg,
+            int8_table: &int8_table,
             root: &root,
             eligible: &eligible,
             prefix: &prefix,
@@ -978,6 +1003,9 @@ struct RunEnv<'e> {
     /// ordinary runs, one shard's slice under [`Campaign::run_shard`].
     range: (usize, usize),
     cfg: &'e CampaignConfig,
+    /// The shared calibration table under [`QuantMode::Int8`] (built once
+    /// from the full image set during the golden pass), else `None`.
+    int8_table: &'e Option<Arc<CalibrationTable>>,
     root: &'e SeededRng,
     eligible: &'e [(usize, f32)],
     prefix: &'e Option<PrefixEnv>,
@@ -1053,11 +1081,15 @@ fn build_worker(
         // buffer.
         fi.set_recorder(Some(Arc::clone(l) as Arc<dyn Recorder>));
     }
-    if cfg.int8_activations {
-        fi.enable_int8_activations();
+    match cfg.quant {
+        QuantMode::Off => {}
+        QuantMode::Simulated => fi.enable_int8_activations(),
+        QuantMode::Int8 => fi.enable_int8_backend(Arc::clone(
+            env.int8_table.as_ref().expect("Int8 mode built a table"),
+        )),
     }
-    // Install the guard after the int8 hook so it scans the values the next
-    // layer will actually consume.
+    // Install the guard after the quant regime so it scans the values the
+    // next layer will actually consume.
     let guard = (cfg.guard != GuardMode::Off || cfg.max_steps.is_some()).then(|| {
         GuardHook::install(
             fi.net(),
@@ -1590,7 +1622,7 @@ fn run_fused_chunk(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::models::{Custom, RandomUniform, StuckAt};
+    use crate::models::{BitFlipInt8, BitSelect, Custom, RandomUniform, StuckAt};
     use rustfi_nn::{zoo, ZooConfig};
     use rustfi_tensor::Tensor;
 
@@ -2542,7 +2574,7 @@ mod tests {
             trials: 24,
             seed: 35,
             threads: Some(2),
-            int8_activations: true,
+            quant: QuantMode::Simulated,
             ..CampaignConfig::default()
         };
         let plain = campaign.run(&cfg).unwrap();
@@ -2556,6 +2588,91 @@ mod tests {
             fused.records, plain.records,
             "per-slice int8 scales equal the per-tensor scales of batch-1 runs"
         );
+    }
+
+    #[test]
+    fn int8_campaigns_run_and_are_thread_invariant() {
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(BitFlipInt8::new(BitSelect::Random)),
+        );
+        let cfg = CampaignConfig {
+            trials: 24,
+            seed: 37,
+            threads: Some(1),
+            quant: QuantMode::Int8,
+            ..CampaignConfig::default()
+        };
+        let serial = campaign.run(&cfg).unwrap();
+        assert_eq!(serial.records.len(), 24);
+        let threaded = campaign
+            .run(&CampaignConfig {
+                threads: Some(3),
+                ..cfg.clone()
+            })
+            .unwrap();
+        assert_eq!(serial.records, threaded.records);
+    }
+
+    #[test]
+    fn int8_fused_and_prefixed_campaigns_match_serial() {
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Neuron(NeuronSelect::Random),
+            Arc::new(BitFlipInt8::new(BitSelect::Random)),
+        );
+        let cfg = CampaignConfig {
+            trials: 24,
+            seed: 38,
+            threads: Some(2),
+            quant: QuantMode::Int8,
+            ..CampaignConfig::default()
+        };
+        let plain = campaign.run(&cfg).unwrap();
+        let accelerated = campaign
+            .run(&CampaignConfig {
+                fusion: Some(FusionConfig::default()),
+                prefix_cache: Some(crate::prefix::PrefixCacheConfig::default()),
+                ..cfg.clone()
+            })
+            .unwrap();
+        assert_eq!(
+            accelerated.records, plain.records,
+            "stored-word faults compose with fusion and prefix caching"
+        );
+    }
+
+    #[test]
+    fn int8_weight_campaigns_flip_stored_words() {
+        let images = images();
+        let labels = aligned_labels(&images);
+        let campaign = Campaign::new(
+            &factory,
+            &images,
+            &labels,
+            FaultMode::Weight(WeightSelect::Random),
+            Arc::new(BitFlipInt8::new(BitSelect::Random)),
+        );
+        let cfg = CampaignConfig {
+            trials: 16,
+            seed: 39,
+            threads: Some(2),
+            quant: QuantMode::Int8,
+            ..CampaignConfig::default()
+        };
+        let result = campaign.run(&cfg).unwrap();
+        assert_eq!(result.records.len(), 16);
+        let rerun = campaign.run(&cfg).unwrap();
+        assert_eq!(result.records, rerun.records, "word flips restore cleanly");
     }
 
     #[test]

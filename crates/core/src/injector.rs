@@ -7,7 +7,7 @@ use crate::location::{BatchSelect, NeuronSelect, NeuronSite, WeightSelect, Weigh
 use crate::perturbation::{PerturbCtx, PerturbationModel};
 use crate::profile::ModelProfile;
 use parking_lot::Mutex;
-use rustfi_nn::{HookHandle, LayerId, Network};
+use rustfi_nn::{Backend, CalibrationTable, HookHandle, LayerId, Network};
 use rustfi_obs::{Event as ObsEvent, InjectionEvent, InjectionSite, Recorder};
 use rustfi_quant::int8;
 use rustfi_tensor::{SeededRng, Tensor};
@@ -17,6 +17,65 @@ use std::sync::Arc;
 /// Sentinel stored in the shared trial cell when no campaign trial is
 /// active (provenance events then carry `trial: None`).
 const NO_TRIAL: usize = usize::MAX;
+
+/// Which quantization regime an injector (and by extension a campaign) runs
+/// its forwards under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QuantMode {
+    /// Plain FP32 inference — the default.
+    #[default]
+    Off,
+    /// FP32 kernels with every injectable layer's output snapped to the
+    /// INT8 grid (the paper's §IV-A emulation); see
+    /// [`FaultInjector::enable_int8_activations`].
+    Simulated,
+    /// Real INT8 inference: integer conv/linear kernels over stored `i8`
+    /// weight words with statically calibrated input scales, and faults
+    /// that flip bits directly in the stored words; see
+    /// [`FaultInjector::enable_int8_backend`].
+    Int8,
+}
+
+/// Applies `model` to one activation value, routing through the stored-word
+/// form ([`PerturbationModel::perturb_i8`]) when the injector runs real INT8
+/// inference. The value is quantized against the slice's dynamic scale
+/// (`max|slice| / 127` — the grid a quantized consumer would store it on),
+/// the model flips bits in that word, and the word is read back. Models
+/// without an integer form fall back to their f32 `perturb` (which then sees
+/// the scale via [`PerturbCtx::quant_scale`]). Returns the new value plus
+/// the before/after words when the fault landed in a stored word.
+fn perturb_activation(
+    model: &dyn PerturbationModel,
+    old: f32,
+    int8_words: bool,
+    ctx: &mut PerturbCtx<'_>,
+) -> (f32, Option<(i8, i8)>) {
+    if int8_words {
+        let scale = int8::scale_for_max_abs(ctx.tensor_max_abs);
+        ctx.quant_scale = Some(scale);
+        let word = int8::quantize(old, scale);
+        if let Some(new_word) = model.perturb_i8(word, ctx) {
+            return (int8::dequantize(new_word, scale), Some((word, new_word)));
+        }
+    }
+    (model.perturb(old, ctx), None)
+}
+
+/// The single flipped bit of a stored-word perturbation, when the two words
+/// differ in exactly one bit.
+fn word_bit(old_w: i8, new_w: i8) -> Option<u32> {
+    let diff = (old_w as u8) ^ (new_w as u8);
+    (diff.count_ones() == 1).then(|| diff.trailing_zeros())
+}
+
+/// Event `bit` field for one perturbation: the stored-word bit on the INT8
+/// path, else the FP32 bit derived from the value pair.
+fn event_bit(old: f32, new: f32, words: Option<(i8, i8)>) -> Option<u32> {
+    match words {
+        Some((ow, nw)) => word_bit(ow, nw),
+        None => InjectionEvent::flipped_bit(old, new),
+    }
+}
 
 /// One declared neuron fault: where ([`NeuronSelect`] × [`BatchSelect`]) and
 /// what ([`PerturbationModel`]).
@@ -99,7 +158,12 @@ pub struct FaultInjector {
     config: FiConfig,
     handles: Vec<HookHandle>,
     quant_handle: Option<HookHandle>,
+    /// Calibration table of the real INT8 backend, when installed. Its
+    /// presence is what routes declared faults through stored-word flips.
+    int8_table: Option<Arc<CalibrationTable>>,
     weight_undo: Vec<(usize, usize, f32)>,
+    /// Undo log for stored-word weight flips: (layer, word index, old word).
+    qweight_undo: Vec<(usize, usize, i8)>,
     plan_rng: SeededRng,
     exec_rng: Arc<Mutex<SeededRng>>,
     applied: Arc<AtomicUsize>,
@@ -130,7 +194,9 @@ impl FaultInjector {
             config,
             handles: Vec::new(),
             quant_handle: None,
+            int8_table: None,
             weight_undo: Vec::new(),
+            qweight_undo: Vec::new(),
             plan_rng: root.fork(1),
             exec_rng: Arc::new(Mutex::new(root.fork(2))),
             applied: Arc::new(AtomicUsize::new(0)),
@@ -226,6 +292,9 @@ impl FaultInjector {
         for (site, model) in resolved {
             by_layer[site.layer].push((site, model));
         }
+        // Captured at declare time: campaigns install the quant regime
+        // before declaring faults, so hook closures see the right routing.
+        let int8_words = self.int8_table.is_some();
         for (layer, group) in by_layer.into_iter().enumerate() {
             if group.is_empty() {
                 continue;
@@ -270,9 +339,11 @@ impl FaultInjector {
                                 batch: b,
                                 channel: site.channel,
                                 tensor_max_abs: max_abs,
+                                quant_scale: None,
                                 rng: &mut rng,
                             };
-                            let new = model.perturb(old, &mut pctx);
+                            let (new, words) =
+                                perturb_activation(&**model, old, int8_words, &mut pctx);
                             out.data_mut()[off] = new;
                             applied.fetch_add(1, Ordering::Relaxed);
                             if let Some(rec) = recorder.lock().as_ref() {
@@ -286,11 +357,14 @@ impl FaultInjector {
                                         y: site.y,
                                         x: site.x,
                                     },
-                                    bit: InjectionEvent::flipped_bit(old, new),
+                                    bit: event_bit(old, new, words),
                                     before: old,
                                     after: new,
                                 }));
                                 rec.counter_add("fi.injections", 1);
+                                if words.is_some() {
+                                    rec.counter_add("fi.int8_word_flips", 1);
+                                }
                             }
                         }
                     }
@@ -337,6 +411,7 @@ impl FaultInjector {
         );
         let applied = Arc::clone(&self.applied);
         let recorder = Arc::clone(&self.recorder);
+        let int8_words = self.int8_table.is_some();
         let handle = self
             .net
             .hooks()
@@ -376,9 +451,11 @@ impl FaultInjector {
                             batch: 0,
                             channel: site.channel,
                             tensor_max_abs: max_abs,
+                            quant_scale: None,
                             rng: &mut *rng,
                         };
-                        let new = fused.model.perturb(old, &mut pctx);
+                        let (new, words) =
+                            perturb_activation(&*fused.model, old, int8_words, &mut pctx);
                         out.data_mut()[off] = new;
                         applied.fetch_add(1, Ordering::Relaxed);
                         if let Some(rec) = recorder.lock().as_ref() {
@@ -391,11 +468,14 @@ impl FaultInjector {
                                     y: site.y,
                                     x: site.x,
                                 },
-                                bit: InjectionEvent::flipped_bit(old, new),
+                                bit: event_bit(old, new, words),
                                 before: old,
                                 after: new,
                             }));
                             rec.counter_add("fi.injections", 1);
+                            if words.is_some() {
+                                rec.counter_add("fi.int8_word_flips", 1);
+                            }
                         }
                     }
                 }
@@ -422,6 +502,7 @@ impl FaultInjector {
         }
         let sites: Vec<WeightSite> = resolved.iter().map(|(s, _)| *s).collect();
 
+        let int8_words = self.int8_table.is_some();
         for (site, model) in resolved {
             let layer = &self.profile.layers()[site.layer];
             let (layer_idx, layer_id, channel_guess) = (
@@ -433,6 +514,9 @@ impl FaultInjector {
                     site.index / layer.weight_dims.iter().skip(1).product::<usize>().max(1)
                 },
             );
+            if int8_words && self.flip_stored_weight(site, layer_id, channel_guess, &*model) {
+                continue;
+            }
             let weights = self
                 .net
                 .layer_weight_mut(layer_id)
@@ -445,6 +529,7 @@ impl FaultInjector {
                 batch: 0,
                 channel: channel_guess,
                 tensor_max_abs: max_abs,
+                quant_scale: None,
                 rng: &mut rng,
             };
             let new = model.perturb(old, &mut pctx);
@@ -471,11 +556,73 @@ impl FaultInjector {
         Ok(sites)
     }
 
+    /// Flips a declared weight fault directly in the layer's stored INT8
+    /// words (real-INT8 backend path). Returns `false` — having drawn no
+    /// perturbation randomness — when the model has no integer form; the
+    /// caller then falls back to the f32 weight path (whose mutation drops
+    /// the layer's quantized-weight cache, so the fault still propagates
+    /// through the integer kernels via requantization).
+    fn flip_stored_weight(
+        &mut self,
+        site: WeightSite,
+        layer_id: LayerId,
+        channel_guess: usize,
+        model: &dyn PerturbationModel,
+    ) -> bool {
+        let qw = self
+            .net
+            .layer_qweight_mut(layer_id)
+            .expect("profiled injectable layer has a quantized kernel");
+        let scale = qw.scale_for_index(site.index);
+        let old_w = qw.data()[site.index];
+        let mut rng = self.exec_rng.lock();
+        let mut pctx = PerturbCtx {
+            layer: site.layer,
+            batch: 0,
+            channel: channel_guess,
+            // The channel's representable range — what max|tensor| is to a
+            // dynamically scaled tensor. Derived from the stored scale so
+            // this path never touches (and never invalidates) f32 weights.
+            tensor_max_abs: scale * 127.0,
+            quant_scale: Some(scale),
+            rng: &mut rng,
+        };
+        let Some(new_w) = model.perturb_i8(old_w, &mut pctx) else {
+            return false;
+        };
+        drop(rng);
+        self.net
+            .layer_qweight_mut(layer_id)
+            .expect("still present")
+            .data_mut()[site.index] = new_w;
+        self.qweight_undo.push((site.layer, site.index, old_w));
+        self.applied.fetch_add(1, Ordering::Relaxed);
+        if let Some(rec) = self.recorder.lock().as_ref() {
+            let t = self.trial.load(Ordering::Relaxed);
+            let (before, after) = (
+                int8::dequantize(old_w, scale),
+                int8::dequantize(new_w, scale),
+            );
+            rec.event(ObsEvent::Injection(InjectionEvent {
+                trial: (t != NO_TRIAL).then_some(t),
+                layer: site.layer,
+                site: InjectionSite::Weight { index: site.index },
+                bit: word_bit(old_w, new_w),
+                before,
+                after,
+            }));
+            rec.counter_add("fi.injections", 1);
+            rec.counter_add("fi.int8_word_flips", 1);
+        }
+        true
+    }
+
     /// Removes all declared faults: unregisters this injector's hooks and
-    /// restores every perturbed weight (in reverse order).
+    /// restores every perturbed weight — f32 values and stored INT8 words —
+    /// in reverse order.
     ///
-    /// User hooks registered directly on the network, and the INT8
-    /// activation mode, are left untouched.
+    /// User hooks registered directly on the network, the INT8 activation
+    /// mode, and the INT8 backend are left untouched.
     pub fn restore(&mut self) {
         for handle in self.handles.drain(..) {
             self.net.hooks().remove(handle);
@@ -485,6 +632,13 @@ impl FaultInjector {
             self.net
                 .layer_weight_mut(id)
                 .expect("profiled layer has weights")
+                .data_mut()[index] = old;
+        }
+        for (layer, index, old) in self.qweight_undo.drain(..).rev() {
+            let id = self.profile.layers()[layer].id;
+            self.net
+                .layer_qweight_mut(id)
+                .expect("profiled layer has a quantized kernel")
                 .data_mut()[index] = old;
         }
     }
@@ -521,6 +675,38 @@ impl FaultInjector {
     pub fn disable_int8_activations(&mut self) {
         if let Some(h) = self.quant_handle.take() {
             self.net.hooks().remove(h);
+        }
+    }
+
+    /// Switches the wrapped network to the real INT8 inference backend:
+    /// integer conv/linear kernels consuming stored `i8` weight words and
+    /// `table`'s statically calibrated input scales.
+    ///
+    /// Faults declared *after* this call perturb stored INT8 words directly
+    /// (through [`PerturbationModel::perturb_i8`]): neuron faults quantize
+    /// the targeted activation against its slice's dynamic scale, flip the
+    /// word, and write the dequantized value back; weight faults flip bits
+    /// in the layer's cached [`rustfi_tensor::QTensor`] words in place.
+    /// Models without an integer form keep their f32 behavior.
+    pub fn enable_int8_backend(&mut self, table: Arc<CalibrationTable>) {
+        self.net.set_backend(Backend::Int8(Arc::clone(&table)));
+        self.int8_table = Some(table);
+    }
+
+    /// Returns the network to the FP32 backend.
+    pub fn disable_int8_backend(&mut self) {
+        self.net.set_backend(Backend::Fp32);
+        self.int8_table = None;
+    }
+
+    /// The quantization regime currently active on this injector.
+    pub fn quant_mode(&self) -> QuantMode {
+        if self.int8_table.is_some() {
+            QuantMode::Int8
+        } else if self.quant_handle.is_some() {
+            QuantMode::Simulated
+        } else {
+            QuantMode::Off
         }
     }
 
@@ -595,7 +781,8 @@ impl std::fmt::Debug for FaultInjector {
             .field("injectable_layers", &self.profile.len())
             .field("active_hooks", &self.handles.len())
             .field("perturbed_weights", &self.weight_undo.len())
-            .field("int8_activations", &self.quant_handle.is_some())
+            .field("perturbed_qweights", &self.qweight_undo.len())
+            .field("quant_mode", &self.quant_mode())
             .finish()
     }
 }
@@ -831,6 +1018,100 @@ mod tests {
         let out = fi.forward(&x());
         assert!(!out.has_non_finite());
         assert_eq!(fi.injections_applied(), 1);
+    }
+
+    fn calibrated(fi: &mut FaultInjector) -> Arc<CalibrationTable> {
+        Arc::new(CalibrationTable::calibrate(fi.net_mut(), &[x()]))
+    }
+
+    #[test]
+    fn int8_backend_toggles_and_tracks_mode() {
+        let mut fi = injector();
+        let clean = fi.forward(&x());
+        assert_eq!(fi.quant_mode(), QuantMode::Off);
+        let table = calibrated(&mut fi);
+        fi.enable_int8_backend(table);
+        assert_eq!(fi.quant_mode(), QuantMode::Int8);
+        let quant = fi.forward(&x());
+        assert_ne!(clean, quant, "integer kernels round differently");
+        assert_eq!(fi.forward(&x()), quant, "INT8 inference is deterministic");
+        fi.disable_int8_backend();
+        assert_eq!(fi.quant_mode(), QuantMode::Off);
+        assert_eq!(fi.forward(&x()), clean);
+    }
+
+    #[test]
+    fn int8_backend_weight_flip_lands_in_stored_word() {
+        let mut fi = injector();
+        let clean = fi.forward(&x());
+        let table = calibrated(&mut fi);
+        fi.enable_int8_backend(table);
+        let golden_q = fi.forward(&x());
+        let id = fi.profile().layers()[0].id;
+        let word_before = fi.net_mut().layer_qweight_mut(id).unwrap().data()[3];
+        fi.declare_weight_fi(&[WeightFault {
+            select: WeightSelect::Exact { layer: 0, index: 3 },
+            model: Arc::new(BitFlipInt8::new(BitSelect::Fixed(6))),
+        }])
+        .unwrap();
+        let word_after = fi.net_mut().layer_qweight_mut(id).unwrap().data()[3];
+        assert_eq!(
+            (word_before as u8) ^ (word_after as u8),
+            1 << 6,
+            "exactly bit 6 of the stored word flipped"
+        );
+        let faulty = fi.forward(&x());
+        assert_ne!(golden_q, faulty);
+        fi.restore();
+        assert_eq!(fi.forward(&x()), golden_q, "word restored in place");
+        fi.disable_int8_backend();
+        assert_eq!(fi.forward(&x()), clean, "f32 weights were never touched");
+    }
+
+    #[test]
+    fn int8_backend_weight_fault_falls_back_for_f32_models() {
+        let mut fi = injector();
+        let clean = fi.forward(&x());
+        let table = calibrated(&mut fi);
+        fi.enable_int8_backend(table);
+        let golden_q = fi.forward(&x());
+        // StuckAt has no integer form: the fault goes through the f32
+        // weights, and the dropped qweight cache requantizes it in.
+        fi.declare_weight_fi(&[WeightFault {
+            select: WeightSelect::Exact { layer: 0, index: 0 },
+            model: Arc::new(StuckAt::new(50.0)),
+        }])
+        .unwrap();
+        assert_ne!(fi.forward(&x()), golden_q);
+        fi.restore();
+        assert_eq!(fi.forward(&x()), golden_q);
+        fi.disable_int8_backend();
+        assert_eq!(fi.forward(&x()), clean);
+    }
+
+    #[test]
+    fn int8_backend_neuron_flip_applies_and_restores() {
+        let mut fi = injector();
+        let table = calibrated(&mut fi);
+        fi.enable_int8_backend(table);
+        let golden_q = fi.forward(&x());
+        fi.declare_neuron_fi(&[NeuronFault {
+            select: NeuronSelect::Exact {
+                layer: 1,
+                channel: 0,
+                y: 1,
+                x: 1,
+            },
+            batch: BatchSelect::All,
+            model: Arc::new(BitFlipInt8::new(BitSelect::Fixed(7))),
+        }])
+        .unwrap();
+        let faulty = fi.forward(&x());
+        assert_ne!(golden_q, faulty, "sign-bit flip propagates");
+        assert!(!faulty.has_non_finite());
+        assert_eq!(fi.injections_applied(), 1);
+        fi.restore();
+        assert_eq!(fi.forward(&x()), golden_q);
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub use campaign::{
 };
 pub use config::FiConfig;
 pub use error::FiError;
-pub use injector::{FaultInjector, NeuronFault, WeightFault};
+pub use injector::{FaultInjector, NeuronFault, QuantMode, WeightFault};
 pub use journal::{
     append_heartbeat, read_journal, read_journal_repairing, JournalHeader, JournalWriter,
     JOURNAL_VERSION,

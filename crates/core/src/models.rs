@@ -147,9 +147,11 @@ impl PerturbationModel for BitFlipFp32 {
     }
 }
 
-/// Flip one bit of the INT8-quantized representation of the value, using the
-/// dynamic per-tensor scale from the context (`max|tensor| / 127`) — the
-/// model behind the paper's Fig. 4 study.
+/// Flip one bit of the INT8-quantized representation of the value — the
+/// model behind the paper's Fig. 4 study. Uses the stored-word scale when the
+/// injector runs a real INT8 path, else the dynamic per-tensor scale from
+/// the context (`max|tensor| / 127`); on the real path the flip lands
+/// directly in the stored `i8` word via [`PerturbationModel::perturb_i8`].
 #[derive(Debug, Clone, Copy)]
 pub struct BitFlipInt8 {
     bit: BitSelect,
@@ -178,8 +180,14 @@ impl PerturbationModel for BitFlipInt8 {
             BitSelect::Fixed(b) => b,
             BitSelect::Random => ctx.rng.below(8) as u32,
         };
-        let scale = int8::scale_for_max_abs(ctx.tensor_max_abs);
-        int8::flip_bit_in_quantized(original, scale, bit)
+        int8::flip_bit_in_quantized(original, ctx.int8_scale(), bit)
+    }
+    fn perturb_i8(&self, stored: i8, ctx: &mut PerturbCtx<'_>) -> Option<i8> {
+        let bit = match self.bit {
+            BitSelect::Fixed(b) => b,
+            BitSelect::Random => ctx.rng.below(8) as u32,
+        };
+        Some(int8::flip_bit_i8(stored, bit))
     }
 }
 
@@ -210,8 +218,19 @@ impl PerturbationModel for MultiBitFlipInt8 {
         "multi-bitflip-int8"
     }
     fn perturb(&self, original: f32, ctx: &mut PerturbCtx<'_>) -> f32 {
-        let scale = int8::scale_for_max_abs(ctx.tensor_max_abs);
-        let mut q = int8::quantize(original, scale);
+        let scale = ctx.int8_scale();
+        let q = int8::quantize(original, scale);
+        int8::dequantize(self.flip_word(q, ctx), scale)
+    }
+    fn perturb_i8(&self, stored: i8, ctx: &mut PerturbCtx<'_>) -> Option<i8> {
+        Some(self.flip_word(stored, ctx))
+    }
+}
+
+impl MultiBitFlipInt8 {
+    /// Flips `count` distinct bits of `q`, drawing bit indices from the
+    /// context RNG in the same sequence for both perturb entry points.
+    fn flip_word(&self, mut q: i8, ctx: &mut PerturbCtx<'_>) -> i8 {
         let mut flipped = 0u8;
         while flipped.count_ones() < self.count {
             flipped |= 1u8 << ctx.rng.below(8);
@@ -221,7 +240,7 @@ impl PerturbationModel for MultiBitFlipInt8 {
                 q = int8::flip_bit_i8(q, bit);
             }
         }
-        int8::dequantize(q, scale)
+        q
     }
 }
 
@@ -304,6 +323,7 @@ mod tests {
             batch: 0,
             channel: 0,
             tensor_max_abs: 12.7,
+            quant_scale: None,
             rng,
         }
     }
@@ -431,6 +451,55 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn int8_rejects_fixed_bit_8() {
         BitFlipInt8::new(BitSelect::Fixed(8));
+    }
+
+    #[test]
+    fn quant_scale_overrides_dynamic_tensor_scale() {
+        // With quant_scale = 0.5 the dynamic 12.7/127 = 0.1 scale must be
+        // ignored: q(1.0, 0.5) = 2, flip bit 0 -> 3 -> 1.5.
+        let m = BitFlipInt8::new(BitSelect::Fixed(0));
+        let mut rng = SeededRng::new(12);
+        let mut c = ctx(&mut rng);
+        c.quant_scale = Some(0.5);
+        let v = m.perturb(1.0, &mut c);
+        assert!((v - 1.5).abs() < 1e-6, "got {v}");
+    }
+
+    #[test]
+    fn perturb_i8_matches_perturb_rng_sequence() {
+        // For the same starting RNG state, perturb and perturb_i8 must make
+        // identical draws so campaign records are representation-independent.
+        for seed in 0..20u64 {
+            for model in [
+                &BitFlipInt8::new(BitSelect::Random) as &dyn PerturbationModel,
+                &MultiBitFlipInt8::new(3),
+            ] {
+                let scale = 0.1f32;
+                let stored = int8::quantize(2.3, scale);
+                let mut rng_a = SeededRng::new(seed);
+                let mut ca = ctx(&mut rng_a);
+                ca.quant_scale = Some(scale);
+                let via_f32 = model.perturb(int8::dequantize(stored, scale), &mut ca);
+                let mut rng_b = SeededRng::new(seed);
+                let mut cb = ctx(&mut rng_b);
+                cb.quant_scale = Some(scale);
+                let via_word = model.perturb_i8(stored, &mut cb).expect("int8 form");
+                assert_eq!(
+                    int8::quantize(via_f32, scale),
+                    via_word,
+                    "seed {seed} model {}",
+                    model.name()
+                );
+                assert_eq!(rng_a.below(1 << 30), rng_b.below(1 << 30), "draw parity");
+            }
+        }
+    }
+
+    #[test]
+    fn default_perturb_i8_is_none() {
+        let mut rng = SeededRng::new(13);
+        assert_eq!(Zero.perturb_i8(5, &mut ctx(&mut rng)), None);
+        assert_eq!(StuckAt::new(1.0).perturb_i8(5, &mut ctx(&mut rng)), None);
     }
 
     #[test]

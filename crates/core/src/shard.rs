@@ -98,7 +98,7 @@ pub fn plan_shards(trials: usize, count: usize) -> Vec<ShardSpec> {
 /// journals written under a different configuration instead of silently
 /// producing a mixed report.
 ///
-/// Covered: seed, trial count, INT8 activation emulation, guard mode, step
+/// Covered: seed, trial count, quantization regime, guard mode, step
 /// budget, the fault mode (selection template included), and the
 /// perturbation model's name. Deliberately *not* covered: threads, prefix
 /// cache, fusion, pooling, recorders — those are execution strategy, proven
@@ -108,8 +108,8 @@ pub fn plan_shards(trials: usize, count: usize) -> Vec<ShardSpec> {
 /// mix-ups, not a cryptographic binding.
 pub fn config_fingerprint(cfg: &CampaignConfig, mode: &FaultMode, model_name: &str) -> u64 {
     let canonical = format!(
-        "seed={};trials={};int8={};guard={:?};max_steps={:?};mode={:?};model={}",
-        cfg.seed, cfg.trials, cfg.int8_activations, cfg.guard, cfg.max_steps, mode, model_name
+        "seed={};trials={};quant={:?};guard={:?};max_steps={:?};mode={:?};model={}",
+        cfg.seed, cfg.trials, cfg.quant, cfg.guard, cfg.max_steps, mode, model_name
     );
     fnv1a(canonical.as_bytes())
 }
@@ -353,7 +353,9 @@ mod tests {
         c.guard = GuardMode::Record;
         assert_ne!(base, config_fingerprint(&c, &mode, "stuck-at"));
         let mut c = cfg.clone();
-        c.int8_activations = true;
+        c.quant = crate::injector::QuantMode::Simulated;
+        assert_ne!(base, config_fingerprint(&c, &mode, "stuck-at"));
+        c.quant = crate::injector::QuantMode::Int8;
         assert_ne!(base, config_fingerprint(&c, &mode, "stuck-at"));
         assert_ne!(
             base,

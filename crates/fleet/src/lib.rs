@@ -626,7 +626,7 @@ where
         .iter()
         .filter_map(|s| {
             let p = flight_path(&s.path);
-            p.exists().then(|| (s.spec.index, p))
+            p.exists().then_some((s.spec.index, p))
         })
         .collect();
     let telemetry = match MergedTelemetry::from_dir(&cfg.dir) {

@@ -55,7 +55,7 @@ proptest! {
         ));
         let _ = std::fs::remove_dir_all(&base);
         let plan = plan_shards(trials, shards);
-        let mut run = |tag: &str, observed: bool| -> Vec<PathBuf> {
+        let run = |tag: &str, observed: bool| -> Vec<PathBuf> {
             let dir = base.join(tag);
             std::fs::create_dir_all(&dir).unwrap();
             plan.iter()

@@ -3,7 +3,7 @@
 use crate::module::{
     leaf_boilerplate, BackwardCtx, ForwardCtx, LayerKind, LayerMeta, Module, Param,
 };
-use rustfi_tensor::{conv2d, conv2d_backward, ConvSpec, SeededRng, Tensor};
+use rustfi_tensor::{conv2d, conv2d_backward, conv2d_q, ConvSpec, QTensor, SeededRng, Tensor};
 
 /// A 2-D convolution with learned weights and bias.
 ///
@@ -18,6 +18,9 @@ pub struct Conv2d {
     grad_bias: Tensor,
     spec: ConvSpec,
     cached_input: Option<Tensor>,
+    /// Per-channel quantized weight cache for the INT8 backend; dropped
+    /// whenever the f32 weights are handed out mutably.
+    qweight: Option<QTensor>,
 }
 
 impl Conv2d {
@@ -53,6 +56,7 @@ impl Conv2d {
             bias,
             spec,
             cached_input: None,
+            qweight: None,
         }
     }
 
@@ -78,7 +82,15 @@ impl Module for Conv2d {
         rustfi_tensor::tpool::reuse_slot(&mut self.cached_input, input.dims())
             .data_mut()
             .copy_from_slice(input.data());
-        let mut out = conv2d(input, &self.weight, &self.bias, &self.spec);
+        let mut out = match ctx.input_scale(self.meta.id) {
+            Some(scale) => {
+                let qw = self
+                    .qweight
+                    .get_or_insert_with(|| QTensor::quantize_per_channel(&self.weight));
+                conv2d_q(input, qw, &self.bias, &self.spec, scale)
+            }
+            None => conv2d(input, &self.weight, &self.bias, &self.spec),
+        };
         ctx.run_forward_hooks(&self.meta, LayerKind::Conv2d, &mut out);
         out
     }
@@ -96,6 +108,7 @@ impl Module for Conv2d {
     }
 
     fn for_each_param(&mut self, f: &mut dyn FnMut(Param<'_>)) {
+        self.qweight = None;
         f(Param {
             value: &mut self.weight,
             grad: &mut self.grad_weight,
@@ -107,16 +120,25 @@ impl Module for Conv2d {
     }
 
     fn for_each_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.qweight = None;
         f(&mut self.weight);
         f(&mut self.bias);
     }
 
     fn weight_mut(&mut self) -> Option<&mut Tensor> {
+        self.qweight = None;
         Some(&mut self.weight)
     }
 
     fn bias_mut(&mut self) -> Option<&mut Tensor> {
         Some(&mut self.bias)
+    }
+
+    fn qweight_mut(&mut self) -> Option<&mut QTensor> {
+        Some(
+            self.qweight
+                .get_or_insert_with(|| QTensor::quantize_per_channel(&self.weight)),
+        )
     }
 }
 

@@ -4,7 +4,7 @@ use crate::module::{
     leaf_boilerplate, BackwardCtx, ForwardCtx, LayerKind, LayerMeta, Module, Param,
 };
 use rustfi_tensor::linalg::{self, matmul};
-use rustfi_tensor::{SeededRng, Tensor};
+use rustfi_tensor::{linear_q, QTensor, SeededRng, Tensor};
 
 /// A fully-connected (dense) layer: `y = x W^T + b`.
 ///
@@ -22,6 +22,9 @@ pub struct Linear {
     /// mutate `weight` between forwards, so the transpose is recomputed every
     /// pass — only the buffer survives.
     wt_scratch: Option<Tensor>,
+    /// Per-channel quantized weight cache for the INT8 backend; dropped
+    /// whenever the f32 weights are handed out mutably.
+    qweight: Option<QTensor>,
 }
 
 impl Linear {
@@ -37,6 +40,7 @@ impl Linear {
             weight,
             cached_input: None,
             wt_scratch: None,
+            qweight: None,
         }
     }
 
@@ -64,19 +68,32 @@ impl Module for Linear {
         rustfi_tensor::tpool::reuse_slot(&mut self.cached_input, input.dims())
             .data_mut()
             .copy_from_slice(input.data());
-        let wt = rustfi_tensor::tpool::reuse_slot(&mut self.wt_scratch, &[in_f, out_f]);
-        linalg::transpose_into(self.weight.data(), wt.data_mut(), out_f, in_f);
-        let mut out = Tensor::from_pool(&[batch, out_f]);
-        linalg::matmul_into(
-            input.data(),
-            wt.data(),
-            out.data_mut(),
-            batch,
-            in_f,
-            out_f,
-            true,
-        );
-        out.bias_add_rows(&self.bias);
+        let mut out = match ctx.input_scale(self.meta.id) {
+            Some(scale) => {
+                // The quantized GEMM consumes `W` in its natural
+                // `[out, in]` layout — no transpose scratch needed.
+                let qw = self
+                    .qweight
+                    .get_or_insert_with(|| QTensor::quantize_per_channel(&self.weight));
+                linear_q(input, qw, &self.bias, scale)
+            }
+            None => {
+                let wt = rustfi_tensor::tpool::reuse_slot(&mut self.wt_scratch, &[in_f, out_f]);
+                linalg::transpose_into(self.weight.data(), wt.data_mut(), out_f, in_f);
+                let mut out = Tensor::from_pool(&[batch, out_f]);
+                linalg::matmul_into(
+                    input.data(),
+                    wt.data(),
+                    out.data_mut(),
+                    batch,
+                    in_f,
+                    out_f,
+                    true,
+                );
+                out.bias_add_rows(&self.bias);
+                out
+            }
+        };
         ctx.run_forward_hooks(&self.meta, LayerKind::Linear, &mut out);
         out
     }
@@ -101,6 +118,7 @@ impl Module for Linear {
     }
 
     fn for_each_param(&mut self, f: &mut dyn FnMut(Param<'_>)) {
+        self.qweight = None;
         f(Param {
             value: &mut self.weight,
             grad: &mut self.grad_weight,
@@ -112,16 +130,25 @@ impl Module for Linear {
     }
 
     fn for_each_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.qweight = None;
         f(&mut self.weight);
         f(&mut self.bias);
     }
 
     fn weight_mut(&mut self) -> Option<&mut Tensor> {
+        self.qweight = None;
         Some(&mut self.weight)
     }
 
     fn bias_mut(&mut self) -> Option<&mut Tensor> {
         Some(&mut self.bias)
+    }
+
+    fn qweight_mut(&mut self) -> Option<&mut QTensor> {
+        Some(
+            self.qweight
+                .get_or_insert_with(|| QTensor::quantize_per_channel(&self.weight)),
+        )
     }
 }
 

@@ -40,6 +40,7 @@ pub mod layer;
 pub mod loss;
 pub mod module;
 pub mod optim;
+pub mod quantized;
 pub mod train;
 pub mod zoo;
 
@@ -48,4 +49,5 @@ pub use hook::{HookHandle, HookRegistry, LayerCtx};
 pub use module::{
     BackwardCtx, ForwardCtx, LayerId, LayerInfo, LayerKind, LayerMeta, Module, Network, Param,
 };
+pub use quantized::{Backend, CalibrationTable};
 pub use zoo::ZooConfig;

@@ -1,8 +1,9 @@
 //! The [`Module`] trait, layer identity, and the [`Network`] wrapper.
 
 use crate::hook::{HookRegistry, LayerCtx};
+use crate::quantized::Backend;
 use rustfi_obs::{Recorder, SpanCtx};
-use rustfi_tensor::{SeededRng, Tensor};
+use rustfi_tensor::{QTensor, SeededRng, Tensor};
 use std::fmt;
 use std::sync::Arc;
 
@@ -118,6 +119,8 @@ pub struct ForwardCtx<'a> {
     /// before the module runs. `None` (the default) keeps the dispatch path
     /// free of the extra call.
     capture: Option<CaptureFn<'a>>,
+    /// Arithmetic backend for layers that have a quantized kernel.
+    backend: &'a Backend,
 }
 
 impl<'a> ForwardCtx<'a> {
@@ -126,6 +129,7 @@ impl<'a> ForwardCtx<'a> {
         hooks: &'a HookRegistry,
         rng: &'a mut SeededRng,
         recorder: Option<&'a dyn Recorder>,
+        backend: &'a Backend,
     ) -> Self {
         Self {
             training,
@@ -133,12 +137,20 @@ impl<'a> ForwardCtx<'a> {
             rng,
             recorder,
             capture: None,
+            backend,
         }
     }
 
     /// RNG stream for stochastic layers (dropout).
     pub fn rng(&mut self) -> &mut SeededRng {
         self.rng
+    }
+
+    /// The calibrated INT8 input scale for layer `id`, or `None` when the
+    /// pass runs in f32 (default backend, or layer not calibrated). Layers
+    /// with a quantized kernel branch on this per forward.
+    pub fn input_scale(&self, id: LayerId) -> Option<f32> {
+        self.backend.input_scale(id)
     }
 
     /// Forwards through `child`, wrapping the call in a per-layer span when a
@@ -358,6 +370,15 @@ pub trait Module: Send {
     fn bias_mut(&mut self) -> Option<&mut Tensor> {
         None
     }
+
+    /// The layer's cached per-channel quantized weights, if the layer has a
+    /// quantized kernel. Builds the cache on first access; stored-INT8
+    /// weight-fault campaigns flip bits directly in the returned words.
+    /// Mutating the f32 weights (via [`Module::weight_mut`] or the parameter
+    /// visitors) drops the cache, so flips do not survive a retrain.
+    fn qweight_mut(&mut self) -> Option<&mut QTensor> {
+        None
+    }
 }
 
 /// Shorthand implementations of the identity/traversal methods for layers
@@ -415,6 +436,7 @@ pub struct Network {
     rng: SeededRng,
     training: bool,
     recorder: Option<Arc<dyn Recorder>>,
+    backend: Backend,
 }
 
 impl Network {
@@ -451,7 +473,20 @@ impl Network {
             rng: SeededRng::new(0xD0_07),
             training: false,
             recorder: None,
+            backend: Backend::Fp32,
         }
+    }
+
+    /// Selects the arithmetic backend for layers with quantized kernels
+    /// (conv/linear). [`Backend::Fp32`] is the default; see
+    /// [`crate::quantized`] for the INT8 path.
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+    }
+
+    /// The currently installed arithmetic backend.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
     }
 
     /// Installs (or removes, with `None`) the observability recorder.
@@ -515,6 +550,7 @@ impl Network {
             &self.hooks,
             &mut self.rng,
             self.recorder.as_deref(),
+            &self.backend,
         );
         ctx.forward_child(self.root.as_mut(), input)
     }
@@ -537,6 +573,7 @@ impl Network {
             &self.hooks,
             &mut self.rng,
             self.recorder.as_deref(),
+            &self.backend,
         );
         ctx.capture = Some(capture);
         ctx.forward_child(self.root.as_mut(), input)
@@ -555,6 +592,7 @@ impl Network {
             &self.hooks,
             &mut self.rng,
             self.recorder.as_deref(),
+            &self.backend,
         );
         ctx.forward_child_from(self.root.as_mut(), target, input)
     }
@@ -582,6 +620,7 @@ impl Network {
             &empty,
             &mut self.rng,
             self.recorder.as_deref(),
+            &self.backend,
         );
         let layer = self.root.find_mut(id)?;
         Some(ctx.forward_child(layer, input))
@@ -621,6 +660,7 @@ impl Network {
             &self.hooks,
             &mut self.rng,
             self.recorder.as_deref(),
+            &self.backend,
         );
         self.root.forward_after(target, input, &mut ctx)
     }
@@ -669,6 +709,13 @@ impl Network {
     /// Mutable access to a layer's bias tensor by id.
     pub fn layer_bias_mut(&mut self, id: LayerId) -> Option<&mut Tensor> {
         self.root.find_mut(id).and_then(|m| m.bias_mut())
+    }
+
+    /// Mutable access to a layer's cached quantized weights by id, building
+    /// the cache if needed (see [`Module::qweight_mut`]). `None` for layers
+    /// without a quantized kernel.
+    pub fn layer_qweight_mut(&mut self, id: LayerId) -> Option<&mut QTensor> {
+        self.root.find_mut(id).and_then(|m| m.qweight_mut())
     }
 
     /// Immutable visit over the module tree.

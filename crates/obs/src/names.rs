@@ -16,6 +16,11 @@ pub const NN_GUARD_CHECKS: &str = "nn.guard_checks";
 /// Individual value perturbations applied by a fault injector.
 pub const FI_INJECTIONS: &str = "fi.injections";
 
+/// Perturbations that landed directly in a stored INT8 word (real-INT8
+/// backend: quantized activations and cached quantized weights). A subset of
+/// [`FI_INJECTIONS`].
+pub const FI_INT8_WORD_FLIPS: &str = "fi.int8_word_flips";
+
 /// Per-trial wall time histogram key.
 pub const CAMPAIGN_TRIAL_NS: &str = "campaign.trial_ns";
 
@@ -78,6 +83,7 @@ pub fn metric_help(name: &str) -> &'static str {
         NN_HOOK_DISPATCHES => "Forward-hook dispatches observed at leaf layers.",
         NN_GUARD_CHECKS => "Guard-hook activation scans.",
         FI_INJECTIONS => "Individual value perturbations applied by a fault injector.",
+        FI_INT8_WORD_FLIPS => "Perturbations applied directly to stored INT8 words.",
         CAMPAIGN_TRIAL_NS => "Per-trial wall time.",
         CAMPAIGN_PREFIX_HITS => "Trials resumed from a cached golden-prefix activation.",
         CAMPAIGN_PREFIX_MISSES => "Trials that fell back to a full forward pass.",
@@ -137,6 +143,7 @@ const CANONICAL: &[&str] = &[
     NN_HOOK_DISPATCHES,
     NN_GUARD_CHECKS,
     FI_INJECTIONS,
+    FI_INT8_WORD_FLIPS,
     CAMPAIGN_TRIAL_NS,
     CAMPAIGN_PREFIX_HITS,
     CAMPAIGN_PREFIX_MISSES,

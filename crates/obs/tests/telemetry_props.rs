@@ -55,7 +55,7 @@ fn synth_items(seed: u64, n: usize) -> Vec<ObsBatch> {
                     }));
                 }
                 2 => batch.counters.push((
-                    if mix(&mut state) % 2 == 0 {
+                    if mix(&mut state).is_multiple_of(2) {
                         "fi.injections"
                     } else {
                         "campaign.prefix_hits"

@@ -7,17 +7,28 @@
 //! ```text
 //! scale = max|x| / 127        q = clamp(round(x / scale), -127, 127)
 //! ```
+//!
+//! The rounding rule itself — half-away-from-zero ties, NaN→0, ±∞
+//! saturation — lives in **one place**, [`rustfi_tensor::qkernels`]: this
+//! module's scalar f32-simulation helpers and the real stored-`i8` path
+//! ([`rustfi_tensor::QTensor`], the quantized conv/linear kernels) both
+//! delegate to it, so the simulated and real INT8 paths produce
+//! bit-identical quantized words by construction. The SIMD slice variants
+//! ([`quantize_slice`], [`dequantize_slice`], [`requantize_slice`]) are
+//! re-exported here for callers that work on whole buffers.
 
+use rustfi_tensor::qkernels;
 use rustfi_tensor::Tensor;
+
+// The whole-slice kernels backing the scalar helpers below; re-exported so
+// quant users get the slice API alongside the scalar one.
+pub use rustfi_tensor::qkernels::{dequantize_slice, quantize_slice, requantize_slice};
 
 /// Largest representable quantized magnitude.
 pub const QMAX: i32 = 127;
 
 /// Number of bits in the INT8 representation.
 pub const INT8_BITS: u32 = 8;
-
-/// Minimum scale used to avoid division by zero for all-zero tensors.
-const MIN_SCALE: f32 = 1e-12;
 
 /// Quantization scale that maps `max_abs` to [`QMAX`].
 ///
@@ -29,14 +40,7 @@ const MIN_SCALE: f32 = 1e-12;
 ///
 /// Panics if `max_abs` is negative or NaN.
 pub fn scale_for_max_abs(max_abs: f32) -> f32 {
-    assert!(
-        !max_abs.is_nan() && max_abs >= 0.0,
-        "invalid max_abs {max_abs}"
-    );
-    if max_abs.is_infinite() {
-        return f32::MAX / QMAX as f32;
-    }
-    (max_abs / QMAX as f32).max(MIN_SCALE)
+    qkernels::scale_for_max_abs(max_abs)
 }
 
 /// Scale for quantizing a slice of values (dynamic range over the slice).
@@ -46,11 +50,7 @@ pub fn scale_for_max_abs(max_abs: f32) -> f32 {
 /// minimum scale. Campaigns apply this per batch sample, so one fused
 /// trial's fault cannot rescale the quantization grid of its siblings.
 pub fn slice_scale(values: &[f32]) -> f32 {
-    let max_abs = values
-        .iter()
-        .filter(|v| v.is_finite())
-        .fold(0.0f32, |m, &x| m.max(x.abs()));
-    scale_for_max_abs(max_abs)
+    qkernels::scale_for_max_abs(qkernels::slice_max_abs_finite(values))
 }
 
 /// Scale for quantizing all values of a tensor (per-tensor dynamic range).
@@ -62,19 +62,19 @@ pub fn tensor_scale(t: &Tensor) -> f32 {
 ///
 /// Infinite inputs saturate to ±[`QMAX`]; NaN quantizes to 0 (Rust's
 /// saturating float→int cast), so faulty activations stay representable.
+/// Delegates to [`rustfi_tensor::qkernels::quantize_one`] — the single
+/// rounding implementation shared with the stored-INT8 inference path.
 ///
 /// # Panics
 ///
 /// Panics if `scale` is not positive.
 pub fn quantize(x: f32, scale: f32) -> i8 {
-    assert!(scale > 0.0, "scale must be positive, got {scale}");
-    let q = (x / scale).round();
-    q.clamp(-(QMAX as f32), QMAX as f32) as i8
+    qkernels::quantize_one(x, scale)
 }
 
 /// Dequantizes an INT8 value.
 pub fn dequantize(q: i8, scale: f32) -> f32 {
-    q as f32 * scale
+    qkernels::dequantize_one(q, scale)
 }
 
 /// Rounds a value through the INT8 grid ("fake quantization"): the result is

@@ -19,12 +19,35 @@
 //! [`matmul`]: crate::matmul
 //! [`conv2d`]: crate::conv2d
 
+/// Length below which the pure-streaming kernels (`add`/`mul`/`relu`) still
+/// dispatch to their AVX2 compilation. Short slices are L1-resident and
+/// compute-bound, where the wider lanes win 1.2–2.6×; past this point the
+/// ops are memory-bound and the AVX2 build's 32-byte unaligned loads make it
+/// *slower* than the portable build's 128-bit auto-vectorization (the
+/// 0.90–0.94× regression the campaign bench exposed), so long slices take
+/// the portable body.
+pub const STREAMING_AVX2_MAX_LEN: usize = 2048;
+
 /// Defines the three compilations of one kernel: a public front that
 /// dispatches on runtime AVX2 detection, the AVX2-enabled recompilation, and
 /// the shared portable body. Mirrors the `block_rows` trio in `linalg`.
+///
+/// The `avx2_when = <expr>` form adds a dispatch predicate (evaluated with
+/// the kernel arguments in scope) that must also hold for the AVX2 build to
+/// be chosen — used to keep memory-bound streaming kernels on the portable
+/// body at lengths where wider lanes cannot pay for themselves. The
+/// predicate only picks between two bit-identical compilations, so it is
+/// unobservable in results.
 macro_rules! simd_kernel {
     ($(#[$meta:meta])* $name:ident / $avx2:ident / $imp:ident,
      ($($arg:ident: $ty:ty),* $(,)?) $body:block) => {
+        simd_kernel! {
+            $(#[$meta])* $name / $avx2 / $imp,
+            ($($arg: $ty),*), avx2_when = true, $body
+        }
+    };
+    ($(#[$meta:meta])* $name:ident / $avx2:ident / $imp:ident,
+     ($($arg:ident: $ty:ty),* $(,)?), avx2_when = $gate:expr, $body:block) => {
         $(#[$meta])*
         // Flat slice kernels spell out their geometry (widths, strides,
         // window sizes) as scalars on purpose; a params struct would only
@@ -32,11 +55,15 @@ macro_rules! simd_kernel {
         #[allow(clippy::too_many_arguments)]
         pub fn $name($($arg: $ty),*) {
             #[cfg(target_arch = "x86_64")]
-            if std::arch::is_x86_feature_detected!("avx2") {
-                // SAFETY: the AVX2 compilation of the kernel is only reached
-                // after runtime detection confirms the CPU supports it.
-                unsafe { $avx2($($arg),*) };
-                return;
+            {
+                let wants_avx2: bool = $gate;
+                if wants_avx2 && std::arch::is_x86_feature_detected!("avx2") {
+                    // SAFETY: the AVX2 compilation of the kernel is only
+                    // reached after runtime detection confirms the CPU
+                    // supports it.
+                    unsafe { $avx2($($arg),*) };
+                    return;
+                }
             }
             $imp($($arg),*);
         }
@@ -56,13 +83,18 @@ macro_rules! simd_kernel {
     };
 }
 
+// The quantization slice kernels in `qkernels` use the same dispatch trio.
+pub(crate) use simd_kernel;
+
 simd_kernel! {
     /// `out[i] = a[i] + b[i]`.
     ///
     /// # Panics
     ///
     /// Panics on length mismatch.
-    add / add_avx2 / add_impl, (a: &[f32], b: &[f32], out: &mut [f32]) {
+    add / add_avx2 / add_impl,
+    (a: &[f32], b: &[f32], out: &mut [f32]),
+    avx2_when = a.len() <= STREAMING_AVX2_MAX_LEN, {
         assert_eq!(a.len(), b.len());
         assert_eq!(a.len(), out.len());
         for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
@@ -92,7 +124,9 @@ simd_kernel! {
     /// # Panics
     ///
     /// Panics on length mismatch.
-    mul / mul_avx2 / mul_impl, (a: &[f32], b: &[f32], out: &mut [f32]) {
+    mul / mul_avx2 / mul_impl,
+    (a: &[f32], b: &[f32], out: &mut [f32]),
+    avx2_when = a.len() <= STREAMING_AVX2_MAX_LEN, {
         assert_eq!(a.len(), b.len());
         assert_eq!(a.len(), out.len());
         for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
@@ -173,7 +207,9 @@ simd_kernel! {
     /// # Panics
     ///
     /// Panics on length mismatch.
-    relu / relu_avx2 / relu_impl, (a: &[f32], out: &mut [f32]) {
+    relu / relu_avx2 / relu_impl,
+    (a: &[f32], out: &mut [f32]),
+    avx2_when = a.len() <= STREAMING_AVX2_MAX_LEN, {
         assert_eq!(a.len(), out.len());
         for (o, &x) in out.iter_mut().zip(a) {
             *o = x.max(0.0);

@@ -17,6 +17,9 @@
 //! - scoped-thread data parallelism helpers ([`parallel`]),
 //! - runtime-dispatched AVX2 slice kernels for the elementwise tail
 //!   ([`kernels`]),
+//! - symmetric INT8 quantization primitives, an AVX2 integer GEMM, and
+//!   stored-`i8` tensors with quantized conv/linear kernels ([`qkernels`],
+//!   [`qtensor`]),
 //! - a thread-local buffer recycling pool for allocation-free steady-state
 //!   forward passes ([`tpool`]).
 //!
@@ -39,6 +42,8 @@ pub mod opcount;
 pub mod ops;
 pub mod parallel;
 pub mod pool;
+pub mod qkernels;
+pub mod qtensor;
 pub mod resize;
 pub mod rng;
 mod shape;
@@ -50,6 +55,8 @@ pub use linalg::{matmul, matmul_into, transpose_into};
 pub use pool::{
     avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, max_pool2d_into, PoolSpec,
 };
+pub use qkernels::matmul_i8_nt;
+pub use qtensor::{conv2d_q, linear_q, QTensor};
 pub use resize::{resize_map, upsample_nearest, zero_pad2d};
 pub use rng::SeededRng;
 pub use shape::ShapeError;

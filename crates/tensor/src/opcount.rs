@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static CONV2D: AtomicU64 = AtomicU64::new(0);
 static MATMUL: AtomicU64 = AtomicU64::new(0);
+static MATMUL_I8: AtomicU64 = AtomicU64::new(0);
 static ELEMENTWISE: AtomicU64 = AtomicU64::new(0);
 static POOL: AtomicU64 = AtomicU64::new(0);
 static NORM: AtomicU64 = AtomicU64::new(0);
@@ -26,6 +27,9 @@ pub struct OpCounts {
     pub conv2d: u64,
     /// `matmul` invocations (convolutions contribute here too).
     pub matmul: u64,
+    /// Integer `matmul_i8_nt` invocations (quantized conv/linear contribute
+    /// here, not to `matmul`).
+    pub matmul_i8: u64,
     /// Elementwise tensor ops: add/sub/mul/scale/relu/axpy/bias/softmax.
     pub elementwise: u64,
     /// Max/avg pooling invocations.
@@ -48,6 +52,7 @@ pub fn enabled() -> bool {
 pub fn reset() {
     CONV2D.store(0, Ordering::Relaxed);
     MATMUL.store(0, Ordering::Relaxed);
+    MATMUL_I8.store(0, Ordering::Relaxed);
     ELEMENTWISE.store(0, Ordering::Relaxed);
     POOL.store(0, Ordering::Relaxed);
     NORM.store(0, Ordering::Relaxed);
@@ -70,6 +75,7 @@ pub fn counts() -> OpCounts {
     OpCounts {
         conv2d: CONV2D.load(Ordering::Relaxed),
         matmul: MATMUL.load(Ordering::Relaxed),
+        matmul_i8: MATMUL_I8.load(Ordering::Relaxed),
         elementwise: ELEMENTWISE.load(Ordering::Relaxed),
         pool: POOL.load(Ordering::Relaxed),
         norm: NORM.load(Ordering::Relaxed),
@@ -93,6 +99,12 @@ pub(crate) fn count_conv2d() {
 #[inline]
 pub(crate) fn count_matmul() {
     bump(&MATMUL);
+}
+
+/// Called by the integer matmul kernel.
+#[inline]
+pub(crate) fn count_matmul_i8() {
+    bump(&MATMUL_I8);
 }
 
 /// Called by the elementwise tensor ops.

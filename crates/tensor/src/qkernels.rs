@@ -1,0 +1,486 @@
+//! Symmetric INT8 quantization primitives and integer microkernels.
+//!
+//! This module is the single home of the INT8 rounding rule for the whole
+//! workspace: both the f32 *simulation* of quantization in `rustfi-quant`
+//! (fake-quantize round trips) and the *real* stored-`i8` inference path
+//! ([`QTensor`](crate::QTensor), [`conv2d_q`](crate::conv2d_q)) funnel every
+//! float→int conversion through [`quantize_one`], so the two paths produce
+//! bit-identical quantized words by construction.
+//!
+//! The scheme is symmetric quantization with the zero point fixed at 0 and
+//! the representable range `[-127, 127]` (`-128` is left unused, as common
+//! INT8 inference kernels do):
+//!
+//! ```text
+//! scale = max|x| / 127        q = clamp(round(x / scale), -127, 127)
+//! ```
+//!
+//! **Rounding semantics** (see [`quantize_one`]): `f32::round` — ties round
+//! half *away from zero* (2.5 → 3, -2.5 → -3). NaN quantizes to 0 through
+//! Rust's saturating float→int cast, and ±∞ saturates to ±127, so faulty
+//! activations stay representable.
+//!
+//! The slice kernels use the same runtime-dispatch trio as the elementwise
+//! tail (`simd_kernel!`), and [`matmul_i8_nt`] follows the `linalg`
+//! `block_rows` pattern with a hand-vectorized AVX2 body: `i8` operands are
+//! widened to `i16` lanes and accumulated with `pmaddwd` into `i32`. Integer
+//! arithmetic is exact, so the AVX2 and portable kernels are bit-identical
+//! regardless of accumulation order.
+
+use crate::kernels::simd_kernel;
+
+/// Largest representable quantized magnitude.
+pub const QMAX: i32 = 127;
+
+/// Minimum scale used to avoid division by zero for all-zero tensors.
+const MIN_SCALE: f32 = 1e-12;
+
+/// Quantization scale that maps `max_abs` to [`QMAX`].
+///
+/// A non-finite `max_abs` (which arises when quantizing activations that an
+/// upstream fault has driven to ±∞) saturates to the largest finite range,
+/// mirroring hardware that clamps at the representable maximum.
+///
+/// # Panics
+///
+/// Panics if `max_abs` is negative or NaN.
+pub fn scale_for_max_abs(max_abs: f32) -> f32 {
+    assert!(
+        !max_abs.is_nan() && max_abs >= 0.0,
+        "invalid max_abs {max_abs}"
+    );
+    if max_abs.is_infinite() {
+        return f32::MAX / QMAX as f32;
+    }
+    (max_abs / QMAX as f32).max(MIN_SCALE)
+}
+
+/// Largest finite absolute value in `values`, ignoring non-finite elements
+/// (possible under upstream fault injection); 0 for an all-non-finite slice.
+pub fn slice_max_abs_finite(values: &[f32]) -> f32 {
+    values
+        .iter()
+        .filter(|v| v.is_finite())
+        .fold(0.0f32, |m, &x| m.max(x.abs()))
+}
+
+/// The one float→INT8 conversion in the workspace. `f32::round` ties round
+/// half away from zero; the clamp runs in f32 so ±∞ saturates to ±127 and
+/// NaN falls through to the saturating cast, which maps it to 0.
+#[inline(always)]
+fn quantize_raw(x: f32, scale: f32) -> i8 {
+    (x / scale).round().clamp(-(QMAX as f32), QMAX as f32) as i8
+}
+
+/// Quantizes a value to INT8 with the given scale. See the module docs for
+/// the rounding semantics.
+///
+/// # Panics
+///
+/// Panics if `scale` is not positive.
+#[inline]
+pub fn quantize_one(x: f32, scale: f32) -> i8 {
+    assert!(scale > 0.0, "scale must be positive, got {scale}");
+    quantize_raw(x, scale)
+}
+
+/// Dequantizes an INT8 value.
+#[inline]
+pub fn dequantize_one(q: i8, scale: f32) -> f32 {
+    q as f32 * scale
+}
+
+simd_kernel! {
+    /// Quantizes a slice: `dst[i] = quantize_one(src[i], scale)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or a non-positive scale.
+    quantize_slice / quantize_slice_avx2 / quantize_slice_impl,
+    (src: &[f32], scale: f32, dst: &mut [i8]) {
+        assert_eq!(src.len(), dst.len());
+        assert!(scale > 0.0, "scale must be positive, got {scale}");
+        for (d, &x) in dst.iter_mut().zip(src) {
+            *d = quantize_raw(x, scale);
+        }
+    }
+}
+
+simd_kernel! {
+    /// Dequantizes a slice: `dst[i] = src[i] as f32 * scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    dequantize_slice / dequantize_slice_avx2 / dequantize_slice_impl,
+    (src: &[i8], scale: f32, dst: &mut [f32]) {
+        assert_eq!(src.len(), dst.len());
+        for (d, &q) in dst.iter_mut().zip(src) {
+            *d = q as f32 * scale;
+        }
+    }
+}
+
+simd_kernel! {
+    /// Requantizes stored words onto a new grid:
+    /// `dst[i] = quantize(dequantize(src[i], s_in), s_out)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or a non-positive output scale.
+    requantize_slice / requantize_slice_avx2 / requantize_slice_impl,
+    (src: &[i8], s_in: f32, s_out: f32, dst: &mut [i8]) {
+        assert_eq!(src.len(), dst.len());
+        assert!(s_out > 0.0, "scale must be positive, got {s_out}");
+        for (d, &q) in dst.iter_mut().zip(src) {
+            *d = quantize_raw(q as f32 * s_in, s_out);
+        }
+    }
+}
+
+simd_kernel! {
+    /// Dequantizes one integer GEMM output row with a scalar combined scale:
+    /// `out[i] = acc[i] as f32 * scale + bias`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    dequant_bias_row / dequant_bias_row_avx2 / dequant_bias_row_impl,
+    (acc: &[i32], scale: f32, bias: f32, out: &mut [f32]) {
+        assert_eq!(acc.len(), out.len());
+        for (o, &s) in out.iter_mut().zip(acc) {
+            *o = s as f32 * scale + bias;
+        }
+    }
+}
+
+simd_kernel! {
+    /// Dequantizes integer GEMM output rows of a `[rows, w_scales.len()]`
+    /// matrix with per-column weight scales:
+    /// `out[r][j] = acc[r][j] as f32 * (in_scale * w_scales[j]) + bias[j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths are inconsistent with the column count.
+    dequant_bias_rows / dequant_bias_rows_avx2 / dequant_bias_rows_impl,
+    (acc: &[i32], in_scale: f32, w_scales: &[f32], bias: &[f32], out: &mut [f32]) {
+        let cols = w_scales.len().max(1);
+        assert_eq!(acc.len(), out.len());
+        assert_eq!(acc.len() % cols, 0);
+        assert_eq!(bias.len(), w_scales.len());
+        for (acc_row, out_row) in acc.chunks_exact(cols).zip(out.chunks_exact_mut(cols)) {
+            for (((o, &s), &ws), &b) in out_row
+                .iter_mut()
+                .zip(acc_row)
+                .zip(w_scales)
+                .zip(bias)
+            {
+                *o = s as f32 * (in_scale * ws) + b;
+            }
+        }
+    }
+}
+
+/// Multiplies `a [m, k] x b^T` for a row-major `b [n, k]` into `out [m, n]`
+/// of `i32` accumulators ("nt": the right operand is stored transposed, so
+/// both operands stream contiguously along `k`).
+///
+/// Every output element is an exact integer dot product — `i8` products fit
+/// `i16`, the `i32` accumulator cannot overflow for `k` below the asserted
+/// bound — so the AVX2 and portable compilations are bit-identical no matter
+/// how the accumulation is reordered.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `m`, `k`, `n`, or if `k` is
+/// large enough that `k * 127 * 127` could overflow `i32`.
+pub fn matmul_i8_nt(a: &[i8], b: &[i8], out: &mut [i32], m: usize, k: usize, n: usize) {
+    crate::opcount::count_matmul_i8();
+    assert_eq!(a.len(), m * k, "lhs length != m*k");
+    assert_eq!(b.len(), n * k, "rhs length != n*k");
+    assert_eq!(out.len(), m * n, "out length != m*n");
+    assert!(
+        k <= i32::MAX as usize / (QMAX * QMAX) as usize,
+        "k={k} could overflow the i32 accumulator"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the AVX2 kernel is only reached after runtime detection
+        // confirms the CPU supports it.
+        unsafe { matmul_i8_nt_avx2(a, b, out, m, k, n) };
+        return;
+    }
+    matmul_i8_nt_impl(a, b, out, m, k, n);
+}
+
+/// The portable integer GEMM, exposed for benchmarks and the bit-identity
+/// tests that pin the dispatched kernel to it. Same argument contract as
+/// [`matmul_i8_nt`].
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`matmul_i8_nt`].
+pub fn matmul_i8_nt_portable(a: &[i8], b: &[i8], out: &mut [i32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs length != m*k");
+    assert_eq!(b.len(), n * k, "rhs length != n*k");
+    assert_eq!(out.len(), m * n, "out length != m*n");
+    assert!(
+        k <= i32::MAX as usize / (QMAX * QMAX) as usize,
+        "k={k} could overflow the i32 accumulator"
+    );
+    matmul_i8_nt_impl(a, b, out, m, k, n);
+}
+
+#[inline(always)]
+fn matmul_i8_nt_impl(a: &[i8], b: &[i8], out: &mut [i32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0i32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x as i32 * y as i32;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// Hand-vectorized AVX2 integer GEMM: 16 `i8` pairs are widened to `i16`
+/// lanes and folded with `pmaddwd` into 8 `i32` partial sums; four `b` rows
+/// share each widened `a` segment so the accumulators stay in registers.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_i8_nt_avx2(a: &[i8], b: &[i8], out: &mut [i32], m: usize, k: usize, n: usize) {
+    use std::arch::x86_64::*;
+
+    /// 16 `i8`s at `p`, sign-extended into 16 `i16` lanes.
+    #[inline(always)]
+    unsafe fn widen16(p: *const i8) -> __m256i {
+        _mm256_cvtepi8_epi16(_mm_loadu_si128(p as *const __m128i))
+    }
+
+    /// Sum of the 8 `i32` lanes.
+    #[inline(always)]
+    unsafe fn hsum(v: __m256i) -> i32 {
+        let s = _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256::<1>(v));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b01_00_11_10>(s));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b00_00_00_01>(s));
+        _mm_cvtsi128_si32(s)
+    }
+
+    let kv = k - (k % 16);
+    for i in 0..m {
+        let a_ptr = a.as_ptr().add(i * k);
+        let mut j = 0;
+        // Full 4-column tiles: one widened `a` segment feeds four dot rows.
+        while j + 4 <= n {
+            let b0 = b.as_ptr().add(j * k);
+            let b1 = b.as_ptr().add((j + 1) * k);
+            let b2 = b.as_ptr().add((j + 2) * k);
+            let b3 = b.as_ptr().add((j + 3) * k);
+            let mut acc0 = _mm256_setzero_si256();
+            let mut acc1 = _mm256_setzero_si256();
+            let mut acc2 = _mm256_setzero_si256();
+            let mut acc3 = _mm256_setzero_si256();
+            let mut kk = 0;
+            while kk < kv {
+                let va = widen16(a_ptr.add(kk));
+                acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(va, widen16(b0.add(kk))));
+                acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(va, widen16(b1.add(kk))));
+                acc2 = _mm256_add_epi32(acc2, _mm256_madd_epi16(va, widen16(b2.add(kk))));
+                acc3 = _mm256_add_epi32(acc3, _mm256_madd_epi16(va, widen16(b3.add(kk))));
+                kk += 16;
+            }
+            let mut sums = [hsum(acc0), hsum(acc1), hsum(acc2), hsum(acc3)];
+            for kk in kv..k {
+                let x = *a_ptr.add(kk) as i32;
+                sums[0] += x * *b0.add(kk) as i32;
+                sums[1] += x * *b1.add(kk) as i32;
+                sums[2] += x * *b2.add(kk) as i32;
+                sums[3] += x * *b3.add(kk) as i32;
+            }
+            out[i * n + j..i * n + j + 4].copy_from_slice(&sums);
+            j += 4;
+        }
+        // Remainder columns: one dot row at a time.
+        while j < n {
+            let b_ptr = b.as_ptr().add(j * k);
+            let mut acc = _mm256_setzero_si256();
+            let mut kk = 0;
+            while kk < kv {
+                acc = _mm256_add_epi32(
+                    acc,
+                    _mm256_madd_epi16(widen16(a_ptr.add(kk)), widen16(b_ptr.add(kk))),
+                );
+                kk += 16;
+            }
+            let mut sum = hsum(acc);
+            for kk in kv..k {
+                sum += *a_ptr.add(kk) as i32 * *b_ptr.add(kk) as i32;
+            }
+            out[i * n + j] = sum;
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    fn probe_i8(len: usize, seed: u64) -> Vec<i8> {
+        let mut rng = SeededRng::new(seed);
+        (0..len)
+            .map(|_| (rng.below(255) as i32 - 127) as i8)
+            .collect()
+    }
+
+    #[test]
+    fn quantize_matches_reference_semantics() {
+        // Half-away-from-zero ties, saturation, NaN→0.
+        assert_eq!(quantize_one(2.5, 1.0), 3);
+        assert_eq!(quantize_one(-2.5, 1.0), -3);
+        assert_eq!(quantize_one(1000.0, 1.0), 127);
+        assert_eq!(quantize_one(-1000.0, 1.0), -127);
+        assert_eq!(quantize_one(f32::INFINITY, 1.0), 127);
+        assert_eq!(quantize_one(f32::NEG_INFINITY, 1.0), -127);
+        assert_eq!(quantize_one(f32::NAN, 1.0), 0);
+        assert_eq!(quantize_one(0.0, 1.0), 0);
+    }
+
+    #[test]
+    fn slice_kernels_match_scalar_and_dispatch_is_bit_identical() {
+        let mut rng = SeededRng::new(3);
+        for len in [1usize, 7, 16, 31, 257] {
+            let src: Vec<f32> = (0..len)
+                .map(|i| match i % 5 {
+                    0 => f32::NAN,
+                    1 => f32::INFINITY,
+                    2 => -(i as f32) * 0.37,
+                    _ => (rng.below(1000) as f32 - 500.0) * 0.01,
+                })
+                .collect();
+            let scale = 0.019;
+            let mut d = vec![0i8; len];
+            let mut p = vec![0i8; len];
+            quantize_slice(&src, scale, &mut d);
+            quantize_slice_impl(&src, scale, &mut p);
+            assert_eq!(d, p, "quantize dispatch len {len}");
+            for (q, &x) in d.iter().zip(&src) {
+                assert_eq!(*q, quantize_one(x, scale), "scalar parity");
+            }
+
+            let mut fd = vec![0.0f32; len];
+            let mut fp = vec![0.0f32; len];
+            dequantize_slice(&d, scale, &mut fd);
+            dequantize_slice_impl(&p, scale, &mut fp);
+            assert_eq!(fd, fp, "dequantize dispatch len {len}");
+
+            let mut rd = vec![0i8; len];
+            let mut rp = vec![0i8; len];
+            requantize_slice(&d, scale, scale * 2.0, &mut rd);
+            requantize_slice_impl(&p, scale, scale * 2.0, &mut rp);
+            assert_eq!(rd, rp, "requantize dispatch len {len}");
+            for (r, &q) in rd.iter().zip(&d) {
+                assert_eq!(*r, quantize_one(dequantize_one(q, scale), scale * 2.0));
+            }
+        }
+    }
+
+    #[test]
+    fn requantize_to_same_scale_is_identity() {
+        let src = probe_i8(64, 9);
+        let mut dst = vec![0i8; 64];
+        requantize_slice(&src, 0.5, 0.5, &mut dst);
+        assert_eq!(src, dst);
+    }
+
+    #[test]
+    fn dequant_bias_kernels_match_scalar() {
+        let acc: Vec<i32> = (0..24).map(|i| (i - 12) * 1000).collect();
+        let mut out = vec![0.0f32; 24];
+        dequant_bias_row(&acc, 0.003, -0.5, &mut out);
+        for (o, &s) in out.iter().zip(&acc) {
+            assert_eq!(*o, s as f32 * 0.003 + -0.5);
+        }
+
+        let w_scales = [0.01f32, 0.02, 0.04, 0.08];
+        let bias = [1.0f32, -1.0, 0.0, 0.5];
+        let mut out = vec![0.0f32; 24];
+        dequant_bias_rows(&acc, 0.5, &w_scales, &bias, &mut out);
+        for r in 0..6 {
+            for j in 0..4 {
+                let expect = acc[r * 4 + j] as f32 * (0.5 * w_scales[j]) + bias[j];
+                assert_eq!(out[r * 4 + j], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_i8_small_known_values() {
+        // a = [[1, 2, 3]], b rows = [[1, 1, 1], [-1, 0, 2]]
+        let a = [1i8, 2, 3];
+        let b = [1i8, 1, 1, -1, 0, 2];
+        let mut out = [0i32; 2];
+        matmul_i8_nt(&a, &b, &mut out, 1, 3, 2);
+        assert_eq!(out, [6, 5]);
+    }
+
+    #[test]
+    fn matmul_i8_dispatch_is_bit_identical_to_portable() {
+        // Shapes exercise the 4-column tile, the remainder columns, and the
+        // 16-wide k vector body plus its scalar tail.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 17, 5),
+            (4, 16, 4),
+            (7, 33, 9),
+            (2, 64, 13),
+            (5, 100, 6),
+        ] {
+            let a = probe_i8(m * k, 11 + m as u64);
+            let b = probe_i8(n * k, 23 + n as u64);
+            let mut fast = vec![0i32; m * n];
+            let mut slow = vec![1i32; m * n];
+            matmul_i8_nt(&a, &b, &mut fast, m, k, n);
+            matmul_i8_nt_portable(&a, &b, &mut slow, m, k, n);
+            assert_eq!(fast, slow, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_i8_saturating_inputs_do_not_overflow() {
+        let k = 512;
+        let a = vec![127i8; k];
+        let b = vec![-127i8; 2 * k];
+        let mut out = [0i32; 2];
+        matmul_i8_nt(&a, &b, &mut out, 1, k, 2);
+        assert_eq!(out, [512 * 127 * -127; 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow the i32 accumulator")]
+    fn matmul_i8_rejects_huge_k() {
+        let k = i32::MAX as usize / (127 * 127) + 1;
+        // Zero-length slices fail the length asserts *after* the overflow
+        // check only if ordered that way; keep slices consistent.
+        let a = vec![0i8; k];
+        let b = vec![0i8; k];
+        let mut out = [0i32; 1];
+        matmul_i8_nt(&a, &b, &mut out, 1, k, 1);
+    }
+
+    #[test]
+    fn scale_helpers_match_int8_contract() {
+        assert!((scale_for_max_abs(12.7) - 0.1).abs() < 1e-6);
+        assert!(scale_for_max_abs(0.0) > 0.0);
+        assert!(scale_for_max_abs(f32::INFINITY).is_finite());
+        assert_eq!(
+            slice_max_abs_finite(&[1.0, f32::NAN, -3.0, f32::INFINITY]),
+            3.0
+        );
+        assert_eq!(slice_max_abs_finite(&[f32::NAN]), 0.0);
+    }
+}

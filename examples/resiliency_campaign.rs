@@ -65,7 +65,7 @@ fn main() {
             &CampaignConfig {
                 trials,
                 seed: 1,
-                int8_activations: true,
+                quant: rustfi::QuantMode::Simulated,
                 guard: GuardMode::Record,
                 ..CampaignConfig::default()
             },

@@ -65,7 +65,7 @@ fn main() {
             .run(&CampaignConfig {
                 trials,
                 seed: 11,
-                int8_activations: true,
+                quant: rustfi::QuantMode::Simulated,
                 ..CampaignConfig::default()
             })
             .expect("campaign config is valid");

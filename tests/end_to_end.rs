@@ -88,7 +88,7 @@ fn campaign_over_trained_model_with_checkpoint_factory() {
             trials: 300,
             seed: 3,
             threads: Some(3),
-            int8_activations: true,
+            quant: rustfi::QuantMode::Simulated,
             ..CampaignConfig::default()
         })
         .unwrap();
@@ -312,7 +312,7 @@ fn resume_refuses_a_journal_from_a_different_configuration() {
 
     // Record-affecting knob changed → typed journal error, not silence.
     let altered = CampaignConfig {
-        int8_activations: true,
+        quant: rustfi::QuantMode::Simulated,
         ..cfg.clone()
     };
     let err = campaign.resume(&altered, &journal).unwrap_err();

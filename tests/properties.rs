@@ -36,6 +36,40 @@ proptest! {
         prop_assert_eq!(int8::flip_bit_i8(int8::flip_bit_i8(q, bit), bit), q);
     }
 
+    /// The real INT8 inference path and the f32 simulation agree on stored
+    /// words: the SIMD slice quantizer, the scalar helper behind the
+    /// simulated mode, and [`rustfi_tensor::QTensor`]'s per-channel weight
+    /// quantization all produce bit-identical `i8` words for any data —
+    /// which is what makes stored-word bit flips equivalent to the paper's
+    /// dequantized-domain flips.
+    #[test]
+    fn int8_real_and_simulated_words_agree(
+        vals in prop::collection::vec(-50.0f32..50.0, 8..128),
+        max_abs in 50.0f32..500.0,
+    ) {
+        let scale = int8::scale_for_max_abs(max_abs);
+        let mut slice_out = vec![0i8; vals.len()];
+        int8::quantize_slice(&vals, scale, &mut slice_out);
+        for (&x, &w) in vals.iter().zip(&slice_out) {
+            prop_assert_eq!(int8::quantize(x, scale), w);
+        }
+        // Per-channel weight words match scalar quantization against each
+        // channel's own scale.
+        let rows = 4;
+        let cols = vals.len() / rows;
+        let t = Tensor::from_vec(vals[..rows * cols].to_vec(), &[rows, cols]);
+        let qt = rustfi_tensor::QTensor::quantize_per_channel(&t);
+        for r in 0..rows {
+            for c in 0..cols {
+                let idx = r * cols + c;
+                prop_assert_eq!(
+                    int8::quantize(t.data()[idx], qt.channel_scale(r)),
+                    qt.data()[idx]
+                );
+            }
+        }
+    }
+
     /// FP32 bit flips are involutive for every finite value and bit.
     #[test]
     fn fp32_bitflip_involutive(x in prop::num::f32::ANY, bit in 0u32..32) {
@@ -109,6 +143,7 @@ proptest! {
             batch: 0,
             channel: 0,
             tensor_max_abs: 1e3,
+            quant_scale: None,
             rng: &mut rng,
         };
         prop_assert!(models::RandomUniform::default().perturb(x, &mut ctx).is_finite());
@@ -533,5 +568,77 @@ proptest! {
             prop_assert_eq!(merged.counts, reference.counts);
             let _ = std::fs::remove_dir_all(&dir);
         }
+    }
+
+    /// Real-INT8 campaigns (integer kernels, stored-word bit flips) are
+    /// invariant under every execution strategy, exactly like f32 ones: for
+    /// any seed, records are bit-identical between a serial run and a
+    /// multi-threaded fused+prefix-cached run, and between the unsharded run
+    /// and a merged 3-shard run — for neuron and weight faults alike.
+    #[test]
+    fn int8_campaigns_are_execution_invariant(
+        seed in any::<u64>(),
+        threads in 2usize..4,
+        width in 2usize..9,
+        weight_mode in any::<bool>(),
+    ) {
+        fn tiny_lenet() -> Network {
+            zoo::lenet(&ZooConfig::tiny(4))
+        }
+        let images = Tensor::from_fn(&[5, 3, 16, 16], |i| ((i as f32) * 0.037).sin());
+        let mut probe = tiny_lenet();
+        let labels: Vec<usize> = (0..images.dims()[0])
+            .map(|i| rustfi::metrics::top1(probe.forward(&images.select_batch(i)).data()))
+            .collect();
+        let mode = if weight_mode {
+            FaultMode::Weight(WeightSelect::Random)
+        } else {
+            FaultMode::Neuron(NeuronSelect::Random)
+        };
+        let campaign = Campaign::new(
+            &tiny_lenet,
+            &images,
+            &labels,
+            mode,
+            Arc::new(models::BitFlipInt8::new(models::BitSelect::Random)),
+        );
+        let cfg = CampaignConfig {
+            trials: 12,
+            seed,
+            threads: Some(1),
+            quant: rustfi::QuantMode::Int8,
+            guard: rustfi::GuardMode::Record,
+            ..CampaignConfig::default()
+        };
+        let serial = campaign.run(&cfg).unwrap();
+        prop_assert_eq!(serial.counts.total(), 12);
+        let accelerated = campaign
+            .run(&CampaignConfig {
+                threads: Some(threads),
+                fusion: Some(rustfi::FusionConfig::with_width(width)),
+                prefix_cache: Some(rustfi::PrefixCacheConfig::default()),
+                ..cfg.clone()
+            })
+            .unwrap();
+        prop_assert_eq!(&serial.records, &accelerated.records);
+        prop_assert_eq!(serial.counts, accelerated.counts);
+        // Shard invariance: the calibration table comes from the full image
+        // set, so shards quantize on the same grid.
+        let dir = std::env::temp_dir()
+            .join("rustfi-int8-invariance")
+            .join(format!("{seed:x}-{}", u8::from(weight_mode)));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut paths = Vec::new();
+        for spec in rustfi::plan_shards(cfg.trials, 3) {
+            let path = spec.journal_path(&dir);
+            campaign.run_shard(&cfg, &spec, &path).unwrap();
+            paths.push(path);
+        }
+        let merged = rustfi::merge_shard_journals(&paths).unwrap();
+        prop_assert!(merged.is_complete());
+        prop_assert_eq!(&merged.records, &serial.records);
+        prop_assert_eq!(merged.counts, serial.counts);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
