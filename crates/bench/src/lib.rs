@@ -15,6 +15,8 @@
 //! Criterion benches (`benches/`) cover the Fig. 3 measurement loop and the
 //! two design-choice ablations called out in `DESIGN.md`.
 
+pub mod fuzz;
+
 use rustfi::CampaignResult;
 use rustfi_data::SynthSpec;
 use rustfi_nn::train::TrainConfig;

@@ -46,7 +46,11 @@ fn main() {
 
     // The campaign every process agrees on. Fixed here (not inherited) so
     // the gate is deterministic; workers inherit these via the environment.
-    std::env::set_var("RUSTFI_MODEL", "lenet");
+    // The model is the one knob the caller may override: nightly CI points
+    // it at a fuzzer-generated architecture (`RUSTFI_MODEL=fuzz:<seed>`).
+    if std::env::var("RUSTFI_MODEL").is_err() {
+        std::env::set_var("RUSTFI_MODEL", "lenet");
+    }
     std::env::set_var("RUSTFI_TRIALS", "96");
     std::env::set_var("RUSTFI_SEED", "51966");
     std::env::set_var("RUSTFI_IMAGES", "6");

@@ -11,13 +11,17 @@
 //! image campaign-eligible without a training run, like the
 //! `profile_campaign` bench does).
 //!
-//! Knobs: `RUSTFI_MODEL` (default `lenet`), `RUSTFI_TRIALS` (default 96),
+//! Knobs: `RUSTFI_MODEL` (default `lenet`; `fuzz:<seed>` samples a random
+//! architecture from the differential fuzzer's generator — the same network
+//! `rustfi_bench::fuzz::FuzzCase::sample(seed)` fuzzes, so a fuzz failure
+//! can be re-run as a distributed fleet), `RUSTFI_TRIALS` (default 96),
 //! `RUSTFI_SEED`, `RUSTFI_IMAGES` (default 6), `RUSTFI_FUSION` (fused batch
 //! width, `0`/`1` disables, default 8), `RUSTFI_THREADS` (per worker).
 
 use rustfi::{models, Campaign, CampaignConfig, FaultMode, FusionConfig, NeuronSelect};
+use rustfi_nn::zoo::random::{ArchSpec, ForcedTopology};
 use rustfi_nn::{train, zoo, Network, ZooConfig};
-use rustfi_tensor::Tensor;
+use rustfi_tensor::{SeededRng, Tensor};
 use std::sync::Arc;
 
 /// Reads a usize knob from the environment.
@@ -36,11 +40,59 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Which model family `RUSTFI_MODEL` selected.
+enum ModelSpec {
+    /// A named zoo architecture (`lenet`, `vgg19`, …).
+    Zoo { name: String, cfg: ZooConfig },
+    /// A fuzzer-generated architecture (`fuzz:<seed>`), sampled exactly as
+    /// `rustfi_bench::fuzz::FuzzCase::sample(seed)` derives its network
+    /// (architecture stream = `SeededRng::new(seed).fork(1)`).
+    Fuzz { arch: ArchSpec },
+}
+
+impl ModelSpec {
+    fn parse(model: &str) -> Self {
+        if let Some(raw) = model.strip_prefix("fuzz:") {
+            let raw = raw.trim();
+            let seed = if let Some(hex) = raw.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).ok()
+            } else {
+                raw.parse().ok()
+            }
+            .unwrap_or_else(|| panic!("bad fuzz seed in RUSTFI_MODEL={model}"));
+            let arch =
+                ArchSpec::sample_with(&mut SeededRng::new(seed).fork(1), ForcedTopology::default());
+            ModelSpec::Fuzz { arch }
+        } else {
+            ModelSpec::Zoo {
+                name: model.to_string(),
+                cfg: ZooConfig::tiny(8),
+            }
+        }
+    }
+
+    fn build(&self) -> Network {
+        match self {
+            ModelSpec::Zoo { name, cfg } => {
+                zoo::by_name(name, cfg).unwrap_or_else(|| panic!("unknown model {name}"))
+            }
+            ModelSpec::Fuzz { arch } => arch.build(),
+        }
+    }
+
+    /// `[C, H, W]` of one input image.
+    fn image_dims(&self) -> [usize; 3] {
+        match self {
+            ModelSpec::Zoo { cfg, .. } => [cfg.in_channels, cfg.image_hw, cfg.image_hw],
+            ModelSpec::Fuzz { arch } => [arch.in_channels, arch.image_hw, arch.image_hw],
+        }
+    }
+}
+
 /// The fixture every fleet process rebuilds identically from the
 /// environment: model factory inputs, images, and aligned labels.
 pub struct Testbed {
-    model: String,
-    zoo_cfg: ZooConfig,
+    spec: ModelSpec,
     /// Synthetic test images.
     pub images: Tensor,
     /// The untrained model's own predictions, so all images are eligible.
@@ -51,17 +103,14 @@ impl Testbed {
     /// Builds the fixture from `RUSTFI_MODEL` / `RUSTFI_IMAGES`.
     pub fn from_env() -> Self {
         let model = std::env::var("RUSTFI_MODEL").unwrap_or_else(|_| String::from("lenet"));
-        let zoo_cfg = ZooConfig::tiny(8);
+        let spec = ModelSpec::parse(&model);
         let n = env_usize("RUSTFI_IMAGES", 6);
-        let images = Tensor::from_fn(
-            &[n, zoo_cfg.in_channels, zoo_cfg.image_hw, zoo_cfg.image_hw],
-            |i| ((i as f32) * 0.017).sin(),
-        );
-        let mut net = build(&model, &zoo_cfg);
+        let [c, h, w] = spec.image_dims();
+        let images = Tensor::from_fn(&[n, c, h, w], |i| ((i as f32) * 0.017).sin());
+        let mut net = spec.build();
         let labels = train::predict(&mut net, &images, n);
         Self {
-            model,
-            zoo_cfg,
+            spec,
             images,
             labels,
         }
@@ -69,7 +118,7 @@ impl Testbed {
 
     /// The model factory closure [`Campaign::new`] borrows.
     pub fn factory(&self) -> impl Fn() -> Network + Sync + '_ {
-        move || build(&self.model, &self.zoo_cfg)
+        move || self.spec.build()
     }
 
     /// The campaign config every fleet process agrees on, from
@@ -100,6 +149,30 @@ impl Testbed {
     }
 }
 
-fn build(model: &str, cfg: &ZooConfig) -> Network {
-    zoo::by_name(model, cfg).unwrap_or_else(|| panic!("unknown model {model}"))
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuzz_model_spec_is_deterministic_and_buildable() {
+        let a = ModelSpec::parse("fuzz:1234");
+        let b = ModelSpec::parse("fuzz:0x4d2");
+        let (ModelSpec::Fuzz { arch: ref aa }, ModelSpec::Fuzz { arch: ref ab }) = (&a, &b) else {
+            panic!("expected fuzz specs");
+        };
+        assert_eq!(aa, ab, "decimal and hex seeds parse to the same arch");
+        let [c, h, w] = a.image_dims();
+        let mut net = a.build();
+        let y = net.forward(&Tensor::zeros(&[2, c, h, w]));
+        assert_eq!(y.dims()[0], 2);
+    }
+
+    #[test]
+    fn zoo_model_spec_still_builds() {
+        let spec = ModelSpec::parse("lenet");
+        let [c, h, w] = spec.image_dims();
+        let mut net = spec.build();
+        let y = net.forward(&Tensor::zeros(&[1, c, h, w]));
+        assert_eq!(y.dims()[0], 1);
+    }
 }

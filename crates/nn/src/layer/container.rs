@@ -50,6 +50,14 @@ impl Module for Sequential {
         &mut self.meta
     }
 
+    fn infer_dims(&self, input: &[usize]) -> Result<Vec<usize>, crate::shape::ShapeError> {
+        let mut dims = input.to_vec();
+        for child in &self.children {
+            dims = child.infer_dims(&dims)?;
+        }
+        Ok(dims)
+    }
+
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
         let mut children = self.children.iter_mut();
         let Some(first) = children.next() else {
@@ -206,6 +214,22 @@ impl Module for Residual {
         &mut self.meta
     }
 
+    fn infer_dims(&self, input: &[usize]) -> Result<Vec<usize>, crate::shape::ShapeError> {
+        let body = self.body.infer_dims(input)?;
+        let skip = match &self.shortcut {
+            Some(s) => s.infer_dims(input)?,
+            None => input.to_vec(),
+        };
+        if body != skip {
+            return Err(crate::shape::ShapeError::ResidualMismatch {
+                layer: crate::shape::layer_label(&self.meta, LayerKind::Residual),
+                body,
+                shortcut: skip,
+            });
+        }
+        Ok(body)
+    }
+
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
         let mut main = ctx.forward_child(self.body.as_mut(), input);
         // Sum in place into the body output; the projection output (when
@@ -344,6 +368,38 @@ impl Module for Branches {
         &mut self.meta
     }
 
+    fn infer_dims(&self, input: &[usize]) -> Result<Vec<usize>, crate::shape::ShapeError> {
+        let label = || crate::shape::layer_label(&self.meta, LayerKind::Branches);
+        let mut shapes = Vec::with_capacity(self.branches.len() + 1);
+        if self.include_input {
+            shapes.push(input.to_vec());
+        }
+        for b in &self.branches {
+            shapes.push(b.infer_dims(input)?);
+        }
+        let first = shapes.first().expect("at least one branch").clone();
+        if first.len() != 4 {
+            return Err(crate::shape::ShapeError::WrongRank {
+                layer: label(),
+                expected: 4,
+                got: first,
+            });
+        }
+        let mut channels = 0;
+        for s in &shapes {
+            // Concatenation needs identical batch and spatial extents.
+            if s.len() != 4 || s[0] != first[0] || s[2] != first[2] || s[3] != first[3] {
+                return Err(crate::shape::ShapeError::BranchMismatch {
+                    layer: label(),
+                    first,
+                    other: s.clone(),
+                });
+            }
+            channels += s[1];
+        }
+        Ok(vec![first[0], channels, first[2], first[3]])
+    }
+
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
         let mut outputs = Vec::with_capacity(self.branches.len() + 1);
         if self.include_input {
@@ -477,6 +533,25 @@ impl ChannelShuffle {
 impl Module for ChannelShuffle {
     fn kind(&self) -> LayerKind {
         LayerKind::ChannelShuffle
+    }
+
+    fn infer_dims(&self, input: &[usize]) -> Result<Vec<usize>, crate::shape::ShapeError> {
+        let label = || crate::shape::layer_label(&self.meta, LayerKind::ChannelShuffle);
+        let &[_n, c, _h, _w] = input else {
+            return Err(crate::shape::ShapeError::WrongRank {
+                layer: label(),
+                expected: 4,
+                got: input.to_vec(),
+            });
+        };
+        if c % self.groups != 0 {
+            return Err(crate::shape::ShapeError::GroupMismatch {
+                layer: label(),
+                channels: c,
+                groups: self.groups,
+            });
+        }
+        Ok(input.to_vec())
     }
 
     fn meta(&self) -> &LayerMeta {

@@ -78,6 +78,43 @@ impl Module for Conv2d {
         LayerKind::Conv2d
     }
 
+    fn infer_dims(&self, input: &[usize]) -> Result<Vec<usize>, crate::shape::ShapeError> {
+        let label = || crate::shape::layer_label(&self.meta, LayerKind::Conv2d);
+        let &[n, c, h, w] = input else {
+            return Err(crate::shape::ShapeError::WrongRank {
+                layer: label(),
+                expected: 4,
+                got: input.to_vec(),
+            });
+        };
+        let &[out_ch, cg, kh, _kw] = self.weight.dims() else {
+            unreachable!("conv weights are rank 4");
+        };
+        let in_ch = cg * self.spec.groups;
+        if c != in_ch {
+            return Err(crate::shape::ShapeError::ChannelMismatch {
+                layer: label(),
+                expected: in_ch,
+                got: c,
+            });
+        }
+        let oh = self.spec.checked_out_size(h, kh).ok_or_else(|| {
+            crate::shape::ShapeError::KernelTooLarge {
+                layer: label(),
+                kernel: kh,
+                input: h,
+            }
+        })?;
+        let ow = self.spec.checked_out_size(w, kh).ok_or_else(|| {
+            crate::shape::ShapeError::KernelTooLarge {
+                layer: label(),
+                kernel: kh,
+                input: w,
+            }
+        })?;
+        Ok(vec![n, out_ch, oh, ow])
+    }
+
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
         rustfi_tensor::tpool::reuse_slot(&mut self.cached_input, input.dims())
             .data_mut()

@@ -57,6 +57,26 @@ impl Module for Linear {
         LayerKind::Linear
     }
 
+    fn infer_dims(&self, input: &[usize]) -> Result<Vec<usize>, crate::shape::ShapeError> {
+        let label = || crate::shape::layer_label(&self.meta, LayerKind::Linear);
+        let &[n, f] = input else {
+            return Err(crate::shape::ShapeError::WrongRank {
+                layer: label(),
+                expected: 2,
+                got: input.to_vec(),
+            });
+        };
+        let (out_f, in_f) = self.weight.dims2();
+        if f != in_f {
+            return Err(crate::shape::ShapeError::FeatureMismatch {
+                layer: label(),
+                expected: in_f,
+                got: f,
+            });
+        }
+        Ok(vec![n, out_f])
+    }
+
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
         let (batch, in_f) = input.dims2();
         let (out_f, w_in) = self.weight.dims2();

@@ -63,6 +63,25 @@ impl Module for BatchNorm2d {
         LayerKind::BatchNorm2d
     }
 
+    fn infer_dims(&self, input: &[usize]) -> Result<Vec<usize>, crate::shape::ShapeError> {
+        let label = || crate::shape::layer_label(&self.meta, LayerKind::BatchNorm2d);
+        let &[_n, c, _h, _w] = input else {
+            return Err(crate::shape::ShapeError::WrongRank {
+                layer: label(),
+                expected: 4,
+                got: input.to_vec(),
+            });
+        };
+        if c != self.channels() {
+            return Err(crate::shape::ShapeError::ChannelMismatch {
+                layer: label(),
+                expected: self.channels(),
+                got: c,
+            });
+        }
+        Ok(input.to_vec())
+    }
+
     #[allow(clippy::needless_range_loop)]
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
         let (n, c, h, w) = input.dims4();

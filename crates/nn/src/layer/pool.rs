@@ -19,6 +19,31 @@ fn store_dims(slot: &mut Option<Vec<usize>>, dims: &[usize]) {
     buf.extend_from_slice(dims);
 }
 
+/// Shared shape inference for windowed pools.
+fn pool_infer_dims(
+    meta: &LayerMeta,
+    kind: LayerKind,
+    spec: &PoolSpec,
+    input: &[usize],
+) -> Result<Vec<usize>, crate::shape::ShapeError> {
+    let label = || crate::shape::layer_label(meta, kind);
+    let &[n, c, h, w] = input else {
+        return Err(crate::shape::ShapeError::WrongRank {
+            layer: label(),
+            expected: 4,
+            got: input.to_vec(),
+        });
+    };
+    let too_large = |input| crate::shape::ShapeError::KernelTooLarge {
+        layer: label(),
+        kernel: spec.kernel,
+        input,
+    };
+    let oh = spec.checked_out_size(h).ok_or_else(|| too_large(h))?;
+    let ow = spec.checked_out_size(w).ok_or_else(|| too_large(w))?;
+    Ok(vec![n, c, oh, ow])
+}
+
 impl MaxPool2d {
     /// A `kernel`-sized max pool moving by `stride`.
     pub fn new(kernel: usize, stride: usize) -> Self {
@@ -35,6 +60,10 @@ impl Module for MaxPool2d {
 
     fn kind(&self) -> LayerKind {
         LayerKind::MaxPool2d
+    }
+
+    fn infer_dims(&self, input: &[usize]) -> Result<Vec<usize>, crate::shape::ShapeError> {
+        pool_infer_dims(&self.meta, LayerKind::MaxPool2d, &self.spec, input)
     }
 
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
@@ -87,6 +116,10 @@ impl Module for AvgPool2d {
         LayerKind::AvgPool2d
     }
 
+    fn infer_dims(&self, input: &[usize]) -> Result<Vec<usize>, crate::shape::ShapeError> {
+        pool_infer_dims(&self.meta, LayerKind::AvgPool2d, &self.spec, input)
+    }
+
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
         store_dims(&mut self.input_dims, input.dims());
         let mut out = avg_pool2d(input, &self.spec);
@@ -131,6 +164,17 @@ impl Module for GlobalAvgPool {
 
     fn kind(&self) -> LayerKind {
         LayerKind::GlobalAvgPool
+    }
+
+    fn infer_dims(&self, input: &[usize]) -> Result<Vec<usize>, crate::shape::ShapeError> {
+        let &[n, c, _h, _w] = input else {
+            return Err(crate::shape::ShapeError::WrongRank {
+                layer: crate::shape::layer_label(&self.meta, LayerKind::GlobalAvgPool),
+                expected: 4,
+                got: input.to_vec(),
+            });
+        };
+        Ok(vec![n, c, 1, 1])
     }
 
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {

@@ -32,6 +32,17 @@ impl Module for Flatten {
         LayerKind::Flatten
     }
 
+    fn infer_dims(&self, input: &[usize]) -> Result<Vec<usize>, crate::shape::ShapeError> {
+        if input.len() < 2 {
+            return Err(crate::shape::ShapeError::WrongRank {
+                layer: crate::shape::layer_label(&self.meta, LayerKind::Flatten),
+                expected: 2,
+                got: input.to_vec(),
+            });
+        }
+        Ok(vec![input[0], input[1..].iter().product()])
+    }
+
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
         assert!(input.ndim() >= 2, "flatten expects rank >= 2");
         let dims_buf = self.input_dims.get_or_insert_with(Vec::new);

@@ -41,6 +41,7 @@ pub mod loss;
 pub mod module;
 pub mod optim;
 pub mod quantized;
+pub mod shape;
 pub mod train;
 pub mod zoo;
 
@@ -50,4 +51,5 @@ pub use module::{
     BackwardCtx, ForwardCtx, LayerId, LayerInfo, LayerKind, LayerMeta, Module, Network, Param,
 };
 pub use quantized::{Backend, CalibrationTable};
+pub use shape::ShapeError;
 pub use zoo::ZooConfig;

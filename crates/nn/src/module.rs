@@ -345,6 +345,24 @@ pub trait Module: Send {
         (self.meta().id == target).then(|| input.pooled_copy())
     }
 
+    /// Propagates an input shape through this subtree without running it,
+    /// returning the output shape or a typed [`ShapeError`] naming the first
+    /// layer that cannot accept its input.
+    ///
+    /// The default — the identity — is correct for every element-wise layer
+    /// (activations, dropout). Layers with geometry (conv, linear, pooling,
+    /// norm) and all containers override it; in particular [`Residual`] and
+    /// [`Branches`] report path-shape disagreements here as typed errors
+    /// instead of panicking mid-forward, which is what lets the architecture
+    /// fuzzer reject invalid random compositions at build time.
+    ///
+    /// [`ShapeError`]: crate::shape::ShapeError
+    /// [`Residual`]: crate::layer::container::Residual
+    /// [`Branches`]: crate::layer::container::Branches
+    fn infer_dims(&self, input: &[usize]) -> Result<Vec<usize>, crate::shape::ShapeError> {
+        Ok(input.to_vec())
+    }
+
     /// Pre-order traversal over this module and all descendants.
     fn visit(&self, f: &mut dyn FnMut(&dyn Module));
     /// Mutable pre-order traversal.
@@ -716,6 +734,15 @@ impl Network {
     /// without a quantized kernel.
     pub fn layer_qweight_mut(&mut self, id: LayerId) -> Option<&mut QTensor> {
         self.root.find_mut(id).and_then(|m| m.qweight_mut())
+    }
+
+    /// Propagates an input shape through the module tree without running it
+    /// (see [`Module::infer_dims`]). A forward pass on a tensor of shape
+    /// `input` returns exactly the inferred shape when this succeeds; when
+    /// it fails, the typed error names the first layer whose geometry
+    /// rejects its input.
+    pub fn infer_dims(&self, input: &[usize]) -> Result<Vec<usize>, crate::shape::ShapeError> {
+        self.root.infer_dims(input)
     }
 
     /// Immutable visit over the module tree.

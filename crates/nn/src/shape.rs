@@ -1,0 +1,286 @@
+//! Build-time shape validation.
+//!
+//! [`Module::infer_dims`](crate::Module::infer_dims) propagates an input
+//! shape through a module tree *without running it*, surfacing every
+//! geometry mismatch — a residual body that disagrees with its shortcut, a
+//! branch with the wrong spatial extent, a kernel larger than its input — as
+//! a typed [`ShapeError`] instead of an `assert!` deep inside a forward
+//! pass. The differential architecture fuzzer leans on this: randomly
+//! composed networks are validated up front so invalid compositions are
+//! rejected and resampled cleanly rather than aborting a campaign.
+
+use std::fmt;
+
+/// Why a module tree cannot accept a given input shape.
+///
+/// Every variant names the offending layer (its auto-assigned name when the
+/// tree has been wrapped in a [`Network`](crate::Network), otherwise the
+/// layer kind) so errors stay actionable on deeply nested topologies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// The layer needs a different tensor rank (e.g. conv wants NCHW).
+    WrongRank {
+        /// Offending layer (name or kind).
+        layer: String,
+        /// Rank the layer expects.
+        expected: usize,
+        /// Shape it was offered.
+        got: Vec<usize>,
+    },
+    /// A channel-indexed layer (conv input, batch norm) saw the wrong
+    /// channel count.
+    ChannelMismatch {
+        /// Offending layer (name or kind).
+        layer: String,
+        /// Channel count the layer was built for.
+        expected: usize,
+        /// Channel count of the offered input.
+        got: usize,
+    },
+    /// Channels are not divisible by the group count (channel shuffle).
+    GroupMismatch {
+        /// Offending layer (name or kind).
+        layer: String,
+        /// Offered channel count.
+        channels: usize,
+        /// Group count that does not divide it.
+        groups: usize,
+    },
+    /// A conv/pool window (with padding) does not fit in the input extent.
+    KernelTooLarge {
+        /// Offending layer (name or kind).
+        layer: String,
+        /// Window size.
+        kernel: usize,
+        /// Spatial extent it was offered.
+        input: usize,
+    },
+    /// A linear layer saw the wrong feature width.
+    FeatureMismatch {
+        /// Offending layer (name or kind).
+        layer: String,
+        /// Feature count the layer was built for.
+        expected: usize,
+        /// Feature count of the offered input.
+        got: usize,
+    },
+    /// A residual block whose body output shape disagrees with its shortcut
+    /// (the identity input when no projection is installed).
+    ResidualMismatch {
+        /// Offending block (name or kind).
+        layer: String,
+        /// Shape produced by the body path.
+        body: Vec<usize>,
+        /// Shape produced by the shortcut path.
+        shortcut: Vec<usize>,
+    },
+    /// Branch outputs cannot be concatenated along channels: batch or
+    /// spatial extents disagree.
+    BranchMismatch {
+        /// Offending container (name or kind).
+        layer: String,
+        /// Shape of the first branch output.
+        first: Vec<usize>,
+        /// Conflicting shape of a later branch output.
+        other: Vec<usize>,
+    },
+}
+
+impl ShapeError {
+    /// The offending layer's name (or kind when unnamed).
+    pub fn layer(&self) -> &str {
+        match self {
+            ShapeError::WrongRank { layer, .. }
+            | ShapeError::ChannelMismatch { layer, .. }
+            | ShapeError::GroupMismatch { layer, .. }
+            | ShapeError::KernelTooLarge { layer, .. }
+            | ShapeError::FeatureMismatch { layer, .. }
+            | ShapeError::ResidualMismatch { layer, .. }
+            | ShapeError::BranchMismatch { layer, .. } => layer,
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::WrongRank {
+                layer,
+                expected,
+                got,
+            } => write!(f, "{layer}: expects rank {expected}, got shape {got:?}"),
+            ShapeError::ChannelMismatch {
+                layer,
+                expected,
+                got,
+            } => write!(f, "{layer}: expects {expected} channels, got {got}"),
+            ShapeError::GroupMismatch {
+                layer,
+                channels,
+                groups,
+            } => write!(
+                f,
+                "{layer}: {channels} channels not divisible by {groups} groups"
+            ),
+            ShapeError::KernelTooLarge {
+                layer,
+                kernel,
+                input,
+            } => write!(
+                f,
+                "{layer}: window {kernel} larger than input extent {input}"
+            ),
+            ShapeError::FeatureMismatch {
+                layer,
+                expected,
+                got,
+            } => write!(f, "{layer}: expects {expected} features, got {got}"),
+            ShapeError::ResidualMismatch {
+                layer,
+                body,
+                shortcut,
+            } => write!(
+                f,
+                "{layer}: body output {body:?} does not match shortcut {shortcut:?}"
+            ),
+            ShapeError::BranchMismatch {
+                layer,
+                first,
+                other,
+            } => write!(
+                f,
+                "{layer}: branch output {other:?} cannot concat with {first:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// The label validators attach to errors: the layer's assigned name, or its
+/// kind when the tree has not been through [`Network::new`] yet.
+///
+/// [`Network::new`]: crate::Network::new
+pub(crate) fn layer_label(meta: &crate::LayerMeta, kind: crate::LayerKind) -> String {
+    if meta.name.is_empty() {
+        kind.short_name().to_string()
+    } else {
+        meta.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::container::{Branches, Residual, Sequential};
+    use crate::layer::{ChannelShuffle, Conv2d, Linear, MaxPool2d, Relu};
+    use crate::module::{Module, Network};
+    use crate::{zoo, ZooConfig};
+    use rustfi_tensor::{ConvSpec, SeededRng, Tensor};
+
+    #[test]
+    fn every_zoo_model_validates_and_matches_forward() {
+        let cfg = ZooConfig::tiny(4);
+        for name in zoo::model_names() {
+            let mut net = zoo::by_name(name, &cfg).unwrap();
+            let dims = [2, cfg.in_channels, cfg.image_hw, cfg.image_hw];
+            let inferred = net
+                .infer_dims(&dims)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let y = net.forward(&Tensor::zeros(&dims));
+            assert_eq!(inferred, y.dims(), "{name}: inferred shape matches forward");
+        }
+    }
+
+    #[test]
+    fn residual_mismatch_is_a_typed_error() {
+        let mut rng = SeededRng::new(1);
+        // Body widens 2 -> 4 channels with an identity shortcut: invalid.
+        let body = Conv2d::new(2, 4, 3, ConvSpec::new().padding(1), &mut rng);
+        let net = Network::new(Box::new(Residual::new(Box::new(body))));
+        let err = net.infer_dims(&[1, 2, 8, 8]).unwrap_err();
+        match &err {
+            ShapeError::ResidualMismatch { body, shortcut, .. } => {
+                assert_eq!(body, &[1, 4, 8, 8]);
+                assert_eq!(shortcut, &[1, 2, 8, 8]);
+            }
+            other => panic!("expected ResidualMismatch, got {other}"),
+        }
+        assert!(err.to_string().contains("does not match shortcut"));
+    }
+
+    #[test]
+    fn branch_mismatch_is_a_typed_error() {
+        let mut rng = SeededRng::new(2);
+        // Unpadded 3x3 branch shrinks spatially; 1x1 branch does not.
+        let b1 = Conv2d::new(2, 3, 1, ConvSpec::new(), &mut rng);
+        let b2 = Conv2d::new(2, 3, 3, ConvSpec::new(), &mut rng);
+        let net = Network::new(Box::new(Branches::new(vec![Box::new(b1), Box::new(b2)])));
+        assert!(matches!(
+            net.infer_dims(&[1, 2, 8, 8]),
+            Err(ShapeError::BranchMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn geometry_errors_name_the_offending_layer() {
+        let mut rng = SeededRng::new(3);
+        let net = Network::new(Box::new(Sequential::new(vec![
+            Box::new(Conv2d::new(2, 4, 3, ConvSpec::new().padding(1), &mut rng)),
+            Box::new(MaxPool2d::new(2, 2)),
+            Box::new(Conv2d::new(8, 4, 1, ConvSpec::new(), &mut rng)),
+        ])));
+        // Second conv was built for 8 input channels but receives 4.
+        let err = net.infer_dims(&[1, 2, 8, 8]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ShapeError::ChannelMismatch {
+                    expected: 8,
+                    got: 4,
+                    ..
+                }
+            ),
+            "got {err}"
+        );
+        assert_eq!(err.layer(), "conv3");
+    }
+
+    #[test]
+    fn kernel_and_rank_and_group_errors() {
+        let mut rng = SeededRng::new(4);
+        let conv = Conv2d::new(1, 1, 5, ConvSpec::new(), &mut rng);
+        assert!(matches!(
+            conv.infer_dims(&[1, 1, 3, 3]),
+            Err(ShapeError::KernelTooLarge {
+                kernel: 5,
+                input: 3,
+                ..
+            })
+        ));
+        assert!(matches!(
+            conv.infer_dims(&[1, 9]),
+            Err(ShapeError::WrongRank { expected: 4, .. })
+        ));
+        let shuffle = ChannelShuffle::new(3);
+        assert!(matches!(
+            shuffle.infer_dims(&[1, 4, 2, 2]),
+            Err(ShapeError::GroupMismatch {
+                channels: 4,
+                groups: 3,
+                ..
+            })
+        ));
+        let fc = Linear::new(6, 2, &mut rng);
+        assert!(matches!(
+            fc.infer_dims(&[1, 7]),
+            Err(ShapeError::FeatureMismatch {
+                expected: 6,
+                got: 7,
+                ..
+            })
+        ));
+        // Element-wise layers default to the identity at any rank.
+        assert_eq!(Relu::new().infer_dims(&[3, 5]).unwrap(), vec![3, 5]);
+    }
+}

@@ -14,10 +14,12 @@
 
 mod branched;
 mod compact;
+pub mod random;
 mod resnets;
 
 pub use branched::{densenet, googlenet};
 pub use compact::{mobilenet, shufflenet, squeezenet};
+pub use random::{ArchSpec, ForcedTopology, OpSpec};
 pub use resnets::{preresnet110, resnet110, resnet18, resnet50, resnext};
 
 use crate::layer::{

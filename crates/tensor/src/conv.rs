@@ -59,9 +59,19 @@ impl ConvSpec {
     ///
     /// Panics if the kernel (with padding) does not fit in the input.
     pub fn out_size(&self, in_size: usize, k: usize) -> usize {
+        self.checked_out_size(in_size, k)
+            .unwrap_or_else(|| panic!("kernel {k} larger than padded input (in {in_size})"))
+    }
+
+    /// Non-panicking [`ConvSpec::out_size`]: `None` when the kernel (with
+    /// padding) does not fit in the input. Shape validators use this to turn
+    /// geometry mismatches into typed errors instead of panics.
+    pub fn checked_out_size(&self, in_size: usize, k: usize) -> Option<usize> {
         let padded = in_size + 2 * self.padding;
-        assert!(padded >= k, "kernel {k} larger than padded input {padded}");
-        (padded - k) / self.stride + 1
+        if padded < k || k == 0 {
+            return None;
+        }
+        Some((padded - k) / self.stride + 1)
     }
 }
 

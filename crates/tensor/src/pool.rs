@@ -33,12 +33,17 @@ impl PoolSpec {
     ///
     /// Panics if the window is larger than the input.
     pub fn out_size(&self, in_size: usize) -> usize {
-        assert!(
-            in_size >= self.kernel,
-            "pool window {} larger than input {in_size}",
-            self.kernel
-        );
-        (in_size - self.kernel) / self.stride + 1
+        self.checked_out_size(in_size)
+            .unwrap_or_else(|| panic!("pool window {} larger than input {in_size}", self.kernel))
+    }
+
+    /// Non-panicking [`PoolSpec::out_size`]: `None` when the window is larger
+    /// than the input.
+    pub fn checked_out_size(&self, in_size: usize) -> Option<usize> {
+        if in_size < self.kernel {
+            return None;
+        }
+        Some((in_size - self.kernel) / self.stride + 1)
     }
 }
 

@@ -1,0 +1,60 @@
+//! Deterministic replay of the differential-fuzzer regression corpus.
+//!
+//! Every `tests/regressions/*.case` file is parsed and run through the full
+//! differential harness (`rustfi_bench::fuzz::run_case`) on every `cargo
+//! test`, so a case that once exposed a strategy divergence guards the fix
+//! in tier-1 CI forever. An empty or missing corpus directory passes — the
+//! corpus only grows when `fuzz_gate` finds something.
+
+use rustfi_bench::fuzz::{parse_case_file, run_case};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(format!("{}/tests/regressions", env!("CARGO_MANIFEST_DIR")))
+}
+
+#[test]
+fn regression_corpus_replays_clean() {
+    let dir = corpus_dir();
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        eprintln!("no corpus at {} — nothing to replay", dir.display());
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    paths.sort();
+    for path in &paths {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("{name}: unreadable corpus file: {e}"));
+        let case =
+            parse_case_file(&text).unwrap_or_else(|e| panic!("{name}: unparseable case: {e}"));
+        let report = run_case(&case).unwrap_or_else(|f| panic!("{name}: {f}"));
+        eprintln!(
+            "replayed {name}: legs={} trials={} eligible={}",
+            report.legs, report.trials_run, report.eligible_images
+        );
+    }
+    eprintln!("replayed {} corpus case(s)", paths.len());
+}
+
+#[test]
+fn corpus_files_round_trip_through_the_serializer() {
+    let dir = corpus_dir();
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return;
+    };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        if path.extension().is_none_or(|x| x != "case") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let case = parse_case_file(&text).unwrap();
+        let reparsed = parse_case_file(&case.to_case_file()).unwrap();
+        assert_eq!(case, reparsed, "{}", path.display());
+    }
+}

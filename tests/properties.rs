@@ -5,7 +5,8 @@ use rustfi::{
     models, BatchSelect, Campaign, CampaignConfig, FaultMode, NeuronSelect, PerturbationModel,
     WeightSelect,
 };
-use rustfi_nn::{zoo, Network, ZooConfig};
+use rustfi_bench::fuzz::{self, CaseFixture};
+use rustfi_nn::{zoo, ZooConfig};
 use rustfi_quant::int8;
 use rustfi_tensor::bits;
 use rustfi_tensor::{SeededRng, Tensor};
@@ -192,25 +193,26 @@ proptest! {
         prop_assert!((i1 - i2).abs() < 1e-5);
     }
 
-    /// Trial isolation never breaks campaign determinism: for any seed and
-    /// any crash probability, a campaign whose perturbation model panics on
-    /// a seeded fraction of trials produces identical records — including
-    /// *which* trials crashed — on 1 worker and on 4, and accounts for every
-    /// trial.
+    /// Trial isolation never breaks campaign determinism: for any generated
+    /// architecture and any crash probability, a campaign whose
+    /// perturbation model panics on a seeded fraction of trials produces
+    /// identical records — including *which* trials crashed — on 1 worker
+    /// and on 4, and accounts for every trial.
     #[test]
-    fn crashy_campaigns_are_thread_count_invariant(seed in any::<u64>(), crash_p in 0.05f64..0.5) {
-        fn tiny_lenet() -> Network {
-            zoo::lenet(&ZooConfig::tiny(4))
-        }
-        let images = Tensor::from_fn(&[5, 3, 16, 16], |i| ((i as f32) * 0.011).sin());
-        let mut probe = tiny_lenet();
-        let labels: Vec<usize> = (0..images.dims()[0])
-            .map(|i| rustfi::metrics::top1(probe.forward(&images.select_batch(i)).data()))
-            .collect();
+    fn crashy_campaigns_are_thread_count_invariant(
+        case in fuzz::cases(),
+        crash_p in 0.05f64..0.5,
+    ) {
+        let mut case = case;
+        // The crashy model perturbs f32 activations directly; pin the
+        // quantization regime so the fixture probe matches.
+        case.quant = rustfi::QuantMode::Off;
+        let fx = CaseFixture::new(&case).unwrap();
+        let factory = fx.factory();
         let campaign = Campaign::new(
-            &tiny_lenet,
-            &images,
-            &labels,
+            &factory,
+            &fx.images,
+            &fx.labels,
             FaultMode::Neuron(NeuronSelect::Random),
             Arc::new(models::Custom::new("crashy", move |old, ctx| {
                 if ctx.rng.chance(crash_p) {
@@ -222,75 +224,74 @@ proptest! {
         let run = |threads| {
             campaign
                 .run(&CampaignConfig {
-                    trials: 12,
-                    seed,
                     threads: Some(threads),
-                    ..CampaignConfig::default()
+                    ..case.reference_config()
                 })
                 .unwrap()
         };
         let single = run(1);
         let four = run(4);
         prop_assert_eq!(&single, &four);
-        prop_assert_eq!(single.counts.total(), 12);
+        prop_assert_eq!(single.counts.total(), case.trials);
     }
 
-    /// Observability is read-only: for any seed, campaigns run with no
-    /// recorder, with the [`rustfi_obs::NullRecorder`], with the full
+    /// Observability is read-only: for any generated architecture and
+    /// execution strategy, campaigns run with no recorder, with the
+    /// [`rustfi_obs::NullRecorder`], with the full
     /// [`rustfi_obs::TraceRecorder`], and with the fleet-telemetry stack
     /// (disk-streaming [`rustfi_obs::SidecarRecorder`] fanned out with a
     /// [`rustfi_obs::FlightRecorder`] ring) produce bit-identical trial
-    /// records, regardless of worker thread count.
+    /// records.
     #[test]
-    fn recorders_never_perturb_campaign_results(seed in any::<u64>(), threads in 1usize..4) {
+    fn recorders_never_perturb_campaign_results(case in fuzz::cases()) {
         use rustfi_obs::{
             FanoutRecorder, FlightRecorder, NullRecorder, Recorder, SidecarRecorder,
             TraceRecorder,
         };
-        fn tiny_lenet() -> Network {
-            zoo::lenet(&ZooConfig::tiny(4))
-        }
-        let images = Tensor::from_fn(&[5, 3, 16, 16], |i| ((i as f32) * 0.017).cos());
-        let mut probe = tiny_lenet();
-        let labels: Vec<usize> = (0..images.dims()[0])
-            .map(|i| rustfi::metrics::top1(probe.forward(&images.select_batch(i)).data()))
-            .collect();
+        let fx = CaseFixture::new(&case).unwrap();
+        let factory = fx.factory();
         let campaign = Campaign::new(
-            &tiny_lenet,
-            &images,
-            &labels,
-            FaultMode::Neuron(NeuronSelect::Random),
-            // Exponent-bit flips produce Inf often enough to exercise the
-            // guard-event path alongside plain masked/SDC trials.
-            Arc::new(models::BitFlipFp32::new(models::BitSelect::Random)),
+            &factory,
+            &fx.images,
+            &fx.labels,
+            fx.mode.clone(),
+            Arc::clone(&fx.model),
         );
-        let run = |recorder: Option<Arc<dyn Recorder>>, threads: usize| {
+        // Every run uses the case's full accelerated strategy (threads,
+        // fusion, prefix cache, pooling) so only the recorder varies.
+        let run = |recorder: Option<Arc<dyn Recorder>>| {
             campaign
                 .run(&CampaignConfig {
-                    trials: 10,
-                    seed,
-                    threads: Some(threads),
-                    guard: rustfi::GuardMode::Record,
                     recorder,
-                    ..CampaignConfig::default()
+                    ..case.accelerated_config()
                 })
                 .unwrap()
         };
-        let plain = run(None, 1);
-        let null = run(Some(Arc::new(NullRecorder)), threads);
+        let plain = run(None);
+        let null = run(Some(Arc::new(NullRecorder)));
         let trace_rec = Arc::new(TraceRecorder::new());
-        let traced = run(Some(trace_rec.clone() as Arc<dyn Recorder>), threads);
+        let traced = run(Some(trace_rec.clone() as Arc<dyn Recorder>));
         prop_assert_eq!(&plain, &null);
         prop_assert_eq!(&plain, &traced);
         let snap = trace_rec.snapshot();
-        prop_assert_eq!(snap.spans.iter().filter(|s| s.kind == "trial").count(), 10);
+        // Serial trials get a "trial" span each; fused ones are covered by
+        // "fused" chunk spans. The per-trial outcome *events* are the
+        // strategy-invariant stream, so count those.
+        prop_assert_eq!(
+            snap.events
+                .iter()
+                .filter(|e| matches!(e, rustfi_obs::Event::TrialOutcome(_)))
+                .count(),
+            case.trials
+        );
         prop_assert_eq!(snap.counters.get("fi.injections").copied().unwrap_or(0) > 0, true);
 
         // The fleet-telemetry stack streams to disk mid-campaign, which
         // must be just as invisible as the in-memory recorders.
         let dir = std::env::temp_dir().join(format!(
-            "rustfi_props_sidecar_{}_{seed:x}_{threads}",
-            std::process::id()
+            "rustfi_props_sidecar_{}_{:x}",
+            std::process::id(),
+            case.seed
         ));
         std::fs::create_dir_all(&dir).unwrap();
         let sidecar = SidecarRecorder::create(&dir.join("run.telemetry.jsonl"), 0, 1, 0).unwrap();
@@ -299,7 +300,7 @@ proptest! {
             Arc::new(sidecar) as Arc<dyn Recorder>,
             Arc::new(flight) as Arc<dyn Recorder>,
         ]));
-        let observed = run(Some(fanout as Arc<dyn Recorder>), threads);
+        let observed = run(Some(fanout as Arc<dyn Recorder>));
         prop_assert_eq!(&plain, &observed);
         let sc = rustfi_obs::read_sidecar(&dir.join("run.telemetry.jsonl")).unwrap();
         prop_assert_eq!(sc.torn_lines, 0);
@@ -309,7 +310,7 @@ proptest! {
                 .iter()
                 .filter(|e| matches!(e, rustfi_obs::Event::TrialOutcome(_)))
                 .count(),
-            10
+            case.trials
         );
         prop_assert!(rustfi_obs::read_flight(&dir.join("run.flight")).unwrap().seq > 0);
         std::fs::remove_dir_all(&dir).ok();
@@ -322,155 +323,110 @@ proptest! {
     /// uncached run, and every trial's lookup is accounted as a hit or miss.
     #[test]
     fn prefix_caching_never_changes_records(
-        seed in any::<u64>(),
-        threads in 1usize..4,
+        case in fuzz::cases(),
         // log2 of the budget in KiB: 4 KiB (thrashing) up to 2 GiB (holds
         // every prefix).
         budget_log2_kib in 2u32..21,
     ) {
-        fn tiny_lenet() -> Network {
-            zoo::lenet(&ZooConfig::tiny(4))
-        }
-        let images = Tensor::from_fn(&[5, 3, 16, 16], |i| ((i as f32) * 0.019).sin());
-        let mut probe = tiny_lenet();
-        let labels: Vec<usize> = (0..images.dims()[0])
-            .map(|i| rustfi::metrics::top1(probe.forward(&images.select_batch(i)).data()))
-            .collect();
+        let fx = CaseFixture::new(&case).unwrap();
+        let factory = fx.factory();
         let campaign = Campaign::new(
-            &tiny_lenet,
-            &images,
-            &labels,
-            FaultMode::Neuron(NeuronSelect::Random),
-            // Exponent-bit flips mix masked, SDC, and DUE outcomes, so the
-            // equality below covers every classification path.
-            Arc::new(models::BitFlipFp32::new(models::BitSelect::Random)),
+            &factory,
+            &fx.images,
+            &fx.labels,
+            fx.mode.clone(),
+            Arc::clone(&fx.model),
         );
         let run = |prefix_cache, threads: usize| {
             campaign
                 .run(&CampaignConfig {
-                    trials: 12,
-                    seed,
                     threads: Some(threads),
-                    guard: rustfi::GuardMode::Record,
                     prefix_cache,
-                    ..CampaignConfig::default()
+                    ..case.reference_config()
                 })
                 .unwrap()
         };
         let budget = 1usize << (10 + budget_log2_kib);
         let plain = run(None, 1);
-        let cached = run(Some(rustfi::PrefixCacheConfig::with_budget(budget)), threads);
+        let cached = run(
+            Some(rustfi::PrefixCacheConfig::with_budget(budget)),
+            case.threads,
+        );
         prop_assert_eq!(&plain.records, &cached.records);
         prop_assert_eq!(plain.counts, cached.counts);
         let stats = cached.prefix.unwrap();
-        prop_assert_eq!(stats.hits + stats.misses, 12);
+        prop_assert_eq!(stats.hits + stats.misses, case.trials as u64);
         prop_assert!(stats.bytes <= budget);
     }
 
     /// Fused batched trials produce bit-identical records to serial
-    /// execution for every seed, thread count, fusion width, guard mode,
-    /// and prefix-cache setting.
+    /// execution for every generated architecture, fusion width, guard
+    /// mode, quantization regime, and prefix-cache setting.
     #[test]
     fn fusion_never_changes_records(
-        seed in any::<u64>(),
-        threads in 1usize..4,
+        case in fuzz::cases(),
         width in 2usize..9,
-        guard_short in any::<bool>(),
         with_prefix in any::<bool>(),
     ) {
-        fn tiny_lenet() -> Network {
-            zoo::lenet(&ZooConfig::tiny(4))
-        }
-        let images = Tensor::from_fn(&[5, 3, 16, 16], |i| ((i as f32) * 0.019).sin());
-        let mut probe = tiny_lenet();
-        let labels: Vec<usize> = (0..images.dims()[0])
-            .map(|i| rustfi::metrics::top1(probe.forward(&images.select_batch(i)).data()))
-            .collect();
+        let mut case = case;
+        // Fusion stands down for weight faults (they mutate shared model
+        // state); this test is about fusion, so pin neuron faults.
+        case.weight_fault = false;
+        let fx = CaseFixture::new(&case).unwrap();
+        let factory = fx.factory();
         let campaign = Campaign::new(
-            &tiny_lenet,
-            &images,
-            &labels,
-            FaultMode::Neuron(NeuronSelect::Random),
-            // Exponent-bit flips mix masked, SDC, and DUE outcomes, so the
-            // equality below covers every per-sample classification path.
-            Arc::new(models::BitFlipFp32::new(models::BitSelect::Random)),
+            &factory,
+            &fx.images,
+            &fx.labels,
+            fx.mode.clone(),
+            Arc::clone(&fx.model),
         );
-        let guard = if guard_short {
-            rustfi::GuardMode::ShortCircuit
-        } else {
-            rustfi::GuardMode::Record
-        };
         let prefix_cache = with_prefix.then(rustfi::PrefixCacheConfig::default);
         let run = |fusion, threads: usize| {
             campaign
                 .run(&CampaignConfig {
-                    trials: 12,
-                    seed,
                     threads: Some(threads),
-                    guard,
                     prefix_cache: prefix_cache.clone(),
                     fusion,
-                    ..CampaignConfig::default()
+                    ..case.reference_config()
                 })
                 .unwrap()
         };
         let serial = run(None, 1);
-        let fused = run(Some(rustfi::FusionConfig::with_width(width)), threads);
+        let fused = run(Some(rustfi::FusionConfig::with_width(width)), case.threads);
         prop_assert_eq!(&serial.records, &fused.records);
         prop_assert_eq!(serial.counts, fused.counts);
         let stats = fused.fusion.unwrap();
-        prop_assert_eq!(stats.fused_trials + stats.serial_trials, 12);
+        prop_assert_eq!(stats.fused_trials + stats.serial_trials, case.trials as u64);
         prop_assert!(stats.max_width <= width);
         if with_prefix {
             let p = fused.prefix.unwrap();
-            prop_assert_eq!(p.hits + p.misses, 12);
+            prop_assert_eq!(p.hits + p.misses, case.trials as u64);
         }
     }
 
     /// Thread-local tensor pooling produces bit-identical records to the
-    /// unpooled path for every seed, worker count, fusion setting, and guard
-    /// mode — recycling activation buffers must be unobservable in results.
+    /// unpooled path for every generated architecture and execution
+    /// strategy — recycling activation buffers must be unobservable in
+    /// results.
     #[test]
-    fn tensor_pool_never_changes_records(
-        seed in any::<u64>(),
-        threads in 1usize..4,
-        with_fusion in any::<bool>(),
-        guard_short in any::<bool>(),
-    ) {
-        fn tiny_lenet() -> Network {
-            zoo::lenet(&ZooConfig::tiny(4))
-        }
-        let images = Tensor::from_fn(&[5, 3, 16, 16], |i| ((i as f32) * 0.023).cos());
-        let mut probe = tiny_lenet();
-        let labels: Vec<usize> = (0..images.dims()[0])
-            .map(|i| rustfi::metrics::top1(probe.forward(&images.select_batch(i)).data()))
-            .collect();
+    fn tensor_pool_never_changes_records(case in fuzz::cases()) {
+        let fx = CaseFixture::new(&case).unwrap();
+        let factory = fx.factory();
         let campaign = Campaign::new(
-            &tiny_lenet,
-            &images,
-            &labels,
-            FaultMode::Neuron(NeuronSelect::Random),
-            // Exponent-bit flips mix masked, SDC, and DUE outcomes, so the
-            // equality below covers every per-sample classification path.
-            Arc::new(models::BitFlipFp32::new(models::BitSelect::Random)),
+            &factory,
+            &fx.images,
+            &fx.labels,
+            fx.mode.clone(),
+            Arc::clone(&fx.model),
         );
-        let guard = if guard_short {
-            rustfi::GuardMode::ShortCircuit
-        } else {
-            rustfi::GuardMode::Record
-        };
-        let fusion = with_fusion.then(rustfi::FusionConfig::default);
+        // Everything but the pool budget comes from the case's accelerated
+        // strategy (threads, fusion, prefix cache, guard, quantization).
         let run = |pool_budget_bytes: usize| {
             campaign
                 .run(&CampaignConfig {
-                    trials: 12,
-                    seed,
-                    threads: Some(threads),
-                    guard,
-                    prefix_cache: with_fusion.then(rustfi::PrefixCacheConfig::default),
-                    fusion,
                     pool_budget_bytes,
-                    ..CampaignConfig::default()
+                    ..case.accelerated_config()
                 })
                 .unwrap()
         };
@@ -510,49 +466,31 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Shard invariance, the distributed-campaign analogue of thread
-    /// invariance: for any seed, splitting a campaign into 1, 2, 3, or 5
-    /// shards — each run independently through its own journal, as fleet
-    /// worker processes would — and merging the shard journals yields
-    /// records and counts identical to the unsharded run, with fusion and
-    /// prefix caching on or off.
+    /// invariance: for any generated architecture and execution strategy,
+    /// splitting a campaign into 1, 2, 3, or 5 shards — each run
+    /// independently through its own journal, as fleet worker processes
+    /// would — and merging the shard journals yields records and counts
+    /// identical to the unsharded run.
     #[test]
-    fn shard_invariance(
-        seed in any::<u64>(),
-        with_fusion in any::<bool>(),
-        with_prefix in any::<bool>(),
-    ) {
-        fn tiny_lenet() -> Network {
-            zoo::lenet(&ZooConfig::tiny(4))
-        }
-        let images = Tensor::from_fn(&[5, 3, 16, 16], |i| ((i as f32) * 0.029).sin());
-        let mut probe = tiny_lenet();
-        let labels: Vec<usize> = (0..images.dims()[0])
-            .map(|i| rustfi::metrics::top1(probe.forward(&images.select_batch(i)).data()))
-            .collect();
+    fn shard_invariance(case in fuzz::cases()) {
+        let fx = CaseFixture::new(&case).unwrap();
+        let factory = fx.factory();
         let campaign = Campaign::new(
-            &tiny_lenet,
-            &images,
-            &labels,
-            FaultMode::Neuron(NeuronSelect::Random),
-            // Exponent-bit flips mix masked, SDC, and DUE outcomes, so the
-            // equality below covers every classification path.
-            Arc::new(models::BitFlipFp32::new(models::BitSelect::Random)),
+            &factory,
+            &fx.images,
+            &fx.labels,
+            fx.mode.clone(),
+            Arc::clone(&fx.model),
         );
-        let cfg = CampaignConfig {
-            trials: 12,
-            seed,
-            threads: Some(2),
-            guard: rustfi::GuardMode::Record,
-            fusion: with_fusion.then(rustfi::FusionConfig::default),
-            prefix_cache: with_prefix.then(rustfi::PrefixCacheConfig::default),
-            ..CampaignConfig::default()
-        };
+        // Each shard runs the case's full accelerated strategy (threads,
+        // fusion, prefix cache, pooling, quantization, guard).
+        let cfg = case.accelerated_config();
         let reference = campaign.run(&cfg).unwrap();
         for count in [1usize, 2, 3, 5] {
             let dir = std::env::temp_dir().join("rustfi-shard-invariance").join(format!(
-                "{seed:x}-{}{}-{count}",
-                u8::from(with_fusion),
-                u8::from(with_prefix)
+                "{}-{:x}-{count}",
+                std::process::id(),
+                case.seed
             ));
             let _ = std::fs::remove_dir_all(&dir);
             std::fs::create_dir_all(&dir).unwrap();
@@ -571,53 +509,36 @@ proptest! {
     }
 
     /// Real-INT8 campaigns (integer kernels, stored-word bit flips) are
-    /// invariant under every execution strategy, exactly like f32 ones: for
-    /// any seed, records are bit-identical between a serial run and a
-    /// multi-threaded fused+prefix-cached run, and between the unsharded run
-    /// and a merged 3-shard run — for neuron and weight faults alike.
+    /// invariant under every execution strategy, exactly like f32 ones —
+    /// and that holds on architectures containing `Residual` and `Branches`
+    /// containers, where the INT8 backend interacts with resume points:
+    /// records are bit-identical between a serial run and a multi-threaded
+    /// fused+prefix-cached run, and between the unsharded run and a merged
+    /// 3-shard run — for neuron and weight faults alike.
     #[test]
-    fn int8_campaigns_are_execution_invariant(
-        seed in any::<u64>(),
-        threads in 2usize..4,
-        width in 2usize..9,
-        weight_mode in any::<bool>(),
-    ) {
-        fn tiny_lenet() -> Network {
-            zoo::lenet(&ZooConfig::tiny(4))
-        }
-        let images = Tensor::from_fn(&[5, 3, 16, 16], |i| ((i as f32) * 0.037).sin());
-        let mut probe = tiny_lenet();
-        let labels: Vec<usize> = (0..images.dims()[0])
-            .map(|i| rustfi::metrics::top1(probe.forward(&images.select_batch(i)).data()))
-            .collect();
-        let mode = if weight_mode {
-            FaultMode::Weight(WeightSelect::Random)
-        } else {
-            FaultMode::Neuron(NeuronSelect::Random)
-        };
+    fn int8_campaigns_are_execution_invariant(case in fuzz::container_cases()) {
+        let mut case = case;
+        // Pin the quantization regime to real INT8; the fixture then picks
+        // the stored-word bit-flip model and the calibrated INT8 probe.
+        case.quant = rustfi::QuantMode::Int8;
+        prop_assert!(case.arch.has_residual() && case.arch.has_branches());
+        let fx = CaseFixture::new(&case).unwrap();
+        let factory = fx.factory();
         let campaign = Campaign::new(
-            &tiny_lenet,
-            &images,
-            &labels,
-            mode,
-            Arc::new(models::BitFlipInt8::new(models::BitSelect::Random)),
+            &factory,
+            &fx.images,
+            &fx.labels,
+            fx.mode.clone(),
+            Arc::clone(&fx.model),
         );
-        let cfg = CampaignConfig {
-            trials: 12,
-            seed,
-            threads: Some(1),
-            quant: rustfi::QuantMode::Int8,
-            guard: rustfi::GuardMode::Record,
-            ..CampaignConfig::default()
-        };
+        let cfg = case.reference_config();
         let serial = campaign.run(&cfg).unwrap();
-        prop_assert_eq!(serial.counts.total(), 12);
+        prop_assert_eq!(serial.counts.total(), case.trials);
         let accelerated = campaign
             .run(&CampaignConfig {
-                threads: Some(threads),
-                fusion: Some(rustfi::FusionConfig::with_width(width)),
+                fusion: Some(rustfi::FusionConfig::with_width(case.fusion_width.max(2))),
                 prefix_cache: Some(rustfi::PrefixCacheConfig::default()),
-                ..cfg.clone()
+                ..case.accelerated_config()
             })
             .unwrap();
         prop_assert_eq!(&serial.records, &accelerated.records);
@@ -626,7 +547,7 @@ proptest! {
         // set, so shards quantize on the same grid.
         let dir = std::env::temp_dir()
             .join("rustfi-int8-invariance")
-            .join(format!("{seed:x}-{}", u8::from(weight_mode)));
+            .join(format!("{}-{:x}", std::process::id(), case.seed));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let mut paths = Vec::new();
