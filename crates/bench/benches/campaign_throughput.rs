@@ -37,8 +37,9 @@ use rustfi::{
 };
 use rustfi_bench::{env_usize, zoo_config_for, QuickMode};
 use rustfi_nn::{zoo, Network, ZooConfig};
+use rustfi_tensor::pack::{matmul_packed_a, Epilogue, PackedA};
 use rustfi_tensor::qkernels::{matmul_i8_nt, matmul_i8_nt_portable};
-use rustfi_tensor::{kernels, matmul, parallel, tpool, SeededRng, Tensor};
+use rustfi_tensor::{kernels, matmul, matmul_into, parallel, tpool, SeededRng, Tensor};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -142,6 +143,76 @@ fn bench_matmul_kernels(c: &mut Criterion, rows: &mut Vec<MatmulRow>) {
             n,
             baseline_s,
             blocked_s,
+        });
+    }
+    group.finish();
+}
+
+struct PackedMatmulRow {
+    m: usize,
+    k: usize,
+    n: usize,
+    unpacked_s: f64,
+    packed_s: f64,
+}
+
+/// The compiled-plan GEMM: weights pre-tiled into microkernel panels (the
+/// pack cost paid once at campaign setup) against the unpacked blocked
+/// kernel on the same im2col shapes. Both write into a preallocated output
+/// and accumulate in the same `kk` order, so the products are bit-identical
+/// — asserted after timing.
+fn bench_packed_matmul(c: &mut Criterion, rows: &mut Vec<PackedMatmulRow>) {
+    let mut rng = SeededRng::new(17);
+    let shapes = [
+        (64usize, 27usize, 1024usize),
+        (256, 1152, 256),
+        (512, 4608, 16),
+        (128, 512, 128),
+    ];
+    let iters = env_usize("RUSTFI_MATMUL_ITERS", 12);
+    let mut group = c.benchmark_group("packed_matmul_kernel");
+    group.sample_size(iters);
+    for (m, k, n) in shapes {
+        let a = Tensor::rand_normal(&[m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[k, n], 0.0, 1.0, &mut rng);
+        let pa = PackedA::pack(a.data(), m, k);
+        group.bench_with_input(BenchmarkId::new("unpacked", format!("{m}x{k}x{n}")), &(), {
+            let (a, b) = (a.clone(), b.clone());
+            let mut out = vec![0.0f32; m * n];
+            move |bch, ()| bch.iter(|| matmul_into(a.data(), b.data(), &mut out, m, k, n, true))
+        });
+        group.bench_with_input(BenchmarkId::new("packed", format!("{m}x{k}x{n}")), &(), {
+            let (pa, b) = (PackedA::pack(a.data(), m, k), b.clone());
+            let mut out = vec![0.0f32; m * n];
+            move |bch, ()| {
+                bch.iter(|| matmul_packed_a(&pa, b.data(), &mut out, n, &Epilogue::None, true))
+            }
+        });
+        let mut unpacked = vec![0.0f32; m * n];
+        let mut packed = vec![0.0f32; m * n];
+        let unpacked_s = time_mean(iters, || {
+            matmul_into(a.data(), b.data(), &mut unpacked, m, k, n, true)
+        });
+        let packed_s = time_mean(iters, || {
+            matmul_packed_a(&pa, b.data(), &mut packed, n, &Epilogue::None, true)
+        });
+        assert_eq!(
+            unpacked.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            packed.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "packed GEMM diverged from the unpacked kernel"
+        );
+        println!(
+            "  packed {m}x{k}x{n}: unpacked {:.3} ms -> packed {:.3} ms ({:.2}x)",
+            unpacked_s * 1e3,
+            packed_s * 1e3,
+            unpacked_s / packed_s
+        );
+        rows.push(PackedMatmulRow {
+            m,
+            k,
+            n,
+            unpacked_s,
+            packed_s,
         });
     }
     group.finish();
@@ -380,8 +451,10 @@ struct CampaignNumbers {
     uncached_s: f64,
     cached_s: f64,
     fused_s: f64,
+    planned_fused_s: f64,
     int8_uncached_s: f64,
     int8_fused_s: f64,
+    int8_planned_fused_s: f64,
     fusion_width: usize,
     hits: u64,
     misses: u64,
@@ -433,10 +506,11 @@ fn bench_campaign(c: &mut Criterion, qm: &QuickMode) -> CampaignNumbers {
     let int8_model: Arc<dyn rustfi::PerturbationModel> = Arc::new(
         rustfi::models::BitFlipInt8::new(rustfi::models::BitSelect::Random),
     );
-    let run_all = |prefix: Option<PrefixCacheConfig>,
-                   fusion: Option<FusionConfig>,
-                   quant: QuantMode,
-                   pmodel: &Arc<dyn rustfi::PerturbationModel>| {
+    let run_plan = |prefix: Option<PrefixCacheConfig>,
+                    fusion: Option<FusionConfig>,
+                    quant: QuantMode,
+                    pmodel: &Arc<dyn rustfi::PerturbationModel>,
+                    plan: bool| {
         let mut results = Vec::new();
         for &layer in &layers {
             let campaign = Campaign::new(
@@ -454,12 +528,19 @@ fn bench_campaign(c: &mut Criterion, qm: &QuickMode) -> CampaignNumbers {
                         prefix_cache: prefix.clone(),
                         fusion,
                         quant,
+                        plan,
                         ..CampaignConfig::default()
                     })
                     .expect("campaign runs"),
             );
         }
         results
+    };
+    let run_all = |prefix: Option<PrefixCacheConfig>,
+                   fusion: Option<FusionConfig>,
+                   quant: QuantMode,
+                   pmodel: &Arc<dyn rustfi::PerturbationModel>| {
+        run_plan(prefix, fusion, quant, pmodel, false)
     };
 
     let mut group = c.benchmark_group("campaign_throughput");
@@ -484,6 +565,17 @@ fn bench_campaign(c: &mut Criterion, qm: &QuickMode) -> CampaignNumbers {
                 Some(fusion),
                 QuantMode::Off,
                 &f32_model,
+            )
+        })
+    });
+    group.bench_function(BenchmarkId::new("planned_fused", model_name), |b| {
+        b.iter(|| {
+            run_plan(
+                Some(PrefixCacheConfig::default()),
+                Some(fusion),
+                QuantMode::Off,
+                &f32_model,
+                true,
             )
         })
     });
@@ -516,6 +608,15 @@ fn bench_campaign(c: &mut Criterion, qm: &QuickMode) -> CampaignNumbers {
             &f32_model,
         )
     });
+    let planned_fused_s = time_mean(iters, || {
+        run_plan(
+            Some(PrefixCacheConfig::default()),
+            Some(fusion),
+            QuantMode::Off,
+            &f32_model,
+            true,
+        )
+    });
     let int8_uncached_s = time_mean(iters, || run_all(None, None, QuantMode::Int8, &int8_model));
     let int8_fused_s = time_mean(iters, || {
         run_all(
@@ -523,6 +624,15 @@ fn bench_campaign(c: &mut Criterion, qm: &QuickMode) -> CampaignNumbers {
             Some(fusion),
             QuantMode::Int8,
             &int8_model,
+        )
+    });
+    let int8_planned_fused_s = time_mean(iters, || {
+        run_plan(
+            Some(PrefixCacheConfig::default()),
+            Some(fusion),
+            QuantMode::Int8,
+            &int8_model,
+            true,
         )
     });
 
@@ -550,6 +660,16 @@ fn bench_campaign(c: &mut Criterion, qm: &QuickMode) -> CampaignNumbers {
         misses += s.misses;
         skipped_flops += s.skipped_flops;
     }
+    let planned = run_plan(
+        Some(PrefixCacheConfig::default()),
+        Some(fusion),
+        QuantMode::Off,
+        &f32_model,
+        true,
+    );
+    for (p, pr) in plain.iter().zip(&planned) {
+        assert_eq!(p.records, pr.records, "compiled plan changed records");
+    }
     let int8_plain = run_all(None, None, QuantMode::Int8, &int8_model);
     let int8_fused = run_all(
         Some(PrefixCacheConfig::default()),
@@ -559,6 +679,16 @@ fn bench_campaign(c: &mut Criterion, qm: &QuickMode) -> CampaignNumbers {
     );
     for (p, fr) in int8_plain.iter().zip(&int8_fused) {
         assert_eq!(p.records, fr.records, "acceleration changed INT8 records");
+    }
+    let int8_planned = run_plan(
+        Some(PrefixCacheConfig::default()),
+        Some(fusion),
+        QuantMode::Int8,
+        &int8_model,
+        true,
+    );
+    for (p, pr) in int8_plain.iter().zip(&int8_planned) {
+        assert_eq!(p.records, pr.records, "compiled plan changed INT8 records");
     }
     let total_trials = (trials * layers.len()) as f64;
     println!(
@@ -571,11 +701,20 @@ fn bench_campaign(c: &mut Criterion, qm: &QuickMode) -> CampaignNumbers {
         uncached_s / fused_s
     );
     println!(
+        "  campaign {model_name} planned: fused {:.1} trials/s -> planned+fused {:.1} trials/s \
+         ({:.2}x)",
+        total_trials / fused_s,
+        total_trials / planned_fused_s,
+        fused_s / planned_fused_s
+    );
+    println!(
         "  campaign {model_name} int8: uncached {:.1} trials/s -> fused {:.1} trials/s \
-         ({:.2}x of the f32 fused rate)",
+         ({:.2}x of the f32 fused rate) -> planned+fused {:.1} trials/s ({:.2}x)",
         total_trials / int8_uncached_s,
         total_trials / int8_fused_s,
-        fused_s / int8_fused_s
+        fused_s / int8_fused_s,
+        total_trials / int8_planned_fused_s,
+        int8_fused_s / int8_planned_fused_s
     );
 
     CampaignNumbers {
@@ -587,8 +726,10 @@ fn bench_campaign(c: &mut Criterion, qm: &QuickMode) -> CampaignNumbers {
         uncached_s,
         cached_s,
         fused_s,
+        planned_fused_s,
         int8_uncached_s,
         int8_fused_s,
+        int8_planned_fused_s,
         fusion_width,
         hits,
         misses,
@@ -626,6 +767,7 @@ fn geomean(ratios: impl Iterator<Item = f64>) -> f64 {
 
 fn write_json(
     matmul_rows: &[MatmulRow],
+    packed_matmul_rows: &[PackedMatmulRow],
     int8_matmul_rows: &[Int8MatmulRow],
     elemwise_rows: &[ElemwiseRow],
     steady_state_allocs: f64,
@@ -647,6 +789,21 @@ fn write_json(
                 r.baseline_s,
                 r.blocked_s,
                 r.baseline_s / r.blocked_s
+            )
+        })
+        .collect();
+    let packed_matmul_json: Vec<String> = packed_matmul_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"m\": {}, \"k\": {}, \"n\": {}, \"unpacked_s\": {:.6e}, \
+                 \"packed_s\": {:.6e}, \"speedup\": {:.3}}}",
+                r.m,
+                r.k,
+                r.n,
+                r.unpacked_s,
+                r.packed_s,
+                r.unpacked_s / r.packed_s
             )
         })
         .collect();
@@ -685,6 +842,8 @@ fn write_json(
          \x20 \"bench\": \"campaign_throughput\",\n\
          \x20 \"matmul\": [\n{}\n  ],\n\
          \x20 \"matmul_geomean_speedup\": {:.3},\n\
+         \x20 \"packed_matmul\": [\n{}\n  ],\n\
+         \x20 \"packed_vs_unpacked_geomean\": {:.3},\n\
          \x20 \"int8_matmul\": [\n{}\n  ],\n\
          \x20 \"int8_matmul_geomean_speedup\": {:.3},\n\
          \x20 \"int8_matmul_simd\": \"{}\",\n\
@@ -699,14 +858,19 @@ fn write_json(
          \x20   \"uncached_s\": {:.6},\n\
          \x20   \"prefix_cached_s\": {:.6},\n\
          \x20   \"fused_s\": {:.6},\n\
+         \x20   \"planned_fused_s\": {:.6},\n\
          \x20   \"uncached_trials_per_s\": {:.2},\n\
          \x20   \"prefix_cached_trials_per_s\": {:.2},\n\
          \x20   \"fused_trials_per_s\": {:.2},\n\
+         \x20   \"planned_fused_trials_per_s\": {:.2},\n\
          \x20   \"speedup\": {:.3},\n\
          \x20   \"fused_speedup\": {:.3},\n\
+         \x20   \"planned_fused_vs_f32_fused\": {:.3},\n\
          \x20   \"int8_uncached_s\": {:.6},\n\
          \x20   \"int8_fused_s\": {:.6},\n\
+         \x20   \"int8_planned_fused_s\": {:.6},\n\
          \x20   \"int8_fused_trials_per_s\": {:.2},\n\
+         \x20   \"int8_planned_fused_trials_per_s\": {:.2},\n\
          \x20   \"int8_fused_vs_f32\": {:.3},\n\
          \x20   \"steady_state_allocs_per_trial\": {:.3},\n\
          \x20   \"fusion_width\": {},\n\
@@ -717,6 +881,8 @@ fn write_json(
          }}\n",
         matmul_json.join(",\n"),
         geomean(matmul_rows.iter().map(|r| r.baseline_s / r.blocked_s)),
+        packed_matmul_json.join(",\n"),
+        geomean(packed_matmul_rows.iter().map(|r| r.unpacked_s / r.packed_s)),
         int8_matmul_json.join(",\n"),
         geomean(
             int8_matmul_rows
@@ -734,14 +900,19 @@ fn write_json(
         camp.uncached_s,
         camp.cached_s,
         camp.fused_s,
+        camp.planned_fused_s,
         total_trials / camp.uncached_s,
         total_trials / camp.cached_s,
         total_trials / camp.fused_s,
+        total_trials / camp.planned_fused_s,
         camp.uncached_s / camp.cached_s,
         camp.uncached_s / camp.fused_s,
+        camp.fused_s / camp.planned_fused_s,
         camp.int8_uncached_s,
         camp.int8_fused_s,
+        camp.int8_planned_fused_s,
         total_trials / camp.int8_fused_s,
+        total_trials / camp.int8_planned_fused_s,
         camp.fused_s / camp.int8_fused_s,
         steady_state_allocs,
         camp.fusion_width,
@@ -757,6 +928,8 @@ fn bench_all(c: &mut Criterion) {
     let qm = QuickMode::from_env();
     let mut matmul_rows = Vec::new();
     bench_matmul_kernels(c, &mut matmul_rows);
+    let mut packed_matmul_rows = Vec::new();
+    bench_packed_matmul(c, &mut packed_matmul_rows);
     let mut int8_matmul_rows = Vec::new();
     bench_int8_matmul(c, &mut int8_matmul_rows);
     let mut elemwise_rows = Vec::new();
@@ -769,6 +942,7 @@ fn bench_all(c: &mut Criterion) {
     );
     write_json(
         &matmul_rows,
+        &packed_matmul_rows,
         &int8_matmul_rows,
         &elemwise_rows,
         steady_state_allocs,

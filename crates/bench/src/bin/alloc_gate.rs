@@ -17,6 +17,9 @@
 //!    kernels, thread-local `i8`/`i32` scratch), warmed passes must still
 //!    allocate nothing — the quantized fast path shares the zero-allocation
 //!    claim.
+//! 4. With a compiled forward plan on top (prepacked weight panels, fused
+//!    GEMM epilogues), warmed planned passes must also allocate nothing —
+//!    panel packing is a setup cost, never a steady-state one.
 //!
 //! Run with: `cargo run -p rustfi-bench --bin alloc_gate --release`
 
@@ -71,6 +74,19 @@ fn main() {
         quantized == 0.0,
         "quantized forward path allocated at steady state \
          ({quantized:.3} allocations/pass)"
+    );
+
+    let planned = {
+        let _pool = tpool::budget_scope(64 << 20);
+        net.set_backend(Backend::Fp32);
+        net.set_plan(true);
+        alloc_count::steady_state_forward_allocs(&mut net, &input, 8, 64)
+    };
+    println!("alloc_gate: planned      -> {planned:.1} allocations/pass");
+    assert!(
+        planned == 0.0,
+        "planned forward path allocated at steady state — panel packing must \
+         happen at warmup, not per pass ({planned:.3} allocations/pass)"
     );
     println!("alloc_gate: ok — steady-state forward passes are allocation-free");
 }

@@ -3,16 +3,18 @@
 //! Compares a freshly measured `BENCH_campaign.json` (written by
 //! `benches/campaign_throughput` in quick mode) against the committed
 //! baseline at the repository root, and exits non-zero if any within-run
-//! speedup ratio — prefix caching, trial fusion, matmul kernel geomean —
-//! fell below `RUSTFI_GATE_MIN_RATIO` (default 0.75, i.e. a >25%
-//! regression). Speedups are ratios of two measurements from the same run
-//! on the same machine, so the comparison is runner-speed independent;
-//! gating absolute trials/sec would not be.
+//! speedup ratio — prefix caching, trial fusion, matmul kernel geomean,
+//! packed-panel GEMM geomean, planned-vs-fused campaign rate — fell below
+//! `RUSTFI_GATE_MIN_RATIO` (default 0.75, i.e. a >25% regression).
+//! Speedups are ratios of two measurements from the same run on the same
+//! machine, so the comparison is runner-speed independent; gating absolute
+//! trials/sec would not be.
 //!
 //! On top of the baseline-relative ratios, the gate enforces absolute
 //! within-run floors (`gate::absolute_floors`): the AVX2 int8 GEMM must
-//! beat its own portable compilation by at least 1.5x whenever the fresh
-//! summary reports the AVX2 kernel dispatched.
+//! beat its own portable compilation by at least 1.5x, and the compiled
+//! forward plan must beat the plain fused campaign by at least 1.25x,
+//! whenever the fresh summary reports the AVX2 kernels dispatched.
 //!
 //! Run with: `cargo run -p rustfi-bench --bin bench_gate --release`
 //!

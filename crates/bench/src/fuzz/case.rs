@@ -42,6 +42,9 @@ pub struct FuzzCase {
     pub pool_budget_bytes: usize,
     /// Shard count for the merge-invariance leg; `1` skips it.
     pub shards: usize,
+    /// Compiled forward plan (weight prepacking + fused GEMM epilogues)
+    /// for the accelerated run; the reference always runs unplanned.
+    pub plan: bool,
 }
 
 impl FuzzCase {
@@ -88,6 +91,8 @@ impl FuzzCase {
             },
             pool_budget_bytes: if k.chance(1.0 / 3.0) { 0 } else { 128 << 20 },
             shards: if k.chance(0.5) { 1 } else { k.range(2, 4) },
+            // Drawn last so older seeds keep the knobs they replayed with.
+            plan: k.chance(0.5),
         }
     }
 
@@ -116,6 +121,7 @@ impl FuzzCase {
             prefix_cache: (self.prefix_budget_kib > 0)
                 .then(|| rustfi::PrefixCacheConfig::with_budget(self.prefix_budget_kib << 10)),
             pool_budget_bytes: self.pool_budget_bytes,
+            plan: self.plan,
             ..self.reference_config()
         }
     }
@@ -142,7 +148,8 @@ impl FuzzCase {
              fusion_width = {fusion_width}\n\
              prefix_budget_kib = {prefix}\n\
              pool_budget_bytes = {pool}\n\
-             shards = {shards}\n",
+             shards = {shards}\n\
+             plan = {plan}\n",
             arch = self.arch,
             seed = self.seed,
             fr = self.forced.residual,
@@ -157,6 +164,7 @@ impl FuzzCase {
             prefix = self.prefix_budget_kib,
             pool = self.pool_budget_bytes,
             shards = self.shards,
+            plan = self.plan,
         )
     }
 }
@@ -165,7 +173,7 @@ impl fmt::Display for FuzzCase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "seed={:#x} {} faults={} quant={} guard={} threads={} fusion={} prefix={}KiB pool={}B shards={} arch=[{}]",
+            "seed={:#x} {} faults={} quant={} guard={} threads={} fusion={} prefix={}KiB pool={}B shards={} plan={} arch=[{}]",
             self.seed,
             if self.forced.residual || self.forced.branches {
                 "forced-topology"
@@ -180,6 +188,7 @@ impl fmt::Display for FuzzCase {
             self.prefix_budget_kib,
             self.pool_budget_bytes,
             self.shards,
+            self.plan,
             self.arch,
         )
     }
@@ -262,6 +271,7 @@ pub fn parse_case_file(text: &str) -> Result<FuzzCase, String> {
             "prefix_budget_kib" => case.prefix_budget_kib = parse_usize(&value)?,
             "pool_budget_bytes" => case.pool_budget_bytes = parse_usize(&value)?,
             "shards" => case.shards = parse_usize(&value)?.max(1),
+            "plan" => case.plan = parse_bool(&value)?,
             other => return Err(format!("unknown case-file key {other:?}")),
         }
     }
@@ -345,6 +355,8 @@ mod tests {
         let mut seen_sharded = false;
         let mut seen_fused = false;
         let mut seen_prefix_off = false;
+        let mut seen_plan = false;
+        let mut seen_unplanned = false;
         for seed in 0..64u64 {
             let c = FuzzCase::sample(seed);
             seen_int8 |= c.quant == QuantMode::Int8;
@@ -352,10 +364,13 @@ mod tests {
             seen_sharded |= c.shards > 1;
             seen_fused |= c.fusion_width > 0;
             seen_prefix_off |= c.prefix_budget_kib == 0;
+            seen_plan |= c.plan;
+            seen_unplanned |= !c.plan;
             assert!((3..=4).contains(&c.images));
             assert!((6..=12).contains(&c.trials));
             assert!((2..=4).contains(&c.threads));
         }
         assert!(seen_int8 && seen_weight && seen_sharded && seen_fused && seen_prefix_off);
+        assert!(seen_plan && seen_unplanned, "plan knob exercises both arms");
     }
 }

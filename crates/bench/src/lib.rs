@@ -92,7 +92,8 @@ impl QuickMode {
 /// The CI perf-regression gate's comparison logic (see `src/bin/bench_gate`).
 ///
 /// The gate compares *within-run speedup ratios* — prefix-cache speedup,
-/// fused speedup, matmul kernel geomean — between a freshly measured
+/// fused speedup, matmul kernel geomean, packed-vs-unpacked GEMM geomean,
+/// planned-vs-fused campaign rate — between a freshly measured
 /// `BENCH_campaign.json` and the committed baseline. Ratios of two
 /// measurements taken on the same machine in the same run cancel out the
 /// machine's absolute speed, so the committed baseline stays meaningful on
@@ -142,9 +143,12 @@ pub mod gate {
     /// an empty return therefore means the files share no comparable metric.
     pub fn checks(baseline: &str, fresh: &str) -> Vec<Check> {
         let mut out = Vec::new();
-        let pairs: [(&'static str, Extract); 6] = [
+        let pairs: [(&'static str, Extract); 8] = [
             ("matmul_geomean_speedup", |t| {
                 json_f64(t, "matmul_geomean_speedup", 0)
+            }),
+            ("packed_vs_unpacked_geomean", |t| {
+                json_f64(t, "packed_vs_unpacked_geomean", 0)
             }),
             ("int8_matmul_geomean_speedup", |t| {
                 json_f64(t, "int8_matmul_geomean_speedup", 0)
@@ -157,6 +161,9 @@ pub mod gate {
                 json_f64(t, "speedup", at)
             }),
             ("fused_speedup", |t| json_f64(t, "fused_speedup", 0)),
+            ("planned_fused_vs_f32_fused", |t| {
+                json_f64(t, "planned_fused_vs_f32_fused", 0)
+            }),
             ("int8_fused_vs_f32", |t| json_f64(t, "int8_fused_vs_f32", 0)),
         ];
         for (name, get) in pairs {
@@ -174,10 +181,12 @@ pub mod gate {
     /// Absolute within-run floors, judged against the fresh summary alone
     /// (pass = `ratio() >= 1.0`). Unlike the baseline-relative [`checks`],
     /// these pin a claim to a constant: the AVX2 int8 GEMM must beat its own
-    /// portable compilation by at least 1.5x — a within-run ratio, so still
-    /// runner-speed independent. The floor only applies when the summary
-    /// says the AVX2 kernel actually dispatched; a portable-only host
-    /// measures 1.0x by construction and is skipped.
+    /// portable compilation by at least 1.5x, and the compiled forward plan
+    /// (prepacked panels + fused GEMM epilogues) must beat the plain fused
+    /// campaign by at least 1.25x — both within-run ratios, so still
+    /// runner-speed independent. The floors only apply when the summary
+    /// says the AVX2 kernels actually dispatched; a portable-only host has
+    /// no microkernel for packing to feed and is skipped.
     pub fn absolute_floors(fresh: &str) -> Vec<Check> {
         let mut out = Vec::new();
         if fresh.contains("\"int8_matmul_simd\": \"avx2\"") {
@@ -185,6 +194,13 @@ pub mod gate {
                 out.push(Check {
                     name: "int8_matmul_floor_1.5x",
                     baseline: 1.5,
+                    fresh: f,
+                });
+            }
+            if let Some(f) = json_f64(fresh, "planned_fused_vs_f32_fused", 0) {
+                out.push(Check {
+                    name: "planned_fused_floor_1.25x",
+                    baseline: 1.25,
                     fresh: f,
                 });
             }
@@ -579,6 +595,7 @@ mod tests {
   "int8_matmul": [
     {"m": 1, "k": 2, "n": 3, "speedup": 9.999}
   ],
+  "packed_vs_unpacked_geomean": 1.300,
   "int8_matmul_geomean_speedup": 2.500,
   "int8_matmul_simd": "avx2",
   "elementwise_geomean_speedup": 1.500,
@@ -586,6 +603,7 @@ mod tests {
     "model": "vgg19",
     "speedup": 4.000,
     "fused_speedup": 8.000,
+    "planned_fused_vs_f32_fused": 1.600,
     "int8_fused_vs_f32": 1.200
   }
 }"#;
@@ -593,23 +611,38 @@ mod tests {
     #[test]
     fn gate_compares_int8_metrics_when_both_sides_have_them() {
         let checks = gate::checks(FAKE_BENCH_INT8, FAKE_BENCH_INT8);
-        assert_eq!(checks.len(), 6);
+        assert_eq!(checks.len(), 8);
         let by_name = |n: &str| checks.iter().find(|c| c.name == n).unwrap();
         // The int8 geomean key must not be confused with the f32 one.
         assert_eq!(by_name("int8_matmul_geomean_speedup").fresh, 2.5);
         assert_eq!(by_name("matmul_geomean_speedup").fresh, 2.0);
         assert_eq!(by_name("int8_fused_vs_f32").fresh, 1.2);
-        // An old baseline without the int8 keys skips them, not fails.
+        assert_eq!(by_name("packed_vs_unpacked_geomean").fresh, 1.3);
+        assert_eq!(by_name("planned_fused_vs_f32_fused").fresh, 1.6);
+        // An old baseline without the int8/packing keys skips them, not fails.
         assert_eq!(gate::checks(FAKE_BENCH, FAKE_BENCH_INT8).len(), 4);
     }
 
     #[test]
     fn int8_floor_applies_only_when_avx2_dispatched() {
         let floors = gate::absolute_floors(FAKE_BENCH_INT8);
-        assert_eq!(floors.len(), 1);
-        assert!(floors[0].passes(1.0), "2.5 clears the 1.5 floor");
+        assert_eq!(floors.len(), 2);
+        let by_name = |n: &str| floors.iter().find(|c| c.name == n).unwrap();
+        assert!(
+            by_name("int8_matmul_floor_1.5x").passes(1.0),
+            "2.5 clears the 1.5 floor"
+        );
+        assert!(
+            by_name("planned_fused_floor_1.25x").passes(1.0),
+            "1.6 clears the 1.25 floor"
+        );
         let slow = FAKE_BENCH_INT8.replace("2.500", "1.400");
         assert!(!gate::absolute_floors(&slow)[0].passes(1.0), "1.4 < 1.5");
+        let slow_plan = FAKE_BENCH_INT8.replace("1.600", "1.100");
+        assert!(
+            !gate::absolute_floors(&slow_plan)[1].passes(1.0),
+            "1.1 < 1.25"
+        );
         let portable = FAKE_BENCH_INT8.replace("\"avx2\"", "\"portable\"");
         assert!(
             gate::absolute_floors(&portable).is_empty(),

@@ -280,6 +280,19 @@ pub struct CampaignConfig {
     /// like the prefix cache — stands down when [`Self::max_steps`] is set,
     /// because the watchdog counts per-pass layer dispatches.
     pub fusion: Option<FusionConfig>,
+    /// Compiled forward plans: every network (golden and per-worker) packs
+    /// its layer weights into GEMM-microkernel panel layouts at campaign
+    /// setup and fuses bias + activation (+ folded inference batchnorm)
+    /// into the GEMM write-back. Purely a throughput optimization — trial
+    /// records are bit-identical with planning on or off (a property test
+    /// asserts this): packed accumulation preserves the serial `kk` order
+    /// and fused epilogues apply the exact per-element expressions of the
+    /// unfused layers. Layer groups carrying forward hooks (injection
+    /// targets, guards, profilers) automatically run unfused, and a weight
+    /// fault repacks only the perturbed layer's panel for that trial. The
+    /// golden / calibration pass additionally tiles its GEMM rows across
+    /// the otherwise idle worker cores.
+    pub plan: bool,
     /// Per-worker tensor-pool budget in bytes: each worker thread recycles
     /// retired activation buffers through a thread-local free list capped at
     /// this many bytes, making steady-state forward passes allocation-free.
@@ -307,6 +320,7 @@ impl Default for CampaignConfig {
             max_steps: None,
             prefix_cache: None,
             fusion: None,
+            plan: false,
             pool_budget_bytes: 128 << 20,
             recorder: None,
             progress: None,
@@ -325,6 +339,7 @@ impl std::fmt::Debug for CampaignConfig {
             .field("max_steps", &self.max_steps)
             .field("prefix_cache", &self.prefix_cache)
             .field("fusion", &self.fusion)
+            .field("plan", &self.plan)
             .field("pool_budget_bytes", &self.pool_budget_bytes)
             .field("recorder", &self.recorder.is_some())
             .field("progress", &self.progress)
@@ -669,6 +684,13 @@ impl<'a> Campaign<'a> {
         // would classify Hang differently: caching stands down under it.
         let use_prefix = cfg.prefix_cache.is_some() && cfg.max_steps.is_none();
         let mut golden = FaultInjector::new((self.factory)(), FiConfig::for_input(&input_dims))?;
+        golden.net_mut().set_plan(cfg.plan);
+        // With a compiled plan, the golden / calibration phase runs alone
+        // while every worker core idles — let its planned GEMMs tile rows
+        // across them. Scoped to this phase (the guard is thread-local and
+        // not inherited): trial workers parallelize across trials, where a
+        // within-pass split would only add sync overhead.
+        let wide = cfg.plan.then(rustfi_tensor::parallel::wide_scope);
         // Install the quantization regime before anything observes
         // activations: golden predictions, prefix snapshots, and trial
         // forwards all run under the same arithmetic. The INT8 calibration
@@ -788,6 +810,7 @@ impl<'a> Campaign<'a> {
             g.uninstall(golden.net());
         }
         drop(golden_guard);
+        drop(wide);
         // The golden injector already paid for a model build and a profiling
         // forward; recycle both. The profile feeds fusion planning and the
         // per-layer aggregation, and the injector itself is handed to the
@@ -1081,6 +1104,10 @@ fn build_worker(
         // buffer.
         fi.set_recorder(Some(Arc::clone(l) as Arc<dyn Recorder>));
     }
+    // A recycled golden injector arrives already planned; a fresh build
+    // packs its panels lazily at the first trial forward (setup cost, not
+    // steady state).
+    fi.net_mut().set_plan(cfg.plan);
     match cfg.quant {
         QuantMode::Off => {}
         QuantMode::Simulated => fi.enable_int8_activations(),

@@ -196,6 +196,20 @@ impl HookRegistry {
         self.len() == 0
     }
 
+    /// Whether any forward hook would fire on layer `id` — an all-layer hook
+    /// or one registered for that id. Compiled forward plans use this to
+    /// decide fusion: a conv/activation group only fuses when no member is
+    /// observed, so injection and profiling hooks automatically force the
+    /// unfused (hook-visible) execution order. Fast path: one atomic load
+    /// when nothing is registered.
+    pub fn has_forward(&self, id: LayerId) -> bool {
+        if !self.forward_nonempty.load(Ordering::Acquire) {
+            return false;
+        }
+        let table = self.forward.read();
+        !table.all.is_empty() || table.by_layer.get(&id).is_some_and(|v| !v.is_empty())
+    }
+
     /// Fires forward hooks for a layer, returning how many ran. This is the
     /// per-layer fast path: a relaxed atomic load when nothing is registered.
     pub(crate) fn dispatch_forward(&self, ctx: &LayerCtx<'_>, out: &mut Tensor) -> usize {
@@ -402,6 +416,25 @@ mod tests {
         fire_forward(&reg, 0, &mut t);
         fire_forward(&reg, 0, &mut t);
         assert_eq!(t.data()[0], 1.0, "hook removed itself after first fire");
+    }
+
+    #[test]
+    fn has_forward_tracks_layer_and_all_hooks() {
+        let reg = HookRegistry::new();
+        let id = LayerId::from_index(3);
+        let other = LayerId::from_index(4);
+        assert!(!reg.has_forward(id), "empty registry");
+        let h = reg.register_forward(id, |_, _| {});
+        assert!(reg.has_forward(id));
+        assert!(!reg.has_forward(other), "per-layer hook is scoped");
+        reg.remove(h);
+        assert!(!reg.has_forward(id), "removal restores the fast path");
+        let h = reg.register_forward_all(|_, _| {});
+        assert!(reg.has_forward(id) && reg.has_forward(other), "all-hook");
+        reg.remove(h);
+        // A grad hook never affects the forward check.
+        reg.register_grad(id, |_, _| {});
+        assert!(!reg.has_forward(id));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Activation functions.
 
-use crate::module::{leaf_boilerplate, BackwardCtx, ForwardCtx, LayerKind, LayerMeta, Module};
+use crate::module::{
+    leaf_boilerplate, BackwardCtx, ForwardCtx, FusePartner, LayerKind, LayerMeta, Module,
+};
 use rustfi_tensor::Tensor;
 
 /// Rectified linear unit: `y = max(x, 0)`.
@@ -54,6 +56,10 @@ impl Module for Relu {
             .as_ref()
             .expect("Relu::backward called before forward");
         grad_out.mul(mask)
+    }
+
+    fn fuse_partner(&self) -> Option<FusePartner> {
+        Some(FusePartner::Relu)
     }
 }
 

@@ -6,7 +6,9 @@
 //! campaigns measure (a sigmoid squashes egregious corruptions into
 //! `[0, 1]`; a leaky ReLU lets negative corruptions through scaled).
 
-use crate::module::{leaf_boilerplate, BackwardCtx, ForwardCtx, LayerKind, LayerMeta, Module};
+use crate::module::{
+    leaf_boilerplate, BackwardCtx, ForwardCtx, FusePartner, LayerKind, LayerMeta, Module,
+};
 use rustfi_tensor::Tensor;
 
 fn stable_sigmoid(x: f32) -> f32 {
@@ -163,6 +165,10 @@ impl Module for LeakyRelu {
             .as_ref()
             .expect("LeakyRelu::backward called before forward");
         grad_out.mul(mask)
+    }
+
+    fn fuse_partner(&self) -> Option<FusePartner> {
+        Some(FusePartner::LeakyRelu(self.slope))
     }
 }
 

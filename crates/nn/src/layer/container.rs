@@ -3,8 +3,10 @@
 //! along channels, as in Inception/SqueezeNet), and [`ChannelShuffle`]
 //! (ShuffleNet's group-mixing permutation).
 
-use crate::module::{BackwardCtx, ForwardCtx, LayerId, LayerKind, LayerMeta, Module, Param};
-use rustfi_tensor::Tensor;
+use crate::module::{
+    BackwardCtx, ForwardCtx, FusePartner, LayerId, LayerKind, LayerMeta, Module, Param,
+};
+use rustfi_tensor::{Act, Tensor};
 
 /// Runs children in order, feeding each output to the next child.
 pub struct Sequential {
@@ -35,6 +37,102 @@ impl Sequential {
     pub fn is_empty(&self) -> bool {
         self.children.is_empty()
     }
+
+    /// Runs children `start..` on `input`, fusing `conv → [bn] → [act]`
+    /// groups when a compiled plan is active. Returns the final output
+    /// (a pooled copy of `input` when no children remain).
+    fn run_tail(&mut self, start: usize, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        let mut i = start;
+        // `None` means `input` is still the current activation.
+        let mut x: Option<Tensor> = None;
+        while i < self.children.len() {
+            let cur = x.as_ref().unwrap_or(input);
+            let (next, consumed) = if ctx.plan_active() {
+                match self.try_forward_fused(i, cur, ctx) {
+                    Some(fused) => fused,
+                    None => (ctx.forward_child(self.children[i].as_mut(), cur), 1),
+                }
+            } else {
+                (ctx.forward_child(self.children[i].as_mut(), cur), 1)
+            };
+            // Each intermediate is dead once the next child has consumed it;
+            // retire it so the following forward of this shape recycles it.
+            if let Some(old) = x.replace(next) {
+                old.into_pool();
+            }
+            i += consumed;
+        }
+        x.unwrap_or_else(|| input.pooled_copy())
+    }
+
+    /// Attempts to run the fusion group led by child `i`: a conv followed by
+    /// an optional batch norm and an optional activation (or a linear
+    /// followed by an optional activation). Fuses only when no group member
+    /// has forward hooks — an injection or profiling hook on any member
+    /// forces the unfused, hook-visible order. Returns the group output and
+    /// how many children it consumed, or `None` to fall back to plain
+    /// child-at-a-time dispatch.
+    fn try_forward_fused(
+        &mut self,
+        i: usize,
+        input: &Tensor,
+        ctx: &mut ForwardCtx<'_>,
+    ) -> Option<(Tensor, usize)> {
+        let leader_kind = self.children[i].kind();
+        if !leader_kind.is_injectable() || ctx.layer_has_hooks(self.children[i].meta().id) {
+            return None;
+        }
+        let mut j = i + 1;
+        let mut bn_child = None;
+        // Conv output is 4-D NCHW, so a BatchNorm2d partner can fold; linear
+        // output is 2-D and cannot carry one.
+        if leader_kind == LayerKind::Conv2d
+            && self
+                .children
+                .get(j)
+                .is_some_and(|c| c.fuse_partner() == Some(FusePartner::BatchNorm))
+            && !ctx.layer_has_hooks(self.children[j].meta().id)
+        {
+            bn_child = Some(j);
+            j += 1;
+        }
+        let mut act = Act::None;
+        if let Some(partner) = self.children.get(j).and_then(|c| c.fuse_partner()) {
+            let absorbed = match partner {
+                FusePartner::Relu => {
+                    act = Act::Relu;
+                    true
+                }
+                FusePartner::LeakyRelu(slope) => {
+                    act = Act::LeakyRelu(slope);
+                    true
+                }
+                FusePartner::BatchNorm => false,
+            };
+            if absorbed {
+                if ctx.layer_has_hooks(self.children[j].meta().id) {
+                    act = Act::None;
+                } else {
+                    j += 1;
+                }
+            }
+        }
+        if bn_child.is_none() && act == Act::None {
+            return None;
+        }
+        let consumed = j - i;
+        // Borrow the leader and the batch-norm partner simultaneously: they
+        // are disjoint children.
+        let (head, tail) = self.children.split_at_mut(i + 1);
+        let leader = head[i].as_mut();
+        let bn = bn_child.map(|b| {
+            tail[b - (i + 1)]
+                .bn_fold()
+                .expect("BatchNorm partner provides a fold")
+        });
+        let out = ctx.forward_child_fused(leader, input, bn, act)?;
+        Some((out, consumed))
+    }
 }
 
 impl Module for Sequential {
@@ -59,18 +157,7 @@ impl Module for Sequential {
     }
 
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
-        let mut children = self.children.iter_mut();
-        let Some(first) = children.next() else {
-            return input.pooled_copy();
-        };
-        let mut x = ctx.forward_child(first.as_mut(), input);
-        for child in children {
-            let next = ctx.forward_child(child.as_mut(), &x);
-            // Each intermediate is dead once the next child has consumed it;
-            // retire it so the following forward of this shape recycles it.
-            std::mem::replace(&mut x, next).into_pool();
-        }
-        x
+        self.run_tail(0, input, ctx)
     }
 
     fn backward(&mut self, grad_out: &Tensor, ctx: &mut BackwardCtx<'_>) -> Tensor {
@@ -107,12 +194,13 @@ impl Module for Sequential {
         // Skip every child before the one holding `target`; resume inside
         // it, then run the remaining children normally.
         let idx = self.children.iter().position(|c| c.contains(target))?;
-        let mut x = ctx.forward_child_from(self.children[idx].as_mut(), target, input)?;
-        for child in &mut self.children[idx + 1..] {
-            let next = ctx.forward_child(child.as_mut(), &x);
-            std::mem::replace(&mut x, next).into_pool();
+        let x = ctx.forward_child_from(self.children[idx].as_mut(), target, input)?;
+        if idx + 1 >= self.children.len() {
+            return Some(x);
         }
-        Some(x)
+        let out = self.run_tail(idx + 1, &x, ctx);
+        x.into_pool();
+        Some(out)
     }
 
     /// Descends into the child holding `target`, resumes after it, then
@@ -129,12 +217,13 @@ impl Module for Sequential {
             return Some(input.pooled_copy());
         }
         let idx = self.children.iter().position(|c| c.contains(target))?;
-        let mut x = self.children[idx].forward_after(target, input, ctx)?;
-        for child in &mut self.children[idx + 1..] {
-            let next = ctx.forward_child(child.as_mut(), &x);
-            std::mem::replace(&mut x, next).into_pool();
+        let x = self.children[idx].forward_after(target, input, ctx)?;
+        if idx + 1 >= self.children.len() {
+            return Some(x);
         }
-        Some(x)
+        let out = self.run_tail(idx + 1, &x, ctx);
+        x.into_pool();
+        Some(out)
     }
 
     fn visit(&self, f: &mut dyn FnMut(&dyn Module)) {
@@ -818,6 +907,169 @@ mod tests {
         assert!(net
             .forward_after(inner_conv, &Tensor::ones(&[1, 2, 5, 5]))
             .is_none());
+    }
+
+    /// A spine exercising every fusion shape: conv+bn+relu, conv+leaky,
+    /// bare conv, and linear+relu — with non-trivial BN running stats.
+    fn plan_test_net() -> crate::module::Network {
+        use crate::layer::{BatchNorm2d, Flatten, LeakyRelu, Linear};
+        let mut rng = SeededRng::new(11);
+        let mut net = crate::module::Network::new(Box::new(Sequential::new(vec![
+            Box::new(Conv2d::new(3, 8, 3, ConvSpec::new().padding(1), &mut rng)),
+            Box::new(BatchNorm2d::new(8)),
+            Box::new(Relu::new()),
+            Box::new(Conv2d::new(
+                8,
+                8,
+                3,
+                ConvSpec::new().padding(1).stride(2),
+                &mut rng,
+            )),
+            Box::new(LeakyRelu::new(0.1)),
+            Box::new(Conv2d::new(8, 4, 1, ConvSpec::new(), &mut rng)),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(4 * 3 * 3, 5, &mut rng)),
+            Box::new(Relu::new()),
+        ])));
+        // Give the batch norm non-trivial running statistics.
+        net.set_training(true);
+        let warm = Tensor::from_fn(&[4, 3, 6, 6], |i| (i as f32 * 0.29).sin() * 2.0);
+        net.forward(&warm);
+        net.set_training(false);
+        net
+    }
+
+    fn plan_test_input() -> Tensor {
+        Tensor::from_fn(&[2, 3, 6, 6], |i| (i as f32 * 0.41).cos())
+    }
+
+    #[test]
+    fn planned_forward_is_bit_identical_f32() {
+        let mut net = plan_test_net();
+        let x = plan_test_input();
+        let unplanned = net.forward(&x);
+        net.set_plan(true);
+        assert!(net.plan());
+        let cold = net.forward(&x);
+        let warm = net.forward(&x);
+        assert_eq!(cold, unplanned, "first planned pass (packs panels)");
+        assert_eq!(warm, unplanned, "warm planned pass");
+    }
+
+    #[test]
+    fn planned_forward_is_bit_identical_int8() {
+        use crate::quantized::{Backend, CalibrationTable};
+        use std::sync::Arc;
+        let mut net = plan_test_net();
+        let x = plan_test_input();
+        let table = CalibrationTable::calibrate(&mut net, std::slice::from_ref(&x));
+        net.set_backend(Backend::Int8(Arc::new(table)));
+        let unplanned = net.forward(&x);
+        net.set_plan(true);
+        assert_eq!(net.forward(&x), unplanned, "planned int8 pass");
+        assert_eq!(net.forward(&x), unplanned, "warm planned int8 pass");
+    }
+
+    #[test]
+    fn hooked_group_member_forces_unfused_order() {
+        use crate::module::LayerKind;
+        let mut net = plan_test_net();
+        let x = plan_test_input();
+        // Hook on the first Relu (a fusion partner): mutates the
+        // activation, so fused and unfused passes only agree if the plan
+        // stands down for that group and the hook actually fires.
+        let relu_id = net
+            .layer_infos()
+            .iter()
+            .find(|l| l.kind == LayerKind::Relu)
+            .unwrap()
+            .id;
+        let handle = net.hooks().register_forward(relu_id, |_, out| {
+            for v in out.data_mut() {
+                *v += 0.25;
+            }
+        });
+        let hooked_unplanned = net.forward(&x);
+        net.set_plan(true);
+        assert_eq!(
+            net.forward(&x),
+            hooked_unplanned,
+            "hooked partner runs unfused and the hook fires"
+        );
+        // Removing the hook re-enables fusion, and the result matches the
+        // plain (un-hooked) unplanned pass again.
+        net.hooks().remove(handle);
+        net.set_plan(false);
+        let plain = net.forward(&x);
+        net.set_plan(true);
+        assert_eq!(net.forward(&x), plain);
+    }
+
+    #[test]
+    fn planned_weight_fault_repacks_and_undo_restores() {
+        let mut net = plan_test_net();
+        let x = plan_test_input();
+        net.set_plan(true);
+        let blessed = net.forward(&x);
+        let conv = net.injectable_layers()[1];
+        let original = {
+            let w = net.layer_weight_mut(conv).unwrap();
+            let v = w.data()[7];
+            w.data_mut()[7] = v * -3.5;
+            v
+        };
+        let faulty = net.forward(&x);
+        assert_ne!(faulty, blessed, "stale panels would mask the fault");
+        // Exact undo: the repacked panels must reproduce the blessed pass
+        // bit for bit.
+        net.layer_weight_mut(conv).unwrap().data_mut()[7] = original;
+        assert_eq!(net.forward(&x), blessed, "undo restores blessed output");
+    }
+
+    #[test]
+    fn planned_forward_from_and_after_match_full_pass() {
+        let mut net = plan_test_net();
+        let x = plan_test_input();
+        net.set_plan(true);
+        for target in net.injectable_layers() {
+            let resume = net.resume_point(target).unwrap();
+            let mut at_resume = None;
+            let mut after_target = None;
+            let full = net.forward_with_capture(&x, &mut |id, input| {
+                if id == resume {
+                    at_resume = Some(input.clone());
+                }
+                if id.index() == target.index() + 1 {
+                    after_target = Some(input.clone());
+                }
+            });
+            let resumed = net.forward_from(target, &at_resume.unwrap()).unwrap();
+            assert_eq!(resumed, full, "forward_from at {target}");
+            if let Some(after) = after_target {
+                // `after` is the next module's input == target's hooked
+                // output only when the group was not fused past target; a
+                // fused partner's capture is skipped, so this only fires
+                // for the bare conv and final linear. For targets whose
+                // successor capture exists, the tail must reproduce the
+                // full pass.
+                if let Some(tail) = net.forward_after(target, &after) {
+                    assert_eq!(tail, full, "forward_after at {target}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_stands_down_for_training_passes() {
+        let mut net = plan_test_net();
+        let x = plan_test_input();
+        net.set_plan(true);
+        net.set_training(true);
+        // Training forward must run unplanned (batch stats, caches) so a
+        // backward pass still works end to end.
+        let y = net.forward(&x);
+        let g = net.backward(&Tensor::ones(y.dims()));
+        assert_eq!(g.dims(), x.dims());
     }
 
     #[test]

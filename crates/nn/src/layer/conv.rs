@@ -3,7 +3,10 @@
 use crate::module::{
     leaf_boilerplate, BackwardCtx, ForwardCtx, LayerKind, LayerMeta, Module, Param,
 };
-use rustfi_tensor::{conv2d, conv2d_backward, conv2d_q, ConvSpec, QTensor, SeededRng, Tensor};
+use rustfi_tensor::{
+    conv2d, conv2d_backward, conv2d_planned, conv2d_q, conv2d_q_planned, Act, BnFoldView, ConvSpec,
+    Im2colPlan, Im2rowPlan, PackedA, PackedI16, QTensor, SeededRng, Tensor,
+};
 
 /// A 2-D convolution with learned weights and bias.
 ///
@@ -21,6 +24,25 @@ pub struct Conv2d {
     /// Per-channel quantized weight cache for the INT8 backend; dropped
     /// whenever the f32 weights are handed out mutably.
     qweight: Option<QTensor>,
+    /// Compiled-plan f32 weight panels, one per group, pre-tiled for the
+    /// register-tiled GEMM. Pure functions of `weight`: when the weights are
+    /// handed out mutably the panels are marked stale and repacked *in
+    /// place* on the next planned forward — a weight-fault trial repacks
+    /// only this layer and its undo restores the blessed panel bytes
+    /// exactly, with no allocation.
+    packed: Vec<PackedA>,
+    packed_stale: bool,
+    /// Compiled-plan pre-widened `i16` panels derived from `qweight`, one
+    /// per group, for the INT8 GEMM. Stale whenever `qweight` is rebuilt or
+    /// handed out mutably.
+    wide: Vec<PackedI16>,
+    wide_stale: bool,
+    /// Compiled-plan im2col gather map, built lazily for the input spatial
+    /// shape the planned forward actually sees and rebuilt only when that
+    /// shape changes. Pure geometry — weight faults never touch it.
+    gather: Option<Im2colPlan>,
+    /// INT8 twin of `gather` (transposed im2row destination layout).
+    gather_q: Option<Im2rowPlan>,
 }
 
 impl Conv2d {
@@ -57,6 +79,12 @@ impl Conv2d {
             spec,
             cached_input: None,
             qweight: None,
+            packed: Vec::new(),
+            packed_stale: false,
+            wide: Vec::new(),
+            wide_stale: false,
+            gather: None,
+            gather_q: None,
         }
     }
 
@@ -68,6 +96,102 @@ impl Conv2d {
     /// The weight tensor (`[out_ch, in_ch/groups, k, k]`).
     pub fn weight(&self) -> &Tensor {
         &self.weight
+    }
+
+    /// Builds or refreshes the f32 GEMM panels. First build allocates
+    /// (campaign setup); stale refreshes repack in place.
+    fn ensure_packed(&mut self) {
+        let &[oc, cg, kh, kw] = self.weight.dims() else {
+            unreachable!("conv weights are rank 4");
+        };
+        let groups = self.spec.groups;
+        let (og, kcols) = (oc / groups, cg * kh * kw);
+        if self.packed.len() != groups {
+            self.packed.clear();
+            for g in 0..groups {
+                let slab = &self.weight.data()[g * og * kcols..][..og * kcols];
+                self.packed.push(PackedA::pack(slab, og, kcols));
+            }
+        } else if self.packed_stale {
+            for (g, pack) in self.packed.iter_mut().enumerate() {
+                pack.repack(&self.weight.data()[g * og * kcols..][..og * kcols]);
+            }
+        }
+        self.packed_stale = false;
+    }
+
+    /// Builds or refreshes the pre-widened INT8 panels from `qweight`
+    /// (quantizing the weights first if needed).
+    fn ensure_wide(&mut self) {
+        let qw = self
+            .qweight
+            .get_or_insert_with(|| QTensor::quantize_per_channel(&self.weight));
+        let &[oc, cg, kh, kw] = qw.dims() else {
+            unreachable!("conv qweights are rank 4");
+        };
+        let groups = self.spec.groups;
+        let (og, kcols) = (oc / groups, cg * kh * kw);
+        if self.wide.len() != groups {
+            self.wide.clear();
+            for g in 0..groups {
+                let slab = &qw.data()[g * og * kcols..][..og * kcols];
+                self.wide.push(PackedI16::widen(slab, og, kcols));
+            }
+        } else if self.wide_stale {
+            for (g, panel) in self.wide.iter_mut().enumerate() {
+                panel.rewiden(&qw.data()[g * og * kcols..][..og * kcols]);
+            }
+        }
+        self.wide_stale = false;
+    }
+
+    /// Planned forward shared by the plain and fused paths: prepacked
+    /// panels, partner epilogue in the GEMM write-back, no activation cache
+    /// (plans are inference-only; `backward` after a planned forward
+    /// panics).
+    fn forward_planned(
+        &mut self,
+        input: &Tensor,
+        ctx: &mut ForwardCtx<'_>,
+        bn: Option<BnFoldView<'_>>,
+        act: Act,
+    ) -> Tensor {
+        self.cached_input = None;
+        let &[_, _, h, w] = input.dims() else {
+            panic!("conv input must be rank 4");
+        };
+        let cg = self.weight.dims()[1];
+        let (kh, kw) = (self.weight.dims()[2], self.weight.dims()[3]);
+        match ctx.input_scale(self.meta.id) {
+            Some(scale) => {
+                self.ensure_wide();
+                if !self.gather_q.as_ref().is_some_and(|p| p.matches(cg, h, w)) {
+                    self.gather_q = Some(Im2rowPlan::build(cg, h, w, (kh, kw), &self.spec));
+                }
+                let plan = self.gather_q.as_ref().expect("plan built above");
+                let qw = self.qweight.as_ref().expect("ensure_wide builds qweight");
+                conv2d_q_planned(
+                    input, qw, &self.wide, plan, &self.bias, &self.spec, scale, bn, act,
+                )
+            }
+            None => {
+                self.ensure_packed();
+                if !self.gather.as_ref().is_some_and(|p| p.matches(cg, h, w)) {
+                    self.gather = Some(Im2colPlan::build(cg, h, w, (kh, kw), &self.spec));
+                }
+                let plan = self.gather.as_ref().expect("plan built above");
+                conv2d_planned(
+                    input,
+                    &self.packed,
+                    (kh, kw),
+                    plan,
+                    &self.bias,
+                    &self.spec,
+                    bn,
+                    act,
+                )
+            }
+        }
     }
 }
 
@@ -116,6 +240,11 @@ impl Module for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx<'_>) -> Tensor {
+        if ctx.plan_active() {
+            let mut out = self.forward_planned(input, ctx, None, Act::None);
+            ctx.run_forward_hooks(&self.meta, LayerKind::Conv2d, &mut out);
+            return out;
+        }
         rustfi_tensor::tpool::reuse_slot(&mut self.cached_input, input.dims())
             .data_mut()
             .copy_from_slice(input.data());
@@ -132,6 +261,19 @@ impl Module for Conv2d {
         out
     }
 
+    fn forward_fused(
+        &mut self,
+        input: &Tensor,
+        ctx: &mut ForwardCtx<'_>,
+        bn: Option<BnFoldView<'_>>,
+        act: Act,
+    ) -> Option<Tensor> {
+        if !ctx.plan_active() {
+            return None;
+        }
+        Some(self.forward_planned(input, ctx, bn, act))
+    }
+
     fn backward(&mut self, grad_out: &Tensor, ctx: &mut BackwardCtx<'_>) -> Tensor {
         ctx.run_grad_hooks(&self.meta, LayerKind::Conv2d, grad_out);
         let input = self
@@ -146,6 +288,8 @@ impl Module for Conv2d {
 
     fn for_each_param(&mut self, f: &mut dyn FnMut(Param<'_>)) {
         self.qweight = None;
+        self.packed_stale = true;
+        self.wide_stale = true;
         f(Param {
             value: &mut self.weight,
             grad: &mut self.grad_weight,
@@ -158,12 +302,16 @@ impl Module for Conv2d {
 
     fn for_each_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
         self.qweight = None;
+        self.packed_stale = true;
+        self.wide_stale = true;
         f(&mut self.weight);
         f(&mut self.bias);
     }
 
     fn weight_mut(&mut self) -> Option<&mut Tensor> {
         self.qweight = None;
+        self.packed_stale = true;
+        self.wide_stale = true;
         Some(&mut self.weight)
     }
 
@@ -172,6 +320,9 @@ impl Module for Conv2d {
     }
 
     fn qweight_mut(&mut self) -> Option<&mut QTensor> {
+        // The caller may flip stored-INT8 bits in the returned words; the
+        // widened plan panels must be rebuilt from them.
+        self.wide_stale = true;
         Some(
             self.qweight
                 .get_or_insert_with(|| QTensor::quantize_per_channel(&self.weight)),

@@ -1,9 +1,9 @@
 //! Batch normalization.
 
 use crate::module::{
-    leaf_boilerplate, BackwardCtx, ForwardCtx, LayerKind, LayerMeta, Module, Param,
+    leaf_boilerplate, BackwardCtx, ForwardCtx, FusePartner, LayerKind, LayerMeta, Module, Param,
 };
-use rustfi_tensor::Tensor;
+use rustfi_tensor::{BnFoldView, Tensor};
 
 /// 2-D batch normalization over the channel axis of an `NCHW` tensor.
 ///
@@ -24,6 +24,12 @@ pub struct BatchNorm2d {
     cache: Option<BnCache>,
     /// Per-channel mean scratch, reused across forwards to stay allocation-free.
     mean_scratch: Vec<f32>,
+    /// Compiled-plan fold cache: `1/sqrt(running_var + eps)` per channel,
+    /// computed with the exact expression the inference forward uses so the
+    /// fused epilogue is bit-identical. Stale whenever the running stats may
+    /// have changed.
+    fold_inv_std: Vec<f32>,
+    fold_stale: bool,
 }
 
 struct BnCache {
@@ -48,6 +54,8 @@ impl BatchNorm2d {
             eps: 1e-5,
             cache: None,
             mean_scratch: Vec::new(),
+            fold_inv_std: Vec::new(),
+            fold_stale: true,
         }
     }
 
@@ -93,6 +101,11 @@ impl Module for BatchNorm2d {
             self.channels()
         );
         let count = (n * h * w) as f32;
+        if ctx.training {
+            // Running statistics are about to change; the plan fold cache
+            // must recompute on next use.
+            self.fold_stale = true;
+        }
         // Recycle the previous forward's cache buffers: at steady state the
         // x_hat tensor, the inv_std vector, and the mean scratch are all
         // rewritten in place.
@@ -219,6 +232,7 @@ impl Module for BatchNorm2d {
     }
 
     fn for_each_state(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        self.fold_stale = true;
         f(&mut self.gamma);
         f(&mut self.beta);
         f(&mut self.running_mean);
@@ -231,6 +245,29 @@ impl Module for BatchNorm2d {
 
     fn bias_mut(&mut self) -> Option<&mut Tensor> {
         Some(&mut self.beta)
+    }
+
+    fn fuse_partner(&self) -> Option<FusePartner> {
+        Some(FusePartner::BatchNorm)
+    }
+
+    fn bn_fold(&mut self) -> Option<BnFoldView<'_>> {
+        let c = self.channels();
+        if self.fold_stale || self.fold_inv_std.len() != c {
+            self.fold_inv_std.clear();
+            self.fold_inv_std.resize(c, 0.0);
+            for ch in 0..c {
+                // Exact same expression as the inference forward.
+                self.fold_inv_std[ch] = 1.0 / (self.running_var.data()[ch] + self.eps).sqrt();
+            }
+            self.fold_stale = false;
+        }
+        Some(BnFoldView {
+            mean: self.running_mean.data(),
+            inv_std: &self.fold_inv_std,
+            gamma: self.gamma.data(),
+            beta: self.beta.data(),
+        })
     }
 }
 

@@ -3,7 +3,7 @@
 use crate::hook::{HookRegistry, LayerCtx};
 use crate::quantized::Backend;
 use rustfi_obs::{Recorder, SpanCtx};
-use rustfi_tensor::{QTensor, SeededRng, Tensor};
+use rustfi_tensor::{Act, BnFoldView, QTensor, SeededRng, Tensor};
 use std::fmt;
 use std::sync::Arc;
 
@@ -106,6 +106,26 @@ pub struct Param<'a> {
 /// every module's id and *input* tensor just before the module runs.
 pub type CaptureFn<'a> = &'a mut dyn FnMut(LayerId, &Tensor);
 
+/// How a layer can be absorbed into the preceding conv/linear layer's fused
+/// GEMM epilogue when a compiled forward plan is active.
+///
+/// Layers advertise themselves via [`Module::fuse_partner`]; [`Sequential`]
+/// scans its children for `conv → [BatchNorm] → [activation]` (or
+/// `linear → [activation]`) runs and folds the partners into the leader's
+/// write-back loop. The epilogue replicates the partner kernels' per-element
+/// operations exactly, so fused and unfused passes are bit-identical.
+///
+/// [`Sequential`]: crate::layer::container::Sequential
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FusePartner {
+    /// `y = max(x, 0)` applied in the GEMM write-back.
+    Relu,
+    /// Leaky ReLU with the given negative-side slope.
+    LeakyRelu(f32),
+    /// Inference-mode batch norm folded to a per-channel scale/shift.
+    BatchNorm,
+}
+
 /// Per-forward-pass context threaded through the module tree.
 pub struct ForwardCtx<'a> {
     /// Whether the pass is a training pass (enables dropout, batch-stats BN).
@@ -121,6 +141,9 @@ pub struct ForwardCtx<'a> {
     capture: Option<CaptureFn<'a>>,
     /// Arithmetic backend for layers that have a quantized kernel.
     backend: &'a Backend,
+    /// Whether the pass runs under a compiled forward plan (prepacked weight
+    /// panels + fused GEMM epilogues). See [`Network::set_plan`].
+    plan: bool,
 }
 
 impl<'a> ForwardCtx<'a> {
@@ -130,6 +153,7 @@ impl<'a> ForwardCtx<'a> {
         rng: &'a mut SeededRng,
         recorder: Option<&'a dyn Recorder>,
         backend: &'a Backend,
+        plan: bool,
     ) -> Self {
         Self {
             training,
@@ -138,7 +162,23 @@ impl<'a> ForwardCtx<'a> {
             recorder,
             capture: None,
             backend,
+            plan,
         }
+    }
+
+    /// Whether layers should take their planned (prepacked, fused-epilogue)
+    /// forward paths. Plans are inference-only: training passes need cached
+    /// activations and batch statistics, so they always run unplanned.
+    pub fn plan_active(&self) -> bool {
+        self.plan && !self.training
+    }
+
+    /// Whether any forward hook would fire on layer `id` (see
+    /// [`HookRegistry::has_forward`]). Containers consult this before fusing
+    /// a group: a hooked member forces the unfused execution order so the
+    /// hook observes exactly the tensor it would in an unplanned pass.
+    pub fn layer_has_hooks(&self, id: LayerId) -> bool {
+        self.hooks.has_forward(id)
     }
 
     /// RNG stream for stochastic layers (dropout).
@@ -165,6 +205,42 @@ impl<'a> ForwardCtx<'a> {
             Some(rec) => {
                 let token = rec.layer_enter();
                 let out = child.forward(input, self);
+                let meta = child.meta();
+                rec.layer_exit(
+                    &SpanCtx {
+                        name: &meta.name,
+                        kind: child.kind().short_name(),
+                        layer: Some(meta.id.index()),
+                    },
+                    token,
+                );
+                out
+            }
+        }
+    }
+
+    /// Fused-group analogue of [`ForwardCtx::forward_child`]: runs `child`
+    /// (a conv/linear group leader) with the partner batch-norm fold and
+    /// activation applied inside its GEMM write-back, firing the capture tap
+    /// and recorder span exactly as a normal child dispatch would. Returns
+    /// `None` when the child has no fused forward (default [`Module`]
+    /// implementation); the caller then falls back to normal dispatch and
+    /// runs the partners individually.
+    pub fn forward_child_fused(
+        &mut self,
+        child: &mut dyn Module,
+        input: &Tensor,
+        bn: Option<BnFoldView<'_>>,
+        act: Act,
+    ) -> Option<Tensor> {
+        if let Some(cap) = self.capture.as_mut() {
+            cap(child.meta().id, input);
+        }
+        match self.recorder {
+            None => child.forward_fused(input, self, bn, act),
+            Some(rec) => {
+                let token = rec.layer_enter();
+                let out = child.forward_fused(input, self, bn, act);
                 let meta = child.meta();
                 rec.layer_exit(
                     &SpanCtx {
@@ -397,6 +473,38 @@ pub trait Module: Send {
     fn qweight_mut(&mut self) -> Option<&mut QTensor> {
         None
     }
+
+    /// How this layer folds into the preceding conv/linear layer's fused
+    /// GEMM epilogue under a compiled forward plan, or `None` (the default)
+    /// when it cannot be absorbed.
+    fn fuse_partner(&self) -> Option<FusePartner> {
+        None
+    }
+
+    /// The inference-mode batch-norm fold (running mean, `1/sqrt(var+eps)`,
+    /// gamma, beta) for layers that advertise
+    /// [`FusePartner::BatchNorm`]. The default — for every other layer — is
+    /// `None`.
+    fn bn_fold(&mut self) -> Option<BnFoldView<'_>> {
+        None
+    }
+
+    /// Planned fused forward: computes this layer with the partner batch
+    /// norm and activation applied inside the GEMM write-back loop, using
+    /// prepacked weight panels. Only called by containers under an active
+    /// plan after verifying that no group member has forward hooks; the
+    /// fused path therefore skips hook dispatch. Returns `None` (the
+    /// default) when the layer has no fused implementation, in which case
+    /// the caller falls back to unfused dispatch.
+    fn forward_fused(
+        &mut self,
+        _input: &Tensor,
+        _ctx: &mut ForwardCtx<'_>,
+        _bn: Option<BnFoldView<'_>>,
+        _act: Act,
+    ) -> Option<Tensor> {
+        None
+    }
 }
 
 /// Shorthand implementations of the identity/traversal methods for layers
@@ -455,6 +563,7 @@ pub struct Network {
     training: bool,
     recorder: Option<Arc<dyn Recorder>>,
     backend: Backend,
+    plan: bool,
 }
 
 impl Network {
@@ -492,7 +601,32 @@ impl Network {
             training: false,
             recorder: None,
             backend: Backend::Fp32,
+            plan: false,
         }
+    }
+
+    /// Enables (or disables) the compiled forward plan: per-layer weight
+    /// panels are prepacked for the register-tiled GEMM kernels, and
+    /// `conv → [bn] → [activation]` runs in [`Sequential`] containers fuse
+    /// into a single GEMM with the partner ops applied in its write-back
+    /// loop.
+    ///
+    /// Planned passes are **bit-identical** to unplanned ones (panels keep
+    /// the kernels' k-accumulation order; epilogues replicate the partner
+    /// kernels' per-element ops) and **inference-only**: training passes
+    /// always run unplanned, and a planned forward does not cache the
+    /// activations `backward` needs. Groups with forward hooks on any member
+    /// automatically fall back to the unfused order, so injection hooks
+    /// observe exactly the tensors they would without a plan.
+    ///
+    /// [`Sequential`]: crate::layer::container::Sequential
+    pub fn set_plan(&mut self, plan: bool) {
+        self.plan = plan;
+    }
+
+    /// Whether the compiled forward plan is enabled.
+    pub fn plan(&self) -> bool {
+        self.plan
     }
 
     /// Selects the arithmetic backend for layers with quantized kernels
@@ -569,6 +703,7 @@ impl Network {
             &mut self.rng,
             self.recorder.as_deref(),
             &self.backend,
+            self.plan,
         );
         ctx.forward_child(self.root.as_mut(), input)
     }
@@ -592,6 +727,7 @@ impl Network {
             &mut self.rng,
             self.recorder.as_deref(),
             &self.backend,
+            self.plan,
         );
         ctx.capture = Some(capture);
         ctx.forward_child(self.root.as_mut(), input)
@@ -611,6 +747,7 @@ impl Network {
             &mut self.rng,
             self.recorder.as_deref(),
             &self.backend,
+            self.plan,
         );
         ctx.forward_child_from(self.root.as_mut(), target, input)
     }
@@ -639,6 +776,7 @@ impl Network {
             &mut self.rng,
             self.recorder.as_deref(),
             &self.backend,
+            self.plan,
         );
         let layer = self.root.find_mut(id)?;
         Some(ctx.forward_child(layer, input))
@@ -679,6 +817,7 @@ impl Network {
             &mut self.rng,
             self.recorder.as_deref(),
             &self.backend,
+            self.plan,
         );
         self.root.forward_after(target, input, &mut ctx)
     }

@@ -5,6 +5,7 @@
 //! the only convolution variants the model zoo needs.
 
 use crate::linalg::{matmul_into, transpose_into};
+use crate::pack::{matmul_packed_a, Act, BnFoldView, Epilogue, GatherPlan, PackedA};
 use crate::parallel;
 use crate::tensor::Tensor;
 
@@ -346,6 +347,174 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -
     out
 }
 
+/// Compiled im2col plan: a [`GatherPlan`] lowering one batch element's
+/// group slice (`[cg, h, w]`, contiguous in NCHW) into the
+/// `[cg*kh*kw, oh*ow]` im2col matrix that [`conv2d_planned`] feeds its
+/// packed GEMM.
+///
+/// The map depends only on the convolution geometry and the input spatial
+/// shape — not on the group index or batch element — so one plan serves
+/// every `(batch, group)` lowering of a layer. Values are bit-identical to
+/// the on-the-fly `im2col_into` lowering: both read the same source element
+/// (or zero) for every destination slot; only the index arithmetic moves
+/// from the forward pass to plan-build time.
+#[derive(Debug, Clone)]
+pub struct Im2colPlan {
+    cg: usize,
+    h: usize,
+    w: usize,
+    map: GatherPlan,
+}
+
+impl Im2colPlan {
+    /// Builds the plan for a `[cg, h, w]` group slice under `kernel` and
+    /// `spec`.
+    pub fn build(cg: usize, h: usize, w: usize, kernel: (usize, usize), spec: &ConvSpec) -> Self {
+        let (kh, kw) = kernel;
+        let oh = spec.out_size(h, kh);
+        let ow = spec.out_size(w, kw);
+        let ohw = oh * ow;
+        let mut idx = vec![GatherPlan::PAD; cg * kh * kw * ohw];
+        for c in 0..cg {
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    let row = ((c * kh + ky) * kw + kx) * ohw;
+                    for oy in 0..oh {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for ox in 0..ow {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            idx[row + oy * ow + ox] =
+                                ((c * h + iy as usize) * w + ix as usize) as u32;
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            cg,
+            h,
+            w,
+            map: GatherPlan::new(cg * h * w, idx),
+        }
+    }
+
+    /// Whether the plan was built for this group-slice shape. Layers key
+    /// their cached plan on this to rebuild lazily when the input spatial
+    /// shape changes between forwards.
+    pub fn matches(&self, cg: usize, h: usize, w: usize) -> bool {
+        self.cg == cg && self.h == h && self.w == w
+    }
+}
+
+/// 2-D convolution through a compiled plan: pre-packed per-group weight
+/// panels, a precomputed [`Im2colPlan`] gather in place of per-element
+/// im2col index arithmetic, and a fused epilogue (bias, optional folded
+/// batch-norm, optional activation) applied in the GEMM write-back.
+///
+/// Produces bit-identical results to [`conv2d`] followed by the standalone
+/// batch-norm/activation kernels: the packed GEMM preserves per-element
+/// `kk`-increasing accumulation, and the epilogue replicates the serial
+/// per-element op order (see [`crate::pack`]). Unlike [`conv2d`] there is no
+/// intermediate product buffer — the epilogue writes each output element
+/// exactly once, directly into the output tensor.
+///
+/// - `packs`: one [`PackedA`] per group, each packing the group's
+///   `[oc/groups, (c/groups)*kh*kw]` weight slab
+/// - `kernel`: `(kh, kw)` of the packed filters
+/// - `plan`: the gather plan for this input's group-slice shape
+///
+/// Inside a [`parallel::wide_scope`] (the campaign's golden pass) the
+/// per-sample GEMMs fan their row panels across the idle worker fleet.
+///
+/// # Panics
+///
+/// Panics if shapes, the spec, the packed panels, and the gather plan are
+/// inconsistent.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_planned(
+    input: &Tensor,
+    packs: &[PackedA],
+    kernel: (usize, usize),
+    plan: &Im2colPlan,
+    bias: &Tensor,
+    spec: &ConvSpec,
+    bn: Option<BnFoldView<'_>>,
+    act: Act,
+) -> Tensor {
+    crate::opcount::count_conv2d();
+    let (n, c, h, w) = input.dims4();
+    let (kh, kw) = kernel;
+    assert_eq!(packs.len(), spec.groups, "one packed panel set per group");
+    let cg = c / spec.groups;
+    let kcols = cg * kh * kw;
+    let og = packs[0].rows();
+    for p in packs {
+        assert_eq!(p.rows(), og, "group panel row mismatch");
+        assert_eq!(p.k(), kcols, "group panel k mismatch");
+    }
+    let oc = og * spec.groups;
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(w, kw);
+    let ohw = oh * ow;
+    assert!(plan.matches(cg, h, w), "gather plan shape mismatch");
+    assert_eq!(plan.map.len(), kcols * ohw, "gather plan size mismatch");
+    let bdata = bias.data();
+    assert_eq!(bdata.len(), oc, "bias length != out_channels");
+    if let Some(f) = &bn {
+        assert_eq!(f.mean.len(), oc, "bn fold length != out_channels");
+    }
+    let chw = c * h * w;
+    let ghw = cg * h * w;
+    let in_data = input.data();
+
+    // Epilogue writes every element exactly once, so pool-stale contents are
+    // fine.
+    let mut out = Tensor::from_pool(&[n, oc, oh, ow]);
+    let batch_stride = oc * ohw;
+
+    let run_batch = |bn_idx: usize, out_bn: &mut [f32], cols: &mut [f32], inner_parallel: bool| {
+        for (g, pack) in packs.iter().enumerate() {
+            plan.map
+                .gather(&in_data[bn_idx * chw + g * ghw..][..ghw], cols);
+            let ep = Epilogue::PerRow {
+                bias: bdata,
+                bn,
+                act,
+                row0: g * og,
+            };
+            let out_g = &mut out_bn[g * og * ohw..(g + 1) * og * ohw];
+            matmul_packed_a(pack, cols, out_g, ohw, &ep, inner_parallel);
+        }
+    };
+
+    let total_macs = n * oc * ohw * kcols;
+    if !parallel::wide_mode() && n > 1 && total_macs >= PARALLEL_BATCH_MACS {
+        parallel::for_each_chunk_mut(out.data_mut(), batch_stride, |start, items, slab| {
+            with_conv_scratch(kcols * ohw, 0, |cols, _| {
+                for i in 0..items {
+                    let out_bn = &mut slab[i * batch_stride..(i + 1) * batch_stride];
+                    run_batch(start + i, out_bn, cols, false);
+                }
+            });
+        });
+    } else {
+        let out_data = out.data_mut();
+        with_conv_scratch(kcols * ohw, 0, |cols, _| {
+            for bn_idx in 0..n {
+                let out_bn = &mut out_data[bn_idx * batch_stride..(bn_idx + 1) * batch_stride];
+                run_batch(bn_idx, out_bn, cols, true);
+            }
+        });
+    }
+    out
+}
+
 /// Runs `f` with this thread's reusable im2col/product scratch, sized to at
 /// least `cols_len`/`prod_len`. Reuse skips a malloc + memset per [`conv2d`]
 /// call, which dominates small convolutions; stale contents are harmless
@@ -601,6 +770,66 @@ mod tests {
         let w = Tensor::zeros(&[2, 1, 1, 1]);
         let b = Tensor::zeros(&[2]);
         conv2d(&x, &w, &b, &ConvSpec::new().groups(2));
+    }
+
+    fn pack_groups(w: &Tensor, groups: usize) -> Vec<PackedA> {
+        let (oc, cg, kh, kw) = w.dims4();
+        let og = oc / groups;
+        let kcols = cg * kh * kw;
+        (0..groups)
+            .map(|g| PackedA::pack(&w.data()[g * og * kcols..(g + 1) * og * kcols], og, kcols))
+            .collect()
+    }
+
+    #[test]
+    fn planned_conv_is_bit_identical_to_conv2d() {
+        let mut rng = SeededRng::new(31);
+        for &(n, c, oc, hw, groups, stride, padding) in &[
+            (2usize, 3usize, 4usize, 8usize, 1usize, 1usize, 1usize),
+            (1, 4, 6, 6, 2, 1, 1),
+            (3, 2, 3, 9, 1, 2, 1),
+        ] {
+            let spec = ConvSpec::new()
+                .stride(stride)
+                .padding(padding)
+                .groups(groups);
+            let x = Tensor::rand_normal(&[n, c, hw, hw], 0.0, 1.0, &mut rng);
+            let w = Tensor::rand_normal(&[oc, c / groups, 3, 3], 0.0, 0.5, &mut rng);
+            let b = Tensor::rand_normal(&[oc], 0.0, 0.1, &mut rng);
+            let plain = conv2d(&x, &w, &b, &spec);
+            let packs = pack_groups(&w, groups);
+            let plan = Im2colPlan::build(c / groups, hw, hw, (3, 3), &spec);
+            let planned = conv2d_planned(&x, &packs, (3, 3), &plan, &b, &spec, None, Act::None);
+            assert_eq!(planned.dims(), plain.dims());
+            for (p, q) in planned.data().iter().zip(plain.data()) {
+                assert_eq!(p.to_bits(), q.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn planned_conv_fused_relu_matches_serial_chain() {
+        let mut rng = SeededRng::new(32);
+        let spec = ConvSpec::new().padding(1);
+        let x = Tensor::rand_normal(&[2, 3, 7, 7], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal(&[5, 3, 3, 3], 0.0, 0.5, &mut rng);
+        let b = Tensor::rand_normal(&[5], 0.0, 0.1, &mut rng);
+        let mut serial = conv2d(&x, &w, &b, &spec);
+        for v in serial.data_mut() {
+            *v = v.max(0.0);
+        }
+        let packs = pack_groups(&w, 1);
+        let plan = Im2colPlan::build(3, 7, 7, (3, 3), &spec);
+        let fused = conv2d_planned(&x, &packs, (3, 3), &plan, &b, &spec, None, Act::Relu);
+        for (p, q) in fused.data().iter().zip(serial.data()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        // The wide (golden-pass) path fans GEMM rows but must keep the bits.
+        let wide = {
+            let _g = parallel::wide_scope();
+            conv2d_planned(&x, &packs, (3, 3), &plan, &b, &spec, None, Act::Relu)
+        };
+        assert_eq!(wide.data(), fused.data());
     }
 
     /// Numeric gradient check of the analytic backward pass.

@@ -5,16 +5,16 @@ use crate::tensor::Tensor;
 
 /// Threshold (in multiply–accumulate operations) above which matmul fans out
 /// across threads.
-const PARALLEL_MACS: usize = 1 << 20;
+pub(crate) const PARALLEL_MACS: usize = 1 << 20;
 
 /// Rows of `a` processed together by the register-blocked microkernel: each
 /// loaded `b` segment feeds this many output rows.
-const MR: usize = 4;
+pub(crate) const MR: usize = 4;
 
 /// Column-tile width of the microkernel. An `MR` × `NR` f32 accumulator tile
 /// fits in SIMD registers, so the hot loop does `MR * NR` fused
 /// multiply-adds per `NR`-wide load of `b`.
-const NR: usize = 16;
+pub(crate) const NR: usize = 16;
 
 /// Serial register-blocked kernel over `rows` of the output.
 ///

@@ -1,0 +1,990 @@
+//! Pre-packed weight panels and fused GEMM epilogues — the tensor-level half
+//! of the compiled forward plan.
+//!
+//! A fault-injection campaign runs the same weights through the same GEMMs
+//! millions of times. Packing rearranges each weight matrix **once** into the
+//! exact panel layout the register-tiled microkernels walk ([`PackedA`] for
+//! matrices on the left of the product, [`PackedB`] for the right,
+//! [`PackedI16`] for pre-widened INT8 operands), so the per-trial kernel
+//! streams one contiguous buffer instead of gathering strided rows — and the
+//! per-forward `W^T` transpose of the linear layer disappears entirely.
+//!
+//! **Bit-identity.** The packed f32 kernels perform, for every output
+//! element, the identical sequence of multiplies and adds as the unpacked
+//! [`matmul_into`](crate::matmul_into) kernel: accumulation is strictly
+//! `kk`-increasing into a single accumulator, Rust never contracts
+//! `a * b + c` into a fused multiply-add, and packing only changes *where*
+//! an operand is read from, never *when* it enters the accumulation. The
+//! INT8 kernels are exact integer arithmetic, identical under any order.
+//!
+//! **Fused epilogues.** The [`Epilogue`] applied in the write-back loop
+//! replicates the per-element op order of the serial layer chain — bias add
+//! (`acc + b`), then folded batch-norm (`(v - mean) * inv_std` followed by
+//! `g * n + b`), then activation (`v.max(0.0)` / leaky) — with no
+//! intervening pass, so fused and unfused forwards produce the same bits
+//! while the memory-bound bias/BN/ReLU passes over the output disappear.
+//!
+//! Packing is a pure function of the weight bytes: repacking after a
+//! weight-fault undo reproduces the blessed panel bytes exactly.
+
+use crate::linalg::{MR, NR};
+use crate::parallel;
+
+/// Activation applied in a fused GEMM write-back, replicating the exact
+/// per-element ops of the standalone kernels in [`kernels`](crate::kernels).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Act {
+    /// Raw affine output.
+    None,
+    /// `v.max(0.0)` — same `f32::max` as [`relu_mask`](crate::kernels::relu_mask).
+    Relu,
+    /// `if v <= 0 { slope * v } else { v }` — same branch as
+    /// [`leaky_relu_mask`](crate::kernels::leaky_relu_mask).
+    LeakyRelu(f32),
+}
+
+impl Act {
+    /// Applies the activation to one value.
+    #[inline(always)]
+    pub fn apply(self, v: f32) -> f32 {
+        match self {
+            Act::None => v,
+            Act::Relu => v.max(0.0),
+            Act::LeakyRelu(slope) => {
+                let neg = v <= 0.0;
+                if neg {
+                    slope * v
+                } else {
+                    v
+                }
+            }
+        }
+    }
+}
+
+/// Folded inference-mode batch-norm constants, one entry per output row
+/// (= output channel). `inv_std` must be precomputed as
+/// `1.0 / (var + eps).sqrt()` — the exact expression the standalone layer
+/// uses — so the fused chain reproduces its bits.
+#[derive(Debug, Clone, Copy)]
+pub struct BnFoldView<'a> {
+    /// Running mean per channel.
+    pub mean: &'a [f32],
+    /// `1 / sqrt(running_var + eps)` per channel.
+    pub inv_std: &'a [f32],
+    /// Scale (γ) per channel.
+    pub gamma: &'a [f32],
+    /// Shift (β) per channel.
+    pub beta: &'a [f32],
+}
+
+/// What the GEMM write-back loop applies to each accumulated element before
+/// storing it. Op order per element matches the serial layer chain exactly:
+/// bias, then batch-norm, then activation.
+#[derive(Debug, Clone, Copy)]
+pub enum Epilogue<'a> {
+    /// Store the raw accumulator (bit-identical to the unpacked kernel).
+    None,
+    /// Per-output-row constants — the convolution layout, where each GEMM
+    /// row is one output channel. `row0` offsets the slice lookups for
+    /// grouped convolution (group `g` computes global rows `g*og + r`).
+    PerRow {
+        /// Bias per output row; `v = acc + bias[row]` first, matching the
+        /// conv write-back `*d = s + b`.
+        bias: &'a [f32],
+        /// Folded batch-norm constants, applied after the bias.
+        bn: Option<BnFoldView<'a>>,
+        /// Activation, applied last.
+        act: Act,
+        /// Global row index of the kernel's row 0.
+        row0: usize,
+    },
+    /// Per-output-column constants — the linear layout, where each GEMM
+    /// column is one output feature. `v = acc + bias[col]` matches
+    /// `bias_add_rows`'s `*o += b`.
+    PerCol {
+        /// Bias per output column.
+        bias: &'a [f32],
+        /// Activation, applied after the bias.
+        act: Act,
+    },
+}
+
+impl Epilogue<'_> {
+    /// Full-tile write-back: takes the accumulator row **by value** so no
+    /// reference into the kernel's register tile ever escapes — otherwise
+    /// SROA cannot promote the tile out of its stack slot and the hot loop
+    /// pays a store per accumulator per `kk` step.
+    #[inline(always)]
+    fn apply_row(&self, acc: [f32; NR], row: usize, col0: usize, dst: &mut [f32]) {
+        match *self {
+            Epilogue::None => dst[..NR].copy_from_slice(&acc),
+            Epilogue::PerRow {
+                bias,
+                bn,
+                act,
+                row0,
+            } => {
+                let r = row0 + row;
+                let b = bias[r];
+                match bn {
+                    None => {
+                        for (d, s) in dst.iter_mut().zip(acc) {
+                            *d = act.apply(s + b);
+                        }
+                    }
+                    Some(f) => {
+                        let (m, is) = (f.mean[r], f.inv_std[r]);
+                        let (g, b2) = (f.gamma[r], f.beta[r]);
+                        for (d, s) in dst.iter_mut().zip(acc) {
+                            let v = s + b;
+                            let n = (v - m) * is;
+                            *d = act.apply(g * n + b2);
+                        }
+                    }
+                }
+            }
+            Epilogue::PerCol { bias, act } => {
+                for (j, (d, s)) in dst.iter_mut().zip(acc).enumerate() {
+                    *d = act.apply(s + bias[col0 + j]);
+                }
+            }
+        }
+    }
+
+    /// Applies the epilogue to one accumulated row segment `acc`, writing
+    /// into `dst`. `row` is the kernel-local output row; `col0` the global
+    /// column of `acc[0]`. Partial-tile path; the hot full tiles go through
+    /// [`Self::apply_row`].
+    #[inline(always)]
+    fn apply(&self, acc: &[f32], row: usize, col0: usize, dst: &mut [f32]) {
+        match *self {
+            Epilogue::None => dst[..acc.len()].copy_from_slice(acc),
+            Epilogue::PerRow {
+                bias,
+                bn,
+                act,
+                row0,
+            } => {
+                let r = row0 + row;
+                let b = bias[r];
+                match bn {
+                    None => {
+                        for (d, &s) in dst.iter_mut().zip(acc) {
+                            *d = act.apply(s + b);
+                        }
+                    }
+                    Some(f) => {
+                        let (m, is) = (f.mean[r], f.inv_std[r]);
+                        let (g, b2) = (f.gamma[r], f.beta[r]);
+                        for (d, &s) in dst.iter_mut().zip(acc) {
+                            let v = s + b;
+                            let n = (v - m) * is;
+                            *d = act.apply(g * n + b2);
+                        }
+                    }
+                }
+            }
+            Epilogue::PerCol { bias, act } => {
+                for (j, (d, &s)) in dst.iter_mut().zip(acc).enumerate() {
+                    *d = act.apply(s + bias[col0 + j]);
+                }
+            }
+        }
+    }
+}
+
+/// An `[m, k]` f32 matrix re-tiled for the left operand of the 4×16
+/// microkernel: full `MR`-row panels stored `kk`-major (`buf[panel*MR*k +
+/// kk*MR + r]`), remainder rows appended row-major. Pure function of the
+/// source bytes — repacking identical weights reproduces identical panels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedA {
+    m: usize,
+    k: usize,
+    buf: Vec<f32>,
+}
+
+impl PackedA {
+    /// Packs a row-major `[m, k]` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != m * k`.
+    pub fn pack(a: &[f32], m: usize, k: usize) -> Self {
+        let mut p = Self {
+            m,
+            k,
+            buf: vec![0.0; m * k],
+        };
+        p.fill(a);
+        p
+    }
+
+    /// Repacks in place from a matrix with the same dimensions, reusing the
+    /// panel buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != m * k`.
+    pub fn repack(&mut self, a: &[f32]) {
+        self.fill(a);
+    }
+
+    fn fill(&mut self, a: &[f32]) {
+        let (m, k) = (self.m, self.k);
+        assert_eq!(a.len(), m * k, "source length != m*k");
+        let m_full = m - m % MR;
+        for p in 0..m_full / MR {
+            let dst = &mut self.buf[p * MR * k..(p + 1) * MR * k];
+            for kk in 0..k {
+                for r in 0..MR {
+                    dst[kk * MR + r] = a[(p * MR + r) * k + kk];
+                }
+            }
+        }
+        // Remainder rows stay row-major; the kernel's partial-tile path
+        // reads them exactly like the unpacked kernel reads `a` rows.
+        self.buf[m_full * k..].copy_from_slice(&a[m_full * k..]);
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.m
+    }
+
+    /// Inner (k) dimension.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The raw panel bytes (diagnostics/tests).
+    pub fn panel_data(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+/// A `[k, n]` f32 matrix re-tiled for the right operand: full `NR`-column
+/// panels stored `kk`-major (`buf[panel*NR*k + kk*NR + j]`), remainder
+/// columns appended as a `kk`-major strip of width `n % NR`.
+///
+/// [`PackedB::pack_transposed`] builds the panels directly from the natural
+/// `[n, k]` weight layout of a linear layer, replacing the per-forward
+/// `transpose_into` scratch pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedB {
+    k: usize,
+    n: usize,
+    buf: Vec<f32>,
+}
+
+impl PackedB {
+    /// Packs a row-major `[k, n]` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != k * n`.
+    pub fn pack(b: &[f32], k: usize, n: usize) -> Self {
+        let mut p = Self {
+            k,
+            n,
+            buf: vec![0.0; k * n],
+        };
+        p.fill(|kk, j| b[kk * n + j]);
+        p
+    }
+
+    /// Packs the transpose of a row-major `[n, k]` matrix (so the product
+    /// computes `a · wᵀ` without materializing `wᵀ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.len() != n * k`.
+    pub fn pack_transposed(w: &[f32], n: usize, k: usize) -> Self {
+        assert_eq!(w.len(), n * k, "source length != n*k");
+        let mut p = Self {
+            k,
+            n,
+            buf: vec![0.0; k * n],
+        };
+        p.fill(|kk, j| w[j * k + kk]);
+        p
+    }
+
+    /// Repacks in place from the transpose of a same-shaped `[n, k]` matrix,
+    /// reusing the panel buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.len() != n * k`.
+    pub fn repack_transposed(&mut self, w: &[f32]) {
+        let (k, n) = (self.k, self.n);
+        assert_eq!(w.len(), n * k, "source length != n*k");
+        self.fill(|kk, j| w[j * k + kk]);
+    }
+
+    fn fill(&mut self, src: impl Fn(usize, usize) -> f32) {
+        let (k, n) = (self.k, self.n);
+        let n_full = n - n % NR;
+        for p in 0..n_full / NR {
+            let dst = &mut self.buf[p * NR * k..(p + 1) * NR * k];
+            for kk in 0..k {
+                for j in 0..NR {
+                    dst[kk * NR + j] = src(kk, p * NR + j);
+                }
+            }
+        }
+        let tw = n - n_full;
+        if tw > 0 {
+            let dst = &mut self.buf[n_full * k..];
+            for kk in 0..k {
+                for j in 0..tw {
+                    dst[kk * tw + j] = src(kk, n_full + j);
+                }
+            }
+        }
+    }
+
+    /// Inner (k) dimension.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.n
+    }
+
+    /// The raw panel bytes (diagnostics/tests).
+    pub fn panel_data(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+/// A row-major `[rows, k]` `i8` matrix pre-widened to `i16`, so the AVX2
+/// integer GEMM loads 16 lanes directly instead of sign-extending on every
+/// pass. Values are identical (`i8 as i16` is exact), and integer
+/// accumulation is exact, so widened and unwidened kernels agree bit for
+/// bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedI16 {
+    rows: usize,
+    k: usize,
+    buf: Vec<i16>,
+}
+
+impl PackedI16 {
+    /// Widens a row-major `[rows, k]` `i8` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != rows * k`.
+    pub fn widen(src: &[i8], rows: usize, k: usize) -> Self {
+        let mut p = Self {
+            rows,
+            k,
+            buf: vec![0; rows * k],
+        };
+        p.rewiden(src);
+        p
+    }
+
+    /// Re-widens in place from a same-shaped source, reusing the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != rows * k`.
+    pub fn rewiden(&mut self, src: &[i8]) {
+        assert_eq!(src.len(), self.rows * self.k, "source length != rows*k");
+        for (d, &s) in self.buf.iter_mut().zip(src) {
+            *d = s as i16;
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Inner (k) dimension.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The widened words (diagnostics/tests).
+    pub fn data(&self) -> &[i16] {
+        &self.buf
+    }
+}
+
+/// Packed-A GEMM with fused epilogue: `pa [m, k] x b [k, n]` into
+/// `out [m * n]`. Per-element accumulation order matches
+/// [`matmul_into`](crate::matmul_into) exactly; only the epilogue transform
+/// differs from a raw store.
+///
+/// Parallelizes over `MR`-aligned row blocks when `allow_parallel` holds and
+/// either the problem crosses the matmul threshold or a
+/// [`parallel::wide_scope`] is active (the golden-pass mode, where trial
+/// workers are idle and even small GEMMs should fan out).
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the packed dimensions.
+pub fn matmul_packed_a(
+    pa: &PackedA,
+    b: &[f32],
+    out: &mut [f32],
+    n: usize,
+    ep: &Epilogue<'_>,
+    allow_parallel: bool,
+) {
+    crate::opcount::count_matmul();
+    let (m, k) = (pa.m, pa.k);
+    assert_eq!(b.len(), k * n, "rhs length != k*n");
+    assert_eq!(out.len(), m * n, "out length != m*n");
+    let wide = parallel::wide_mode();
+    if allow_parallel && m > 1 && (wide || m * n * k >= crate::linalg::PARALLEL_MACS) {
+        // Chunks are MR-aligned so every worker starts on a panel boundary.
+        parallel::for_each_chunk_mut_aligned(out, n, MR, |row0, rows, slab| {
+            packed_a_rows(pa, b, row0..row0 + rows, slab, n, ep);
+        });
+    } else {
+        packed_a_rows(pa, b, 0..m, out, n, ep);
+    }
+}
+
+/// Packed-B GEMM with fused epilogue: `a [m, k] x pb [k, n]` into
+/// `out [m * n]`. Same per-element order as the unpacked kernel.
+///
+/// In a [`parallel::wide_scope`] a single-row product (the golden pass's
+/// batch-1 linear layer) parallelizes over `NR`-aligned column panels;
+/// multi-row products split by rows as usual.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the packed dimensions.
+pub fn matmul_packed_b(
+    a: &[f32],
+    pb: &PackedB,
+    out: &mut [f32],
+    m: usize,
+    ep: &Epilogue<'_>,
+    allow_parallel: bool,
+) {
+    crate::opcount::count_matmul();
+    let (k, n) = (pb.k, pb.n);
+    assert_eq!(a.len(), m * k, "lhs length != m*k");
+    assert_eq!(out.len(), m * n, "out length != m*n");
+    let wide = parallel::wide_mode();
+    if allow_parallel && wide && m == 1 && n > NR {
+        // One output row: column panels are contiguous in `out`, so they can
+        // be handed to workers directly.
+        parallel::for_each_chunk_mut_aligned(out, 1, NR, |col0, cols, slab| {
+            packed_b_cols(a, pb, 0..1, col0, cols, slab, ep);
+        });
+    } else if allow_parallel && m > 1 && (wide || m * n * k >= crate::linalg::PARALLEL_MACS) {
+        parallel::for_each_chunk_mut(out, n, |row0, rows, slab| {
+            packed_b_cols(a, pb, row0..row0 + rows, 0, n, slab, ep);
+        });
+    } else {
+        packed_b_cols(a, pb, 0..m, 0, n, out, ep);
+    }
+}
+
+/// Dispatch trio for the packed-A row kernel (see `block_rows` in `linalg`).
+fn packed_a_rows(
+    pa: &PackedA,
+    b: &[f32],
+    rows: std::ops::Range<usize>,
+    out_rows: &mut [f32],
+    n: usize,
+    ep: &Epilogue<'_>,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: reached only after runtime detection confirms AVX2.
+        unsafe { packed_a_rows_avx2(pa, b, rows, out_rows, n, ep) };
+        return;
+    }
+    packed_a_rows_impl(pa, b, rows, out_rows, n, ep);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn packed_a_rows_avx2(
+    pa: &PackedA,
+    b: &[f32],
+    rows: std::ops::Range<usize>,
+    out_rows: &mut [f32],
+    n: usize,
+    ep: &Epilogue<'_>,
+) {
+    packed_a_rows_impl(pa, b, rows, out_rows, n, ep);
+}
+
+#[inline(always)]
+fn packed_a_rows_impl(
+    pa: &PackedA,
+    b: &[f32],
+    rows: std::ops::Range<usize>,
+    out_rows: &mut [f32],
+    n: usize,
+    ep: &Epilogue<'_>,
+) {
+    let (m, k) = (pa.m, pa.k);
+    let m_full = m - m % MR;
+    let row0 = rows.start;
+    debug_assert_eq!(row0 % MR, 0, "packed-A chunks start on panel boundaries");
+    let mut i = rows.start;
+    while i < rows.end {
+        let mr = MR.min(rows.end - i);
+        let mut jt = 0;
+        while jt < n {
+            let jw = NR.min(n - jt);
+            if mr == MR && jw == NR && i < m_full {
+                let panel = &pa.buf[i * k..(i + MR) * k];
+                let mut acc = [[0.0f32; NR]; MR];
+                // `chunks_exact` hands the kernel provably-MR-wide segments,
+                // keeping the hot loop free of the length checks a manual
+                // `panel[kk * MR..]` slice would re-derive every iteration.
+                for (kk, a_seg) in panel.chunks_exact(MR).enumerate() {
+                    let b_seg: &[f32; NR] = b[kk * n + jt..kk * n + jt + NR]
+                        .try_into()
+                        .expect("NR-wide");
+                    let (v0, v1, v2, v3) = (a_seg[0], a_seg[1], a_seg[2], a_seg[3]);
+                    for j in 0..NR {
+                        acc[0][j] += v0 * b_seg[j];
+                        acc[1][j] += v1 * b_seg[j];
+                        acc[2][j] += v2 * b_seg[j];
+                        acc[3][j] += v3 * b_seg[j];
+                    }
+                }
+                for (r, acc_row) in acc.into_iter().enumerate() {
+                    let base = (i - row0 + r) * n + jt;
+                    ep.apply_row(acc_row, i + r, jt, &mut out_rows[base..base + NR]);
+                }
+            } else {
+                // Partial tiles: per-row single accumulator, kk-increasing —
+                // the same order as the unpacked kernel's remainder path.
+                // Rows inside full panels are gathered back out of the panel
+                // layout (stride MR); tail rows are stored row-major.
+                for r in 0..mr {
+                    let row = i + r;
+                    let mut acc = [0.0f32; NR];
+                    if row < m_full {
+                        let panel = &pa.buf[(row / MR) * MR * k..];
+                        let rr = row % MR;
+                        for kk in 0..k {
+                            let av = panel[kk * MR + rr];
+                            let b_seg = &b[kk * n + jt..kk * n + jt + jw];
+                            for (o, &bv) in acc.iter_mut().zip(b_seg) {
+                                *o += av * bv;
+                            }
+                        }
+                    } else {
+                        let a_row = &pa.buf[m_full * k + (row - m_full) * k..][..k];
+                        for (kk, &av) in a_row.iter().enumerate() {
+                            let b_seg = &b[kk * n + jt..kk * n + jt + jw];
+                            for (o, &bv) in acc.iter_mut().zip(b_seg) {
+                                *o += av * bv;
+                            }
+                        }
+                    }
+                    let base = (row - row0) * n + jt;
+                    ep.apply(&acc[..jw], row, jt, &mut out_rows[base..base + jw]);
+                }
+            }
+            jt += jw;
+        }
+        i += mr;
+    }
+}
+
+/// Dispatch trio for the packed-B kernel over a row range × column range.
+fn packed_b_cols(
+    a: &[f32],
+    pb: &PackedB,
+    rows: std::ops::Range<usize>,
+    col0: usize,
+    cols: usize,
+    out_rows: &mut [f32],
+    ep: &Epilogue<'_>,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: reached only after runtime detection confirms AVX2.
+        unsafe { packed_b_cols_avx2(a, pb, rows, col0, cols, out_rows, ep) };
+        return;
+    }
+    packed_b_cols_impl(a, pb, rows, col0, cols, out_rows, ep);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn packed_b_cols_avx2(
+    a: &[f32],
+    pb: &PackedB,
+    rows: std::ops::Range<usize>,
+    col0: usize,
+    cols: usize,
+    out_rows: &mut [f32],
+    ep: &Epilogue<'_>,
+) {
+    packed_b_cols_impl(a, pb, rows, col0, cols, out_rows, ep);
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn packed_b_cols_impl(
+    a: &[f32],
+    pb: &PackedB,
+    rows: std::ops::Range<usize>,
+    col0: usize,
+    cols: usize,
+    out_rows: &mut [f32],
+    ep: &Epilogue<'_>,
+) {
+    let (k, n) = (pb.k, pb.n);
+    let n_full = n - n % NR;
+    let row0 = rows.start;
+    debug_assert_eq!(col0 % NR, 0, "packed-B chunks start on panel boundaries");
+    let mut i = rows.start;
+    while i < rows.end {
+        let mr = MR.min(rows.end - i);
+        let mut jt = col0;
+        while jt < col0 + cols {
+            let jw = NR.min(col0 + cols - jt).min(n - jt);
+            if mr == MR && jw == NR && jt < n_full {
+                let panel = &pb.buf[jt * k..(jt + NR) * k];
+                let a0 = &a[i * k..(i + 1) * k];
+                let a1 = &a[(i + 1) * k..(i + 2) * k];
+                let a2 = &a[(i + 2) * k..(i + 3) * k];
+                let a3 = &a[(i + 3) * k..(i + 4) * k];
+                let mut acc = [[0.0f32; NR]; MR];
+                for (kk, b_seg) in panel.chunks_exact(NR).enumerate() {
+                    let (v0, v1, v2, v3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+                    for j in 0..NR {
+                        acc[0][j] += v0 * b_seg[j];
+                        acc[1][j] += v1 * b_seg[j];
+                        acc[2][j] += v2 * b_seg[j];
+                        acc[3][j] += v3 * b_seg[j];
+                    }
+                }
+                for (r, acc_row) in acc.into_iter().enumerate() {
+                    let base = (i - row0 + r) * cols + (jt - col0);
+                    ep.apply_row(acc_row, i + r, jt, &mut out_rows[base..base + NR]);
+                }
+            } else {
+                for r in 0..mr {
+                    let mut acc = [0.0f32; NR];
+                    let a_row = &a[(i + r) * k..(i + r + 1) * k];
+                    for (kk, &av) in a_row.iter().enumerate() {
+                        let b_seg = pb.col_segment(kk, jt, jw, n_full);
+                        for (o, &bv) in acc.iter_mut().zip(b_seg) {
+                            *o += av * bv;
+                        }
+                    }
+                    let base = (i + r - row0) * cols + (jt - col0);
+                    ep.apply(&acc[..jw], i + r, jt, &mut out_rows[base..base + jw]);
+                }
+            }
+            jt += jw;
+        }
+        i += mr;
+    }
+}
+
+impl PackedB {
+    /// The `jw`-wide segment of packed row `kk` starting at global column
+    /// `jt` (which must lie entirely within one panel or the tail strip).
+    #[inline(always)]
+    fn col_segment(&self, kk: usize, jt: usize, jw: usize, n_full: usize) -> &[f32] {
+        if jt < n_full {
+            let p = jt / NR;
+            let off = jt % NR;
+            &self.buf[p * NR * self.k + kk * NR + off..][..jw]
+        } else {
+            let tw = self.n - n_full;
+            &self.buf[n_full * self.k + kk * tw + (jt - n_full)..][..jw]
+        }
+    }
+}
+
+/// A precomputed gather map: the compiled plan's replacement for per-element
+/// index arithmetic when lowering an activation slice into a GEMM operand
+/// (im2col / im2row). Each entry is either a source offset or an
+/// out-of-range sentinel standing for a padding zero, so the per-forward
+/// lowering collapses to one flat indexed copy — no per-element coordinate
+/// math, no edge-case branches.
+///
+/// The map is a pure function of the convolution geometry and the input
+/// spatial shape, so it is built once per campaign (lazily, on the first
+/// planned forward that sees the shape) and reused by every trial.
+#[derive(Debug, Clone)]
+pub struct GatherPlan {
+    /// Expected source slice length; gathers assert against it.
+    src_len: usize,
+    /// One source offset per destination element; any value `>= src_len`
+    /// (canonically [`GatherPlan::PAD`]) writes the type's zero instead.
+    idx: Vec<u32>,
+}
+
+impl GatherPlan {
+    /// Sentinel for "this destination element is a padding zero".
+    pub const PAD: u32 = u32::MAX;
+
+    /// Wraps a prebuilt index map. `idx` entries `>= src_len` gather a zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src_len` overflows `u32` (the map's offset width).
+    pub fn new(src_len: usize, idx: Vec<u32>) -> Self {
+        assert!(
+            u32::try_from(src_len).is_ok(),
+            "gather source too large for u32 offsets"
+        );
+        Self { src_len, idx }
+    }
+
+    /// Number of destination elements the map produces.
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// Executes the gather: `dst[i] = src[idx[i]]`, or `T::default()` where
+    /// the entry is out of range (padding). The single `src.get` bound per
+    /// element is the entire inner loop — padding needs no special case
+    /// because the sentinel is simply an out-of-range offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` disagree with the map's dimensions.
+    pub fn gather<T: Copy + Default>(&self, src: &[T], dst: &mut [T]) {
+        assert_eq!(src.len(), self.src_len, "gather source length");
+        assert_eq!(dst.len(), self.idx.len(), "gather destination length");
+        for (d, &ix) in dst.iter_mut().zip(&self.idx) {
+            *d = src.get(ix as usize).copied().unwrap_or_default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::{matmul_into, transpose_into};
+    use crate::rng::SeededRng;
+    use crate::tensor::Tensor;
+
+    fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}[{i}]: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gather_plan_copies_and_zero_fills() {
+        let plan = GatherPlan::new(4, vec![2, 0, GatherPlan::PAD, 3, 7]);
+        let src = [10.0f32, 11.0, 12.0, 13.0];
+        let mut dst = [f32::NAN; 5];
+        plan.gather(&src, &mut dst);
+        // Both the canonical PAD sentinel and any other out-of-range offset
+        // produce the zero element.
+        assert_eq!(dst, [12.0, 10.0, 0.0, 13.0, 0.0]);
+        let qsrc = [1i8, 2, 3, 4];
+        let mut qdst = [9i8; 5];
+        plan.gather(&qsrc, &mut qdst);
+        assert_eq!(qdst, [3, 1, 0, 4, 0]);
+    }
+
+    #[test]
+    fn packed_a_matches_unpacked_bit_for_bit() {
+        let mut rng = SeededRng::new(41);
+        // Full tiles, remainder rows, partial column tiles.
+        for &(m, k, n) in &[
+            (4usize, 16usize, 16usize),
+            (8, 27, 256),
+            (5, 9, 3),
+            (1, 37, 130),
+            (13, 64, 33),
+        ] {
+            let a = Tensor::rand_normal(&[m, k], 0.0, 1.0, &mut rng);
+            let b = Tensor::rand_normal(&[k, n], 0.0, 1.0, &mut rng);
+            let mut plain = vec![0.0f32; m * n];
+            matmul_into(a.data(), b.data(), &mut plain, m, k, n, false);
+            let pa = PackedA::pack(a.data(), m, k);
+            let mut packed = vec![9.0f32; m * n];
+            matmul_packed_a(&pa, b.data(), &mut packed, n, &Epilogue::None, false);
+            assert_bits_eq(&packed, &plain, &format!("packed-A {m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn packed_b_matches_unpacked_bit_for_bit() {
+        let mut rng = SeededRng::new(43);
+        for &(m, k, n) in &[
+            (4usize, 16usize, 16usize),
+            (16, 32, 10),
+            (1, 37, 130),
+            (7, 9, 48),
+            (3, 64, 33),
+        ] {
+            let a = Tensor::rand_normal(&[m, k], 0.0, 1.0, &mut rng);
+            let b = Tensor::rand_normal(&[k, n], 0.0, 1.0, &mut rng);
+            let mut plain = vec![0.0f32; m * n];
+            matmul_into(a.data(), b.data(), &mut plain, m, k, n, false);
+            let pb = PackedB::pack(b.data(), k, n);
+            let mut packed = vec![9.0f32; m * n];
+            matmul_packed_b(a.data(), &pb, &mut packed, m, &Epilogue::None, false);
+            assert_bits_eq(&packed, &plain, &format!("packed-B {m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn pack_transposed_skips_the_transpose_scratch() {
+        let mut rng = SeededRng::new(47);
+        let (n, k) = (19usize, 23usize);
+        let w = Tensor::rand_normal(&[n, k], 0.0, 1.0, &mut rng);
+        let mut wt = vec![0.0f32; n * k];
+        transpose_into(w.data(), &mut wt, n, k);
+        let direct = PackedB::pack_transposed(w.data(), n, k);
+        let via_transpose = PackedB::pack(&wt, k, n);
+        assert_eq!(direct, via_transpose);
+    }
+
+    #[test]
+    fn repack_reproduces_blessed_panel_bytes() {
+        let mut rng = SeededRng::new(53);
+        let (m, k) = (10usize, 27usize);
+        let w = Tensor::rand_normal(&[m, k], 0.0, 1.0, &mut rng);
+        let blessed = PackedA::pack(w.data(), m, k);
+        let mut live = blessed.clone();
+        // Fault, repack, undo, repack — the final panels must be the
+        // blessed bytes exactly.
+        let mut faulty = w.clone();
+        faulty.data_mut()[5] = f32::NEG_INFINITY;
+        live.repack(faulty.data());
+        assert_ne!(live, blessed);
+        live.repack(w.data());
+        assert_eq!(live.panel_data(), blessed.panel_data());
+    }
+
+    #[test]
+    fn epilogue_matches_serial_chain_bit_for_bit() {
+        let mut rng = SeededRng::new(59);
+        let (m, k, n) = (6usize, 21usize, 40usize);
+        let a = Tensor::rand_normal(&[m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[k, n], 0.0, 1.0, &mut rng);
+        let bias: Vec<f32> = (0..m).map(|i| (i as f32 - 2.5) * 0.3).collect();
+        let mean: Vec<f32> = (0..m).map(|i| (i as f32) * 0.11).collect();
+        let var: Vec<f32> = (0..m).map(|i| 0.5 + i as f32 * 0.07).collect();
+        let gamma: Vec<f32> = (0..m).map(|i| 1.0 - i as f32 * 0.05).collect();
+        let beta: Vec<f32> = (0..m).map(|i| i as f32 * 0.02 - 0.1).collect();
+        let eps = 1e-5f32;
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+
+        // Serial chain: raw GEMM, then bias, then BN, then leaky ReLU — the
+        // exact per-element expressions of the standalone layers.
+        let mut serial = vec![0.0f32; m * n];
+        matmul_into(a.data(), b.data(), &mut serial, m, k, n, false);
+        for r in 0..m {
+            for v in &mut serial[r * n..(r + 1) * n] {
+                let x = *v + bias[r];
+                let nrm = (x - mean[r]) * inv_std[r];
+                let y = gamma[r] * nrm + beta[r];
+                let neg = y <= 0.0;
+                *v = if neg { 0.01 * y } else { y };
+            }
+        }
+
+        let pa = PackedA::pack(a.data(), m, k);
+        let ep = Epilogue::PerRow {
+            bias: &bias,
+            bn: Some(BnFoldView {
+                mean: &mean,
+                inv_std: &inv_std,
+                gamma: &gamma,
+                beta: &beta,
+            }),
+            act: Act::LeakyRelu(0.01),
+            row0: 0,
+        };
+        let mut fused = vec![0.0f32; m * n];
+        matmul_packed_a(&pa, b.data(), &mut fused, n, &ep, false);
+        assert_bits_eq(&fused, &serial, "fused epilogue");
+    }
+
+    #[test]
+    fn per_col_epilogue_matches_bias_rows_then_relu() {
+        let mut rng = SeededRng::new(61);
+        let (m, k, n) = (3usize, 12usize, 21usize);
+        let a = Tensor::rand_normal(&[m, k], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal(&[n, k], 0.0, 1.0, &mut rng);
+        let bias: Vec<f32> = (0..n).map(|j| (j as f32 - 10.0) * 0.13).collect();
+
+        let mut wt = vec![0.0f32; n * k];
+        transpose_into(w.data(), &mut wt, n, k);
+        let mut serial = vec![0.0f32; m * n];
+        matmul_into(a.data(), &wt, &mut serial, m, k, n, false);
+        crate::kernels::bias_add_rows(&mut serial, &bias);
+        for v in &mut serial {
+            *v = v.max(0.0);
+        }
+
+        let pb = PackedB::pack_transposed(w.data(), n, k);
+        let ep = Epilogue::PerCol {
+            bias: &bias,
+            act: Act::Relu,
+        };
+        let mut fused = vec![0.0f32; m * n];
+        matmul_packed_b(a.data(), &pb, &mut fused, m, &ep, false);
+        assert_bits_eq(&fused, &serial, "per-col epilogue");
+    }
+
+    #[test]
+    fn wide_scope_parallel_paths_are_bit_identical() {
+        let mut rng = SeededRng::new(67);
+        let (m, k, n) = (37usize, 29usize, 130usize);
+        let a = Tensor::rand_normal(&[m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(&[k, n], 0.0, 1.0, &mut rng);
+        let pa = PackedA::pack(a.data(), m, k);
+        let mut serial = vec![0.0f32; m * n];
+        matmul_packed_a(&pa, b.data(), &mut serial, n, &Epilogue::None, false);
+        let mut wide = vec![0.0f32; m * n];
+        {
+            let _w = parallel::wide_scope();
+            matmul_packed_a(&pa, b.data(), &mut wide, n, &Epilogue::None, true);
+        }
+        assert_bits_eq(&wide, &serial, "wide packed-A");
+
+        // Batch-1 packed-B fans over column panels in wide mode.
+        let x = Tensor::rand_normal(&[1, k], 0.0, 1.0, &mut rng);
+        let pb = PackedB::pack(b.data(), k, n);
+        let mut srow = vec![0.0f32; n];
+        matmul_packed_b(x.data(), &pb, &mut srow, 1, &Epilogue::None, false);
+        let mut wrow = vec![0.0f32; n];
+        {
+            let _w = parallel::wide_scope();
+            matmul_packed_b(x.data(), &pb, &mut wrow, 1, &Epilogue::None, true);
+        }
+        assert_bits_eq(&wrow, &srow, "wide packed-B row");
+    }
+
+    #[test]
+    fn widened_panels_preserve_values() {
+        let src: Vec<i8> = (0..60).map(|i| (i * 7 % 255 - 127) as i8).collect();
+        let mut p = PackedI16::widen(&src, 5, 12);
+        for (w, &s) in p.data().iter().zip(&src) {
+            assert_eq!(*w, s as i16);
+        }
+        let flipped: Vec<i8> = src.iter().map(|&v| v.wrapping_neg()).collect();
+        p.rewiden(&flipped);
+        assert_eq!(p.data()[3], flipped[3] as i16);
+    }
+}

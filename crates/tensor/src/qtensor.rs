@@ -19,9 +19,10 @@
 //! forwards allocate nothing.
 
 use crate::conv::ConvSpec;
+use crate::pack::{Act, BnFoldView, GatherPlan, PackedI16};
 use crate::qkernels::{
-    dequant_bias_row, dequant_bias_rows, dequantize_slice, matmul_i8_nt, quantize_slice,
-    requantize_slice, scale_for_max_abs, slice_max_abs_finite,
+    dequant_bias_row, dequant_bias_rows, dequantize_slice, matmul_i8_nt, matmul_i8_nt_wa,
+    matmul_i8_nt_wb, quantize_slice, requantize_slice, scale_for_max_abs, slice_max_abs_finite,
 };
 use crate::tensor::Tensor;
 
@@ -251,6 +252,65 @@ fn im2row_i8(
     }
 }
 
+/// Compiled im2row plan: a [`GatherPlan`] lowering one quantized sample's
+/// group slice (`[cg, h, w]` of `i8` words, contiguous) into the
+/// `[oh*ow, cg*kh*kw]` im2row matrix that [`conv2d_q_planned`] feeds its
+/// pre-widened integer GEMM. The INT8 analogue of
+/// [`Im2colPlan`](crate::conv::Im2colPlan): same geometry-only build, same
+/// bit-identity to the on-the-fly `im2row_i8` lowering, transposed
+/// destination layout.
+#[derive(Debug, Clone)]
+pub struct Im2rowPlan {
+    cg: usize,
+    h: usize,
+    w: usize,
+    map: GatherPlan,
+}
+
+impl Im2rowPlan {
+    /// Builds the plan for a `[cg, h, w]` group slice under `kernel` and
+    /// `spec`.
+    pub fn build(cg: usize, h: usize, w: usize, kernel: (usize, usize), spec: &ConvSpec) -> Self {
+        let (kh, kw) = kernel;
+        let oh = spec.out_size(h, kh);
+        let ow = spec.out_size(w, kw);
+        let kcols = cg * kh * kw;
+        let mut idx = vec![GatherPlan::PAD; oh * ow * kcols];
+        for c in 0..cg {
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    let col = (c * kh + ky) * kw + kx;
+                    for oy in 0..oh {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for ox in 0..ow {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            idx[(oy * ow + ox) * kcols + col] =
+                                ((c * h + iy as usize) * w + ix as usize) as u32;
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            cg,
+            h,
+            w,
+            map: GatherPlan::new(cg * h * w, idx),
+        }
+    }
+
+    /// Whether the plan was built for this group-slice shape.
+    pub fn matches(&self, cg: usize, h: usize, w: usize) -> bool {
+        self.cg == cg && self.h == h && self.w == w
+    }
+}
+
 /// Quantized 2-D convolution: integer GEMM over stored `i8` words.
 ///
 /// - `input`: f32 `[n, c, h, w]`, quantized internally against the static
@@ -336,6 +396,210 @@ pub fn conv2d_q(
             }
         });
     }
+    out
+}
+
+/// Dequantizes one integer GEMM row and applies the fused epilogue with the
+/// exact per-element op order of the serial chain: `dequant_bias_row`'s
+/// `s as f32 * scale + bias`, then the folded batch-norm expression, then
+/// the activation.
+#[inline(always)]
+fn dequant_epilogue_row(
+    acc: &[i32],
+    scale: f32,
+    bias: f32,
+    bnc: Option<(f32, f32, f32, f32)>,
+    act: Act,
+    out: &mut [f32],
+) {
+    match bnc {
+        None => {
+            for (o, &s) in out.iter_mut().zip(acc) {
+                *o = act.apply(s as f32 * scale + bias);
+            }
+        }
+        Some((mean, inv_std, gamma, beta)) => {
+            for (o, &s) in out.iter_mut().zip(acc) {
+                let v = s as f32 * scale + bias;
+                let n = (v - mean) * inv_std;
+                *o = act.apply(gamma * n + beta);
+            }
+        }
+    }
+}
+
+/// Quantized 2-D convolution through a compiled plan: the weight slabs are
+/// pre-widened to `i16` panels ([`PackedI16`], one per group) and the
+/// dequantize + bias + optional batch-norm + activation chain is fused into
+/// the write-back loop.
+///
+/// Bit-identical to [`conv2d_q`] followed by the standalone batch-norm /
+/// activation kernels: widening is exact, integer accumulation is exact, and
+/// the fused epilogue replicates the serial per-element op order.
+///
+/// # Panics
+///
+/// Panics if shapes, the spec, the panels, or `input_scale` are
+/// inconsistent.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_q_planned(
+    input: &Tensor,
+    qweight: &QTensor,
+    panels: &[PackedI16],
+    plan: &Im2rowPlan,
+    bias: &Tensor,
+    spec: &ConvSpec,
+    input_scale: f32,
+    bn: Option<BnFoldView<'_>>,
+    act: Act,
+) -> Tensor {
+    crate::opcount::count_conv2d();
+    let (n, c, h, w) = input.dims4();
+    let wd = qweight.dims();
+    assert_eq!(wd.len(), 4, "weight must be rank 4");
+    let (oc, wc, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
+    assert!(spec.groups > 0 && spec.stride > 0, "bad conv spec");
+    assert_eq!(c % spec.groups, 0, "in_channels not divisible by groups");
+    assert_eq!(oc % spec.groups, 0, "out_channels not divisible by groups");
+    assert_eq!(wc, c / spec.groups, "weight channel mismatch");
+    assert_eq!(bias.len(), oc, "bias length != out_channels");
+    assert!(input_scale > 0.0, "input scale must be positive");
+    assert_eq!(panels.len(), spec.groups, "one widened panel per group");
+    let oh = spec.out_size(h, kh);
+    let ow = spec.out_size(w, kw);
+    let cg = c / spec.groups;
+    let og = oc / spec.groups;
+    let kcols = cg * kh * kw;
+    let ohw = oh * ow;
+    let chw = c * h * w;
+    for p in panels {
+        assert_eq!(p.rows(), og, "panel row mismatch");
+        assert_eq!(p.k(), kcols, "panel k mismatch");
+    }
+    assert!(plan.matches(cg, h, w), "gather plan shape mismatch");
+    assert_eq!(plan.map.len(), ohw * kcols, "gather plan size mismatch");
+    let ghw = cg * h * w;
+
+    let bdata = bias.data();
+
+    // The epilogue writes every element exactly once, so the buffer may come
+    // from the pool dirty.
+    let mut out = Tensor::from_pool(&[n, oc, oh, ow]);
+    let batch_stride = oc * ohw;
+
+    let run_batch =
+        |bn_idx: usize, out_bn: &mut [f32], qin: &mut [i8], rows: &mut [i8], acc: &mut [i32]| {
+            quantize_slice(
+                &input.data()[bn_idx * chw..(bn_idx + 1) * chw],
+                input_scale,
+                qin,
+            );
+            for (g, panel) in panels.iter().enumerate() {
+                plan.map.gather(&qin[g * ghw..(g + 1) * ghw], rows);
+                matmul_i8_nt_wa(panel, rows, acc, ohw);
+                for o in 0..og {
+                    let oc_idx = g * og + o;
+                    let bnc = bn.map(|f| {
+                        (
+                            f.mean[oc_idx],
+                            f.inv_std[oc_idx],
+                            f.gamma[oc_idx],
+                            f.beta[oc_idx],
+                        )
+                    });
+                    dequant_epilogue_row(
+                        &acc[o * ohw..(o + 1) * ohw],
+                        input_scale * qweight.channel_scale(oc_idx),
+                        bdata[oc_idx],
+                        bnc,
+                        act,
+                        &mut out_bn[oc_idx * ohw..(oc_idx + 1) * ohw],
+                    );
+                }
+            }
+        };
+
+    let total_macs = n * oc * ohw * kcols;
+    if n > 1 && total_macs >= PARALLEL_BATCH_MACS {
+        crate::parallel::for_each_chunk_mut(out.data_mut(), batch_stride, |start, items, slab| {
+            with_q_scratch(chw, ohw * kcols, og * ohw, |qin, rows, acc| {
+                for i in 0..items {
+                    let out_bn = &mut slab[i * batch_stride..(i + 1) * batch_stride];
+                    run_batch(start + i, out_bn, qin, rows, acc);
+                }
+            });
+        });
+    } else {
+        let out_data = out.data_mut();
+        with_q_scratch(chw, ohw * kcols, og * ohw, |qin, rows, acc| {
+            for bn_idx in 0..n {
+                let out_bn = &mut out_data[bn_idx * batch_stride..(bn_idx + 1) * batch_stride];
+                run_batch(bn_idx, out_bn, qin, rows, acc);
+            }
+        });
+    }
+    out
+}
+
+/// Quantized linear layer through a compiled plan: pre-widened weight rows
+/// and a fused dequantize + bias + activation write-back. Bit-identical to
+/// [`linear_q`] followed by the standalone activation kernel — including the
+/// per-tensor-scale path, which replicates `dequant_bias_row(.., 0.0)`
+/// followed by the separate bias add exactly.
+///
+/// # Panics
+///
+/// Panics if shapes, the panel, or `input_scale` are inconsistent.
+pub fn linear_q_planned(
+    input: &Tensor,
+    qweight: &QTensor,
+    panel: &PackedI16,
+    bias: &Tensor,
+    input_scale: f32,
+    act: Act,
+) -> Tensor {
+    let (batch, in_f) = input.dims2();
+    let wd = qweight.dims();
+    assert_eq!(wd.len(), 2, "weight must be rank 2");
+    let (out_f, w_in) = (wd[0], wd[1]);
+    assert_eq!(w_in, in_f, "weight expects {w_in} inputs, got {in_f}");
+    assert_eq!(bias.len(), out_f, "bias length != out_features");
+    assert!(input_scale > 0.0, "input scale must be positive");
+    assert_eq!(panel.rows(), out_f, "panel row mismatch");
+    assert_eq!(panel.k(), in_f, "panel k mismatch");
+
+    let mut out = Tensor::from_pool(&[batch, out_f]);
+    with_q_scratch(batch * in_f, 0, batch * out_f, |qx, _rows, acc| {
+        quantize_slice(input.data(), input_scale, qx);
+        matmul_i8_nt_wb(qx, panel, acc, batch);
+        let bdata = bias.data();
+        if qweight.is_per_channel() {
+            let scales = qweight.scales();
+            for (acc_row, out_row) in acc
+                .chunks_exact(out_f)
+                .zip(out.data_mut().chunks_exact_mut(out_f))
+            {
+                // Same per-element expression as `dequant_bias_rows`.
+                for (((o, &s), &ws), &b) in out_row.iter_mut().zip(acc_row).zip(scales).zip(bdata) {
+                    *o = act.apply(s as f32 * (input_scale * ws) + b);
+                }
+            }
+        } else {
+            let scale = input_scale * qweight.channel_scale(0);
+            for (acc_row, out_row) in acc
+                .chunks_exact(out_f)
+                .zip(out.data_mut().chunks_exact_mut(out_f))
+            {
+                // Two-step on purpose: the serial chain dequantizes with a
+                // zero bias and adds the f32 bias in a second pass, and the
+                // intermediate `+ 0.0` can flip a negative-zero sign.
+                for ((o, &s), &b) in out_row.iter_mut().zip(acc_row).zip(bdata) {
+                    let v = s as f32 * scale + 0.0;
+                    *o = act.apply(v + b);
+                }
+            }
+        }
+    });
     out
 }
 
@@ -590,6 +854,64 @@ mod tests {
                     let got = y.at(&[r, o]);
                     assert_eq!(got.to_bits(), expect.to_bits(), "[{r},{o}]");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn planned_conv_q_is_bit_identical_to_serial_chain() {
+        let mut rng = SeededRng::new(40);
+        for spec in [
+            ConvSpec::new().padding(1),
+            ConvSpec::new().padding(1).groups(2),
+        ] {
+            let x = Tensor::rand_normal(&[2, 4, 6, 6], 0.0, 1.0, &mut rng);
+            let w = Tensor::rand_normal(&[4, 4 / spec.groups, 3, 3], 0.0, 0.5, &mut rng);
+            let b = Tensor::rand_normal(&[4], 0.0, 0.1, &mut rng);
+            let qw = QTensor::quantize_per_channel(&w);
+            let scale = 0.02f32;
+            let og = 4 / spec.groups;
+            let kcols = (4 / spec.groups) * 9;
+            let panels: Vec<PackedI16> = (0..spec.groups)
+                .map(|g| {
+                    PackedI16::widen(&qw.data()[g * og * kcols..(g + 1) * og * kcols], og, kcols)
+                })
+                .collect();
+
+            // Serial chain: conv2d_q then a standalone ReLU pass.
+            let mut serial = conv2d_q(&x, &qw, &b, &spec, scale);
+            for v in serial.data_mut() {
+                *v = v.max(0.0);
+            }
+            let plan = Im2rowPlan::build(4 / spec.groups, 6, 6, (3, 3), &spec);
+            let fused =
+                conv2d_q_planned(&x, &qw, &panels, &plan, &b, &spec, scale, None, Act::Relu);
+            assert_eq!(fused.dims(), serial.dims());
+            for (p, q) in fused.data().iter().zip(serial.data()) {
+                assert_eq!(p.to_bits(), q.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn planned_linear_q_is_bit_identical_to_serial_chain() {
+        let mut rng = SeededRng::new(41);
+        let x = Tensor::rand_normal(&[3, 10], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal(&[6, 10], 0.0, 0.5, &mut rng);
+        let b = Tensor::rand_normal(&[6], 0.0, 0.1, &mut rng);
+        let scale = 0.015f32;
+        for qw in [
+            QTensor::quantize_per_channel(&w),
+            QTensor::quantize_per_tensor(&w),
+        ] {
+            let panel = PackedI16::widen(qw.data(), 6, 10);
+            let mut serial = linear_q(&x, &qw, &b, scale);
+            for v in serial.data_mut() {
+                *v = v.max(0.0);
+            }
+            let fused = linear_q_planned(&x, &qw, &panel, &b, scale, Act::Relu);
+            for (p, q) in fused.data().iter().zip(serial.data()) {
+                assert_eq!(p.to_bits(), q.to_bits());
             }
         }
     }

@@ -405,6 +405,48 @@ proptest! {
         }
     }
 
+    /// Compiled forward plans — weight prepacking into GEMM panel layouts,
+    /// fused bias/activation/batchnorm epilogues, and per-trial panel
+    /// repacks under weight faults — are purely a throughput optimization:
+    /// for every generated architecture, fault mode, quantization regime,
+    /// guard mode, thread count, fusion width, and prefix-cache setting,
+    /// a planned campaign's records are bit-identical to the unplanned run.
+    #[test]
+    fn prepacking_never_changes_records(
+        case in fuzz::cases(),
+        with_fusion in any::<bool>(),
+        with_prefix in any::<bool>(),
+    ) {
+        let fx = CaseFixture::new(&case).unwrap();
+        let factory = fx.factory();
+        let campaign = Campaign::new(
+            &factory,
+            &fx.images,
+            &fx.labels,
+            fx.mode.clone(),
+            Arc::clone(&fx.model),
+        );
+        // Fusion stands down for weight faults on its own; the prefix cache
+        // composes with planning in both arms.
+        let run = |plan: bool, threads: usize| {
+            campaign
+                .run(&CampaignConfig {
+                    threads: Some(threads),
+                    fusion: with_fusion.then(|| rustfi::FusionConfig::with_width(4)),
+                    prefix_cache: with_prefix.then(rustfi::PrefixCacheConfig::default),
+                    plan,
+                    ..case.reference_config()
+                })
+                .unwrap()
+        };
+        let unplanned = run(false, 1);
+        let planned_serial = run(true, 1);
+        let planned_threaded = run(true, case.threads);
+        prop_assert_eq!(&unplanned.records, &planned_serial.records);
+        prop_assert_eq!(&unplanned.records, &planned_threaded.records);
+        prop_assert_eq!(unplanned.counts, planned_threaded.counts);
+    }
+
     /// Thread-local tensor pooling produces bit-identical records to the
     /// unpooled path for every generated architecture and execution
     /// strategy — recycling activation buffers must be unobservable in
